@@ -1,0 +1,232 @@
+//! The flat-vector cost model baseline (\[16\], extended as in §VII).
+//!
+//! The baseline represents a placed query as one fixed-size feature vector
+//! and trains gradient-boosted trees per cost metric. Features comparable
+//! to Costream's are included — event rates, operator counts, selectivity
+//! and window aggregates, and *aggregate* hardware statistics — but the
+//! flat encoding cannot express the structure that matters for placement:
+//! which operator sits on which host, co-location, or per-host resources
+//! of a variable-size cluster. That representational gap (not the choice
+//! of GBDT) is what the paper's comparison exercises.
+
+use crate::gbdt::{Gbdt, GbdtConfig, Objective};
+use costream_dsps::CostMetric;
+use costream_query::hardware::Cluster;
+use costream_query::operators::{OpKind, Query};
+use costream_query::placement::Placement;
+use serde::{Deserialize, Serialize};
+
+/// Width of the flat feature vector.
+pub const FLAT_WIDTH: usize = 26;
+
+fn log1p(v: f64) -> f64 {
+    v.max(0.0).ln_1p()
+}
+
+/// Encodes one placed query into the flat feature vector.
+pub fn flat_features(query: &Query, cluster: &Cluster, placement: &Placement, est_sels: &[f64]) -> Vec<f64> {
+    let (n_sources, n_filters, n_aggs, n_joins) = query.kind_counts();
+    let schemas = query.output_schemas();
+
+    let mut rate_sum = 0.0f64;
+    let mut rate_max = 0.0f64;
+    let mut width_sum = 0.0f64;
+    for (_, op) in query.ops() {
+        if let OpKind::Source(s) = op {
+            rate_sum += s.event_rate;
+            rate_max = rate_max.max(s.event_rate);
+            width_sum += s.schema.width() as f64;
+        }
+    }
+    let mean_width = width_sum / n_sources.max(1) as f64;
+
+    let mut filter_sels = Vec::new();
+    let mut join_sels = Vec::new();
+    let mut agg_sels = Vec::new();
+    let mut window_sizes_count = Vec::new();
+    let mut window_sizes_time = Vec::new();
+    let mut n_sliding = 0usize;
+    let mut n_windows = 0usize;
+    for (id, op) in query.ops() {
+        match op {
+            OpKind::Filter(_) => filter_sels.push(est_sels[id]),
+            OpKind::WindowJoin(j) => {
+                join_sels.push(est_sels[id]);
+                n_windows += 1;
+                if matches!(j.window.window_type, costream_query::WindowType::Sliding) {
+                    n_sliding += 1;
+                }
+                match j.window.policy {
+                    costream_query::WindowPolicy::CountBased => window_sizes_count.push(j.window.size),
+                    costream_query::WindowPolicy::TimeBased => window_sizes_time.push(j.window.size),
+                }
+            }
+            OpKind::WindowAggregate(a) => {
+                agg_sels.push(est_sels[id]);
+                n_windows += 1;
+                if matches!(a.window.window_type, costream_query::WindowType::Sliding) {
+                    n_sliding += 1;
+                }
+                match a.window.policy {
+                    costream_query::WindowPolicy::CountBased => window_sizes_count.push(a.window.size),
+                    costream_query::WindowPolicy::TimeBased => window_sizes_time.push(a.window.size),
+                }
+            }
+            _ => {}
+        }
+    }
+    let mean = |v: &[f64]| if v.is_empty() { 0.0 } else { v.iter().sum::<f64>() / v.len() as f64 };
+    let min = |v: &[f64]| v.iter().copied().fold(f64::INFINITY, f64::min).min(1.0);
+
+    // Aggregate hardware statistics over the *used* hosts — the most a
+    // flat vector can say about a variable-size heterogeneous cluster.
+    let used = placement.hosts_used();
+    let mut cpu = 0.0;
+    let mut ram = 0.0;
+    let mut bw = 0.0;
+    let mut lat = 0.0;
+    let mut cpu_min = f64::INFINITY;
+    for &h in &used {
+        let host = cluster.host(h);
+        cpu += host.cpu;
+        ram += host.ram_mb;
+        bw += host.bandwidth_mbits;
+        lat += host.latency_ms;
+        cpu_min = cpu_min.min(host.cpu);
+    }
+    let nh = used.len() as f64;
+
+    let v = vec![
+        query.len() as f64,
+        n_sources as f64,
+        n_filters as f64,
+        n_aggs as f64,
+        n_joins as f64,
+        log1p(rate_sum),
+        log1p(rate_max),
+        mean_width,
+        schemas[query.sink()].width() as f64,
+        mean(&filter_sels),
+        if filter_sels.is_empty() { 1.0 } else { min(&filter_sels) },
+        log1p(mean(&join_sels) * 1e6),
+        mean(&agg_sels),
+        n_windows as f64,
+        log1p(mean(&window_sizes_count)),
+        log1p(mean(&window_sizes_time)),
+        n_sliding as f64,
+        window_sizes_time.len() as f64,
+        nh,
+        log1p(cpu / nh.max(1.0)),
+        log1p(ram / nh.max(1.0)),
+        log1p(bw / nh.max(1.0)),
+        log1p(lat / nh.max(1.0)),
+        log1p(cpu_min.min(1e9)),
+        query.edges().len() as f64,
+        log1p(rate_sum * mean_width),
+    ];
+    debug_assert_eq!(v.len(), FLAT_WIDTH);
+    v
+}
+
+/// The flat-vector baseline model for one metric.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FlatVectorModel {
+    /// The metric this model predicts.
+    pub metric: CostMetric,
+    model: Gbdt,
+}
+
+impl FlatVectorModel {
+    /// Trains the baseline on (features, label) rows prepared with
+    /// [`flat_features`]. Regression targets are fit in `log1p` space.
+    pub fn fit(xs: &[Vec<f64>], labels: &[f64], metric: CostMetric, cfg: &GbdtConfig) -> Self {
+        let (objective, ys): (Objective, Vec<f64>) = if metric.is_regression() {
+            (Objective::Regression, labels.iter().map(|&y| log1p(y)).collect())
+        } else {
+            (Objective::BinaryClassification, labels.to_vec())
+        };
+        FlatVectorModel { metric, model: Gbdt::fit(xs, &ys, objective, cfg) }
+    }
+
+    /// Predicts the metric: original cost units for regression,
+    /// positive-class probability for classification.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        let raw = self.model.predict(x);
+        if self.metric.is_regression() {
+            raw.clamp(-30.0, 60.0).exp_m1().max(0.0)
+        } else {
+            raw
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use costream_query::generator::WorkloadGenerator;
+    use costream_query::ranges::FeatureRanges;
+    use costream_query::selectivity::SelectivityEstimator;
+
+    #[test]
+    fn features_have_fixed_width_and_are_finite() {
+        let mut g = WorkloadGenerator::new(1, FeatureRanges::training());
+        let mut e = SelectivityEstimator::realistic(2);
+        for _ in 0..100 {
+            let (q, c, p) = g.workload_item();
+            let sels = e.estimate_query(&q);
+            let f = flat_features(&q, &c, &p, &sels);
+            assert_eq!(f.len(), FLAT_WIDTH);
+            assert!(f.iter().all(|v| v.is_finite()), "{f:?}");
+        }
+    }
+
+    #[test]
+    fn different_placements_of_same_query_can_collide() {
+        // The representational weakness under test: two placements that
+        // use the same host set are indistinguishable to the flat vector.
+        let mut g = WorkloadGenerator::new(3, FeatureRanges::training());
+        let q = g.query();
+        let c = g.cluster(2);
+        let sels = vec![0.5; q.len()];
+        let all0 = Placement::new(vec![0; q.len()]);
+        // Different op-to-host mapping over the same used-host set:
+        let mut mixed = vec![0; q.len()];
+        if q.len() > 2 {
+            mixed[q.len() - 1] = 0;
+        }
+        let f1 = flat_features(&q, &c, &all0, &sels);
+        let f2 = flat_features(&q, &c, &Placement::new(mixed), &sels);
+        assert_eq!(f1, f2);
+    }
+
+    #[test]
+    fn model_learns_rate_dependence() {
+        // Throughput labels proportional to total rate: the flat model can
+        // learn rate but we only check it trains end-to-end.
+        let mut g = WorkloadGenerator::new(4, FeatureRanges::training());
+        let mut e = SelectivityEstimator::realistic(5);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..200 {
+            let (q, c, p) = g.workload_item();
+            let sels = e.estimate_query(&q);
+            let rate: f64 = q
+                .ops()
+                .filter_map(|(_, op)| match op {
+                    OpKind::Source(s) => Some(s.event_rate),
+                    _ => None,
+                })
+                .sum();
+            xs.push(flat_features(&q, &c, &p, &sels));
+            ys.push(rate * 0.5);
+        }
+        let m = FlatVectorModel::fit(&xs, &ys, CostMetric::Throughput, &GbdtConfig::default());
+        let q50: f64 = {
+            let mut qs: Vec<f64> =
+                xs.iter().zip(&ys).map(|(x, &y)| (m.predict(x).max(1e-3) / y).max(y / m.predict(x).max(1e-3))).collect();
+            qs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            qs[qs.len() / 2]
+        };
+        assert!(q50 < 1.5, "flat model failed to learn rate: q50 {q50}");
+    }
+}

@@ -1,0 +1,63 @@
+//! Micro-benchmarks of the reproduction's hot paths: simulator runs,
+//! joint-graph featurization, GNN inference, GBDT fitting and placement
+//! enumeration. These complement the experiment binary (which regenerates
+//! the paper's tables) with performance numbers for the substrates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use costream::prelude::*;
+use costream::optimizer::enumerate_candidates;
+use costream_baselines::{Gbdt, GbdtConfig, Objective};
+use costream_dsps::simulate;
+use costream_query::generator::WorkloadGenerator;
+use costream_query::selectivity::SelectivityEstimator;
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut g = WorkloadGenerator::new(1, FeatureRanges::training());
+    let (q, cl, p) = g.workload_item();
+    let cfg = SimConfig::default();
+    c.bench_function("simulate_4min_query", |b| b.iter(|| simulate(&q, &cl, &p, &cfg)));
+}
+
+fn bench_featurize(c: &mut Criterion) {
+    let mut g = WorkloadGenerator::new(2, FeatureRanges::training());
+    let (q, cl, p) = g.workload_item();
+    let sels = SelectivityEstimator::realistic(3).estimate_query(&q);
+    c.bench_function("joint_graph_build", |b| {
+        b.iter(|| JointGraph::build(&q, &cl, &p, &sels, Featurization::Full))
+    });
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let corpus = Corpus::generate(64, 4, FeatureRanges::training(), &SimConfig::default());
+    let cfg = TrainConfig { epochs: 2, ..Default::default() };
+    let model = train_metric(&corpus, CostMetric::ProcessingLatency, &cfg);
+    let graphs: Vec<JointGraph> = corpus.items.iter().map(|i| i.graph(Featurization::Full)).collect();
+    let one = &graphs[0];
+    let refs: Vec<&JointGraph> = graphs.iter().collect();
+    c.bench_function("gnn_inference_single_graph", |b| b.iter(|| model.predict_graphs(&[one])));
+    c.bench_function("gnn_inference_batch64", |b| b.iter(|| model.predict_graphs(&refs)));
+}
+
+fn bench_gbdt(c: &mut Criterion) {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(5);
+    let xs: Vec<Vec<f64>> = (0..500).map(|_| (0..26).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect();
+    let ys: Vec<f64> = xs.iter().map(|x| x[0] * 3.0 + x[1]).collect();
+    let cfg = GbdtConfig { n_trees: 30, ..Default::default() };
+    c.bench_function("gbdt_fit_500x26", |b| b.iter(|| Gbdt::fit(&xs, &ys, Objective::Regression, &cfg)));
+}
+
+fn bench_enumeration(c: &mut Criterion) {
+    let mut g = WorkloadGenerator::new(6, FeatureRanges::training());
+    let q = g.query();
+    let cl = g.cluster(6);
+    c.bench_function("enumerate_12_candidates", |b| b.iter(|| enumerate_candidates(&q, &cl, 12, 7)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_simulator, bench_featurize, bench_inference, bench_gbdt, bench_enumeration
+}
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Exp 3 (Table IV: hardware interpolation) and Exp 4 (Table V: hardware
+//! extrapolation toward stronger/weaker resources).
+
+use crate::harness::{evaluate_all, print_rows, train_all, MetricRow, Scale};
+use costream::prelude::*;
+use costream_query::ranges::{extrapolation_stronger, extrapolation_weaker, ExtrapolationSetting};
+
+/// Runs Exp 3: the models are trained on the Table II grid and evaluated
+/// on hardware values *between* the grid points (Table IV-A ranges).
+pub fn run_3(models: &crate::harness::Models, scale: &Scale) -> Vec<MetricRow> {
+    let eval = Corpus::generate(
+        scale.eval_queries,
+        scale.seed.wrapping_add(300),
+        FeatureRanges::interpolation_eval(),
+        &SimConfig::default(),
+    );
+    let rows = evaluate_all(models, &eval, scale.seed);
+    print_rows(
+        "Table IV: interpolation — unseen in-range hardware",
+        &rows,
+        &[
+            ("Throughput", "1.37 / 8.28", "15.63 / 282.50"),
+            ("E2E-latency", "1.59 / 25.33", "63.79 / 869.85"),
+            ("Processing latency", "1.54 / 17.78", "27.85 / 282.50"),
+            ("Backpressure", "88.04%", "72.83%"),
+            ("Query success", "87.13%", "68.32%"),
+        ],
+    );
+    rows
+}
+
+/// One extrapolation entry of Table V.
+pub struct ExtrapolationRow {
+    /// Dimension under test.
+    pub dim: String,
+    /// Direction ("stronger" / "weaker").
+    pub direction: String,
+    /// Per-metric results (Costream only, as in Table V).
+    pub rows: Vec<MetricRow>,
+}
+
+/// Runs Exp 4: per hardware dimension, retrains on a restricted range and
+/// evaluates on out-of-range values (Table V A and B).
+pub fn run_4(scale: &Scale) -> Vec<ExtrapolationRow> {
+    let mut out = Vec::new();
+    for (direction, settings) in
+        [("stronger", extrapolation_stronger()), ("weaker", extrapolation_weaker())]
+    {
+        println!("\n== Table V-{}: extrapolation toward {direction} resources ==", if direction == "stronger" { "A" } else { "B" });
+        println!("(paper: Q50 mostly 1.4-3.8; latency extrapolation hardest)");
+        for setting in settings {
+            out.push(run_one_extrapolation(scale, direction, &setting));
+        }
+    }
+    out
+}
+
+fn run_one_extrapolation(scale: &Scale, direction: &str, setting: &ExtrapolationSetting) -> ExtrapolationRow {
+    let train_ranges = FeatureRanges::training().restrict(setting.dim, setting.train_values.clone());
+    let eval_ranges = FeatureRanges::training().restrict(setting.dim, setting.eval_values.clone());
+    let seed = scale.seed.wrapping_add(400 + setting.dim as u64);
+
+    let corpus = Corpus::generate(scale.retrain_corpus, seed, train_ranges, &SimConfig::default());
+    let (train, _, _) = corpus.split(seed);
+    let retrain_scale = Scale { epochs: scale.retrain_epochs, ensemble_k: 1, ..*scale };
+    let models = train_all(&train, &retrain_scale);
+
+    let eval = Corpus::generate(scale.eval_queries, seed.wrapping_add(1), eval_ranges, &SimConfig::default());
+    let rows = evaluate_all(&models, &eval, seed);
+    println!("\n-- {} ({direction}) --", setting.dim.name());
+    for r in &rows {
+        if r.costream.1.is_nan() {
+            println!("  {:<20} Costream {:.1}%   Flat {:.1}%", r.metric.name(), r.costream.0 * 100.0, r.flat.0 * 100.0);
+        } else {
+            println!(
+                "  {:<20} Costream Q50 {:.2} Q95 {:.2}   Flat Q50 {:.2}",
+                r.metric.name(),
+                r.costream.0,
+                r.costream.1,
+                r.flat.0
+            );
+        }
+    }
+    ExtrapolationRow { dim: setting.dim.name().to_string(), direction: direction.to_string(), rows }
+}

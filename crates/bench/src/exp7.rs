@@ -1,0 +1,73 @@
+//! Exp 7 — ablation studies: Fig. 12 (featurization schemes) and Fig. 13
+//! (message-passing schemes).
+
+use crate::harness::Scale;
+use costream::prelude::*;
+use costream_dsps::CostMetric;
+
+/// Results of Exp 7a: (scheme label, Q50, Q95) for E2E-latency.
+pub struct Exp7aResult {
+    /// One entry per featurization variant.
+    pub rows: Vec<(String, f64, f64)>,
+}
+
+/// Runs the featurization ablation (Fig. 12) on a shared train/test split.
+pub fn run_7a(train: &Corpus, test: &Corpus, scale: &Scale) -> Exp7aResult {
+    println!("\n== Fig. 12: featurization ablation for E2E-latency ==");
+    println!("(paper: query-only 2.60, +HW nodes 2.22, full 1.37 — full featurization wins)");
+    let mut rows = Vec::new();
+    for (label, feat) in [
+        ("Query nodes only", Featurization::QueryOnly),
+        ("+ HW nodes", Featurization::HardwareNodes),
+        ("+ HW features (full)", Featurization::Full),
+    ] {
+        let cfg = TrainConfig {
+            epochs: scale.retrain_epochs,
+            seed: scale.seed,
+            featurization: feat,
+            ..Default::default()
+        };
+        let model = train_metric(train, CostMetric::E2eLatency, &cfg);
+        let s = model.evaluate_regression(test);
+        println!("{label:<22} Q50 {:.2}  Q95 {:.2}", s.q50, s.q95);
+        rows.push((label.to_string(), s.q50, s.q95));
+    }
+    Exp7aResult { rows }
+}
+
+/// Results of Exp 7b: per regression metric, (ours Q50, traditional Q50).
+pub struct Exp7bResult {
+    /// (metric name, ours Q50/Q95, traditional Q50/Q95).
+    pub rows: Vec<(String, (f64, f64), (f64, f64))>,
+}
+
+/// Runs the message-passing ablation (Fig. 13) on a shared split.
+pub fn run_7b(train: &Corpus, test: &Corpus, scale: &Scale) -> Exp7bResult {
+    println!("\n== Fig. 13: message-passing ablation (ours vs traditional) ==");
+    println!("(paper: ours better on all three regression metrics, e.g. E2E 1.37 vs 1.60)");
+    let mut rows = Vec::new();
+    for metric in CostMetric::REGRESSION {
+        let mut result = Vec::new();
+        for scheme in [Scheme::Costream, Scheme::Traditional] {
+            let cfg = TrainConfig {
+                epochs: scale.retrain_epochs,
+                seed: scale.seed,
+                model: ModelConfig::default().with_scheme(scheme),
+                ..Default::default()
+            };
+            let model = train_metric(train, metric, &cfg);
+            let s = model.evaluate_regression(test);
+            result.push((s.q50, s.q95));
+        }
+        println!(
+            "{:<20} ours Q50 {:.2} Q95 {:.2}   traditional Q50 {:.2} Q95 {:.2}",
+            metric.name(),
+            result[0].0,
+            result[0].1,
+            result[1].0,
+            result[1].1
+        );
+        rows.push((metric.name().to_string(), result[0], result[1]));
+    }
+    Exp7bResult { rows }
+}

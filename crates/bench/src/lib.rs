@@ -1,0 +1,18 @@
+//! # costream-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the Costream evaluation (§VII)
+//! against the bundled substrates. See `DESIGN.md` for the per-experiment
+//! index and `EXPERIMENTS.md` for recorded paper-vs-measured results.
+//!
+//! Run with `cargo run -p costream-bench --release --bin experiments -- all`
+//! or name a single experiment (`exp1`, `exp2`, `exp3`, `exp4`, `exp5`,
+//! `exp6`, `exp7`).
+
+#![warn(missing_docs)]
+
+pub mod exp1;
+pub mod exp2;
+pub mod exp34;
+pub mod exp56;
+pub mod exp7;
+pub mod harness;

@@ -1,0 +1,90 @@
+//! Experiment runner: regenerates the paper's tables and figures.
+
+use costream::prelude::*;
+use costream_bench::{exp1, exp2, exp34, exp56, exp7, harness};
+use harness::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(String::as_str).unwrap_or("all");
+    let mut scale = if args.iter().any(|a| a == "--quick") { Scale::quick() } else { Scale::paper() };
+    // Optional overrides: --corpus N, --epochs N, --k N, --eval N.
+    let flag = |name: &str| -> Option<usize> {
+        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).and_then(|v| v.parse().ok())
+    };
+    if let Some(v) = flag("--corpus") {
+        scale.corpus_size = v;
+    }
+    if let Some(v) = flag("--epochs") {
+        scale.epochs = v;
+    }
+    if let Some(v) = flag("--k") {
+        scale.ensemble_k = v;
+    }
+    if let Some(v) = flag("--eval") {
+        scale.eval_queries = v;
+    }
+
+    eprintln!("scale: {scale:?}");
+    let t0 = std::time::Instant::now();
+
+    // Shared corpus + model bundle for the experiments that reuse the main
+    // training distribution.
+    let needs_models = matches!(which, "all" | "exp1" | "exp2" | "exp3" | "exp5" | "exp6");
+    let (train, test, models) = if needs_models {
+        eprintln!("generating corpus ({} traces) ...", scale.corpus_size);
+        let corpus = Corpus::generate(scale.corpus_size, scale.seed, FeatureRanges::training(), &SimConfig::default());
+        let (train, _val, test) = corpus.split(scale.seed);
+        let models = harness::train_all(&train, &scale);
+        (Some(train), Some(test), Some(models))
+    } else {
+        (None, None, None)
+    };
+
+    let mut fig1_parts: (Option<Vec<_>>, Option<Vec<_>>, Option<exp56::Exp5Result>, Option<exp56::Exp6Result>) =
+        (None, None, None, None);
+
+    if matches!(which, "all" | "exp1") {
+        let r = exp1::run(models.as_ref().unwrap(), test.as_ref().unwrap(), &scale);
+        fig1_parts.0 = Some(r.overall);
+    }
+    if matches!(which, "all" | "exp2") {
+        exp2::run_2a(models.as_ref().unwrap(), &scale);
+        exp2::run_2b(models.as_ref().unwrap(), &scale);
+    }
+    if matches!(which, "all" | "exp3") {
+        let r = exp34::run_3(models.as_ref().unwrap(), &scale);
+        fig1_parts.1 = Some(r);
+    }
+    if matches!(which, "all" | "exp4") {
+        exp34::run_4(&scale);
+    }
+    if matches!(which, "all" | "exp5") {
+        let r = exp56::run_5(models.as_ref().unwrap(), train.as_ref().unwrap(), &scale);
+        fig1_parts.2 = Some(r);
+    }
+    if matches!(which, "all" | "exp6") {
+        let r = exp56::run_6(models.as_ref().unwrap(), &scale);
+        fig1_parts.3 = Some(r);
+    }
+    if matches!(which, "all" | "exp7") {
+        // The ablations retrain from scratch; use a dedicated split.
+        let corpus = Corpus::generate(
+            scale.retrain_corpus.max(scale.corpus_size / 2),
+            scale.seed.wrapping_add(70),
+            FeatureRanges::training(),
+            &SimConfig::default(),
+        );
+        let (train7, _, test7) = corpus.split(scale.seed);
+        exp7::run_7a(&train7, &test7, &scale);
+        exp7::run_7b(&train7, &test7, &scale);
+    }
+
+    if let (Some(seen), Some(hw), Some(e5), Some(e6)) =
+        (&fig1_parts.0, &fig1_parts.1, &fig1_parts.2, &fig1_parts.3)
+    {
+        exp56::print_fig1(seen, hw, e5, e6);
+    }
+
+    eprintln!("\ntotal wall time: {:.0}s", t0.elapsed().as_secs_f64());
+}

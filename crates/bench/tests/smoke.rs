@@ -1,0 +1,31 @@
+//! Smoke test: the experiment harness runs end to end at tiny scale and
+//! produces structurally complete results for every table/figure.
+
+use costream::prelude::*;
+use costream_bench::{exp1, exp34, exp56, exp7, harness};
+
+#[test]
+fn experiment_harness_smoke() {
+    let scale = harness::Scale { corpus_size: 150, epochs: 6, retrain_corpus: 120, retrain_epochs: 5, eval_queries: 12, ..harness::Scale::quick() };
+    let corpus = Corpus::generate(scale.corpus_size, scale.seed, FeatureRanges::training(), &SimConfig::default());
+    let (train, _, test) = corpus.split(scale.seed);
+    let models = harness::train_all(&train, &scale);
+
+    let r1 = exp1::run(&models, &test, &scale);
+    assert_eq!(r1.overall.len(), 5, "Table III has five metric rows");
+
+    let r3 = exp34::run_3(&models, &scale);
+    assert_eq!(r3.len(), 5, "Table IV has five metric rows");
+
+    let r5 = exp56::run_5(&models, &train, &scale);
+    assert_eq!(r5.by_chain.len(), 3, "Table VI-A covers 2/3/4-filter chains");
+    assert_eq!(r5.finetune.len(), 3, "Fig. 11 covers all chain lengths");
+
+    let r6 = exp56::run_6(&models, &scale);
+    assert_eq!(r6.by_benchmark.len(), 4, "Table VI-B covers four benchmarks");
+
+    let r7a = exp7::run_7a(&train, &test, &scale);
+    assert_eq!(r7a.rows.len(), 3, "Fig. 12 compares three featurizations");
+    let r7b = exp7::run_7b(&train, &test, &scale);
+    assert_eq!(r7b.rows.len(), 3, "Fig. 13 covers the regression metrics");
+}

@@ -1,0 +1,151 @@
+//! Seed-varied model ensembles (§IV-A).
+//!
+//! Costream reduces prediction uncertainty by training multiple models per
+//! metric that differ only in their random initialization seed. At
+//! inference time regression predictions are averaged and classification
+//! predictions are combined by majority vote.
+
+use crate::dataset::{Corpus, CorpusItem};
+use crate::graph::JointGraph;
+use crate::train::{train_metric, TrainConfig, TrainedModel};
+use costream_dsps::CostMetric;
+use serde::{Deserialize, Serialize};
+
+/// An ensemble of models for one cost metric.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Ensemble {
+    /// The metric all members predict.
+    pub metric: CostMetric,
+    members: Vec<TrainedModel>,
+}
+
+impl Ensemble {
+    /// Trains `k` models with different seeds on the same corpus.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn train(corpus: &Corpus, metric: CostMetric, cfg: &TrainConfig, k: usize) -> Self {
+        assert!(k > 0, "an ensemble needs at least one member");
+        let members = (0..k)
+            .map(|i| train_metric(corpus, metric, &cfg.with_seed(cfg.seed.wrapping_add(1 + i as u64))))
+            .collect();
+        Ensemble { metric, members }
+    }
+
+    /// Wraps already-trained models.
+    ///
+    /// # Panics
+    /// Panics if the members are empty or predict different metrics.
+    pub fn from_members(members: Vec<TrainedModel>) -> Self {
+        assert!(!members.is_empty(), "empty ensemble");
+        let metric = members[0].metric;
+        assert!(members.iter().all(|m| m.metric == metric), "mixed-metric ensemble");
+        Ensemble { metric, members }
+    }
+
+    /// Number of ensemble members.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The individual members.
+    pub fn members(&self) -> &[TrainedModel] {
+        &self.members
+    }
+
+    /// Combined prediction for prepared graphs: the mean for regression
+    /// metrics, the majority-vote probability (fraction of members voting
+    /// positive) for classification metrics.
+    pub fn predict_graphs(&self, graphs: &[&JointGraph]) -> Vec<f64> {
+        let per_member: Vec<Vec<f64>> = self.members.iter().map(|m| m.predict_graphs(graphs)).collect();
+        let n = graphs.len();
+        (0..n)
+            .map(|i| {
+                if self.metric.is_regression() {
+                    per_member.iter().map(|p| p[i]).sum::<f64>() / self.members.len() as f64
+                } else {
+                    let votes = per_member.iter().filter(|p| p[i] > 0.5).count();
+                    votes as f64 / self.members.len() as f64
+                }
+            })
+            .collect()
+    }
+
+    /// Combined prediction for corpus items.
+    pub fn predict_items(&self, items: &[&CorpusItem]) -> Vec<f64> {
+        let graphs: Vec<JointGraph> = items.iter().map(|i| i.graph(self.members[0].featurization)).collect();
+        let refs: Vec<&JointGraph> = graphs.iter().collect();
+        self.predict_graphs(&refs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qerror::QErrorSummary;
+    use costream_dsps::SimConfig;
+    use costream_query::ranges::FeatureRanges;
+
+    fn quick_cfg() -> TrainConfig {
+        TrainConfig { epochs: 10, batch_size: 16, ..Default::default() }
+    }
+
+    #[test]
+    fn ensemble_mean_matches_member_mean() {
+        let corpus = Corpus::generate(80, 31, FeatureRanges::training(), &SimConfig::default());
+        let e = Ensemble::train(&corpus, CostMetric::Throughput, &quick_cfg(), 3);
+        assert_eq!(e.size(), 3);
+        let items: Vec<&CorpusItem> = corpus.items.iter().take(5).collect();
+        let combined = e.predict_items(&items);
+        let members: Vec<Vec<f64>> = e.members().iter().map(|m| m.predict_items(&items)).collect();
+        for i in 0..items.len() {
+            let mean = members.iter().map(|m| m[i]).sum::<f64>() / 3.0;
+            assert!((combined[i] - mean).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn members_differ_but_agree_roughly() {
+        let corpus = Corpus::generate(100, 32, FeatureRanges::training(), &SimConfig::default());
+        let e = Ensemble::train(&corpus, CostMetric::Throughput, &quick_cfg(), 2);
+        let items: Vec<&CorpusItem> = corpus.successful();
+        let a = e.members()[0].predict_items(&items);
+        let b = e.members()[1].predict_items(&items);
+        assert_ne!(a, b, "seed-varied members must differ");
+    }
+
+    #[test]
+    fn classification_vote_is_fraction() {
+        let corpus = Corpus::generate(100, 33, FeatureRanges::training(), &SimConfig::default());
+        let e = Ensemble::train(&corpus, CostMetric::Success, &quick_cfg(), 3);
+        let items: Vec<&CorpusItem> = corpus.items.iter().take(10).collect();
+        for p in e.predict_items(&items) {
+            // With 3 voters the possible fractions are 0, 1/3, 2/3, 1.
+            let scaled = p * 3.0;
+            assert!((scaled - scaled.round()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ensemble_no_worse_than_worst_member() {
+        let corpus = Corpus::generate(120, 34, FeatureRanges::training(), &SimConfig::default());
+        let e = Ensemble::train(&corpus, CostMetric::E2eLatency, &quick_cfg(), 3);
+        let items = corpus.successful();
+        let truth: Vec<f64> = items.iter().map(|i| i.metrics.e2e_latency_ms).collect();
+        let q50_of = |preds: &[f64]| {
+            QErrorSummary::of(&truth.iter().zip(preds).map(|(&t, &p)| (t, p)).collect::<Vec<_>>()).q50
+        };
+        let combined = q50_of(&e.predict_items(&items));
+        let worst = e.members().iter().map(|m| q50_of(&m.predict_items(&items))).fold(0.0, f64::max);
+        assert!(combined <= worst * 1.05, "ensemble {combined} vs worst member {worst}");
+    }
+
+    #[test]
+    #[should_panic(expected = "mixed-metric")]
+    fn mixed_metric_members_rejected() {
+        let corpus = Corpus::generate(40, 35, FeatureRanges::training(), &SimConfig::default());
+        let a = train_metric(&corpus, CostMetric::Throughput, &quick_cfg());
+        let b = train_metric(&corpus, CostMetric::Success, &quick_cfg());
+        let _ = Ensemble::from_members(vec![a, b]);
+    }
+}

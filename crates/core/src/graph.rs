@@ -1,0 +1,206 @@
+//! The joint operator-resource graph (§III-A).
+//!
+//! A [`JointGraph`] merges the logical query DAG, the data sources/sinks,
+//! and the hardware nodes into one learnable graph: operator vertices carry
+//! the operator/data features of Table I, host vertices carry the hardware
+//! features, and directed edge sets describe (a) the logical data flow and
+//! (b) the operator placement (op ↔ host, in both directions, used by the
+//! OPS→HW and HW→OPS message-passing phases of Algorithm 1).
+
+use costream_query::features::{host_features, op_features, NodeType};
+use costream_query::hardware::Cluster;
+use costream_query::operators::Query;
+use costream_query::placement::Placement;
+use serde::{Deserialize, Serialize};
+
+/// Which parts of the joint representation are encoded — the featurization
+/// ablation of Exp 7a (Fig. 12).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Featurization {
+    /// Operators and data sources/sinks only: the model knows the query
+    /// logic but neither the placement nor the hardware.
+    QueryOnly,
+    /// Adds host nodes and placement edges (co-location is visible) but
+    /// masks the hardware features.
+    HardwareNodes,
+    /// The full scheme: host nodes with CPU/RAM/bandwidth/latency features.
+    Full,
+}
+
+/// One node of the joint graph.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GraphNode {
+    /// Node type, selecting the encoder and update MLPs.
+    pub node_type: NodeType,
+    /// Transferable feature vector (width = `node_type.feature_width()`).
+    pub features: Vec<f32>,
+}
+
+/// The joint operator-resource graph of one placed query.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct JointGraph {
+    /// All nodes; operator nodes first (index = `OpId`), then host nodes.
+    pub nodes: Vec<GraphNode>,
+    /// Logical data-flow edges `(from, to)` between operator nodes.
+    pub dataflow_edges: Vec<(usize, usize)>,
+    /// Placement edges `(op, host)`; traversed op→host in the OPS→HW phase
+    /// and host→op in the HW→OPS phase.
+    pub placement_edges: Vec<(usize, usize)>,
+    /// Topological wave of each operator node along the data flow
+    /// (sources are wave 0); `None` for host nodes.
+    pub waves: Vec<Option<usize>>,
+}
+
+impl JointGraph {
+    /// Builds the joint graph for a placed query.
+    ///
+    /// `est_sels` are the *estimated* selectivities per operator (the model
+    /// never sees true selectivities; see §IV-B).
+    pub fn build(
+        query: &Query,
+        cluster: &Cluster,
+        placement: &Placement,
+        est_sels: &[f64],
+        featurization: Featurization,
+    ) -> Self {
+        assert_eq!(est_sels.len(), query.len(), "one estimated selectivity per operator");
+        let schemas = query.output_schemas();
+        let mut nodes: Vec<GraphNode> = query
+            .ops()
+            .map(|(id, op)| GraphNode {
+                node_type: NodeType::of_op(op),
+                features: op_features(query, id, &schemas, est_sels[id]),
+            })
+            .collect();
+
+        let dataflow_edges: Vec<(usize, usize)> = query.edges().to_vec();
+        let mut placement_edges = Vec::new();
+
+        if featurization != Featurization::QueryOnly {
+            // One host node per *used* host, so co-location is structural:
+            // two operators on the same host share a host vertex.
+            let used = placement.hosts_used();
+            let mut host_node: Vec<Option<usize>> = vec![None; cluster.len()];
+            for &h in &used {
+                let idx = nodes.len();
+                let features = match featurization {
+                    Featurization::Full => host_features(cluster.host(h)),
+                    // Masked hardware: the node exists (placement is
+                    // visible) but carries no resource information.
+                    Featurization::HardwareNodes => vec![1.0; NodeType::Host.feature_width()],
+                    Featurization::QueryOnly => unreachable!(),
+                };
+                nodes.push(GraphNode { node_type: NodeType::Host, features });
+                host_node[h] = Some(idx);
+            }
+            for op in 0..query.len() {
+                let h = placement.host_of(op);
+                placement_edges.push((op, host_node[h].expect("used host has a node")));
+            }
+        }
+
+        // Topological waves over the dataflow for the SOURCES→OPS phase.
+        let order = query.topo_order().expect("valid query");
+        let mut waves: Vec<Option<usize>> = vec![None; nodes.len()];
+        for &op in &order {
+            let w = query.upstream(op).iter().map(|&u| waves[u].expect("topo order") + 1).max().unwrap_or(0);
+            waves[op] = Some(w);
+        }
+        JointGraph { nodes, dataflow_edges, placement_edges, waves }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of operator nodes (= number of query operators).
+    pub fn n_ops(&self) -> usize {
+        self.nodes.iter().filter(|n| n.node_type != NodeType::Host).count()
+    }
+
+    /// Highest wave index plus one (the number of dataflow waves).
+    pub fn n_waves(&self) -> usize {
+        self.waves.iter().flatten().max().map_or(0, |w| w + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use costream_query::generator::WorkloadGenerator;
+    use costream_query::ranges::FeatureRanges;
+    use costream_query::selectivity::SelectivityEstimator;
+
+    fn item(seed: u64) -> (costream_query::Query, Cluster, Placement, Vec<f64>) {
+        let mut g = WorkloadGenerator::new(seed, FeatureRanges::training());
+        let (q, c, p) = g.workload_item();
+        let sels = SelectivityEstimator::realistic(seed).estimate_query(&q);
+        (q, c, p, sels)
+    }
+
+    #[test]
+    fn full_graph_has_op_and_host_nodes() {
+        let (q, c, p, sels) = item(1);
+        let g = JointGraph::build(&q, &c, &p, &sels, Featurization::Full);
+        assert_eq!(g.n_ops(), q.len());
+        assert_eq!(g.len() - g.n_ops(), p.hosts_used().len());
+        assert_eq!(g.placement_edges.len(), q.len());
+        assert_eq!(g.dataflow_edges.len(), q.edges().len());
+    }
+
+    #[test]
+    fn query_only_graph_has_no_hosts() {
+        let (q, c, p, sels) = item(2);
+        let g = JointGraph::build(&q, &c, &p, &sels, Featurization::QueryOnly);
+        assert_eq!(g.len(), q.len());
+        assert!(g.placement_edges.is_empty());
+    }
+
+    #[test]
+    fn hardware_nodes_variant_masks_features() {
+        let (q, c, p, sels) = item(3);
+        let g = JointGraph::build(&q, &c, &p, &sels, Featurization::HardwareNodes);
+        let host_nodes: Vec<_> = g.nodes.iter().filter(|n| n.node_type == NodeType::Host).collect();
+        assert!(!host_nodes.is_empty());
+        for h in host_nodes {
+            assert!(h.features.iter().all(|&f| f == 1.0));
+        }
+    }
+
+    #[test]
+    fn colocated_ops_share_one_host_node() {
+        let (q, c, _p, sels) = item(4);
+        let all_on_one = Placement::new(vec![0; q.len()]);
+        let g = JointGraph::build(&q, &c, &all_on_one, &sels, Featurization::Full);
+        assert_eq!(g.len(), q.len() + 1);
+        let host_idx = q.len();
+        assert!(g.placement_edges.iter().all(|&(_, h)| h == host_idx));
+    }
+
+    #[test]
+    fn waves_increase_along_dataflow() {
+        let (q, c, p, sels) = item(5);
+        let g = JointGraph::build(&q, &c, &p, &sels, Featurization::Full);
+        for &(a, b) in &g.dataflow_edges {
+            assert!(g.waves[a].unwrap() < g.waves[b].unwrap());
+        }
+        assert!(g.n_waves() >= 2);
+    }
+
+    #[test]
+    fn feature_widths_match_node_types() {
+        for seed in 0..20 {
+            let (q, c, p, sels) = item(seed);
+            let g = JointGraph::build(&q, &c, &p, &sels, Featurization::Full);
+            for node in &g.nodes {
+                assert_eq!(node.features.len(), node.node_type.feature_width());
+            }
+        }
+    }
+}

@@ -1,0 +1,478 @@
+//! The Costream GNN (§III-B, Algorithm 1).
+//!
+//! Per-node-type encoder MLPs turn transferable features into hidden
+//! states; the states are then refined by the paper's three-phase message
+//! passing — operators→hardware, hardware→operators, sources→operators
+//! along the data flow — each update computing
+//! `h'_v = MLP'_T([Σ_{u∈children(v)} h'_u ‖ h_v])`; finally a sum readout
+//! over all node states feeds the output MLP. The *traditional* synchronous
+//! scheme of the Exp 7b ablation is available behind [`Scheme`].
+
+use crate::graph::JointGraph;
+use costream_nn::{Initializer, Mlp, NodeId, ParamStore, Tape};
+use costream_query::features::NodeType;
+use serde::{Deserialize, Serialize};
+
+/// Message-passing scheme (Exp 7b ablation, Fig. 13).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scheme {
+    /// The paper's scheme: OPS→HW, HW→OPS, SOURCES→OPS (Algorithm 1).
+    Costream,
+    /// Traditional GNN: several rounds in which every node is updated from
+    /// all of its neighbours simultaneously, regardless of node type.
+    Traditional,
+}
+
+/// Hyper-parameters of the GNN.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Width of the hidden states `h_v`.
+    pub hidden: usize,
+    /// Hidden width of the per-type encoder MLPs.
+    pub encoder_hidden: usize,
+    /// Hidden width of the per-type update MLPs.
+    pub update_hidden: usize,
+    /// Hidden width of the readout MLP.
+    pub readout_hidden: usize,
+    /// Message-passing scheme.
+    pub scheme: Scheme,
+    /// Rounds of synchronous updates for [`Scheme::Traditional`].
+    pub traditional_rounds: usize,
+    /// Weight-initialization seed (the ensemble members differ only here).
+    pub seed: u64,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        ModelConfig {
+            hidden: 32,
+            encoder_hidden: 48,
+            update_hidden: 48,
+            readout_hidden: 32,
+            scheme: Scheme::Costream,
+            traditional_rounds: 3,
+            seed: 0,
+        }
+    }
+}
+
+impl ModelConfig {
+    /// Returns a copy with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns a copy with a different message-passing scheme.
+    pub fn with_scheme(mut self, scheme: Scheme) -> Self {
+        self.scheme = scheme;
+        self
+    }
+}
+
+/// The GNN over joint operator-resource graphs. Output semantics depend on
+/// the trained metric: `log1p(cost)` for regression heads, a logit for
+/// classification heads (see [`crate::train`]).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GnnModel {
+    config: ModelConfig,
+    store: ParamStore,
+    encoders: Vec<Mlp>,
+    updaters: Vec<Mlp>,
+    readout: Mlp,
+}
+
+fn type_index(t: NodeType) -> usize {
+    NodeType::ALL.iter().position(|&x| x == t).expect("member of ALL")
+}
+
+impl GnnModel {
+    /// Creates a model with freshly initialized weights.
+    pub fn new(config: ModelConfig) -> Self {
+        let mut store = ParamStore::new();
+        let mut init = Initializer::new(config.seed);
+        let encoders = NodeType::ALL
+            .iter()
+            .map(|t| {
+                Mlp::new(
+                    &mut store,
+                    &mut init,
+                    &format!("enc.{}", t.name()),
+                    &[t.feature_width(), config.encoder_hidden, config.hidden],
+                )
+            })
+            .collect();
+        let updaters = NodeType::ALL
+            .iter()
+            .map(|t| {
+                Mlp::new(
+                    &mut store,
+                    &mut init,
+                    &format!("upd.{}", t.name()),
+                    &[2 * config.hidden, config.update_hidden, config.hidden],
+                )
+            })
+            .collect();
+        let readout = Mlp::new(&mut store, &mut init, "readout", &[config.hidden, config.readout_hidden, 1]);
+        GnnModel { config, store, encoders, updaters, readout }
+    }
+
+    /// The model's hyper-parameters.
+    pub fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    /// The parameter store (exposed for optimizers and fine-tuning).
+    pub fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+
+    /// Total number of trainable scalars.
+    pub fn parameter_count(&self) -> usize {
+        self.store.scalar_count()
+    }
+
+    /// Runs the forward pass over a batch of graphs; returns the tape and
+    /// the `(batch, 1)` output node. Kept public so the trainer can attach
+    /// losses and run backward on the same tape.
+    pub fn forward(&self, graphs: &[&JointGraph]) -> (Tape, NodeId) {
+        assert!(!graphs.is_empty(), "empty batch");
+        let h = self.config.hidden;
+        let mut tape = Tape::new();
+
+        // ---- batched node bookkeeping ----
+        let mut offsets = Vec::with_capacity(graphs.len());
+        let mut total = 0usize;
+        for g in graphs {
+            offsets.push(total);
+            total += g.len();
+        }
+        let node_type = |gi: usize, local: usize| graphs[gi].nodes[local].node_type;
+
+        // ---- per-type encoders ----
+        let mut h0 = tape.input(costream_nn::Tensor::zeros(total, h));
+        for (ti, t) in NodeType::ALL.iter().enumerate() {
+            let mut rows: Vec<f32> = Vec::new();
+            let mut globals: Vec<usize> = Vec::new();
+            for (gi, g) in graphs.iter().enumerate() {
+                for (li, node) in g.nodes.iter().enumerate() {
+                    if node.node_type == *t {
+                        rows.extend_from_slice(&node.features);
+                        globals.push(offsets[gi] + li);
+                    }
+                }
+            }
+            if globals.is_empty() {
+                continue;
+            }
+            let x = tape.input(costream_nn::Tensor::from_vec(globals.len(), t.feature_width(), rows));
+            let enc = self.encoders[ti].forward(&mut tape, &self.store, x);
+            let scattered = tape.segment_sum(enc, globals, total);
+            h0 = tape.add(h0, scattered);
+        }
+
+        // ---- message passing ----
+        let mut cur = h0;
+        match self.config.scheme {
+            Scheme::Costream => {
+                // Phase 1: OPS→HW — update host nodes from the operators
+                // placed on them.
+                let mut host_targets: Vec<usize> = Vec::new();
+                let mut ophw_edges: Vec<(usize, usize)> = Vec::new();
+                let mut hwop_edges: Vec<(usize, usize)> = Vec::new();
+                for (gi, g) in graphs.iter().enumerate() {
+                    for (li, node) in g.nodes.iter().enumerate() {
+                        if node.node_type == NodeType::Host {
+                            host_targets.push(offsets[gi] + li);
+                        }
+                    }
+                    for &(op, hn) in &g.placement_edges {
+                        ophw_edges.push((offsets[gi] + op, offsets[gi] + hn));
+                        hwop_edges.push((offsets[gi] + hn, offsets[gi] + op));
+                    }
+                }
+                if !host_targets.is_empty() {
+                    cur = self.update_wave(&mut tape, cur, h0, total, &host_targets, &ophw_edges, |_, _| NodeType::Host);
+                    // Phase 2: HW→OPS — update all operator nodes from their
+                    // host.
+                    let mut op_targets: Vec<usize> = Vec::new();
+                    for (gi, g) in graphs.iter().enumerate() {
+                        for (li, node) in g.nodes.iter().enumerate() {
+                            if node.node_type != NodeType::Host {
+                                op_targets.push(offsets[gi] + li);
+                            }
+                        }
+                    }
+                    let nt = |gi: usize, li: usize| node_type(gi, li);
+                    cur = self.update_wave_typed(&mut tape, cur, h0, total, &op_targets, &hwop_edges, graphs, &offsets, nt);
+                }
+                // Phase 3: SOURCES→OPS — topological waves along the data
+                // flow.
+                let n_waves = graphs.iter().map(|g| g.n_waves()).max().unwrap_or(0);
+                for w in 0..n_waves {
+                    let mut targets: Vec<usize> = Vec::new();
+                    let mut edges: Vec<(usize, usize)> = Vec::new();
+                    for (gi, g) in graphs.iter().enumerate() {
+                        for (li, wave) in g.waves.iter().enumerate() {
+                            if *wave == Some(w) {
+                                targets.push(offsets[gi] + li);
+                            }
+                        }
+                        for &(a, b) in &g.dataflow_edges {
+                            if g.waves[b] == Some(w) {
+                                edges.push((offsets[gi] + a, offsets[gi] + b));
+                            }
+                        }
+                    }
+                    if targets.is_empty() {
+                        continue;
+                    }
+                    let nt = |gi: usize, li: usize| node_type(gi, li);
+                    cur = self.update_wave_typed(&mut tape, cur, h0, total, &targets, &edges, graphs, &offsets, nt);
+                }
+            }
+            Scheme::Traditional => {
+                // Undirected neighbourhood: dataflow + placement edges in
+                // both directions; all nodes updated each round.
+                let mut edges: Vec<(usize, usize)> = Vec::new();
+                let mut targets: Vec<usize> = Vec::new();
+                for (gi, g) in graphs.iter().enumerate() {
+                    for li in 0..g.len() {
+                        targets.push(offsets[gi] + li);
+                    }
+                    for &(a, b) in g.dataflow_edges.iter().chain(&g.placement_edges) {
+                        edges.push((offsets[gi] + a, offsets[gi] + b));
+                        edges.push((offsets[gi] + b, offsets[gi] + a));
+                    }
+                }
+                for _ in 0..self.config.traditional_rounds {
+                    let nt = |gi: usize, li: usize| node_type(gi, li);
+                    cur = self.update_wave_typed(&mut tape, cur, h0, total, &targets, &edges, graphs, &offsets, nt);
+                }
+            }
+        }
+
+        // ---- readout: sum all node states per graph, then the output MLP.
+        let mut graph_of: Vec<usize> = Vec::with_capacity(total);
+        for (gi, g) in graphs.iter().enumerate() {
+            graph_of.extend(std::iter::repeat_n(gi, g.len()));
+        }
+        let pooled = tape.segment_sum(cur, graph_of, graphs.len());
+        let out = self.readout.forward(&mut tape, &self.store, pooled);
+        (tape, out)
+    }
+
+    /// Raw scalar outputs for a batch of graphs (log-space cost or logit,
+    /// depending on what the model was trained for).
+    pub fn predict_raw(&self, graphs: &[&JointGraph]) -> Vec<f32> {
+        let (tape, out) = self.forward(graphs);
+        tape.value(out).data().to_vec()
+    }
+
+    /// One update where all targets share a single node type.
+    fn update_wave(
+        &self,
+        tape: &mut Tape,
+        cur: NodeId,
+        h0: NodeId,
+        total: usize,
+        targets: &[usize],
+        edges: &[(usize, usize)],
+        _t: impl Fn(usize, usize) -> NodeType,
+    ) -> NodeId {
+        let inp = self.wave_input(tape, cur, h0, targets, edges);
+        let out = self.updaters[type_index(NodeType::Host)].forward(tape, &self.store, inp);
+        self.replace_rows(tape, cur, out, targets, total)
+    }
+
+    /// One update over targets of mixed node types: rows are routed through
+    /// the update MLP of their node type.
+    #[allow(clippy::too_many_arguments)]
+    fn update_wave_typed(
+        &self,
+        tape: &mut Tape,
+        cur: NodeId,
+        h0: NodeId,
+        total: usize,
+        targets: &[usize],
+        edges: &[(usize, usize)],
+        graphs: &[&JointGraph],
+        offsets: &[usize],
+        _nt: impl Fn(usize, usize) -> NodeType,
+    ) -> NodeId {
+        let inp = self.wave_input(tape, cur, h0, targets, edges);
+        // Node type of each target row.
+        let type_of_global = |g: usize| -> NodeType {
+            let gi = match offsets.binary_search(&g) {
+                Ok(i) => i,
+                Err(i) => i - 1,
+            };
+            graphs[gi].nodes[g - offsets[gi]].node_type
+        };
+        let mut updated = tape.input(costream_nn::Tensor::zeros(total, self.config.hidden));
+        for (ti, t) in NodeType::ALL.iter().enumerate() {
+            let rows: Vec<usize> =
+                (0..targets.len()).filter(|&r| type_of_global(targets[r]) == *t).collect();
+            if rows.is_empty() {
+                continue;
+            }
+            let globals: Vec<usize> = rows.iter().map(|&r| targets[r]).collect();
+            let sub = tape.gather_rows(inp, rows);
+            let out = self.updaters[ti].forward(tape, &self.store, sub);
+            let scattered = tape.segment_sum(out, globals, total);
+            updated = tape.add(updated, scattered);
+        }
+        // Keep non-target rows from `cur`.
+        let target_set: std::collections::HashSet<usize> = targets.iter().copied().collect();
+        let keep: Vec<usize> = (0..total).filter(|g| !target_set.contains(g)).collect();
+        if keep.is_empty() {
+            updated
+        } else {
+            let kept = tape.gather_rows(cur, keep.clone());
+            let kept = tape.segment_sum(kept, keep, total);
+            tape.add(updated, kept)
+        }
+    }
+
+    /// `[Σ_children h'_u ‖ h_v]` for each target.
+    fn wave_input(&self, tape: &mut Tape, cur: NodeId, h0: NodeId, targets: &[usize], edges: &[(usize, usize)]) -> NodeId {
+        let pos_of: std::collections::HashMap<usize, usize> =
+            targets.iter().enumerate().map(|(p, &g)| (g, p)).collect();
+        let mut child_rows: Vec<usize> = Vec::new();
+        let mut segs: Vec<usize> = Vec::new();
+        for &(child, target) in edges {
+            if let Some(&p) = pos_of.get(&target) {
+                child_rows.push(child);
+                segs.push(p);
+            }
+        }
+        let children = tape.gather_rows(cur, child_rows);
+        let child_sum = tape.segment_sum(children, segs, targets.len());
+        let own = tape.gather_rows(h0, targets.to_vec());
+        tape.concat_cols(child_sum, own)
+    }
+
+    /// Replaces `targets` rows of `cur` with `rows`, keeping all others.
+    fn replace_rows(&self, tape: &mut Tape, cur: NodeId, rows: NodeId, targets: &[usize], total: usize) -> NodeId {
+        let scattered = tape.segment_sum(rows, targets.to_vec(), total);
+        let target_set: std::collections::HashSet<usize> = targets.iter().copied().collect();
+        let keep: Vec<usize> = (0..total).filter(|g| !target_set.contains(g)).collect();
+        if keep.is_empty() {
+            return scattered;
+        }
+        let kept = tape.gather_rows(cur, keep.clone());
+        let kept = tape.segment_sum(kept, keep, total);
+        tape.add(scattered, kept)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Featurization;
+    use costream_query::generator::WorkloadGenerator;
+    use costream_query::ranges::FeatureRanges;
+    use costream_query::selectivity::SelectivityEstimator;
+
+    fn graphs(n: usize, featurization: Featurization) -> Vec<JointGraph> {
+        let mut g = WorkloadGenerator::new(7, FeatureRanges::training());
+        let mut e = SelectivityEstimator::realistic(8);
+        (0..n)
+            .map(|_| {
+                let (q, c, p) = g.workload_item();
+                let sels = e.estimate_query(&q);
+                JointGraph::build(&q, &c, &p, &sels, featurization)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn forward_produces_one_output_per_graph() {
+        let gs = graphs(5, Featurization::Full);
+        let model = GnnModel::new(ModelConfig::default());
+        let refs: Vec<&JointGraph> = gs.iter().collect();
+        let out = model.predict_raw(&refs);
+        assert_eq!(out.len(), 5);
+        assert!(out.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn forward_works_without_host_nodes() {
+        let gs = graphs(3, Featurization::QueryOnly);
+        let model = GnnModel::new(ModelConfig::default());
+        let refs: Vec<&JointGraph> = gs.iter().collect();
+        let out = model.predict_raw(&refs);
+        assert_eq!(out.len(), 3);
+        assert!(out.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn traditional_scheme_runs() {
+        let gs = graphs(3, Featurization::Full);
+        let model = GnnModel::new(ModelConfig::default().with_scheme(Scheme::Traditional));
+        let refs: Vec<&JointGraph> = gs.iter().collect();
+        let out = model.predict_raw(&refs);
+        assert_eq!(out.len(), 3);
+        assert!(out.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn batching_matches_single_graph_forward() {
+        let gs = graphs(4, Featurization::Full);
+        let model = GnnModel::new(ModelConfig::default());
+        let refs: Vec<&JointGraph> = gs.iter().collect();
+        let batched = model.predict_raw(&refs);
+        for (i, g) in gs.iter().enumerate() {
+            let single = model.predict_raw(&[g]);
+            assert!(
+                (batched[i] - single[0]).abs() < 1e-4,
+                "graph {i}: batched {} vs single {}",
+                batched[i],
+                single[0]
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_different_predictions() {
+        let gs = graphs(1, Featurization::Full);
+        let a = GnnModel::new(ModelConfig::default().with_seed(1));
+        let b = GnnModel::new(ModelConfig::default().with_seed(2));
+        assert_ne!(a.predict_raw(&[&gs[0]]), b.predict_raw(&[&gs[0]]));
+    }
+
+    #[test]
+    fn placement_changes_prediction() {
+        // The whole point of the joint graph: the same query on different
+        // placements must produce different model inputs/outputs.
+        let mut wg = WorkloadGenerator::new(9, FeatureRanges::training());
+        let q = wg.query();
+        let c = wg.cluster(4);
+        let mut e = SelectivityEstimator::exact(1);
+        let sels = e.estimate_query(&q);
+        let p1 = costream_query::placement::colocate_on_strongest(&q, &c);
+        let p2 = costream_query::Placement::new(vec![0; q.len()]);
+        let g1 = JointGraph::build(&q, &c, &p1, &sels, Featurization::Full);
+        let g2 = JointGraph::build(&q, &c, &p2, &sels, Featurization::Full);
+        let model = GnnModel::new(ModelConfig::default());
+        let o1 = model.predict_raw(&[&g1]);
+        let o2 = model.predict_raw(&[&g2]);
+        assert_ne!(o1, o2);
+    }
+
+    #[test]
+    fn parameter_count_is_substantial() {
+        let model = GnnModel::new(ModelConfig::default());
+        assert!(model.parameter_count() > 10_000, "{}", model.parameter_count());
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_predictions() {
+        let gs = graphs(2, Featurization::Full);
+        let model = GnnModel::new(ModelConfig::default());
+        let json = serde_json::to_string(&model).expect("serialize");
+        let restored: GnnModel = serde_json::from_str(&json).expect("deserialize");
+        let refs: Vec<&JointGraph> = gs.iter().collect();
+        assert_eq!(model.predict_raw(&refs), restored.predict_raw(&refs));
+    }
+}

@@ -1,0 +1,110 @@
+//! Monetary cost estimation — the paper's outlook (§IX) names "extending
+//! Costream for metrics related to cloud deployments like predicting
+//! monetary costs" as a natural extension. This module provides the
+//! deterministic half of that: a cloud-style pricing model that turns a
+//! placement and a predicted runtime into dollars, so a trained cost
+//! ensemble plus [`placement_cost_per_hour`] can rank placements by price
+//! instead of latency.
+
+use costream_query::hardware::{Cluster, Host};
+use costream_query::placement::Placement;
+use serde::{Deserialize, Serialize};
+
+/// A simple linear cloud pricing model (rates per hour).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct PricingModel {
+    /// Dollars per reference core per hour.
+    pub per_core_hour: f64,
+    /// Dollars per GB of RAM per hour.
+    pub per_gb_ram_hour: f64,
+    /// Dollars per GB of network egress.
+    pub per_gb_egress: f64,
+    /// Fixed instance-hour overhead.
+    pub per_instance_hour: f64,
+}
+
+impl Default for PricingModel {
+    fn default() -> Self {
+        // Ballpark public-cloud on-demand rates.
+        PricingModel { per_core_hour: 0.045, per_gb_ram_hour: 0.006, per_gb_egress: 0.08, per_instance_hour: 0.005 }
+    }
+}
+
+impl PricingModel {
+    /// Hourly price of renting one host.
+    pub fn host_per_hour(&self, host: &Host) -> f64 {
+        self.per_instance_hour + (host.cpu / 100.0) * self.per_core_hour + (host.ram_mb / 1024.0) * self.per_gb_ram_hour
+    }
+}
+
+/// Hourly infrastructure cost of a placement: the sum of the hourly rates
+/// of the hosts it actually uses (unused cluster hosts cost nothing — they
+/// can serve other queries).
+pub fn placement_cost_per_hour(cluster: &Cluster, placement: &Placement, pricing: &PricingModel) -> f64 {
+    placement.hosts_used().iter().map(|&h| pricing.host_per_hour(cluster.host(h))).sum()
+}
+
+/// Total monetary cost of running a query for `hours`, including network
+/// egress for an (estimated or measured) cross-host traffic volume in
+/// bytes/s.
+pub fn query_cost(
+    cluster: &Cluster,
+    placement: &Placement,
+    pricing: &PricingModel,
+    hours: f64,
+    cross_host_bytes_per_s: f64,
+) -> f64 {
+    let egress_gb = cross_host_bytes_per_s * hours * 3600.0 / 1e9;
+    placement_cost_per_hour(cluster, placement, pricing) * hours + egress_gb * pricing.per_gb_egress
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use costream_query::hardware::Host;
+
+    fn cluster() -> Cluster {
+        Cluster::new(vec![
+            Host { cpu: 100.0, ram_mb: 2048.0, bandwidth_mbits: 100.0, latency_ms: 10.0 },
+            Host { cpu: 800.0, ram_mb: 32768.0, bandwidth_mbits: 10000.0, latency_ms: 1.0 },
+        ])
+    }
+
+    #[test]
+    fn bigger_hosts_cost_more() {
+        let p = PricingModel::default();
+        let c = cluster();
+        assert!(p.host_per_hour(c.host(1)) > p.host_per_hour(c.host(0)));
+    }
+
+    #[test]
+    fn unused_hosts_are_free() {
+        let p = PricingModel::default();
+        let c = cluster();
+        let edge_only = Placement::new(vec![0, 0, 0]);
+        let both = Placement::new(vec![0, 1, 1]);
+        assert!(placement_cost_per_hour(&c, &edge_only, &p) < placement_cost_per_hour(&c, &both, &p));
+    }
+
+    #[test]
+    fn cost_scales_linearly_with_time() {
+        let p = PricingModel::default();
+        let c = cluster();
+        let pl = Placement::new(vec![0, 1, 1]);
+        let one = query_cost(&c, &pl, &p, 1.0, 0.0);
+        let ten = query_cost(&c, &pl, &p, 10.0, 0.0);
+        assert!((ten - 10.0 * one).abs() < 1e-9);
+    }
+
+    #[test]
+    fn egress_adds_cost() {
+        let p = PricingModel::default();
+        let c = cluster();
+        let pl = Placement::new(vec![0, 1, 1]);
+        let quiet = query_cost(&c, &pl, &p, 1.0, 0.0);
+        let chatty = query_cost(&c, &pl, &p, 1.0, 10e6);
+        assert!(chatty > quiet);
+        // 10 MB/s for an hour = 36 GB.
+        assert!((chatty - quiet - 36.0 * p.per_gb_egress).abs() < 1e-6);
+    }
+}

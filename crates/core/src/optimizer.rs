@@ -1,0 +1,235 @@
+//! Placement selection with Costream (§V, Figs. 4–5).
+//!
+//! The optimizer enumerates placement candidates with the heuristic search
+//! strategy (random valid placements under the co-location / increasing-
+//! capability / acyclicity rules), predicts the costs of every candidate,
+//! filters out candidates predicted to fail or to be backpressured, and
+//! picks the best remaining one according to the target metric.
+
+use crate::ensemble::Ensemble;
+use crate::graph::{Featurization, JointGraph};
+use costream_dsps::CostMetric;
+use costream_query::hardware::Cluster;
+use costream_query::operators::Query;
+use costream_query::placement::{colocate_on_strongest, sample_valid, Placement};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Enumerates up to `k` *distinct* placement candidates satisfying the
+/// rules of Fig. 5. The first candidate doubles as the "initial heuristic
+/// placement" baseline of Exp 2.
+pub fn enumerate_candidates(query: &Query, cluster: &Cluster, k: usize, seed: u64) -> Vec<Placement> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen: std::collections::HashSet<Vec<usize>> = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    // Generous retry budget: distinct valid placements can be scarce on
+    // small clusters.
+    for _ in 0..k * 20 {
+        if out.len() >= k {
+            break;
+        }
+        if let Some(p) = sample_valid(query, cluster, &mut rng) {
+            if seen.insert(p.assignment().to_vec()) {
+                out.push(p);
+            }
+        }
+    }
+    if out.is_empty() {
+        out.push(colocate_on_strongest(query, cluster));
+    }
+    out
+}
+
+/// Cost predictions for one placement candidate.
+#[derive(Clone, Debug)]
+pub struct CandidateEvaluation {
+    /// The candidate placement.
+    pub placement: Placement,
+    /// Ensemble prediction of the target metric.
+    pub predicted_cost: f64,
+    /// Majority-vote probability that the query executes successfully.
+    pub predicted_success: f64,
+    /// Majority-vote probability that the query is backpressured.
+    pub predicted_backpressure: f64,
+}
+
+/// Outcome of a placement optimization.
+#[derive(Clone, Debug)]
+pub struct OptimizationResult {
+    /// The chosen placement (the initial heuristic placement when every
+    /// candidate was filtered out — §V falls back rather than failing).
+    pub best: Placement,
+    /// The initial heuristic placement (first enumerated candidate), the
+    /// baseline the speed-up factors of Fig. 9 are measured against.
+    pub initial: Placement,
+    /// All evaluated candidates.
+    pub candidates: Vec<CandidateEvaluation>,
+    /// True when the sanity filters removed every candidate.
+    pub all_filtered: bool,
+}
+
+/// The Costream placement optimizer of Fig. 4.
+pub struct PlacementOptimizer<'a> {
+    target: &'a Ensemble,
+    success: &'a Ensemble,
+    backpressure: &'a Ensemble,
+    /// Number of candidates to enumerate.
+    pub k: usize,
+}
+
+impl<'a> PlacementOptimizer<'a> {
+    /// Creates an optimizer from the three required ensembles: the target
+    /// metric (minimized if a latency, maximized if throughput) plus the
+    /// query-success and backpressure sanity models.
+    ///
+    /// # Panics
+    /// Panics if the ensembles' metrics do not match their roles.
+    pub fn new(target: &'a Ensemble, success: &'a Ensemble, backpressure: &'a Ensemble, k: usize) -> Self {
+        assert!(target.metric.is_regression(), "target must be a regression metric");
+        assert_eq!(success.metric, CostMetric::Success);
+        assert_eq!(backpressure.metric, CostMetric::Backpressure);
+        PlacementOptimizer { target, success, backpressure, k }
+    }
+
+    /// Runs the placement procedure of Fig. 4 for one query.
+    pub fn optimize(
+        &self,
+        query: &Query,
+        cluster: &Cluster,
+        est_sels: &[f64],
+        featurization: Featurization,
+        seed: u64,
+    ) -> OptimizationResult {
+        let candidates = enumerate_candidates(query, cluster, self.k, seed);
+        let initial = candidates[0].clone();
+        let graphs: Vec<JointGraph> =
+            candidates.iter().map(|p| JointGraph::build(query, cluster, p, est_sels, featurization)).collect();
+        let refs: Vec<&JointGraph> = graphs.iter().collect();
+        let cost = self.target.predict_graphs(&refs);
+        let succ = self.success.predict_graphs(&refs);
+        let bp = self.backpressure.predict_graphs(&refs);
+
+        let evaluations: Vec<CandidateEvaluation> = candidates
+            .into_iter()
+            .enumerate()
+            .map(|(i, placement)| CandidateEvaluation {
+                placement,
+                predicted_cost: cost[i],
+                predicted_success: succ[i],
+                predicted_backpressure: bp[i],
+            })
+            .collect();
+
+        // Sanity filter: drop candidates predicted to fail or to be
+        // backpressured (majority vote ≥ 0.5).
+        let viable: Vec<&CandidateEvaluation> =
+            evaluations.iter().filter(|e| e.predicted_success >= 0.5 && e.predicted_backpressure < 0.5).collect();
+
+        let maximize = self.target.metric == CostMetric::Throughput;
+        let pick = |set: &[&CandidateEvaluation]| -> Placement {
+            let best = set
+                .iter()
+                .min_by(|a, b| {
+                    let (x, y) = if maximize {
+                        (-a.predicted_cost, -b.predicted_cost)
+                    } else {
+                        (a.predicted_cost, b.predicted_cost)
+                    };
+                    x.partial_cmp(&y).expect("finite predictions")
+                })
+                .expect("non-empty candidate set");
+            best.placement.clone()
+        };
+
+        let (best, all_filtered) = if viable.is_empty() {
+            // Everything predicted to fail: fall back to the least-bad
+            // candidate by predicted success probability.
+            let refs: Vec<&CandidateEvaluation> = evaluations.iter().collect();
+            (pick(&refs), true)
+        } else {
+            (pick(&viable), false)
+        };
+        OptimizationResult { best, initial, candidates: evaluations, all_filtered }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Corpus;
+    use crate::train::TrainConfig;
+    use costream_dsps::SimConfig;
+    use costream_query::generator::WorkloadGenerator;
+    use costream_query::ranges::FeatureRanges;
+    use costream_query::selectivity::SelectivityEstimator;
+
+    #[test]
+    fn enumeration_yields_distinct_valid_placements() {
+        let mut g = WorkloadGenerator::new(41, FeatureRanges::training());
+        let q = g.query();
+        let c = g.cluster(5);
+        let cands = enumerate_candidates(&q, &c, 10, 1);
+        assert!(!cands.is_empty());
+        let mut seen = std::collections::HashSet::new();
+        for p in &cands {
+            assert!(p.is_valid(&q, &c));
+            assert!(seen.insert(p.assignment().to_vec()), "duplicate candidate");
+        }
+    }
+
+    #[test]
+    fn enumeration_is_deterministic() {
+        let mut g = WorkloadGenerator::new(42, FeatureRanges::training());
+        let q = g.query();
+        let c = g.cluster(4);
+        let a = enumerate_candidates(&q, &c, 5, 7);
+        let b = enumerate_candidates(&q, &c, 5, 7);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.assignment(), y.assignment());
+        }
+    }
+
+    #[test]
+    fn optimizer_picks_lowest_predicted_latency_among_viable() {
+        let corpus = Corpus::generate(120, 43, FeatureRanges::training(), &SimConfig::default());
+        let cfg = TrainConfig { epochs: 8, ..Default::default() };
+        let target = Ensemble::train(&corpus, CostMetric::ProcessingLatency, &cfg, 2);
+        let success = Ensemble::train(&corpus, CostMetric::Success, &cfg, 2);
+        let bp = Ensemble::train(&corpus, CostMetric::Backpressure, &cfg, 2);
+        let opt = PlacementOptimizer::new(&target, &success, &bp, 8);
+
+        let mut g = WorkloadGenerator::new(44, FeatureRanges::training());
+        let q = g.query();
+        let c = g.cluster(5);
+        let sels = SelectivityEstimator::realistic(45).estimate_query(&q);
+        let result = opt.optimize(&q, &c, &sels, Featurization::Full, 9);
+        assert!(result.best.is_valid(&q, &c));
+        assert!(!result.candidates.is_empty());
+        if !result.all_filtered {
+            let viable: Vec<_> = result
+                .candidates
+                .iter()
+                .filter(|e| e.predicted_success >= 0.5 && e.predicted_backpressure < 0.5)
+                .collect();
+            let best_cost =
+                viable.iter().map(|e| e.predicted_cost).fold(f64::INFINITY, f64::min);
+            let chosen = result
+                .candidates
+                .iter()
+                .find(|e| e.placement == result.best)
+                .expect("best is a candidate");
+            assert!((chosen.predicted_cost - best_cost).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "target must be a regression metric")]
+    fn classification_target_rejected() {
+        let corpus = Corpus::generate(60, 46, FeatureRanges::training(), &SimConfig::default());
+        let cfg = TrainConfig { epochs: 2, ..Default::default() };
+        let s = Ensemble::train(&corpus, CostMetric::Success, &cfg, 1);
+        let b = Ensemble::train(&corpus, CostMetric::Backpressure, &cfg, 1);
+        let _ = PlacementOptimizer::new(&s, &s, &b, 4);
+    }
+}

@@ -1,0 +1,116 @@
+//! Evaluation metrics: the q-error for regression targets and accuracy for
+//! classification targets (§VII "Evaluation strategy").
+
+/// The q-error `q(c, ĉ) = max(c/ĉ, ĉ/c)` of one prediction; 1.0 is a
+/// perfect estimate. Values are floored at a small positive constant so
+/// zero-cost corner cases stay finite.
+pub fn q_error(actual: f64, predicted: f64) -> f64 {
+    let c = actual.max(1e-3);
+    let p = predicted.max(1e-3);
+    (c / p).max(p / c)
+}
+
+/// A percentile of a sample (nearest-rank). `p` in `[0, 1]`.
+///
+/// # Panics
+/// Panics if `values` is empty or `p` is outside `[0, 1]`.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    assert!(!values.is_empty(), "percentile of an empty sample");
+    assert!((0.0..=1.0).contains(&p), "p must be in [0,1]");
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in samples"));
+    let rank = ((p * v.len() as f64).ceil() as usize).clamp(1, v.len());
+    v[rank - 1]
+}
+
+/// Median (Q50).
+pub fn median(values: &[f64]) -> f64 {
+    percentile(values, 0.5)
+}
+
+/// Summary of q-errors over a test set: the median and 95th percentile the
+/// paper reports for every regression experiment.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QErrorSummary {
+    /// Median q-error (Q50).
+    pub q50: f64,
+    /// 95th-percentile q-error (Q95).
+    pub q95: f64,
+    /// Number of evaluated predictions.
+    pub n: usize,
+}
+
+impl QErrorSummary {
+    /// Computes the summary from (actual, predicted) pairs.
+    ///
+    /// # Panics
+    /// Panics if `pairs` is empty.
+    pub fn of(pairs: &[(f64, f64)]) -> Self {
+        let qs: Vec<f64> = pairs.iter().map(|&(c, p)| q_error(c, p)).collect();
+        QErrorSummary { q50: percentile(&qs, 0.5), q95: percentile(&qs, 0.95), n: qs.len() }
+    }
+}
+
+impl std::fmt::Display for QErrorSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Q50 {:.2}  Q95 {:.2}  (n={})", self.q50, self.q95, self.n)
+    }
+}
+
+/// Classification accuracy over (actual, predicted) boolean pairs.
+///
+/// # Panics
+/// Panics if `pairs` is empty.
+pub fn accuracy(pairs: &[(bool, bool)]) -> f64 {
+    assert!(!pairs.is_empty(), "accuracy of an empty sample");
+    pairs.iter().filter(|&&(a, p)| a == p).count() as f64 / pairs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_has_q_error_one() {
+        assert_eq!(q_error(10.0, 10.0), 1.0);
+    }
+
+    #[test]
+    fn q_error_symmetric_and_at_least_one() {
+        assert_eq!(q_error(10.0, 20.0), 2.0);
+        assert_eq!(q_error(20.0, 10.0), 2.0);
+        for (c, p) in [(1.0, 3.0), (0.1, 0.2), (5.0, 4.0)] {
+            assert!(q_error(c, p) >= 1.0);
+        }
+    }
+
+    #[test]
+    fn q_error_handles_zero() {
+        assert!(q_error(0.0, 100.0).is_finite());
+        assert!(q_error(100.0, 0.0) > 1000.0);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let v = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(median(&v), 3.0);
+        assert_eq!(percentile(&v, 0.95), 5.0);
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 1.0), 5.0);
+    }
+
+    #[test]
+    fn summary_on_known_pairs() {
+        let pairs = vec![(10.0, 10.0), (10.0, 20.0), (10.0, 5.0), (10.0, 10.0), (10.0, 100.0)];
+        let s = QErrorSummary::of(&pairs);
+        assert_eq!(s.q50, 2.0);
+        assert_eq!(s.q95, 10.0);
+        assert_eq!(s.n, 5);
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let pairs = vec![(true, true), (false, true), (false, false), (true, false)];
+        assert_eq!(accuracy(&pairs), 0.5);
+    }
+}

@@ -1,0 +1,212 @@
+//! Cost-based operator reordering — the first of the paper's proposed
+//! extensions (§I / §IX: "paves the road for potential extensions ...
+//! such as offline operator reordering \[19\]").
+//!
+//! Streaming filters commute: a chain `σ1 → σ2 → ... → σk` computes the
+//! same result in any order, but the *cost* differs — evaluating the most
+//! selective (and cheapest) predicate first shrinks the stream earliest.
+//! This module enumerates the alternative orders of every maximal filter
+//! chain in a query and uses a trained cost model to pick the best plan,
+//! exactly the way the placement optimizer picks among placements.
+
+use crate::ensemble::Ensemble;
+use crate::graph::{Featurization, JointGraph};
+use costream_dsps::CostMetric;
+use costream_query::hardware::Cluster;
+use costream_query::operators::{OpId, OpKind, Query};
+use costream_query::placement::Placement;
+
+/// A maximal chain of consecutive filter operators (each feeding only the
+/// next), identified by operator ids in flow order.
+fn filter_chains(query: &Query) -> Vec<Vec<OpId>> {
+    let mut chains = Vec::new();
+    let mut seen = vec![false; query.len()];
+    for (id, op) in query.ops() {
+        if !matches!(op, OpKind::Filter(_)) || seen[id] {
+            continue;
+        }
+        // Walk to the start of the chain.
+        let mut start = id;
+        loop {
+            let ups = query.upstream(start);
+            if ups.len() == 1 && matches!(query.op(ups[0]), OpKind::Filter(_)) {
+                start = ups[0];
+            } else {
+                break;
+            }
+        }
+        // Collect forward.
+        let mut chain = vec![start];
+        seen[start] = true;
+        let mut cur = start;
+        loop {
+            let downs = query.downstream(cur);
+            if downs.len() == 1 && matches!(query.op(downs[0]), OpKind::Filter(_)) {
+                cur = downs[0];
+                chain.push(cur);
+                seen[cur] = true;
+            } else {
+                break;
+            }
+        }
+        if chain.len() >= 2 {
+            chains.push(chain);
+        }
+    }
+    chains
+}
+
+fn permutations(items: &[OpId]) -> Vec<Vec<OpId>> {
+    if items.len() <= 1 {
+        return vec![items.to_vec()];
+    }
+    let mut out = Vec::new();
+    for (i, &head) in items.iter().enumerate() {
+        let mut rest = items.to_vec();
+        rest.remove(i);
+        for mut tail in permutations(&rest) {
+            let mut p = vec![head];
+            p.append(&mut tail);
+            out.push(p);
+        }
+    }
+    out
+}
+
+/// Rewrites a query with one filter chain reordered. The operator *slots*
+/// (ids, edges, placement) stay fixed; the filter *specifications* are
+/// permuted across the slots, so any existing placement remains valid.
+fn apply_order(query: &Query, chain: &[OpId], order: &[OpId]) -> Query {
+    let mut ops: Vec<OpKind> = query.ops().map(|(_, o)| o.clone()).collect();
+    for (slot, &src) in chain.iter().zip(order) {
+        ops[*slot] = query.op(src).clone();
+    }
+    Query::new(ops, query.edges().to_vec())
+}
+
+/// All alternative plans obtained by permuting one filter chain at a time
+/// (the original plan is always included, first). Chains longer than 4 are
+/// not fully enumerated (4! = 24 plans is the cap per chain).
+pub fn reorder_candidates(query: &Query) -> Vec<Query> {
+    let mut out = vec![query.clone()];
+    for chain in filter_chains(query) {
+        if chain.len() > 4 {
+            continue;
+        }
+        for order in permutations(&chain) {
+            if order != chain {
+                out.push(apply_order(query, &chain, &order));
+            }
+        }
+    }
+    out
+}
+
+/// Picks the best filter order for a placed query according to a trained
+/// cost ensemble (minimizing for latency metrics, maximizing throughput).
+///
+/// Returns `(best_query, predicted_cost)`; the placement is reused as-is
+/// because reordering only permutes filter specs across existing slots.
+pub fn reorder_with_model(
+    query: &Query,
+    cluster: &Cluster,
+    placement: &Placement,
+    est_sels: &[f64],
+    model: &Ensemble,
+    featurization: Featurization,
+) -> (Query, f64) {
+    assert!(model.metric.is_regression(), "reordering needs a cost (regression) model");
+    let candidates = reorder_candidates(query);
+    // Estimated selectivities follow their filter specs across slots: map
+    // by comparing operator specs.
+    let graphs: Vec<JointGraph> = candidates
+        .iter()
+        .map(|q| {
+            let sels: Vec<f64> = q
+                .ops()
+                .map(|(id, op)| {
+                    // Find the operator with the same spec in the original
+                    // query to reuse its estimate (specs are unique enough;
+                    // identical specs have identical estimates anyway).
+                    query
+                        .ops()
+                        .find(|(_, o)| *o == op)
+                        .map(|(oid, _)| est_sels[oid])
+                        .unwrap_or(est_sels[id])
+                })
+                .collect();
+            JointGraph::build(q, cluster, placement, &sels, featurization)
+        })
+        .collect();
+    let refs: Vec<&JointGraph> = graphs.iter().collect();
+    let costs = model.predict_graphs(&refs);
+    let maximize = model.metric == CostMetric::Throughput;
+    let best = (0..candidates.len())
+        .min_by(|&a, &b| {
+            let (x, y) = if maximize { (-costs[a], -costs[b]) } else { (costs[a], costs[b]) };
+            x.partial_cmp(&y).expect("finite costs")
+        })
+        .expect("at least the original plan");
+    (candidates[best].clone(), costs[best])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use costream_query::generator::WorkloadGenerator;
+    use costream_query::ranges::FeatureRanges;
+
+    fn chain_query(k: usize) -> Query {
+        let mut g = WorkloadGenerator::new(1, FeatureRanges::training());
+        g.filter_chain_query(k)
+    }
+
+    #[test]
+    fn chains_are_detected() {
+        let q = chain_query(3);
+        let chains = filter_chains(&q);
+        assert_eq!(chains.len(), 1);
+        assert_eq!(chains[0].len(), 3);
+    }
+
+    #[test]
+    fn single_filters_have_no_alternatives() {
+        let q = chain_query(1);
+        assert_eq!(reorder_candidates(&q).len(), 1);
+    }
+
+    #[test]
+    fn three_filter_chain_yields_six_orders() {
+        let q = chain_query(3);
+        let cands = reorder_candidates(&q);
+        assert_eq!(cands.len(), 6);
+        for c in &cands {
+            assert!(c.validate().is_ok());
+            // Same multiset of operators.
+            let mut a: Vec<String> = q.ops().map(|(_, o)| format!("{o:?}")).collect();
+            let mut b: Vec<String> = c.ops().map(|(_, o)| format!("{o:?}")).collect();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn reordered_plans_keep_placement_valid() {
+        let mut g = WorkloadGenerator::new(2, FeatureRanges::training());
+        let q = g.filter_chain_query(3);
+        let c = g.cluster(3);
+        let p = g.placement(&q, &c);
+        for cand in reorder_candidates(&q) {
+            assert!(p.is_valid(&cand, &c), "placement must survive reordering");
+        }
+    }
+
+    #[test]
+    fn queries_without_filters_are_untouched() {
+        use costream_query::generator::QueryTemplate;
+        let mut g = WorkloadGenerator::new(3, FeatureRanges::training());
+        let q = g.query_with(QueryTemplate::TwoWayJoin, 0, true);
+        assert_eq!(reorder_candidates(&q).len(), 1);
+    }
+}

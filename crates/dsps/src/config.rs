@@ -1,0 +1,99 @@
+//! Simulation configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one simulated query execution.
+///
+/// The defaults mirror the paper's measurement protocol (§VII): queries run
+/// for 4 minutes of stream time with labels collected after a warm-up
+/// period, long enough for several window emissions and for the broker's
+/// rate control to settle.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Simulated execution time in seconds.
+    pub duration_s: f64,
+    /// Fluid-simulation tick length in seconds.
+    pub dt_s: f64,
+    /// Warm-up period excluded from latency/throughput measurement.
+    pub warmup_s: f64,
+    /// Per-operator input queue capacity in tuples (Storm's executor
+    /// queues plus max-spout-pending in-flight tuples; overflow pushes
+    /// back to the broker). Queued tuples live on the worker's heap, so
+    /// sustained backpressure also creates memory pressure — the paper's
+    /// "backpressure ... leading to delays and even query crashes".
+    pub queue_capacity: f64,
+    /// Log-normal noise applied per run to operator service costs,
+    /// emulating run-to-run variance of a real cluster. 0 disables noise.
+    pub cost_noise_sigma: f64,
+    /// Log-normal noise applied to the measured labels (throughput and
+    /// latencies), emulating measurement error. 0 disables noise.
+    pub label_noise_sigma: f64,
+    /// RNG seed for the noise processes.
+    pub seed: u64,
+    /// Fraction of desired ingest above which a stream counts as
+    /// backpressured (Definition 4 measures the queued-tuple rate R at the
+    /// broker; real deployments show residual jitter, so a small tolerance
+    /// separates "noise" from real backpressure).
+    pub backpressure_threshold: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            duration_s: 240.0,
+            dt_s: 0.5,
+            warmup_s: 30.0,
+            queue_capacity: 100_000.0,
+            cost_noise_sigma: 0.08,
+            label_noise_sigma: 0.04,
+            seed: 0,
+            backpressure_threshold: 0.01,
+        }
+    }
+}
+
+impl SimConfig {
+    /// A deterministic configuration without any noise, for tests and
+    /// analytical comparisons.
+    pub fn deterministic() -> Self {
+        SimConfig { cost_noise_sigma: 0.0, label_noise_sigma: 0.0, ..Default::default() }
+    }
+
+    /// Returns a copy with a different seed (the corpus generator runs one
+    /// simulation per workload item with item-specific seeds).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Number of simulation ticks.
+    pub fn ticks(&self) -> usize {
+        (self.duration_s / self.dt_s).ceil() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_runs_four_minutes() {
+        let c = SimConfig::default();
+        assert_eq!(c.duration_s, 240.0);
+        assert_eq!(c.ticks(), 480);
+    }
+
+    #[test]
+    fn deterministic_has_no_noise() {
+        let c = SimConfig::deterministic();
+        assert_eq!(c.cost_noise_sigma, 0.0);
+        assert_eq!(c.label_noise_sigma, 0.0);
+    }
+
+    #[test]
+    fn with_seed_changes_only_seed() {
+        let c = SimConfig::default().with_seed(99);
+        assert_eq!(c.seed, 99);
+        assert_eq!(c.duration_s, SimConfig::default().duration_s);
+    }
+}

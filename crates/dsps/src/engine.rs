@@ -1,0 +1,615 @@
+//! The fluid (time-stepped queueing) simulator of a Storm-like DSPS.
+//!
+//! One [`simulate`] call executes a placed query against a cluster and
+//! measures the five cost metrics of §IV-A. The model is a discrete-time
+//! fluid approximation of the real engine:
+//!
+//! * every operator is a fluid queue served at a rate bounded by its share
+//!   of the host's CPU (processor sharing with work-conserving
+//!   water-filling across co-located operators);
+//! * a Kafka-like broker feeds each source; when the query cannot keep up,
+//!   tuples accumulate at the broker — the backpressure rate `R` of
+//!   Definition 4 — and add broker waiting time to the end-to-end latency
+//!   (Definition 3);
+//! * downstream operators grant credits to upstream operators so bounded
+//!   internal queues propagate pressure upstream like Storm's max-spout
+//!   pending / disruptor queues;
+//! * cross-host edges pay link latency and are throttled by the egress
+//!   host's bandwidth;
+//! * window state and queue backlogs consume host memory; high utilization
+//!   triggers GC slowdown and ultimately a crash (query success = 0,
+//!   Definition 5).
+//!
+//! The latency of a tick is the critical-path sum of per-operator
+//! residence times (M/M/1-style congestion wait + fluid queue drain time +
+//! window residence) plus network latencies — the "oldest contributing
+//! input tuple" reading of Definitions 2/3.
+
+use crate::config::SimConfig;
+use crate::cost::ExecutionProfile;
+use crate::memory;
+use crate::metrics::CostMetrics;
+use crate::trace::RunTrace;
+use costream_query::hardware::Cluster;
+use costream_query::operators::{OpKind, Query};
+use costream_query::placement::Placement;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of one simulated execution.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    /// The measured cost metrics (the training labels).
+    pub metrics: CostMetrics,
+    /// Runtime statistics for monitoring-based baselines.
+    pub trace: RunTrace,
+}
+
+fn lognormal(rng: &mut StdRng, sigma: f64) -> f64 {
+    if sigma == 0.0 {
+        return 1.0;
+    }
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (sigma * z).exp()
+}
+
+/// Work-conserving processor sharing: distributes `capacity` cores over
+/// operators with the given CPU demands. Under contention every operator
+/// gets at most the water-filling level; spare capacity is spread evenly so
+/// operators can burst (μ > demand keeps M/M/1 utilization below 1).
+fn water_fill(demands: &[f64], capacity: f64) -> Vec<f64> {
+    let n = demands.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let total: f64 = demands.iter().sum();
+    if total <= capacity {
+        let spare = (capacity - total) / n as f64;
+        return demands.iter().map(|d| d + spare).collect();
+    }
+    // Contention: find the level L with Σ min(d_i, L) = capacity.
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| demands[a].partial_cmp(&demands[b]).expect("finite demands"));
+    let mut alloc = vec![0.0; n];
+    let mut remaining = capacity;
+    let mut left = n;
+    for (k, &i) in idx.iter().enumerate() {
+        let level = remaining / left as f64;
+        if demands[i] <= level {
+            alloc[i] = demands[i];
+            remaining -= demands[i];
+            left -= 1;
+        } else {
+            // Everyone remaining gets the level.
+            for &j in &idx[k..] {
+                alloc[j] = level;
+            }
+            return alloc;
+        }
+    }
+    alloc
+}
+
+/// Executes a placed query on a cluster and measures its cost metrics.
+///
+/// # Panics
+/// Panics if the placement does not match the query/cluster arity. (Rule
+/// violations of Fig. 5 are *not* rejected here — the simulator can execute
+/// any placement; the rules belong to the enumeration strategy.)
+pub fn simulate(query: &Query, cluster: &Cluster, placement: &Placement, config: &SimConfig) -> SimResult {
+    assert_eq!(placement.assignment().len(), query.len(), "placement arity mismatch");
+    let n = query.len();
+    let profile = ExecutionProfile::of(query);
+    let order = query.topo_order().expect("valid query");
+    let ups: Vec<Vec<usize>> = (0..n).map(|i| query.upstream(i)).collect();
+    let downs: Vec<Vec<usize>> = (0..n).map(|i| query.downstream(i)).collect();
+    let host_of: Vec<usize> = (0..n).map(|i| placement.host_of(i)).collect();
+    let capacity: Vec<f64> = cluster.hosts().iter().map(|h| h.cpu / 100.0).collect();
+    let edges: Vec<(usize, usize)> = query.edges().to_vec();
+    let sink = query.sink();
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    // Per-run cost perturbation: a real cluster never reproduces costs
+    // exactly across runs.
+    let cost_ms: Vec<f64> =
+        (0..n).map(|i| profile.service_cost_ms[i] * lognormal(&mut rng, config.cost_noise_sigma)).collect();
+
+    // Mean desired ingest over all sources (for the backpressure check).
+    let desired_total: f64 = query
+        .ops()
+        .filter_map(|(_, op)| match op {
+            OpKind::Source(s) => Some(s.event_rate),
+            _ => None,
+        })
+        .sum();
+
+    let dt = config.dt_s;
+    let ticks = config.ticks();
+    let warmup_ticks = (config.warmup_s / dt).ceil() as usize;
+
+    // --- mutable simulation state ---
+    let mut queue = vec![0.0f64; n]; // tuples waiting at each operator
+    let mut broker_backlog = vec![0.0f64; n]; // per source op
+    let mut gc = vec![1.0f64; cluster.len()];
+    let mut alloc: Vec<f64> = {
+        // Initial allocation: equal split per host.
+        let mut per_host_ops = vec![0usize; cluster.len()];
+        for &h in &host_of {
+            per_host_ops[h] += 1;
+        }
+        (0..n).map(|i| capacity[host_of[i]] / per_host_ops[host_of[i]].max(1) as f64).collect()
+    };
+    let mut net_scale = vec![1.0f64; cluster.len()]; // diagnostic: egress saturation
+    let mut crashed = false;
+    // Windowed operators emit nothing until their first window completes.
+    let mut window_fill = vec![0.0f64; n]; // tuples (count) or seconds (time)
+    let window_gate: Vec<Option<(bool, f64)>> = (0..n)
+        .map(|i| match query.op(i) {
+            OpKind::WindowAggregate(a) => Some((
+                matches!(a.window.policy, costream_query::operators::WindowPolicy::CountBased),
+                a.window.size,
+            )),
+            OpKind::WindowJoin(j) => Some((
+                matches!(j.window.policy, costream_query::operators::WindowPolicy::CountBased),
+                j.window.size,
+            )),
+            _ => None,
+        })
+        .collect();
+
+    // --- accumulators ---
+    let mut sink_total = 0.0f64; // all ticks (success check)
+    let mut sink_measured = 0.0f64; // post-warmup (throughput)
+    let mut lp_sum = 0.0f64;
+    let mut le_sum = 0.0f64;
+    let mut lat_samples = 0usize;
+    let mut bp_rate_sum = 0.0f64;
+    let mut measured_ticks = 0usize;
+    let mut trace = RunTrace::new(n, cluster.len(), edges.len());
+
+    let mut processed = vec![0.0f64; n];
+    let mut arrivals = vec![0.0f64; n];
+    let mut out_rate = vec![0.0f64; n];
+
+    for tick in 0..ticks {
+        let measuring = tick >= warmup_ticks;
+
+        // Service rate bound per operator for this tick.
+        let mu: Vec<f64> = (0..n)
+            .map(|i| alloc[i].max(1e-9) * 1000.0 / (cost_ms[i] * gc[host_of[i]]).max(1e-9))
+            .collect();
+        // Credits: how many tuples/s each operator can accept this tick.
+        let mut credit: Vec<f64> =
+            (0..n).map(|i| mu[i] + (config.queue_capacity - queue[i]).max(0.0) / dt).collect();
+        // Per-host egress byte budget for this tick (bytes/s).
+        let mut egress_budget: Vec<f64> = cluster.hosts().iter().map(|h| h.bandwidth_mbits * 1e6 / 8.0).collect();
+
+        // Forward pass along the data flow.
+        for &i in &order {
+            let a: f64 = if matches!(query.op(i), OpKind::Source(_)) { 0.0 } else { arrivals[i] };
+            let offered = match query.op(i) {
+                OpKind::Source(s) => {
+                    let jitter = 1.0 + 0.05 * (tick as f64 * 0.7 + i as f64).sin();
+                    let desired = s.event_rate * if config.cost_noise_sigma > 0.0 { jitter } else { 1.0 };
+                    desired + broker_backlog[i] / dt
+                }
+                _ => a + queue[i] / dt,
+            };
+            // A windowed operator buffers input but emits nothing until its
+            // first window is complete.
+            // `window_fill` counts processed tuples (count-based) or
+            // elapsed seconds (time-based) toward the first full window.
+            let gate_open = match window_gate[i] {
+                None => true,
+                Some((_, size)) => window_fill[i] >= size,
+            };
+            // Downstream credit limits how much output we may emit.
+            let mut p = offered.min(mu[i]);
+            if let Some(&d) = downs[i].first() {
+                let factor = profile.output_factor[i].max(1e-9);
+                let allowed_out = credit[d].max(0.0);
+                p = p.min(allowed_out / factor);
+                // Cross-host edges spend the egress host's byte budget.
+                if host_of[d] != host_of[i] {
+                    let bytes = profile.out_tuple_bytes[i].max(1.0);
+                    let allowed_by_net = egress_budget[host_of[i]].max(0.0) / bytes;
+                    p = p.min(allowed_by_net / factor);
+                }
+            }
+            p = p.max(0.0);
+            processed[i] = p;
+            out_rate[i] = if gate_open { p * profile.output_factor[i] } else { 0.0 };
+            if let Some(&d) = downs[i].first() {
+                arrivals[d] += out_rate[i];
+                credit[d] -= out_rate[i];
+                if host_of[d] != host_of[i] {
+                    egress_budget[host_of[i]] -= out_rate[i] * profile.out_tuple_bytes[i];
+                }
+            }
+            if window_gate[i].is_some() {
+                let count_based = window_gate[i].expect("windowed").0;
+                window_fill[i] += if count_based { p * dt } else { dt };
+            }
+        }
+
+        // Queue and broker updates + backpressure measurement.
+        let mut bp_rate = 0.0;
+        for i in 0..n {
+            match query.op(i) {
+                OpKind::Source(s) => {
+                    let shortfall = (s.event_rate - processed[i]).max(0.0) + (broker_backlog[i] / dt).min(0.0);
+                    broker_backlog[i] = (broker_backlog[i] + (s.event_rate - processed[i]) * dt).max(0.0);
+                    bp_rate += shortfall;
+                }
+                _ => {
+                    queue[i] = (queue[i] + (arrivals[i] - processed[i]) * dt).clamp(0.0, config.queue_capacity);
+                }
+            }
+        }
+
+        // Egress bandwidth scaling for the next tick.
+        let mut egress_bytes = vec![0.0f64; cluster.len()];
+        for &(a, b) in &edges {
+            if host_of[a] != host_of[b] {
+                egress_bytes[host_of[a]] += out_rate[a] * profile.out_tuple_bytes[a];
+            }
+        }
+        for h in 0..cluster.len() {
+            let bw_bytes = cluster.host(h).bandwidth_mbits * 1e6 / 8.0;
+            net_scale[h] = if egress_bytes[h] > bw_bytes { (bw_bytes / egress_bytes[h]).max(0.01) } else { 1.0 };
+        }
+
+        // Memory model: window state + queue backlog per host.
+        let mut host_state = vec![0.0f64; cluster.len()];
+        let mut host_queue_bytes = vec![0.0f64; cluster.len()];
+        let mut host_ops = vec![0usize; cluster.len()];
+        for i in 0..n {
+            let h = host_of[i];
+            host_ops[h] += 1;
+            host_state[h] += profile.state_bytes(i);
+            let in_bytes = if ups[i].is_empty() {
+                profile.out_tuple_bytes[i]
+            } else {
+                ups[i].iter().map(|&u| profile.out_tuple_bytes[u]).sum::<f64>() / ups[i].len() as f64
+            };
+            host_queue_bytes[h] += queue[i] * in_bytes * 16.0; // JVM expansion
+        }
+        let mut mem_ratio = vec![0.0f64; cluster.len()];
+        for h in 0..cluster.len() {
+            if host_ops[h] == 0 {
+                continue;
+            }
+            let demand = memory::host_demand_bytes(host_ops[h], host_state[h], host_queue_bytes[h]);
+            mem_ratio[h] = demand / (cluster.host(h).ram_mb * 1024.0 * 1024.0);
+            gc[h] = memory::gc_slowdown(mem_ratio[h]);
+            if memory::crashes(mem_ratio[h]) {
+                crashed = true;
+            }
+            if trace.host_mem_ratio[h] < mem_ratio[h] {
+                trace.host_mem_ratio[h] = mem_ratio[h];
+            }
+        }
+        if crashed {
+            break;
+        }
+
+        // Latency sample: critical path from sources to sink.
+        let mut path_lat = vec![0.0f64; n];
+        for &i in &order {
+            let svc = (cost_ms[i] * gc[host_of[i]]) / 1000.0;
+            let demand_cores = processed[i] * svc;
+            let rho = (demand_cores / alloc[i].max(1e-9)).min(0.98);
+            let congestion = svc * rho / (1.0 - rho);
+            let drain = queue[i] / mu[i].max(1e-6);
+            let window_wait = match query.op(i) {
+                OpKind::WindowAggregate(a) => 0.5 * a.window.emission_period(arrivals[i].max(1e-3)),
+                OpKind::WindowJoin(j) => 0.5 * j.window.emission_period(arrivals[i].max(1e-3) / 2.0),
+                _ => 0.0,
+            };
+            let residence = svc + congestion + drain + window_wait.min(config.duration_s);
+            let mut upstream_lat = 0.0f64;
+            for &u in &ups[i] {
+                let mut l = path_lat[u];
+                if host_of[u] != host_of[i] {
+                    l += cluster.link_latency_ms(host_of[u], host_of[i]) / 1000.0;
+                    let bw = cluster.link_bandwidth_mbits(host_of[u], host_of[i]) * net_scale[host_of[u]];
+                    l += profile.out_tuple_bytes[u] * 8.0 / (bw * 1e6).max(1.0);
+                }
+                upstream_lat = upstream_lat.max(l);
+            }
+            path_lat[i] = upstream_lat + residence;
+        }
+
+        sink_total += processed[sink] * dt;
+        if measuring {
+            sink_measured += processed[sink] * dt;
+            lp_sum += path_lat[sink].min(config.duration_s);
+            let broker_wait = query
+                .ops()
+                .filter_map(|(i, op)| match op {
+                    OpKind::Source(s) => Some(broker_backlog[i] / s.event_rate.max(1e-9)),
+                    _ => None,
+                })
+                .fold(0.0f64, f64::max);
+            le_sum += (path_lat[sink] + broker_wait).min(2.0 * config.duration_s);
+            lat_samples += 1;
+            bp_rate_sum += bp_rate;
+            measured_ticks += 1;
+            for i in 0..n {
+                trace.op_rate[i] += processed[i];
+                trace.op_cpu_cores[i] += processed[i] * cost_ms[i] * gc[host_of[i]] / 1000.0;
+                trace.op_queue_len[i] += queue[i];
+            }
+            for (e, &(a, b)) in edges.iter().enumerate() {
+                if host_of[a] != host_of[b] {
+                    trace.edge_bytes_per_s[e] += out_rate[a] * profile.out_tuple_bytes[a];
+                }
+            }
+        }
+
+        // Allocation for the next tick: water-fill over this tick's demand.
+        let mut host_demands: Vec<Vec<(usize, f64)>> = vec![Vec::new(); cluster.len()];
+        for i in 0..n {
+            let svc = cost_ms[i] * gc[host_of[i]] / 1000.0;
+            let want = (arrivals[i] + queue[i] / dt
+                + match query.op(i) {
+                    OpKind::Source(s) => s.event_rate + broker_backlog[i] / dt,
+                    _ => 0.0,
+                })
+                * svc;
+            host_demands[host_of[i]].push((i, want));
+        }
+        for h in 0..cluster.len() {
+            if host_demands[h].is_empty() {
+                continue;
+            }
+            let demands: Vec<f64> = host_demands[h].iter().map(|&(_, d)| d).collect();
+            let allocs = water_fill(&demands, capacity[h]);
+            for (k, &(i, _)) in host_demands[h].iter().enumerate() {
+                alloc[i] = allocs[k];
+            }
+        }
+
+        arrivals.iter_mut().for_each(|a| *a = 0.0);
+    }
+
+    // Host utilization means for the trace.
+    if measured_ticks > 0 {
+        let mt = measured_ticks as f64;
+        for v in trace
+            .op_rate
+            .iter_mut()
+            .chain(trace.op_cpu_cores.iter_mut())
+            .chain(trace.op_queue_len.iter_mut())
+            .chain(trace.edge_bytes_per_s.iter_mut())
+        {
+            *v /= mt;
+        }
+        for h in 0..cluster.len() {
+            let demand: f64 = (0..n).filter(|&i| host_of[i] == h).map(|i| trace.op_cpu_cores[i]).sum();
+            trace.host_utilization[h] = demand / capacity[h].max(1e-9);
+        }
+    }
+
+    if crashed {
+        return SimResult { metrics: CostMetrics::failed(), trace };
+    }
+
+    let measured_s = (measured_ticks as f64 * dt).max(1e-9);
+    let throughput = sink_measured / measured_s;
+    let lp_s = if lat_samples > 0 { lp_sum / lat_samples as f64 } else { config.duration_s };
+    let le_s = if lat_samples > 0 { le_sum / lat_samples as f64 } else { config.duration_s };
+    let r = if measured_ticks > 0 { bp_rate_sum / measured_ticks as f64 } else { 0.0 };
+    let backpressure = r > config.backpressure_threshold * desired_total.max(1e-9);
+    let success = sink_total >= 1.0;
+
+    let label_noise = |rng: &mut StdRng| lognormal(rng, config.label_noise_sigma);
+    let noisy_lp = lp_s * 1000.0 * label_noise(&mut rng);
+    let metrics = CostMetrics {
+        throughput: throughput * label_noise(&mut rng),
+        processing_latency_ms: noisy_lp,
+        // The end-to-end latency includes the broker wait and can never be
+        // below the processing latency (Definitions 2/3).
+        e2e_latency_ms: (le_s * 1000.0 * label_noise(&mut rng)).max(noisy_lp),
+        backpressure,
+        backpressure_rate: r,
+        success,
+    };
+    SimResult { metrics, trace }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use costream_query::datatypes::{DataType, TupleSchema};
+    use costream_query::hardware::Host;
+    use costream_query::operators::*;
+
+    fn int_schema() -> TupleSchema {
+        TupleSchema::new(vec![DataType::Int, DataType::Int, DataType::Int])
+    }
+
+    fn filter_query(rate: f64, sel: f64) -> Query {
+        Query::new(
+            vec![
+                OpKind::Source(SourceSpec { event_rate: rate, schema: int_schema() }),
+                OpKind::Filter(FilterSpec { function: FilterFunction::Less, literal_type: DataType::Int, selectivity: sel }),
+                OpKind::Sink,
+            ],
+            vec![(0, 1), (1, 2)],
+        )
+    }
+
+    fn strong_host() -> Host {
+        Host { cpu: 800.0, ram_mb: 32000.0, bandwidth_mbits: 10000.0, latency_ms: 1.0 }
+    }
+
+    fn weak_host() -> Host {
+        Host { cpu: 50.0, ram_mb: 1000.0, bandwidth_mbits: 25.0, latency_ms: 160.0 }
+    }
+
+    #[test]
+    fn healthy_query_reaches_nominal_throughput() {
+        let q = filter_query(1000.0, 0.5);
+        let c = Cluster::new(vec![strong_host()]);
+        let p = Placement::new(vec![0, 0, 0]);
+        let r = simulate(&q, &c, &p, &SimConfig::deterministic());
+        assert!(r.metrics.success);
+        assert!(!r.metrics.backpressure, "R = {}", r.metrics.backpressure_rate);
+        assert!((r.metrics.throughput - 500.0).abs() < 25.0, "T = {}", r.metrics.throughput);
+        assert!(r.metrics.processing_latency_ms < 100.0, "Lp = {}", r.metrics.processing_latency_ms);
+    }
+
+    #[test]
+    fn weak_cpu_causes_backpressure() {
+        let q = filter_query(25600.0, 0.5);
+        let c = Cluster::new(vec![weak_host()]);
+        let p = Placement::new(vec![0, 0, 0]);
+        let r = simulate(&q, &c, &p, &SimConfig::deterministic());
+        assert!(r.metrics.backpressure, "expected backpressure, R = {}", r.metrics.backpressure_rate);
+        assert!(r.metrics.throughput < 25600.0 * 0.5);
+        // Backpressure inflates the e2e latency well beyond processing.
+        assert!(r.metrics.e2e_latency_ms > 2.0 * r.metrics.processing_latency_ms);
+    }
+
+    #[test]
+    fn throughput_conservation_never_exceeds_nominal() {
+        use costream_query::generator::WorkloadGenerator;
+        use costream_query::ranges::FeatureRanges;
+        let mut g = WorkloadGenerator::new(3, FeatureRanges::training());
+        for k in 0..30 {
+            let (q, c, p) = g.workload_item();
+            let r = simulate(&q, &c, &p, &SimConfig::deterministic().with_seed(k));
+            let nominal = ExecutionProfile::of(&q).nominal_in_rate[q.sink()];
+            assert!(
+                r.metrics.throughput <= nominal * 1.35 + 1.0,
+                "throughput {} exceeds nominal {} (item {k})",
+                r.metrics.throughput,
+                nominal
+            );
+        }
+    }
+
+    #[test]
+    fn cross_host_placement_adds_latency() {
+        let q = filter_query(500.0, 0.5);
+        let far = Host { cpu: 800.0, ram_mb: 32000.0, bandwidth_mbits: 10000.0, latency_ms: 80.0 };
+        let c = Cluster::new(vec![far, strong_host()]);
+        let colocated = simulate(&q, &c, &Placement::new(vec![1, 1, 1]), &SimConfig::deterministic());
+        let spread = simulate(&q, &c, &Placement::new(vec![0, 1, 1]), &SimConfig::deterministic());
+        assert!(
+            spread.metrics.processing_latency_ms > colocated.metrics.processing_latency_ms + 50.0,
+            "spread {} vs colocated {}",
+            spread.metrics.processing_latency_ms,
+            colocated.metrics.processing_latency_ms
+        );
+    }
+
+    #[test]
+    fn big_time_window_on_small_ram_crashes() {
+        let w = WindowSpec { window_type: WindowType::Sliding, policy: WindowPolicy::TimeBased, size: 16.0, slide: 5.0 };
+        let q = Query::new(
+            vec![
+                OpKind::Source(SourceSpec { event_rate: 25600.0, schema: int_schema() }),
+                OpKind::WindowAggregate(AggSpec {
+                    function: AggFunction::Mean,
+                    agg_type: DataType::Int,
+                    group_by: Some(DataType::Int),
+                    window: w,
+                    selectivity: 0.5,
+                }),
+                OpKind::Sink,
+            ],
+            vec![(0, 1), (1, 2)],
+        );
+        let weak_big_cpu = Host { cpu: 800.0, ram_mb: 1000.0, bandwidth_mbits: 10000.0, latency_ms: 1.0 };
+        let c = Cluster::new(vec![weak_big_cpu]);
+        let r = simulate(&q, &c, &Placement::new(vec![0, 0, 0]), &SimConfig::deterministic());
+        assert!(!r.metrics.success, "expected OOM crash");
+        // Same query on a 32 GB host succeeds.
+        let c2 = Cluster::new(vec![strong_host()]);
+        let r2 = simulate(&q, &c2, &Placement::new(vec![0, 0, 0]), &SimConfig::deterministic());
+        assert!(r2.metrics.success);
+    }
+
+    #[test]
+    fn tiny_join_selectivity_with_long_windows_can_fail() {
+        // A tumbling window of 640 tuples at 20 ev/s emits every 32 s; with
+        // selectivity pushing output below one tuple per run, no tuple
+        // reaches the sink within the 4-minute execution.
+        let w = WindowSpec { window_type: WindowType::Tumbling, policy: WindowPolicy::CountBased, size: 640.0, slide: 640.0 };
+        let q = Query::new(
+            vec![
+                OpKind::Source(SourceSpec { event_rate: 0.05, schema: int_schema() }),
+                OpKind::Source(SourceSpec { event_rate: 0.05, schema: int_schema() }),
+                OpKind::WindowJoin(JoinSpec { key_type: DataType::Int, window: w, selectivity: 1e-3 }),
+                OpKind::Sink,
+            ],
+            vec![(0, 2), (1, 2), (2, 3)],
+        );
+        let c = Cluster::new(vec![strong_host()]);
+        let r = simulate(&q, &c, &Placement::new(vec![0, 0, 0, 0]), &SimConfig::deterministic());
+        assert!(!r.metrics.success, "T = {}", r.metrics.throughput);
+    }
+
+    #[test]
+    fn simulation_is_deterministic_per_seed() {
+        let q = filter_query(1000.0, 0.3);
+        let c = Cluster::new(vec![strong_host()]);
+        let p = Placement::new(vec![0, 0, 0]);
+        let cfg = SimConfig::default().with_seed(7);
+        let a = simulate(&q, &c, &p, &cfg);
+        let b = simulate(&q, &c, &p, &cfg);
+        assert_eq!(a.metrics, b.metrics);
+    }
+
+    #[test]
+    fn different_seeds_give_noisy_labels() {
+        let q = filter_query(1000.0, 0.3);
+        let c = Cluster::new(vec![strong_host()]);
+        let p = Placement::new(vec![0, 0, 0]);
+        let a = simulate(&q, &c, &p, &SimConfig::default().with_seed(1));
+        let b = simulate(&q, &c, &p, &SimConfig::default().with_seed(2));
+        assert_ne!(a.metrics.throughput, b.metrics.throughput);
+        // ...but within noise bounds.
+        let ratio = a.metrics.throughput / b.metrics.throughput;
+        assert!(ratio > 0.7 && ratio < 1.4);
+    }
+
+    #[test]
+    fn trace_reports_rates_and_utilization() {
+        let q = filter_query(1000.0, 0.5);
+        let c = Cluster::new(vec![strong_host()]);
+        let p = Placement::new(vec![0, 0, 0]);
+        let r = simulate(&q, &c, &p, &SimConfig::deterministic());
+        assert!((r.trace.op_rate[0] - 1000.0).abs() < 50.0);
+        assert!((r.trace.op_rate[1] - 1000.0).abs() < 50.0);
+        assert!(r.trace.host_utilization[0] > 0.0 && r.trace.host_utilization[0] < 1.0);
+    }
+
+    #[test]
+    fn water_fill_under_and_over_subscription() {
+        let a = water_fill(&[1.0, 2.0], 6.0);
+        assert!((a[0] - 2.5).abs() < 1e-9 && (a[1] - 3.5).abs() < 1e-9);
+        let b = water_fill(&[1.0, 5.0], 4.0);
+        assert!((b[0] - 1.0).abs() < 1e-9 && (b[1] - 3.0).abs() < 1e-9);
+        let c = water_fill(&[5.0, 5.0], 4.0);
+        assert!((c[0] - 2.0).abs() < 1e-9 && (c[1] - 2.0).abs() < 1e-9);
+        let total: f64 = water_fill(&[0.5, 1.5, 9.0], 4.0).iter().sum();
+        assert!((total - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn low_bandwidth_throttles_wide_streams() {
+        // 12800 ev/s of ~40-byte tuples ≈ 4 Mbit/s; a 2 Mbit/s-ish egress
+        // cannot carry it.
+        let q = filter_query(12800.0, 1.0);
+        let slow_net = Host { cpu: 800.0, ram_mb: 32000.0, bandwidth_mbits: 2.0, latency_ms: 5.0 };
+        let c = Cluster::new(vec![slow_net, strong_host()]);
+        let r = simulate(&q, &c, &Placement::new(vec![0, 1, 1]), &SimConfig::deterministic());
+        assert!(r.metrics.throughput < 12800.0 * 0.6, "T = {}", r.metrics.throughput);
+        assert!(r.metrics.backpressure);
+    }
+}

@@ -1,0 +1,34 @@
+//! # costream-dsps — a distributed stream processing simulator
+//!
+//! The execution substrate of the Costream reproduction. The paper collects
+//! training labels by running 43k queries on Apache Storm + Kafka across a
+//! virtualized CloudLab cluster; this crate replaces that testbed with a
+//! deterministic fluid simulator that reproduces the *causal structure*
+//! behind the five cost metrics (see DESIGN.md §1 for the substitution
+//! argument):
+//!
+//! * [`cost`] — per-operator service-cost and stream-algebra rate model;
+//! * [`des`] — a per-tuple discrete-event simulator cross-validating the
+//!   fluid engine on linear queries;
+//! * [`engine`] — the time-stepped fluid simulation (queues, processor
+//!   sharing, credits/backpressure, bandwidth throttling, GC/crashes);
+//! * [`memory`] — host memory demand and GC behaviour;
+//! * [`metrics`] — the cost metrics `C = (T, Lp, Le, RO, S)` of §IV-A;
+//! * [`trace`] — runtime statistics for monitoring-based baselines;
+//! * [`config`] — execution-protocol configuration.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod cost;
+pub mod des;
+pub mod engine;
+pub mod memory;
+pub mod metrics;
+pub mod trace;
+
+pub use config::SimConfig;
+pub use cost::ExecutionProfile;
+pub use engine::{simulate, SimResult};
+pub use metrics::{CostMetric, CostMetrics};
+pub use trace::RunTrace;

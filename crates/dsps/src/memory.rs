@@ -1,0 +1,96 @@
+//! Host memory model: window state, queue backlogs, JVM overheads, and the
+//! garbage-collection behaviour they trigger.
+//!
+//! The paper attributes query crashes primarily to garbage collection
+//! "when placing memory-intensive operators to low-performing hardware
+//! nodes" (§IV-A). We model a host's memory demand as the sum of a fixed
+//! worker footprint, a per-operator footprint, the JVM-expanded window
+//! state of its windowed operators, and the backlog of its input queues.
+//! Rising memory pressure first slows every operator on the host down
+//! (GC steals cycles), then crashes the query.
+
+/// Fixed JVM worker footprint per host in bytes (~180 MB).
+pub const WORKER_BASE_BYTES: f64 = 180.0 * 1024.0 * 1024.0;
+
+/// Per-operator executor footprint in bytes (~110 MB: executor threads,
+/// disruptor queues, serializer buffers).
+pub const PER_OP_BYTES: f64 = 110.0 * 1024.0 * 1024.0;
+
+/// Memory utilization above which GC pressure starts to slow processing.
+/// JVM heaps degrade well before physical exhaustion: non-heap overhead and
+/// GC headroom consume a large fraction of the cgroup limit.
+pub const GC_PRESSURE_START: f64 = 0.55;
+
+/// Memory utilization at which the worker crashes (OOM-killer / GC death
+/// spiral) — below 1.0 because the cgroup limit covers heap *and* metaspace,
+/// stacks, and direct buffers.
+pub const CRASH_RATIO: f64 = 0.80;
+
+/// GC slowdown factor for a given memory utilization ratio: 1.0 below the
+/// pressure threshold, growing steeply toward the crash point.
+pub fn gc_slowdown(mem_ratio: f64) -> f64 {
+    if mem_ratio <= GC_PRESSURE_START {
+        1.0
+    } else {
+        // Quadratic growth toward ~4x just below the crash point.
+        let over = ((mem_ratio - GC_PRESSURE_START) / (CRASH_RATIO - GC_PRESSURE_START)).min(1.0);
+        1.0 + 3.0 * over * over
+    }
+}
+
+/// True when the utilization ratio is fatal.
+pub fn crashes(mem_ratio: f64) -> bool {
+    mem_ratio >= CRASH_RATIO
+}
+
+/// Memory demand of one host in bytes.
+///
+/// * `state_bytes` — summed JVM window state of the operators on the host;
+/// * `queue_tuples_bytes` — backlog tuples in input queues × JVM bytes.
+pub fn host_demand_bytes(n_ops: usize, state_bytes: f64, queue_bytes: f64) -> f64 {
+    WORKER_BASE_BYTES + n_ops as f64 * PER_OP_BYTES + state_bytes + queue_bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_slowdown_below_threshold() {
+        assert_eq!(gc_slowdown(0.1), 1.0);
+        assert_eq!(gc_slowdown(GC_PRESSURE_START), 1.0);
+    }
+
+    #[test]
+    fn slowdown_monotone_above_threshold() {
+        let a = gc_slowdown(0.65);
+        let b = gc_slowdown(0.75);
+        let c = gc_slowdown(0.79);
+        assert!(1.0 < a && a < b && b < c);
+        assert!(c < 5.0);
+        // Saturates past the crash point (engine crashes there anyway).
+        assert_eq!(gc_slowdown(2.0), 4.0);
+    }
+
+    #[test]
+    fn crash_at_limit() {
+        assert!(!crashes(0.75));
+        assert!(crashes(CRASH_RATIO));
+        assert!(crashes(1.5));
+    }
+
+    #[test]
+    fn demand_scales_with_ops_and_state() {
+        let base = host_demand_bytes(1, 0.0, 0.0);
+        assert!(host_demand_bytes(2, 0.0, 0.0) > base);
+        assert!(host_demand_bytes(1, 1e9, 0.0) > base + 9e8);
+    }
+
+    #[test]
+    fn an_empty_worker_fits_in_a_gigabyte() {
+        // Edge devices of the Table II grid (1000 MB) must be able to run
+        // small queries; three ops of plain filters should fit.
+        let demand = host_demand_bytes(3, 0.0, 0.0);
+        assert!(demand < 1000.0 * 1024.0 * 1024.0 * GC_PRESSURE_START);
+    }
+}

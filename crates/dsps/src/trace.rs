@@ -1,0 +1,82 @@
+//! Runtime traces: the monitoring statistics an online scheduler sees.
+//!
+//! Monitoring-based placement approaches (R-Storm, Aniello et al. \[1\])
+//! observe per-operator CPU demand and inter-operator traffic at runtime
+//! and migrate operators accordingly. The simulator exposes exactly those
+//! statistics, so the monitoring baseline of Exp 2b can be reproduced
+//! without giving it access to any ground truth the real system would not
+//! have.
+
+use serde::{Deserialize, Serialize};
+
+/// Aggregated runtime statistics of one simulated execution.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct RunTrace {
+    /// Mean processed tuple rate per operator (tuples/s).
+    pub op_rate: Vec<f64>,
+    /// Mean CPU demand per operator in reference cores.
+    pub op_cpu_cores: Vec<f64>,
+    /// Mean CPU utilization per host (demand / capacity, can exceed 1).
+    pub host_utilization: Vec<f64>,
+    /// Peak memory utilization ratio per host.
+    pub host_mem_ratio: Vec<f64>,
+    /// Mean traffic per logical edge in bytes/s, aligned with
+    /// `query.edges()` order.
+    pub edge_bytes_per_s: Vec<f64>,
+    /// Mean queue length per operator in tuples.
+    pub op_queue_len: Vec<f64>,
+}
+
+impl RunTrace {
+    /// Creates an empty trace sized for a query/cluster.
+    pub fn new(n_ops: usize, n_hosts: usize, n_edges: usize) -> Self {
+        RunTrace {
+            op_rate: vec![0.0; n_ops],
+            op_cpu_cores: vec![0.0; n_ops],
+            host_utilization: vec![0.0; n_hosts],
+            host_mem_ratio: vec![0.0; n_hosts],
+            edge_bytes_per_s: vec![0.0; n_edges],
+            op_queue_len: vec![0.0; n_ops],
+        }
+    }
+
+    /// The host with the highest CPU utilization, if any.
+    pub fn hottest_host(&self) -> Option<usize> {
+        self.host_utilization
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite utilizations"))
+            .map(|(i, _)| i)
+    }
+
+    /// The logical edge carrying the most traffic, if any.
+    pub fn busiest_edge(&self) -> Option<usize> {
+        self.edge_bytes_per_s
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite traffic"))
+            .map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_construction() {
+        let t = RunTrace::new(4, 2, 3);
+        assert_eq!(t.op_rate.len(), 4);
+        assert_eq!(t.host_utilization.len(), 2);
+        assert_eq!(t.edge_bytes_per_s.len(), 3);
+    }
+
+    #[test]
+    fn hottest_host_and_busiest_edge() {
+        let mut t = RunTrace::new(2, 3, 2);
+        t.host_utilization = vec![0.1, 0.9, 0.5];
+        t.edge_bytes_per_s = vec![100.0, 5.0];
+        assert_eq!(t.hottest_host(), Some(1));
+        assert_eq!(t.busiest_edge(), Some(0));
+    }
+}

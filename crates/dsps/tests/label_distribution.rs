@@ -1,0 +1,40 @@
+//! Corpus-level sanity of the simulator's labels: the benchmark must
+//! contain both successful and failing, backpressured and healthy
+//! executions, with plausible metric ranges — otherwise the classification
+//! tasks of the cost model would be degenerate.
+
+use costream_dsps::{simulate, SimConfig};
+use costream_query::generator::WorkloadGenerator;
+use costream_query::ranges::FeatureRanges;
+
+#[test]
+fn labels_are_balanced_and_plausible() {
+    let mut g = WorkloadGenerator::new(42, FeatureRanges::training());
+    let n = 300;
+    let mut success = 0;
+    let mut backpressure = 0;
+    let mut max_t: f64 = 0.0;
+    let mut max_lp: f64 = 0.0;
+    for k in 0..n {
+        let (q, c, p) = g.workload_item();
+        let r = simulate(&q, &c, &p, &SimConfig::default().with_seed(k));
+        if r.metrics.success {
+            success += 1;
+            max_t = max_t.max(r.metrics.throughput);
+            max_lp = max_lp.max(r.metrics.processing_latency_ms);
+            assert!(r.metrics.throughput.is_finite() && r.metrics.throughput >= 0.0);
+            assert!(r.metrics.processing_latency_ms > 0.0);
+            assert!(r.metrics.e2e_latency_ms >= r.metrics.processing_latency_ms * 0.99);
+        }
+        if r.metrics.backpressure {
+            backpressure += 1;
+        }
+    }
+    let s_frac = success as f64 / n as f64;
+    let b_frac = backpressure as f64 / n as f64;
+    eprintln!("success {s_frac:.2}, backpressure {b_frac:.2}, max T {max_t:.0} ev/s, max Lp {max_lp:.0} ms");
+    assert!(s_frac > 0.35 && s_frac < 0.98, "success fraction degenerate: {s_frac}");
+    assert!(b_frac > 0.05 && b_frac < 0.75, "backpressure fraction degenerate: {b_frac}");
+    assert!(max_t > 100.0, "no query achieves real throughput");
+    assert!(max_lp > 100.0, "latencies implausibly uniform");
+}

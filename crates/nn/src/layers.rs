@@ -1,0 +1,168 @@
+//! Dense layers and multi-layer perceptrons.
+
+use crate::init::Initializer;
+use crate::tape::{NodeId, ParamId, ParamStore, Tape};
+use serde::{Deserialize, Serialize};
+
+/// A dense affine layer `y = x @ W + b`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Linear {
+    w: ParamId,
+    b: ParamId,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Linear {
+    /// Registers a new layer's parameters in `store`.
+    pub fn new(store: &mut ParamStore, init: &mut Initializer, name: &str, in_dim: usize, out_dim: usize) -> Self {
+        let w = store.register(format!("{name}.w"), init.kaiming(in_dim, out_dim));
+        let b = store.register(format!("{name}.b"), init.zeros(1, out_dim));
+        Linear { w, b, in_dim, out_dim }
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Records the affine map on the tape.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: NodeId) -> NodeId {
+        let w = tape.param(store, self.w);
+        let b = tape.param(store, self.b);
+        let h = tape.matmul(x, w);
+        tape.add_bias(h, b)
+    }
+}
+
+/// A multi-layer perceptron with ReLU activations between layers.
+///
+/// The last layer is linear (no activation) so the same type serves as a
+/// regression head, a logit head and the hidden-state encoder/updater MLPs
+/// of the Costream GNN.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+}
+
+impl Mlp {
+    /// Builds an MLP with the given layer widths, e.g. `[in, hidden, out]`.
+    ///
+    /// # Panics
+    /// Panics if fewer than two widths are supplied.
+    pub fn new(store: &mut ParamStore, init: &mut Initializer, name: &str, widths: &[usize]) -> Self {
+        assert!(widths.len() >= 2, "an MLP needs at least input and output widths");
+        let layers = widths
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Linear::new(store, init, &format!("{name}.l{i}"), w[0], w[1]))
+            .collect();
+        Mlp { layers }
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.layers.first().expect("non-empty").in_dim()
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").out_dim()
+    }
+
+    /// Records the full forward pass on the tape.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: NodeId) -> NodeId {
+        let mut h = x;
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward(tape, store, h);
+            if i != last {
+                h = tape.relu(h);
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor;
+
+    #[test]
+    fn linear_shapes() {
+        let mut store = ParamStore::new();
+        let mut init = Initializer::new(0);
+        let l = Linear::new(&mut store, &mut init, "l", 3, 5);
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::zeros(4, 3));
+        let y = l.forward(&mut tape, &store, x);
+        assert_eq!(tape.value(y).shape(), (4, 5));
+    }
+
+    #[test]
+    fn mlp_end_to_end_shapes_and_param_count() {
+        let mut store = ParamStore::new();
+        let mut init = Initializer::new(0);
+        let m = Mlp::new(&mut store, &mut init, "m", &[6, 8, 8, 2]);
+        assert_eq!(m.in_dim(), 6);
+        assert_eq!(m.out_dim(), 2);
+        // 3 layers => 3 weights + 3 biases
+        assert_eq!(store.len(), 6);
+        assert_eq!(store.scalar_count(), 6 * 8 + 8 + 8 * 8 + 8 + 8 * 2 + 2);
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::zeros(1, 6));
+        let y = m.forward(&mut tape, &store, x);
+        assert_eq!(tape.value(y).shape(), (1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least input and output")]
+    fn mlp_too_few_widths_panics() {
+        let mut store = ParamStore::new();
+        let mut init = Initializer::new(0);
+        let _ = Mlp::new(&mut store, &mut init, "m", &[4]);
+    }
+
+    #[test]
+    fn mlp_can_overfit_xor() {
+        // Sanity check that layers + tape + a hand-rolled SGD step learn.
+        let mut store = ParamStore::new();
+        let mut init = Initializer::new(42);
+        let m = Mlp::new(&mut store, &mut init, "m", &[2, 8, 1]);
+        let xs = Tensor::from_vec(4, 2, vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0]);
+        let ys = [0.0f32, 1.0, 1.0, 0.0];
+        let mut last_loss = f32::INFINITY;
+        for step in 0..2000 {
+            let mut tape = Tape::new();
+            let x = tape.input(xs.clone());
+            let out = m.forward(&mut tape, &store, x);
+            let pred = tape.value(out);
+            let mut seed = Tensor::zeros(4, 1);
+            let mut loss = 0.0;
+            for i in 0..4 {
+                let d = pred.get(i, 0) - ys[i];
+                loss += d * d / 4.0;
+                seed.set(i, 0, 2.0 * d / 4.0);
+            }
+            if step == 1999 {
+                last_loss = loss;
+            }
+            store.zero_grads();
+            tape.backward(out, seed, &mut store);
+            for pid in store.ids().collect::<Vec<_>>() {
+                let g = store.grad(pid).clone();
+                let p = store.value_mut(pid);
+                for (pv, gv) in p.data_mut().iter_mut().zip(g.data()) {
+                    *pv -= 0.1 * gv;
+                }
+            }
+        }
+        assert!(last_loss < 0.01, "xor not learned, loss = {last_loss}");
+    }
+}

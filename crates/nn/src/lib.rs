@@ -1,0 +1,34 @@
+//! # costream-nn — a minimal neural-network substrate
+//!
+//! The Costream paper builds its cost model with PyTorch; no comparable GNN
+//! stack exists for Rust, so this crate provides the (small) slice of deep
+//! learning that the paper's Algorithm 1 actually needs, built from scratch:
+//!
+//! * [`tensor::Tensor`] — dense row-major `f32` matrices;
+//! * [`tape::Tape`] — reverse-mode autodiff over a fixed op set, including
+//!   the graph primitives `gather_rows` and `segment_sum` used for
+//!   "sum the hidden states of the children" and the final graph readout;
+//! * [`layers::Mlp`] — per-node-type encoders, update networks and output
+//!   heads;
+//! * [`loss`] — MSLE (the paper's regression loss), BCE-with-logits (the
+//!   classification loss for backpressure/query-success) and plain MSE;
+//! * [`optim`] — Adam and SGD with global-norm gradient clipping;
+//! * [`init::Initializer`] — deterministic seeded initialization, the basis
+//!   of the paper's seed-varied ensembles.
+//!
+//! Everything is deterministic given a seed and has no external
+//! dependencies beyond `rand` and `serde`.
+
+#![warn(missing_docs)]
+
+pub mod init;
+pub mod layers;
+pub mod loss;
+pub mod optim;
+pub mod tape;
+pub mod tensor;
+
+pub use init::Initializer;
+pub use layers::{Linear, Mlp};
+pub use tape::{NodeId, ParamId, ParamStore, Tape};
+pub use tensor::Tensor;

@@ -1,0 +1,177 @@
+//! Gradient-descent optimizers over a [`ParamStore`].
+
+use crate::tape::ParamStore;
+use crate::tensor::Tensor;
+
+/// Plain stochastic gradient descent with optional momentum.
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer.
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        Sgd { lr, momentum, velocity: Vec::new() }
+    }
+
+    /// Applies one update step from the gradients accumulated in `store`.
+    pub fn step(&mut self, store: &mut ParamStore) {
+        let ids: Vec<_> = store.ids().collect();
+        if self.velocity.len() != ids.len() {
+            self.velocity = ids.iter().map(|&id| Tensor::zeros(store.value(id).rows(), store.value(id).cols())).collect();
+        }
+        for (slot, id) in ids.into_iter().enumerate() {
+            let g = store.grad(id).clone();
+            let v = &mut self.velocity[slot];
+            for (vv, gv) in v.data_mut().iter_mut().zip(g.data()) {
+                *vv = self.momentum * *vv + gv;
+            }
+            let lr = self.lr;
+            let v = self.velocity[slot].clone();
+            let p = store.value_mut(id);
+            for (pv, vv) in p.data_mut().iter_mut().zip(v.data()) {
+                *pv -= lr * vv;
+            }
+        }
+    }
+}
+
+/// Adam optimizer (Kingma & Ba) with decoupled gradient clipping left to
+/// the caller via [`ParamStore::grad_norm`] / [`ParamStore::scale_grads`].
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Creates Adam with the conventional defaults β1=0.9, β2=0.999, ε=1e-8.
+    pub fn new(lr: f32) -> Self {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// Replaces the learning rate (used by fine-tuning, which continues
+    /// training at a reduced rate).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Applies one Adam step from the gradients accumulated in `store`.
+    pub fn step(&mut self, store: &mut ParamStore) {
+        let ids: Vec<_> = store.ids().collect();
+        if self.m.len() != ids.len() {
+            self.m = ids.iter().map(|&id| Tensor::zeros(store.value(id).rows(), store.value(id).cols())).collect();
+            self.v = self.m.clone();
+            self.t = 0;
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (slot, id) in ids.into_iter().enumerate() {
+            let g = store.grad(id).clone();
+            let m = &mut self.m[slot];
+            let v = &mut self.v[slot];
+            for ((mv, vv), gv) in m.data_mut().iter_mut().zip(v.data_mut()).zip(g.data()) {
+                *mv = self.beta1 * *mv + (1.0 - self.beta1) * gv;
+                *vv = self.beta2 * *vv + (1.0 - self.beta2) * gv * gv;
+            }
+            let (lr, eps) = (self.lr, self.eps);
+            let m = self.m[slot].clone();
+            let v = self.v[slot].clone();
+            let p = store.value_mut(id);
+            for ((pv, mv), vv) in p.data_mut().iter_mut().zip(m.data()).zip(v.data()) {
+                let mhat = mv / bc1;
+                let vhat = vv / bc2;
+                *pv -= lr * mhat / (vhat.sqrt() + eps);
+            }
+        }
+    }
+}
+
+/// Clips the global gradient norm in `store` to at most `max_norm`.
+pub fn clip_grad_norm(store: &mut ParamStore, max_norm: f32) {
+    let n = store.grad_norm();
+    if n > max_norm && n > 0.0 {
+        store.scale_grads(max_norm / n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::Initializer;
+    use crate::layers::Mlp;
+    use crate::loss::mse;
+    use crate::tape::Tape;
+
+    fn train_quadratic<F: FnMut(&mut ParamStore)>(seed: u64, steps: usize, mut stepper: F) -> f32 {
+        // Fit y = 3x - 1 with a tiny MLP; return final loss.
+        let mut store = ParamStore::new();
+        let mut init = Initializer::new(seed);
+        let mlp = Mlp::new(&mut store, &mut init, "m", &[1, 8, 1]);
+        let xs: Vec<f32> = (0..16).map(|i| i as f32 / 8.0 - 1.0).collect();
+        let ys: Vec<f32> = xs.iter().map(|x| 3.0 * x - 1.0).collect();
+        let x_t = Tensor::from_vec(16, 1, xs);
+        let mut last = f32::INFINITY;
+        for _ in 0..steps {
+            let mut tape = Tape::new();
+            let x = tape.input(x_t.clone());
+            let out = mlp.forward(&mut tape, &store, x);
+            let l = mse(tape.value(out), &ys);
+            last = l.loss;
+            store.zero_grads();
+            tape.backward(out, l.seed, &mut store);
+            stepper(&mut store);
+        }
+        last
+    }
+
+    #[test]
+    fn sgd_converges_on_linear_fit() {
+        let mut opt = Sgd::new(0.05, 0.9);
+        let loss = train_quadratic(1, 500, |s| opt.step(s));
+        assert!(loss < 1e-3, "sgd loss {loss}");
+    }
+
+    #[test]
+    fn adam_converges_on_linear_fit() {
+        let mut opt = Adam::new(0.01);
+        let loss = train_quadratic(2, 500, |s| opt.step(s));
+        assert!(loss < 1e-3, "adam loss {loss}");
+    }
+
+    #[test]
+    fn adam_faster_than_plain_sgd_early() {
+        let mut adam = Adam::new(0.01);
+        let adam_loss = train_quadratic(3, 60, |s| adam.step(s));
+        let mut sgd = Sgd::new(0.001, 0.0);
+        let sgd_loss = train_quadratic(3, 60, |s| sgd.step(s));
+        assert!(adam_loss < sgd_loss, "adam {adam_loss} vs sgd {sgd_loss}");
+    }
+
+    #[test]
+    fn clipping_reduces_norm() {
+        let mut store = ParamStore::new();
+        let mut init = Initializer::new(4);
+        let mlp = Mlp::new(&mut store, &mut init, "m", &[2, 4, 1]);
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::from_vec(1, 2, vec![100.0, -100.0]));
+        let out = mlp.forward(&mut tape, &store, x);
+        let l = mse(tape.value(out), &[1e4]);
+        store.zero_grads();
+        tape.backward(out, l.seed, &mut store);
+        clip_grad_norm(&mut store, 1.0);
+        assert!(store.grad_norm() <= 1.0 + 1e-4);
+    }
+}

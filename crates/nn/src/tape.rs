@@ -1,0 +1,544 @@
+//! Reverse-mode automatic differentiation on a flat tape.
+//!
+//! A [`Tape`] records a DAG of tensor operations during the forward pass and
+//! replays it in reverse to accumulate gradients. Model parameters live in a
+//! [`ParamStore`] outside the tape; a forward pass pins them onto the tape as
+//! leaf nodes so that one set of parameters can be reused across many tapes
+//! (one tape per minibatch).
+//!
+//! The operation set is deliberately small — exactly what the Costream GNN
+//! and the flat-vector MLP baseline need: dense affine maps, ReLU/sigmoid
+//! non-linearities, column concatenation, row gathering and segmented row
+//! sums (the "sum over children / sum over graph" primitives of
+//! Algorithm 1 in the paper).
+
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a parameter inside a [`ParamStore`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ParamId(pub(crate) usize);
+
+/// Identifier of a node on a [`Tape`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NodeId(usize);
+
+/// Storage for trainable parameters and their accumulated gradients.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ParamStore {
+    params: Vec<Tensor>,
+    #[serde(skip)]
+    grads: Vec<Tensor>,
+    names: Vec<String>,
+}
+
+impl ParamStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a parameter tensor under a diagnostic name.
+    pub fn register(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+        let id = ParamId(self.params.len());
+        self.grads.push(Tensor::zeros(value.rows(), value.cols()));
+        self.params.push(value);
+        self.names.push(name.into());
+        id
+    }
+
+    /// Number of registered parameters (tensors, not scalars).
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// True when no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Total number of scalar parameters.
+    pub fn scalar_count(&self) -> usize {
+        self.params.iter().map(Tensor::len).sum()
+    }
+
+    /// Immutable access to a parameter value.
+    pub fn value(&self, id: ParamId) -> &Tensor {
+        &self.params[id.0]
+    }
+
+    /// Mutable access to a parameter value (used by optimizers).
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.params[id.0]
+    }
+
+    /// Immutable access to the accumulated gradient of a parameter.
+    pub fn grad(&self, id: ParamId) -> &Tensor {
+        &self.grads[id.0]
+    }
+
+    /// Name a parameter was registered under.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Iterates over all parameter ids.
+    pub fn ids(&self) -> impl Iterator<Item = ParamId> {
+        (0..self.params.len()).map(ParamId)
+    }
+
+    /// Clears all accumulated gradients.
+    pub fn zero_grads(&mut self) {
+        // After deserialization `grads` is empty; re-materialize it.
+        if self.grads.len() != self.params.len() {
+            self.grads = self.params.iter().map(|p| Tensor::zeros(p.rows(), p.cols())).collect();
+        }
+        for g in &mut self.grads {
+            g.fill_zero();
+        }
+    }
+
+    fn accumulate_grad(&mut self, id: ParamId, delta: &Tensor) {
+        if self.grads.len() != self.params.len() {
+            self.grads = self.params.iter().map(|p| Tensor::zeros(p.rows(), p.cols())).collect();
+        }
+        self.grads[id.0].add_assign(delta);
+    }
+
+    /// Global gradient norm (L2 over all scalars), used for clipping.
+    pub fn grad_norm(&self) -> f32 {
+        self.grads.iter().map(Tensor::sq_norm).sum::<f32>().sqrt()
+    }
+
+    /// Scales all gradients in place (used for gradient clipping).
+    pub fn scale_grads(&mut self, s: f32) {
+        for g in &mut self.grads {
+            g.scale_assign(s);
+        }
+    }
+}
+
+enum Op {
+    /// Constant input or pinned parameter.
+    Leaf(Option<ParamId>),
+    /// `a @ b`.
+    MatMul(usize, usize),
+    /// `x + b` where `b` is a `1 x cols` bias broadcast over rows.
+    AddBias(usize, usize),
+    /// Element-wise `a + b`.
+    Add(usize, usize),
+    /// Element-wise max(x, 0).
+    Relu(usize),
+    /// Element-wise logistic sigmoid.
+    Sigmoid(usize),
+    /// `[a | b]` along columns.
+    ConcatCols(usize, usize),
+    /// Rows of `x` selected by index (with repetition allowed).
+    GatherRows(usize, Vec<usize>),
+    /// Row `r` of the output is the sum of input rows `i` with
+    /// `segments[i] == r`.
+    SegmentSum {
+        input: usize,
+        segments: Vec<usize>,
+        /// Retained for op introspection/debugging; the backward pass only
+        /// needs `segments`.
+        #[allow(dead_code)]
+        out_rows: usize,
+    },
+    /// `x * s`.
+    Scale(usize, f32),
+}
+
+struct Node {
+    value: Tensor,
+    op: Op,
+}
+
+/// A single-use computation tape.
+#[derive(Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Tape { nodes: Vec::new() }
+    }
+
+    fn push(&mut self, value: Tensor, op: Op) -> NodeId {
+        self.nodes.push(Node { value, op });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Records a non-trainable input.
+    pub fn input(&mut self, value: Tensor) -> NodeId {
+        self.push(value, Op::Leaf(None))
+    }
+
+    /// Pins a parameter from `store` onto the tape; gradients flowing into
+    /// this node are accumulated back into the store on [`Tape::backward`].
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> NodeId {
+        self.push(store.value(id).clone(), Op::Leaf(Some(id)))
+    }
+
+    /// Value of a node.
+    pub fn value(&self, id: NodeId) -> &Tensor {
+        &self.nodes[id.0].value
+    }
+
+    /// `a @ b`.
+    pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
+        self.push(v, Op::MatMul(a.0, b.0))
+    }
+
+    /// `x + bias`, with `bias` a `1 x cols` row broadcast over rows of `x`.
+    pub fn add_bias(&mut self, x: NodeId, bias: NodeId) -> NodeId {
+        let xv = &self.nodes[x.0].value;
+        let bv = &self.nodes[bias.0].value;
+        assert_eq!(bv.rows(), 1, "bias must be a row vector");
+        assert_eq!(bv.cols(), xv.cols(), "bias width mismatch");
+        let mut out = xv.clone();
+        for r in 0..out.rows() {
+            let row = out.row_slice_mut(r);
+            for (o, b) in row.iter_mut().zip(bv.data()) {
+                *o += *b;
+            }
+        }
+        self.push(out, Op::AddBias(x.0, bias.0))
+    }
+
+    /// Element-wise `a + b` (same shape).
+    pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let mut out = self.nodes[a.0].value.clone();
+        out.add_assign(&self.nodes[b.0].value);
+        self.push(out, Op::Add(a.0, b.0))
+    }
+
+    /// Element-wise ReLU.
+    pub fn relu(&mut self, x: NodeId) -> NodeId {
+        let mut out = self.nodes[x.0].value.clone();
+        for v in out.data_mut() {
+            if *v < 0.0 {
+                *v = 0.0;
+            }
+        }
+        self.push(out, Op::Relu(x.0))
+    }
+
+    /// Element-wise logistic sigmoid.
+    pub fn sigmoid(&mut self, x: NodeId) -> NodeId {
+        let mut out = self.nodes[x.0].value.clone();
+        for v in out.data_mut() {
+            *v = 1.0 / (1.0 + (-*v).exp());
+        }
+        self.push(out, Op::Sigmoid(x.0))
+    }
+
+    /// Concatenates `a` and `b` along columns.
+    pub fn concat_cols(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let av = &self.nodes[a.0].value;
+        let bv = &self.nodes[b.0].value;
+        assert_eq!(av.rows(), bv.rows(), "concat_cols row mismatch");
+        let mut out = Tensor::zeros(av.rows(), av.cols() + bv.cols());
+        for r in 0..av.rows() {
+            let dst = out.row_slice_mut(r);
+            dst[..av.cols()].copy_from_slice(av.row_slice(r));
+            dst[av.cols()..].copy_from_slice(bv.row_slice(r));
+        }
+        self.push(out, Op::ConcatCols(a.0, b.0))
+    }
+
+    /// Selects rows of `x` by `idx` (repetition allowed).
+    pub fn gather_rows(&mut self, x: NodeId, idx: Vec<usize>) -> NodeId {
+        let xv = &self.nodes[x.0].value;
+        let mut out = Tensor::zeros(idx.len(), xv.cols());
+        for (r, &i) in idx.iter().enumerate() {
+            out.row_slice_mut(r).copy_from_slice(xv.row_slice(i));
+        }
+        self.push(out, Op::GatherRows(x.0, idx))
+    }
+
+    /// Segmented row sum: output row `s` is the sum of all input rows `i`
+    /// with `segments[i] == s`. Rows with no contribution stay zero, which
+    /// is exactly the "empty children set" case of the GNN update.
+    pub fn segment_sum(&mut self, x: NodeId, segments: Vec<usize>, out_rows: usize) -> NodeId {
+        let xv = &self.nodes[x.0].value;
+        assert_eq!(segments.len(), xv.rows(), "one segment id per input row");
+        let mut out = Tensor::zeros(out_rows, xv.cols());
+        for (i, &s) in segments.iter().enumerate() {
+            assert!(s < out_rows, "segment id {} out of range {}", s, out_rows);
+            let src = xv.row_slice(i);
+            let dst = out.row_slice_mut(s);
+            for (d, v) in dst.iter_mut().zip(src) {
+                *d += *v;
+            }
+        }
+        self.push(out, Op::SegmentSum { input: x.0, segments, out_rows })
+    }
+
+    /// `x * s`.
+    pub fn scale(&mut self, x: NodeId, s: f32) -> NodeId {
+        let mut out = self.nodes[x.0].value.clone();
+        out.scale_assign(s);
+        self.push(out, Op::Scale(x.0, s))
+    }
+
+    /// Runs the backward pass seeding `d(loss)/d(out) = seed` and
+    /// accumulates parameter gradients into `store`.
+    ///
+    /// # Panics
+    /// Panics if `seed` does not match the shape of `out`'s value.
+    pub fn backward(&self, out: NodeId, seed: Tensor, store: &mut ParamStore) {
+        assert_eq!(seed.shape(), self.nodes[out.0].value.shape(), "seed shape mismatch");
+        let mut grads: Vec<Option<Tensor>> = (0..self.nodes.len()).map(|_| None).collect();
+        grads[out.0] = Some(seed);
+
+        for i in (0..self.nodes.len()).rev() {
+            let g = match grads[i].take() {
+                Some(g) => g,
+                None => continue,
+            };
+            match &self.nodes[i].op {
+                Op::Leaf(Some(pid)) => store.accumulate_grad(*pid, &g),
+                Op::Leaf(None) => {}
+                Op::MatMul(a, b) => {
+                    let da = g.matmul_t(&self.nodes[*b].value);
+                    let db = self.nodes[*a].value.t_matmul(&g);
+                    accumulate(&mut grads, *a, da);
+                    accumulate(&mut grads, *b, db);
+                }
+                Op::AddBias(x, bias) => {
+                    let mut db = Tensor::zeros(1, g.cols());
+                    for r in 0..g.rows() {
+                        let src = g.row_slice(r);
+                        let dst = db.row_slice_mut(0);
+                        for (d, v) in dst.iter_mut().zip(src) {
+                            *d += *v;
+                        }
+                    }
+                    accumulate(&mut grads, *bias, db);
+                    accumulate(&mut grads, *x, g);
+                }
+                Op::Add(a, b) => {
+                    accumulate(&mut grads, *a, g.clone());
+                    accumulate(&mut grads, *b, g);
+                }
+                Op::Relu(x) => {
+                    let mut dx = g;
+                    for (d, v) in dx.data_mut().iter_mut().zip(self.nodes[*x].value.data()) {
+                        if *v <= 0.0 {
+                            *d = 0.0;
+                        }
+                    }
+                    accumulate(&mut grads, *x, dx);
+                }
+                Op::Sigmoid(x) => {
+                    let mut dx = g;
+                    for (d, y) in dx.data_mut().iter_mut().zip(self.nodes[i].value.data()) {
+                        *d *= y * (1.0 - y);
+                    }
+                    accumulate(&mut grads, *x, dx);
+                }
+                Op::ConcatCols(a, b) => {
+                    let ac = self.nodes[*a].value.cols();
+                    let bc = self.nodes[*b].value.cols();
+                    let mut da = Tensor::zeros(g.rows(), ac);
+                    let mut db = Tensor::zeros(g.rows(), bc);
+                    for r in 0..g.rows() {
+                        let src = g.row_slice(r);
+                        da.row_slice_mut(r).copy_from_slice(&src[..ac]);
+                        db.row_slice_mut(r).copy_from_slice(&src[ac..]);
+                    }
+                    accumulate(&mut grads, *a, da);
+                    accumulate(&mut grads, *b, db);
+                }
+                Op::GatherRows(x, idx) => {
+                    let mut dx = Tensor::zeros(self.nodes[*x].value.rows(), g.cols());
+                    for (r, &src_row) in idx.iter().enumerate() {
+                        let src = g.row_slice(r);
+                        let dst = dx.row_slice_mut(src_row);
+                        for (d, v) in dst.iter_mut().zip(src) {
+                            *d += *v;
+                        }
+                    }
+                    accumulate(&mut grads, *x, dx);
+                }
+                Op::SegmentSum { input, segments, .. } => {
+                    let mut dx = Tensor::zeros(segments.len(), g.cols());
+                    for (r, &s) in segments.iter().enumerate() {
+                        dx.row_slice_mut(r).copy_from_slice(g.row_slice(s));
+                    }
+                    accumulate(&mut grads, *input, dx);
+                }
+                Op::Scale(x, s) => {
+                    let mut dx = g;
+                    dx.scale_assign(*s);
+                    accumulate(&mut grads, *x, dx);
+                }
+            }
+        }
+    }
+}
+
+fn accumulate(grads: &mut [Option<Tensor>], idx: usize, delta: Tensor) {
+    match &mut grads[idx] {
+        Some(g) => g.add_assign(&delta),
+        slot @ None => *slot = Some(delta),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_with(values: Vec<Tensor>) -> (ParamStore, Vec<ParamId>) {
+        let mut s = ParamStore::new();
+        let ids = values.into_iter().enumerate().map(|(i, v)| s.register(format!("p{i}"), v)).collect();
+        (s, ids)
+    }
+
+    #[test]
+    fn matmul_backward_matches_hand_computation() {
+        // y = x @ w, loss = sum(y); dL/dw = x^T @ 1, dL/dx = 1 @ w^T
+        let (mut store, ids) = store_with(vec![Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0])]);
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::from_vec(1, 2, vec![5.0, 6.0]));
+        let w = tape.param(&store, ids[0]);
+        let y = tape.matmul(x, w);
+        store.zero_grads();
+        tape.backward(y, Tensor::full(1, 2, 1.0), &mut store);
+        assert_eq!(store.grad(ids[0]).data(), &[5.0, 5.0, 6.0, 6.0]);
+    }
+
+    #[test]
+    fn segment_sum_forward_and_backward() {
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::from_vec(3, 2, vec![1.0, 2.0, 10.0, 20.0, 100.0, 200.0]));
+        let s = tape.segment_sum(x, vec![0, 1, 0], 2);
+        assert_eq!(tape.value(s).data(), &[101.0, 202.0, 10.0, 20.0]);
+    }
+
+    #[test]
+    fn gather_rows_repeats() {
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let g = tape.gather_rows(x, vec![1, 1, 0]);
+        assert_eq!(tape.value(g).data(), &[3.0, 4.0, 3.0, 4.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn empty_segment_stays_zero() {
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::from_vec(1, 2, vec![1.0, 2.0]));
+        let s = tape.segment_sum(x, vec![2], 3);
+        assert_eq!(tape.value(s).data(), &[0.0, 0.0, 0.0, 0.0, 1.0, 2.0]);
+    }
+
+    /// Finite-difference gradient check over a network exercising every op.
+    #[test]
+    fn gradient_check_all_ops() {
+        let seed_vals = vec![
+            Tensor::from_vec(3, 4, (0..12).map(|i| 0.1 * i as f32 - 0.5).collect()),
+            Tensor::from_vec(1, 4, vec![0.05, -0.02, 0.3, -0.4]),
+            Tensor::from_vec(8, 2, (0..16).map(|i| 0.07 * i as f32 - 0.4).collect()),
+        ];
+        let (mut store, ids) = store_with(seed_vals);
+
+        // Forward: x(4x3) @ w0 + b -> relu -> gather[0,2,1,3? no 4 rows]
+        // -> concat with sigmoid branch -> segment_sum -> @ w2 -> scale -> sum
+        let forward = |store: &ParamStore| -> (Tape, NodeId) {
+            let mut tape = Tape::new();
+            let x = tape.input(Tensor::from_vec(4, 3, (0..12).map(|i| (i as f32 * 0.13).sin()).collect()));
+            let w0 = tape.param(store, ids[0]);
+            let b = tape.param(store, ids[1]);
+            let h = tape.matmul(x, w0);
+            let h = tape.add_bias(h, b);
+            let r = tape.relu(h);
+            let s = tape.sigmoid(h);
+            let g = tape.gather_rows(r, vec![0, 2, 1, 3, 0]);
+            let g2 = tape.gather_rows(s, vec![1, 1, 2, 3, 0]);
+            let c = tape.concat_cols(g, g2);
+            let seg = tape.segment_sum(c, vec![0, 1, 0, 1, 2], 3);
+            let w2 = tape.param(store, ids[2]);
+            let out = tape.matmul(seg, w2);
+            let out = tape.scale(out, 0.5);
+            (tape, out)
+        };
+
+        let loss_of = |store: &ParamStore| -> f32 {
+            let (tape, out) = forward(store);
+            tape.value(out).sum()
+        };
+
+        let (tape, out) = forward(&store);
+        store.zero_grads();
+        let shape = tape.value(out).shape();
+        tape.backward(out, Tensor::full(shape.0, shape.1, 1.0), &mut store);
+
+        let eps = 1e-3;
+        for pid in store.ids() {
+            for k in 0..store.value(pid).len() {
+                let orig = store.value(pid).data()[k];
+                store.value_mut(pid).data_mut()[k] = orig + eps;
+                let lp = loss_of(&store);
+                store.value_mut(pid).data_mut()[k] = orig - eps;
+                let lm = loss_of(&store);
+                store.value_mut(pid).data_mut()[k] = orig;
+                let numeric = (lp - lm) / (2.0 * eps);
+                let analytic = store.grad(pid).data()[k];
+                assert!(
+                    (numeric - analytic).abs() < 2e-2 * (1.0 + numeric.abs().max(analytic.abs())),
+                    "param {} elem {}: numeric {} vs analytic {}",
+                    store.name(pid),
+                    k,
+                    numeric,
+                    analytic
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grads_accumulate_across_backwards() {
+        let (mut store, ids) = store_with(vec![Tensor::from_vec(1, 1, vec![2.0])]);
+        store.zero_grads();
+        for _ in 0..3 {
+            let mut tape = Tape::new();
+            let x = tape.input(Tensor::from_vec(1, 1, vec![1.0]));
+            let w = tape.param(&store, ids[0]);
+            let y = tape.matmul(x, w);
+            tape.backward(y, Tensor::full(1, 1, 1.0), &mut store);
+        }
+        assert_eq!(store.grad(ids[0]).data(), &[3.0]);
+        store.zero_grads();
+        assert_eq!(store.grad(ids[0]).data(), &[0.0]);
+    }
+
+    #[test]
+    fn grad_clipping_scales() {
+        let (mut store, ids) = store_with(vec![Tensor::from_vec(1, 2, vec![1.0, 1.0])]);
+        store.zero_grads();
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::from_vec(1, 1, vec![3.0]));
+        let w = tape.param(&store, ids[0]);
+        let g = tape.gather_rows(w, vec![0]);
+        let y = tape.matmul(x, g);
+        tape.backward(y, Tensor::full(1, 2, 1.0), &mut store);
+        let n = store.grad_norm();
+        assert!((n - (9.0f32 + 9.0).sqrt()).abs() < 1e-5);
+        store.scale_grads(0.5);
+        assert!((store.grad_norm() - n * 0.5).abs() < 1e-5);
+    }
+}

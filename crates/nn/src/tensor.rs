@@ -1,0 +1,288 @@
+//! Dense row-major `f32` matrices.
+//!
+//! A [`Tensor`] is the only numeric container used by the autograd tape.
+//! Everything in Costream's models is small (hidden widths of 32–128,
+//! minibatches of a few hundred graph nodes), so a straightforward dense
+//! representation with tight loops is both simple and fast enough.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major matrix of `f32` values.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a `rows x cols` tensor filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Tensor { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a `rows x cols` tensor filled with `value`.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Tensor { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Creates a tensor from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape {}x{} does not match data length {}", rows, cols, data.len());
+        Tensor { rows, cols, data }
+    }
+
+    /// Creates a `1 x n` row vector.
+    pub fn row(data: Vec<f32>) -> Self {
+        let cols = data.len();
+        Tensor { rows: 1, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying row-major data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element at `(r, c)`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets element at `(r, c)`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Immutable slice of row `r`.
+    #[inline]
+    pub fn row_slice(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable slice of row `r`.
+    #[inline]
+    pub fn row_slice_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix product `self @ other`.
+    ///
+    /// # Panics
+    /// Panics if `self.cols != other.rows`.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch: {}x{} @ {}x{}", self.rows, self.cols, other.rows, other.cols);
+        let mut out = Tensor::zeros(self.rows, other.cols);
+        // i-k-j loop order keeps the inner loop contiguous in both
+        // `other` and `out`, which the compiler can vectorize.
+        for i in 0..self.rows {
+            let out_row = i * other.cols;
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = k * other.cols;
+                for j in 0..other.cols {
+                    out.data[out_row + j] += a * other.data[b_row + j];
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self^T @ other` without materializing the transpose.
+    pub fn t_matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rows, other.rows, "t_matmul shape mismatch: ({}x{})^T @ {}x{}", self.rows, self.cols, other.rows, other.cols);
+        let mut out = Tensor::zeros(self.cols, other.cols);
+        for r in 0..self.rows {
+            for i in 0..self.cols {
+                let a = self.data[r * self.cols + i];
+                if a == 0.0 {
+                    continue;
+                }
+                let o_row = i * other.cols;
+                let b_row = r * other.cols;
+                for j in 0..other.cols {
+                    out.data[o_row + j] += a * other.data[b_row + j];
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self @ other^T` without materializing the transpose.
+    pub fn matmul_t(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.cols, other.cols, "matmul_t shape mismatch: {}x{} @ ({}x{})^T", self.rows, self.cols, other.rows, other.cols);
+        let mut out = Tensor::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let a_row = i * self.cols;
+            for j in 0..other.rows {
+                let b_row = j * other.cols;
+                let mut acc = 0.0;
+                for k in 0..self.cols {
+                    acc += self.data[a_row + k] * other.data[b_row + k];
+                }
+                out.data[i * other.rows + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// Element-wise in-place addition.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape(), other.shape(), "add_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += *b;
+        }
+    }
+
+    /// Scales every element in place.
+    pub fn scale_assign(&mut self, s: f32) {
+        for a in self.data.iter_mut() {
+            *a *= s;
+        }
+    }
+
+    /// Fills the tensor with zeros.
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements; 0.0 for empty tensors.
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Squared L2 norm of all elements.
+    pub fn sq_norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum()
+    }
+
+    /// Returns true when any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|v| !v.is_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_shape() {
+        let t = Tensor::zeros(2, 3);
+        assert_eq!(t.shape(), (2, 3));
+        assert_eq!(t.len(), 6);
+        assert!(t.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn from_vec_roundtrip() {
+        let t = Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(t.get(0, 1), 2.0);
+        assert_eq!(t.get(1, 0), 3.0);
+        assert_eq!(t.row_slice(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape")]
+    fn from_vec_bad_shape_panics() {
+        let _ = Tensor::from_vec(2, 2, vec![1.0]);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Tensor::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), (2, 2));
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn t_matmul_matches_explicit_transpose() {
+        let a = Tensor::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Tensor::from_vec(3, 2, vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
+        // a^T is 2x3, result 2x2
+        let c = a.t_matmul(&b);
+        assert_eq!(c.shape(), (2, 2));
+        // a^T = [[1,3,5],[2,4,6]]; a^T@b = [[1+5, 3+5],[2+6, 4+6]]
+        assert_eq!(c.data(), &[6.0, 8.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn matmul_t_matches_matmul_of_transpose() {
+        let a = Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Tensor::from_vec(2, 3, vec![1.0, 1.0, 0.0, 0.0, 1.0, 1.0]);
+        let c = a.matmul_t(&b);
+        assert_eq!(c.shape(), (2, 2));
+        assert_eq!(c.data(), &[3.0, 5.0, 9.0, 11.0]);
+    }
+
+    #[test]
+    fn add_scale_sum_mean() {
+        let mut a = Tensor::from_vec(1, 4, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Tensor::from_vec(1, 4, vec![1.0, 1.0, 1.0, 1.0]);
+        a.add_assign(&b);
+        assert_eq!(a.sum(), 14.0);
+        a.scale_assign(0.5);
+        assert_eq!(a.mean(), 1.75);
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        let mut a = Tensor::zeros(1, 2);
+        assert!(!a.has_non_finite());
+        a.set(0, 1, f32::NAN);
+        assert!(a.has_non_finite());
+    }
+}

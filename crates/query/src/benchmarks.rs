@@ -1,0 +1,298 @@
+//! Real-world benchmark queries of Exp 6 (§VII-F).
+//!
+//! These are the algebraic sub-queries of the DSPBench advertisement and
+//! spike-detection benchmarks and of the DEBS'14 smart-grid challenge, with
+//! synthetic data whose characteristics sit *outside* the training
+//! distribution (continuous event rates instead of the Table II grid,
+//! skewed selectivities, a window length the model never saw). The paper
+//! executed each query 100 times with random event rates and placements;
+//! [`BenchmarkQuery::build`] mirrors that by sampling those unknowns from
+//! the provided RNG.
+
+use crate::datatypes::{DataType, TupleSchema};
+use crate::operators::{
+    AggFunction, AggSpec, FilterFunction, FilterSpec, JoinSpec, OpKind, Query, SourceSpec, WindowPolicy, WindowSpec,
+    WindowType,
+};
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The four benchmark queries evaluated in Exp 6.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BenchmarkQuery {
+    /// DSPBench advertisement: clicks ⋈ impressions with a pre-join filter.
+    Advertisement,
+    /// DSPBench spike detection: sliding mean over sensor values, then a
+    /// low-selectivity spike filter.
+    SpikeDetection,
+    /// DEBS'14 smart grid: global energy consumption over a sliding window.
+    SmartGridGlobal,
+    /// DEBS'14 smart grid: per-household consumption (grouped aggregation
+    /// over the global aggregate stream).
+    SmartGridLocal,
+}
+
+impl BenchmarkQuery {
+    /// All benchmark queries, in the order of Table VI-B.
+    pub const ALL: [BenchmarkQuery; 4] = [
+        BenchmarkQuery::Advertisement,
+        BenchmarkQuery::SpikeDetection,
+        BenchmarkQuery::SmartGridGlobal,
+        BenchmarkQuery::SmartGridLocal,
+    ];
+
+    /// Name as printed in Table VI-B.
+    pub fn name(self) -> &'static str {
+        match self {
+            BenchmarkQuery::Advertisement => "Advertisement",
+            BenchmarkQuery::SpikeDetection => "Spike Detection",
+            BenchmarkQuery::SmartGridGlobal => "Smart Grid (global)",
+            BenchmarkQuery::SmartGridLocal => "Smart Grid (local)",
+        }
+    }
+
+    /// Builds one instance of the benchmark query with random event rates
+    /// (continuous, unlike the discrete training grid) and data-dependent
+    /// selectivities.
+    pub fn build(self, rng: &mut StdRng) -> Query {
+        match self {
+            BenchmarkQuery::Advertisement => advertisement(rng),
+            BenchmarkQuery::SpikeDetection => spike_detection(rng),
+            BenchmarkQuery::SmartGridGlobal => smart_grid_global(rng),
+            BenchmarkQuery::SmartGridLocal => smart_grid_local(rng),
+        }
+    }
+}
+
+fn continuous_rate(rng: &mut StdRng, lo: f64, hi: f64) -> f64 {
+    // Log-uniform continuous rate: never coincides with the training grid.
+    (rng.gen_range(lo.ln()..hi.ln())).exp()
+}
+
+/// Clicks and impressions streams, a filter on impressions (only banner
+/// ads), and a windowed join on the ad id. The original DSPBench query also
+/// computes a click-through ratio with user-defined operators; like the
+/// paper we restrict it to the algebraic sub-query.
+fn advertisement(rng: &mut StdRng) -> Query {
+    // ad_id, user_id, page_id, event_time -> narrow 4-attribute tuples.
+    let click_schema = TupleSchema::new(vec![DataType::Int, DataType::Int, DataType::String, DataType::Int]);
+    let imp_schema = TupleSchema::new(vec![DataType::Int, DataType::Int, DataType::String, DataType::Int]);
+    let clicks = continuous_rate(rng, 60.0, 1800.0);
+    // Impressions outnumber clicks heavily — skew unseen in training where
+    // both join inputs draw from the same rate grid.
+    let impressions = clicks * rng.gen_range(5.0..20.0);
+    let window = WindowSpec {
+        window_type: WindowType::Sliding,
+        policy: WindowPolicy::TimeBased,
+        size: 3.0,
+        slide: 1.0,
+    };
+    Query::new(
+        vec![
+            OpKind::Source(SourceSpec { event_rate: clicks, schema: click_schema }),
+            OpKind::Source(SourceSpec { event_rate: impressions, schema: imp_schema }),
+            OpKind::Filter(FilterSpec {
+                function: FilterFunction::StartsWith,
+                literal_type: DataType::String,
+                selectivity: rng.gen_range(0.2..0.5),
+            }),
+            OpKind::WindowJoin(JoinSpec {
+                key_type: DataType::Int,
+                window,
+                // CTR-like join: a click matches its impression; sparse.
+                selectivity: rng.gen_range(0.0005..0.01),
+            }),
+            OpKind::Sink,
+        ],
+        vec![(0, 3), (1, 2), (2, 3), (3, 4)],
+    )
+}
+
+/// Sliding mean over a sensor stream followed by a spike filter
+/// (`value > 1.03 * moving average` in DSPBench, here a low-selectivity
+/// numeric filter).
+fn spike_detection(rng: &mut StdRng) -> Query {
+    // device_id, temperature, humidity, light, timestamp
+    let schema = TupleSchema::new(vec![
+        DataType::Int,
+        DataType::Double,
+        DataType::Double,
+        DataType::Double,
+        DataType::Int,
+    ]);
+    let rate = continuous_rate(rng, 120.0, 9000.0);
+    Query::new(
+        vec![
+            OpKind::Source(SourceSpec { event_rate: rate, schema }),
+            OpKind::WindowAggregate(AggSpec {
+                function: AggFunction::Mean,
+                agg_type: DataType::Double,
+                group_by: Some(DataType::Int),
+                window: WindowSpec {
+                    window_type: WindowType::Sliding,
+                    policy: WindowPolicy::CountBased,
+                    size: 90.0,
+                    slide: 30.0,
+                },
+                // Many devices => many groups per window.
+                selectivity: rng.gen_range(0.3..0.9),
+            }),
+            OpKind::Filter(FilterSpec {
+                function: FilterFunction::Greater,
+                literal_type: DataType::Double,
+                // Spikes are rare.
+                selectivity: rng.gen_range(0.01..0.08),
+            }),
+            OpKind::Sink,
+        ],
+        vec![(0, 1), (1, 2), (2, 3)],
+    )
+}
+
+/// Global energy consumption: sliding-window mean over the whole load
+/// stream. The window length (1 hour in DEBS'14, here 24 s of stream time)
+/// exceeds the training range's largest time window (16 s) — the paper
+/// notes Costream must extrapolate over this.
+fn smart_grid_global(rng: &mut StdRng) -> Query {
+    // id, timestamp, value, property, plug_id, household_id, house_id
+    let schema = TupleSchema::new(vec![
+        DataType::Int,
+        DataType::Int,
+        DataType::Double,
+        DataType::Int,
+        DataType::Int,
+        DataType::Int,
+        DataType::Int,
+    ]);
+    let rate = continuous_rate(rng, 300.0, 12000.0);
+    Query::new(
+        vec![
+            OpKind::Source(SourceSpec { event_rate: rate, schema }),
+            OpKind::WindowAggregate(AggSpec {
+                function: AggFunction::Avg,
+                agg_type: DataType::Double,
+                group_by: None,
+                window: WindowSpec {
+                    window_type: WindowType::Sliding,
+                    policy: WindowPolicy::TimeBased,
+                    size: 24.0,
+                    slide: 8.0,
+                },
+                selectivity: 1.0,
+            }),
+            OpKind::Sink,
+        ],
+        vec![(0, 1), (1, 2)],
+    )
+}
+
+/// Local energy consumption: the global aggregate stream grouped by
+/// household.
+fn smart_grid_local(rng: &mut StdRng) -> Query {
+    let schema = TupleSchema::new(vec![
+        DataType::Int,
+        DataType::Int,
+        DataType::Double,
+        DataType::Int,
+        DataType::Int,
+        DataType::Int,
+        DataType::Int,
+    ]);
+    let rate = continuous_rate(rng, 300.0, 12000.0);
+    Query::new(
+        vec![
+            OpKind::Source(SourceSpec { event_rate: rate, schema }),
+            OpKind::WindowAggregate(AggSpec {
+                function: AggFunction::Avg,
+                agg_type: DataType::Double,
+                group_by: Some(DataType::Int),
+                window: WindowSpec {
+                    window_type: WindowType::Sliding,
+                    policy: WindowPolicy::TimeBased,
+                    size: 24.0,
+                    slide: 8.0,
+                },
+                // Households per window: skewed, many groups.
+                selectivity: rng.gen_range(0.1..0.4),
+            }),
+            OpKind::WindowAggregate(AggSpec {
+                function: AggFunction::Mean,
+                agg_type: DataType::Double,
+                group_by: Some(DataType::Int),
+                window: WindowSpec {
+                    window_type: WindowType::Sliding,
+                    policy: WindowPolicy::TimeBased,
+                    size: 24.0,
+                    slide: 8.0,
+                },
+                selectivity: rng.gen_range(0.1..0.4),
+            }),
+            OpKind::Sink,
+        ],
+        vec![(0, 1), (1, 2), (2, 3)],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_benchmarks_build_valid_queries() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for b in BenchmarkQuery::ALL {
+            for _ in 0..20 {
+                let q = b.build(&mut rng);
+                assert!(q.validate().is_ok(), "{} invalid", b.name());
+            }
+        }
+    }
+
+    #[test]
+    fn advertisement_joins_two_streams() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let q = BenchmarkQuery::Advertisement.build(&mut rng);
+        let (s, f, _, j) = q.kind_counts();
+        assert_eq!((s, f, j), (2, 1, 1));
+    }
+
+    #[test]
+    fn smart_grid_window_exceeds_training_range() {
+        use crate::ranges::FeatureRanges;
+        let mut rng = StdRng::seed_from_u64(3);
+        let q = BenchmarkQuery::SmartGridGlobal.build(&mut rng);
+        let max_trained = FeatureRanges::training().window_size_time.into_iter().fold(0.0, f64::max);
+        let agg_window = q
+            .ops()
+            .find_map(|(_, op)| match op {
+                OpKind::WindowAggregate(a) => Some(a.window.size),
+                _ => None,
+            })
+            .unwrap();
+        assert!(agg_window > max_trained);
+    }
+
+    #[test]
+    fn rates_are_continuous_not_grid() {
+        use crate::ranges::FeatureRanges;
+        let grid = FeatureRanges::training();
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..20 {
+            let q = BenchmarkQuery::SpikeDetection.build(&mut rng);
+            for (_, op) in q.ops() {
+                if let OpKind::Source(s) = op {
+                    assert!(!grid.event_rate_linear.contains(&s.event_rate));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn builds_are_deterministic_per_seed() {
+        let a = BenchmarkQuery::Advertisement.build(&mut StdRng::seed_from_u64(5));
+        let b = BenchmarkQuery::Advertisement.build(&mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+}

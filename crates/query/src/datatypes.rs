@@ -1,0 +1,139 @@
+//! Tuple schemas and attribute data types.
+
+use serde::{Deserialize, Serialize};
+
+/// Data type of a single tuple attribute.
+///
+/// The paper's training range uses tuples of 3–10 attributes drawn from
+/// `{int, string, double}` (Table II). Data types matter for cost: string
+/// comparisons and string join keys are more expensive than numeric ones,
+/// and wider types mean more bytes on the wire and in window state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// 64-bit integer attribute.
+    Int,
+    /// Variable-length string attribute.
+    String,
+    /// 64-bit floating point attribute.
+    Double,
+}
+
+impl DataType {
+    /// All supported data types.
+    pub const ALL: [DataType; 3] = [DataType::Int, DataType::String, DataType::Double];
+
+    /// Approximate serialized size of one value in bytes; used by the
+    /// simulator's network and memory models.
+    pub fn byte_size(self) -> f64 {
+        match self {
+            DataType::Int => 8.0,
+            DataType::Double => 8.0,
+            // Strings in the generated workloads average ~24 bytes payload
+            // plus length header.
+            DataType::String => 28.0,
+        }
+    }
+
+    /// Relative CPU cost of comparing/hashing one value of this type,
+    /// normalized to integer = 1.
+    pub fn compare_cost(self) -> f64 {
+        match self {
+            DataType::Int => 1.0,
+            DataType::Double => 1.2,
+            DataType::String => 3.0,
+        }
+    }
+
+    /// Index used for one-hot feature encoding.
+    pub fn one_hot_index(self) -> usize {
+        match self {
+            DataType::Int => 0,
+            DataType::String => 1,
+            DataType::Double => 2,
+        }
+    }
+}
+
+/// Schema of a data stream: an ordered list of attribute types.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TupleSchema {
+    /// Attribute data types in tuple order.
+    pub attributes: Vec<DataType>,
+}
+
+impl TupleSchema {
+    /// Creates a schema from attribute types.
+    pub fn new(attributes: Vec<DataType>) -> Self {
+        TupleSchema { attributes }
+    }
+
+    /// Tuple width: the number of attributes.
+    pub fn width(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Serialized size of one tuple in bytes (attributes + framing).
+    pub fn tuple_bytes(&self) -> f64 {
+        16.0 + self.attributes.iter().map(|d| d.byte_size()).sum::<f64>()
+    }
+
+    /// Counts of (int, string, double) attributes.
+    pub fn type_counts(&self) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for a in &self.attributes {
+            match a {
+                DataType::Int => c.0 += 1,
+                DataType::String => c.1 += 1,
+                DataType::Double => c.2 += 1,
+            }
+        }
+        c
+    }
+
+    /// Concatenation of two schemas (join output).
+    pub fn concat(&self, other: &TupleSchema) -> TupleSchema {
+        let mut attributes = self.attributes.clone();
+        attributes.extend(other.attributes.iter().copied());
+        TupleSchema { attributes }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_sizes_are_positive_and_ordered() {
+        assert!(DataType::String.byte_size() > DataType::Int.byte_size());
+        for d in DataType::ALL {
+            assert!(d.byte_size() > 0.0);
+            assert!(d.compare_cost() >= 1.0);
+        }
+    }
+
+    #[test]
+    fn schema_width_and_counts() {
+        let s = TupleSchema::new(vec![DataType::Int, DataType::Int, DataType::String, DataType::Double]);
+        assert_eq!(s.width(), 4);
+        assert_eq!(s.type_counts(), (2, 1, 1));
+        assert!(s.tuple_bytes() > 16.0);
+    }
+
+    #[test]
+    fn concat_joins_schemas() {
+        let a = TupleSchema::new(vec![DataType::Int]);
+        let b = TupleSchema::new(vec![DataType::String, DataType::Double]);
+        let c = a.concat(&b);
+        assert_eq!(c.width(), 3);
+        assert_eq!(c.attributes[1], DataType::String);
+    }
+
+    #[test]
+    fn one_hot_indices_unique() {
+        let mut seen = [false; 3];
+        for d in DataType::ALL {
+            assert!(!seen[d.one_hot_index()]);
+            seen[d.one_hot_index()] = true;
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Graphviz DOT export of queries and placements, for debugging and
+//! documentation. The rendering mirrors Fig. 3 of the paper: operator
+//! nodes along the data flow, host nodes as boxes, placement edges dashed.
+
+use crate::hardware::Cluster;
+use crate::operators::{OpKind, Query};
+use crate::placement::Placement;
+use std::fmt::Write as _;
+
+fn op_label(op: &OpKind) -> String {
+    match op {
+        OpKind::Source(s) => format!("source\\n{:.0} ev/s, w={}", s.event_rate, s.schema.width()),
+        OpKind::Filter(f) => format!("filter\\nsel={:.2}", f.selectivity),
+        OpKind::WindowAggregate(a) => format!("aggregate\\n{:?} w={:.1}", a.function, a.window.size),
+        OpKind::WindowJoin(j) => format!("join\\nsel={:.4} w={:.1}", j.selectivity, j.window.size),
+        OpKind::Sink => "sink".to_string(),
+    }
+}
+
+/// Renders the logical query DAG as a DOT digraph.
+pub fn query_to_dot(query: &Query) -> String {
+    let mut s = String::from("digraph query {\n  rankdir=LR;\n  node [shape=ellipse];\n");
+    for (id, op) in query.ops() {
+        let _ = writeln!(s, "  op{id} [label=\"{}\"];", op_label(op));
+    }
+    for &(a, b) in query.edges() {
+        let _ = writeln!(s, "  op{a} -> op{b};");
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// Renders the joint operator-resource view: the query DAG plus host nodes
+/// and dashed placement edges (Fig. 3 ③ of the paper).
+pub fn placement_to_dot(query: &Query, cluster: &Cluster, placement: &Placement) -> String {
+    let mut s = String::from("digraph placement {\n  rankdir=LR;\n  node [shape=ellipse];\n");
+    for (id, op) in query.ops() {
+        let _ = writeln!(s, "  op{id} [label=\"{}\"];", op_label(op));
+    }
+    for &h in &placement.hosts_used() {
+        let host = cluster.host(h);
+        let _ = writeln!(
+            s,
+            "  host{h} [shape=box, style=filled, fillcolor=lightyellow, label=\"host {h}\\ncpu={:.0}% ram={:.0}MB\\nbw={:.0}Mb/s lat={:.0}ms\"];",
+            host.cpu, host.ram_mb, host.bandwidth_mbits, host.latency_ms
+        );
+    }
+    for &(a, b) in query.edges() {
+        let _ = writeln!(s, "  op{a} -> op{b};");
+    }
+    for (op, _) in query.ops() {
+        let _ = writeln!(s, "  op{op} -> host{} [style=dashed, dir=none, color=gray];", placement.host_of(op));
+    }
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::WorkloadGenerator;
+    use crate::ranges::FeatureRanges;
+
+    #[test]
+    fn query_dot_mentions_every_operator_and_edge() {
+        let mut g = WorkloadGenerator::new(1, FeatureRanges::training());
+        let q = g.query();
+        let dot = query_to_dot(&q);
+        assert!(dot.starts_with("digraph query {"));
+        for (id, _) in q.ops() {
+            assert!(dot.contains(&format!("op{id} ")));
+        }
+        assert_eq!(dot.matches(" -> ").count(), q.edges().len());
+    }
+
+    #[test]
+    fn placement_dot_includes_hosts_and_dashed_edges() {
+        let mut g = WorkloadGenerator::new(2, FeatureRanges::training());
+        let (q, c, p) = g.workload_item();
+        let dot = placement_to_dot(&q, &c, &p);
+        for h in p.hosts_used() {
+            assert!(dot.contains(&format!("host{h} [shape=box")));
+        }
+        assert_eq!(dot.matches("style=dashed").count(), q.len());
+    }
+
+    #[test]
+    fn dot_is_deterministic() {
+        let mut g1 = WorkloadGenerator::new(3, FeatureRanges::training());
+        let mut g2 = WorkloadGenerator::new(3, FeatureRanges::training());
+        assert_eq!(query_to_dot(&g1.query()), query_to_dot(&g2.query()));
+    }
+}

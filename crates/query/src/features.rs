@@ -1,0 +1,203 @@
+//! Transferable feature encoding (Table I).
+//!
+//! Every graph node — operator or host — is described by a fixed-width
+//! feature vector specific to its node type. Numeric features with large
+//! value ranges (rates, window sizes, hardware resources) are `log1p`
+//! scaled so the model inter- and extrapolates in log space, which is what
+//! makes the features *transferable* to unseen magnitudes.
+
+use crate::datatypes::TupleSchema;
+use crate::hardware::Host;
+use crate::operators::{OpId, OpKind, Query, WindowPolicy, WindowSpec, WindowType};
+use serde::{Deserialize, Serialize};
+
+/// The node types of the joint operator-resource graph, each with its own
+/// encoder in the GNN.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeType {
+    /// Data source (spout).
+    Source,
+    /// Filter operator.
+    Filter,
+    /// Windowed join operator.
+    Join,
+    /// Windowed aggregation operator.
+    Aggregate,
+    /// Sink operator.
+    Sink,
+    /// Hardware host.
+    Host,
+}
+
+impl NodeType {
+    /// All node types, in encoder registration order.
+    pub const ALL: [NodeType; 6] =
+        [NodeType::Source, NodeType::Filter, NodeType::Join, NodeType::Aggregate, NodeType::Sink, NodeType::Host];
+
+    /// Width of the feature vector for this node type.
+    pub fn feature_width(self) -> usize {
+        match self {
+            NodeType::Source => 5,
+            NodeType::Filter => 13,
+            NodeType::Join => 13,
+            NodeType::Aggregate => 21,
+            NodeType::Sink => 1,
+            NodeType::Host => 4,
+        }
+    }
+
+    /// Node type of an operator.
+    pub fn of_op(op: &OpKind) -> NodeType {
+        match op {
+            OpKind::Source(_) => NodeType::Source,
+            OpKind::Filter(_) => NodeType::Filter,
+            OpKind::WindowJoin(_) => NodeType::Join,
+            OpKind::WindowAggregate(_) => NodeType::Aggregate,
+            OpKind::Sink => NodeType::Sink,
+        }
+    }
+
+    /// Short name for diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            NodeType::Source => "source",
+            NodeType::Filter => "filter",
+            NodeType::Join => "join",
+            NodeType::Aggregate => "aggregate",
+            NodeType::Sink => "sink",
+            NodeType::Host => "host",
+        }
+    }
+}
+
+fn log1p(v: f64) -> f32 {
+    (v.max(0.0)).ln_1p() as f32
+}
+
+fn one_hot(len: usize, idx: usize) -> Vec<f32> {
+    let mut v = vec![0.0; len];
+    v[idx] = 1.0;
+    v
+}
+
+fn window_features(w: &WindowSpec) -> Vec<f32> {
+    let mut f = Vec::with_capacity(6);
+    f.extend(match w.window_type {
+        WindowType::Sliding => [1.0, 0.0],
+        WindowType::Tumbling => [0.0, 1.0],
+    });
+    f.extend(match w.policy {
+        WindowPolicy::CountBased => [1.0, 0.0],
+        WindowPolicy::TimeBased => [0.0, 1.0],
+    });
+    f.push(log1p(w.size));
+    f.push(log1p(w.slide));
+    f
+}
+
+/// Encodes the transferable features of one operator node.
+///
+/// `schemas` must be `query.output_schemas()` and `est_sel` the estimated
+/// selectivity for this operator (ignored for sources and sinks).
+pub fn op_features(query: &Query, op: OpId, schemas: &[TupleSchema], est_sel: f64) -> Vec<f32> {
+    let width_in = query.input_width(op, schemas) as f32;
+    let width_out = schemas[op].width() as f32;
+    let sel = est_sel.clamp(1e-6, 1.0);
+    let f = match query.op(op) {
+        OpKind::Source(s) => {
+            let (i, st, d) = s.schema.type_counts();
+            vec![log1p(s.event_rate), width_out, i as f32, st as f32, d as f32]
+        }
+        OpKind::Filter(f) => {
+            let mut v = one_hot(7, f.function.one_hot_index());
+            v.extend(one_hot(3, f.literal_type.one_hot_index()));
+            v.push(sel as f32);
+            v.push(width_in);
+            v.push(width_out);
+            v
+        }
+        OpKind::WindowJoin(j) => {
+            let mut v = one_hot(3, j.key_type.one_hot_index());
+            v.push(sel as f32);
+            // Join selectivities span orders of magnitude; add a log-scaled
+            // copy so small differences near zero stay distinguishable.
+            v.push((sel.ln() / 10.0) as f32);
+            v.extend(window_features(&j.window));
+            v.push(width_in);
+            v.push(width_out);
+            v
+        }
+        OpKind::WindowAggregate(a) => {
+            let mut v = one_hot(4, a.function.one_hot_index());
+            v.extend(one_hot(3, a.agg_type.one_hot_index()));
+            v.extend(match a.group_by {
+                Some(d) => one_hot(4, d.one_hot_index()),
+                None => one_hot(4, 3),
+            });
+            v.push(sel as f32);
+            v.push((sel.ln() / 10.0) as f32);
+            v.extend(window_features(&a.window));
+            v.push(width_in);
+            v.push(width_out);
+            v
+        }
+        OpKind::Sink => vec![width_in],
+    };
+    debug_assert_eq!(f.len(), NodeType::of_op(query.op(op)).feature_width());
+    f
+}
+
+/// Encodes the transferable hardware features of one host node.
+pub fn host_features(host: &Host) -> Vec<f32> {
+    vec![log1p(host.cpu), log1p(host.ram_mb), log1p(host.bandwidth_mbits), log1p(host.latency_ms)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::WorkloadGenerator;
+    use crate::ranges::FeatureRanges;
+    use crate::selectivity::SelectivityEstimator;
+
+    #[test]
+    fn feature_widths_consistent_for_generated_queries() {
+        let mut g = WorkloadGenerator::new(1, FeatureRanges::training());
+        let mut e = SelectivityEstimator::realistic(2);
+        for _ in 0..100 {
+            let q = g.query();
+            let schemas = q.output_schemas();
+            let sels = e.estimate_query(&q);
+            for (id, op) in q.ops() {
+                let f = op_features(&q, id, &schemas, sels[id]);
+                assert_eq!(f.len(), NodeType::of_op(op).feature_width());
+                assert!(f.iter().all(|v| v.is_finite()));
+            }
+        }
+    }
+
+    #[test]
+    fn host_features_log_scaled() {
+        let h = Host { cpu: 800.0, ram_mb: 32000.0, bandwidth_mbits: 10000.0, latency_ms: 1.0 };
+        let f = host_features(&h);
+        assert_eq!(f.len(), NodeType::Host.feature_width());
+        assert!((f[0] - (801.0f32).ln()).abs() < 1e-4);
+        assert!(f.iter().all(|&v| v >= 0.0 && v < 15.0), "log scaling keeps magnitudes small: {f:?}");
+    }
+
+    #[test]
+    fn one_hot_is_exclusive() {
+        let v = one_hot(5, 2);
+        assert_eq!(v.iter().sum::<f32>(), 1.0);
+        assert_eq!(v[2], 1.0);
+    }
+
+    #[test]
+    fn stronger_hardware_has_larger_features() {
+        let weak = Host { cpu: 50.0, ram_mb: 1000.0, bandwidth_mbits: 25.0, latency_ms: 160.0 };
+        let strong = Host { cpu: 800.0, ram_mb: 32000.0, bandwidth_mbits: 10000.0, latency_ms: 160.0 };
+        let fw = host_features(&weak);
+        let fs = host_features(&strong);
+        assert!(fs[0] > fw[0] && fs[1] > fw[1] && fs[2] > fw[2]);
+        assert_eq!(fs[3], fw[3]);
+    }
+}

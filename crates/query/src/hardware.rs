@@ -1,0 +1,203 @@
+//! Heterogeneous hardware resources and clusters.
+//!
+//! The paper describes compute nodes by four *transferable* hardware
+//! features (Table I): relative CPU resources (% of a reference core), RAM,
+//! outgoing network latency and outgoing network bandwidth. Clusters in the
+//! benchmark are built by virtualizing physical machines (cgroups/netem);
+//! here a [`Cluster`] is simply a set of [`Host`] descriptions plus the
+//! pairwise network model derived from the per-host egress parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a host inside a [`Cluster`].
+pub type HostId = usize;
+
+/// One (virtualized) compute node.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Host {
+    /// Relative CPU resources in percent of one reference core
+    /// (e.g. 200 = two reference cores).
+    pub cpu: f64,
+    /// Available RAM in megabytes.
+    pub ram_mb: f64,
+    /// Outgoing network bandwidth in Mbit/s.
+    pub bandwidth_mbits: f64,
+    /// Outgoing network latency in milliseconds.
+    pub latency_ms: f64,
+}
+
+impl Host {
+    /// A scalar capability score combining compute, memory and network in
+    /// log space. Used to classify hosts into the three capability bins of
+    /// the placement heuristic (Fig. 5 ②).
+    pub fn capability_score(&self) -> f64 {
+        // Geometric-mean style: latency counts negatively.
+        (self.cpu.max(1.0).ln() + (self.ram_mb.max(1.0) / 1000.0).max(0.05).ln() + self.bandwidth_mbits.max(1.0).ln()
+            - self.latency_ms.max(0.1).ln() / 2.0)
+            / 3.0
+    }
+}
+
+/// The capability class of a host, used by the heuristic enumeration rule
+/// "increasing computing capability along the physical data flow".
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum CapabilityBin {
+    /// Sensor/edge-class device.
+    Edge,
+    /// Workstation/fog-class device.
+    Fog,
+    /// Server/cloud-class device.
+    Cloud,
+}
+
+impl CapabilityBin {
+    /// Classifies a host into one of three bins. The thresholds were chosen
+    /// so that the Table II training range splits roughly into thirds; the
+    /// paper notes the bins "are intersected in their feature range to
+    /// emulate realistic transitions", which holds here because the score
+    /// mixes all four dimensions (a high-CPU host with slow network can
+    /// land in the same bin as a low-CPU host with fast network).
+    pub fn classify(host: &Host) -> CapabilityBin {
+        // The Table II training grid spans scores of roughly 1.5 (weakest
+        // edge device) to 6.5 (strongest cloud server); the cut points
+        // split that span into thirds.
+        let s = host.capability_score();
+        if s < 3.2 {
+            CapabilityBin::Edge
+        } else if s < 4.8 {
+            CapabilityBin::Fog
+        } else {
+            CapabilityBin::Cloud
+        }
+    }
+}
+
+/// A set of hosts available for placement, with a pairwise network model.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Cluster {
+    hosts: Vec<Host>,
+}
+
+impl Cluster {
+    /// Creates a cluster.
+    ///
+    /// # Panics
+    /// Panics if `hosts` is empty.
+    pub fn new(hosts: Vec<Host>) -> Self {
+        assert!(!hosts.is_empty(), "a cluster needs at least one host");
+        Cluster { hosts }
+    }
+
+    /// Number of hosts.
+    pub fn len(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// True when the cluster is empty (never for constructed clusters).
+    pub fn is_empty(&self) -> bool {
+        self.hosts.is_empty()
+    }
+
+    /// Host by id.
+    pub fn host(&self, id: HostId) -> &Host {
+        &self.hosts[id]
+    }
+
+    /// All hosts.
+    pub fn hosts(&self) -> &[Host] {
+        &self.hosts
+    }
+
+    /// One-way network latency between two hosts in milliseconds.
+    /// Co-located operators communicate in-process at ~zero latency.
+    pub fn link_latency_ms(&self, a: HostId, b: HostId) -> f64 {
+        if a == b {
+            0.0
+        } else {
+            // Egress latency of the sender dominates in edge-cloud setups
+            // (the last mile); the receiver contributes half.
+            self.hosts[a].latency_ms + 0.5 * self.hosts[b].latency_ms
+        }
+    }
+
+    /// Achievable bandwidth between two hosts in Mbit/s (bottleneck link).
+    pub fn link_bandwidth_mbits(&self, a: HostId, b: HostId) -> f64 {
+        if a == b {
+            f64::INFINITY
+        } else {
+            self.hosts[a].bandwidth_mbits.min(self.hosts[b].bandwidth_mbits)
+        }
+    }
+
+    /// Mean of each hardware feature over all hosts:
+    /// `(cpu, ram, bandwidth, latency)`. Used to group prediction results
+    /// by hardware range (Fig. 7).
+    pub fn mean_features(&self) -> (f64, f64, f64, f64) {
+        let n = self.hosts.len() as f64;
+        let mut acc = (0.0, 0.0, 0.0, 0.0);
+        for h in &self.hosts {
+            acc.0 += h.cpu;
+            acc.1 += h.ram_mb;
+            acc.2 += h.bandwidth_mbits;
+            acc.3 += h.latency_ms;
+        }
+        (acc.0 / n, acc.1 / n, acc.2 / n, acc.3 / n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge() -> Host {
+        Host { cpu: 50.0, ram_mb: 1000.0, bandwidth_mbits: 25.0, latency_ms: 160.0 }
+    }
+
+    fn cloud() -> Host {
+        Host { cpu: 800.0, ram_mb: 32000.0, bandwidth_mbits: 10000.0, latency_ms: 1.0 }
+    }
+
+    #[test]
+    fn capability_ordering() {
+        assert!(cloud().capability_score() > edge().capability_score());
+        assert_eq!(CapabilityBin::classify(&edge()), CapabilityBin::Edge);
+        assert_eq!(CapabilityBin::classify(&cloud()), CapabilityBin::Cloud);
+        assert!(CapabilityBin::Edge < CapabilityBin::Cloud);
+    }
+
+    #[test]
+    fn mid_host_lands_in_fog() {
+        let h = Host { cpu: 300.0, ram_mb: 8000.0, bandwidth_mbits: 400.0, latency_ms: 10.0 };
+        assert_eq!(CapabilityBin::classify(&h), CapabilityBin::Fog);
+    }
+
+    #[test]
+    fn colocated_links_are_free() {
+        let c = Cluster::new(vec![edge(), cloud()]);
+        assert_eq!(c.link_latency_ms(0, 0), 0.0);
+        assert_eq!(c.link_bandwidth_mbits(1, 1), f64::INFINITY);
+    }
+
+    #[test]
+    fn cross_links_bounded_by_weakest() {
+        let c = Cluster::new(vec![edge(), cloud()]);
+        assert_eq!(c.link_bandwidth_mbits(0, 1), 25.0);
+        assert!(c.link_latency_ms(0, 1) > c.link_latency_ms(1, 0));
+    }
+
+    #[test]
+    fn mean_features_average() {
+        let c = Cluster::new(vec![edge(), cloud()]);
+        let (cpu, ram, bw, lat) = c.mean_features();
+        assert_eq!(cpu, 425.0);
+        assert_eq!(ram, 16500.0);
+        assert_eq!(bw, 5012.5);
+        assert_eq!(lat, 80.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one host")]
+    fn empty_cluster_panics() {
+        let _ = Cluster::new(vec![]);
+    }
+}

@@ -1,0 +1,274 @@
+//! Operator placement: the mapping from operators to hosts, plus the
+//! validity rules the heuristic enumeration strategy enforces (Fig. 5).
+
+use crate::hardware::{CapabilityBin, Cluster, HostId};
+use crate::operators::{OpId, Query};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use serde::{Deserialize, Serialize};
+
+/// An operator placement `ω_i → n_j`: one host per operator.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Placement {
+    assignment: Vec<HostId>,
+}
+
+/// Why a placement violates the heuristic rules of Fig. 5.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlacementViolation {
+    /// The assignment length does not match the number of operators.
+    WrongArity {
+        /// Number of operators in the query.
+        expected: usize,
+        /// Number of assignments provided.
+        got: usize,
+    },
+    /// An assignment references a host outside the cluster.
+    UnknownHost {
+        /// Offending operator.
+        op: OpId,
+        /// Host id that does not exist.
+        host: HostId,
+    },
+    /// Data flows from a stronger to a weaker capability bin (rule ②).
+    DecreasingCapability {
+        /// Upstream operator.
+        from: OpId,
+        /// Downstream operator.
+        to: OpId,
+    },
+    /// Data returns to a host it already passed through (rule ③).
+    CyclicHostVisit {
+        /// Operator whose input revisits a host.
+        op: OpId,
+        /// The revisited host.
+        host: HostId,
+    },
+}
+
+impl std::fmt::Display for PlacementViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlacementViolation::WrongArity { expected, got } => {
+                write!(f, "placement has {got} assignments for {expected} operators")
+            }
+            PlacementViolation::UnknownHost { op, host } => write!(f, "operator {op} placed on unknown host {host}"),
+            PlacementViolation::DecreasingCapability { from, to } => {
+                write!(f, "edge {from}->{to} flows to a weaker capability bin")
+            }
+            PlacementViolation::CyclicHostVisit { op, host } => {
+                write!(f, "input of operator {op} returns to already-visited host {host}")
+            }
+        }
+    }
+}
+
+impl Placement {
+    /// Creates a placement from a per-operator host assignment.
+    pub fn new(assignment: Vec<HostId>) -> Self {
+        Placement { assignment }
+    }
+
+    /// Host assigned to an operator.
+    pub fn host_of(&self, op: OpId) -> HostId {
+        self.assignment[op]
+    }
+
+    /// The raw assignment vector.
+    pub fn assignment(&self) -> &[HostId] {
+        &self.assignment
+    }
+
+    /// Operators co-located on `host`.
+    pub fn ops_on_host(&self, host: HostId) -> Vec<OpId> {
+        self.assignment.iter().enumerate().filter(|&(_, &h)| h == host).map(|(o, _)| o).collect()
+    }
+
+    /// Distinct hosts used by this placement.
+    pub fn hosts_used(&self) -> Vec<HostId> {
+        let mut hs: Vec<HostId> = self.assignment.clone();
+        hs.sort_unstable();
+        hs.dedup();
+        hs
+    }
+
+    /// Checks the placement against the enumeration rules of Fig. 5:
+    /// ① co-location is allowed (nothing to check), ② capability bins must
+    /// be non-decreasing along the data flow, ③ data must never return to a
+    /// host it already passed through.
+    pub fn validate(&self, query: &Query, cluster: &Cluster) -> Result<(), PlacementViolation> {
+        if self.assignment.len() != query.len() {
+            return Err(PlacementViolation::WrongArity { expected: query.len(), got: self.assignment.len() });
+        }
+        for (op, &h) in self.assignment.iter().enumerate() {
+            if h >= cluster.len() {
+                return Err(PlacementViolation::UnknownHost { op, host: h });
+            }
+        }
+        // Rule ②: non-decreasing capability bin along every edge.
+        for &(a, b) in query.edges() {
+            let ba = CapabilityBin::classify(cluster.host(self.assignment[a]));
+            let bb = CapabilityBin::classify(cluster.host(self.assignment[b]));
+            if bb < ba {
+                return Err(PlacementViolation::DecreasingCapability { from: a, to: b });
+            }
+        }
+        // Rule ③: no host revisits. visited(op) = {host(op)} ∪ visited of
+        // all upstream ops; an edge a→b with host(b) ≠ host(a) must not
+        // target a host in visited(a).
+        let order = query.topo_order().expect("valid query");
+        let mut visited: Vec<Vec<HostId>> = vec![Vec::new(); query.len()];
+        for &op in &order {
+            let mut v: Vec<HostId> = vec![self.assignment[op]];
+            for u in query.upstream(op) {
+                let hu = self.assignment[u];
+                let hv = self.assignment[op];
+                if hv != hu && visited[u].contains(&hv) {
+                    return Err(PlacementViolation::CyclicHostVisit { op, host: hv });
+                }
+                v.extend(visited[u].iter().copied());
+            }
+            v.sort_unstable();
+            v.dedup();
+            visited[op] = v;
+        }
+        Ok(())
+    }
+
+    /// True when the placement satisfies all rules.
+    pub fn is_valid(&self, query: &Query, cluster: &Cluster) -> bool {
+        self.validate(query, cluster).is_ok()
+    }
+}
+
+/// Attempts to construct one random placement satisfying the rules of
+/// Fig. 5 by walking the query in topological order and choosing uniformly
+/// among the hosts that keep the placement valid. Returns `None` when the
+/// walk dead-ends (possible when two join branches exhaust the eligible
+/// hosts between them).
+pub fn sample_valid(query: &Query, cluster: &Cluster, rng: &mut StdRng) -> Option<Placement> {
+    let order = query.topo_order().expect("valid query");
+    let mut assignment: Vec<HostId> = vec![usize::MAX; query.len()];
+    let mut visited: Vec<Vec<HostId>> = vec![Vec::new(); query.len()];
+    let bins: Vec<CapabilityBin> = cluster.hosts().iter().map(CapabilityBin::classify).collect();
+    for &op in &order {
+        let ups = query.upstream(op);
+        let candidates: Vec<HostId> = (0..cluster.len())
+            .filter(|&h| {
+                ups.iter().all(|&u| {
+                    let ok_bin = bins[h] >= bins[assignment[u]];
+                    let ok_cycle = h == assignment[u] || !visited[u].contains(&h);
+                    ok_bin && ok_cycle
+                })
+            })
+            .collect();
+        let chosen = *candidates.choose(rng)?;
+        assignment[op] = chosen;
+        let mut v = vec![chosen];
+        for &u in &ups {
+            v.extend(visited[u].iter().copied());
+        }
+        v.sort_unstable();
+        v.dedup();
+        visited[op] = v;
+    }
+    Some(Placement::new(assignment))
+}
+
+/// The always-valid fallback placement: co-locate the whole query on the
+/// most capable host.
+pub fn colocate_on_strongest(query: &Query, cluster: &Cluster) -> Placement {
+    let strongest = (0..cluster.len())
+        .max_by(|&a, &b| {
+            cluster.host(a).capability_score().partial_cmp(&cluster.host(b).capability_score()).expect("finite scores")
+        })
+        .expect("non-empty cluster");
+    Placement::new(vec![strongest; query.len()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datatypes::{DataType, TupleSchema};
+    use crate::hardware::Host;
+    use crate::operators::{FilterFunction, FilterSpec, OpKind, SourceSpec};
+
+    fn chain_query(n_filters: usize) -> Query {
+        let mut ops = vec![OpKind::Source(SourceSpec {
+            event_rate: 100.0,
+            schema: TupleSchema::new(vec![DataType::Int, DataType::Int, DataType::Int]),
+        })];
+        for _ in 0..n_filters {
+            ops.push(OpKind::Filter(FilterSpec { function: FilterFunction::Less, literal_type: DataType::Int, selectivity: 0.5 }));
+        }
+        ops.push(OpKind::Sink);
+        let edges = (0..ops.len() - 1).map(|i| (i, i + 1)).collect();
+        Query::new(ops, edges)
+    }
+
+    fn edge_fog_cloud() -> Cluster {
+        Cluster::new(vec![
+            Host { cpu: 50.0, ram_mb: 1000.0, bandwidth_mbits: 25.0, latency_ms: 160.0 },
+            Host { cpu: 300.0, ram_mb: 8000.0, bandwidth_mbits: 400.0, latency_ms: 10.0 },
+            Host { cpu: 800.0, ram_mb: 32000.0, bandwidth_mbits: 10000.0, latency_ms: 1.0 },
+        ])
+    }
+
+    #[test]
+    fn monotone_placement_is_valid() {
+        let q = chain_query(2);
+        let c = edge_fog_cloud();
+        let p = Placement::new(vec![0, 1, 2, 2]);
+        assert!(p.is_valid(&q, &c));
+    }
+
+    #[test]
+    fn colocation_is_valid() {
+        let q = chain_query(2);
+        let c = edge_fog_cloud();
+        let p = Placement::new(vec![1, 1, 1, 1]);
+        assert!(p.is_valid(&q, &c));
+        assert_eq!(p.ops_on_host(1).len(), 4);
+        assert_eq!(p.hosts_used(), vec![1]);
+    }
+
+    #[test]
+    fn decreasing_capability_rejected() {
+        let q = chain_query(1);
+        let c = edge_fog_cloud();
+        let p = Placement::new(vec![2, 0, 0]);
+        assert_eq!(
+            p.validate(&q, &c),
+            Err(PlacementViolation::DecreasingCapability { from: 0, to: 1 })
+        );
+    }
+
+    #[test]
+    fn host_revisit_rejected() {
+        // source on fog(1), filter on fog(1)... need a revisit within same
+        // bin to isolate rule ③: fog -> fog' -> fog. Use two fog hosts.
+        let c = Cluster::new(vec![
+            Host { cpu: 300.0, ram_mb: 8000.0, bandwidth_mbits: 400.0, latency_ms: 10.0 },
+            Host { cpu: 300.0, ram_mb: 8000.0, bandwidth_mbits: 400.0, latency_ms: 10.0 },
+        ]);
+        let q = chain_query(2);
+        let p = Placement::new(vec![0, 1, 0, 0]);
+        assert_eq!(p.validate(&q, &c), Err(PlacementViolation::CyclicHostVisit { op: 2, host: 0 }));
+    }
+
+    #[test]
+    fn wrong_arity_rejected() {
+        let q = chain_query(1);
+        let c = edge_fog_cloud();
+        let p = Placement::new(vec![0, 1]);
+        assert!(matches!(p.validate(&q, &c), Err(PlacementViolation::WrongArity { .. })));
+    }
+
+    #[test]
+    fn unknown_host_rejected() {
+        let q = chain_query(1);
+        let c = edge_fog_cloud();
+        let p = Placement::new(vec![0, 1, 9]);
+        assert!(matches!(p.validate(&q, &c), Err(PlacementViolation::UnknownHost { op: 2, host: 9 })));
+    }
+}

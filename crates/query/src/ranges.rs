@@ -1,0 +1,222 @@
+//! Feature ranges of the synthetic benchmark.
+//!
+//! [`FeatureRanges::training`] reproduces Table II of the paper verbatim.
+//! The interpolation ranges of Table IV-A and the per-dimension restricted
+//! training/extrapolation ranges of Table V are provided as named
+//! constructors so the generalization experiments (Exp 3/4) can be driven
+//! from the same machinery.
+
+use serde::{Deserialize, Serialize};
+
+/// Discrete value ranges the workload generator samples from.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FeatureRanges {
+    /// CPU values in % of a reference core.
+    pub cpu: Vec<f64>,
+    /// RAM values in MB.
+    pub ram_mb: Vec<f64>,
+    /// Network bandwidth values in Mbit/s.
+    pub bandwidth_mbits: Vec<f64>,
+    /// Network latency values in ms.
+    pub latency_ms: Vec<f64>,
+    /// Source event rates for linear queries in events/s.
+    pub event_rate_linear: Vec<f64>,
+    /// Source event rates for 2-way join queries in events/s.
+    pub event_rate_two_way: Vec<f64>,
+    /// Source event rates for 3-way join queries in events/s.
+    pub event_rate_three_way: Vec<f64>,
+    /// Tuple widths (number of attributes).
+    pub tuple_widths: Vec<usize>,
+    /// Count-based window sizes in tuples.
+    pub window_size_count: Vec<f64>,
+    /// Time-based window sizes in seconds.
+    pub window_size_time: Vec<f64>,
+    /// Slide factor range `[lo, hi]` as a fraction of the window length.
+    pub slide_factor: (f64, f64),
+}
+
+impl FeatureRanges {
+    /// Table II — the full synthetic training range.
+    pub fn training() -> Self {
+        FeatureRanges {
+            cpu: vec![50.0, 100.0, 200.0, 300.0, 400.0, 500.0, 600.0, 700.0, 800.0],
+            ram_mb: vec![1000.0, 2000.0, 4000.0, 8000.0, 16000.0, 24000.0, 32000.0],
+            bandwidth_mbits: vec![25.0, 50.0, 100.0, 200.0, 400.0, 800.0, 1600.0, 3200.0, 6400.0, 10000.0],
+            latency_ms: vec![1.0, 2.0, 5.0, 10.0, 20.0, 40.0, 80.0, 160.0],
+            event_rate_linear: vec![100.0, 200.0, 400.0, 800.0, 1600.0, 3200.0, 6400.0, 12800.0, 25600.0],
+            event_rate_two_way: vec![50.0, 100.0, 250.0, 500.0, 750.0, 1000.0, 1250.0, 1500.0, 1750.0, 2000.0],
+            event_rate_three_way: vec![20.0, 50.0, 100.0, 200.0, 300.0, 400.0, 500.0, 600.0, 700.0, 800.0, 900.0, 1000.0],
+            tuple_widths: (3..=10).collect(),
+            window_size_count: vec![5.0, 10.0, 20.0, 40.0, 80.0, 160.0, 320.0, 640.0],
+            window_size_time: vec![0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0],
+            slide_factor: (0.3, 0.7),
+        }
+    }
+
+    /// Table IV-A — hardware values *between* the training grid points,
+    /// used by the interpolation experiment (Exp 3).
+    pub fn interpolation_eval() -> Self {
+        let mut r = Self::training();
+        r.ram_mb = vec![1500.0, 3000.0, 6000.0, 12000.0, 20000.0, 28000.0];
+        r.cpu = vec![75.0, 150.0, 250.0, 350.0, 450.0, 550.0, 650.0, 750.0];
+        r.bandwidth_mbits = vec![35.0, 75.0, 150.0, 250.0, 550.0, 1200.0, 1900.0, 4800.0, 8000.0];
+        r.latency_ms = vec![3.0, 7.0, 15.0, 30.0, 60.0, 120.0];
+        r
+    }
+
+    /// The hardware dimension restricted by an extrapolation experiment.
+    pub fn restrict(&self, dim: HardwareDim, values: Vec<f64>) -> Self {
+        let mut r = self.clone();
+        match dim {
+            HardwareDim::Ram => r.ram_mb = values,
+            HardwareDim::Cpu => r.cpu = values,
+            HardwareDim::Bandwidth => r.bandwidth_mbits = values,
+            HardwareDim::Latency => r.latency_ms = values,
+        }
+        r
+    }
+}
+
+/// One of the four hardware feature dimensions of Table I.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HardwareDim {
+    /// Relative CPU resources.
+    Cpu,
+    /// RAM.
+    Ram,
+    /// Network bandwidth.
+    Bandwidth,
+    /// Network latency.
+    Latency,
+}
+
+impl HardwareDim {
+    /// All hardware dimensions.
+    pub const ALL: [HardwareDim; 4] = [HardwareDim::Ram, HardwareDim::Cpu, HardwareDim::Bandwidth, HardwareDim::Latency];
+
+    /// Human-readable name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            HardwareDim::Ram => "RAM (MB)",
+            HardwareDim::Cpu => "CPU (% of a core)",
+            HardwareDim::Bandwidth => "Bandwidth (Mbit/s)",
+            HardwareDim::Latency => "Latency (ms)",
+        }
+    }
+}
+
+/// Table V — one extrapolation setting: a restricted training range and a
+/// disjoint out-of-range evaluation range for one hardware dimension.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ExtrapolationSetting {
+    /// Dimension under test.
+    pub dim: HardwareDim,
+    /// Values kept for training.
+    pub train_values: Vec<f64>,
+    /// Out-of-range values used for evaluation.
+    pub eval_values: Vec<f64>,
+}
+
+/// Table V-A: extrapolation toward *stronger* resources.
+pub fn extrapolation_stronger() -> Vec<ExtrapolationSetting> {
+    vec![
+        ExtrapolationSetting {
+            dim: HardwareDim::Ram,
+            train_values: vec![1000.0, 2000.0, 4000.0, 8000.0, 16000.0],
+            eval_values: vec![24000.0, 32000.0],
+        },
+        ExtrapolationSetting {
+            dim: HardwareDim::Cpu,
+            train_values: vec![50.0, 100.0, 200.0, 300.0, 400.0, 500.0, 600.0],
+            eval_values: vec![700.0, 800.0],
+        },
+        ExtrapolationSetting {
+            dim: HardwareDim::Bandwidth,
+            train_values: vec![25.0, 50.0, 100.0, 200.0, 300.0, 800.0, 1600.0, 3200.0],
+            eval_values: vec![6400.0, 10000.0],
+        },
+        ExtrapolationSetting {
+            dim: HardwareDim::Latency,
+            train_values: vec![5.0, 10.0, 20.0, 40.0, 80.0, 160.0],
+            eval_values: vec![1.0, 2.0],
+        },
+    ]
+}
+
+/// Table V-B: extrapolation toward *weaker* resources.
+pub fn extrapolation_weaker() -> Vec<ExtrapolationSetting> {
+    vec![
+        ExtrapolationSetting {
+            dim: HardwareDim::Ram,
+            train_values: vec![4000.0, 8000.0, 16000.0, 24000.0, 32000.0],
+            eval_values: vec![1000.0, 2000.0],
+        },
+        ExtrapolationSetting {
+            dim: HardwareDim::Cpu,
+            train_values: vec![200.0, 300.0, 400.0, 500.0, 600.0, 700.0, 800.0],
+            eval_values: vec![50.0, 100.0],
+        },
+        ExtrapolationSetting {
+            dim: HardwareDim::Bandwidth,
+            train_values: vec![100.0, 200.0, 300.0, 800.0, 1600.0, 3200.0, 6400.0, 10000.0],
+            eval_values: vec![25.0, 50.0],
+        },
+        ExtrapolationSetting {
+            dim: HardwareDim::Latency,
+            train_values: vec![1.0, 2.0, 5.0, 10.0, 20.0, 40.0],
+            eval_values: vec![80.0, 160.0],
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn training_ranges_match_table_ii() {
+        let r = FeatureRanges::training();
+        assert_eq!(r.cpu.len(), 9);
+        assert_eq!(r.ram_mb.len(), 7);
+        assert_eq!(r.bandwidth_mbits.len(), 10);
+        assert_eq!(r.latency_ms.len(), 8);
+        assert_eq!(r.event_rate_linear.len(), 9);
+        assert_eq!(r.event_rate_two_way.len(), 10);
+        assert_eq!(r.event_rate_three_way.len(), 12);
+        assert_eq!(r.tuple_widths, (3..=10).collect::<Vec<_>>());
+        assert_eq!(r.window_size_count.len(), 8);
+        assert_eq!(r.window_size_time.len(), 7);
+    }
+
+    #[test]
+    fn interpolation_values_lie_inside_training_hull() {
+        let t = FeatureRanges::training();
+        let i = FeatureRanges::interpolation_eval();
+        let inside = |v: &[f64], lo: f64, hi: f64| v.iter().all(|&x| x >= lo && x <= hi);
+        assert!(inside(&i.cpu, t.cpu[0], *t.cpu.last().unwrap()));
+        assert!(inside(&i.ram_mb, t.ram_mb[0], *t.ram_mb.last().unwrap()));
+        assert!(inside(&i.bandwidth_mbits, t.bandwidth_mbits[0], *t.bandwidth_mbits.last().unwrap()));
+        assert!(inside(&i.latency_ms, t.latency_ms[0], *t.latency_ms.last().unwrap()));
+        // ...but none of the values coincide with a training grid point.
+        for v in &i.cpu {
+            assert!(!t.cpu.contains(v));
+        }
+    }
+
+    #[test]
+    fn extrapolation_eval_disjoint_from_train() {
+        for s in extrapolation_stronger().into_iter().chain(extrapolation_weaker()) {
+            for v in &s.eval_values {
+                assert!(!s.train_values.contains(v), "{:?} eval value {v} in train", s.dim);
+            }
+        }
+    }
+
+    #[test]
+    fn restrict_replaces_only_one_dim() {
+        let t = FeatureRanges::training();
+        let r = t.restrict(HardwareDim::Cpu, vec![42.0]);
+        assert_eq!(r.cpu, vec![42.0]);
+        assert_eq!(r.ram_mb, t.ram_mb);
+    }
+}

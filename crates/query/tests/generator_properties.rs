@@ -1,0 +1,82 @@
+//! Property-based tests of the workload model.
+
+use costream_query::generator::{QueryTemplate, WorkloadGenerator};
+use costream_query::operators::{OpKind, WindowPolicy, WindowSpec, WindowType};
+use costream_query::ranges::FeatureRanges;
+use costream_query::selectivity::SelectivityEstimator;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every generated query validates, has exactly one sink, and its
+    /// schemas are derivable end to end.
+    #[test]
+    fn generated_queries_always_validate(seed in 0u64..100_000) {
+        let mut g = WorkloadGenerator::new(seed, FeatureRanges::training());
+        let q = g.query();
+        prop_assert!(q.validate().is_ok());
+        let schemas = q.output_schemas();
+        prop_assert_eq!(schemas.len(), q.len());
+        for (id, _) in q.ops() {
+            prop_assert!(schemas[id].width() >= 1);
+        }
+    }
+
+    /// Explicit template control produces the right operator counts.
+    #[test]
+    fn template_controls_source_and_join_counts(seed in 0u64..100_000, filters in 0usize..5) {
+        let mut g = WorkloadGenerator::new(seed, FeatureRanges::training());
+        for (t, srcs, joins) in [
+            (QueryTemplate::Linear, 1, 0),
+            (QueryTemplate::TwoWayJoin, 2, 1),
+            (QueryTemplate::ThreeWayJoin, 3, 2),
+        ] {
+            let q = g.query_with(t, filters, false);
+            let (s, f, a, j) = q.kind_counts();
+            prop_assert_eq!(s, srcs);
+            prop_assert_eq!(j, joins);
+            prop_assert_eq!(f, filters);
+            prop_assert_eq!(a, 0);
+        }
+    }
+
+    /// Window emission periods and tuple counts are positive and
+    /// consistent between policies.
+    #[test]
+    fn window_math_is_consistent(size_idx in 0usize..8, rate in 1.0f64..30_000.0, slide_frac in 0.3f64..0.7) {
+        let sizes = [5.0, 10.0, 20.0, 40.0, 80.0, 160.0, 320.0, 640.0];
+        let size = sizes[size_idx];
+        for policy in [WindowPolicy::CountBased, WindowPolicy::TimeBased] {
+            let w = WindowSpec { window_type: WindowType::Sliding, policy, size, slide: size * slide_frac };
+            prop_assert!(w.tuples_in_window(rate) > 0.0);
+            prop_assert!(w.emission_period(rate) > 0.0);
+            // Emitting faster than the slide is impossible.
+            let tumbling = WindowSpec { window_type: WindowType::Tumbling, policy, size, slide: size };
+            prop_assert!(tumbling.emission_period(rate) >= w.emission_period(rate) * 0.99);
+        }
+    }
+
+    /// Selectivity estimates never leave (0, 1] and the estimator is
+    /// deterministic per seed.
+    #[test]
+    fn selectivity_estimates_bounded(seed in 0u64..100_000, sel in 1e-6f64..1.0) {
+        let a = SelectivityEstimator::realistic(seed).estimate(sel);
+        let b = SelectivityEstimator::realistic(seed).estimate(sel);
+        prop_assert!(a > 0.0 && a <= 1.0);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Source rates of generated queries respect the per-template range.
+    #[test]
+    fn rates_come_from_template_range(seed in 0u64..100_000) {
+        let ranges = FeatureRanges::training();
+        let mut g = WorkloadGenerator::new(seed, ranges.clone());
+        let q = g.query_of(QueryTemplate::ThreeWayJoin);
+        for (_, op) in q.ops() {
+            if let OpKind::Source(s) = op {
+                prop_assert!(ranges.event_rate_three_way.contains(&s.event_rate));
+            }
+        }
+    }
+}

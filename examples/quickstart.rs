@@ -1,0 +1,37 @@
+//! Quickstart: generate a small cost-estimation benchmark, train a
+//! Costream throughput model, and predict the cost of an unseen placed
+//! query.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use costream::prelude::*;
+
+fn main() {
+    // 1. Generate a benchmark corpus: random streaming queries placed on
+    //    random heterogeneous clusters, executed on the bundled DSPS
+    //    simulator to obtain cost labels (§VI of the paper).
+    println!("generating corpus ...");
+    let corpus = Corpus::generate(600, 42, FeatureRanges::training(), &SimConfig::default());
+    let (train, _val, test) = corpus.split(0);
+    println!("corpus: {} train / {} test traces", train.len(), test.len());
+
+    // 2. Train a zero-shot cost model for throughput.
+    println!("training throughput model ...");
+    let cfg = TrainConfig { epochs: 60, ..Default::default() };
+    let model = train_metric(&train, CostMetric::Throughput, &cfg);
+
+    // 3. Evaluate on the held-out test set with the paper's q-error.
+    let summary = model.evaluate_regression(&test);
+    println!("test-set q-error: {summary}");
+
+    // 4. Predict the cost of a single unseen placed query.
+    let item = &test.items[0];
+    let prediction = model.predict_items(&[item])[0];
+    println!(
+        "example query ({} operators on {} hosts): predicted {:.1} ev/s, measured {:.1} ev/s",
+        item.query.len(),
+        item.placement.hosts_used().len(),
+        prediction,
+        item.metrics.throughput,
+    );
+}

@@ -1,0 +1,48 @@
+//! Smart-grid benchmark (DEBS'14 Grand Challenge, Exp 6 of the paper):
+//! predicts costs for the global/local energy-consumption queries that the
+//! model never saw during training, including their out-of-range window
+//! length.
+//!
+//! Run with: `cargo run --release --example smart_grid`
+
+use costream::prelude::*;
+use costream_query::benchmarks::BenchmarkQuery;
+use costream_query::generator::WorkloadGenerator;
+use costream_query::placement::sample_valid;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // 1. Train an end-to-end latency model on the synthetic workload only.
+    println!("training E2E-latency model on synthetic workloads ...");
+    let corpus = Corpus::generate(900, 3, FeatureRanges::training(), &SimConfig::default());
+    let (train, _, _) = corpus.split(0);
+    let cfg = TrainConfig { epochs: 50, ..Default::default() };
+    let model = train_metric(&train, CostMetric::E2eLatency, &cfg);
+
+    // 2. Execute the two smart-grid queries 40 times each with random
+    //    event rates and placements — entirely unseen workloads.
+    for bench in [BenchmarkQuery::SmartGridGlobal, BenchmarkQuery::SmartGridLocal] {
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut wg = WorkloadGenerator::new(18, FeatureRanges::training());
+        let workloads: Vec<_> = (0..40)
+            .map(|_| {
+                let q = bench.build(&mut rng);
+                let c = wg.cluster(4);
+                let p = sample_valid(&q, &c, &mut rng)
+                    .unwrap_or_else(|| costream_query::placement::colocate_on_strongest(&q, &c));
+                (q, c, p)
+            })
+            .collect();
+        let eval = Corpus::from_workloads(workloads, 19, &SimConfig::default());
+
+        // 3. Zero-shot prediction quality on the unseen benchmark.
+        let summary = model.evaluate_regression(&eval);
+        println!("\n{}: {}", bench.name(), summary);
+        let items = eval.successful();
+        for item in items.iter().take(3) {
+            let p = model.predict_items(&[item])[0];
+            println!("  measured {:>9.1} ms   predicted {:>9.1} ms", item.metrics.e2e_latency_ms, p);
+        }
+    }
+}

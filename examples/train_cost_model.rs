@@ -1,0 +1,46 @@
+//! Full training walk-through: trains all five cost metrics (§IV-A) as
+//! seed-varied ensembles, evaluates them the way the paper does (q-error
+//! for regression, balanced accuracy for classification), and saves the
+//! throughput ensemble to JSON.
+//!
+//! Run with: `cargo run --release --example train_cost_model`
+
+use costream::prelude::*;
+
+fn main() {
+    println!("generating corpus ...");
+    let corpus = Corpus::generate(800, 5, FeatureRanges::training(), &SimConfig::default());
+    let (train, val, test) = corpus.split(0);
+    println!("{} train / {} val / {} test traces", train.len(), val.len(), test.len());
+
+    let cfg = TrainConfig { epochs: 50, ..Default::default() };
+    for metric in CostMetric::ALL {
+        let ensemble = Ensemble::train(&train, metric, &cfg, 2);
+        if metric.is_regression() {
+            let items = test.successful();
+            let preds = ensemble.predict_items(&items);
+            let pairs: Vec<(f64, f64)> =
+                items.iter().zip(&preds).map(|(i, &p)| (i.metrics.get(metric), p)).collect();
+            println!("{:<20} {}", metric.name(), QErrorSummary::of(&pairs));
+        } else {
+            let items = test.balanced(metric, 1);
+            if items.is_empty() {
+                println!("{:<20} (test split has a single class — skipping)", metric.name());
+                continue;
+            }
+            let preds = ensemble.predict_items(&items);
+            let acc = accuracy(
+                &items.iter().zip(&preds).map(|(i, &p)| (i.metrics.get(metric) > 0.5, p > 0.5)).collect::<Vec<_>>(),
+            );
+            println!("{:<20} balanced accuracy {:.1}% (n={})", metric.name(), acc * 100.0, items.len());
+        }
+
+        // Persist one ensemble as human-inspectable JSON.
+        if metric == CostMetric::Throughput {
+            let json = serde_json::to_string(&ensemble).expect("ensemble serializes");
+            let path = std::env::temp_dir().join("costream_throughput_ensemble.json");
+            std::fs::write(&path, &json).expect("write model file");
+            println!("  saved throughput ensemble to {} ({} KiB)", path.display(), json.len() / 1024);
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! Workspace root for the Costream reproduction.
+//!
+//! This package only hosts the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`). The actual library surface
+//! lives in the member crates and is re-exported here for convenience.
+
+pub use costream;
+pub use costream_baselines as baselines;
+pub use costream_dsps as dsps;
+pub use costream_nn as nn;
+pub use costream_query as query;

@@ -1,0 +1,88 @@
+//! Property-based tests over cross-crate invariants.
+
+use costream::prelude::*;
+use costream_dsps::{simulate, ExecutionProfile};
+use costream_query::generator::WorkloadGenerator;
+use costream_query::placement::sample_valid;
+use costream_query::selectivity::SelectivityEstimator;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every generated workload item yields a valid query, a valid
+    /// placement, finite simulator metrics, and a featurizable graph.
+    #[test]
+    fn workload_items_are_well_formed(seed in 0u64..5000) {
+        let mut wg = WorkloadGenerator::new(seed, FeatureRanges::training());
+        let (q, c, p) = wg.workload_item();
+        prop_assert!(q.validate().is_ok());
+        prop_assert!(p.is_valid(&q, &c));
+        let r = simulate(&q, &c, &p, &SimConfig::deterministic().with_seed(seed));
+        prop_assert!(r.metrics.throughput.is_finite());
+        prop_assert!(r.metrics.throughput >= 0.0);
+        prop_assert!(r.metrics.e2e_latency_ms >= r.metrics.processing_latency_ms * 0.99
+            || !r.metrics.success);
+        let sels = SelectivityEstimator::realistic(seed).estimate_query(&q);
+        let g = JointGraph::build(&q, &c, &p, &sels, Featurization::Full);
+        prop_assert!(g.nodes.iter().all(|n| n.features.iter().all(|f| f.is_finite())));
+    }
+
+    /// Conservation: the sink can never emit more than the stream algebra
+    /// allows (nominal rate), modulo simulator jitter.
+    #[test]
+    fn sink_rate_bounded_by_nominal(seed in 0u64..5000) {
+        let mut wg = WorkloadGenerator::new(seed, FeatureRanges::training());
+        let (q, c, p) = wg.workload_item();
+        let r = simulate(&q, &c, &p, &SimConfig::deterministic().with_seed(seed));
+        let nominal = ExecutionProfile::of(&q).nominal_in_rate[q.sink()];
+        prop_assert!(r.metrics.throughput <= nominal * 1.4 + 1.0,
+            "throughput {} exceeds nominal {}", r.metrics.throughput, nominal);
+    }
+
+    /// The placement sampler only ever returns rule-conformant placements.
+    #[test]
+    fn sampled_placements_satisfy_fig5_rules(seed in 0u64..5000) {
+        let mut wg = WorkloadGenerator::new(seed, FeatureRanges::training());
+        let q = wg.query();
+        let c = wg.cluster((seed % 6 + 2) as usize);
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        if let Some(p) = sample_valid(&q, &c, &mut rng) {
+            prop_assert!(p.validate(&q, &c).is_ok());
+        }
+    }
+
+    /// q-error is symmetric, >= 1, and 1 only for perfect estimates.
+    #[test]
+    fn q_error_properties(c in 1e-3f64..1e6, p in 1e-3f64..1e6) {
+        let q = q_error(c, p);
+        prop_assert!(q >= 1.0);
+        prop_assert!((q_error(p, c) - q).abs() < 1e-9);
+        if (c - p).abs() < 1e-12 {
+            prop_assert!((q - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// Better hardware never makes the deterministic simulator slower
+    /// (same query, same placement shape, all-on-one-host).
+    #[test]
+    fn stronger_host_is_never_slower(seed in 0u64..2000) {
+        let mut wg = WorkloadGenerator::new(seed, FeatureRanges::training());
+        let q = wg.query();
+        let weak = costream_query::Cluster::new(vec![costream_query::Host {
+            cpu: 100.0, ram_mb: 4000.0, bandwidth_mbits: 100.0, latency_ms: 20.0,
+        }]);
+        let strong = costream_query::Cluster::new(vec![costream_query::Host {
+            cpu: 800.0, ram_mb: 32000.0, bandwidth_mbits: 10000.0, latency_ms: 20.0,
+        }]);
+        let p = costream_query::Placement::new(vec![0; q.len()]);
+        let cfg = SimConfig::deterministic();
+        let rw = simulate(&q, &weak, &p, &cfg);
+        let rs = simulate(&q, &strong, &p, &cfg);
+        if rw.metrics.success && rs.metrics.success {
+            prop_assert!(rs.metrics.throughput >= rw.metrics.throughput * 0.95,
+                "strong {} < weak {}", rs.metrics.throughput, rw.metrics.throughput);
+            prop_assert!(rs.metrics.processing_latency_ms <= rw.metrics.processing_latency_ms * 1.05 + 1.0);
+        }
+    }
+}

@@ -75,7 +75,13 @@ pub fn flat_features(query: &Query, cluster: &Cluster, placement: &Placement, es
             _ => {}
         }
     }
-    let mean = |v: &[f64]| if v.is_empty() { 0.0 } else { v.iter().sum::<f64>() / v.len() as f64 };
+    let mean = |v: &[f64]| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
     let min = |v: &[f64]| v.iter().copied().fold(f64::INFINITY, f64::min).min(1.0);
 
     // Aggregate hardware statistics over the *used* hosts — the most a
@@ -145,7 +151,10 @@ impl FlatVectorModel {
         } else {
             (Objective::BinaryClassification, labels.to_vec())
         };
-        FlatVectorModel { metric, model: Gbdt::fit(xs, &ys, objective, cfg) }
+        FlatVectorModel {
+            metric,
+            model: Gbdt::fit(xs, &ys, objective, cfg),
+        }
     }
 
     /// Predicts the metric: original cost units for regression,
@@ -222,8 +231,11 @@ mod tests {
         }
         let m = FlatVectorModel::fit(&xs, &ys, CostMetric::Throughput, &GbdtConfig::default());
         let q50: f64 = {
-            let mut qs: Vec<f64> =
-                xs.iter().zip(&ys).map(|(x, &y)| (m.predict(x).max(1e-3) / y).max(y / m.predict(x).max(1e-3))).collect();
+            let mut qs: Vec<f64> = xs
+                .iter()
+                .zip(&ys)
+                .map(|(x, &y)| (m.predict(x).max(1e-3) / y).max(y / m.predict(x).max(1e-3)))
+                .collect();
             qs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
             qs[qs.len() / 2]
         };

@@ -23,7 +23,12 @@ pub struct GbdtConfig {
 
 impl Default for GbdtConfig {
     fn default() -> Self {
-        GbdtConfig { n_trees: 150, max_depth: 5, min_leaf: 4, learning_rate: 0.1 }
+        GbdtConfig {
+            n_trees: 150,
+            max_depth: 5,
+            min_leaf: 4,
+            learning_rate: 0.1,
+        }
     }
 }
 
@@ -44,7 +49,12 @@ impl Node {
     fn predict(&self, x: &[f64]) -> f64 {
         match self {
             Node::Leaf { value } => *value,
-            Node::Split { feature, threshold, left, right } => {
+            Node::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
                 if x[*feature] <= *threshold {
                     left.predict(x)
                 } else {
@@ -57,23 +67,19 @@ impl Node {
 
 /// Builds one regression tree on (gradient, hessian) statistics; the leaf
 /// value is the Newton step `-Σg / Σh`.
-fn build_tree(
-    xs: &[Vec<f64>],
-    grads: &[f64],
-    hess: &[f64],
-    rows: &[usize],
-    depth: usize,
-    cfg: &GbdtConfig,
-) -> Node {
+fn build_tree(xs: &[Vec<f64>], grads: &[f64], hess: &[f64], rows: &[usize], depth: usize, cfg: &GbdtConfig) -> Node {
     let g_sum: f64 = rows.iter().map(|&r| grads[r]).sum();
     let h_sum: f64 = rows.iter().map(|&r| hess[r]).sum();
-    let leaf = || Node::Leaf { value: -g_sum / (h_sum + 1e-9) };
+    let leaf = || Node::Leaf {
+        value: -g_sum / (h_sum + 1e-9),
+    };
     if depth >= cfg.max_depth || rows.len() < 2 * cfg.min_leaf {
         return leaf();
     }
     let n_features = xs[0].len();
     let parent_score = g_sum * g_sum / (h_sum + 1e-9);
     let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
+    #[allow(clippy::needless_range_loop)] // f indexes a column across many row vectors
     for f in 0..n_features {
         let mut order: Vec<usize> = rows.to_vec();
         order.sort_by(|&a, &b| xs[a][f].partial_cmp(&xs[b][f]).expect("finite features"));
@@ -157,7 +163,10 @@ impl Gbdt {
                 Objective::Regression => (scores.iter().zip(ys).map(|(s, y)| s - y).collect(), vec![1.0; ys.len()]),
                 Objective::BinaryClassification => {
                     let ps: Vec<f64> = scores.iter().map(|s| 1.0 / (1.0 + (-s).exp())).collect();
-                    (ps.iter().zip(ys).map(|(p, y)| p - y).collect(), ps.iter().map(|p| (p * (1.0 - p)).max(1e-6)).collect())
+                    (
+                        ps.iter().zip(ys).map(|(p, y)| p - y).collect(),
+                        ps.iter().map(|p| (p * (1.0 - p)).max(1e-6)).collect(),
+                    )
                 }
             };
             let tree = build_tree(xs, &grads, &hess, &rows, 0, cfg);
@@ -166,7 +175,12 @@ impl Gbdt {
             }
             trees.push(tree);
         }
-        Gbdt { objective, base_score, trees, learning_rate: cfg.learning_rate }
+        Gbdt {
+            objective,
+            base_score,
+            trees,
+            learning_rate: cfg.learning_rate,
+        }
     }
 
     /// Raw score (regression value or logit) of one sample.
@@ -198,8 +212,13 @@ mod tests {
 
     fn synthetic(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
         let mut rng = StdRng::seed_from_u64(seed);
-        let xs: Vec<Vec<f64>> = (0..n).map(|_| (0..4).map(|_| rng.gen_range(-2.0..2.0)).collect()).collect();
-        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x[0] + x[1] * x[1] - 2.0 * (x[2] > 0.5) as i32 as f64).collect();
+        let xs: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..4).map(|_| rng.gen_range(-2.0..2.0)).collect())
+            .collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| 3.0 * x[0] + x[1] * x[1] - 2.0 * (x[2] > 0.5) as i32 as f64)
+            .collect();
         (xs, ys)
     }
 
@@ -207,8 +226,7 @@ mod tests {
     fn regression_fits_nonlinear_function() {
         let (xs, ys) = synthetic(400, 1);
         let m = Gbdt::fit(&xs, &ys, Objective::Regression, &GbdtConfig::default());
-        let mse: f64 =
-            xs.iter().zip(&ys).map(|(x, y)| (m.predict(x) - y).powi(2)).sum::<f64>() / xs.len() as f64;
+        let mse: f64 = xs.iter().zip(&ys).map(|(x, y)| (m.predict(x) - y).powi(2)).sum::<f64>() / xs.len() as f64;
         let var = ys.iter().map(|y| y * y).sum::<f64>() / ys.len() as f64;
         assert!(mse < 0.05 * var, "mse {mse} vs var {var}");
     }
@@ -218,9 +236,16 @@ mod tests {
         let (xs, ys) = synthetic(200, 2);
         let mut last = f64::INFINITY;
         for n_trees in [1, 10, 50] {
-            let m = Gbdt::fit(&xs, &ys, Objective::Regression, &GbdtConfig { n_trees, ..Default::default() });
-            let mse: f64 =
-                xs.iter().zip(&ys).map(|(x, y)| (m.predict(x) - y).powi(2)).sum::<f64>() / xs.len() as f64;
+            let m = Gbdt::fit(
+                &xs,
+                &ys,
+                Objective::Regression,
+                &GbdtConfig {
+                    n_trees,
+                    ..Default::default()
+                },
+            );
+            let mse: f64 = xs.iter().zip(&ys).map(|(x, y)| (m.predict(x) - y).powi(2)).sum::<f64>() / xs.len() as f64;
             assert!(mse < last, "mse {mse} not below {last} at {n_trees} trees");
             last = mse;
         }
@@ -229,10 +254,17 @@ mod tests {
     #[test]
     fn classification_separates_classes() {
         let mut rng = StdRng::seed_from_u64(3);
-        let xs: Vec<Vec<f64>> = (0..300).map(|_| vec![rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)]).collect();
+        let xs: Vec<Vec<f64>> = (0..300)
+            .map(|_| vec![rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)])
+            .collect();
         let ys: Vec<f64> = xs.iter().map(|x| (x[0] + x[1] > 0.0) as i32 as f64).collect();
         let m = Gbdt::fit(&xs, &ys, Objective::BinaryClassification, &GbdtConfig::default());
-        let acc = xs.iter().zip(&ys).filter(|(x, &y)| (m.predict(x) > 0.5) == (y > 0.5)).count() as f64 / 300.0;
+        let acc = xs
+            .iter()
+            .zip(&ys)
+            .filter(|(x, &y)| (m.predict(x) > 0.5) == (y > 0.5))
+            .count() as f64
+            / 300.0;
         assert!(acc > 0.93, "accuracy {acc}");
         for x in &xs {
             let p = m.predict(x);
@@ -253,7 +285,15 @@ mod tests {
     #[test]
     fn min_leaf_respected_on_tiny_data() {
         let (xs, ys) = synthetic(6, 5);
-        let m = Gbdt::fit(&xs, &ys, Objective::Regression, &GbdtConfig { min_leaf: 4, ..Default::default() });
+        let m = Gbdt::fit(
+            &xs,
+            &ys,
+            Objective::Regression,
+            &GbdtConfig {
+                min_leaf: 4,
+                ..Default::default()
+            },
+        );
         assert!(m.n_trees() > 0);
         assert!(m.predict(&xs[0]).is_finite());
     }

@@ -33,7 +33,12 @@ pub struct MonitoringConfig {
 
 impl Default for MonitoringConfig {
     fn default() -> Self {
-        MonitoringConfig { observe_s: 20.0, redeploy_s: 12.0, max_rounds: 6, min_improvement: 0.03 }
+        MonitoringConfig {
+            observe_s: 20.0,
+            redeploy_s: 12.0,
+            max_rounds: 6,
+            min_improvement: 0.03,
+        }
     }
 }
 
@@ -59,14 +64,20 @@ pub struct MonitoringRun {
 impl MonitoringRun {
     /// Best latency reached over the whole run.
     pub fn best_latency_ms(&self) -> f64 {
-        self.trajectory.iter().map(|p| p.processing_latency_ms).fold(f64::INFINITY, f64::min)
+        self.trajectory
+            .iter()
+            .map(|p| p.processing_latency_ms)
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// First time at which the trajectory reaches `target_ms` (or slightly
     /// better); `None` when it never becomes competitive. This is the
     /// "monitoring overhead" axis of Fig. 10.
     pub fn time_to_reach(&self, target_ms: f64) -> Option<f64> {
-        self.trajectory.iter().find(|p| p.processing_latency_ms <= target_ms * 1.05).map(|p| p.elapsed_s)
+        self.trajectory
+            .iter()
+            .find(|p| p.processing_latency_ms <= target_ms * 1.05)
+            .map(|p| p.elapsed_s)
     }
 }
 
@@ -88,14 +99,22 @@ pub fn run_monitoring(
     let mut last_latency = f64::INFINITY;
 
     for round in 0..=cfg.max_rounds {
-        let result = simulate(query, cluster, &placement, &sim.with_seed(seed.wrapping_add(round as u64)));
+        let result = simulate(
+            query,
+            cluster,
+            &placement,
+            &sim.with_seed(seed.wrapping_add(round as u64)),
+        );
         let latency = if result.metrics.success {
             result.metrics.processing_latency_ms
         } else {
             // A crashed redeployment is observed as a worst-case latency.
             sim.duration_s * 1000.0
         };
-        trajectory.push(TrajectoryPoint { elapsed_s: elapsed, processing_latency_ms: latency });
+        trajectory.push(TrajectoryPoint {
+            elapsed_s: elapsed,
+            processing_latency_ms: latency,
+        });
 
         if round == cfg.max_rounds {
             break;
@@ -121,12 +140,15 @@ pub fn run_monitoring(
                 let victim = (0..query.len())
                     .filter(|&o| assignment[o] == hot_host)
                     .max_by(|&a, &b| {
-                        trace.op_cpu_cores[a].partial_cmp(&trace.op_cpu_cores[b]).expect("finite demand")
+                        trace.op_cpu_cores[a]
+                            .partial_cmp(&trace.op_cpu_cores[b])
+                            .expect("finite demand")
                     });
-                let target = (0..cluster.len())
-                    .min_by(|&a, &b| {
-                        trace.host_utilization[a].partial_cmp(&trace.host_utilization[b]).expect("finite util")
-                    });
+                let target = (0..cluster.len()).min_by(|&a, &b| {
+                    trace.host_utilization[a]
+                        .partial_cmp(&trace.host_utilization[b])
+                        .expect("finite util")
+                });
                 if let (Some(v), Some(t)) = (victim, target) {
                     if t != hot_host {
                         assignment[v] = t;
@@ -169,7 +191,10 @@ pub fn run_monitoring(
         placement = Placement::new(assignment);
     }
 
-    MonitoringRun { trajectory, final_placement: placement }
+    MonitoringRun {
+        trajectory,
+        final_placement: placement,
+    }
 }
 
 #[cfg(test)]
@@ -210,9 +235,18 @@ mod tests {
     fn time_to_reach_semantics() {
         let run = MonitoringRun {
             trajectory: vec![
-                TrajectoryPoint { elapsed_s: 0.0, processing_latency_ms: 1000.0 },
-                TrajectoryPoint { elapsed_s: 30.0, processing_latency_ms: 200.0 },
-                TrajectoryPoint { elapsed_s: 70.0, processing_latency_ms: 90.0 },
+                TrajectoryPoint {
+                    elapsed_s: 0.0,
+                    processing_latency_ms: 1000.0,
+                },
+                TrajectoryPoint {
+                    elapsed_s: 30.0,
+                    processing_latency_ms: 200.0,
+                },
+                TrajectoryPoint {
+                    elapsed_s: 70.0,
+                    processing_latency_ms: 90.0,
+                },
             ],
             final_placement: Placement::new(vec![0]),
         };

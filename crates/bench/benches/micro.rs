@@ -1,15 +1,84 @@
-//! Micro-benchmarks of the reproduction's hot paths: simulator runs,
-//! joint-graph featurization, GNN inference, GBDT fitting and placement
-//! enumeration. These complement the experiment binary (which regenerates
-//! the paper's tables) with performance numbers for the substrates.
+//! Micro-benchmarks of the reproduction's hot paths: tensor kernels at the
+//! exact shapes the GNN MLPs use, graph primitives, batch-plan
+//! construction, simulator runs, joint-graph featurization, GNN inference
+//! on both execution paths (tape vs. tape-free arena), ensemble training,
+//! GBDT fitting and placement enumeration.
+//!
+//! The harness writes every result to `BENCH_micro.json` (op, ns/iter,
+//! throughput) so the performance trajectory is tracked from PR 1 onward.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use costream::prelude::*;
 use costream::optimizer::enumerate_candidates;
+use costream::prelude::*;
 use costream_baselines::{Gbdt, GbdtConfig, Objective};
 use costream_dsps::simulate;
+use costream_nn::{InferenceArena, Tensor};
 use costream_query::generator::WorkloadGenerator;
 use costream_query::selectivity::SelectivityEstimator;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn pseudo_random(rows: usize, cols: usize, seed: u64) -> Tensor {
+    let data = (0..rows * cols)
+        .map(|i| ((i as f32 * 0.137 + seed as f32 * 0.311).sin() * 1.3) - 0.2)
+        .collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+/// Matmul at the shapes the encoder/updater/readout MLPs actually run:
+/// update MLPs see `n x 2h @ 2h x u`, encoders `n x feat @ feat x e`,
+/// the readout head `g x h @ h x r`.
+fn bench_matmul_kernels(c: &mut Criterion) {
+    for &(m, k, n, tag) in &[
+        (64usize, 64usize, 48usize, "updater_in"),
+        (64, 48, 32, "updater_out"),
+        (256, 64, 48, "updater_in_big"),
+        (64, 21, 48, "encoder_agg"),
+        (64, 32, 32, "readout_hidden"),
+    ] {
+        let a = pseudo_random(m, k, 1);
+        let b = pseudo_random(k, n, 2);
+        c.bench_function(&format!("matmul_{m}x{k}x{n}_{tag}"), |bch| {
+            bch.iter(|| black_box(&a).matmul(black_box(&b)))
+        });
+    }
+    let a = pseudo_random(64, 64, 3);
+    let b = pseudo_random(64, 48, 4);
+    let bias = pseudo_random(1, 48, 5);
+    let mut out = Tensor::zeros(64, 48);
+    c.bench_function("affine_relu_fused_64x64x48", |bch| {
+        bch.iter(|| Tensor::affine_into(black_box(&a), black_box(&b), black_box(&bias), true, &mut out))
+    });
+    // Backward-pass kernels.
+    c.bench_function("t_matmul_64x64_64x48", |bch| {
+        bch.iter(|| black_box(&a).t_matmul(black_box(&b)))
+    });
+    let g = pseudo_random(64, 48, 6);
+    let w = pseudo_random(64, 48, 7);
+    c.bench_function("matmul_t_64x48_64x48", |bch| {
+        bch.iter(|| black_box(&g).matmul_t(black_box(&w)))
+    });
+}
+
+/// Graph primitives over a realistic batched-node count (~1k rows, hidden
+/// width 32).
+fn bench_graph_primitives(c: &mut Criterion) {
+    let x = pseudo_random(1024, 32, 8);
+    let segments: Vec<usize> = (0..1024).map(|i| (i * 7919) % 128).collect();
+    let mut out = Tensor::zeros(128, 32);
+    c.bench_function("segment_sum_1024x32_to_128", |bch| {
+        bch.iter(|| {
+            out.fill_zero();
+            black_box(&x).segment_sum_into(black_box(&segments), &mut out);
+        })
+    });
+    let rows: Vec<usize> = (0..2048).map(|i| (i * 31) % 1024).collect();
+    let segs: Vec<usize> = (0..2048).map(|i| (i * 13) % 128).collect();
+    c.bench_function("gather_segment_sum_2048edges", |bch| {
+        bch.iter(|| {
+            out.fill_zero();
+            black_box(&x).gather_segment_sum_into(black_box(&rows), black_box(&segs), &mut out);
+        })
+    });
+}
 
 fn bench_simulator(c: &mut Criterion) {
     let mut g = WorkloadGenerator::new(1, FeatureRanges::training());
@@ -27,37 +96,82 @@ fn bench_featurize(c: &mut Criterion) {
     });
 }
 
+/// GNN inference, both execution paths. `gnn_inference_batch64` is the
+/// fast path the acceptance criterion tracks; `gnn_inference_batch64_tape`
+/// is the tape-recording baseline it is measured against.
 fn bench_inference(c: &mut Criterion) {
     let corpus = Corpus::generate(64, 4, FeatureRanges::training(), &SimConfig::default());
-    let cfg = TrainConfig { epochs: 2, ..Default::default() };
+    let cfg = TrainConfig {
+        epochs: 2,
+        ..Default::default()
+    };
     let model = train_metric(&corpus, CostMetric::ProcessingLatency, &cfg);
     let graphs: Vec<JointGraph> = corpus.items.iter().map(|i| i.graph(Featurization::Full)).collect();
     let one = &graphs[0];
     let refs: Vec<&JointGraph> = graphs.iter().collect();
-    c.bench_function("gnn_inference_single_graph", |b| b.iter(|| model.predict_graphs(&[one])));
+
+    c.bench_function("gnn_inference_single_graph", |b| {
+        b.iter(|| model.predict_graphs(&[one]))
+    });
     c.bench_function("gnn_inference_batch64", |b| b.iter(|| model.predict_graphs(&refs)));
+    c.bench_function("gnn_inference_batch64_tape", |b| {
+        b.iter(|| {
+            let (tape, out) = model.model().forward(&refs);
+            tape.value(out).data().to_vec()
+        })
+    });
+    // Plan reuse: the steady-state serving cost once plans are cached.
+    let plan = model.model().plan(&refs);
+    let mut arena = InferenceArena::new();
+    c.bench_function("gnn_inference_batch64_cached_plan", |b| {
+        b.iter(|| model.model().forward_inference(black_box(&plan), &mut arena))
+    });
+    c.bench_function("batch_plan_build_64", |b| b.iter(|| model.model().plan(&refs)));
+}
+
+/// Seed-varied ensemble training (members train in parallel from shared
+/// batch plans).
+fn bench_ensemble_train(c: &mut Criterion) {
+    let corpus = Corpus::generate(48, 9, FeatureRanges::training(), &SimConfig::default());
+    let cfg = TrainConfig {
+        epochs: 3,
+        batch_size: 16,
+        ..Default::default()
+    };
+    c.bench_function("ensemble_train_k4_48x3epochs", |b| {
+        b.iter(|| Ensemble::train(&corpus, CostMetric::Throughput, &cfg, 4))
+    });
 }
 
 fn bench_gbdt(c: &mut Criterion) {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
     let mut rng = StdRng::seed_from_u64(5);
-    let xs: Vec<Vec<f64>> = (0..500).map(|_| (0..26).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect();
+    let xs: Vec<Vec<f64>> = (0..500)
+        .map(|_| (0..26).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        .collect();
     let ys: Vec<f64> = xs.iter().map(|x| x[0] * 3.0 + x[1]).collect();
-    let cfg = GbdtConfig { n_trees: 30, ..Default::default() };
-    c.bench_function("gbdt_fit_500x26", |b| b.iter(|| Gbdt::fit(&xs, &ys, Objective::Regression, &cfg)));
+    let cfg = GbdtConfig {
+        n_trees: 30,
+        ..Default::default()
+    };
+    c.bench_function("gbdt_fit_500x26", |b| {
+        b.iter(|| Gbdt::fit(&xs, &ys, Objective::Regression, &cfg))
+    });
 }
 
 fn bench_enumeration(c: &mut Criterion) {
     let mut g = WorkloadGenerator::new(6, FeatureRanges::training());
     let q = g.query();
     let cl = g.cluster(6);
-    c.bench_function("enumerate_12_candidates", |b| b.iter(|| enumerate_candidates(&q, &cl, 12, 7)));
+    c.bench_function("enumerate_12_candidates", |b| {
+        b.iter(|| enumerate_candidates(&q, &cl, 12, 7))
+    });
 }
 
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_simulator, bench_featurize, bench_inference, bench_gbdt, bench_enumeration
+    targets = bench_matmul_kernels, bench_graph_primitives, bench_simulator, bench_featurize, bench_inference, bench_ensemble_train, bench_gbdt, bench_enumeration
 }
 criterion_main!(benches);

@@ -62,11 +62,20 @@ pub fn run(models: &Models, test: &Corpus, scale: &Scale) -> Exp1Result {
     );
 
     // --- Fig. 8: by query type ---
-    println!("\n== Fig. 8: q-error / accuracy per query type (paper: Q50 <= 1.6 everywhere, rising with complexity) ==");
+    println!(
+        "\n== Fig. 8: q-error / accuracy per query type (paper: Q50 <= 1.6 everywhere, rising with complexity) =="
+    );
     let le = models.ensemble(CostMetric::E2eLatency);
     let succ = models.ensemble(CostMetric::Success);
     let mut by_query_type = Vec::new();
-    let labels = ["Linear", "Linear +Agg", "2-Way-Join", "2-Way-Join +Agg", "3-Way-Join", "3-Way-Join +Agg"];
+    let labels = [
+        "Linear",
+        "Linear +Agg",
+        "2-Way-Join",
+        "2-Way-Join +Agg",
+        "3-Way-Join",
+        "3-Way-Join +Agg",
+    ];
     for label in labels {
         let items: Vec<&CorpusItem> = test
             .items
@@ -78,28 +87,53 @@ pub fn run(models: &Models, test: &Corpus, scale: &Scale) -> Exp1Result {
         }
         let preds = le.predict_items(&items);
         let q = QErrorSummary::of(
-            &items.iter().zip(&preds).map(|(i, &p)| (i.metrics.e2e_latency_ms, p)).collect::<Vec<_>>(),
+            &items
+                .iter()
+                .zip(&preds)
+                .map(|(i, &p)| (i.metrics.e2e_latency_ms, p))
+                .collect::<Vec<_>>(),
         );
         let all_items: Vec<&CorpusItem> = test.items.iter().filter(|i| query_type_label(i) == label).collect();
         let spreds = {
-            let graphs: Vec<_> = all_items.iter().map(|i| i.graph(costream::Featurization::Full)).collect();
+            let graphs: Vec<_> = all_items
+                .iter()
+                .map(|i| i.graph(costream::Featurization::Full))
+                .collect();
             let refs: Vec<&costream::JointGraph> = graphs.iter().collect();
             succ.predict_graphs(&refs)
         };
         let acc = accuracy(
-            &all_items.iter().zip(&spreds).map(|(i, &p)| (i.metrics.success, p > 0.5)).collect::<Vec<_>>(),
+            &all_items
+                .iter()
+                .zip(&spreds)
+                .map(|(i, &p)| (i.metrics.success, p > 0.5))
+                .collect::<Vec<_>>(),
         );
-        println!("{label:<18} E2E-lat Q50 {:.2}   success acc {:.1}%  (n={})", q.q50, acc * 100.0, items.len());
+        println!(
+            "{label:<18} E2E-lat Q50 {:.2}   success acc {:.1}%  (n={})",
+            q.q50,
+            acc * 100.0,
+            items.len()
+        );
         by_query_type.push((label.to_string(), q.q50, acc));
     }
 
     // --- Fig. 7: by hardware range ---
     println!("\n== Fig. 7: median q-error of E2E-latency over hardware ranges (paper: <= 1.6 across all bins) ==");
     let mut by_hardware = Vec::new();
-    let dims: [(&str, fn(&CorpusItem) -> f64, Vec<f64>); 4] = [
+    type Dim = (&'static str, fn(&CorpusItem) -> f64, Vec<f64>);
+    let dims: [Dim; 4] = [
         ("CPU (%)", |i| i.cluster.mean_features().0, vec![200.0, 400.0, 600.0]),
-        ("RAM (MB)", |i| i.cluster.mean_features().1, vec![4000.0, 12000.0, 24000.0]),
-        ("Bandwidth (Mbit/s)", |i| i.cluster.mean_features().2, vec![200.0, 1600.0, 6400.0]),
+        (
+            "RAM (MB)",
+            |i| i.cluster.mean_features().1,
+            vec![4000.0, 12000.0, 24000.0],
+        ),
+        (
+            "Bandwidth (Mbit/s)",
+            |i| i.cluster.mean_features().2,
+            vec![200.0, 1600.0, 6400.0],
+        ),
         ("Latency (ms)", |i| i.cluster.mean_features().3, vec![10.0, 40.0, 100.0]),
     ];
     for (name, feature, cuts) in dims {
@@ -117,7 +151,11 @@ pub fn run(models: &Models, test: &Corpus, scale: &Scale) -> Exp1Result {
             }
             let preds = le.predict_items(&items);
             let q = QErrorSummary::of(
-                &items.iter().zip(&preds).map(|(i, &p)| (i.metrics.e2e_latency_ms, p)).collect::<Vec<_>>(),
+                &items
+                    .iter()
+                    .zip(&preds)
+                    .map(|(i, &p)| (i.metrics.e2e_latency_ms, p))
+                    .collect::<Vec<_>>(),
             );
             let bucket = format!("({:.0}, {:.0}]", w[0].max(0.0), w[1].min(1e9));
             println!("{name:<20} {bucket:<18} Q50 {:.2}  (n={})", q.q50, items.len());
@@ -125,5 +163,9 @@ pub fn run(models: &Models, test: &Corpus, scale: &Scale) -> Exp1Result {
         }
     }
 
-    Exp1Result { overall, by_query_type, by_hardware }
+    Exp1Result {
+        overall,
+        by_query_type,
+        by_hardware,
+    }
 }

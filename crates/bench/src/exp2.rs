@@ -32,7 +32,11 @@ fn pick_with_flat(models: &Models, items: &[CorpusItem]) -> usize {
     let s = flat_predict(models.flat(CostMetric::Success), &refs);
     let ro = flat_predict(models.flat(CostMetric::Backpressure), &refs);
     let viable: Vec<usize> = (0..items.len()).filter(|&i| s[i] >= 0.5 && ro[i] < 0.5).collect();
-    let set = if viable.is_empty() { (0..items.len()).collect::<Vec<_>>() } else { viable };
+    let set = if viable.is_empty() {
+        (0..items.len()).collect::<Vec<_>>()
+    } else {
+        viable
+    };
     set.into_iter()
         .min_by(|&a, &b| lp[a].partial_cmp(&lp[b]).expect("finite predictions"))
         .expect("non-empty candidates")
@@ -102,7 +106,10 @@ pub fn run_2a(models: &Models, scale: &Scale) -> Exp2aResult {
             flat_speed.push(lp_initial / lp_flat.max(1e-3));
         }
         let (c, f) = (median(&cs_speed), median(&flat_speed));
-        println!("{label:<18} Costream {c:>7.2}x   FlatVector {f:>7.2}x  (n={})", cs_speed.len());
+        println!(
+            "{label:<18} Costream {c:>7.2}x   FlatVector {f:>7.2}x  (n={})",
+            cs_speed.len()
+        );
         speedups.push((label.to_string(), c, f));
     }
     Exp2aResult { speedups }
@@ -133,7 +140,11 @@ pub fn run_2b(models: &Models, scale: &Scale) -> Exp2bResult {
                     event_rate: rate,
                     schema: TupleSchema::new(vec![DataType::Int, DataType::Int, DataType::Double, DataType::String]),
                 }),
-                OpKind::Filter(FilterSpec { function: FilterFunction::Less, literal_type: DataType::Int, selectivity: sel }),
+                OpKind::Filter(FilterSpec {
+                    function: FilterFunction::Less,
+                    literal_type: DataType::Int,
+                    selectivity: sel,
+                }),
                 OpKind::Sink,
             ],
             vec![(0, 1), (1, 2)],
@@ -142,10 +153,15 @@ pub fn run_2b(models: &Models, scale: &Scale) -> Exp2bResult {
         let est_sels = vec![1.0, sel, 1.0];
         let seed = scale.seed.wrapping_add(2000 + qi as u64);
 
-        let chosen = optimizer.optimize(&query, &cluster, &est_sels, Featurization::Full, seed).best;
+        let chosen = optimizer
+            .optimize(&query, &cluster, &est_sels, Featurization::Full, seed)
+            .best;
         let r = simulate(&query, &cluster, &chosen, &sim.with_seed(seed));
-        let lp_costream =
-            if r.metrics.success { r.metrics.processing_latency_ms } else { sim.duration_s * 1000.0 };
+        let lp_costream = if r.metrics.success {
+            r.metrics.processing_latency_ms
+        } else {
+            sim.duration_s * 1000.0
+        };
 
         let run = run_monitoring(&query, &cluster, &sim, &MonitoringConfig::default(), seed);
         let slowdown = run.trajectory[0].processing_latency_ms / lp_costream.max(1e-3);

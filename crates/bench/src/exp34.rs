@@ -43,10 +43,14 @@ pub struct ExtrapolationRow {
 /// evaluates on out-of-range values (Table V A and B).
 pub fn run_4(scale: &Scale) -> Vec<ExtrapolationRow> {
     let mut out = Vec::new();
-    for (direction, settings) in
-        [("stronger", extrapolation_stronger()), ("weaker", extrapolation_weaker())]
-    {
-        println!("\n== Table V-{}: extrapolation toward {direction} resources ==", if direction == "stronger" { "A" } else { "B" });
+    for (direction, settings) in [
+        ("stronger", extrapolation_stronger()),
+        ("weaker", extrapolation_weaker()),
+    ] {
+        println!(
+            "\n== Table V-{}: extrapolation toward {direction} resources ==",
+            if direction == "stronger" { "A" } else { "B" }
+        );
         println!("(paper: Q50 mostly 1.4-3.8; latency extrapolation hardest)");
         for setting in settings {
             out.push(run_one_extrapolation(scale, direction, &setting));
@@ -62,15 +66,29 @@ fn run_one_extrapolation(scale: &Scale, direction: &str, setting: &Extrapolation
 
     let corpus = Corpus::generate(scale.retrain_corpus, seed, train_ranges, &SimConfig::default());
     let (train, _, _) = corpus.split(seed);
-    let retrain_scale = Scale { epochs: scale.retrain_epochs, ensemble_k: 1, ..*scale };
+    let retrain_scale = Scale {
+        epochs: scale.retrain_epochs,
+        ensemble_k: 1,
+        ..*scale
+    };
     let models = train_all(&train, &retrain_scale);
 
-    let eval = Corpus::generate(scale.eval_queries, seed.wrapping_add(1), eval_ranges, &SimConfig::default());
+    let eval = Corpus::generate(
+        scale.eval_queries,
+        seed.wrapping_add(1),
+        eval_ranges,
+        &SimConfig::default(),
+    );
     let rows = evaluate_all(&models, &eval, seed);
     println!("\n-- {} ({direction}) --", setting.dim.name());
     for r in &rows {
         if r.costream.1.is_nan() {
-            println!("  {:<20} Costream {:.1}%   Flat {:.1}%", r.metric.name(), r.costream.0 * 100.0, r.flat.0 * 100.0);
+            println!(
+                "  {:<20} Costream {:.1}%   Flat {:.1}%",
+                r.metric.name(),
+                r.costream.0 * 100.0,
+                r.flat.0 * 100.0
+            );
         } else {
             println!(
                 "  {:<20} Costream Q50 {:.2} Q95 {:.2}   Flat Q50 {:.2}",
@@ -81,5 +99,9 @@ fn run_one_extrapolation(scale: &Scale, direction: &str, setting: &Extrapolation
             );
         }
     }
-    ExtrapolationRow { dim: setting.dim.name().to_string(), direction: direction.to_string(), rows }
+    ExtrapolationRow {
+        dim: setting.dim.name().to_string(),
+        direction: direction.to_string(),
+        rows,
+    }
 }

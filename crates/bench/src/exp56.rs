@@ -40,17 +40,27 @@ pub struct Exp5Result {
 /// Runs Exp 5a (Table VI-A) and Exp 5b (Fig. 11).
 pub fn run_5(models: &Models, train: &Corpus, scale: &Scale) -> Exp5Result {
     println!("\n== Table VI-A: unseen query patterns (filter chains) ==");
-    println!("(paper: Costream Q50 1.6-5.5, degrading with chain length; Flat far worse, success prediction collapses)");
+    println!(
+        "(paper: Costream Q50 1.6-5.5, degrading with chain length; Flat far worse, success prediction collapses)"
+    );
     let mut by_chain = Vec::new();
     let mut chains: Vec<(usize, Corpus)> = Vec::new();
     for chain_len in [2usize, 3, 4] {
-        let corpus =
-            filter_chain_corpus(chain_len, scale.eval_queries, scale.seed.wrapping_add(500 + chain_len as u64));
+        let corpus = filter_chain_corpus(
+            chain_len,
+            scale.eval_queries,
+            scale.seed.wrapping_add(500 + chain_len as u64),
+        );
         let rows = evaluate_all(models, &corpus, scale.seed);
         println!("\n-- {chain_len}-filter chain --");
         for r in &rows {
             if r.costream.1.is_nan() {
-                println!("  {:<20} Costream {:.1}%   Flat {:.1}%", r.metric.name(), r.costream.0 * 100.0, r.flat.0 * 100.0);
+                println!(
+                    "  {:<20} Costream {:.1}%   Flat {:.1}%",
+                    r.metric.name(),
+                    r.costream.0 * 100.0,
+                    r.flat.0 * 100.0
+                );
             } else {
                 println!(
                     "  {:<20} Costream Q50 {:.2} Q95 {:.2}   Flat Q50 {:.2} Q95 {:.2}",
@@ -77,7 +87,11 @@ pub fn run_5(models: &Models, train: &Corpus, scale: &Scale) -> Exp5Result {
         let c = filter_chain_corpus(chain_len, extra_n / 3, scale.seed.wrapping_add(600 + i as u64));
         extra.items.extend(c.items);
     }
-    let cfg = TrainConfig { epochs: scale.epochs, seed: scale.seed, ..Default::default() };
+    let cfg = TrainConfig {
+        epochs: scale.epochs,
+        seed: scale.seed,
+        ..Default::default()
+    };
     let mut tuned = models.ensemble(CostMetric::Throughput).members()[0].clone();
     // Mix some original training data in to avoid catastrophic forgetting.
     let mut mixed = extra.clone();
@@ -90,9 +104,18 @@ pub fn run_5(models: &Models, train: &Corpus, scale: &Scale) -> Exp5Result {
         let after = {
             let items = corpus.successful();
             let preds = tuned.predict_items(&items);
-            QErrorSummary::of(&items.iter().zip(&preds).map(|(i, &p)| (i.metrics.throughput, p)).collect::<Vec<_>>())
+            QErrorSummary::of(
+                &items
+                    .iter()
+                    .zip(&preds)
+                    .map(|(i, &p)| (i.metrics.throughput, p))
+                    .collect::<Vec<_>>(),
+            )
         };
-        println!("{chain_len}-filter chain: Q50 {:.2} -> {:.2}   Q95 {:.2} -> {:.2}", before.q50, after.q50, before.q95, after.q95);
+        println!(
+            "{chain_len}-filter chain: Q50 {:.2} -> {:.2}   Q95 {:.2} -> {:.2}",
+            before.q50, after.q50, before.q95, after.q95
+        );
         finetune.push((*chain_len, before.q50, after.q50));
     }
     Exp5Result { by_chain, finetune }
@@ -133,7 +156,12 @@ pub fn run_6(models: &Models, scale: &Scale) -> Exp6Result {
         println!("\n-- {} --", bench.name());
         for r in &rows {
             if r.costream.1.is_nan() {
-                println!("  {:<20} Costream {:.1}%   Flat {:.1}%", r.metric.name(), r.costream.0 * 100.0, r.flat.0 * 100.0);
+                println!(
+                    "  {:<20} Costream {:.1}%   Flat {:.1}%",
+                    r.metric.name(),
+                    r.costream.0 * 100.0,
+                    r.flat.0 * 100.0
+                );
             } else {
                 println!(
                     "  {:<20} Costream Q50 {:.2} Q95 {:.2}   Flat Q50 {:.2} Q95 {:.2}",
@@ -151,12 +179,7 @@ pub fn run_6(models: &Models, scale: &Scale) -> Exp6Result {
 }
 
 /// Fig. 1 headline: median E2E-latency q-error across the four scenarios.
-pub fn print_fig1(
-    seen: &[MetricRow],
-    unseen_hw: &[MetricRow],
-    exp5: &Exp5Result,
-    exp6: &Exp6Result,
-) {
+pub fn print_fig1(seen: &[MetricRow], unseen_hw: &[MetricRow], exp5: &Exp5Result, exp6: &Exp6Result) {
     let le = |rows: &[MetricRow]| {
         rows.iter()
             .find(|r| r.metric == CostMetric::E2eLatency)

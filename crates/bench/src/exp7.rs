@@ -35,10 +35,13 @@ pub fn run_7a(train: &Corpus, test: &Corpus, scale: &Scale) -> Exp7aResult {
     Exp7aResult { rows }
 }
 
+/// One ablation row: (metric name, ours Q50/Q95, traditional Q50/Q95).
+pub type AblationRow = (String, (f64, f64), (f64, f64));
+
 /// Results of Exp 7b: per regression metric, (ours Q50, traditional Q50).
 pub struct Exp7bResult {
-    /// (metric name, ours Q50/Q95, traditional Q50/Q95).
-    pub rows: Vec<(String, (f64, f64), (f64, f64))>,
+    /// Per-metric comparison rows.
+    pub rows: Vec<AblationRow>,
 }
 
 /// Runs the message-passing ablation (Fig. 13) on a shared split.

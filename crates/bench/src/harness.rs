@@ -74,19 +74,29 @@ pub struct Models {
 impl Models {
     /// The ensemble for a metric.
     pub fn ensemble(&self, metric: CostMetric) -> &Ensemble {
-        self.ensembles.iter().find(|e| e.metric == metric).expect("all metrics trained")
+        self.ensembles
+            .iter()
+            .find(|e| e.metric == metric)
+            .expect("all metrics trained")
     }
 
     /// The flat baseline for a metric.
     pub fn flat(&self, metric: CostMetric) -> &FlatVectorModel {
-        self.flat.iter().find(|m| m.metric == metric).expect("all metrics trained")
+        self.flat
+            .iter()
+            .find(|m| m.metric == metric)
+            .expect("all metrics trained")
     }
 }
 
 /// Trains Costream ensembles and flat-vector baselines for all five
 /// metrics on the same training corpus.
 pub fn train_all(train: &Corpus, scale: &Scale) -> Models {
-    let cfg = TrainConfig { epochs: scale.epochs, seed: scale.seed, ..Default::default() };
+    let cfg = TrainConfig {
+        epochs: scale.epochs,
+        seed: scale.seed,
+        ..Default::default()
+    };
     let ensembles = CostMetric::ALL
         .iter()
         .map(|&m| {
@@ -107,10 +117,15 @@ pub fn train_all(train: &Corpus, scale: &Scale) -> Models {
 /// Trains one flat-vector baseline model. Classification metrics get the
 /// same minority oversampling the GNN training applies.
 pub fn train_flat(train: &Corpus, metric: CostMetric) -> FlatVectorModel {
-    let items: Vec<&CorpusItem> =
-        if metric.is_regression() { train.successful() } else { train.items.iter().collect() };
-    let mut xs: Vec<Vec<f64>> =
-        items.iter().map(|i| flat_features(&i.query, &i.cluster, &i.placement, &i.est_sels)).collect();
+    let items: Vec<&CorpusItem> = if metric.is_regression() {
+        train.successful()
+    } else {
+        train.items.iter().collect()
+    };
+    let mut xs: Vec<Vec<f64>> = items
+        .iter()
+        .map(|i| flat_features(&i.query, &i.cluster, &i.placement, &i.est_sels))
+        .collect();
     let mut ys: Vec<f64> = items.iter().map(|i| i.metrics.get(metric)).collect();
     if !metric.is_regression() {
         let pos: Vec<usize> = (0..ys.len()).filter(|&i| ys[i] > 0.5).collect();
@@ -139,7 +154,13 @@ pub fn flat_predict(model: &FlatVectorModel, items: &[&CorpusItem]) -> Vec<f64> 
 pub fn eval_ensemble_regression(e: &Ensemble, corpus: &Corpus) -> QErrorSummary {
     let items = corpus.successful();
     let preds = e.predict_items(&items);
-    QErrorSummary::of(&items.iter().zip(&preds).map(|(i, &p)| (i.metrics.get(e.metric), p)).collect::<Vec<_>>())
+    QErrorSummary::of(
+        &items
+            .iter()
+            .zip(&preds)
+            .map(|(i, &p)| (i.metrics.get(e.metric), p))
+            .collect::<Vec<_>>(),
+    )
 }
 
 /// Accuracy of an ensemble over a balanced subset of a corpus.
@@ -149,14 +170,26 @@ pub fn eval_ensemble_classification(e: &Ensemble, corpus: &Corpus, seed: u64) ->
         return 1.0;
     }
     let preds = e.predict_items(&items);
-    accuracy(&items.iter().zip(&preds).map(|(i, &p)| (i.metrics.get(e.metric) > 0.5, p > 0.5)).collect::<Vec<_>>())
+    accuracy(
+        &items
+            .iter()
+            .zip(&preds)
+            .map(|(i, &p)| (i.metrics.get(e.metric) > 0.5, p > 0.5))
+            .collect::<Vec<_>>(),
+    )
 }
 
 /// Q-error summary of a flat baseline over the successful items.
 pub fn eval_flat_regression(m: &FlatVectorModel, corpus: &Corpus) -> QErrorSummary {
     let items = corpus.successful();
     let preds = flat_predict(m, &items);
-    QErrorSummary::of(&items.iter().zip(&preds).map(|(i, &p)| (i.metrics.get(m.metric), p)).collect::<Vec<_>>())
+    QErrorSummary::of(
+        &items
+            .iter()
+            .zip(&preds)
+            .map(|(i, &p)| (i.metrics.get(m.metric), p))
+            .collect::<Vec<_>>(),
+    )
 }
 
 /// Accuracy of a flat baseline over a balanced subset.
@@ -166,7 +199,13 @@ pub fn eval_flat_classification(m: &FlatVectorModel, corpus: &Corpus, seed: u64)
         return 1.0;
     }
     let preds = flat_predict(m, &items);
-    accuracy(&items.iter().zip(&preds).map(|(i, &p)| (i.metrics.get(m.metric) > 0.5, p > 0.5)).collect::<Vec<_>>())
+    accuracy(
+        &items
+            .iter()
+            .zip(&preds)
+            .map(|(i, &p)| (i.metrics.get(m.metric) > 0.5, p > 0.5))
+            .collect::<Vec<_>>(),
+    )
 }
 
 /// One comparison row of a results table.
@@ -188,11 +227,19 @@ pub fn evaluate_all(models: &Models, corpus: &Corpus, seed: u64) -> Vec<MetricRo
             if m.is_regression() {
                 let c = eval_ensemble_regression(models.ensemble(m), corpus);
                 let f = eval_flat_regression(models.flat(m), corpus);
-                MetricRow { metric: m, costream: (c.q50, c.q95), flat: (f.q50, f.q95) }
+                MetricRow {
+                    metric: m,
+                    costream: (c.q50, c.q95),
+                    flat: (f.q50, f.q95),
+                }
             } else {
                 let c = eval_ensemble_classification(models.ensemble(m), corpus, seed);
                 let f = eval_flat_classification(models.flat(m), corpus, seed);
-                MetricRow { metric: m, costream: (c, f64::NAN), flat: (f, f64::NAN) }
+                MetricRow {
+                    metric: m,
+                    costream: (c, f64::NAN),
+                    flat: (f, f64::NAN),
+                }
             }
         })
         .collect()
@@ -201,7 +248,10 @@ pub fn evaluate_all(models: &Models, corpus: &Corpus, seed: u64) -> Vec<MetricRo
 /// Prints a comparison table in the layout of Table III.
 pub fn print_rows(title: &str, rows: &[MetricRow], paper: &[(&str, &str, &str)]) {
     println!("\n== {title} ==");
-    println!("{:<22} {:>20} {:>20}   paper (Costream | Flat)", "Metric", "COSTREAM", "FLATVECTOR");
+    println!(
+        "{:<22} {:>20} {:>20}   paper (Costream | Flat)",
+        "Metric", "COSTREAM", "FLATVECTOR"
+    );
     for (i, r) in rows.iter().enumerate() {
         let fmt = |v: (f64, f64)| {
             if v.1.is_nan() {
@@ -211,7 +261,13 @@ pub fn print_rows(title: &str, rows: &[MetricRow], paper: &[(&str, &str, &str)])
             }
         };
         let paper_note = paper.get(i).map(|(_, c, f)| format!("{c} | {f}")).unwrap_or_default();
-        println!("{:<22} {:>20} {:>20}   {}", r.metric.name(), fmt(r.costream), fmt(r.flat), paper_note);
+        println!(
+            "{:<22} {:>20} {:>20}   {}",
+            r.metric.name(),
+            fmt(r.costream),
+            fmt(r.flat),
+            paper_note
+        );
     }
 }
 
@@ -232,8 +288,17 @@ mod tests {
 
     #[test]
     fn train_all_and_evaluate_all_run_end_to_end() {
-        let scale = Scale { corpus_size: 160, epochs: 8, ..Scale::quick() };
-        let corpus = Corpus::generate(scale.corpus_size, scale.seed, FeatureRanges::training(), &SimConfig::default());
+        let scale = Scale {
+            corpus_size: 160,
+            epochs: 8,
+            ..Scale::quick()
+        };
+        let corpus = Corpus::generate(
+            scale.corpus_size,
+            scale.seed,
+            FeatureRanges::training(),
+            &SimConfig::default(),
+        );
         let (train, _, test) = corpus.split(scale.seed);
         let models = train_all(&train, &scale);
         let rows = evaluate_all(&models, &test, 1);

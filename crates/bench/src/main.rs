@@ -7,10 +7,17 @@ use harness::Scale;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let which = args.first().map(String::as_str).unwrap_or("all");
-    let mut scale = if args.iter().any(|a| a == "--quick") { Scale::quick() } else { Scale::paper() };
+    let mut scale = if args.iter().any(|a| a == "--quick") {
+        Scale::quick()
+    } else {
+        Scale::paper()
+    };
     // Optional overrides: --corpus N, --epochs N, --k N, --eval N.
     let flag = |name: &str| -> Option<usize> {
-        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).and_then(|v| v.parse().ok())
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
     };
     if let Some(v) = flag("--corpus") {
         scale.corpus_size = v;
@@ -33,7 +40,12 @@ fn main() {
     let needs_models = matches!(which, "all" | "exp1" | "exp2" | "exp3" | "exp5" | "exp6");
     let (train, test, models) = if needs_models {
         eprintln!("generating corpus ({} traces) ...", scale.corpus_size);
-        let corpus = Corpus::generate(scale.corpus_size, scale.seed, FeatureRanges::training(), &SimConfig::default());
+        let corpus = Corpus::generate(
+            scale.corpus_size,
+            scale.seed,
+            FeatureRanges::training(),
+            &SimConfig::default(),
+        );
         let (train, _val, test) = corpus.split(scale.seed);
         let models = harness::train_all(&train, &scale);
         (Some(train), Some(test), Some(models))
@@ -41,8 +53,12 @@ fn main() {
         (None, None, None)
     };
 
-    let mut fig1_parts: (Option<Vec<_>>, Option<Vec<_>>, Option<exp56::Exp5Result>, Option<exp56::Exp6Result>) =
-        (None, None, None, None);
+    let mut fig1_parts: (
+        Option<Vec<_>>,
+        Option<Vec<_>>,
+        Option<exp56::Exp5Result>,
+        Option<exp56::Exp6Result>,
+    ) = (None, None, None, None);
 
     if matches!(which, "all" | "exp1") {
         let r = exp1::run(models.as_ref().unwrap(), test.as_ref().unwrap(), &scale);
@@ -80,9 +96,7 @@ fn main() {
         exp7::run_7b(&train7, &test7, &scale);
     }
 
-    if let (Some(seen), Some(hw), Some(e5), Some(e6)) =
-        (&fig1_parts.0, &fig1_parts.1, &fig1_parts.2, &fig1_parts.3)
-    {
+    if let (Some(seen), Some(hw), Some(e5), Some(e6)) = (&fig1_parts.0, &fig1_parts.1, &fig1_parts.2, &fig1_parts.3) {
         exp56::print_fig1(seen, hw, e5, e6);
     }
 

@@ -6,8 +6,20 @@ use costream_bench::{exp1, exp34, exp56, exp7, harness};
 
 #[test]
 fn experiment_harness_smoke() {
-    let scale = harness::Scale { corpus_size: 150, epochs: 6, retrain_corpus: 120, retrain_epochs: 5, eval_queries: 12, ..harness::Scale::quick() };
-    let corpus = Corpus::generate(scale.corpus_size, scale.seed, FeatureRanges::training(), &SimConfig::default());
+    let scale = harness::Scale {
+        corpus_size: 150,
+        epochs: 6,
+        retrain_corpus: 120,
+        retrain_epochs: 5,
+        eval_queries: 12,
+        ..harness::Scale::quick()
+    };
+    let corpus = Corpus::generate(
+        scale.corpus_size,
+        scale.seed,
+        FeatureRanges::training(),
+        &SimConfig::default(),
+    );
     let (train, _, test) = corpus.split(scale.seed);
     let models = harness::train_all(&train, &scale);
 

@@ -38,7 +38,13 @@ pub struct CorpusItem {
 impl CorpusItem {
     /// Builds the joint graph representation for this item.
     pub fn graph(&self, featurization: Featurization) -> JointGraph {
-        JointGraph::build(&self.query, &self.cluster, &self.placement, &self.est_sels, featurization)
+        JointGraph::build(
+            &self.query,
+            &self.cluster,
+            &self.placement,
+            &self.est_sels,
+            featurization,
+        )
     }
 
     /// Executes one workload on the simulator and records the trace.
@@ -51,7 +57,13 @@ impl CorpusItem {
     ) -> Self {
         let est_sels = sel_estimator.estimate_query(&query);
         let result = simulate(&query, &cluster, &placement, sim);
-        CorpusItem { query, cluster, placement, est_sels, metrics: result.metrics }
+        CorpusItem {
+            query,
+            cluster,
+            placement,
+            est_sels,
+            metrics: result.metrics,
+        }
     }
 }
 
@@ -109,7 +121,11 @@ impl Corpus {
         let n_val = n / 10;
         let test = self.items.split_off(n_train + n_val);
         let val = self.items.split_off(n_train);
-        (Corpus { items: self.items }, Corpus { items: val }, Corpus { items: test })
+        (
+            Corpus { items: self.items },
+            Corpus { items: val },
+            Corpus { items: test },
+        )
     }
 
     /// Regression view: items with successful executions (failed runs have

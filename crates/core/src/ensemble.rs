@@ -7,8 +7,13 @@
 
 use crate::dataset::{Corpus, CorpusItem};
 use crate::graph::JointGraph;
-use crate::train::{train_metric, TrainConfig, TrainedModel};
+use crate::model::INFERENCE_CHUNK;
+use crate::plan::BatchPlan;
+#[cfg(test)]
+use crate::train::train_metric;
+use crate::train::{prepare_training, train_prepared, TrainConfig, TrainedModel};
 use costream_dsps::CostMetric;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// An ensemble of models for one cost metric.
@@ -22,12 +27,19 @@ pub struct Ensemble {
 impl Ensemble {
     /// Trains `k` models with different seeds on the same corpus.
     ///
+    /// The corpus is lowered to minibatch execution plans *once*; the
+    /// members — which differ only in their weight-init and
+    /// batch-order-shuffle seeds — then train from the shared plans in
+    /// parallel (they are embarrassingly parallel).
+    ///
     /// # Panics
     /// Panics if `k == 0`.
     pub fn train(corpus: &Corpus, metric: CostMetric, cfg: &TrainConfig, k: usize) -> Self {
         assert!(k > 0, "an ensemble needs at least one member");
+        let prepared = prepare_training(corpus, metric, cfg);
         let members = (0..k)
-            .map(|i| train_metric(corpus, metric, &cfg.with_seed(cfg.seed.wrapping_add(1 + i as u64))))
+            .into_par_iter()
+            .map(|i| train_prepared(&prepared, metric, &cfg.with_seed(cfg.seed.wrapping_add(1 + i as u64))))
             .collect();
         Ensemble { metric, members }
     }
@@ -56,8 +68,15 @@ impl Ensemble {
     /// Combined prediction for prepared graphs: the mean for regression
     /// metrics, the majority-vote probability (fraction of members voting
     /// positive) for classification metrics.
+    ///
+    /// Chunk plans are built once (in parallel) and shared by every
+    /// member; members then run the tape-free fast path in parallel.
     pub fn predict_graphs(&self, graphs: &[&JointGraph]) -> Vec<f64> {
-        let per_member: Vec<Vec<f64>> = self.members.iter().map(|m| m.predict_graphs(graphs)).collect();
+        let plans: Vec<BatchPlan> = graphs
+            .par_chunks(INFERENCE_CHUNK)
+            .map(|chunk| self.members[0].model().plan(chunk))
+            .collect();
+        let per_member: Vec<Vec<f64>> = self.members.par_iter().map(|m| m.predict_plans(&plans)).collect();
         let n = graphs.len();
         (0..n)
             .map(|i| {
@@ -87,7 +106,11 @@ mod tests {
     use costream_query::ranges::FeatureRanges;
 
     fn quick_cfg() -> TrainConfig {
-        TrainConfig { epochs: 10, batch_size: 16, ..Default::default() }
+        TrainConfig {
+            epochs: 10,
+            batch_size: 16,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -132,11 +155,14 @@ mod tests {
         let e = Ensemble::train(&corpus, CostMetric::E2eLatency, &quick_cfg(), 3);
         let items = corpus.successful();
         let truth: Vec<f64> = items.iter().map(|i| i.metrics.e2e_latency_ms).collect();
-        let q50_of = |preds: &[f64]| {
-            QErrorSummary::of(&truth.iter().zip(preds).map(|(&t, &p)| (t, p)).collect::<Vec<_>>()).q50
-        };
+        let q50_of =
+            |preds: &[f64]| QErrorSummary::of(&truth.iter().zip(preds).map(|(&t, &p)| (t, p)).collect::<Vec<_>>()).q50;
         let combined = q50_of(&e.predict_items(&items));
-        let worst = e.members().iter().map(|m| q50_of(&m.predict_items(&items))).fold(0.0, f64::max);
+        let worst = e
+            .members()
+            .iter()
+            .map(|m| q50_of(&m.predict_items(&items)))
+            .fold(0.0, f64::max);
         assert!(combined <= worst * 1.05, "ensemble {combined} vs worst member {worst}");
     }
 

@@ -90,7 +90,10 @@ impl JointGraph {
                     Featurization::HardwareNodes => vec![1.0; NodeType::Host.feature_width()],
                     Featurization::QueryOnly => unreachable!(),
                 };
-                nodes.push(GraphNode { node_type: NodeType::Host, features });
+                nodes.push(GraphNode {
+                    node_type: NodeType::Host,
+                    features,
+                });
                 host_node[h] = Some(idx);
             }
             for op in 0..query.len() {
@@ -103,10 +106,20 @@ impl JointGraph {
         let order = query.topo_order().expect("valid query");
         let mut waves: Vec<Option<usize>> = vec![None; nodes.len()];
         for &op in &order {
-            let w = query.upstream(op).iter().map(|&u| waves[u].expect("topo order") + 1).max().unwrap_or(0);
+            let w = query
+                .upstream(op)
+                .iter()
+                .map(|&u| waves[u].expect("topo order") + 1)
+                .max()
+                .unwrap_or(0);
             waves[op] = Some(w);
         }
-        JointGraph { nodes, dataflow_edges, placement_edges, waves }
+        JointGraph {
+            nodes,
+            dataflow_edges,
+            placement_edges,
+            waves,
+        }
     }
 
     /// Number of nodes.

@@ -9,7 +9,11 @@
 //! * [`graph`] — the joint operator-resource graph (§III-A) and the
 //!   featurization ablations of Exp 7a;
 //! * [`model`] — the GNN with the paper's three-phase message-passing
-//!   scheme (Algorithm 1) and the traditional-scheme ablation of Exp 7b;
+//!   scheme (Algorithm 1) and the traditional-scheme ablation of Exp 7b,
+//!   with a tape-recording training path and a tape-free inference fast
+//!   path;
+//! * [`plan`] — precomputed [`plan::BatchPlan`]s: per-batch gather/scatter
+//!   bookkeeping built once and reused across epochs and ensemble members;
 //! * [`dataset`] — benchmark corpora (§VI): generation against the
 //!   simulator, 80/10/10 splits, balanced classification subsets;
 //! * [`train`] — per-metric training (MSLE regression / BCE
@@ -38,11 +42,12 @@
 #![warn(missing_docs)]
 
 pub mod dataset;
-pub mod money;
 pub mod ensemble;
 pub mod graph;
 pub mod model;
+pub mod money;
 pub mod optimizer;
+pub mod plan;
 pub mod qerror;
 pub mod reorder;
 pub mod train;
@@ -54,6 +59,7 @@ pub mod prelude {
     pub use crate::graph::{Featurization, JointGraph};
     pub use crate::model::{GnnModel, ModelConfig, Scheme};
     pub use crate::optimizer::{enumerate_candidates, OptimizationResult, PlacementOptimizer};
+    pub use crate::plan::BatchPlan;
     pub use crate::qerror::{accuracy, q_error, QErrorSummary};
     pub use crate::train::{fine_tune, train_metric, TrainConfig, TrainedModel};
     pub use costream_dsps::{CostMetric, CostMetrics, SimConfig};

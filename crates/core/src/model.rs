@@ -9,8 +9,10 @@
 //! scheme of the Exp 7b ablation is available behind [`Scheme`].
 
 use crate::graph::JointGraph;
-use costream_nn::{Initializer, Mlp, NodeId, ParamStore, Tape};
+use crate::plan::BatchPlan;
+use costream_nn::{InferenceArena, Initializer, Mlp, NodeId, ParamStore, Tape};
 use costream_query::features::NodeType;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Message-passing scheme (Exp 7b ablation, Fig. 13).
@@ -82,10 +84,6 @@ pub struct GnnModel {
     readout: Mlp,
 }
 
-fn type_index(t: NodeType) -> usize {
-    NodeType::ALL.iter().position(|&x| x == t).expect("member of ALL")
-}
-
 impl GnnModel {
     /// Creates a model with freshly initialized weights.
     pub fn new(config: ModelConfig) -> Self {
@@ -113,8 +111,19 @@ impl GnnModel {
                 )
             })
             .collect();
-        let readout = Mlp::new(&mut store, &mut init, "readout", &[config.hidden, config.readout_hidden, 1]);
-        GnnModel { config, store, encoders, updaters, readout }
+        let readout = Mlp::new(
+            &mut store,
+            &mut init,
+            "readout",
+            &[config.hidden, config.readout_hidden, 1],
+        );
+        GnnModel {
+            config,
+            store,
+            encoders,
+            updaters,
+            readout,
+        }
     }
 
     /// The model's hyper-parameters.
@@ -132,239 +141,194 @@ impl GnnModel {
         self.store.scalar_count()
     }
 
+    /// Builds the execution plan for a batch of graphs under this model's
+    /// scheme. Plans depend only on graph structure, so one plan serves
+    /// every epoch and every seed-varied ensemble member.
+    pub fn plan(&self, graphs: &[&JointGraph]) -> BatchPlan {
+        BatchPlan::build(graphs, self.config.scheme, self.config.traditional_rounds)
+    }
+
     /// Runs the forward pass over a batch of graphs; returns the tape and
     /// the `(batch, 1)` output node. Kept public so the trainer can attach
     /// losses and run backward on the same tape.
     pub fn forward(&self, graphs: &[&JointGraph]) -> (Tape, NodeId) {
-        assert!(!graphs.is_empty(), "empty batch");
-        let h = self.config.hidden;
-        let mut tape = Tape::new();
+        let plan = self.plan(graphs);
+        self.forward_with_plan(&plan)
+    }
 
-        // ---- batched node bookkeeping ----
-        let mut offsets = Vec::with_capacity(graphs.len());
-        let mut total = 0usize;
-        for g in graphs {
-            offsets.push(total);
-            total += g.len();
-        }
-        let node_type = |gi: usize, local: usize| graphs[gi].nodes[local].node_type;
+    /// Tape-recording forward pass driven by a precomputed [`BatchPlan`].
+    /// This is the training ground truth: the returned tape supports
+    /// `backward`.
+    ///
+    /// # Panics
+    /// Panics when the plan was built for a different scheme.
+    pub fn forward_with_plan(&self, plan: &BatchPlan) -> (Tape, NodeId) {
+        self.check_plan(plan);
+        let h = self.config.hidden;
+        let total = plan.total;
+        let mut tape = Tape::new();
 
         // ---- per-type encoders ----
         let mut h0 = tape.input(costream_nn::Tensor::zeros(total, h));
-        for (ti, t) in NodeType::ALL.iter().enumerate() {
-            let mut rows: Vec<f32> = Vec::new();
-            let mut globals: Vec<usize> = Vec::new();
-            for (gi, g) in graphs.iter().enumerate() {
-                for (li, node) in g.nodes.iter().enumerate() {
-                    if node.node_type == *t {
-                        rows.extend_from_slice(&node.features);
-                        globals.push(offsets[gi] + li);
-                    }
-                }
-            }
-            if globals.is_empty() {
-                continue;
-            }
-            let x = tape.input(costream_nn::Tensor::from_vec(globals.len(), t.feature_width(), rows));
-            let enc = self.encoders[ti].forward(&mut tape, &self.store, x);
-            let scattered = tape.segment_sum(enc, globals, total);
+        for ep in &plan.encoders {
+            let x = tape.input(ep.features.clone());
+            let enc = self.encoders[ep.type_index].forward(&mut tape, &self.store, x);
+            let scattered = tape.segment_sum(enc, ep.globals.clone(), total);
             h0 = tape.add(h0, scattered);
         }
 
         // ---- message passing ----
         let mut cur = h0;
-        match self.config.scheme {
-            Scheme::Costream => {
-                // Phase 1: OPS→HW — update host nodes from the operators
-                // placed on them.
-                let mut host_targets: Vec<usize> = Vec::new();
-                let mut ophw_edges: Vec<(usize, usize)> = Vec::new();
-                let mut hwop_edges: Vec<(usize, usize)> = Vec::new();
-                for (gi, g) in graphs.iter().enumerate() {
-                    for (li, node) in g.nodes.iter().enumerate() {
-                        if node.node_type == NodeType::Host {
-                            host_targets.push(offsets[gi] + li);
-                        }
-                    }
-                    for &(op, hn) in &g.placement_edges {
-                        ophw_edges.push((offsets[gi] + op, offsets[gi] + hn));
-                        hwop_edges.push((offsets[gi] + hn, offsets[gi] + op));
-                    }
-                }
-                if !host_targets.is_empty() {
-                    cur = self.update_wave(&mut tape, cur, h0, total, &host_targets, &ophw_edges, |_, _| NodeType::Host);
-                    // Phase 2: HW→OPS — update all operator nodes from their
-                    // host.
-                    let mut op_targets: Vec<usize> = Vec::new();
-                    for (gi, g) in graphs.iter().enumerate() {
-                        for (li, node) in g.nodes.iter().enumerate() {
-                            if node.node_type != NodeType::Host {
-                                op_targets.push(offsets[gi] + li);
-                            }
-                        }
-                    }
-                    let nt = |gi: usize, li: usize| node_type(gi, li);
-                    cur = self.update_wave_typed(&mut tape, cur, h0, total, &op_targets, &hwop_edges, graphs, &offsets, nt);
-                }
-                // Phase 3: SOURCES→OPS — topological waves along the data
-                // flow.
-                let n_waves = graphs.iter().map(|g| g.n_waves()).max().unwrap_or(0);
-                for w in 0..n_waves {
-                    let mut targets: Vec<usize> = Vec::new();
-                    let mut edges: Vec<(usize, usize)> = Vec::new();
-                    for (gi, g) in graphs.iter().enumerate() {
-                        for (li, wave) in g.waves.iter().enumerate() {
-                            if *wave == Some(w) {
-                                targets.push(offsets[gi] + li);
-                            }
-                        }
-                        for &(a, b) in &g.dataflow_edges {
-                            if g.waves[b] == Some(w) {
-                                edges.push((offsets[gi] + a, offsets[gi] + b));
-                            }
-                        }
-                    }
-                    if targets.is_empty() {
-                        continue;
-                    }
-                    let nt = |gi: usize, li: usize| node_type(gi, li);
-                    cur = self.update_wave_typed(&mut tape, cur, h0, total, &targets, &edges, graphs, &offsets, nt);
-                }
+        for wave in &plan.waves {
+            // `[Σ_children h'_u ‖ h_v]` for each target.
+            let children = tape.gather_rows(cur, wave.child_rows.clone());
+            let child_sum = tape.segment_sum(children, wave.segs.clone(), wave.targets.len());
+            let own = tape.gather_rows(h0, wave.targets.clone());
+            let inp = tape.concat_cols(child_sum, own);
+
+            // Route target rows through the update MLP of their type.
+            let mut updated = tape.input(costream_nn::Tensor::zeros(total, h));
+            for group in &wave.groups {
+                let sub = tape.gather_rows(inp, group.rows.clone());
+                let out = self.updaters[group.type_index].forward(&mut tape, &self.store, sub);
+                let scattered = tape.segment_sum(out, group.globals.clone(), total);
+                updated = tape.add(updated, scattered);
             }
-            Scheme::Traditional => {
-                // Undirected neighbourhood: dataflow + placement edges in
-                // both directions; all nodes updated each round.
-                let mut edges: Vec<(usize, usize)> = Vec::new();
-                let mut targets: Vec<usize> = Vec::new();
-                for (gi, g) in graphs.iter().enumerate() {
-                    for li in 0..g.len() {
-                        targets.push(offsets[gi] + li);
-                    }
-                    for &(a, b) in g.dataflow_edges.iter().chain(&g.placement_edges) {
-                        edges.push((offsets[gi] + a, offsets[gi] + b));
-                        edges.push((offsets[gi] + b, offsets[gi] + a));
-                    }
-                }
-                for _ in 0..self.config.traditional_rounds {
-                    let nt = |gi: usize, li: usize| node_type(gi, li);
-                    cur = self.update_wave_typed(&mut tape, cur, h0, total, &targets, &edges, graphs, &offsets, nt);
-                }
-            }
+
+            // Carry non-target rows forward from `cur`.
+            cur = if wave.keep.is_empty() {
+                updated
+            } else {
+                let kept = tape.gather_rows(cur, wave.keep.clone());
+                let kept = tape.segment_sum(kept, wave.keep.clone(), total);
+                tape.add(updated, kept)
+            };
         }
 
         // ---- readout: sum all node states per graph, then the output MLP.
-        let mut graph_of: Vec<usize> = Vec::with_capacity(total);
-        for (gi, g) in graphs.iter().enumerate() {
-            graph_of.extend(std::iter::repeat_n(gi, g.len()));
-        }
-        let pooled = tape.segment_sum(cur, graph_of, graphs.len());
+        let pooled = tape.segment_sum(cur, plan.graph_of.clone(), plan.n_graphs);
         let out = self.readout.forward(&mut tape, &self.store, pooled);
         (tape, out)
     }
 
+    /// Tape-free forward pass on arena buffers: the inference fast path.
+    ///
+    /// Executes the same arithmetic as [`GnnModel::forward_with_plan`]
+    /// (same kernels, same accumulation order) but records no tape nodes,
+    /// clones no parameters and recycles every intermediate, so it cannot
+    /// be used for training. Returns one raw output per graph.
+    ///
+    /// # Panics
+    /// Panics when the plan was built for a different scheme.
+    pub fn forward_inference(&self, plan: &BatchPlan, arena: &mut InferenceArena) -> Vec<f32> {
+        self.check_plan(plan);
+        let h = self.config.hidden;
+        let total = plan.total;
+
+        // ---- per-type encoders (scatter-add straight into h0) ----
+        let mut h0 = arena.alloc_zeroed(total, h);
+        for ep in &plan.encoders {
+            let enc = self.encoders[ep.type_index].forward_inference(arena, &self.store, &ep.features);
+            h0.scatter_add_rows(&enc, &ep.globals);
+            arena.recycle(enc);
+        }
+
+        // ---- message passing ----
+        let mut cur = arena.alloc_copy(&h0);
+        for wave in &plan.waves {
+            // Assemble `[Σ_children h'_u ‖ h_v]` directly into the wave
+            // input buffer — neither half is materialized separately.
+            let mut inp = arena.alloc_zeroed(wave.targets.len(), 2 * h);
+            cur.gather_segment_sum_into_cols(&wave.child_rows, &wave.segs, &mut inp, 0);
+            h0.gather_rows_into_cols(&wave.targets, &mut inp, h);
+
+            // Start from the previous state and overwrite target rows in
+            // place: target indices are unique within a wave, so this
+            // equals the tape path's zero + scatter-add + keep-add with
+            // two fewer passes over the state matrix.
+            let mut updated = arena.alloc_copy(&cur);
+            for group in &wave.groups {
+                let out = if group.is_identity {
+                    self.updaters[group.type_index].forward_inference(arena, &self.store, &inp)
+                } else {
+                    let mut sub = arena.alloc_zeroed(group.rows.len(), 2 * h);
+                    inp.gather_rows_into(&group.rows, &mut sub);
+                    let out = self.updaters[group.type_index].forward_inference(arena, &self.store, &sub);
+                    arena.recycle(sub);
+                    out
+                };
+                updated.scatter_copy_rows(&out, &group.globals);
+                arena.recycle(out);
+            }
+            arena.recycle(inp);
+            arena.recycle(cur);
+            cur = updated;
+        }
+
+        // ---- readout ----
+        let mut pooled = arena.alloc_zeroed(plan.n_graphs, h);
+        cur.segment_sum_into(&plan.graph_of, &mut pooled);
+        let out = self.readout.forward_inference(arena, &self.store, &pooled);
+        let result = out.data().to_vec();
+        arena.recycle(out);
+        arena.recycle(pooled);
+        arena.recycle(cur);
+        arena.recycle(h0);
+        result
+    }
+
     /// Raw scalar outputs for a batch of graphs (log-space cost or logit,
     /// depending on what the model was trained for).
+    ///
+    /// Runs on the tape-free fast path; large batches are split into
+    /// chunks evaluated in parallel.
     pub fn predict_raw(&self, graphs: &[&JointGraph]) -> Vec<f32> {
-        let (tape, out) = self.forward(graphs);
-        tape.value(out).data().to_vec()
+        if graphs.len() <= INFERENCE_CHUNK {
+            let plan = self.plan(graphs);
+            let mut arena = InferenceArena::new();
+            return self.forward_inference(&plan, &mut arena);
+        }
+        graphs
+            .par_chunks(INFERENCE_CHUNK)
+            .map(|chunk| {
+                let plan = self.plan(chunk);
+                let mut arena = InferenceArena::new();
+                self.forward_inference(&plan, &mut arena)
+            })
+            .collect::<Vec<Vec<f32>>>()
+            .into_iter()
+            .flatten()
+            .collect()
     }
 
-    /// One update where all targets share a single node type.
-    fn update_wave(
-        &self,
-        tape: &mut Tape,
-        cur: NodeId,
-        h0: NodeId,
-        total: usize,
-        targets: &[usize],
-        edges: &[(usize, usize)],
-        _t: impl Fn(usize, usize) -> NodeType,
-    ) -> NodeId {
-        let inp = self.wave_input(tape, cur, h0, targets, edges);
-        let out = self.updaters[type_index(NodeType::Host)].forward(tape, &self.store, inp);
-        self.replace_rows(tape, cur, out, targets, total)
+    /// Raw outputs for a set of prebuilt chunk plans (used by ensembles to
+    /// share plan construction across members).
+    pub fn predict_raw_plans(&self, plans: &[BatchPlan]) -> Vec<f32> {
+        let mut arena = InferenceArena::new();
+        let mut out = Vec::new();
+        for plan in plans {
+            out.extend(self.forward_inference(plan, &mut arena));
+        }
+        out
     }
 
-    /// One update over targets of mixed node types: rows are routed through
-    /// the update MLP of their node type.
-    #[allow(clippy::too_many_arguments)]
-    fn update_wave_typed(
-        &self,
-        tape: &mut Tape,
-        cur: NodeId,
-        h0: NodeId,
-        total: usize,
-        targets: &[usize],
-        edges: &[(usize, usize)],
-        graphs: &[&JointGraph],
-        offsets: &[usize],
-        _nt: impl Fn(usize, usize) -> NodeType,
-    ) -> NodeId {
-        let inp = self.wave_input(tape, cur, h0, targets, edges);
-        // Node type of each target row.
-        let type_of_global = |g: usize| -> NodeType {
-            let gi = match offsets.binary_search(&g) {
-                Ok(i) => i,
-                Err(i) => i - 1,
-            };
-            graphs[gi].nodes[g - offsets[gi]].node_type
-        };
-        let mut updated = tape.input(costream_nn::Tensor::zeros(total, self.config.hidden));
-        for (ti, t) in NodeType::ALL.iter().enumerate() {
-            let rows: Vec<usize> =
-                (0..targets.len()).filter(|&r| type_of_global(targets[r]) == *t).collect();
-            if rows.is_empty() {
-                continue;
-            }
-            let globals: Vec<usize> = rows.iter().map(|&r| targets[r]).collect();
-            let sub = tape.gather_rows(inp, rows);
-            let out = self.updaters[ti].forward(tape, &self.store, sub);
-            let scattered = tape.segment_sum(out, globals, total);
-            updated = tape.add(updated, scattered);
+    fn check_plan(&self, plan: &BatchPlan) {
+        assert_eq!(
+            plan.scheme, self.config.scheme,
+            "plan built for a different message-passing scheme"
+        );
+        if self.config.scheme == Scheme::Traditional {
+            assert_eq!(
+                plan.traditional_rounds, self.config.traditional_rounds,
+                "plan built for different round count"
+            );
         }
-        // Keep non-target rows from `cur`.
-        let target_set: std::collections::HashSet<usize> = targets.iter().copied().collect();
-        let keep: Vec<usize> = (0..total).filter(|g| !target_set.contains(g)).collect();
-        if keep.is_empty() {
-            updated
-        } else {
-            let kept = tape.gather_rows(cur, keep.clone());
-            let kept = tape.segment_sum(kept, keep, total);
-            tape.add(updated, kept)
-        }
-    }
-
-    /// `[Σ_children h'_u ‖ h_v]` for each target.
-    fn wave_input(&self, tape: &mut Tape, cur: NodeId, h0: NodeId, targets: &[usize], edges: &[(usize, usize)]) -> NodeId {
-        let pos_of: std::collections::HashMap<usize, usize> =
-            targets.iter().enumerate().map(|(p, &g)| (g, p)).collect();
-        let mut child_rows: Vec<usize> = Vec::new();
-        let mut segs: Vec<usize> = Vec::new();
-        for &(child, target) in edges {
-            if let Some(&p) = pos_of.get(&target) {
-                child_rows.push(child);
-                segs.push(p);
-            }
-        }
-        let children = tape.gather_rows(cur, child_rows);
-        let child_sum = tape.segment_sum(children, segs, targets.len());
-        let own = tape.gather_rows(h0, targets.to_vec());
-        tape.concat_cols(child_sum, own)
-    }
-
-    /// Replaces `targets` rows of `cur` with `rows`, keeping all others.
-    fn replace_rows(&self, tape: &mut Tape, cur: NodeId, rows: NodeId, targets: &[usize], total: usize) -> NodeId {
-        let scattered = tape.segment_sum(rows, targets.to_vec(), total);
-        let target_set: std::collections::HashSet<usize> = targets.iter().copied().collect();
-        let keep: Vec<usize> = (0..total).filter(|g| !target_set.contains(g)).collect();
-        if keep.is_empty() {
-            return scattered;
-        }
-        let kept = tape.gather_rows(cur, keep.clone());
-        let kept = tape.segment_sum(kept, keep, total);
-        tape.add(scattered, kept)
     }
 }
+
+/// Graphs per inference chunk: big enough to amortize plan construction,
+/// small enough to parallelize candidate scoring across cores.
+pub(crate) const INFERENCE_CHUNK: usize = 64;
 
 #[cfg(test)]
 mod tests {

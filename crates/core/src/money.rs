@@ -26,7 +26,12 @@ pub struct PricingModel {
 impl Default for PricingModel {
     fn default() -> Self {
         // Ballpark public-cloud on-demand rates.
-        PricingModel { per_core_hour: 0.045, per_gb_ram_hour: 0.006, per_gb_egress: 0.08, per_instance_hour: 0.005 }
+        PricingModel {
+            per_core_hour: 0.045,
+            per_gb_ram_hour: 0.006,
+            per_gb_egress: 0.08,
+            per_instance_hour: 0.005,
+        }
     }
 }
 
@@ -41,7 +46,11 @@ impl PricingModel {
 /// of the hosts it actually uses (unused cluster hosts cost nothing — they
 /// can serve other queries).
 pub fn placement_cost_per_hour(cluster: &Cluster, placement: &Placement, pricing: &PricingModel) -> f64 {
-    placement.hosts_used().iter().map(|&h| pricing.host_per_hour(cluster.host(h))).sum()
+    placement
+        .hosts_used()
+        .iter()
+        .map(|&h| pricing.host_per_hour(cluster.host(h)))
+        .sum()
 }
 
 /// Total monetary cost of running a query for `hours`, including network
@@ -65,8 +74,18 @@ mod tests {
 
     fn cluster() -> Cluster {
         Cluster::new(vec![
-            Host { cpu: 100.0, ram_mb: 2048.0, bandwidth_mbits: 100.0, latency_ms: 10.0 },
-            Host { cpu: 800.0, ram_mb: 32768.0, bandwidth_mbits: 10000.0, latency_ms: 1.0 },
+            Host {
+                cpu: 100.0,
+                ram_mb: 2048.0,
+                bandwidth_mbits: 100.0,
+                latency_ms: 10.0,
+            },
+            Host {
+                cpu: 800.0,
+                ram_mb: 32768.0,
+                bandwidth_mbits: 10000.0,
+                latency_ms: 1.0,
+            },
         ])
     }
 

@@ -14,21 +14,41 @@ use costream_query::operators::Query;
 use costream_query::placement::{colocate_on_strongest, sample_valid, Placement};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rayon::prelude::*;
 
 /// Enumerates up to `k` *distinct* placement candidates satisfying the
 /// rules of Fig. 5. The first candidate doubles as the "initial heuristic
 /// placement" baseline of Exp 2.
+///
+/// Sampling attempts run in parallel: every attempt draws from its own
+/// seed (derived deterministically from `seed` and the attempt index), and
+/// results are merged in attempt order, so the output is identical across
+/// runs and thread counts.
 pub fn enumerate_candidates(query: &Query, cluster: &Cluster, k: usize, seed: u64) -> Vec<Placement> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    // Generous attempt budget: distinct valid placements can be scarce on
+    // small clusters. Attempts run in rounds of 2k so the common case
+    // (most samples valid and distinct) stops after one round instead of
+    // burning the whole budget.
+    let attempts = k * 20;
+    let round = (2 * k).max(1);
     let mut seen: std::collections::HashSet<Vec<usize>> = std::collections::HashSet::new();
     let mut out = Vec::new();
-    // Generous retry budget: distinct valid placements can be scarce on
-    // small clusters.
-    for _ in 0..k * 20 {
-        if out.len() >= k {
-            break;
-        }
-        if let Some(p) = sample_valid(query, cluster, &mut rng) {
+    let mut next_attempt = 0usize;
+    while out.len() < k && next_attempt < attempts {
+        let upto = (next_attempt + round).min(attempts);
+        let sampled: Vec<Option<Placement>> = (next_attempt..upto)
+            .into_par_iter()
+            .map(|a| {
+                let mut rng =
+                    StdRng::seed_from_u64(seed ^ (a as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1));
+                sample_valid(query, cluster, &mut rng)
+            })
+            .collect();
+        next_attempt = upto;
+        for p in sampled.into_iter().flatten() {
+            if out.len() >= k {
+                break;
+            }
             if seen.insert(p.assignment().to_vec()) {
                 out.push(p);
             }
@@ -88,7 +108,12 @@ impl<'a> PlacementOptimizer<'a> {
         assert!(target.metric.is_regression(), "target must be a regression metric");
         assert_eq!(success.metric, CostMetric::Success);
         assert_eq!(backpressure.metric, CostMetric::Backpressure);
-        PlacementOptimizer { target, success, backpressure, k }
+        PlacementOptimizer {
+            target,
+            success,
+            backpressure,
+            k,
+        }
     }
 
     /// Runs the placement procedure of Fig. 4 for one query.
@@ -102,8 +127,13 @@ impl<'a> PlacementOptimizer<'a> {
     ) -> OptimizationResult {
         let candidates = enumerate_candidates(query, cluster, self.k, seed);
         let initial = candidates[0].clone();
-        let graphs: Vec<JointGraph> =
-            candidates.iter().map(|p| JointGraph::build(query, cluster, p, est_sels, featurization)).collect();
+        // Candidate featurization is independent per placement; build the
+        // joint graphs in parallel. The ensembles below share chunk plans
+        // and fan out over members internally.
+        let graphs: Vec<JointGraph> = candidates
+            .par_iter()
+            .map(|p| JointGraph::build(query, cluster, p, est_sels, featurization))
+            .collect();
         let refs: Vec<&JointGraph> = graphs.iter().collect();
         let cost = self.target.predict_graphs(&refs);
         let succ = self.success.predict_graphs(&refs);
@@ -122,8 +152,10 @@ impl<'a> PlacementOptimizer<'a> {
 
         // Sanity filter: drop candidates predicted to fail or to be
         // backpressured (majority vote ≥ 0.5).
-        let viable: Vec<&CandidateEvaluation> =
-            evaluations.iter().filter(|e| e.predicted_success >= 0.5 && e.predicted_backpressure < 0.5).collect();
+        let viable: Vec<&CandidateEvaluation> = evaluations
+            .iter()
+            .filter(|e| e.predicted_success >= 0.5 && e.predicted_backpressure < 0.5)
+            .collect();
 
         let maximize = self.target.metric == CostMetric::Throughput;
         let pick = |set: &[&CandidateEvaluation]| -> Placement {
@@ -149,7 +181,12 @@ impl<'a> PlacementOptimizer<'a> {
         } else {
             (pick(&viable), false)
         };
-        OptimizationResult { best, initial, candidates: evaluations, all_filtered }
+        OptimizationResult {
+            best,
+            initial,
+            candidates: evaluations,
+            all_filtered,
+        }
     }
 }
 
@@ -193,7 +230,10 @@ mod tests {
     #[test]
     fn optimizer_picks_lowest_predicted_latency_among_viable() {
         let corpus = Corpus::generate(120, 43, FeatureRanges::training(), &SimConfig::default());
-        let cfg = TrainConfig { epochs: 8, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 8,
+            ..Default::default()
+        };
         let target = Ensemble::train(&corpus, CostMetric::ProcessingLatency, &cfg, 2);
         let success = Ensemble::train(&corpus, CostMetric::Success, &cfg, 2);
         let bp = Ensemble::train(&corpus, CostMetric::Backpressure, &cfg, 2);
@@ -212,8 +252,7 @@ mod tests {
                 .iter()
                 .filter(|e| e.predicted_success >= 0.5 && e.predicted_backpressure < 0.5)
                 .collect();
-            let best_cost =
-                viable.iter().map(|e| e.predicted_cost).fold(f64::INFINITY, f64::min);
+            let best_cost = viable.iter().map(|e| e.predicted_cost).fold(f64::INFINITY, f64::min);
             let chosen = result
                 .candidates
                 .iter()
@@ -227,7 +266,10 @@ mod tests {
     #[should_panic(expected = "target must be a regression metric")]
     fn classification_target_rejected() {
         let corpus = Corpus::generate(60, 46, FeatureRanges::training(), &SimConfig::default());
-        let cfg = TrainConfig { epochs: 2, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 2,
+            ..Default::default()
+        };
         let s = Ensemble::train(&corpus, CostMetric::Success, &cfg, 1);
         let b = Ensemble::train(&corpus, CostMetric::Backpressure, &cfg, 1);
         let _ = PlacementOptimizer::new(&s, &s, &b, 4);

@@ -1,0 +1,382 @@
+//! Precomputed batch execution plans.
+//!
+//! `GnnModel::forward` used to re-derive all gather/scatter bookkeeping —
+//! per-type encoder row groups, message-passing edge segments, the wave
+//! schedule, the keep-lists for untouched nodes and the readout segments —
+//! from the raw [`JointGraph`]s on *every* minibatch. That bookkeeping
+//! depends only on graph structure, not on model parameters, so it is
+//! identical across every epoch and every seed-varied ensemble member.
+//!
+//! A [`BatchPlan`] captures it once per batch: the trainer builds plans
+//! up front and reuses them for all epochs and all ensemble members, and
+//! the inference fast path drives `forward_inference` straight from a
+//! plan with zero per-call graph traversal.
+
+use crate::graph::JointGraph;
+use crate::model::Scheme;
+use costream_nn::Tensor;
+use costream_query::features::NodeType;
+use std::sync::Arc;
+
+/// Per-node-type encoder input: the stacked feature rows of every node of
+/// one type, plus the global row index each encoded row scatters to.
+#[derive(Clone, Debug)]
+pub(crate) struct EncoderPlan {
+    /// Index into `NodeType::ALL` (selects the encoder MLP).
+    pub type_index: usize,
+    /// `n_nodes_of_type x feature_width` stacked features.
+    pub features: Tensor,
+    /// Global node index of each feature row.
+    pub globals: Vec<usize>,
+}
+
+/// One group of same-typed targets inside a wave, routed through the
+/// update MLP of that type.
+#[derive(Clone, Debug)]
+pub(crate) struct TypeGroup {
+    /// Index into `NodeType::ALL` (selects the updater MLP).
+    pub type_index: usize,
+    /// Row indices into the wave's input matrix.
+    pub rows: Vec<usize>,
+    /// Global node index each updated row scatters to.
+    pub globals: Vec<usize>,
+    /// True when `rows` is the identity permutation of the whole wave
+    /// input — the gather can then be skipped entirely.
+    pub is_identity: bool,
+}
+
+/// One message-passing update: which edges feed which targets, how target
+/// rows split by node type, and which rows carry over untouched.
+#[derive(Clone, Debug)]
+pub(crate) struct WavePlan {
+    /// Source node (global index) of each contributing edge.
+    pub child_rows: Vec<usize>,
+    /// Position in `targets` each edge accumulates into (CSR-style
+    /// segment ids, one per edge).
+    pub segs: Vec<usize>,
+    /// Global node indices updated by this wave.
+    pub targets: Vec<usize>,
+    /// Target rows grouped by node type.
+    pub groups: Vec<TypeGroup>,
+    /// Global node indices *not* updated by this wave (carried forward).
+    pub keep: Vec<usize>,
+}
+
+/// The full precomputed execution plan for one batch of joint graphs.
+#[derive(Clone, Debug)]
+pub struct BatchPlan {
+    /// Message-passing scheme the plan was built for.
+    pub(crate) scheme: Scheme,
+    /// Rounds baked into the plan for [`Scheme::Traditional`].
+    pub(crate) traditional_rounds: usize,
+    /// Total node count across the batch.
+    pub(crate) total: usize,
+    /// Number of graphs in the batch.
+    pub(crate) n_graphs: usize,
+    /// Encoder inputs per node type (types absent from the batch omitted).
+    pub(crate) encoders: Vec<EncoderPlan>,
+    /// Ordered update waves. `Arc` so the repeated rounds of
+    /// [`Scheme::Traditional`] share one wave instead of deep copies.
+    pub(crate) waves: Vec<Arc<WavePlan>>,
+    /// Graph id of every node (readout segments).
+    pub(crate) graph_of: Vec<usize>,
+}
+
+impl BatchPlan {
+    /// Number of graphs the plan covers.
+    pub fn len(&self) -> usize {
+        self.n_graphs
+    }
+
+    /// True for an empty plan (never produced by [`BatchPlan::build`]).
+    pub fn is_empty(&self) -> bool {
+        self.n_graphs == 0
+    }
+
+    /// Total node count across the batch.
+    pub fn total_nodes(&self) -> usize {
+        self.total
+    }
+
+    /// Builds the plan for a batch of graphs under a message-passing
+    /// scheme. `traditional_rounds` is only consulted for
+    /// [`Scheme::Traditional`].
+    ///
+    /// # Panics
+    /// Panics on an empty batch.
+    pub fn build(graphs: &[&JointGraph], scheme: Scheme, traditional_rounds: usize) -> Self {
+        assert!(!graphs.is_empty(), "empty batch");
+
+        let mut offsets = Vec::with_capacity(graphs.len());
+        let mut total = 0usize;
+        for g in graphs {
+            offsets.push(total);
+            total += g.len();
+        }
+
+        // ---- encoder groups, in NodeType::ALL order ----
+        let mut encoders = Vec::new();
+        for (ti, t) in NodeType::ALL.iter().enumerate() {
+            let mut rows: Vec<f32> = Vec::new();
+            let mut globals: Vec<usize> = Vec::new();
+            for (gi, g) in graphs.iter().enumerate() {
+                for (li, node) in g.nodes.iter().enumerate() {
+                    if node.node_type == *t {
+                        rows.extend_from_slice(&node.features);
+                        globals.push(offsets[gi] + li);
+                    }
+                }
+            }
+            if globals.is_empty() {
+                continue;
+            }
+            let features = Tensor::from_vec(globals.len(), t.feature_width(), rows);
+            encoders.push(EncoderPlan {
+                type_index: ti,
+                features,
+                globals,
+            });
+        }
+
+        let node_type = |global: usize| -> NodeType {
+            let gi = match offsets.binary_search(&global) {
+                Ok(i) => i,
+                Err(i) => i - 1,
+            };
+            graphs[gi].nodes[global - offsets[gi]].node_type
+        };
+
+        // ---- wave schedule ----
+        let mut waves = Vec::new();
+        match scheme {
+            Scheme::Costream => {
+                let mut host_targets: Vec<usize> = Vec::new();
+                let mut ophw_edges: Vec<(usize, usize)> = Vec::new();
+                let mut hwop_edges: Vec<(usize, usize)> = Vec::new();
+                for (gi, g) in graphs.iter().enumerate() {
+                    for (li, node) in g.nodes.iter().enumerate() {
+                        if node.node_type == NodeType::Host {
+                            host_targets.push(offsets[gi] + li);
+                        }
+                    }
+                    for &(op, hn) in &g.placement_edges {
+                        ophw_edges.push((offsets[gi] + op, offsets[gi] + hn));
+                        hwop_edges.push((offsets[gi] + hn, offsets[gi] + op));
+                    }
+                }
+                if !host_targets.is_empty() {
+                    // Phase 1: OPS→HW.
+                    waves.push(Arc::new(WavePlan::build(host_targets, &ophw_edges, total, &node_type)));
+                    // Phase 2: HW→OPS.
+                    let mut op_targets: Vec<usize> = Vec::new();
+                    for (gi, g) in graphs.iter().enumerate() {
+                        for (li, node) in g.nodes.iter().enumerate() {
+                            if node.node_type != NodeType::Host {
+                                op_targets.push(offsets[gi] + li);
+                            }
+                        }
+                    }
+                    waves.push(Arc::new(WavePlan::build(op_targets, &hwop_edges, total, &node_type)));
+                }
+                // Phase 3: SOURCES→OPS, in topological waves.
+                let n_waves = graphs.iter().map(|g| g.n_waves()).max().unwrap_or(0);
+                for w in 0..n_waves {
+                    let mut targets: Vec<usize> = Vec::new();
+                    let mut edges: Vec<(usize, usize)> = Vec::new();
+                    for (gi, g) in graphs.iter().enumerate() {
+                        for (li, wave) in g.waves.iter().enumerate() {
+                            if *wave == Some(w) {
+                                targets.push(offsets[gi] + li);
+                            }
+                        }
+                        for &(a, b) in &g.dataflow_edges {
+                            if g.waves[b] == Some(w) {
+                                edges.push((offsets[gi] + a, offsets[gi] + b));
+                            }
+                        }
+                    }
+                    if targets.is_empty() {
+                        continue;
+                    }
+                    waves.push(Arc::new(WavePlan::build(targets, &edges, total, &node_type)));
+                }
+            }
+            Scheme::Traditional => {
+                let mut edges: Vec<(usize, usize)> = Vec::new();
+                let mut targets: Vec<usize> = Vec::new();
+                for (gi, g) in graphs.iter().enumerate() {
+                    for li in 0..g.len() {
+                        targets.push(offsets[gi] + li);
+                    }
+                    for &(a, b) in g.dataflow_edges.iter().chain(&g.placement_edges) {
+                        edges.push((offsets[gi] + a, offsets[gi] + b));
+                        edges.push((offsets[gi] + b, offsets[gi] + a));
+                    }
+                }
+                let round = Arc::new(WavePlan::build(targets, &edges, total, &node_type));
+                for _ in 0..traditional_rounds {
+                    waves.push(Arc::clone(&round));
+                }
+            }
+        }
+
+        // ---- readout segments ----
+        let mut graph_of: Vec<usize> = Vec::with_capacity(total);
+        for (gi, g) in graphs.iter().enumerate() {
+            graph_of.extend(std::iter::repeat_n(gi, g.len()));
+        }
+
+        BatchPlan {
+            scheme,
+            traditional_rounds,
+            total,
+            n_graphs: graphs.len(),
+            encoders,
+            waves,
+            graph_of,
+        }
+    }
+}
+
+impl WavePlan {
+    fn build(
+        targets: Vec<usize>,
+        edges: &[(usize, usize)],
+        total: usize,
+        node_type: &impl Fn(usize) -> NodeType,
+    ) -> Self {
+        // Edge → segment translation (the old `wave_input` bookkeeping).
+        // Dense position table instead of a HashMap: node ids are compact.
+        let mut pos_of = vec![usize::MAX; total];
+        for (p, &g) in targets.iter().enumerate() {
+            pos_of[g] = p;
+        }
+        let mut child_rows: Vec<usize> = Vec::new();
+        let mut segs: Vec<usize> = Vec::new();
+        for &(child, target) in edges {
+            let p = pos_of[target];
+            if p != usize::MAX {
+                child_rows.push(child);
+                segs.push(p);
+            }
+        }
+
+        // Per-type routing of target rows (the old `update_wave_typed`
+        // bookkeeping), in NodeType::ALL order. Types resolved once per
+        // target row rather than once per row per type.
+        let row_types: Vec<NodeType> = targets.iter().map(|&g| node_type(g)).collect();
+        let mut groups = Vec::new();
+        for (ti, t) in NodeType::ALL.iter().enumerate() {
+            let rows: Vec<usize> = (0..targets.len()).filter(|&r| row_types[r] == *t).collect();
+            if rows.is_empty() {
+                continue;
+            }
+            let globals: Vec<usize> = rows.iter().map(|&r| targets[r]).collect();
+            let is_identity = rows.len() == targets.len();
+            groups.push(TypeGroup {
+                type_index: ti,
+                rows,
+                globals,
+                is_identity,
+            });
+        }
+
+        // Untouched rows carried forward from the previous state.
+        let keep: Vec<usize> = (0..total).filter(|&g| pos_of[g] == usize::MAX).collect();
+
+        WavePlan {
+            child_rows,
+            segs,
+            targets,
+            groups,
+            keep,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Featurization;
+    use costream_query::generator::WorkloadGenerator;
+    use costream_query::ranges::FeatureRanges;
+    use costream_query::selectivity::SelectivityEstimator;
+
+    fn graphs(n: usize, featurization: Featurization) -> Vec<JointGraph> {
+        let mut g = WorkloadGenerator::new(19, FeatureRanges::training());
+        let mut e = SelectivityEstimator::realistic(20);
+        (0..n)
+            .map(|_| {
+                let (q, c, p) = g.workload_item();
+                let sels = e.estimate_query(&q);
+                JointGraph::build(&q, &c, &p, &sels, featurization)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn plan_covers_all_nodes_once() {
+        let gs = graphs(4, Featurization::Full);
+        let refs: Vec<&JointGraph> = gs.iter().collect();
+        let plan = BatchPlan::build(&refs, Scheme::Costream, 0);
+        let total: usize = gs.iter().map(|g| g.len()).sum();
+        assert_eq!(plan.total_nodes(), total);
+        assert_eq!(plan.len(), 4);
+        // Every node appears in exactly one encoder group.
+        let mut seen = vec![false; total];
+        for ep in &plan.encoders {
+            for &g in &ep.globals {
+                assert!(!seen[g], "node {g} encoded twice");
+                seen[g] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every node must be encoded");
+        assert_eq!(plan.graph_of.len(), total);
+    }
+
+    #[test]
+    fn waves_partition_targets_and_keep() {
+        let gs = graphs(3, Featurization::Full);
+        let refs: Vec<&JointGraph> = gs.iter().collect();
+        let plan = BatchPlan::build(&refs, Scheme::Costream, 0);
+        assert!(!plan.waves.is_empty());
+        for wave in &plan.waves {
+            assert_eq!(wave.child_rows.len(), wave.segs.len());
+            // targets ∪ keep = all nodes, disjoint.
+            let mut marks = vec![0u8; plan.total_nodes()];
+            for &t in &wave.targets {
+                marks[t] += 1;
+            }
+            for &k in &wave.keep {
+                marks[k] += 1;
+            }
+            assert!(marks.iter().all(|&m| m == 1), "targets/keep must partition nodes");
+            // Groups partition the target rows.
+            let group_rows: usize = wave.groups.iter().map(|g| g.rows.len()).sum();
+            assert_eq!(group_rows, wave.targets.len());
+            for g in &wave.groups {
+                assert_eq!(g.rows.len(), g.globals.len());
+            }
+        }
+    }
+
+    #[test]
+    fn query_only_batches_have_no_host_waves() {
+        let gs = graphs(2, Featurization::QueryOnly);
+        let refs: Vec<&JointGraph> = gs.iter().collect();
+        let plan = BatchPlan::build(&refs, Scheme::Costream, 0);
+        // No hosts → only the dataflow waves survive.
+        let max_waves = gs.iter().map(|g| g.n_waves()).max().unwrap();
+        assert!(plan.waves.len() <= max_waves);
+    }
+
+    #[test]
+    fn traditional_plan_repeats_rounds() {
+        let gs = graphs(2, Featurization::Full);
+        let refs: Vec<&JointGraph> = gs.iter().collect();
+        let plan = BatchPlan::build(&refs, Scheme::Traditional, 3);
+        assert_eq!(plan.waves.len(), 3);
+        assert_eq!(plan.waves[0].targets.len(), plan.total_nodes());
+        assert!(plan.waves[0].keep.is_empty());
+    }
+}

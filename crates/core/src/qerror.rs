@@ -47,7 +47,11 @@ impl QErrorSummary {
     /// Panics if `pairs` is empty.
     pub fn of(pairs: &[(f64, f64)]) -> Self {
         let qs: Vec<f64> = pairs.iter().map(|&(c, p)| q_error(c, p)).collect();
-        QErrorSummary { q50: percentile(&qs, 0.5), q95: percentile(&qs, 0.95), n: qs.len() }
+        QErrorSummary {
+            q50: percentile(&qs, 0.5),
+            q95: percentile(&qs, 0.95),
+            n: qs.len(),
+        }
     }
 }
 

@@ -115,7 +115,10 @@ pub fn reorder_with_model(
     model: &Ensemble,
     featurization: Featurization,
 ) -> (Query, f64) {
-    assert!(model.metric.is_regression(), "reordering needs a cost (regression) model");
+    assert!(
+        model.metric.is_regression(),
+        "reordering needs a cost (regression) model"
+    );
     let candidates = reorder_candidates(query);
     // Estimated selectivities follow their filter specs across slots: map
     // by comparing operator specs.
@@ -143,7 +146,11 @@ pub fn reorder_with_model(
     let maximize = model.metric == CostMetric::Throughput;
     let best = (0..candidates.len())
         .min_by(|&a, &b| {
-            let (x, y) = if maximize { (-costs[a], -costs[b]) } else { (costs[a], costs[b]) };
+            let (x, y) = if maximize {
+                (-costs[a], -costs[b])
+            } else {
+                (costs[a], costs[b])
+            };
             x.partial_cmp(&y).expect("finite costs")
         })
         .expect("at least the original plan");

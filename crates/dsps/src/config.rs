@@ -56,7 +56,11 @@ impl SimConfig {
     /// A deterministic configuration without any noise, for tests and
     /// analytical comparisons.
     pub fn deterministic() -> Self {
-        SimConfig { cost_noise_sigma: 0.0, label_noise_sigma: 0.0, ..Default::default() }
+        SimConfig {
+            cost_noise_sigma: 0.0,
+            label_noise_sigma: 0.0,
+            ..Default::default()
+        }
     }
 
     /// Returns a copy with a different seed (the corpus generator runs one

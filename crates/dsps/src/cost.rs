@@ -38,7 +38,11 @@ pub struct ExecutionProfile {
 fn jvm_bytes(schema: &TupleSchema) -> f64 {
     // Storm's TupleImpl plus boxed field objects measure at an order of
     // magnitude above the wire size; ~600 B for a small numeric tuple.
-    96.0 + schema.attributes.iter().map(|d| d.byte_size() * 24.0 + 48.0).sum::<f64>()
+    96.0 + schema
+        .attributes
+        .iter()
+        .map(|d| d.byte_size() * 24.0 + 48.0)
+        .sum::<f64>()
 }
 
 fn avg_compare_cost(schema: &TupleSchema) -> f64 {
@@ -78,8 +82,7 @@ impl ExecutionProfile {
                 OpKind::Filter(f) => {
                     output_factor[id] = f.selectivity;
                     nominal_out_rate[id] = in_rate * f.selectivity;
-                    service_cost_ms[id] =
-                        0.028 + 0.012 * f.function.eval_cost() * f.literal_type.compare_cost();
+                    service_cost_ms[id] = 0.028 + 0.012 * f.function.eval_cost() * f.literal_type.compare_cost();
                 }
                 OpKind::WindowAggregate(a) => {
                     let w_tuples = a.window.tuples_in_window(in_rate).max(1.0);
@@ -87,18 +90,22 @@ impl ExecutionProfile {
                     // per-input-tuple factor = groups / slide-tuples.
                     let slide_tuples = match a.window.policy {
                         costream_query::operators::WindowPolicy::CountBased => a.window.slide.max(1.0),
-                        costream_query::operators::WindowPolicy::TimeBased => {
-                            (a.window.slide * in_rate).max(1.0)
-                        }
+                        costream_query::operators::WindowPolicy::TimeBased => (a.window.slide * in_rate).max(1.0),
                     };
-                    let groups = if a.group_by.is_some() { (a.selectivity * w_tuples).max(1.0) } else { 1.0 };
+                    let groups = if a.group_by.is_some() {
+                        (a.selectivity * w_tuples).max(1.0)
+                    } else {
+                        1.0
+                    };
                     output_factor[id] = groups / slide_tuples;
                     nominal_out_rate[id] = in_rate * output_factor[id];
                     // Per-tuple state update (hash lookup for group-by) plus
                     // amortized emission cost.
                     let group_cost = a.group_by.map_or(0.0, |g| 0.012 * g.compare_cost());
-                    service_cost_ms[id] =
-                        0.035 + group_cost + 0.006 * a.agg_type.compare_cost() + 0.012 * output_factor[id].min(w_tuples);
+                    service_cost_ms[id] = 0.035
+                        + group_cost
+                        + 0.006 * a.agg_type.compare_cost()
+                        + 0.012 * output_factor[id].min(w_tuples);
                     window_state_tuples[id] = Self::live_tuples(&a.window, in_rate);
                     state_tuple_bytes[id] = jvm_bytes(&schemas[ups[0]]);
                 }
@@ -116,10 +123,8 @@ impl ExecutionProfile {
                     // capped because such joins saturate long before the
                     // per-probe cost model matters.
                     let matches_per_probe = (j.selectivity * w1.max(w2)).min(2000.0);
-                    service_cost_ms[id] =
-                        0.045 + 0.020 * j.key_type.compare_cost() + 0.010 * matches_per_probe;
-                    window_state_tuples[id] =
-                        Self::live_tuples(&j.window, r1) + Self::live_tuples(&j.window, r2);
+                    service_cost_ms[id] = 0.045 + 0.020 * j.key_type.compare_cost() + 0.010 * matches_per_probe;
+                    window_state_tuples[id] = Self::live_tuples(&j.window, r1) + Self::live_tuples(&j.window, r2);
                     // Average of both input schemas.
                     state_tuple_bytes[id] = 0.5 * (jvm_bytes(&schemas[ups[0]]) + jvm_bytes(&schemas[ups[1]]));
                 }
@@ -181,7 +186,11 @@ mod tests {
             let p = ExecutionProfile::of(&q);
             for (id, _) in q.ops() {
                 assert!(p.service_cost_ms[id] > 0.0, "zero cost at {id}");
-                assert!(p.service_cost_ms[id] < 1000.0, "absurd cost at {id}: {}", p.service_cost_ms[id]);
+                assert!(
+                    p.service_cost_ms[id] < 1000.0,
+                    "absurd cost at {id}: {}",
+                    p.service_cost_ms[id]
+                );
                 assert!(p.nominal_out_rate[id] >= 0.0);
                 assert!(p.output_factor[id].is_finite());
             }
@@ -198,7 +207,11 @@ mod tests {
                     event_rate: 1000.0,
                     schema: TupleSchema::new(vec![DataType::Int, DataType::Int, DataType::Int]),
                 }),
-                OpKind::Filter(FilterSpec { function: FilterFunction::Less, literal_type: DataType::Int, selectivity: 0.25 }),
+                OpKind::Filter(FilterSpec {
+                    function: FilterFunction::Less,
+                    literal_type: DataType::Int,
+                    selectivity: 0.25,
+                }),
                 OpKind::Sink,
             ],
             vec![(0, 1), (1, 2)],
@@ -219,7 +232,11 @@ mod tests {
                         event_rate: 100.0,
                         schema: TupleSchema::new(vec![DataType::Int, DataType::Int, DataType::Int]),
                     }),
-                    OpKind::Filter(FilterSpec { function: f, literal_type: lit, selectivity: 0.5 }),
+                    OpKind::Filter(FilterSpec {
+                        function: f,
+                        literal_type: lit,
+                        selectivity: 0.5,
+                    }),
                     OpKind::Sink,
                 ],
                 vec![(0, 1), (1, 2)],
@@ -234,7 +251,12 @@ mod tests {
         use costream_query::datatypes::{DataType, TupleSchema};
         use costream_query::operators::*;
         let mk = |size: f64| {
-            let w = WindowSpec { window_type: WindowType::Tumbling, policy: WindowPolicy::CountBased, size, slide: size };
+            let w = WindowSpec {
+                window_type: WindowType::Tumbling,
+                policy: WindowPolicy::CountBased,
+                size,
+                slide: size,
+            };
             let q = Query::new(
                 vec![
                     OpKind::Source(SourceSpec {
@@ -245,7 +267,11 @@ mod tests {
                         event_rate: 500.0,
                         schema: TupleSchema::new(vec![DataType::Int, DataType::Int, DataType::Int]),
                     }),
-                    OpKind::WindowJoin(JoinSpec { key_type: DataType::Int, window: w, selectivity: 0.01 }),
+                    OpKind::WindowJoin(JoinSpec {
+                        key_type: DataType::Int,
+                        window: w,
+                        selectivity: 0.01,
+                    }),
                     OpKind::Sink,
                 ],
                 vec![(0, 2), (1, 2), (2, 3)],
@@ -262,7 +288,12 @@ mod tests {
     #[test]
     fn time_window_state_scales_with_rate() {
         use costream_query::operators::{WindowPolicy, WindowSpec, WindowType};
-        let w = WindowSpec { window_type: WindowType::Tumbling, policy: WindowPolicy::TimeBased, size: 8.0, slide: 8.0 };
+        let w = WindowSpec {
+            window_type: WindowType::Tumbling,
+            policy: WindowPolicy::TimeBased,
+            size: 8.0,
+            slide: 8.0,
+        };
         let lo = ExecutionProfile::live_tuples(&w, 100.0);
         let hi = ExecutionProfile::live_tuples(&w, 10_000.0);
         assert!(hi > 50.0 * lo);

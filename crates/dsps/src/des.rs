@@ -52,7 +52,11 @@ impl PartialOrd for Event {
 }
 impl Ord for Event {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.time.partial_cmp(&other.time).expect("finite times").then(self.op.cmp(&other.op)).then(self.seq.cmp(&other.seq))
+        self.time
+            .partial_cmp(&other.time)
+            .expect("finite times")
+            .then(self.op.cmp(&other.op))
+            .then(self.seq.cmp(&other.seq))
     }
 }
 
@@ -105,7 +109,12 @@ pub fn simulate_des(
             let mut t = period;
             let mut seq = 0;
             while t < duration_s {
-                heap.push(Reverse(Event { time: t, op: id, born: t, seq }));
+                heap.push(Reverse(Event {
+                    time: t,
+                    op: id,
+                    born: t,
+                    seq,
+                }));
                 seq += 1;
                 t += period;
             }
@@ -161,14 +170,23 @@ pub fn simulate_des(
                 arrive += profile.out_tuple_bytes[ev.op] * 8.0 / (cluster.link_bandwidth_mbits(ha, hb) * 1e6);
             }
             seq_out[ev.op] += 1;
-            heap.push(Reverse(Event { time: arrive, op: d, born: ev.born, seq: seq_out[ev.op] }));
+            heap.push(Reverse(Event {
+                time: arrive,
+                op: d,
+                born: ev.born,
+                seq: seq_out[ev.op],
+            }));
         }
     }
 
     let measured = (duration_s - warmup_s).max(1e-9);
     DesResult {
         throughput: delivered as f64 / measured,
-        mean_latency_ms: if delivered > 0 { latency_sum / delivered as f64 * 1000.0 } else { f64::INFINITY },
+        mean_latency_ms: if delivered > 0 {
+            latency_sum / delivered as f64 * 1000.0
+        } else {
+            f64::INFINITY
+        },
         delivered,
     }
 }
@@ -191,7 +209,12 @@ mod tests {
     }
 
     fn strong() -> Cluster {
-        Cluster::new(vec![Host { cpu: 800.0, ram_mb: 32000.0, bandwidth_mbits: 10000.0, latency_ms: 1.0 }])
+        Cluster::new(vec![Host {
+            cpu: 800.0,
+            ram_mb: 32000.0,
+            bandwidth_mbits: 10000.0,
+            latency_ms: 1.0,
+        }])
     }
 
     #[test]
@@ -240,19 +263,38 @@ mod tests {
         // the sink receives (far) less than the offered load.
         let q = linear(25600.0, 1.0);
         let p = Placement::new(vec![0, 0, 0]);
-        let weak = Cluster::new(vec![Host { cpu: 50.0, ram_mb: 32000.0, bandwidth_mbits: 10000.0, latency_ms: 1.0 }]);
+        let weak = Cluster::new(vec![Host {
+            cpu: 50.0,
+            ram_mb: 32000.0,
+            bandwidth_mbits: 10000.0,
+            latency_ms: 1.0,
+        }]);
         let fluid = simulate(&q, &weak, &p, &SimConfig::deterministic());
         let des = simulate_des(&q, &weak, &p, 60.0, 10.0);
         assert!(des.throughput < 25600.0 * 0.5, "DES T = {}", des.throughput);
-        assert!(fluid.metrics.throughput < 25600.0 * 0.5, "fluid T = {}", fluid.metrics.throughput);
+        assert!(
+            fluid.metrics.throughput < 25600.0 * 0.5,
+            "fluid T = {}",
+            fluid.metrics.throughput
+        );
     }
 
     #[test]
     fn cross_host_hop_adds_latency_in_des() {
         let q = linear(200.0, 1.0);
         let far = Cluster::new(vec![
-            Host { cpu: 800.0, ram_mb: 32000.0, bandwidth_mbits: 1000.0, latency_ms: 80.0 },
-            Host { cpu: 800.0, ram_mb: 32000.0, bandwidth_mbits: 1000.0, latency_ms: 1.0 },
+            Host {
+                cpu: 800.0,
+                ram_mb: 32000.0,
+                bandwidth_mbits: 1000.0,
+                latency_ms: 80.0,
+            },
+            Host {
+                cpu: 800.0,
+                ram_mb: 32000.0,
+                bandwidth_mbits: 1000.0,
+                latency_ms: 1.0,
+            },
         ]);
         let colocated = simulate_des(&q, &far, &Placement::new(vec![1, 1, 1]), 60.0, 10.0);
         let spread = simulate_des(&q, &far, &Placement::new(vec![0, 1, 1]), 60.0, 10.0);
@@ -263,7 +305,12 @@ mod tests {
     #[should_panic(expected = "only supports linear")]
     fn windowed_queries_rejected() {
         use costream_query::operators::{AggFunction, WindowPolicy, WindowSpec, WindowType};
-        let w = WindowSpec { window_type: WindowType::Tumbling, policy: WindowPolicy::CountBased, size: 5.0, slide: 5.0 };
+        let w = WindowSpec {
+            window_type: WindowType::Tumbling,
+            policy: WindowPolicy::CountBased,
+            size: 5.0,
+            slide: 5.0,
+        };
         let q = QueryBuilder::new()
             .source(10.0, &[DataType::Int])
             .aggregate(AggFunction::Mean, DataType::Int, None, w, 0.5)

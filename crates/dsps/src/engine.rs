@@ -113,8 +113,9 @@ pub fn simulate(query: &Query, cluster: &Cluster, placement: &Placement, config:
     let mut rng = StdRng::seed_from_u64(config.seed);
     // Per-run cost perturbation: a real cluster never reproduces costs
     // exactly across runs.
-    let cost_ms: Vec<f64> =
-        (0..n).map(|i| profile.service_cost_ms[i] * lognormal(&mut rng, config.cost_noise_sigma)).collect();
+    let cost_ms: Vec<f64> = (0..n)
+        .map(|i| profile.service_cost_ms[i] * lognormal(&mut rng, config.cost_noise_sigma))
+        .collect();
 
     // Mean desired ingest over all sources (for the backpressure check).
     let desired_total: f64 = query
@@ -139,7 +140,9 @@ pub fn simulate(query: &Query, cluster: &Cluster, placement: &Placement, config:
         for &h in &host_of {
             per_host_ops[h] += 1;
         }
-        (0..n).map(|i| capacity[host_of[i]] / per_host_ops[host_of[i]].max(1) as f64).collect()
+        (0..n)
+            .map(|i| capacity[host_of[i]] / per_host_ops[host_of[i]].max(1) as f64)
+            .collect()
     };
     let mut net_scale = vec![1.0f64; cluster.len()]; // diagnostic: egress saturation
     let mut crashed = false;
@@ -181,14 +184,19 @@ pub fn simulate(query: &Query, cluster: &Cluster, placement: &Placement, config:
             .map(|i| alloc[i].max(1e-9) * 1000.0 / (cost_ms[i] * gc[host_of[i]]).max(1e-9))
             .collect();
         // Credits: how many tuples/s each operator can accept this tick.
-        let mut credit: Vec<f64> =
-            (0..n).map(|i| mu[i] + (config.queue_capacity - queue[i]).max(0.0) / dt).collect();
+        let mut credit: Vec<f64> = (0..n)
+            .map(|i| mu[i] + (config.queue_capacity - queue[i]).max(0.0) / dt)
+            .collect();
         // Per-host egress byte budget for this tick (bytes/s).
         let mut egress_budget: Vec<f64> = cluster.hosts().iter().map(|h| h.bandwidth_mbits * 1e6 / 8.0).collect();
 
         // Forward pass along the data flow.
         for &i in &order {
-            let a: f64 = if matches!(query.op(i), OpKind::Source(_)) { 0.0 } else { arrivals[i] };
+            let a: f64 = if matches!(query.op(i), OpKind::Source(_)) {
+                0.0
+            } else {
+                arrivals[i]
+            };
             let offered = match query.op(i) {
                 OpKind::Source(s) => {
                     let jitter = 1.0 + 0.05 * (tick as f64 * 0.7 + i as f64).sin();
@@ -258,7 +266,11 @@ pub fn simulate(query: &Query, cluster: &Cluster, placement: &Placement, config:
         }
         for h in 0..cluster.len() {
             let bw_bytes = cluster.host(h).bandwidth_mbits * 1e6 / 8.0;
-            net_scale[h] = if egress_bytes[h] > bw_bytes { (bw_bytes / egress_bytes[h]).max(0.01) } else { 1.0 };
+            net_scale[h] = if egress_bytes[h] > bw_bytes {
+                (bw_bytes / egress_bytes[h]).max(0.01)
+            } else {
+                1.0
+            };
         }
 
         // Memory model: window state + queue backlog per host.
@@ -353,7 +365,8 @@ pub fn simulate(query: &Query, cluster: &Cluster, placement: &Placement, config:
         let mut host_demands: Vec<Vec<(usize, f64)>> = vec![Vec::new(); cluster.len()];
         for i in 0..n {
             let svc = cost_ms[i] * gc[host_of[i]] / 1000.0;
-            let want = (arrivals[i] + queue[i] / dt
+            let want = (arrivals[i]
+                + queue[i] / dt
                 + match query.op(i) {
                     OpKind::Source(s) => s.event_rate + broker_backlog[i] / dt,
                     _ => 0.0,
@@ -387,21 +400,36 @@ pub fn simulate(query: &Query, cluster: &Cluster, placement: &Placement, config:
         {
             *v /= mt;
         }
-        for h in 0..cluster.len() {
+        for (h, cap) in capacity.iter().enumerate() {
             let demand: f64 = (0..n).filter(|&i| host_of[i] == h).map(|i| trace.op_cpu_cores[i]).sum();
-            trace.host_utilization[h] = demand / capacity[h].max(1e-9);
+            trace.host_utilization[h] = demand / cap.max(1e-9);
         }
     }
 
     if crashed {
-        return SimResult { metrics: CostMetrics::failed(), trace };
+        return SimResult {
+            metrics: CostMetrics::failed(),
+            trace,
+        };
     }
 
     let measured_s = (measured_ticks as f64 * dt).max(1e-9);
     let throughput = sink_measured / measured_s;
-    let lp_s = if lat_samples > 0 { lp_sum / lat_samples as f64 } else { config.duration_s };
-    let le_s = if lat_samples > 0 { le_sum / lat_samples as f64 } else { config.duration_s };
-    let r = if measured_ticks > 0 { bp_rate_sum / measured_ticks as f64 } else { 0.0 };
+    let lp_s = if lat_samples > 0 {
+        lp_sum / lat_samples as f64
+    } else {
+        config.duration_s
+    };
+    let le_s = if lat_samples > 0 {
+        le_sum / lat_samples as f64
+    } else {
+        config.duration_s
+    };
+    let r = if measured_ticks > 0 {
+        bp_rate_sum / measured_ticks as f64
+    } else {
+        0.0
+    };
     let backpressure = r > config.backpressure_threshold * desired_total.max(1e-9);
     let success = sink_total >= 1.0;
 
@@ -434,8 +462,15 @@ mod tests {
     fn filter_query(rate: f64, sel: f64) -> Query {
         Query::new(
             vec![
-                OpKind::Source(SourceSpec { event_rate: rate, schema: int_schema() }),
-                OpKind::Filter(FilterSpec { function: FilterFunction::Less, literal_type: DataType::Int, selectivity: sel }),
+                OpKind::Source(SourceSpec {
+                    event_rate: rate,
+                    schema: int_schema(),
+                }),
+                OpKind::Filter(FilterSpec {
+                    function: FilterFunction::Less,
+                    literal_type: DataType::Int,
+                    selectivity: sel,
+                }),
                 OpKind::Sink,
             ],
             vec![(0, 1), (1, 2)],
@@ -443,11 +478,21 @@ mod tests {
     }
 
     fn strong_host() -> Host {
-        Host { cpu: 800.0, ram_mb: 32000.0, bandwidth_mbits: 10000.0, latency_ms: 1.0 }
+        Host {
+            cpu: 800.0,
+            ram_mb: 32000.0,
+            bandwidth_mbits: 10000.0,
+            latency_ms: 1.0,
+        }
     }
 
     fn weak_host() -> Host {
-        Host { cpu: 50.0, ram_mb: 1000.0, bandwidth_mbits: 25.0, latency_ms: 160.0 }
+        Host {
+            cpu: 50.0,
+            ram_mb: 1000.0,
+            bandwidth_mbits: 25.0,
+            latency_ms: 160.0,
+        }
     }
 
     #[test]
@@ -458,8 +503,16 @@ mod tests {
         let r = simulate(&q, &c, &p, &SimConfig::deterministic());
         assert!(r.metrics.success);
         assert!(!r.metrics.backpressure, "R = {}", r.metrics.backpressure_rate);
-        assert!((r.metrics.throughput - 500.0).abs() < 25.0, "T = {}", r.metrics.throughput);
-        assert!(r.metrics.processing_latency_ms < 100.0, "Lp = {}", r.metrics.processing_latency_ms);
+        assert!(
+            (r.metrics.throughput - 500.0).abs() < 25.0,
+            "T = {}",
+            r.metrics.throughput
+        );
+        assert!(
+            r.metrics.processing_latency_ms < 100.0,
+            "Lp = {}",
+            r.metrics.processing_latency_ms
+        );
     }
 
     #[test]
@@ -468,7 +521,11 @@ mod tests {
         let c = Cluster::new(vec![weak_host()]);
         let p = Placement::new(vec![0, 0, 0]);
         let r = simulate(&q, &c, &p, &SimConfig::deterministic());
-        assert!(r.metrics.backpressure, "expected backpressure, R = {}", r.metrics.backpressure_rate);
+        assert!(
+            r.metrics.backpressure,
+            "expected backpressure, R = {}",
+            r.metrics.backpressure_rate
+        );
         assert!(r.metrics.throughput < 25600.0 * 0.5);
         // Backpressure inflates the e2e latency well beyond processing.
         assert!(r.metrics.e2e_latency_ms > 2.0 * r.metrics.processing_latency_ms);
@@ -495,7 +552,12 @@ mod tests {
     #[test]
     fn cross_host_placement_adds_latency() {
         let q = filter_query(500.0, 0.5);
-        let far = Host { cpu: 800.0, ram_mb: 32000.0, bandwidth_mbits: 10000.0, latency_ms: 80.0 };
+        let far = Host {
+            cpu: 800.0,
+            ram_mb: 32000.0,
+            bandwidth_mbits: 10000.0,
+            latency_ms: 80.0,
+        };
         let c = Cluster::new(vec![far, strong_host()]);
         let colocated = simulate(&q, &c, &Placement::new(vec![1, 1, 1]), &SimConfig::deterministic());
         let spread = simulate(&q, &c, &Placement::new(vec![0, 1, 1]), &SimConfig::deterministic());
@@ -509,10 +571,18 @@ mod tests {
 
     #[test]
     fn big_time_window_on_small_ram_crashes() {
-        let w = WindowSpec { window_type: WindowType::Sliding, policy: WindowPolicy::TimeBased, size: 16.0, slide: 5.0 };
+        let w = WindowSpec {
+            window_type: WindowType::Sliding,
+            policy: WindowPolicy::TimeBased,
+            size: 16.0,
+            slide: 5.0,
+        };
         let q = Query::new(
             vec![
-                OpKind::Source(SourceSpec { event_rate: 25600.0, schema: int_schema() }),
+                OpKind::Source(SourceSpec {
+                    event_rate: 25600.0,
+                    schema: int_schema(),
+                }),
                 OpKind::WindowAggregate(AggSpec {
                     function: AggFunction::Mean,
                     agg_type: DataType::Int,
@@ -524,7 +594,12 @@ mod tests {
             ],
             vec![(0, 1), (1, 2)],
         );
-        let weak_big_cpu = Host { cpu: 800.0, ram_mb: 1000.0, bandwidth_mbits: 10000.0, latency_ms: 1.0 };
+        let weak_big_cpu = Host {
+            cpu: 800.0,
+            ram_mb: 1000.0,
+            bandwidth_mbits: 10000.0,
+            latency_ms: 1.0,
+        };
         let c = Cluster::new(vec![weak_big_cpu]);
         let r = simulate(&q, &c, &Placement::new(vec![0, 0, 0]), &SimConfig::deterministic());
         assert!(!r.metrics.success, "expected OOM crash");
@@ -539,12 +614,27 @@ mod tests {
         // A tumbling window of 640 tuples at 20 ev/s emits every 32 s; with
         // selectivity pushing output below one tuple per run, no tuple
         // reaches the sink within the 4-minute execution.
-        let w = WindowSpec { window_type: WindowType::Tumbling, policy: WindowPolicy::CountBased, size: 640.0, slide: 640.0 };
+        let w = WindowSpec {
+            window_type: WindowType::Tumbling,
+            policy: WindowPolicy::CountBased,
+            size: 640.0,
+            slide: 640.0,
+        };
         let q = Query::new(
             vec![
-                OpKind::Source(SourceSpec { event_rate: 0.05, schema: int_schema() }),
-                OpKind::Source(SourceSpec { event_rate: 0.05, schema: int_schema() }),
-                OpKind::WindowJoin(JoinSpec { key_type: DataType::Int, window: w, selectivity: 1e-3 }),
+                OpKind::Source(SourceSpec {
+                    event_rate: 0.05,
+                    schema: int_schema(),
+                }),
+                OpKind::Source(SourceSpec {
+                    event_rate: 0.05,
+                    schema: int_schema(),
+                }),
+                OpKind::WindowJoin(JoinSpec {
+                    key_type: DataType::Int,
+                    window: w,
+                    selectivity: 1e-3,
+                }),
                 OpKind::Sink,
             ],
             vec![(0, 2), (1, 2), (2, 3)],
@@ -606,7 +696,12 @@ mod tests {
         // 12800 ev/s of ~40-byte tuples ≈ 4 Mbit/s; a 2 Mbit/s-ish egress
         // cannot carry it.
         let q = filter_query(12800.0, 1.0);
-        let slow_net = Host { cpu: 800.0, ram_mb: 32000.0, bandwidth_mbits: 2.0, latency_ms: 5.0 };
+        let slow_net = Host {
+            cpu: 800.0,
+            ram_mb: 32000.0,
+            bandwidth_mbits: 2.0,
+            latency_ms: 5.0,
+        };
         let c = Cluster::new(vec![slow_net, strong_host()]);
         let r = simulate(&q, &c, &Placement::new(vec![0, 1, 1]), &SimConfig::deterministic());
         assert!(r.metrics.throughput < 12800.0 * 0.6, "T = {}", r.metrics.throughput);

@@ -86,15 +86,21 @@ impl CostMetric {
     ];
 
     /// The regression metrics (q-error evaluated).
-    pub const REGRESSION: [CostMetric; 3] =
-        [CostMetric::Throughput, CostMetric::E2eLatency, CostMetric::ProcessingLatency];
+    pub const REGRESSION: [CostMetric; 3] = [
+        CostMetric::Throughput,
+        CostMetric::E2eLatency,
+        CostMetric::ProcessingLatency,
+    ];
 
     /// The classification metrics (accuracy evaluated).
     pub const CLASSIFICATION: [CostMetric; 2] = [CostMetric::Backpressure, CostMetric::Success];
 
     /// True for T/Lp/Le.
     pub fn is_regression(self) -> bool {
-        matches!(self, CostMetric::Throughput | CostMetric::ProcessingLatency | CostMetric::E2eLatency)
+        matches!(
+            self,
+            CostMetric::Throughput | CostMetric::ProcessingLatency | CostMetric::E2eLatency
+        )
     }
 
     /// Name as used in the paper's tables.

@@ -1,0 +1,99 @@
+//! Tape-free inference execution.
+//!
+//! The [`Tape`](crate::tape::Tape) exists to support `backward`: every op
+//! clones its result (and every pinned parameter!) into a node so the
+//! reverse pass can replay the graph. Inference needs none of that — no
+//! node recording, no parameter clones, no retained intermediates. This
+//! module provides the [`InferenceArena`], a free-list of `f32` buffers
+//! that forward-only code allocates scratch tensors from and recycles as
+//! soon as a value is dead. Together with the fused
+//! [`Tensor::affine_into`] kernel this removes all per-op allocation and
+//! bookkeeping from the hot prediction path.
+//!
+//! See the crate-level docs for when to use the tape path versus this
+//! arena path.
+
+use crate::tensor::Tensor;
+
+/// A recycling allocator for inference scratch tensors.
+///
+/// `alloc_zeroed` hands out a tensor backed by a previously recycled
+/// buffer when one is available (resized and zero-filled), falling back
+/// to a fresh allocation. Dropping tensors back via [`InferenceArena::recycle`]
+/// keeps the steady-state allocation count of a forward pass at zero —
+/// after the first batch, every buffer in the pass is reused.
+#[derive(Default)]
+pub struct InferenceArena {
+    free: Vec<Vec<f32>>,
+}
+
+impl InferenceArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of buffers currently pooled (diagnostics/tests).
+    pub fn pooled(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Allocates a `rows x cols` zero-filled tensor, reusing a pooled
+    /// buffer when possible.
+    pub fn alloc_zeroed(&mut self, rows: usize, cols: usize) -> Tensor {
+        let len = rows * cols;
+        let mut buf = self.free.pop().unwrap_or_default();
+        buf.clear();
+        buf.resize(len, 0.0);
+        Tensor::from_vec(rows, cols, buf)
+    }
+
+    /// Allocates a tensor holding a copy of `src`.
+    pub fn alloc_copy(&mut self, src: &Tensor) -> Tensor {
+        let mut t = self.alloc_zeroed(src.rows(), src.cols());
+        t.copy_from(src);
+        t
+    }
+
+    /// Returns a tensor's buffer to the pool.
+    pub fn recycle(&mut self, t: Tensor) {
+        self.free.push(t.into_data());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_are_reused_after_recycle() {
+        let mut arena = InferenceArena::new();
+        let a = arena.alloc_zeroed(4, 8);
+        let ptr = a.data().as_ptr();
+        arena.recycle(a);
+        assert_eq!(arena.pooled(), 1);
+        let b = arena.alloc_zeroed(2, 16); // same capacity, different shape
+        assert_eq!(b.data().as_ptr(), ptr, "buffer must be recycled");
+        assert!(b.data().iter().all(|&v| v == 0.0));
+        assert_eq!(arena.pooled(), 0);
+    }
+
+    #[test]
+    fn recycled_buffers_are_rezeroed() {
+        let mut arena = InferenceArena::new();
+        let mut a = arena.alloc_zeroed(2, 2);
+        a.data_mut().fill(7.0);
+        arena.recycle(a);
+        let b = arena.alloc_zeroed(3, 3); // grows beyond old capacity
+        assert_eq!(b.len(), 9);
+        assert!(b.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn alloc_copy_matches_source() {
+        let mut arena = InferenceArena::new();
+        let src = Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let c = arena.alloc_copy(&src);
+        assert_eq!(c.data(), src.data());
+    }
+}

@@ -16,7 +16,9 @@ pub struct Initializer {
 impl Initializer {
     /// Creates an initializer from a seed.
     pub fn new(seed: u64) -> Self {
-        Initializer { rng: StdRng::seed_from_u64(seed) }
+        Initializer {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Xavier/Glorot uniform initialization for a `rows x cols` weight

@@ -1,7 +1,14 @@
 //! Dense layers and multi-layer perceptrons.
+//!
+//! Every layer offers two execution paths (see the crate docs): the
+//! tape-recording `forward`, which supports `backward` and is the training
+//! ground truth, and the tape-free `forward_inference`, which runs the
+//! same arithmetic through the fused affine kernel on arena buffers.
 
+use crate::inference::InferenceArena;
 use crate::init::Initializer;
 use crate::tape::{NodeId, ParamId, ParamStore, Tape};
+use crate::tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
 /// A dense affine layer `y = x @ W + b`.
@@ -37,6 +44,15 @@ impl Linear {
         let b = tape.param(store, self.b);
         let h = tape.matmul(x, w);
         tape.add_bias(h, b)
+    }
+
+    /// Tape-free affine map, optionally fused with ReLU, on arena buffers.
+    pub fn forward_inference(&self, arena: &mut InferenceArena, store: &ParamStore, x: &Tensor, relu: bool) -> Tensor {
+        let w = store.value(self.w);
+        let b = store.value(self.b);
+        let mut out = arena.alloc_zeroed(x.rows(), w.cols());
+        Tensor::affine_into(x, w, b, relu, &mut out);
+        out
     }
 }
 
@@ -86,6 +102,20 @@ impl Mlp {
             }
         }
         h
+    }
+
+    /// Tape-free forward pass on arena buffers. Hidden layers run the
+    /// fused affine+ReLU kernel; intermediates are recycled immediately,
+    /// so a whole MLP pass allocates nothing in steady state.
+    pub fn forward_inference(&self, arena: &mut InferenceArena, store: &ParamStore, x: &Tensor) -> Tensor {
+        let last = self.layers.len() - 1;
+        let mut cur = self.layers[0].forward_inference(arena, store, x, last != 0);
+        for (i, layer) in self.layers.iter().enumerate().skip(1) {
+            let next = layer.forward_inference(arena, store, &cur, i != last);
+            arena.recycle(cur);
+            cur = next;
+        }
+        cur
     }
 }
 
@@ -145,8 +175,8 @@ mod tests {
             let pred = tape.value(out);
             let mut seed = Tensor::zeros(4, 1);
             let mut loss = 0.0;
-            for i in 0..4 {
-                let d = pred.get(i, 0) - ys[i];
+            for (i, &y) in ys.iter().enumerate() {
+                let d = pred.get(i, 0) - y;
                 loss += d * d / 4.0;
                 seed.set(i, 0, 2.0 * d / 4.0);
             }

@@ -4,10 +4,13 @@
 //! stack exists for Rust, so this crate provides the (small) slice of deep
 //! learning that the paper's Algorithm 1 actually needs, built from scratch:
 //!
-//! * [`tensor::Tensor`] — dense row-major `f32` matrices;
+//! * [`tensor::Tensor`] — dense row-major `f32` matrices with blocked,
+//!   branch-free matmul kernels and a fused affine(+ReLU) op;
 //! * [`tape::Tape`] — reverse-mode autodiff over a fixed op set, including
 //!   the graph primitives `gather_rows` and `segment_sum` used for
 //!   "sum the hidden states of the children" and the final graph readout;
+//! * [`inference::InferenceArena`] — tape-free forward execution on a
+//!   recycling buffer pool (see *Execution paths* below);
 //! * [`layers::Mlp`] — per-node-type encoders, update networks and output
 //!   heads;
 //! * [`loss`] — MSLE (the paper's regression loss), BCE-with-logits (the
@@ -16,11 +19,35 @@
 //! * [`init::Initializer`] — deterministic seeded initialization, the basis
 //!   of the paper's seed-varied ensembles.
 //!
+//! # Execution paths: tape vs. inference arena
+//!
+//! The crate deliberately maintains **two** forward implementations:
+//!
+//! 1. **Tape path** ([`Tape`] + `Mlp::forward`): every op records a node
+//!    holding a clone of its result (and pinned parameter values) so
+//!    `Tape::backward` can replay the graph in reverse. This is the
+//!    *training ground truth* — anything that needs gradients (training,
+//!    fine-tuning, gradient checks) must use it.
+//! 2. **Inference path** ([`inference::InferenceArena`] +
+//!    `Mlp::forward_inference`): forward-only execution with no node
+//!    recording, no parameter clones and no retained intermediates.
+//!    Buffers come from a free-list arena and are recycled as soon as a
+//!    value is dead; hidden layers run the fused affine+ReLU kernel.
+//!    Use it for *all* prediction work: model evaluation, ensemble
+//!    prediction, and the placement optimizer's candidate scoring.
+//!
+//! Both paths execute the same arithmetic through the same kernels and
+//! agree to float accumulation order (the golden-equivalence tests in
+//! `costream-core` assert agreement within `1e-5` end to end), so models
+//! trained on the tape path can be served on the inference path without
+//! recalibration.
+//!
 //! Everything is deterministic given a seed and has no external
 //! dependencies beyond `rand` and `serde`.
 
 #![warn(missing_docs)]
 
+pub mod inference;
 pub mod init;
 pub mod layers;
 pub mod loss;
@@ -28,6 +55,7 @@ pub mod optim;
 pub mod tape;
 pub mod tensor;
 
+pub use inference::InferenceArena;
 pub use init::Initializer;
 pub use layers::{Linear, Mlp};
 pub use tape::{NodeId, ParamId, ParamStore, Tape};

@@ -34,8 +34,8 @@ pub fn mse(pred: &Tensor, targets: &[f32]) -> LossOutput {
     let n = targets.len() as f32;
     let mut seed = Tensor::zeros(pred.rows(), 1);
     let mut loss = 0.0;
-    for i in 0..targets.len() {
-        let d = pred.get(i, 0) - targets[i];
+    for (i, &t) in targets.iter().enumerate() {
+        let d = pred.get(i, 0) - t;
         loss += d * d / n;
         seed.set(i, 0, 2.0 * d / n);
     }
@@ -66,9 +66,8 @@ pub fn bce_with_logits(pred: &Tensor, targets: &[f32]) -> LossOutput {
     let n = targets.len() as f32;
     let mut seed = Tensor::zeros(pred.rows(), 1);
     let mut loss = 0.0;
-    for i in 0..targets.len() {
+    for (i, &t) in targets.iter().enumerate() {
         let z = pred.get(i, 0);
-        let t = targets[i];
         debug_assert!(t == 0.0 || t == 1.0, "BCE targets must be binary");
         loss += (z.max(0.0) - z * t + (1.0 + (-z.abs()).exp()).ln()) / n;
         let p = 1.0 / (1.0 + (-z).exp());

@@ -13,14 +13,21 @@ pub struct Sgd {
 impl Sgd {
     /// Creates an SGD optimizer.
     pub fn new(lr: f32, momentum: f32) -> Self {
-        Sgd { lr, momentum, velocity: Vec::new() }
+        Sgd {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
     }
 
     /// Applies one update step from the gradients accumulated in `store`.
     pub fn step(&mut self, store: &mut ParamStore) {
         let ids: Vec<_> = store.ids().collect();
         if self.velocity.len() != ids.len() {
-            self.velocity = ids.iter().map(|&id| Tensor::zeros(store.value(id).rows(), store.value(id).cols())).collect();
+            self.velocity = ids
+                .iter()
+                .map(|&id| Tensor::zeros(store.value(id).rows(), store.value(id).cols()))
+                .collect();
         }
         for (slot, id) in ids.into_iter().enumerate() {
             let g = store.grad(id).clone();
@@ -53,7 +60,15 @@ pub struct Adam {
 impl Adam {
     /// Creates Adam with the conventional defaults β1=0.9, β2=0.999, ε=1e-8.
     pub fn new(lr: f32) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     /// Replaces the learning rate (used by fine-tuning, which continues
@@ -71,7 +86,10 @@ impl Adam {
     pub fn step(&mut self, store: &mut ParamStore) {
         let ids: Vec<_> = store.ids().collect();
         if self.m.len() != ids.len() {
-            self.m = ids.iter().map(|&id| Tensor::zeros(store.value(id).rows(), store.value(id).cols())).collect();
+            self.m = ids
+                .iter()
+                .map(|&id| Tensor::zeros(store.value(id).rows(), store.value(id).cols()))
+                .collect();
             self.v = self.m.clone();
             self.t = 0;
         }

@@ -285,7 +285,14 @@ impl Tape {
                 *d += *v;
             }
         }
-        self.push(out, Op::SegmentSum { input: x.0, segments, out_rows })
+        self.push(
+            out,
+            Op::SegmentSum {
+                input: x.0,
+                segments,
+                out_rows,
+            },
+        )
     }
 
     /// `x * s`.
@@ -405,7 +412,11 @@ mod tests {
 
     fn store_with(values: Vec<Tensor>) -> (ParamStore, Vec<ParamId>) {
         let mut s = ParamStore::new();
-        let ids = values.into_iter().enumerate().map(|(i, v)| s.register(format!("p{i}"), v)).collect();
+        let ids = values
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| s.register(format!("p{i}"), v))
+            .collect();
         (s, ids)
     }
 
@@ -460,7 +471,11 @@ mod tests {
         // -> concat with sigmoid branch -> segment_sum -> @ w2 -> scale -> sum
         let forward = |store: &ParamStore| -> (Tape, NodeId) {
             let mut tape = Tape::new();
-            let x = tape.input(Tensor::from_vec(4, 3, (0..12).map(|i| (i as f32 * 0.13).sin()).collect()));
+            let x = tape.input(Tensor::from_vec(
+                4,
+                3,
+                (0..12).map(|i| (i as f32 * 0.13).sin()).collect(),
+            ));
             let w0 = tape.param(store, ids[0]);
             let b = tape.param(store, ids[1]);
             let h = tape.matmul(x, w0);

@@ -18,12 +18,20 @@ pub struct Tensor {
 impl Tensor {
     /// Creates a `rows x cols` tensor filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Tensor { rows, cols, data: vec![0.0; rows * cols] }
+        Tensor {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a `rows x cols` tensor filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Tensor { rows, cols, data: vec![value; rows * cols] }
+        Tensor {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Creates a tensor from a row-major data vector.
@@ -31,7 +39,14 @@ impl Tensor {
     /// # Panics
     /// Panics if `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
-        assert_eq!(data.len(), rows * cols, "shape {}x{} does not match data length {}", rows, cols, data.len());
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "shape {}x{} does not match data length {}",
+            rows,
+            cols,
+            data.len()
+        );
         Tensor { rows, cols, data }
     }
 
@@ -107,62 +122,271 @@ impl Tensor {
     /// # Panics
     /// Panics if `self.cols != other.rows`.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
-        assert_eq!(self.cols, other.rows, "matmul shape mismatch: {}x{} @ {}x{}", self.rows, self.cols, other.rows, other.cols);
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {}x{} @ {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
         let mut out = Tensor::zeros(self.rows, other.cols);
-        // i-k-j loop order keeps the inner loop contiguous in both
-        // `other` and `out`, which the compiler can vectorize.
-        for i in 0..self.rows {
-            let out_row = i * other.cols;
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = k * other.cols;
-                for j in 0..other.cols {
-                    out.data[out_row + j] += a * other.data[b_row + j];
-                }
-            }
-        }
+        matmul_accumulate(&self.data, self.rows, self.cols, &other.data, other.cols, &mut out.data);
         out
     }
 
     /// Matrix product `self^T @ other` without materializing the transpose.
     pub fn t_matmul(&self, other: &Tensor) -> Tensor {
-        assert_eq!(self.rows, other.rows, "t_matmul shape mismatch: ({}x{})^T @ {}x{}", self.rows, self.cols, other.rows, other.cols);
-        let mut out = Tensor::zeros(self.cols, other.cols);
-        for r in 0..self.rows {
-            for i in 0..self.cols {
-                let a = self.data[r * self.cols + i];
-                if a == 0.0 {
-                    continue;
-                }
-                let o_row = i * other.cols;
-                let b_row = r * other.cols;
-                for j in 0..other.cols {
-                    out.data[o_row + j] += a * other.data[b_row + j];
+        assert_eq!(
+            self.rows, other.rows,
+            "t_matmul shape mismatch: ({}x{})^T @ {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (rows, ca, cb) = (self.rows, self.cols, other.cols);
+        let mut out = Tensor::zeros(ca, cb);
+        let a = &self.data;
+        let b = &other.data;
+        // 4-row blocking over the shared `r` dimension: each pass streams
+        // four rows of `a` and `b` and accumulates them into every output
+        // row, quartering the passes over `out`.
+        let mut r = 0;
+        while r + 4 <= rows {
+            let b0 = &b[r * cb..(r + 1) * cb];
+            let b1 = &b[(r + 1) * cb..(r + 2) * cb];
+            let b2 = &b[(r + 2) * cb..(r + 3) * cb];
+            let b3 = &b[(r + 3) * cb..(r + 4) * cb];
+            for i in 0..ca {
+                let a0 = a[r * ca + i];
+                let a1 = a[(r + 1) * ca + i];
+                let a2 = a[(r + 2) * ca + i];
+                let a3 = a[(r + 3) * ca + i];
+                let orow = &mut out.data[i * cb..(i + 1) * cb];
+                let it = orow.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3);
+                for ((((o, &v0), &v1), &v2), &v3) in it {
+                    *o += a0 * v0 + a1 * v1 + a2 * v2 + a3 * v3;
                 }
             }
+            r += 4;
+        }
+        while r < rows {
+            let brow = &b[r * cb..(r + 1) * cb];
+            for i in 0..ca {
+                let av = a[r * ca + i];
+                let orow = &mut out.data[i * cb..(i + 1) * cb];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+            r += 1;
         }
         out
     }
 
     /// Matrix product `self @ other^T` without materializing the transpose.
     pub fn matmul_t(&self, other: &Tensor) -> Tensor {
-        assert_eq!(self.cols, other.cols, "matmul_t shape mismatch: {}x{} @ ({}x{})^T", self.rows, self.cols, other.rows, other.cols);
-        let mut out = Tensor::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let a_row = i * self.cols;
-            for j in 0..other.rows {
-                let b_row = j * other.cols;
-                let mut acc = 0.0;
-                for k in 0..self.cols {
-                    acc += self.data[a_row + k] * other.data[b_row + k];
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_t shape mismatch: {}x{} @ ({}x{})^T",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (m, kd, rb) = (self.rows, self.cols, other.rows);
+        let mut out = Tensor::zeros(m, rb);
+        for i in 0..m {
+            let arow = &self.data[i * kd..(i + 1) * kd];
+            let orow = &mut out.data[i * rb..(i + 1) * rb];
+            for (j, o) in orow.iter_mut().enumerate() {
+                let brow = &other.data[j * kd..(j + 1) * kd];
+                // Four independent accumulators hide the FMA latency chain.
+                let mut acc = [0.0f32; 4];
+                let mut chunks_a = arow.chunks_exact(4);
+                let mut chunks_b = brow.chunks_exact(4);
+                for (ca4, cb4) in (&mut chunks_a).zip(&mut chunks_b) {
+                    acc[0] += ca4[0] * cb4[0];
+                    acc[1] += ca4[1] * cb4[1];
+                    acc[2] += ca4[2] * cb4[2];
+                    acc[3] += ca4[3] * cb4[3];
                 }
-                out.data[i * other.rows + j] = acc;
+                let mut tail = 0.0f32;
+                for (&av, &bv) in chunks_a.remainder().iter().zip(chunks_b.remainder()) {
+                    tail += av * bv;
+                }
+                *o = (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail;
             }
         }
         out
+    }
+
+    /// Fused affine map `out = x @ w + bias`, optionally with ReLU, writing
+    /// into a caller-provided buffer. This is the inference-path workhorse:
+    /// one kernel call replaces the tape's matmul + add-bias + relu nodes
+    /// (and their three intermediate allocations).
+    ///
+    /// # Panics
+    /// Panics on any shape mismatch.
+    pub fn affine_into(x: &Tensor, w: &Tensor, bias: &Tensor, relu: bool, out: &mut Tensor) {
+        assert_eq!(
+            x.cols, w.rows,
+            "affine shape mismatch: {}x{} @ {}x{}",
+            x.rows, x.cols, w.rows, w.cols
+        );
+        assert_eq!(bias.rows, 1, "bias must be a row vector");
+        assert_eq!(bias.cols, w.cols, "bias width mismatch");
+        assert_eq!(out.shape(), (x.rows, w.cols), "affine output shape mismatch");
+        out.fill_zero();
+        matmul_accumulate(&x.data, x.rows, x.cols, &w.data, w.cols, &mut out.data);
+        let n = w.cols;
+        if relu {
+            for r in 0..x.rows {
+                let row = &mut out.data[r * n..(r + 1) * n];
+                for (o, &b) in row.iter_mut().zip(&bias.data) {
+                    *o = (*o + b).max(0.0);
+                }
+            }
+        } else {
+            for r in 0..x.rows {
+                let row = &mut out.data[r * n..(r + 1) * n];
+                for (o, &b) in row.iter_mut().zip(&bias.data) {
+                    *o += b;
+                }
+            }
+        }
+    }
+
+    /// Consumes the tensor, returning its backing buffer (for arena reuse).
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Copies another tensor's contents into this one.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn copy_from(&mut self, other: &Tensor) {
+        assert_eq!(self.shape(), other.shape(), "copy_from shape mismatch");
+        self.data.copy_from_slice(&other.data);
+    }
+
+    /// Writes rows of `self` selected by `idx` (repetition allowed) into
+    /// `out`, which must be `idx.len() x self.cols`.
+    pub fn gather_rows_into(&self, idx: &[usize], out: &mut Tensor) {
+        assert_eq!(out.shape(), (idx.len(), self.cols), "gather output shape mismatch");
+        for (r, &i) in idx.iter().enumerate() {
+            out.row_slice_mut(r).copy_from_slice(self.row_slice(i));
+        }
+    }
+
+    /// Overwrites row `idx[r]` of `self` with row `r` of `src` (for
+    /// unique indices this equals scatter-add into zeroed rows, minus the
+    /// zeroing and accumulation passes).
+    ///
+    /// # Panics
+    /// Panics when widths differ or an index is out of range.
+    pub fn scatter_copy_rows(&mut self, src: &Tensor, idx: &[usize]) {
+        assert_eq!(self.cols, src.cols, "scatter width mismatch");
+        assert_eq!(src.rows, idx.len(), "one target row per source row");
+        for (r, &dst) in idx.iter().enumerate() {
+            let s = &src.data[r * src.cols..(r + 1) * src.cols];
+            self.data[dst * self.cols..(dst + 1) * self.cols].copy_from_slice(s);
+        }
+    }
+
+    /// Fused gather + segmented sum into a *column window* of `out`:
+    /// `out[segs[e]][col_off..col_off + self.cols] += self[rows[e]]`.
+    /// Lets a message-passing wave assemble `[Σ_children ‖ own]` without
+    /// materializing either half.
+    pub fn gather_segment_sum_into_cols(&self, rows: &[usize], segs: &[usize], out: &mut Tensor, col_off: usize) {
+        assert_eq!(rows.len(), segs.len(), "one segment per gathered row");
+        assert!(col_off + self.cols <= out.cols, "column window out of range");
+        for (&src_row, &dst_row) in rows.iter().zip(segs) {
+            let src = &self.data[src_row * self.cols..(src_row + 1) * self.cols];
+            let base = dst_row * out.cols + col_off;
+            let dst = &mut out.data[base..base + self.cols];
+            for (d, v) in dst.iter_mut().zip(src) {
+                *d += *v;
+            }
+        }
+    }
+
+    /// Gather rows into a *column window* of `out`:
+    /// `out[r][col_off..col_off + self.cols] = self[idx[r]]`.
+    pub fn gather_rows_into_cols(&self, idx: &[usize], out: &mut Tensor, col_off: usize) {
+        assert_eq!(out.rows, idx.len(), "one output row per index");
+        assert!(col_off + self.cols <= out.cols, "column window out of range");
+        for (r, &i) in idx.iter().enumerate() {
+            let base = r * out.cols + col_off;
+            out.data[base..base + self.cols].copy_from_slice(self.row_slice(i));
+        }
+    }
+
+    /// Adds row `r` of `src` into row `idx[r]` of `self`.
+    ///
+    /// # Panics
+    /// Panics when widths differ or an index is out of range.
+    pub fn scatter_add_rows(&mut self, src: &Tensor, idx: &[usize]) {
+        assert_eq!(self.cols, src.cols, "scatter width mismatch");
+        assert_eq!(src.rows, idx.len(), "one target row per source row");
+        for (r, &dst) in idx.iter().enumerate() {
+            let s = &src.data[r * src.cols..(r + 1) * src.cols];
+            let d = &mut self.data[dst * self.cols..(dst + 1) * self.cols];
+            for (dv, sv) in d.iter_mut().zip(s) {
+                *dv += *sv;
+            }
+        }
+    }
+
+    /// Adds the rows `idx` of `other` into the same rows of `self`
+    /// (the "carry forward untouched nodes" step of a message-passing
+    /// wave).
+    pub fn add_rows_at(&mut self, other: &Tensor, idx: &[usize]) {
+        assert_eq!(self.shape(), other.shape(), "add_rows_at shape mismatch");
+        for &i in idx {
+            let s = &other.data[i * self.cols..(i + 1) * self.cols];
+            let d = &mut self.data[i * self.cols..(i + 1) * self.cols];
+            for (dv, sv) in d.iter_mut().zip(s) {
+                *dv += *sv;
+            }
+        }
+    }
+
+    /// Segmented row sum into a caller-provided (zeroed) buffer: row `s` of
+    /// `out` accumulates all rows `i` of `self` with `segments[i] == s`.
+    pub fn segment_sum_into(&self, segments: &[usize], out: &mut Tensor) {
+        assert_eq!(segments.len(), self.rows, "one segment id per input row");
+        assert_eq!(out.cols, self.cols, "segment output width mismatch");
+        for (i, &s) in segments.iter().enumerate() {
+            let src = &self.data[i * self.cols..(i + 1) * self.cols];
+            let dst = &mut out.data[s * out.cols..(s + 1) * out.cols];
+            for (d, v) in dst.iter_mut().zip(src) {
+                *d += *v;
+            }
+        }
+    }
+
+    /// Fused gather + segmented sum: `out[segs[e]] += self[rows[e]]` for
+    /// every edge `e`. Equivalent to `gather_rows` followed by
+    /// `segment_sum` without materializing the gathered matrix.
+    pub fn gather_segment_sum_into(&self, rows: &[usize], segs: &[usize], out: &mut Tensor) {
+        assert_eq!(rows.len(), segs.len(), "one segment per gathered row");
+        assert_eq!(out.cols, self.cols, "gather-segment output width mismatch");
+        for (&src_row, &dst_row) in rows.iter().zip(segs) {
+            let src = &self.data[src_row * self.cols..(src_row + 1) * self.cols];
+            let dst = &mut out.data[dst_row * out.cols..(dst_row + 1) * out.cols];
+            for (d, v) in dst.iter_mut().zip(src) {
+                *d += *v;
+            }
+        }
+    }
+
+    /// Writes `[self | other]` (column concatenation) into `out`.
+    pub fn concat_cols_into(&self, other: &Tensor, out: &mut Tensor) {
+        assert_eq!(self.rows, other.rows, "concat row mismatch");
+        assert_eq!(
+            out.shape(),
+            (self.rows, self.cols + other.cols),
+            "concat output shape mismatch"
+        );
+        for r in 0..self.rows {
+            let dst = out.row_slice_mut(r);
+            dst[..self.cols].copy_from_slice(self.row_slice(r));
+            dst[self.cols..].copy_from_slice(other.row_slice(r));
+        }
     }
 
     /// Element-wise in-place addition.
@@ -213,9 +437,190 @@ impl Tensor {
     }
 }
 
+/// Accumulating matmul microkernel: `out += a @ b` with `a` of shape
+/// `m x kd` and `b` of shape `kd x n`, all row-major.
+///
+/// Dispatches to a runtime-detected AVX2+FMA register-tiled kernel on
+/// x86-64 (4x16 output tiles held in ymm registers across the full `k`
+/// loop) and falls back to a portable 4-row-blocked scalar kernel that
+/// LLVM auto-vectorizes. Unlike the original kernel there is no
+/// data-dependent `a == 0.0` branch in the inner loop — the branch
+/// mispredicted heavily on post-ReLU activations and blocked
+/// vectorization.
+///
+/// Per output element both kernels accumulate over `k` in order with a
+/// single accumulator, so tape and inference paths (which share this
+/// function) always agree bitwise with each other on the same machine.
+fn matmul_accumulate(a: &[f32], m: usize, kd: usize, b: &[f32], n: usize, out: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * kd);
+    debug_assert_eq!(b.len(), kd * n);
+    debug_assert_eq!(out.len(), m * n);
+    #[cfg(target_arch = "x86_64")]
+    {
+        if n >= 8 && is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
+            // Safety: feature detection succeeded; slice bounds are
+            // checked by the debug asserts above and the loop structure.
+            unsafe { matmul_accumulate_avx2(a, m, kd, b, n, out) };
+            return;
+        }
+    }
+    matmul_accumulate_scalar(a, m, kd, b, n, out);
+}
+
+/// AVX2+FMA kernel: 4-row x 16-column output tiles kept in registers
+/// across the whole `k` loop (8 fma accumulators + 2 `b` vectors), with
+/// 8-wide and scalar fringes.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn matmul_accumulate_avx2(a: &[f32], m: usize, kd: usize, b: &[f32], n: usize, out: &mut [f32]) {
+    use std::arch::x86_64::*;
+    let ap = a.as_ptr();
+    let bp = b.as_ptr();
+    let op = out.as_mut_ptr();
+    let mut i = 0;
+    while i + 4 <= m {
+        let mut j = 0;
+        while j + 16 <= n {
+            let mut acc = [[_mm256_setzero_ps(); 2]; 4];
+            for (r, acc_r) in acc.iter_mut().enumerate() {
+                acc_r[0] = _mm256_loadu_ps(op.add((i + r) * n + j));
+                acc_r[1] = _mm256_loadu_ps(op.add((i + r) * n + j + 8));
+            }
+            for k in 0..kd {
+                let b0 = _mm256_loadu_ps(bp.add(k * n + j));
+                let b1 = _mm256_loadu_ps(bp.add(k * n + j + 8));
+                for (r, acc_r) in acc.iter_mut().enumerate() {
+                    let av = _mm256_set1_ps(*ap.add((i + r) * kd + k));
+                    acc_r[0] = _mm256_fmadd_ps(av, b0, acc_r[0]);
+                    acc_r[1] = _mm256_fmadd_ps(av, b1, acc_r[1]);
+                }
+            }
+            for (r, acc_r) in acc.iter().enumerate() {
+                _mm256_storeu_ps(op.add((i + r) * n + j), acc_r[0]);
+                _mm256_storeu_ps(op.add((i + r) * n + j + 8), acc_r[1]);
+            }
+            j += 16;
+        }
+        while j + 8 <= n {
+            let mut acc = [_mm256_setzero_ps(); 4];
+            for (r, acc_r) in acc.iter_mut().enumerate() {
+                *acc_r = _mm256_loadu_ps(op.add((i + r) * n + j));
+            }
+            for k in 0..kd {
+                let b0 = _mm256_loadu_ps(bp.add(k * n + j));
+                for (r, acc_r) in acc.iter_mut().enumerate() {
+                    let av = _mm256_set1_ps(*ap.add((i + r) * kd + k));
+                    *acc_r = _mm256_fmadd_ps(av, b0, *acc_r);
+                }
+            }
+            for (r, acc_r) in acc.iter().enumerate() {
+                _mm256_storeu_ps(op.add((i + r) * n + j), *acc_r);
+            }
+            j += 8;
+        }
+        while j < n {
+            for r in 0..4 {
+                let mut acc = *op.add((i + r) * n + j);
+                for k in 0..kd {
+                    acc = (*ap.add((i + r) * kd + k)).mul_add(*bp.add(k * n + j), acc);
+                }
+                *op.add((i + r) * n + j) = acc;
+            }
+            j += 1;
+        }
+        i += 4;
+    }
+    while i < m {
+        let mut j = 0;
+        while j + 8 <= n {
+            let mut acc = _mm256_loadu_ps(op.add(i * n + j));
+            for k in 0..kd {
+                let av = _mm256_set1_ps(*ap.add(i * kd + k));
+                acc = _mm256_fmadd_ps(av, _mm256_loadu_ps(bp.add(k * n + j)), acc);
+            }
+            _mm256_storeu_ps(op.add(i * n + j), acc);
+            j += 8;
+        }
+        while j < n {
+            let mut acc = *op.add(i * n + j);
+            for k in 0..kd {
+                acc = (*ap.add(i * kd + k)).mul_add(*bp.add(k * n + j), acc);
+            }
+            *op.add(i * n + j) = acc;
+            j += 1;
+        }
+        i += 1;
+    }
+}
+
+/// Portable fallback kernel (also the non-x86-64 path).
+fn matmul_accumulate_scalar(a: &[f32], m: usize, kd: usize, b: &[f32], n: usize, out: &mut [f32]) {
+    let mut i = 0;
+    while i + 4 <= m {
+        let mut rows = out[i * n..(i + 4) * n].chunks_exact_mut(n);
+        let o0 = rows.next().expect("row 0");
+        let o1 = rows.next().expect("row 1");
+        let o2 = rows.next().expect("row 2");
+        let o3 = rows.next().expect("row 3");
+        for k in 0..kd {
+            let a0 = a[i * kd + k];
+            let a1 = a[(i + 1) * kd + k];
+            let a2 = a[(i + 2) * kd + k];
+            let a3 = a[(i + 3) * kd + k];
+            let brow = &b[k * n..(k + 1) * n];
+            // Lockstep zips let LLVM drop every bounds check and vectorize.
+            let it = o0
+                .iter_mut()
+                .zip(o1.iter_mut())
+                .zip(o2.iter_mut())
+                .zip(o3.iter_mut())
+                .zip(brow);
+            for ((((v0, v1), v2), v3), &bv) in it {
+                *v0 += a0 * bv;
+                *v1 += a1 * bv;
+                *v2 += a2 * bv;
+                *v3 += a3 * bv;
+            }
+        }
+        i += 4;
+    }
+    while i < m {
+        let orow = &mut out[i * n..(i + 1) * n];
+        for k in 0..kd {
+            let av = a[i * kd + k];
+            let brow = &b[k * n..(k + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+        i += 1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut acc = 0.0f64;
+                for k in 0..a.cols() {
+                    acc += a.get(i, k) as f64 * b.get(k, j) as f64;
+                }
+                out.set(i, j, acc as f32);
+            }
+        }
+        out
+    }
+
+    fn pseudo_random(rows: usize, cols: usize, seed: u64) -> Tensor {
+        let data = (0..rows * cols)
+            .map(|i| ((i as f32 * 0.137 + seed as f32 * 0.311).sin() * 2.0) - 0.3)
+            .collect();
+        Tensor::from_vec(rows, cols, data)
+    }
 
     #[test]
     fn zeros_and_shape() {
@@ -276,6 +681,137 @@ mod tests {
         assert_eq!(a.sum(), 14.0);
         a.scale_assign(0.5);
         assert_eq!(a.mean(), 1.75);
+    }
+
+    #[test]
+    fn blocked_matmul_matches_naive_on_odd_shapes() {
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (4, 8, 16),
+            (5, 13, 3),
+            (7, 26, 48),
+            (64, 48, 32),
+            (9, 2, 1),
+        ] {
+            let a = pseudo_random(m, k, 1);
+            let b = pseudo_random(k, n, 2);
+            let fast = a.matmul(&b);
+            let slow = naive_matmul(&a, &b);
+            for (x, y) in fast.data().iter().zip(slow.data()) {
+                assert!((x - y).abs() < 1e-3 * (1.0 + y.abs()), "{m}x{k}@{k}x{n}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_matmul_handles_zeros_in_activations() {
+        // The old kernel special-cased a == 0.0; the new one must produce
+        // identical results on sparse (post-ReLU-like) inputs.
+        let mut a = pseudo_random(6, 9, 3);
+        for v in a.data_mut().iter_mut() {
+            if *v < 0.0 {
+                *v = 0.0;
+            }
+        }
+        let b = pseudo_random(9, 4, 4);
+        let fast = a.matmul(&b);
+        let slow = naive_matmul(&a, &b);
+        for (x, y) in fast.data().iter().zip(slow.data()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn t_matmul_blocked_matches_naive() {
+        for &(r, ca, cb) in &[(1, 2, 3), (4, 4, 4), (5, 3, 7), (13, 8, 2), (64, 32, 48)] {
+            let a = pseudo_random(r, ca, 5);
+            let b = pseudo_random(r, cb, 6);
+            let fast = a.t_matmul(&b);
+            // a^T @ b via explicit transpose + naive product.
+            let mut at = Tensor::zeros(ca, r);
+            for i in 0..r {
+                for j in 0..ca {
+                    at.set(j, i, a.get(i, j));
+                }
+            }
+            let slow = naive_matmul(&at, &b);
+            for (x, y) in fast.data().iter().zip(slow.data()) {
+                assert!(
+                    (x - y).abs() < 1e-3 * (1.0 + y.abs()),
+                    "{r}x{ca}^T@{r}x{cb}: {x} vs {y}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_t_unrolled_matches_naive() {
+        for &(m, k, rb) in &[(1, 1, 1), (3, 5, 2), (4, 9, 4), (6, 26, 3)] {
+            let a = pseudo_random(m, k, 7);
+            let b = pseudo_random(rb, k, 8);
+            let fast = a.matmul_t(&b);
+            let mut bt = Tensor::zeros(k, rb);
+            for i in 0..rb {
+                for j in 0..k {
+                    bt.set(j, i, b.get(i, j));
+                }
+            }
+            let slow = naive_matmul(&a, &bt);
+            for (x, y) in fast.data().iter().zip(slow.data()) {
+                assert!((x - y).abs() < 1e-3 * (1.0 + y.abs()));
+            }
+        }
+    }
+
+    #[test]
+    fn fused_affine_matches_unfused() {
+        let x = pseudo_random(5, 8, 9);
+        let w = pseudo_random(8, 6, 10);
+        let bias = pseudo_random(1, 6, 11);
+        let mut fused = Tensor::zeros(5, 6);
+        Tensor::affine_into(&x, &w, &bias, true, &mut fused);
+        let mut unfused = x.matmul(&w);
+        for r in 0..unfused.rows() {
+            let row = unfused.row_slice_mut(r);
+            for (o, &b) in row.iter_mut().zip(bias.data()) {
+                *o += b;
+            }
+        }
+        for v in unfused.data_mut() {
+            if *v < 0.0 {
+                *v = 0.0;
+            }
+        }
+        assert_eq!(fused.data(), unfused.data());
+    }
+
+    #[test]
+    fn gather_scatter_segment_helpers() {
+        let x = Tensor::from_vec(3, 2, vec![1.0, 2.0, 10.0, 20.0, 100.0, 200.0]);
+        let mut g = Tensor::zeros(2, 2);
+        x.gather_rows_into(&[2, 0], &mut g);
+        assert_eq!(g.data(), &[100.0, 200.0, 1.0, 2.0]);
+
+        let mut seg = Tensor::zeros(2, 2);
+        x.segment_sum_into(&[0, 1, 0], &mut seg);
+        assert_eq!(seg.data(), &[101.0, 202.0, 10.0, 20.0]);
+
+        let mut fused = Tensor::zeros(2, 2);
+        x.gather_segment_sum_into(&[0, 1, 2], &[0, 1, 0], &mut fused);
+        assert_eq!(fused.data(), seg.data());
+
+        let mut acc = Tensor::zeros(3, 2);
+        acc.scatter_add_rows(&g, &[1, 1]);
+        assert_eq!(acc.data(), &[0.0, 0.0, 101.0, 202.0, 0.0, 0.0]);
+
+        let mut carried = Tensor::zeros(3, 2);
+        carried.add_rows_at(&x, &[0, 2]);
+        assert_eq!(carried.data(), &[1.0, 2.0, 0.0, 0.0, 100.0, 200.0]);
+
+        let mut cat = Tensor::zeros(3, 4);
+        x.concat_cols_into(&x, &mut cat);
+        assert_eq!(cat.row_slice(1), &[10.0, 20.0, 10.0, 20.0]);
     }
 
     #[test]

@@ -20,7 +20,7 @@ proptest! {
         let mut store = ParamStore::new();
         let mut init = Initializer::new(seed);
         let mlp = Mlp::new(&mut store, &mut init, "m", &[in_dim, hidden, 1]);
-        let x_data: Vec<f32> = (0..rows * in_dim).map(|i| ((i as f32 * 0.37 + seed as f32).sin())).collect();
+        let x_data: Vec<f32> = (0..rows * in_dim).map(|i| (i as f32 * 0.37 + seed as f32).sin()).collect();
         let targets: Vec<f32> = (0..rows).map(|i| (i as f32 * 0.71).cos()).collect();
 
         let loss_of = |store: &ParamStore| -> f32 {

@@ -90,8 +90,14 @@ fn advertisement(rng: &mut StdRng) -> Query {
     };
     Query::new(
         vec![
-            OpKind::Source(SourceSpec { event_rate: clicks, schema: click_schema }),
-            OpKind::Source(SourceSpec { event_rate: impressions, schema: imp_schema }),
+            OpKind::Source(SourceSpec {
+                event_rate: clicks,
+                schema: click_schema,
+            }),
+            OpKind::Source(SourceSpec {
+                event_rate: impressions,
+                schema: imp_schema,
+            }),
             OpKind::Filter(FilterSpec {
                 function: FilterFunction::StartsWith,
                 literal_type: DataType::String,
@@ -124,7 +130,10 @@ fn spike_detection(rng: &mut StdRng) -> Query {
     let rate = continuous_rate(rng, 120.0, 9000.0);
     Query::new(
         vec![
-            OpKind::Source(SourceSpec { event_rate: rate, schema }),
+            OpKind::Source(SourceSpec {
+                event_rate: rate,
+                schema,
+            }),
             OpKind::WindowAggregate(AggSpec {
                 function: AggFunction::Mean,
                 agg_type: DataType::Double,
@@ -168,7 +177,10 @@ fn smart_grid_global(rng: &mut StdRng) -> Query {
     let rate = continuous_rate(rng, 300.0, 12000.0);
     Query::new(
         vec![
-            OpKind::Source(SourceSpec { event_rate: rate, schema }),
+            OpKind::Source(SourceSpec {
+                event_rate: rate,
+                schema,
+            }),
             OpKind::WindowAggregate(AggSpec {
                 function: AggFunction::Avg,
                 agg_type: DataType::Double,
@@ -202,7 +214,10 @@ fn smart_grid_local(rng: &mut StdRng) -> Query {
     let rate = continuous_rate(rng, 300.0, 12000.0);
     Query::new(
         vec![
-            OpKind::Source(SourceSpec { event_rate: rate, schema }),
+            OpKind::Source(SourceSpec {
+                event_rate: rate,
+                schema,
+            }),
             OpKind::WindowAggregate(AggSpec {
                 function: AggFunction::Avg,
                 agg_type: DataType::Double,
@@ -263,7 +278,10 @@ mod tests {
         use crate::ranges::FeatureRanges;
         let mut rng = StdRng::seed_from_u64(3);
         let q = BenchmarkQuery::SmartGridGlobal.build(&mut rng);
-        let max_trained = FeatureRanges::training().window_size_time.into_iter().fold(0.0, f64::max);
+        let max_trained = FeatureRanges::training()
+            .window_size_time
+            .into_iter()
+            .fold(0.0, f64::max);
         let agg_window = q
             .ops()
             .find_map(|(_, op)| match op {

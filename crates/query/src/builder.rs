@@ -66,7 +66,10 @@ impl QueryBuilder {
     }
 
     fn push_unary(&mut self, op: OpKind) {
-        let head = self.heads.pop().expect("a unary operator needs an open stream; add a source first");
+        let head = self
+            .heads
+            .pop()
+            .expect("a unary operator needs an open stream; add a source first");
         let id = self.ops.len();
         self.ops.push(op);
         self.edges.push((head, id));
@@ -78,7 +81,11 @@ impl QueryBuilder {
     /// # Panics
     /// Panics if no stream is open.
     pub fn filter(mut self, function: FilterFunction, literal_type: DataType, selectivity: f64) -> Self {
-        self.push_unary(OpKind::Filter(FilterSpec { function, literal_type, selectivity }));
+        self.push_unary(OpKind::Filter(FilterSpec {
+            function,
+            literal_type,
+            selectivity,
+        }));
         self
     }
 
@@ -94,7 +101,13 @@ impl QueryBuilder {
         window: WindowSpec,
         selectivity: f64,
     ) -> Self {
-        self.push_unary(OpKind::WindowAggregate(AggSpec { function, agg_type, group_by, window, selectivity }));
+        self.push_unary(OpKind::WindowAggregate(AggSpec {
+            function,
+            agg_type,
+            group_by,
+            window,
+            selectivity,
+        }));
         self
     }
 
@@ -107,7 +120,11 @@ impl QueryBuilder {
         let right = self.heads.pop().expect("checked");
         let left = self.heads.pop().expect("checked");
         let id = self.ops.len();
-        self.ops.push(OpKind::WindowJoin(JoinSpec { key_type, window, selectivity }));
+        self.ops.push(OpKind::WindowJoin(JoinSpec {
+            key_type,
+            window,
+            selectivity,
+        }));
         self.edges.push((left, id));
         self.edges.push((right, id));
         self.heads.push(id);
@@ -140,7 +157,12 @@ mod tests {
     use crate::operators::{WindowPolicy, WindowType};
 
     fn window() -> WindowSpec {
-        WindowSpec { window_type: WindowType::Tumbling, policy: WindowPolicy::CountBased, size: 10.0, slide: 10.0 }
+        WindowSpec {
+            window_type: WindowType::Tumbling,
+            policy: WindowPolicy::CountBased,
+            size: 10.0,
+            slide: 10.0,
+        }
     }
 
     #[test]
@@ -169,7 +191,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "two open streams")]
     fn join_without_two_streams_panics() {
-        let _ = QueryBuilder::new().source(1.0, &[DataType::Int]).join(DataType::Int, window(), 0.1);
+        let _ = QueryBuilder::new()
+            .source(1.0, &[DataType::Int])
+            .join(DataType::Int, window(), 0.1);
     }
 
     #[test]
@@ -192,8 +216,15 @@ mod tests {
         use crate::operators::SourceSpec;
         let manual = Query::new(
             vec![
-                OpKind::Source(SourceSpec { event_rate: 100.0, schema: TupleSchema::new(vec![DataType::Int]) }),
-                OpKind::Filter(FilterSpec { function: FilterFunction::NotEq, literal_type: DataType::Int, selectivity: 0.9 }),
+                OpKind::Source(SourceSpec {
+                    event_rate: 100.0,
+                    schema: TupleSchema::new(vec![DataType::Int]),
+                }),
+                OpKind::Filter(FilterSpec {
+                    function: FilterFunction::NotEq,
+                    literal_type: DataType::Int,
+                    selectivity: 0.9,
+                }),
                 OpKind::Sink,
             ],
             vec![(0, 1), (1, 2)],

@@ -49,7 +49,11 @@ pub fn placement_to_dot(query: &Query, cluster: &Cluster, placement: &Placement)
         let _ = writeln!(s, "  op{a} -> op{b};");
     }
     for (op, _) in query.ops() {
-        let _ = writeln!(s, "  op{op} -> host{} [style=dashed, dir=none, color=gray];", placement.host_of(op));
+        let _ = writeln!(
+            s,
+            "  op{op} -> host{} [style=dashed, dir=none, color=gray];",
+            placement.host_of(op)
+        );
     }
     s.push_str("}\n");
     s

@@ -31,8 +31,14 @@ pub enum NodeType {
 
 impl NodeType {
     /// All node types, in encoder registration order.
-    pub const ALL: [NodeType; 6] =
-        [NodeType::Source, NodeType::Filter, NodeType::Join, NodeType::Aggregate, NodeType::Sink, NodeType::Host];
+    pub const ALL: [NodeType; 6] = [
+        NodeType::Source,
+        NodeType::Filter,
+        NodeType::Join,
+        NodeType::Aggregate,
+        NodeType::Sink,
+        NodeType::Host,
+    ];
 
     /// Width of the feature vector for this node type.
     pub fn feature_width(self) -> usize {
@@ -149,7 +155,12 @@ pub fn op_features(query: &Query, op: OpId, schemas: &[TupleSchema], est_sel: f6
 
 /// Encodes the transferable hardware features of one host node.
 pub fn host_features(host: &Host) -> Vec<f32> {
-    vec![log1p(host.cpu), log1p(host.ram_mb), log1p(host.bandwidth_mbits), log1p(host.latency_ms)]
+    vec![
+        log1p(host.cpu),
+        log1p(host.ram_mb),
+        log1p(host.bandwidth_mbits),
+        log1p(host.latency_ms),
+    ]
 }
 
 #[cfg(test)]
@@ -177,11 +188,19 @@ mod tests {
 
     #[test]
     fn host_features_log_scaled() {
-        let h = Host { cpu: 800.0, ram_mb: 32000.0, bandwidth_mbits: 10000.0, latency_ms: 1.0 };
+        let h = Host {
+            cpu: 800.0,
+            ram_mb: 32000.0,
+            bandwidth_mbits: 10000.0,
+            latency_ms: 1.0,
+        };
         let f = host_features(&h);
         assert_eq!(f.len(), NodeType::Host.feature_width());
         assert!((f[0] - (801.0f32).ln()).abs() < 1e-4);
-        assert!(f.iter().all(|&v| v >= 0.0 && v < 15.0), "log scaling keeps magnitudes small: {f:?}");
+        assert!(
+            f.iter().all(|&v| (0.0..15.0).contains(&v)),
+            "log scaling keeps magnitudes small: {f:?}"
+        );
     }
 
     #[test]
@@ -193,8 +212,18 @@ mod tests {
 
     #[test]
     fn stronger_hardware_has_larger_features() {
-        let weak = Host { cpu: 50.0, ram_mb: 1000.0, bandwidth_mbits: 25.0, latency_ms: 160.0 };
-        let strong = Host { cpu: 800.0, ram_mb: 32000.0, bandwidth_mbits: 10000.0, latency_ms: 160.0 };
+        let weak = Host {
+            cpu: 50.0,
+            ram_mb: 1000.0,
+            bandwidth_mbits: 25.0,
+            latency_ms: 160.0,
+        };
+        let strong = Host {
+            cpu: 800.0,
+            ram_mb: 32000.0,
+            bandwidth_mbits: 10000.0,
+            latency_ms: 160.0,
+        };
         let fw = host_features(&weak);
         let fs = host_features(&strong);
         assert!(fs[0] > fw[0] && fs[1] > fw[1] && fs[2] > fw[2]);

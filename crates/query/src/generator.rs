@@ -11,8 +11,8 @@
 use crate::datatypes::{DataType, TupleSchema};
 use crate::hardware::{Cluster, Host};
 use crate::operators::{
-    AggFunction, AggSpec, FilterFunction, FilterSpec, JoinSpec, OpId, OpKind, Query, SourceSpec, WindowPolicy, WindowSpec,
-    WindowType,
+    AggFunction, AggSpec, FilterFunction, FilterSpec, JoinSpec, OpId, OpKind, Query, SourceSpec, WindowPolicy,
+    WindowSpec, WindowType,
 };
 use crate::placement::Placement;
 use crate::ranges::FeatureRanges;
@@ -59,7 +59,10 @@ pub struct WorkloadGenerator {
 impl WorkloadGenerator {
     /// Creates a generator with the given seed and feature ranges.
     pub fn new(seed: u64, ranges: FeatureRanges) -> Self {
-        WorkloadGenerator { rng: StdRng::seed_from_u64(seed), ranges }
+        WorkloadGenerator {
+            rng: StdRng::seed_from_u64(seed),
+            ranges,
+        }
     }
 
     /// The feature ranges this generator samples from.
@@ -109,13 +112,24 @@ impl WorkloadGenerator {
             QueryTemplate::TwoWayJoin => self.ranges.event_rate_two_way.clone(),
             QueryTemplate::ThreeWayJoin => self.ranges.event_rate_three_way.clone(),
         };
-        SourceSpec { event_rate: self.pick(&rates), schema: self.sample_schema() }
+        SourceSpec {
+            event_rate: self.pick(&rates),
+            schema: self.sample_schema(),
+        }
     }
 
     /// Samples a window configuration from the ranges.
     pub fn sample_window(&mut self) -> WindowSpec {
-        let window_type = if self.rng.gen_bool(0.5) { WindowType::Sliding } else { WindowType::Tumbling };
-        let policy = if self.rng.gen_bool(0.5) { WindowPolicy::CountBased } else { WindowPolicy::TimeBased };
+        let window_type = if self.rng.gen_bool(0.5) {
+            WindowType::Sliding
+        } else {
+            WindowType::Tumbling
+        };
+        let policy = if self.rng.gen_bool(0.5) {
+            WindowPolicy::CountBased
+        } else {
+            WindowPolicy::TimeBased
+        };
         let size = match policy {
             WindowPolicy::CountBased => self.pick(&self.ranges.window_size_count.clone()),
             WindowPolicy::TimeBased => self.pick(&self.ranges.window_size_time.clone()),
@@ -128,7 +142,12 @@ impl WorkloadGenerator {
                 (size * f).max(1e-3)
             }
         };
-        WindowSpec { window_type, policy, size, slide }
+        WindowSpec {
+            window_type,
+            policy,
+            size,
+            slide,
+        }
     }
 
     fn sample_filter(&mut self) -> FilterSpec {
@@ -143,11 +162,19 @@ impl WorkloadGenerator {
         // Join selectivities are log-uniform: realistic equi-joins qualify
         // a small fraction of the cross product.
         let log_sel = self.rng.gen_range((1e-3f64).ln()..(0.1f64).ln());
-        JoinSpec { key_type: self.pick(&DataType::ALL), window: self.sample_window(), selectivity: log_sel.exp() }
+        JoinSpec {
+            key_type: self.pick(&DataType::ALL),
+            window: self.sample_window(),
+            selectivity: log_sel.exp(),
+        }
     }
 
     fn sample_agg(&mut self) -> AggSpec {
-        let group_by = if self.rng.gen_bool(0.5) { Some(self.pick(&DataType::ALL)) } else { None };
+        let group_by = if self.rng.gen_bool(0.5) {
+            Some(self.pick(&DataType::ALL))
+        } else {
+            None
+        };
         AggSpec {
             function: self.pick(&AggFunction::ALL),
             agg_type: self.pick(&[DataType::Int, DataType::Double]),
@@ -188,7 +215,11 @@ impl WorkloadGenerator {
             // slot where possible (Exp 5 introduces longer chains as the
             // *unseen* pattern); prefer empty slots first.
             let empty: Vec<usize> = (0..n_slots).filter(|&s| per_slot[s] == 0).collect();
-            let slot = if empty.is_empty() { self.rng.gen_range(0..n_slots) } else { *empty.choose(&mut self.rng).expect("non-empty") };
+            let slot = if empty.is_empty() {
+                self.rng.gen_range(0..n_slots)
+            } else {
+                *empty.choose(&mut self.rng).expect("non-empty")
+            };
             per_slot[slot] += 1;
         }
 
@@ -196,11 +227,11 @@ impl WorkloadGenerator {
         let mut edges: Vec<(OpId, OpId)> = Vec::new();
         let mut branch_heads: Vec<OpId> = Vec::new();
 
-        for s in 0..n_sources {
+        for &slot_filters in per_slot.iter().take(n_sources) {
             let src = ops.len();
             ops.push(OpKind::Source(self.sample_source(template)));
             let mut head = src;
-            for _ in 0..per_slot[s] {
+            for _ in 0..slot_filters {
                 let f = ops.len();
                 ops.push(OpKind::Filter(self.sample_filter()));
                 edges.push((head, f));
@@ -374,7 +405,11 @@ mod tests {
         let mut g = WorkloadGenerator::new(6, FeatureRanges::training());
         for _ in 0..200 {
             let (q, c, p) = g.workload_item();
-            assert!(p.validate(&q, &c).is_ok(), "invalid placement: {:?}", p.validate(&q, &c));
+            assert!(
+                p.validate(&q, &c).is_ok(),
+                "invalid placement: {:?}",
+                p.validate(&q, &c)
+            );
         }
     }
 

@@ -150,11 +150,21 @@ mod tests {
     use super::*;
 
     fn edge() -> Host {
-        Host { cpu: 50.0, ram_mb: 1000.0, bandwidth_mbits: 25.0, latency_ms: 160.0 }
+        Host {
+            cpu: 50.0,
+            ram_mb: 1000.0,
+            bandwidth_mbits: 25.0,
+            latency_ms: 160.0,
+        }
     }
 
     fn cloud() -> Host {
-        Host { cpu: 800.0, ram_mb: 32000.0, bandwidth_mbits: 10000.0, latency_ms: 1.0 }
+        Host {
+            cpu: 800.0,
+            ram_mb: 32000.0,
+            bandwidth_mbits: 10000.0,
+            latency_ms: 1.0,
+        }
     }
 
     #[test]
@@ -167,7 +177,12 @@ mod tests {
 
     #[test]
     fn mid_host_lands_in_fog() {
-        let h = Host { cpu: 300.0, ram_mb: 8000.0, bandwidth_mbits: 400.0, latency_ms: 10.0 };
+        let h = Host {
+            cpu: 300.0,
+            ram_mb: 8000.0,
+            bandwidth_mbits: 400.0,
+            latency_ms: 10.0,
+        };
         assert_eq!(CapabilityBin::classify(&h), CapabilityBin::Fog);
     }
 

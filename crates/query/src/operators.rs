@@ -328,12 +328,18 @@ impl Query {
 
     /// Ids of all sources.
     pub fn sources(&self) -> Vec<OpId> {
-        self.ops().filter(|(_, o)| matches!(o, OpKind::Source(_))).map(|(i, _)| i).collect()
+        self.ops()
+            .filter(|(_, o)| matches!(o, OpKind::Source(_)))
+            .map(|(i, _)| i)
+            .collect()
     }
 
     /// Id of the sink.
     pub fn sink(&self) -> OpId {
-        self.ops().find(|(_, o)| matches!(o, OpKind::Sink)).map(|(i, _)| i).expect("validated query has a sink")
+        self.ops()
+            .find(|(_, o)| matches!(o, OpKind::Sink))
+            .map(|(i, _)| i)
+            .expect("validated query has a sink")
     }
 
     /// Topological order along the data flow (sources first).
@@ -436,8 +442,15 @@ mod tests {
     pub(crate) fn linear_query() -> Query {
         Query::new(
             vec![
-                OpKind::Source(SourceSpec { event_rate: 100.0, schema: simple_schema() }),
-                OpKind::Filter(FilterSpec { function: FilterFunction::Less, literal_type: DataType::Int, selectivity: 0.5 }),
+                OpKind::Source(SourceSpec {
+                    event_rate: 100.0,
+                    schema: simple_schema(),
+                }),
+                OpKind::Filter(FilterSpec {
+                    function: FilterFunction::Less,
+                    literal_type: DataType::Int,
+                    selectivity: 0.5,
+                }),
                 OpKind::Sink,
             ],
             vec![(0, 1), (1, 2)],
@@ -445,12 +458,27 @@ mod tests {
     }
 
     fn join_query() -> Query {
-        let w = WindowSpec { window_type: WindowType::Tumbling, policy: WindowPolicy::CountBased, size: 10.0, slide: 10.0 };
+        let w = WindowSpec {
+            window_type: WindowType::Tumbling,
+            policy: WindowPolicy::CountBased,
+            size: 10.0,
+            slide: 10.0,
+        };
         Query::new(
             vec![
-                OpKind::Source(SourceSpec { event_rate: 100.0, schema: simple_schema() }),
-                OpKind::Source(SourceSpec { event_rate: 50.0, schema: simple_schema() }),
-                OpKind::WindowJoin(JoinSpec { key_type: DataType::Int, window: w, selectivity: 0.01 }),
+                OpKind::Source(SourceSpec {
+                    event_rate: 100.0,
+                    schema: simple_schema(),
+                }),
+                OpKind::Source(SourceSpec {
+                    event_rate: 50.0,
+                    schema: simple_schema(),
+                }),
+                OpKind::WindowJoin(JoinSpec {
+                    key_type: DataType::Int,
+                    window: w,
+                    selectivity: 0.01,
+                }),
                 OpKind::Sink,
             ],
             vec![(0, 2), (1, 2), (2, 3)],
@@ -477,10 +505,18 @@ mod tests {
 
     #[test]
     fn agg_output_schema_compact() {
-        let w = WindowSpec { window_type: WindowType::Sliding, policy: WindowPolicy::TimeBased, size: 2.0, slide: 1.0 };
+        let w = WindowSpec {
+            window_type: WindowType::Sliding,
+            policy: WindowPolicy::TimeBased,
+            size: 2.0,
+            slide: 1.0,
+        };
         let q = Query::new(
             vec![
-                OpKind::Source(SourceSpec { event_rate: 10.0, schema: simple_schema() }),
+                OpKind::Source(SourceSpec {
+                    event_rate: 10.0,
+                    schema: simple_schema(),
+                }),
                 OpKind::WindowAggregate(AggSpec {
                     function: AggFunction::Mean,
                     agg_type: DataType::Double,
@@ -509,7 +545,14 @@ mod tests {
     #[test]
     fn validation_rejects_two_sinks() {
         let q = Query {
-            ops: vec![OpKind::Source(SourceSpec { event_rate: 1.0, schema: simple_schema() }), OpKind::Sink, OpKind::Sink],
+            ops: vec![
+                OpKind::Source(SourceSpec {
+                    event_rate: 1.0,
+                    schema: simple_schema(),
+                }),
+                OpKind::Sink,
+                OpKind::Sink,
+            ],
             edges: vec![(0, 1), (0, 2)],
         };
         assert!(q.validate().is_err());
@@ -517,11 +560,23 @@ mod tests {
 
     #[test]
     fn validation_rejects_join_with_one_input() {
-        let w = WindowSpec { window_type: WindowType::Tumbling, policy: WindowPolicy::CountBased, size: 5.0, slide: 5.0 };
+        let w = WindowSpec {
+            window_type: WindowType::Tumbling,
+            policy: WindowPolicy::CountBased,
+            size: 5.0,
+            slide: 5.0,
+        };
         let q = Query {
             ops: vec![
-                OpKind::Source(SourceSpec { event_rate: 1.0, schema: simple_schema() }),
-                OpKind::WindowJoin(JoinSpec { key_type: DataType::Int, window: w, selectivity: 0.1 }),
+                OpKind::Source(SourceSpec {
+                    event_rate: 1.0,
+                    schema: simple_schema(),
+                }),
+                OpKind::WindowJoin(JoinSpec {
+                    key_type: DataType::Int,
+                    window: w,
+                    selectivity: 0.1,
+                }),
                 OpKind::Sink,
             ],
             edges: vec![(0, 1), (1, 2)],
@@ -533,9 +588,20 @@ mod tests {
     fn validation_rejects_cycle() {
         let q = Query {
             ops: vec![
-                OpKind::Source(SourceSpec { event_rate: 1.0, schema: simple_schema() }),
-                OpKind::Filter(FilterSpec { function: FilterFunction::Greater, literal_type: DataType::Int, selectivity: 0.5 }),
-                OpKind::Filter(FilterSpec { function: FilterFunction::Greater, literal_type: DataType::Int, selectivity: 0.5 }),
+                OpKind::Source(SourceSpec {
+                    event_rate: 1.0,
+                    schema: simple_schema(),
+                }),
+                OpKind::Filter(FilterSpec {
+                    function: FilterFunction::Greater,
+                    literal_type: DataType::Int,
+                    selectivity: 0.5,
+                }),
+                OpKind::Filter(FilterSpec {
+                    function: FilterFunction::Greater,
+                    literal_type: DataType::Int,
+                    selectivity: 0.5,
+                }),
                 OpKind::Sink,
             ],
             edges: vec![(0, 1), (1, 2), (2, 1), (1, 3)],
@@ -545,10 +611,20 @@ mod tests {
 
     #[test]
     fn window_tuple_math() {
-        let count = WindowSpec { window_type: WindowType::Sliding, policy: WindowPolicy::CountBased, size: 100.0, slide: 50.0 };
+        let count = WindowSpec {
+            window_type: WindowType::Sliding,
+            policy: WindowPolicy::CountBased,
+            size: 100.0,
+            slide: 50.0,
+        };
         assert_eq!(count.tuples_in_window(37.0), 100.0);
         assert!((count.emission_period(10.0) - 5.0).abs() < 1e-9);
-        let time = WindowSpec { window_type: WindowType::Tumbling, policy: WindowPolicy::TimeBased, size: 4.0, slide: 4.0 };
+        let time = WindowSpec {
+            window_type: WindowType::Tumbling,
+            policy: WindowPolicy::TimeBased,
+            size: 4.0,
+            slide: 4.0,
+        };
         assert_eq!(time.tuples_in_window(25.0), 100.0);
         assert_eq!(time.emission_period(25.0), 4.0);
     }

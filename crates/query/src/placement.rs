@@ -81,7 +81,12 @@ impl Placement {
 
     /// Operators co-located on `host`.
     pub fn ops_on_host(&self, host: HostId) -> Vec<OpId> {
-        self.assignment.iter().enumerate().filter(|&(_, &h)| h == host).map(|(o, _)| o).collect()
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter(|&(_, &h)| h == host)
+            .map(|(o, _)| o)
+            .collect()
     }
 
     /// Distinct hosts used by this placement.
@@ -98,7 +103,10 @@ impl Placement {
     /// host it already passed through.
     pub fn validate(&self, query: &Query, cluster: &Cluster) -> Result<(), PlacementViolation> {
         if self.assignment.len() != query.len() {
-            return Err(PlacementViolation::WrongArity { expected: query.len(), got: self.assignment.len() });
+            return Err(PlacementViolation::WrongArity {
+                expected: query.len(),
+                got: self.assignment.len(),
+            });
         }
         for (op, &h) in self.assignment.iter().enumerate() {
             if h >= cluster.len() {
@@ -180,7 +188,11 @@ pub fn sample_valid(query: &Query, cluster: &Cluster, rng: &mut StdRng) -> Optio
 pub fn colocate_on_strongest(query: &Query, cluster: &Cluster) -> Placement {
     let strongest = (0..cluster.len())
         .max_by(|&a, &b| {
-            cluster.host(a).capability_score().partial_cmp(&cluster.host(b).capability_score()).expect("finite scores")
+            cluster
+                .host(a)
+                .capability_score()
+                .partial_cmp(&cluster.host(b).capability_score())
+                .expect("finite scores")
         })
         .expect("non-empty cluster");
     Placement::new(vec![strongest; query.len()])
@@ -199,7 +211,11 @@ mod tests {
             schema: TupleSchema::new(vec![DataType::Int, DataType::Int, DataType::Int]),
         })];
         for _ in 0..n_filters {
-            ops.push(OpKind::Filter(FilterSpec { function: FilterFunction::Less, literal_type: DataType::Int, selectivity: 0.5 }));
+            ops.push(OpKind::Filter(FilterSpec {
+                function: FilterFunction::Less,
+                literal_type: DataType::Int,
+                selectivity: 0.5,
+            }));
         }
         ops.push(OpKind::Sink);
         let edges = (0..ops.len() - 1).map(|i| (i, i + 1)).collect();
@@ -208,9 +224,24 @@ mod tests {
 
     fn edge_fog_cloud() -> Cluster {
         Cluster::new(vec![
-            Host { cpu: 50.0, ram_mb: 1000.0, bandwidth_mbits: 25.0, latency_ms: 160.0 },
-            Host { cpu: 300.0, ram_mb: 8000.0, bandwidth_mbits: 400.0, latency_ms: 10.0 },
-            Host { cpu: 800.0, ram_mb: 32000.0, bandwidth_mbits: 10000.0, latency_ms: 1.0 },
+            Host {
+                cpu: 50.0,
+                ram_mb: 1000.0,
+                bandwidth_mbits: 25.0,
+                latency_ms: 160.0,
+            },
+            Host {
+                cpu: 300.0,
+                ram_mb: 8000.0,
+                bandwidth_mbits: 400.0,
+                latency_ms: 10.0,
+            },
+            Host {
+                cpu: 800.0,
+                ram_mb: 32000.0,
+                bandwidth_mbits: 10000.0,
+                latency_ms: 1.0,
+            },
         ])
     }
 
@@ -248,12 +279,25 @@ mod tests {
         // source on fog(1), filter on fog(1)... need a revisit within same
         // bin to isolate rule ③: fog -> fog' -> fog. Use two fog hosts.
         let c = Cluster::new(vec![
-            Host { cpu: 300.0, ram_mb: 8000.0, bandwidth_mbits: 400.0, latency_ms: 10.0 },
-            Host { cpu: 300.0, ram_mb: 8000.0, bandwidth_mbits: 400.0, latency_ms: 10.0 },
+            Host {
+                cpu: 300.0,
+                ram_mb: 8000.0,
+                bandwidth_mbits: 400.0,
+                latency_ms: 10.0,
+            },
+            Host {
+                cpu: 300.0,
+                ram_mb: 8000.0,
+                bandwidth_mbits: 400.0,
+                latency_ms: 10.0,
+            },
         ]);
         let q = chain_query(2);
         let p = Placement::new(vec![0, 1, 0, 0]);
-        assert_eq!(p.validate(&q, &c), Err(PlacementViolation::CyclicHostVisit { op: 2, host: 0 }));
+        assert_eq!(
+            p.validate(&q, &c),
+            Err(PlacementViolation::CyclicHostVisit { op: 2, host: 0 })
+        );
     }
 
     #[test]
@@ -269,6 +313,9 @@ mod tests {
         let q = chain_query(1);
         let c = edge_fog_cloud();
         let p = Placement::new(vec![0, 1, 9]);
-        assert!(matches!(p.validate(&q, &c), Err(PlacementViolation::UnknownHost { op: 2, host: 9 })));
+        assert!(matches!(
+            p.validate(&q, &c),
+            Err(PlacementViolation::UnknownHost { op: 2, host: 9 })
+        ));
     }
 }

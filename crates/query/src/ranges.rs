@@ -45,7 +45,9 @@ impl FeatureRanges {
             latency_ms: vec![1.0, 2.0, 5.0, 10.0, 20.0, 40.0, 80.0, 160.0],
             event_rate_linear: vec![100.0, 200.0, 400.0, 800.0, 1600.0, 3200.0, 6400.0, 12800.0, 25600.0],
             event_rate_two_way: vec![50.0, 100.0, 250.0, 500.0, 750.0, 1000.0, 1250.0, 1500.0, 1750.0, 2000.0],
-            event_rate_three_way: vec![20.0, 50.0, 100.0, 200.0, 300.0, 400.0, 500.0, 600.0, 700.0, 800.0, 900.0, 1000.0],
+            event_rate_three_way: vec![
+                20.0, 50.0, 100.0, 200.0, 300.0, 400.0, 500.0, 600.0, 700.0, 800.0, 900.0, 1000.0,
+            ],
             tuple_widths: (3..=10).collect(),
             window_size_count: vec![5.0, 10.0, 20.0, 40.0, 80.0, 160.0, 320.0, 640.0],
             window_size_time: vec![0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0],
@@ -92,7 +94,12 @@ pub enum HardwareDim {
 
 impl HardwareDim {
     /// All hardware dimensions.
-    pub const ALL: [HardwareDim; 4] = [HardwareDim::Ram, HardwareDim::Cpu, HardwareDim::Bandwidth, HardwareDim::Latency];
+    pub const ALL: [HardwareDim; 4] = [
+        HardwareDim::Ram,
+        HardwareDim::Cpu,
+        HardwareDim::Bandwidth,
+        HardwareDim::Latency,
+    ];
 
     /// Human-readable name as used in the paper's tables.
     pub fn name(self) -> &'static str {
@@ -195,7 +202,11 @@ mod tests {
         let inside = |v: &[f64], lo: f64, hi: f64| v.iter().all(|&x| x >= lo && x <= hi);
         assert!(inside(&i.cpu, t.cpu[0], *t.cpu.last().unwrap()));
         assert!(inside(&i.ram_mb, t.ram_mb[0], *t.ram_mb.last().unwrap()));
-        assert!(inside(&i.bandwidth_mbits, t.bandwidth_mbits[0], *t.bandwidth_mbits.last().unwrap()));
+        assert!(inside(
+            &i.bandwidth_mbits,
+            t.bandwidth_mbits[0],
+            *t.bandwidth_mbits.last().unwrap()
+        ));
         assert!(inside(&i.latency_ms, t.latency_ms[0], *t.latency_ms.last().unwrap()));
         // ...but none of the values coincide with a training grid point.
         for v in &i.cpu {

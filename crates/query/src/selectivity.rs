@@ -23,7 +23,10 @@ impl SelectivityEstimator {
     /// Creates an estimator with the given seed and relative error level.
     pub fn new(seed: u64, sigma: f64) -> Self {
         assert!(sigma >= 0.0);
-        SelectivityEstimator { rng: StdRng::seed_from_u64(seed), sigma }
+        SelectivityEstimator {
+            rng: StdRng::seed_from_u64(seed),
+            sigma,
+        }
     }
 
     /// An exact (oracle) estimator.

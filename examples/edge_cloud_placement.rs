@@ -20,20 +20,42 @@ fn main() {
     println!("training cost models (latency, success, backpressure) ...");
     let corpus = Corpus::generate(900, 7, FeatureRanges::training(), &SimConfig::default());
     let (train, _, _) = corpus.split(0);
-    let cfg = TrainConfig { epochs: 50, ..Default::default() };
+    let cfg = TrainConfig {
+        epochs: 50,
+        ..Default::default()
+    };
     let lp = Ensemble::train(&train, CostMetric::ProcessingLatency, &cfg, 3);
     let success = Ensemble::train(&train, CostMetric::Success, &cfg, 3);
     let backpressure = Ensemble::train(&train, CostMetric::Backpressure, &cfg, 3);
 
     // 2. An IoT query: two sensor streams, filtered, joined, aggregated.
-    let window = WindowSpec { window_type: WindowType::Sliding, policy: WindowPolicy::TimeBased, size: 4.0, slide: 2.0 };
+    let window = WindowSpec {
+        window_type: WindowType::Sliding,
+        policy: WindowPolicy::TimeBased,
+        size: 4.0,
+        slide: 2.0,
+    };
     let sensor = TupleSchema::new(vec![DataType::Int, DataType::Double, DataType::Double, DataType::Int]);
     let query = Query::new(
         vec![
-            OpKind::Source(SourceSpec { event_rate: 1200.0, schema: sensor.clone() }),
-            OpKind::Source(SourceSpec { event_rate: 800.0, schema: sensor }),
-            OpKind::Filter(FilterSpec { function: FilterFunction::Greater, literal_type: DataType::Double, selectivity: 0.4 }),
-            OpKind::WindowJoin(JoinSpec { key_type: DataType::Int, window, selectivity: 0.002 }),
+            OpKind::Source(SourceSpec {
+                event_rate: 1200.0,
+                schema: sensor.clone(),
+            }),
+            OpKind::Source(SourceSpec {
+                event_rate: 800.0,
+                schema: sensor,
+            }),
+            OpKind::Filter(FilterSpec {
+                function: FilterFunction::Greater,
+                literal_type: DataType::Double,
+                selectivity: 0.4,
+            }),
+            OpKind::WindowJoin(JoinSpec {
+                key_type: DataType::Int,
+                window,
+                selectivity: 0.002,
+            }),
             OpKind::WindowAggregate(AggSpec {
                 function: AggFunction::Mean,
                 agg_type: DataType::Double,
@@ -48,10 +70,30 @@ fn main() {
 
     // 3. An edge-fog-cloud cluster with very different capabilities.
     let cluster = Cluster::new(vec![
-        Host { cpu: 50.0, ram_mb: 1000.0, bandwidth_mbits: 25.0, latency_ms: 80.0 }, // edge sensor gateway
-        Host { cpu: 100.0, ram_mb: 2000.0, bandwidth_mbits: 50.0, latency_ms: 40.0 }, // edge box
-        Host { cpu: 400.0, ram_mb: 8000.0, bandwidth_mbits: 800.0, latency_ms: 10.0 }, // fog workstation
-        Host { cpu: 800.0, ram_mb: 32000.0, bandwidth_mbits: 10000.0, latency_ms: 1.0 }, // cloud server
+        Host {
+            cpu: 50.0,
+            ram_mb: 1000.0,
+            bandwidth_mbits: 25.0,
+            latency_ms: 80.0,
+        }, // edge sensor gateway
+        Host {
+            cpu: 100.0,
+            ram_mb: 2000.0,
+            bandwidth_mbits: 50.0,
+            latency_ms: 40.0,
+        }, // edge box
+        Host {
+            cpu: 400.0,
+            ram_mb: 8000.0,
+            bandwidth_mbits: 800.0,
+            latency_ms: 10.0,
+        }, // fog workstation
+        Host {
+            cpu: 800.0,
+            ram_mb: 32000.0,
+            bandwidth_mbits: 10000.0,
+            latency_ms: 1.0,
+        }, // cloud server
     ]);
 
     // 4. Optimize the initial placement.

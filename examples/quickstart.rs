@@ -17,7 +17,10 @@ fn main() {
 
     // 2. Train a zero-shot cost model for throughput.
     println!("training throughput model ...");
-    let cfg = TrainConfig { epochs: 60, ..Default::default() };
+    let cfg = TrainConfig {
+        epochs: 60,
+        ..Default::default()
+    };
     let model = train_metric(&train, CostMetric::Throughput, &cfg);
 
     // 3. Evaluate on the held-out test set with the paper's q-error.

@@ -17,7 +17,10 @@ fn main() {
     println!("training E2E-latency model on synthetic workloads ...");
     let corpus = Corpus::generate(900, 3, FeatureRanges::training(), &SimConfig::default());
     let (train, _, _) = corpus.split(0);
-    let cfg = TrainConfig { epochs: 50, ..Default::default() };
+    let cfg = TrainConfig {
+        epochs: 50,
+        ..Default::default()
+    };
     let model = train_metric(&train, CostMetric::E2eLatency, &cfg);
 
     // 2. Execute the two smart-grid queries 40 times each with random
@@ -42,7 +45,10 @@ fn main() {
         let items = eval.successful();
         for item in items.iter().take(3) {
             let p = model.predict_items(&[item])[0];
-            println!("  measured {:>9.1} ms   predicted {:>9.1} ms", item.metrics.e2e_latency_ms, p);
+            println!(
+                "  measured {:>9.1} ms   predicted {:>9.1} ms",
+                item.metrics.e2e_latency_ms, p
+            );
         }
     }
 }

@@ -13,14 +13,20 @@ fn main() {
     let (train, val, test) = corpus.split(0);
     println!("{} train / {} val / {} test traces", train.len(), val.len(), test.len());
 
-    let cfg = TrainConfig { epochs: 50, ..Default::default() };
+    let cfg = TrainConfig {
+        epochs: 50,
+        ..Default::default()
+    };
     for metric in CostMetric::ALL {
         let ensemble = Ensemble::train(&train, metric, &cfg, 2);
         if metric.is_regression() {
             let items = test.successful();
             let preds = ensemble.predict_items(&items);
-            let pairs: Vec<(f64, f64)> =
-                items.iter().zip(&preds).map(|(i, &p)| (i.metrics.get(metric), p)).collect();
+            let pairs: Vec<(f64, f64)> = items
+                .iter()
+                .zip(&preds)
+                .map(|(i, &p)| (i.metrics.get(metric), p))
+                .collect();
             println!("{:<20} {}", metric.name(), QErrorSummary::of(&pairs));
         } else {
             let items = test.balanced(metric, 1);
@@ -30,9 +36,18 @@ fn main() {
             }
             let preds = ensemble.predict_items(&items);
             let acc = accuracy(
-                &items.iter().zip(&preds).map(|(i, &p)| (i.metrics.get(metric) > 0.5, p > 0.5)).collect::<Vec<_>>(),
+                &items
+                    .iter()
+                    .zip(&preds)
+                    .map(|(i, &p)| (i.metrics.get(metric) > 0.5, p > 0.5))
+                    .collect::<Vec<_>>(),
             );
-            println!("{:<20} balanced accuracy {:.1}% (n={})", metric.name(), acc * 100.0, items.len());
+            println!(
+                "{:<20} balanced accuracy {:.1}% (n={})",
+                metric.name(),
+                acc * 100.0,
+                items.len()
+            );
         }
 
         // Persist one ensemble as human-inspectable JSON.
@@ -40,7 +55,11 @@ fn main() {
             let json = serde_json::to_string(&ensemble).expect("ensemble serializes");
             let path = std::env::temp_dir().join("costream_throughput_ensemble.json");
             std::fs::write(&path, &json).expect("write model file");
-            println!("  saved throughput ensemble to {} ({} KiB)", path.display(), json.len() / 1024);
+            println!(
+                "  saved throughput ensemble to {} ({} KiB)",
+                path.display(),
+                json.len() / 1024
+            );
         }
     }
 }

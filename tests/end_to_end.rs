@@ -17,7 +17,10 @@ fn full_pipeline_trains_and_optimizes() {
     let corpus = small_corpus(1, 250);
     let (train, _val, test) = corpus.split(0);
 
-    let cfg = TrainConfig { epochs: 30, ..Default::default() };
+    let cfg = TrainConfig {
+        epochs: 30,
+        ..Default::default()
+    };
     let lp = Ensemble::train(&train, CostMetric::ProcessingLatency, &cfg, 2);
     let success = Ensemble::train(&train, CostMetric::Success, &cfg, 2);
     let bp = Ensemble::train(&train, CostMetric::Backpressure, &cfg, 2);
@@ -44,7 +47,10 @@ fn full_pipeline_trains_and_optimizes() {
 #[test]
 fn trained_model_survives_json_roundtrip() {
     let corpus = small_corpus(2, 150);
-    let cfg = TrainConfig { epochs: 20, ..Default::default() };
+    let cfg = TrainConfig {
+        epochs: 20,
+        ..Default::default()
+    };
     let model = train_metric(&corpus, CostMetric::Throughput, &cfg);
     let json = serde_json::to_string(&model).expect("serialize");
     let restored: TrainedModel = serde_json::from_str(&json).expect("deserialize");
@@ -56,9 +62,16 @@ fn trained_model_survives_json_roundtrip() {
 fn optimizer_beats_or_matches_heuristic_on_average() {
     // The core claim of Exp 2, at smoke-test scale: across several queries
     // the Costream-chosen placement should on (geometric) average be at
-    // least as fast as the heuristic initial placement.
-    let corpus = small_corpus(3, 350);
-    let cfg = TrainConfig { epochs: 40, ..Default::default() };
+    // least as fast as the heuristic initial placement. The corpus must be
+    // large enough that the cost model has no catastrophic blind spots on
+    // the evaluation queries — below ~700 traces a single mispredicted
+    // placement (predicted milliseconds, simulated seconds) dominates the
+    // geometric mean.
+    let corpus = small_corpus(3, 900);
+    let cfg = TrainConfig {
+        epochs: 50,
+        ..Default::default()
+    };
     let lp = Ensemble::train(&corpus, CostMetric::ProcessingLatency, &cfg, 2);
     let success = Ensemble::train(&corpus, CostMetric::Success, &cfg, 2);
     let bp = Ensemble::train(&corpus, CostMetric::Backpressure, &cfg, 2);
@@ -85,13 +98,19 @@ fn optimizer_beats_or_matches_heuristic_on_average() {
         log_speedups.push(speedup.ln());
     }
     let gmean = (log_speedups.iter().sum::<f64>() / log_speedups.len() as f64).exp();
-    assert!(gmean > 0.8, "optimizer is clearly hurting: geometric-mean speed-up {gmean:.2}");
+    assert!(
+        gmean > 0.8,
+        "optimizer is clearly hurting: geometric-mean speed-up {gmean:.2}"
+    );
 }
 
 #[test]
 fn fine_tuning_path_works_from_outside() {
     let base = small_corpus(4, 200);
-    let cfg = TrainConfig { epochs: 20, ..Default::default() };
+    let cfg = TrainConfig {
+        epochs: 20,
+        ..Default::default()
+    };
     let mut model = train_metric(&base, CostMetric::Throughput, &cfg);
 
     // Unseen pattern corpus: filter chains.
@@ -111,5 +130,8 @@ fn fine_tuning_path_works_from_outside() {
     let before = costream::train::mean_loss(&model, &chains);
     fine_tune(&mut model, &chains, 15, 1e-3, &cfg);
     let after = costream::train::mean_loss(&model, &chains);
-    assert!(after < before, "fine-tuning must reduce loss on the new pattern: {before} -> {after}");
+    assert!(
+        after < before,
+        "fine-tuning must reduce loss on the new pattern: {before} -> {after}"
+    );
 }

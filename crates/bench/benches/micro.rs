@@ -9,9 +9,11 @@
 
 use costream::optimizer::enumerate_candidates;
 use costream::prelude::*;
+use costream::train::{prepare_training, train_prepared};
 use costream_baselines::{Gbdt, GbdtConfig, Objective};
 use costream_dsps::simulate;
-use costream_nn::{InferenceArena, Tensor};
+use costream_nn::loss::mse;
+use costream_nn::{Gradients, InferenceArena, Tensor};
 use costream_query::generator::WorkloadGenerator;
 use costream_query::selectivity::SelectivityEstimator;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
@@ -47,7 +49,8 @@ fn bench_matmul_kernels(c: &mut Criterion) {
     c.bench_function("affine_relu_fused_64x64x48", |bch| {
         bch.iter(|| Tensor::affine_into(black_box(&a), black_box(&b), black_box(&bias), true, &mut out))
     });
-    // Backward-pass kernels.
+    // Backward-pass kernels at the MLP shapes: `dW = x^T @ dpre` and
+    // `dx = dpre @ W^T` for the small (64-node) and big (256-node) batch.
     c.bench_function("t_matmul_64x64_64x48", |bch| {
         bch.iter(|| black_box(&a).t_matmul(black_box(&b)))
     });
@@ -55,6 +58,49 @@ fn bench_matmul_kernels(c: &mut Criterion) {
     let w = pseudo_random(64, 48, 7);
     c.bench_function("matmul_t_64x48_64x48", |bch| {
         bch.iter(|| black_box(&g).matmul_t(black_box(&w)))
+    });
+    let xb = pseudo_random(256, 64, 22);
+    let gb = pseudo_random(256, 48, 23);
+    c.bench_function("t_matmul_256x64_256x48", |bch| {
+        bch.iter(|| black_box(&xb).t_matmul(black_box(&gb)))
+    });
+    let wb = pseudo_random(64, 48, 24);
+    c.bench_function("matmul_t_256x48_64x48", |bch| {
+        bch.iter(|| black_box(&gb).matmul_t(black_box(&wb)))
+    });
+}
+
+/// Training-path benches: one full tape build + backward over a 16-graph
+/// minibatch (the inner loop of `fit`), and one whole training epoch over
+/// a 48-item corpus — the numbers the CI regression gate watches.
+fn bench_training_path(c: &mut Criterion) {
+    eprintln!("kernel tier: {}", costream_nn::kernel_tier());
+    let corpus = Corpus::generate(16, 10, FeatureRanges::training(), &SimConfig::default());
+    let cfg = TrainConfig::default();
+    let prepared = prepare_training(&corpus, CostMetric::ProcessingLatency, &cfg);
+    let batch = &prepared.batches[0];
+    let model = GnnModel::new(cfg.model);
+    let mut grads = Gradients::for_store(model.store());
+    let mut arena = InferenceArena::new();
+    c.bench_function("tape_backward_batch16", |b| {
+        b.iter(|| {
+            let (tape, out) = model.forward_with_plan(&batch.plan);
+            let loss = mse(tape.value(out), &batch.targets);
+            grads.zero();
+            tape.backward_with_arena(out, loss.seed, &mut grads, &mut arena);
+            loss.loss
+        })
+    });
+
+    let corpus48 = Corpus::generate(48, 9, FeatureRanges::training(), &SimConfig::default());
+    let epoch_cfg = TrainConfig {
+        epochs: 1,
+        batch_size: 16,
+        ..Default::default()
+    };
+    let prepared48 = prepare_training(&corpus48, CostMetric::Throughput, &epoch_cfg);
+    c.bench_function("train_epoch", |b| {
+        b.iter(|| train_prepared(&prepared48, CostMetric::Throughput, &epoch_cfg))
     });
 }
 
@@ -114,9 +160,10 @@ fn bench_inference(c: &mut Criterion) {
         b.iter(|| model.predict_graphs(&[one]))
     });
     c.bench_function("gnn_inference_batch64", |b| b.iter(|| model.predict_graphs(&refs)));
+    let tape_plan = model.model().plan(&refs);
     c.bench_function("gnn_inference_batch64_tape", |b| {
         b.iter(|| {
-            let (tape, out) = model.model().forward(&refs);
+            let (tape, out) = model.model().forward_with_plan(&tape_plan);
             tape.value(out).data().to_vec()
         })
     });
@@ -172,6 +219,6 @@ fn bench_enumeration(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_matmul_kernels, bench_graph_primitives, bench_simulator, bench_featurize, bench_inference, bench_ensemble_train, bench_gbdt, bench_enumeration
+    targets = bench_matmul_kernels, bench_graph_primitives, bench_training_path, bench_simulator, bench_featurize, bench_inference, bench_ensemble_train, bench_gbdt, bench_enumeration
 }
 criterion_main!(benches);

@@ -131,6 +131,11 @@ impl GnnModel {
         &self.config
     }
 
+    /// The parameter store (exposed for gradient-buffer construction).
+    pub fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
     /// The parameter store (exposed for optimizers and fine-tuning).
     pub fn store_mut(&mut self) -> &mut ParamStore {
         &mut self.store
@@ -148,21 +153,18 @@ impl GnnModel {
         BatchPlan::build(graphs, self.config.scheme, self.config.traditional_rounds)
     }
 
-    /// Runs the forward pass over a batch of graphs; returns the tape and
-    /// the `(batch, 1)` output node. Kept public so the trainer can attach
-    /// losses and run backward on the same tape.
-    pub fn forward(&self, graphs: &[&JointGraph]) -> (Tape, NodeId) {
-        let plan = self.plan(graphs);
-        self.forward_with_plan(&plan)
-    }
-
     /// Tape-recording forward pass driven by a precomputed [`BatchPlan`].
     /// This is the training ground truth: the returned tape supports
     /// `backward`.
     ///
+    /// The tape borrows both this model's parameters (zero-clone pinning)
+    /// and the plan's feature matrices and index lists (zero-copy op
+    /// recording), so per-minibatch tape construction copies neither —
+    /// drop the tape before mutating either.
+    ///
     /// # Panics
     /// Panics when the plan was built for a different scheme.
-    pub fn forward_with_plan(&self, plan: &BatchPlan) -> (Tape, NodeId) {
+    pub fn forward_with_plan<'m>(&'m self, plan: &'m BatchPlan) -> (Tape<'m>, NodeId) {
         self.check_plan(plan);
         let h = self.config.hidden;
         let total = plan.total;
@@ -171,27 +173,28 @@ impl GnnModel {
         // ---- per-type encoders ----
         let mut h0 = tape.input(costream_nn::Tensor::zeros(total, h));
         for ep in &plan.encoders {
-            let x = tape.input(ep.features.clone());
+            let x = tape.input_ref(&ep.features);
             let enc = self.encoders[ep.type_index].forward(&mut tape, &self.store, x);
-            let scattered = tape.segment_sum(enc, ep.globals.clone(), total);
+            let scattered = tape.segment_sum(enc, &ep.globals, total);
             h0 = tape.add(h0, scattered);
         }
 
         // ---- message passing ----
         let mut cur = h0;
         for wave in &plan.waves {
-            // `[Σ_children h'_u ‖ h_v]` for each target.
-            let children = tape.gather_rows(cur, wave.child_rows.clone());
-            let child_sum = tape.segment_sum(children, wave.segs.clone(), wave.targets.len());
-            let own = tape.gather_rows(h0, wave.targets.clone());
+            // `[Σ_children h'_u ‖ h_v]` for each target. The child sum is
+            // one fused gather+segment-sum node: the `edges x hidden`
+            // gathered matrix is never materialized, forward or backward.
+            let child_sum = tape.gather_segment_sum(cur, &wave.child_rows, &wave.segs, wave.targets.len());
+            let own = tape.gather_rows(h0, &wave.targets);
             let inp = tape.concat_cols(child_sum, own);
 
             // Route target rows through the update MLP of their type.
             let mut updated = tape.input(costream_nn::Tensor::zeros(total, h));
             for group in &wave.groups {
-                let sub = tape.gather_rows(inp, group.rows.clone());
+                let sub = tape.gather_rows(inp, &group.rows);
                 let out = self.updaters[group.type_index].forward(&mut tape, &self.store, sub);
-                let scattered = tape.segment_sum(out, group.globals.clone(), total);
+                let scattered = tape.segment_sum(out, &group.globals, total);
                 updated = tape.add(updated, scattered);
             }
 
@@ -199,14 +202,13 @@ impl GnnModel {
             cur = if wave.keep.is_empty() {
                 updated
             } else {
-                let kept = tape.gather_rows(cur, wave.keep.clone());
-                let kept = tape.segment_sum(kept, wave.keep.clone(), total);
+                let kept = tape.gather_segment_sum(cur, &wave.keep, &wave.keep, total);
                 tape.add(updated, kept)
             };
         }
 
         // ---- readout: sum all node states per graph, then the output MLP.
-        let pooled = tape.segment_sum(cur, plan.graph_of.clone(), plan.n_graphs);
+        let pooled = tape.segment_sum(cur, &plan.graph_of, plan.n_graphs);
         let out = self.readout.forward(&mut tape, &self.store, pooled);
         (tape, out)
     }

@@ -9,7 +9,7 @@ use crate::qerror::{accuracy, QErrorSummary};
 use costream_dsps::CostMetric;
 use costream_nn::loss::{bce_with_logits, mse, msle_inverse, sigmoid};
 use costream_nn::optim::{clip_grad_norm, Adam};
-use costream_nn::Tensor;
+use costream_nn::{Gradients, InferenceArena, Tensor};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -313,6 +313,14 @@ fn fit(model: &mut GnnModel, batches: &[PreparedBatch], metric: CostMetric, cfg:
     let mut opt = Adam::new(lr);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut order: Vec<usize> = (0..batches.len()).collect();
+    // Training-loop buffers are allocated once and reused for every
+    // minibatch of every epoch: per-parameter gradient buffers (zeroed in
+    // place) and a scratch arena the backward pass recycles its
+    // node-gradient tensors through. Together with the zero-clone tape
+    // (parameters are pinned by reference, never copied) the steady-state
+    // per-batch allocation is just the tape's forward values.
+    let mut grads = Gradients::for_store(model.store());
+    let mut arena = InferenceArena::new();
     for _epoch in 0..epochs {
         // Batch membership is frozen in the plans; shuffling the
         // processing order preserves SGD stochasticity without
@@ -320,19 +328,20 @@ fn fit(model: &mut GnnModel, batches: &[PreparedBatch], metric: CostMetric, cfg:
         order.shuffle(&mut rng);
         for &bi in &order {
             let batch = &batches[bi];
-            let (tape, out) = model.forward_with_plan(&batch.plan);
-            let loss = if metric.is_regression() {
-                // Targets are already standardized log costs; plain MSE on
-                // them is the paper's MSLE up to the affine normalization.
-                mse(tape.value(out), &batch.targets)
-            } else {
-                bce_with_logits(tape.value(out), &batch.targets)
-            };
-            let store = model.store_mut();
-            store.zero_grads();
-            tape.backward(out, loss.seed, store);
-            clip_grad_norm(store, cfg.grad_clip);
-            opt.step(store);
+            {
+                let (tape, out) = model.forward_with_plan(&batch.plan);
+                let loss = if metric.is_regression() {
+                    // Targets are already standardized log costs; plain MSE on
+                    // them is the paper's MSLE up to the affine normalization.
+                    mse(tape.value(out), &batch.targets)
+                } else {
+                    bce_with_logits(tape.value(out), &batch.targets)
+                };
+                grads.zero();
+                tape.backward_with_arena(out, loss.seed, &mut grads, &mut arena);
+            }
+            clip_grad_norm(&mut grads, cfg.grad_clip);
+            opt.step(model.store_mut(), &grads);
         }
     }
 }

@@ -47,10 +47,10 @@ fn forward_inference_matches_tape_forward() {
             let refs: Vec<&JointGraph> = gs.iter().collect();
             let model = GnnModel::new(ModelConfig::default().with_seed(seed).with_scheme(scheme));
 
-            let (tape, out) = model.forward(&refs);
+            let plan = model.plan(&refs);
+            let (tape, out) = model.forward_with_plan(&plan);
             let golden = tape.value(out).data().to_vec();
 
-            let plan = model.plan(&refs);
             let mut arena = InferenceArena::new();
             let fast = model.forward_inference(&plan, &mut arena);
 
@@ -66,9 +66,9 @@ fn forward_inference_matches_tape_without_hosts() {
     let gs = graphs(6, 7, Featurization::QueryOnly);
     let refs: Vec<&JointGraph> = gs.iter().collect();
     let model = GnnModel::new(ModelConfig::default());
-    let (tape, out) = model.forward(&refs);
-    let golden = tape.value(out).data().to_vec();
     let plan = model.plan(&refs);
+    let (tape, out) = model.forward_with_plan(&plan);
+    let golden = tape.value(out).data().to_vec();
     let mut arena = InferenceArena::new();
     let fast = model.forward_inference(&plan, &mut arena);
     assert_close(&golden, &fast, 1e-5, "query-only");
@@ -82,7 +82,8 @@ fn chunked_predict_raw_matches_tape() {
     let refs: Vec<&JointGraph> = gs.iter().collect();
     let model = GnnModel::new(ModelConfig::default());
     let fast = model.predict_raw(&refs);
-    let (tape, out) = model.forward(&refs);
+    let plan = model.plan(&refs);
+    let (tape, out) = model.forward_with_plan(&plan);
     let golden = tape.value(out).data().to_vec();
     // Chunking changes batch composition, not per-graph results: readout
     // sums are per graph, so outputs must agree graph by graph.
@@ -130,7 +131,7 @@ fn one_plan_serves_all_ensemble_members() {
     let mut arena = InferenceArena::new();
     for m in &members {
         let fast = m.forward_inference(&plan, &mut arena);
-        let (tape, out) = m.forward(&refs);
+        let (tape, out) = m.forward_with_plan(&plan);
         assert_close(tape.value(out).data(), &fast, 1e-5, "shared plan");
     }
 }

@@ -1,14 +1,19 @@
-//! Tape-free inference execution.
+//! Recycling buffer pool for tape-free execution and backward scratch.
 //!
 //! The [`Tape`](crate::tape::Tape) exists to support `backward`: every op
-//! clones its result (and every pinned parameter!) into a node so the
-//! reverse pass can replay the graph. Inference needs none of that — no
-//! node recording, no parameter clones, no retained intermediates. This
-//! module provides the [`InferenceArena`], a free-list of `f32` buffers
-//! that forward-only code allocates scratch tensors from and recycles as
-//! soon as a value is dead. Together with the fused
-//! [`Tensor::affine_into`] kernel this removes all per-op allocation and
-//! bookkeeping from the hot prediction path.
+//! records its result in a node so the reverse pass can replay the graph.
+//! Inference needs none of that — no node recording, no retained
+//! intermediates. This module provides the [`InferenceArena`], a
+//! free-list of `f32` buffers that forward-only code allocates scratch
+//! tensors from and recycles as soon as a value is dead. Together with
+//! the fused [`Tensor::affine_into`] kernel this removes all per-op
+//! allocation and bookkeeping from the hot prediction path.
+//!
+//! The same pool doubles as the scratch allocator of
+//! [`Tape::backward_with_arena`](crate::tape::Tape::backward_with_arena):
+//! node-gradient buffers are drawn from and recycled into an arena the
+//! training loop keeps across minibatches, so the backward pass also
+//! allocates no tensor buffers in steady state.
 //!
 //! See the crate-level docs for when to use the tape path versus this
 //! arena path.

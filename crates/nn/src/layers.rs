@@ -38,12 +38,19 @@ impl Linear {
         self.out_dim
     }
 
-    /// Records the affine map on the tape.
-    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: NodeId) -> NodeId {
+    /// Records the affine map on the tape (no activation).
+    pub fn forward<'p>(&self, tape: &mut Tape<'p>, store: &'p ParamStore, x: NodeId) -> NodeId {
+        self.forward_fused(tape, store, x, false)
+    }
+
+    /// Records the affine map, optionally fused with ReLU, as a single
+    /// tape node. Parameters are pinned by reference (no clone), and the
+    /// forward value runs through the same [`Tensor::affine_into`] kernel
+    /// as the inference path.
+    pub fn forward_fused<'p>(&self, tape: &mut Tape<'p>, store: &'p ParamStore, x: NodeId, relu: bool) -> NodeId {
         let w = tape.param(store, self.w);
         let b = tape.param(store, self.b);
-        let h = tape.matmul(x, w);
-        tape.add_bias(h, b)
+        tape.affine(x, w, b, relu)
     }
 
     /// Tape-free affine map, optionally fused with ReLU, on arena buffers.
@@ -91,15 +98,13 @@ impl Mlp {
         self.layers.last().expect("non-empty").out_dim()
     }
 
-    /// Records the full forward pass on the tape.
-    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: NodeId) -> NodeId {
+    /// Records the full forward pass on the tape. Hidden layers record the
+    /// fused affine+ReLU node, mirroring the inference path op for op.
+    pub fn forward<'p>(&self, tape: &mut Tape<'p>, store: &'p ParamStore, x: NodeId) -> NodeId {
         let mut h = x;
         let last = self.layers.len() - 1;
         for (i, layer) in self.layers.iter().enumerate() {
-            h = layer.forward(tape, store, h);
-            if i != last {
-                h = tape.relu(h);
-            }
+            h = layer.forward_fused(tape, store, h, i != last);
         }
         h
     }
@@ -122,6 +127,7 @@ impl Mlp {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::tape::Gradients;
     use crate::tensor::Tensor;
 
     #[test]
@@ -165,30 +171,32 @@ mod tests {
         let mut store = ParamStore::new();
         let mut init = Initializer::new(42);
         let m = Mlp::new(&mut store, &mut init, "m", &[2, 8, 1]);
+        let mut grads = Gradients::for_store(&store);
         let xs = Tensor::from_vec(4, 2, vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0]);
         let ys = [0.0f32, 1.0, 1.0, 0.0];
         let mut last_loss = f32::INFINITY;
         for step in 0..2000 {
-            let mut tape = Tape::new();
-            let x = tape.input(xs.clone());
-            let out = m.forward(&mut tape, &store, x);
-            let pred = tape.value(out);
-            let mut seed = Tensor::zeros(4, 1);
-            let mut loss = 0.0;
-            for (i, &y) in ys.iter().enumerate() {
-                let d = pred.get(i, 0) - y;
-                loss += d * d / 4.0;
-                seed.set(i, 0, 2.0 * d / 4.0);
+            {
+                let mut tape = Tape::new();
+                let x = tape.input(xs.clone());
+                let out = m.forward(&mut tape, &store, x);
+                let pred = tape.value(out);
+                let mut seed = Tensor::zeros(4, 1);
+                let mut loss = 0.0;
+                for (i, &y) in ys.iter().enumerate() {
+                    let d = pred.get(i, 0) - y;
+                    loss += d * d / 4.0;
+                    seed.set(i, 0, 2.0 * d / 4.0);
+                }
+                if step == 1999 {
+                    last_loss = loss;
+                }
+                grads.zero();
+                tape.backward(out, seed, &mut grads);
             }
-            if step == 1999 {
-                last_loss = loss;
-            }
-            store.zero_grads();
-            tape.backward(out, seed, &mut store);
             for pid in store.ids().collect::<Vec<_>>() {
-                let g = store.grad(pid).clone();
                 let p = store.value_mut(pid);
-                for (pv, gv) in p.data_mut().iter_mut().zip(g.data()) {
+                for (pv, gv) in p.data_mut().iter_mut().zip(grads.grad(pid).data()) {
                     *pv -= 0.1 * gv;
                 }
             }

@@ -24,17 +24,21 @@
 //! The crate deliberately maintains **two** forward implementations:
 //!
 //! 1. **Tape path** ([`Tape`] + `Mlp::forward`): every op records a node
-//!    holding a clone of its result (and pinned parameter values) so
-//!    `Tape::backward` can replay the graph in reverse. This is the
-//!    *training ground truth* — anything that needs gradients (training,
-//!    fine-tuning, gradient checks) must use it.
+//!    holding its result so `Tape::backward` can replay the graph in
+//!    reverse. Pinned parameters are **borrowed** from the [`ParamStore`]
+//!    (zero-clone), hidden layers record one fused affine+ReLU node, and
+//!    `backward` accumulates into preallocated [`tape::Gradients`] buffers
+//!    through a recycling scratch arena — steady-state training allocates
+//!    almost nothing per minibatch. This is the *training ground truth* —
+//!    anything that needs gradients (training, fine-tuning, gradient
+//!    checks) must use it.
 //! 2. **Inference path** ([`inference::InferenceArena`] +
 //!    `Mlp::forward_inference`): forward-only execution with no node
-//!    recording, no parameter clones and no retained intermediates.
-//!    Buffers come from a free-list arena and are recycled as soon as a
-//!    value is dead; hidden layers run the fused affine+ReLU kernel.
-//!    Use it for *all* prediction work: model evaluation, ensemble
-//!    prediction, and the placement optimizer's candidate scoring.
+//!    recording and no retained intermediates. Buffers come from a
+//!    free-list arena and are recycled as soon as a value is dead; hidden
+//!    layers run the fused affine+ReLU kernel. Use it for *all*
+//!    prediction work: model evaluation, ensemble prediction, and the
+//!    placement optimizer's candidate scoring.
 //!
 //! Both paths execute the same arithmetic through the same kernels and
 //! agree to float accumulation order (the golden-equivalence tests in
@@ -58,5 +62,5 @@ pub mod tensor;
 pub use inference::InferenceArena;
 pub use init::Initializer;
 pub use layers::{Linear, Mlp};
-pub use tape::{NodeId, ParamId, ParamStore, Tape};
-pub use tensor::Tensor;
+pub use tape::{Gradients, NodeId, ParamId, ParamStore, Tape};
+pub use tensor::{kernel_tier, Tensor};

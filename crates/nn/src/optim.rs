@@ -1,6 +1,11 @@
-//! Gradient-descent optimizers over a [`ParamStore`].
+//! Gradient-descent optimizers over a [`ParamStore`] + [`Gradients`] pair.
+//!
+//! Both optimizers run **fused** update loops: moment update and parameter
+//! write happen in one pass over each tensor, reading gradients directly
+//! from the preallocated [`Gradients`] buffers — no per-step tensor clones
+//! anywhere on the training hot path.
 
-use crate::tape::ParamStore;
+use crate::tape::{Gradients, ParamStore};
 use crate::tensor::Tensor;
 
 /// Plain stochastic gradient descent with optional momentum.
@@ -20,8 +25,9 @@ impl Sgd {
         }
     }
 
-    /// Applies one update step from the gradients accumulated in `store`.
-    pub fn step(&mut self, store: &mut ParamStore) {
+    /// Applies one update step from the gradients in `grads`. Velocity
+    /// update and parameter write are fused into a single pass.
+    pub fn step(&mut self, store: &mut ParamStore, grads: &Gradients) {
         let ids: Vec<_> = store.ids().collect();
         if self.velocity.len() != ids.len() {
             self.velocity = ids
@@ -29,24 +35,21 @@ impl Sgd {
                 .map(|&id| Tensor::zeros(store.value(id).rows(), store.value(id).cols()))
                 .collect();
         }
+        let (lr, momentum) = (self.lr, self.momentum);
         for (slot, id) in ids.into_iter().enumerate() {
-            let g = store.grad(id).clone();
+            let g = grads.grad(id);
             let v = &mut self.velocity[slot];
-            for (vv, gv) in v.data_mut().iter_mut().zip(g.data()) {
-                *vv = self.momentum * *vv + gv;
-            }
-            let lr = self.lr;
-            let v = self.velocity[slot].clone();
             let p = store.value_mut(id);
-            for (pv, vv) in p.data_mut().iter_mut().zip(v.data()) {
-                *pv -= lr * vv;
+            for ((pv, vv), gv) in p.data_mut().iter_mut().zip(v.data_mut()).zip(g.data()) {
+                *vv = momentum * *vv + gv;
+                *pv -= lr * *vv;
             }
         }
     }
 }
 
 /// Adam optimizer (Kingma & Ba) with decoupled gradient clipping left to
-/// the caller via [`ParamStore::grad_norm`] / [`ParamStore::scale_grads`].
+/// the caller via [`Gradients::norm`] / [`Gradients::scale`].
 pub struct Adam {
     lr: f32,
     beta1: f32,
@@ -82,8 +85,10 @@ impl Adam {
         self.lr
     }
 
-    /// Applies one Adam step from the gradients accumulated in `store`.
-    pub fn step(&mut self, store: &mut ParamStore) {
+    /// Applies one Adam step from the gradients in `grads`. Moment updates,
+    /// bias correction and the parameter write are fused into a single pass
+    /// per tensor (one load of `g`, one store of `p`, no temporaries).
+    pub fn step(&mut self, store: &mut ParamStore, grads: &Gradients) {
         let ids: Vec<_> = store.ids().collect();
         if self.m.len() != ids.len() {
             self.m = ids
@@ -96,32 +101,34 @@ impl Adam {
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let (lr, eps, beta1, beta2) = (self.lr, self.eps, self.beta1, self.beta2);
         for (slot, id) in ids.into_iter().enumerate() {
-            let g = store.grad(id).clone();
+            let g = grads.grad(id);
             let m = &mut self.m[slot];
             let v = &mut self.v[slot];
-            for ((mv, vv), gv) in m.data_mut().iter_mut().zip(v.data_mut()).zip(g.data()) {
-                *mv = self.beta1 * *mv + (1.0 - self.beta1) * gv;
-                *vv = self.beta2 * *vv + (1.0 - self.beta2) * gv * gv;
-            }
-            let (lr, eps) = (self.lr, self.eps);
-            let m = self.m[slot].clone();
-            let v = self.v[slot].clone();
             let p = store.value_mut(id);
-            for ((pv, mv), vv) in p.data_mut().iter_mut().zip(m.data()).zip(v.data()) {
-                let mhat = mv / bc1;
-                let vhat = vv / bc2;
+            let it = p
+                .data_mut()
+                .iter_mut()
+                .zip(m.data_mut())
+                .zip(v.data_mut())
+                .zip(g.data());
+            for (((pv, mv), vv), gv) in it {
+                *mv = beta1 * *mv + (1.0 - beta1) * gv;
+                *vv = beta2 * *vv + (1.0 - beta2) * gv * gv;
+                let mhat = *mv / bc1;
+                let vhat = *vv / bc2;
                 *pv -= lr * mhat / (vhat.sqrt() + eps);
             }
         }
     }
 }
 
-/// Clips the global gradient norm in `store` to at most `max_norm`.
-pub fn clip_grad_norm(store: &mut ParamStore, max_norm: f32) {
-    let n = store.grad_norm();
+/// Clips the global gradient norm in `grads` to at most `max_norm`.
+pub fn clip_grad_norm(grads: &mut Gradients, max_norm: f32) {
+    let n = grads.norm();
     if n > max_norm && n > 0.0 {
-        store.scale_grads(max_norm / n);
+        grads.scale(max_norm / n);
     }
 }
 
@@ -133,24 +140,27 @@ mod tests {
     use crate::loss::mse;
     use crate::tape::Tape;
 
-    fn train_quadratic<F: FnMut(&mut ParamStore)>(seed: u64, steps: usize, mut stepper: F) -> f32 {
+    fn train_quadratic<F: FnMut(&mut ParamStore, &Gradients)>(seed: u64, steps: usize, mut stepper: F) -> f32 {
         // Fit y = 3x - 1 with a tiny MLP; return final loss.
         let mut store = ParamStore::new();
         let mut init = Initializer::new(seed);
         let mlp = Mlp::new(&mut store, &mut init, "m", &[1, 8, 1]);
+        let mut grads = Gradients::for_store(&store);
         let xs: Vec<f32> = (0..16).map(|i| i as f32 / 8.0 - 1.0).collect();
         let ys: Vec<f32> = xs.iter().map(|x| 3.0 * x - 1.0).collect();
         let x_t = Tensor::from_vec(16, 1, xs);
         let mut last = f32::INFINITY;
         for _ in 0..steps {
-            let mut tape = Tape::new();
-            let x = tape.input(x_t.clone());
-            let out = mlp.forward(&mut tape, &store, x);
-            let l = mse(tape.value(out), &ys);
-            last = l.loss;
-            store.zero_grads();
-            tape.backward(out, l.seed, &mut store);
-            stepper(&mut store);
+            {
+                let mut tape = Tape::new();
+                let x = tape.input(x_t.clone());
+                let out = mlp.forward(&mut tape, &store, x);
+                let l = mse(tape.value(out), &ys);
+                last = l.loss;
+                grads.zero();
+                tape.backward(out, l.seed, &mut grads);
+            }
+            stepper(&mut store, &grads);
         }
         last
     }
@@ -158,23 +168,23 @@ mod tests {
     #[test]
     fn sgd_converges_on_linear_fit() {
         let mut opt = Sgd::new(0.05, 0.9);
-        let loss = train_quadratic(1, 500, |s| opt.step(s));
+        let loss = train_quadratic(1, 500, |s, g| opt.step(s, g));
         assert!(loss < 1e-3, "sgd loss {loss}");
     }
 
     #[test]
     fn adam_converges_on_linear_fit() {
         let mut opt = Adam::new(0.01);
-        let loss = train_quadratic(2, 500, |s| opt.step(s));
+        let loss = train_quadratic(2, 500, |s, g| opt.step(s, g));
         assert!(loss < 1e-3, "adam loss {loss}");
     }
 
     #[test]
     fn adam_faster_than_plain_sgd_early() {
         let mut adam = Adam::new(0.01);
-        let adam_loss = train_quadratic(3, 60, |s| adam.step(s));
+        let adam_loss = train_quadratic(3, 60, |s, g| adam.step(s, g));
         let mut sgd = Sgd::new(0.001, 0.0);
-        let sgd_loss = train_quadratic(3, 60, |s| sgd.step(s));
+        let sgd_loss = train_quadratic(3, 60, |s, g| sgd.step(s, g));
         assert!(adam_loss < sgd_loss, "adam {adam_loss} vs sgd {sgd_loss}");
     }
 
@@ -183,13 +193,13 @@ mod tests {
         let mut store = ParamStore::new();
         let mut init = Initializer::new(4);
         let mlp = Mlp::new(&mut store, &mut init, "m", &[2, 4, 1]);
+        let mut grads = Gradients::for_store(&store);
         let mut tape = Tape::new();
         let x = tape.input(Tensor::from_vec(1, 2, vec![100.0, -100.0]));
         let out = mlp.forward(&mut tape, &store, x);
         let l = mse(tape.value(out), &[1e4]);
-        store.zero_grads();
-        tape.backward(out, l.seed, &mut store);
-        clip_grad_norm(&mut store, 1.0);
-        assert!(store.grad_norm() <= 1.0 + 1e-4);
+        tape.backward(out, l.seed, &mut grads);
+        clip_grad_norm(&mut grads, 1.0);
+        assert!(grads.norm() <= 1.0 + 1e-4);
     }
 }

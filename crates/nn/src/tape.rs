@@ -3,17 +3,28 @@
 //! A [`Tape`] records a DAG of tensor operations during the forward pass and
 //! replays it in reverse to accumulate gradients. Model parameters live in a
 //! [`ParamStore`] outside the tape; a forward pass pins them onto the tape as
-//! leaf nodes so that one set of parameters can be reused across many tapes
-//! (one tape per minibatch).
+//! **borrowed** leaf nodes — pinning copies nothing, the tape just holds
+//! `&Tensor` views into the store for its lifetime, so one set of parameters
+//! can be reused across many tapes (one tape per minibatch) without a single
+//! parameter clone.
+//!
+//! Gradients are kept apart from the parameters in a [`Gradients`] buffer
+//! set, preallocated once per training run and zeroed in place between
+//! minibatches. The split is what makes the borrow story work: the tape
+//! holds shared references into the `ParamStore` while `backward`
+//! accumulates into the independent `Gradients`, and the optimizer then
+//! updates the store after the tape is dropped.
 //!
 //! The operation set is deliberately small — exactly what the Costream GNN
-//! and the flat-vector MLP baseline need: dense affine maps, ReLU/sigmoid
-//! non-linearities, column concatenation, row gathering and segmented row
-//! sums (the "sum over children / sum over graph" primitives of
-//! Algorithm 1 in the paper).
+//! and the flat-vector MLP baseline need: dense affine maps (fused
+//! matmul+bias+ReLU via [`Tape::affine`]), ReLU/sigmoid non-linearities,
+//! column concatenation, row gathering and segmented row sums (the "sum
+//! over children / sum over graph" primitives of Algorithm 1 in the paper).
 
+use crate::inference::InferenceArena;
 use crate::tensor::Tensor;
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 
 /// Identifier of a parameter inside a [`ParamStore`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -23,12 +34,13 @@ pub struct ParamId(pub(crate) usize);
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct NodeId(usize);
 
-/// Storage for trainable parameters and their accumulated gradients.
+/// Storage for trainable parameters.
+///
+/// Gradients live separately in [`Gradients`] so a live tape (which borrows
+/// parameter values) never aliases the buffers `backward` writes into.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct ParamStore {
     params: Vec<Tensor>,
-    #[serde(skip)]
-    grads: Vec<Tensor>,
     names: Vec<String>,
 }
 
@@ -41,7 +53,6 @@ impl ParamStore {
     /// Registers a parameter tensor under a diagnostic name.
     pub fn register(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
         let id = ParamId(self.params.len());
-        self.grads.push(Tensor::zeros(value.rows(), value.cols()));
         self.params.push(value);
         self.names.push(name.into());
         id
@@ -72,11 +83,6 @@ impl ParamStore {
         &mut self.params[id.0]
     }
 
-    /// Immutable access to the accumulated gradient of a parameter.
-    pub fn grad(&self, id: ParamId) -> &Tensor {
-        &self.grads[id.0]
-    }
-
     /// Name a parameter was registered under.
     pub fn name(&self, id: ParamId) -> &str {
         &self.names[id.0]
@@ -86,43 +92,85 @@ impl ParamStore {
     pub fn ids(&self) -> impl Iterator<Item = ParamId> {
         (0..self.params.len()).map(ParamId)
     }
+}
 
-    /// Clears all accumulated gradients.
-    pub fn zero_grads(&mut self) {
-        // After deserialization `grads` is empty; re-materialize it.
-        if self.grads.len() != self.params.len() {
-            self.grads = self.params.iter().map(|p| Tensor::zeros(p.rows(), p.cols())).collect();
+/// Per-parameter gradient buffers, shape-matched to a [`ParamStore`].
+///
+/// Allocate once per training run with [`Gradients::for_store`], zero in
+/// place with [`Gradients::zero`] before each backward pass, and hand to
+/// the optimizer together with the store. Keeping these out of the
+/// `ParamStore` lets `Tape::backward` accumulate into them while the tape
+/// still borrows the parameter values.
+#[derive(Clone, Debug, Default)]
+pub struct Gradients {
+    bufs: Vec<Tensor>,
+}
+
+impl Gradients {
+    /// Creates zeroed gradient buffers matching every parameter in `store`.
+    pub fn for_store(store: &ParamStore) -> Self {
+        Gradients {
+            bufs: store.params.iter().map(|p| Tensor::zeros(p.rows(), p.cols())).collect(),
         }
-        for g in &mut self.grads {
+    }
+
+    /// Number of gradient buffers.
+    pub fn len(&self) -> usize {
+        self.bufs.len()
+    }
+
+    /// True when no buffers are held.
+    pub fn is_empty(&self) -> bool {
+        self.bufs.is_empty()
+    }
+
+    /// The accumulated gradient of a parameter.
+    pub fn grad(&self, id: ParamId) -> &Tensor {
+        &self.bufs[id.0]
+    }
+
+    /// Zeroes every buffer in place (no reallocation).
+    pub fn zero(&mut self) {
+        for g in &mut self.bufs {
             g.fill_zero();
         }
     }
 
-    fn accumulate_grad(&mut self, id: ParamId, delta: &Tensor) {
-        if self.grads.len() != self.params.len() {
-            self.grads = self.params.iter().map(|p| Tensor::zeros(p.rows(), p.cols())).collect();
-        }
-        self.grads[id.0].add_assign(delta);
+    /// Adds `delta` into the gradient of `id`.
+    pub fn accumulate(&mut self, id: ParamId, delta: &Tensor) {
+        self.bufs[id.0].add_assign(delta);
     }
 
     /// Global gradient norm (L2 over all scalars), used for clipping.
-    pub fn grad_norm(&self) -> f32 {
-        self.grads.iter().map(Tensor::sq_norm).sum::<f32>().sqrt()
+    pub fn norm(&self) -> f32 {
+        self.bufs.iter().map(Tensor::sq_norm).sum::<f32>().sqrt()
     }
 
     /// Scales all gradients in place (used for gradient clipping).
-    pub fn scale_grads(&mut self, s: f32) {
-        for g in &mut self.grads {
+    pub fn scale(&mut self, s: f32) {
+        for g in &mut self.bufs {
             g.scale_assign(s);
         }
     }
 }
 
-enum Op {
+/// Index lists in ops are [`Cow`]s: long-lived callers (the GNN trainer,
+/// whose `BatchPlan` outlives the tape) pass borrowed slices and pay
+/// nothing per minibatch; ad-hoc callers pass owned `Vec`s.
+enum Op<'p> {
     /// Constant input or pinned parameter.
     Leaf(Option<ParamId>),
     /// `a @ b`.
     MatMul(usize, usize),
+    /// Fused `x @ w + bias` (+ ReLU): one node instead of three, one fused
+    /// backward pass computing the ReLU mask, bias reduction and both
+    /// matmul gradients without intermediate tensors.
+    Affine {
+        x: usize,
+        w: usize,
+        bias: usize,
+        relu: bool,
+    },
     /// `x + b` where `b` is a `1 x cols` bias broadcast over rows.
     AddBias(usize, usize),
     /// Element-wise `a + b`.
@@ -134,41 +182,64 @@ enum Op {
     /// `[a | b]` along columns.
     ConcatCols(usize, usize),
     /// Rows of `x` selected by index (with repetition allowed).
-    GatherRows(usize, Vec<usize>),
+    GatherRows(usize, Cow<'p, [usize]>),
     /// Row `r` of the output is the sum of input rows `i` with
     /// `segments[i] == r`.
-    SegmentSum {
+    SegmentSum { input: usize, segments: Cow<'p, [usize]> },
+    /// Fused gather + segmented sum over edges:
+    /// `out[segs[e]] += input[rows[e]]`.
+    GatherSegmentSum {
         input: usize,
-        segments: Vec<usize>,
-        /// Retained for op introspection/debugging; the backward pass only
-        /// needs `segments`.
-        #[allow(dead_code)]
-        out_rows: usize,
+        rows: Cow<'p, [usize]>,
+        segs: Cow<'p, [usize]>,
     },
     /// `x * s`.
     Scale(usize, f32),
 }
 
-struct Node {
-    value: Tensor,
-    op: Op,
+/// A node's value: owned by the tape for computed ops, borrowed for the
+/// zero-clone leaf cases (pinned parameters and [`Tape::input_ref`]
+/// inputs).
+enum Value<'p> {
+    Owned(Tensor),
+    Param(&'p Tensor),
+}
+
+struct Node<'p> {
+    value: Value<'p>,
+    op: Op<'p>,
 }
 
 /// A single-use computation tape.
+///
+/// The lifetime `'p` ties the tape to the [`ParamStore`] whose parameters
+/// it has pinned; [`Tape::backward`] writes into a separate [`Gradients`],
+/// so the store only needs to stay immutably borrowed while the tape is
+/// alive.
 #[derive(Default)]
-pub struct Tape {
-    nodes: Vec<Node>,
+pub struct Tape<'p> {
+    nodes: Vec<Node<'p>>,
 }
 
-impl Tape {
+impl<'p> Tape<'p> {
     /// Creates an empty tape.
     pub fn new() -> Self {
         Tape { nodes: Vec::new() }
     }
 
-    fn push(&mut self, value: Tensor, op: Op) -> NodeId {
-        self.nodes.push(Node { value, op });
+    fn push(&mut self, value: Tensor, op: Op<'p>) -> NodeId {
+        self.nodes.push(Node {
+            value: Value::Owned(value),
+            op,
+        });
         NodeId(self.nodes.len() - 1)
+    }
+
+    fn value_of(&self, idx: usize) -> &Tensor {
+        match &self.nodes[idx].value {
+            Value::Owned(t) => t,
+            Value::Param(t) => t,
+        }
     }
 
     /// Number of nodes recorded so far.
@@ -186,27 +257,67 @@ impl Tape {
         self.push(value, Op::Leaf(None))
     }
 
+    /// Records a non-trainable input by reference (zero-copy): the tape
+    /// borrows `value` for its lifetime instead of cloning it. Use for
+    /// long-lived inputs such as the feature matrices cached in a batch
+    /// plan.
+    pub fn input_ref(&mut self, value: &'p Tensor) -> NodeId {
+        self.nodes.push(Node {
+            value: Value::Param(value),
+            op: Op::Leaf(None),
+        });
+        NodeId(self.nodes.len() - 1)
+    }
+
     /// Pins a parameter from `store` onto the tape; gradients flowing into
-    /// this node are accumulated back into the store on [`Tape::backward`].
-    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> NodeId {
-        self.push(store.value(id).clone(), Op::Leaf(Some(id)))
+    /// this node are accumulated into the matching [`Gradients`] buffer on
+    /// [`Tape::backward`]. The value is **borrowed**, not cloned — pinning
+    /// a parameter is free regardless of its size.
+    pub fn param(&mut self, store: &'p ParamStore, id: ParamId) -> NodeId {
+        self.nodes.push(Node {
+            value: Value::Param(store.value(id)),
+            op: Op::Leaf(Some(id)),
+        });
+        NodeId(self.nodes.len() - 1)
     }
 
     /// Value of a node.
     pub fn value(&self, id: NodeId) -> &Tensor {
-        &self.nodes[id.0].value
+        self.value_of(id.0)
     }
 
     /// `a @ b`.
     pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let v = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
+        let v = self.value_of(a.0).matmul(self.value_of(b.0));
         self.push(v, Op::MatMul(a.0, b.0))
+    }
+
+    /// Fused affine map `x @ w + bias`, optionally with ReLU — the same
+    /// kernel the inference path runs ([`Tensor::affine_into`]), recorded
+    /// as a single node. Both the forward value and the backward pass are
+    /// bitwise identical to the unfused `matmul` → `add_bias` → `relu`
+    /// chain, with three fewer nodes and no intermediate tensors.
+    pub fn affine(&mut self, x: NodeId, w: NodeId, bias: NodeId, relu: bool) -> NodeId {
+        let xv = self.value_of(x.0);
+        let wv = self.value_of(w.0);
+        let bv = self.value_of(bias.0);
+        let mut out = Tensor::zeros(xv.rows(), wv.cols());
+        Tensor::affine_into(xv, wv, bv, relu, &mut out);
+        self.push(
+            out,
+            Op::Affine {
+                x: x.0,
+                w: w.0,
+                bias: bias.0,
+                relu,
+            },
+        )
     }
 
     /// `x + bias`, with `bias` a `1 x cols` row broadcast over rows of `x`.
     pub fn add_bias(&mut self, x: NodeId, bias: NodeId) -> NodeId {
-        let xv = &self.nodes[x.0].value;
-        let bv = &self.nodes[bias.0].value;
+        let xv = self.value_of(x.0);
+        let bv = self.value_of(bias.0);
         assert_eq!(bv.rows(), 1, "bias must be a row vector");
         assert_eq!(bv.cols(), xv.cols(), "bias width mismatch");
         let mut out = xv.clone();
@@ -221,14 +332,14 @@ impl Tape {
 
     /// Element-wise `a + b` (same shape).
     pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let mut out = self.nodes[a.0].value.clone();
-        out.add_assign(&self.nodes[b.0].value);
+        let mut out = self.value_of(a.0).clone();
+        out.add_assign(self.value_of(b.0));
         self.push(out, Op::Add(a.0, b.0))
     }
 
     /// Element-wise ReLU.
     pub fn relu(&mut self, x: NodeId) -> NodeId {
-        let mut out = self.nodes[x.0].value.clone();
+        let mut out = self.value_of(x.0).clone();
         for v in out.data_mut() {
             if *v < 0.0 {
                 *v = 0.0;
@@ -239,7 +350,7 @@ impl Tape {
 
     /// Element-wise logistic sigmoid.
     pub fn sigmoid(&mut self, x: NodeId) -> NodeId {
-        let mut out = self.nodes[x.0].value.clone();
+        let mut out = self.value_of(x.0).clone();
         for v in out.data_mut() {
             *v = 1.0 / (1.0 + (-*v).exp());
         }
@@ -248,8 +359,8 @@ impl Tape {
 
     /// Concatenates `a` and `b` along columns.
     pub fn concat_cols(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let av = &self.nodes[a.0].value;
-        let bv = &self.nodes[b.0].value;
+        let av = self.value_of(a.0);
+        let bv = self.value_of(b.0);
         assert_eq!(av.rows(), bv.rows(), "concat_cols row mismatch");
         let mut out = Tensor::zeros(av.rows(), av.cols() + bv.cols());
         for r in 0..av.rows() {
@@ -260,9 +371,12 @@ impl Tape {
         self.push(out, Op::ConcatCols(a.0, b.0))
     }
 
-    /// Selects rows of `x` by `idx` (repetition allowed).
-    pub fn gather_rows(&mut self, x: NodeId, idx: Vec<usize>) -> NodeId {
-        let xv = &self.nodes[x.0].value;
+    /// Selects rows of `x` by `idx` (repetition allowed). Pass a borrowed
+    /// slice (e.g. out of a cached batch plan) to record the op without
+    /// copying the index list; a `Vec` works too for ad-hoc callers.
+    pub fn gather_rows(&mut self, x: NodeId, idx: impl Into<Cow<'p, [usize]>>) -> NodeId {
+        let idx = idx.into();
+        let xv = self.value_of(x.0);
         let mut out = Tensor::zeros(idx.len(), xv.cols());
         for (r, &i) in idx.iter().enumerate() {
             out.row_slice_mut(r).copy_from_slice(xv.row_slice(i));
@@ -273,8 +387,10 @@ impl Tape {
     /// Segmented row sum: output row `s` is the sum of all input rows `i`
     /// with `segments[i] == s`. Rows with no contribution stay zero, which
     /// is exactly the "empty children set" case of the GNN update.
-    pub fn segment_sum(&mut self, x: NodeId, segments: Vec<usize>, out_rows: usize) -> NodeId {
-        let xv = &self.nodes[x.0].value;
+    /// Borrowed segment lists are recorded without copying.
+    pub fn segment_sum(&mut self, x: NodeId, segments: impl Into<Cow<'p, [usize]>>, out_rows: usize) -> NodeId {
+        let segments = segments.into();
+        let xv = self.value_of(x.0);
         assert_eq!(segments.len(), xv.rows(), "one segment id per input row");
         let mut out = Tensor::zeros(out_rows, xv.cols());
         for (i, &s) in segments.iter().enumerate() {
@@ -285,94 +401,179 @@ impl Tape {
                 *d += *v;
             }
         }
-        self.push(
-            out,
-            Op::SegmentSum {
-                input: x.0,
-                segments,
-                out_rows,
-            },
-        )
+        self.push(out, Op::SegmentSum { input: x.0, segments })
+    }
+
+    /// Fused gather + segmented sum: `out[segs[e]] += x[rows[e]]` for
+    /// every edge `e` — the "sum the children's hidden states" primitive
+    /// as one node. Equivalent to `gather_rows` followed by `segment_sum`
+    /// (bitwise: same per-edge accumulation order) without materializing
+    /// the `edges x cols` gathered matrix in either direction. Borrowed
+    /// index lists are recorded without copying.
+    ///
+    /// # Panics
+    /// Panics when `rows` and `segs` differ in length or a segment id is
+    /// out of range.
+    pub fn gather_segment_sum(
+        &mut self,
+        x: NodeId,
+        rows: impl Into<Cow<'p, [usize]>>,
+        segs: impl Into<Cow<'p, [usize]>>,
+        out_rows: usize,
+    ) -> NodeId {
+        let (rows, segs) = (rows.into(), segs.into());
+        let xv = self.value_of(x.0);
+        assert_eq!(rows.len(), segs.len(), "one segment per gathered row");
+        assert!(segs.iter().all(|&s| s < out_rows), "segment id out of range");
+        let mut out = Tensor::zeros(out_rows, xv.cols());
+        xv.gather_segment_sum_into(&rows, &segs, &mut out);
+        self.push(out, Op::GatherSegmentSum { input: x.0, rows, segs })
     }
 
     /// `x * s`.
     pub fn scale(&mut self, x: NodeId, s: f32) -> NodeId {
-        let mut out = self.nodes[x.0].value.clone();
+        let mut out = self.value_of(x.0).clone();
         out.scale_assign(s);
         self.push(out, Op::Scale(x.0, s))
     }
 
     /// Runs the backward pass seeding `d(loss)/d(out) = seed` and
-    /// accumulates parameter gradients into `store`.
+    /// accumulates parameter gradients into `grads` (zero it first unless
+    /// gradient accumulation across batches is intended).
     ///
     /// # Panics
-    /// Panics if `seed` does not match the shape of `out`'s value.
-    pub fn backward(&self, out: NodeId, seed: Tensor, store: &mut ParamStore) {
-        assert_eq!(seed.shape(), self.nodes[out.0].value.shape(), "seed shape mismatch");
-        let mut grads: Vec<Option<Tensor>> = (0..self.nodes.len()).map(|_| None).collect();
-        grads[out.0] = Some(seed);
+    /// Panics if `seed` does not match the shape of `out`'s value, or if
+    /// `grads` was built for a different store.
+    pub fn backward(&self, out: NodeId, seed: Tensor, grads: &mut Gradients) {
+        self.backward_with_arena(out, seed, grads, &mut InferenceArena::new());
+    }
+
+    /// [`Tape::backward`] with a caller-provided scratch arena. Every
+    /// intermediate node-gradient buffer is drawn from (and recycled back
+    /// into) `arena`, so a training loop that reuses one arena across
+    /// minibatches allocates no tensor buffers in steady state (the only
+    /// remaining per-call allocation is the small per-node bookkeeping
+    /// `Vec` of gradient slots).
+    pub fn backward_with_arena(&self, out: NodeId, seed: Tensor, grads: &mut Gradients, arena: &mut InferenceArena) {
+        assert_eq!(seed.shape(), self.value_of(out.0).shape(), "seed shape mismatch");
+        let mut node_grads: Vec<Option<Tensor>> = (0..self.nodes.len()).map(|_| None).collect();
+        node_grads[out.0] = Some(seed);
 
         for i in (0..self.nodes.len()).rev() {
-            let g = match grads[i].take() {
+            let g = match node_grads[i].take() {
                 Some(g) => g,
                 None => continue,
             };
             match &self.nodes[i].op {
-                Op::Leaf(Some(pid)) => store.accumulate_grad(*pid, &g),
-                Op::Leaf(None) => {}
-                Op::MatMul(a, b) => {
-                    let da = g.matmul_t(&self.nodes[*b].value);
-                    let db = self.nodes[*a].value.t_matmul(&g);
-                    accumulate(&mut grads, *a, da);
-                    accumulate(&mut grads, *b, db);
+                Op::Leaf(Some(pid)) => {
+                    grads.accumulate(*pid, &g);
+                    arena.recycle(g);
                 }
-                Op::AddBias(x, bias) => {
-                    let mut db = Tensor::zeros(1, g.cols());
-                    for r in 0..g.rows() {
-                        let src = g.row_slice(r);
-                        let dst = db.row_slice_mut(0);
-                        for (d, v) in dst.iter_mut().zip(src) {
-                            *d += *v;
+                Op::Leaf(None) => arena.recycle(g),
+                Op::MatMul(a, b) => {
+                    // da += g @ b^T, db += a^T @ g — both accumulate
+                    // straight into the (pooled) gradient slots.
+                    {
+                        let bv = self.value_of(*b);
+                        let da = slot_zeroed(&mut node_grads, *a, g.rows(), bv.rows(), arena);
+                        g.matmul_t_acc(bv, da);
+                    }
+                    {
+                        let av = self.value_of(*a);
+                        let db = slot_zeroed(&mut node_grads, *b, av.cols(), g.cols(), arena);
+                        av.t_matmul_acc(&g, db);
+                    }
+                    arena.recycle(g);
+                }
+                Op::Affine { x, w, bias, relu } => {
+                    // One fused pass: mask g by the ReLU activation mask
+                    // (the node's own output is the activation), reduce the
+                    // bias gradient, then both matmul gradients.
+                    let mut dpre = g;
+                    if *relu {
+                        for (d, v) in dpre.data_mut().iter_mut().zip(self.value_of(i).data()) {
+                            if *v <= 0.0 {
+                                *d = 0.0;
+                            }
                         }
                     }
-                    accumulate(&mut grads, *bias, db);
-                    accumulate(&mut grads, *x, g);
+                    {
+                        let db = slot_zeroed(&mut node_grads, *bias, 1, dpre.cols(), arena);
+                        let dst = db.row_slice_mut(0);
+                        for r in 0..dpre.rows() {
+                            for (d, v) in dst.iter_mut().zip(dpre.row_slice(r)) {
+                                *d += *v;
+                            }
+                        }
+                    }
+                    {
+                        let xv = self.value_of(*x);
+                        let dw = slot_zeroed(&mut node_grads, *w, xv.cols(), dpre.cols(), arena);
+                        xv.t_matmul_acc(&dpre, dw);
+                    }
+                    {
+                        let wv = self.value_of(*w);
+                        let dx = slot_zeroed(&mut node_grads, *x, dpre.rows(), wv.rows(), arena);
+                        dpre.matmul_t_acc(wv, dx);
+                    }
+                    arena.recycle(dpre);
+                }
+                Op::AddBias(x, bias) => {
+                    {
+                        let db = slot_zeroed(&mut node_grads, *bias, 1, g.cols(), arena);
+                        let dst = db.row_slice_mut(0);
+                        for r in 0..g.rows() {
+                            for (d, v) in dst.iter_mut().zip(g.row_slice(r)) {
+                                *d += *v;
+                            }
+                        }
+                    }
+                    give(&mut node_grads, *x, g, arena);
                 }
                 Op::Add(a, b) => {
-                    accumulate(&mut grads, *a, g.clone());
-                    accumulate(&mut grads, *b, g);
+                    add_to(&mut node_grads, *a, &g, arena);
+                    give(&mut node_grads, *b, g, arena);
                 }
                 Op::Relu(x) => {
                     let mut dx = g;
-                    for (d, v) in dx.data_mut().iter_mut().zip(self.nodes[*x].value.data()) {
+                    for (d, v) in dx.data_mut().iter_mut().zip(self.value_of(*x).data()) {
                         if *v <= 0.0 {
                             *d = 0.0;
                         }
                     }
-                    accumulate(&mut grads, *x, dx);
+                    give(&mut node_grads, *x, dx, arena);
                 }
                 Op::Sigmoid(x) => {
                     let mut dx = g;
-                    for (d, y) in dx.data_mut().iter_mut().zip(self.nodes[i].value.data()) {
+                    for (d, y) in dx.data_mut().iter_mut().zip(self.value_of(i).data()) {
                         *d *= y * (1.0 - y);
                     }
-                    accumulate(&mut grads, *x, dx);
+                    give(&mut node_grads, *x, dx, arena);
                 }
                 Op::ConcatCols(a, b) => {
-                    let ac = self.nodes[*a].value.cols();
-                    let bc = self.nodes[*b].value.cols();
-                    let mut da = Tensor::zeros(g.rows(), ac);
-                    let mut db = Tensor::zeros(g.rows(), bc);
-                    for r in 0..g.rows() {
-                        let src = g.row_slice(r);
-                        da.row_slice_mut(r).copy_from_slice(&src[..ac]);
-                        db.row_slice_mut(r).copy_from_slice(&src[ac..]);
+                    let ac = self.value_of(*a).cols();
+                    let bc = self.value_of(*b).cols();
+                    {
+                        let da = slot_zeroed(&mut node_grads, *a, g.rows(), ac, arena);
+                        for r in 0..g.rows() {
+                            for (d, v) in da.row_slice_mut(r).iter_mut().zip(&g.row_slice(r)[..ac]) {
+                                *d += *v;
+                            }
+                        }
                     }
-                    accumulate(&mut grads, *a, da);
-                    accumulate(&mut grads, *b, db);
+                    {
+                        let db = slot_zeroed(&mut node_grads, *b, g.rows(), bc, arena);
+                        for r in 0..g.rows() {
+                            for (d, v) in db.row_slice_mut(r).iter_mut().zip(&g.row_slice(r)[ac..]) {
+                                *d += *v;
+                            }
+                        }
+                    }
+                    arena.recycle(g);
                 }
                 Op::GatherRows(x, idx) => {
-                    let mut dx = Tensor::zeros(self.nodes[*x].value.rows(), g.cols());
+                    let rows = self.value_of(*x).rows();
+                    let dx = slot_zeroed(&mut node_grads, *x, rows, g.cols(), arena);
                     for (r, &src_row) in idx.iter().enumerate() {
                         let src = g.row_slice(r);
                         let dst = dx.row_slice_mut(src_row);
@@ -380,29 +581,84 @@ impl Tape {
                             *d += *v;
                         }
                     }
-                    accumulate(&mut grads, *x, dx);
+                    arena.recycle(g);
                 }
-                Op::SegmentSum { input, segments, .. } => {
-                    let mut dx = Tensor::zeros(segments.len(), g.cols());
+                Op::SegmentSum { input, segments } => {
+                    let dx = slot_zeroed(&mut node_grads, *input, segments.len(), g.cols(), arena);
                     for (r, &s) in segments.iter().enumerate() {
-                        dx.row_slice_mut(r).copy_from_slice(g.row_slice(s));
+                        let src = g.row_slice(s);
+                        let dst = dx.row_slice_mut(r);
+                        for (d, v) in dst.iter_mut().zip(src) {
+                            *d += *v;
+                        }
                     }
-                    accumulate(&mut grads, *input, dx);
+                    arena.recycle(g);
+                }
+                Op::GatherSegmentSum { input, rows, segs } => {
+                    // One pass, no edges x cols intermediate:
+                    // dx[rows[e]] += g[segs[e]].
+                    let in_rows = self.value_of(*input).rows();
+                    let dx = slot_zeroed(&mut node_grads, *input, in_rows, g.cols(), arena);
+                    for (&r, &s) in rows.iter().zip(segs.iter()) {
+                        let src = g.row_slice(s);
+                        let dst = dx.row_slice_mut(r);
+                        for (d, v) in dst.iter_mut().zip(src) {
+                            *d += *v;
+                        }
+                    }
+                    arena.recycle(g);
                 }
                 Op::Scale(x, s) => {
                     let mut dx = g;
                     dx.scale_assign(*s);
-                    accumulate(&mut grads, *x, dx);
+                    give(&mut node_grads, *x, dx, arena);
                 }
             }
         }
+
+        // Node gradients of pinned parameters were accumulated into `grads`
+        // as their Leaf nodes were visited; everything else has been
+        // recycled back into the arena along the way.
     }
 }
 
-fn accumulate(grads: &mut [Option<Tensor>], idx: usize, delta: Tensor) {
-    match &mut grads[idx] {
-        Some(g) => g.add_assign(&delta),
-        slot @ None => *slot = Some(delta),
+/// Ensures `node_grads[idx]` holds a tensor of the given shape (allocating
+/// a zeroed one from the arena if empty) and returns it for in-place
+/// accumulation.
+fn slot_zeroed<'g>(
+    node_grads: &'g mut [Option<Tensor>],
+    idx: usize,
+    rows: usize,
+    cols: usize,
+    arena: &mut InferenceArena,
+) -> &'g mut Tensor {
+    let slot = &mut node_grads[idx];
+    if slot.is_none() {
+        *slot = Some(arena.alloc_zeroed(rows, cols));
+    }
+    let t = slot.as_mut().expect("slot just filled");
+    debug_assert_eq!(t.shape(), (rows, cols), "gradient shape mismatch");
+    t
+}
+
+/// Moves `t` into the gradient slot of `idx`, or adds it and recycles the
+/// buffer when the slot is already populated (the multi-consumer case).
+fn give(node_grads: &mut [Option<Tensor>], idx: usize, t: Tensor, arena: &mut InferenceArena) {
+    match &mut node_grads[idx] {
+        Some(g) => {
+            g.add_assign(&t);
+            arena.recycle(t);
+        }
+        slot @ None => *slot = Some(t),
+    }
+}
+
+/// Adds `src` into the gradient slot of `idx`, allocating a copy from the
+/// arena when the slot is empty.
+fn add_to(node_grads: &mut [Option<Tensor>], idx: usize, src: &Tensor, arena: &mut InferenceArena) {
+    match &mut node_grads[idx] {
+        Some(g) => g.add_assign(src),
+        slot @ None => *slot = Some(arena.alloc_copy(src)),
     }
 }
 
@@ -423,14 +679,26 @@ mod tests {
     #[test]
     fn matmul_backward_matches_hand_computation() {
         // y = x @ w, loss = sum(y); dL/dw = x^T @ 1, dL/dx = 1 @ w^T
-        let (mut store, ids) = store_with(vec![Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0])]);
+        let (store, ids) = store_with(vec![Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0])]);
+        let mut grads = Gradients::for_store(&store);
         let mut tape = Tape::new();
         let x = tape.input(Tensor::from_vec(1, 2, vec![5.0, 6.0]));
         let w = tape.param(&store, ids[0]);
         let y = tape.matmul(x, w);
-        store.zero_grads();
-        tape.backward(y, Tensor::full(1, 2, 1.0), &mut store);
-        assert_eq!(store.grad(ids[0]).data(), &[5.0, 5.0, 6.0, 6.0]);
+        tape.backward(y, Tensor::full(1, 2, 1.0), &mut grads);
+        assert_eq!(grads.grad(ids[0]).data(), &[5.0, 5.0, 6.0, 6.0]);
+    }
+
+    #[test]
+    fn param_pinning_does_not_clone() {
+        let (store, ids) = store_with(vec![Tensor::from_vec(1, 2, vec![1.0, 2.0])]);
+        let mut tape = Tape::new();
+        let w = tape.param(&store, ids[0]);
+        // The tape node's value is literally the store's buffer.
+        assert!(std::ptr::eq(
+            tape.value(w).data().as_ptr(),
+            store.value(ids[0]).data().as_ptr()
+        ));
     }
 
     #[test]
@@ -457,6 +725,66 @@ mod tests {
         assert_eq!(tape.value(s).data(), &[0.0, 0.0, 0.0, 0.0, 1.0, 2.0]);
     }
 
+    #[test]
+    fn fused_affine_matches_unfused_chain_bitwise() {
+        let (store, ids) = store_with(vec![
+            Tensor::from_vec(3, 4, (0..12).map(|i| 0.1 * i as f32 - 0.5).collect()),
+            Tensor::from_vec(1, 4, vec![0.05, -0.02, 0.3, -0.4]),
+        ]);
+        let x_t = Tensor::from_vec(2, 3, (0..6).map(|i| (i as f32 * 0.7).sin()).collect());
+
+        // Unfused: matmul -> add_bias -> relu.
+        let mut grads_a = Gradients::for_store(&store);
+        let mut tape_a = Tape::new();
+        let xa = tape_a.input(x_t.clone());
+        let wa = tape_a.param(&store, ids[0]);
+        let ba = tape_a.param(&store, ids[1]);
+        let h = tape_a.matmul(xa, wa);
+        let h = tape_a.add_bias(h, ba);
+        let ya = tape_a.relu(h);
+        tape_a.backward(ya, Tensor::full(2, 4, 1.0), &mut grads_a);
+
+        // Fused affine.
+        let mut grads_b = Gradients::for_store(&store);
+        let mut tape_b = Tape::new();
+        let xb = tape_b.input(x_t);
+        let wb = tape_b.param(&store, ids[0]);
+        let bb = tape_b.param(&store, ids[1]);
+        let yb = tape_b.affine(xb, wb, bb, true);
+        tape_b.backward(yb, Tensor::full(2, 4, 1.0), &mut grads_b);
+
+        assert_eq!(tape_a.value(ya).data(), tape_b.value(yb).data());
+        assert_eq!(grads_a.grad(ids[0]).data(), grads_b.grad(ids[0]).data());
+        assert_eq!(grads_a.grad(ids[1]).data(), grads_b.grad(ids[1]).data());
+    }
+
+    #[test]
+    fn fused_gather_segment_sum_matches_unfused_chain_bitwise() {
+        let (store, ids) = store_with(vec![Tensor::from_vec(
+            4,
+            3,
+            (0..12).map(|i| 0.21 * i as f32 - 1.0).collect(),
+        )]);
+        let rows = vec![0usize, 2, 2, 3, 1];
+        let segs = vec![1usize, 0, 1, 1, 2];
+
+        let mut grads_a = Gradients::for_store(&store);
+        let mut tape_a = Tape::new();
+        let wa = tape_a.param(&store, ids[0]);
+        let g = tape_a.gather_rows(wa, rows.clone());
+        let ya = tape_a.segment_sum(g, segs.clone(), 3);
+        tape_a.backward(ya, Tensor::full(3, 3, 1.0), &mut grads_a);
+
+        let mut grads_b = Gradients::for_store(&store);
+        let mut tape_b = Tape::new();
+        let wb = tape_b.param(&store, ids[0]);
+        let yb = tape_b.gather_segment_sum(wb, rows, segs, 3);
+        tape_b.backward(yb, Tensor::full(3, 3, 1.0), &mut grads_b);
+
+        assert_eq!(tape_a.value(ya).data(), tape_b.value(yb).data());
+        assert_eq!(grads_a.grad(ids[0]).data(), grads_b.grad(ids[0]).data());
+    }
+
     /// Finite-difference gradient check over a network exercising every op.
     #[test]
     fn gradient_check_all_ops() {
@@ -467,9 +795,9 @@ mod tests {
         ];
         let (mut store, ids) = store_with(seed_vals);
 
-        // Forward: x(4x3) @ w0 + b -> relu -> gather[0,2,1,3? no 4 rows]
-        // -> concat with sigmoid branch -> segment_sum -> @ w2 -> scale -> sum
-        let forward = |store: &ParamStore| -> (Tape, NodeId) {
+        // Forward: affine(x, w0, b) -> relu/sigmoid branches -> gathers
+        // -> concat -> segment_sum -> @ w2 -> scale -> sum
+        fn forward<'p>(store: &'p ParamStore, ids: &[ParamId]) -> (Tape<'p>, NodeId) {
             let mut tape = Tape::new();
             let x = tape.input(Tensor::from_vec(
                 4,
@@ -490,20 +818,22 @@ mod tests {
             let out = tape.matmul(seg, w2);
             let out = tape.scale(out, 0.5);
             (tape, out)
-        };
+        }
 
         let loss_of = |store: &ParamStore| -> f32 {
-            let (tape, out) = forward(store);
+            let (tape, out) = forward(store, &ids);
             tape.value(out).sum()
         };
 
-        let (tape, out) = forward(&store);
-        store.zero_grads();
-        let shape = tape.value(out).shape();
-        tape.backward(out, Tensor::full(shape.0, shape.1, 1.0), &mut store);
+        let mut grads = Gradients::for_store(&store);
+        {
+            let (tape, out) = forward(&store, &ids);
+            let shape = tape.value(out).shape();
+            tape.backward(out, Tensor::full(shape.0, shape.1, 1.0), &mut grads);
+        }
 
         let eps = 1e-3;
-        for pid in store.ids() {
+        for pid in store.ids().collect::<Vec<_>>() {
             for k in 0..store.value(pid).len() {
                 let orig = store.value(pid).data()[k];
                 store.value_mut(pid).data_mut()[k] = orig + eps;
@@ -512,7 +842,7 @@ mod tests {
                 let lm = loss_of(&store);
                 store.value_mut(pid).data_mut()[k] = orig;
                 let numeric = (lp - lm) / (2.0 * eps);
-                let analytic = store.grad(pid).data()[k];
+                let analytic = grads.grad(pid).data()[k];
                 assert!(
                     (numeric - analytic).abs() < 2e-2 * (1.0 + numeric.abs().max(analytic.abs())),
                     "param {} elem {}: numeric {} vs analytic {}",
@@ -527,33 +857,57 @@ mod tests {
 
     #[test]
     fn grads_accumulate_across_backwards() {
-        let (mut store, ids) = store_with(vec![Tensor::from_vec(1, 1, vec![2.0])]);
-        store.zero_grads();
+        let (store, ids) = store_with(vec![Tensor::from_vec(1, 1, vec![2.0])]);
+        let mut grads = Gradients::for_store(&store);
         for _ in 0..3 {
             let mut tape = Tape::new();
             let x = tape.input(Tensor::from_vec(1, 1, vec![1.0]));
             let w = tape.param(&store, ids[0]);
             let y = tape.matmul(x, w);
-            tape.backward(y, Tensor::full(1, 1, 1.0), &mut store);
+            tape.backward(y, Tensor::full(1, 1, 1.0), &mut grads);
         }
-        assert_eq!(store.grad(ids[0]).data(), &[3.0]);
-        store.zero_grads();
-        assert_eq!(store.grad(ids[0]).data(), &[0.0]);
+        assert_eq!(grads.grad(ids[0]).data(), &[3.0]);
+        grads.zero();
+        assert_eq!(grads.grad(ids[0]).data(), &[0.0]);
     }
 
     #[test]
     fn grad_clipping_scales() {
-        let (mut store, ids) = store_with(vec![Tensor::from_vec(1, 2, vec![1.0, 1.0])]);
-        store.zero_grads();
+        let (store, ids) = store_with(vec![Tensor::from_vec(1, 2, vec![1.0, 1.0])]);
+        let mut grads = Gradients::for_store(&store);
         let mut tape = Tape::new();
         let x = tape.input(Tensor::from_vec(1, 1, vec![3.0]));
         let w = tape.param(&store, ids[0]);
         let g = tape.gather_rows(w, vec![0]);
         let y = tape.matmul(x, g);
-        tape.backward(y, Tensor::full(1, 2, 1.0), &mut store);
-        let n = store.grad_norm();
+        tape.backward(y, Tensor::full(1, 2, 1.0), &mut grads);
+        let n = grads.norm();
         assert!((n - (9.0f32 + 9.0).sqrt()).abs() < 1e-5);
-        store.scale_grads(0.5);
-        assert!((store.grad_norm() - n * 0.5).abs() < 1e-5);
+        grads.scale(0.5);
+        assert!((grads.norm() - n * 0.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn backward_arena_reuse_is_stable() {
+        // Two identical backward passes through one arena must agree
+        // exactly (recycled buffers are re-zeroed on alloc).
+        let (store, ids) = store_with(vec![Tensor::from_vec(2, 2, vec![0.3, -0.2, 0.5, 0.9])]);
+        let mut arena = InferenceArena::new();
+        let run = |arena: &mut InferenceArena| {
+            let mut grads = Gradients::for_store(&store);
+            let mut tape = Tape::new();
+            let x = tape.input(Tensor::from_vec(3, 2, vec![1.0, 2.0, -1.0, 0.5, 0.25, -2.0]));
+            let w = tape.param(&store, ids[0]);
+            let h = tape.matmul(x, w);
+            let r = tape.relu(h);
+            let s = tape.segment_sum(r, vec![0, 1, 0], 2);
+            tape.backward_with_arena(s, Tensor::full(2, 2, 1.0), &mut grads, arena);
+            grads.grad(ids[0]).data().to_vec()
+        };
+        let first = run(&mut arena);
+        let pooled_after_first = arena.pooled();
+        let second = run(&mut arena);
+        assert_eq!(first, second);
+        assert!(pooled_after_first > 0, "arena should have recycled buffers");
     }
 }

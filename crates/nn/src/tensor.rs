@@ -4,6 +4,31 @@
 //! Everything in Costream's models is small (hidden widths of 32–128,
 //! minibatches of a few hundred graph nodes), so a straightforward dense
 //! representation with tight loops is both simple and fast enough.
+//!
+//! # Kernel dispatch tiers
+//!
+//! All three matmul variants — [`Tensor::matmul`] (`a @ b`, forward),
+//! [`Tensor::t_matmul`] (`a^T @ b`, the weight-gradient kernel) and
+//! [`Tensor::matmul_t`] (`a @ b^T`, the input-gradient kernel) — run
+//! through **one** shared accumulating microkernel, selected at runtime
+//! from three tiers:
+//!
+//! 1. **AVX2+FMA** (x86-64, runtime-detected): 4-row × 16-column output
+//!    tiles held in `ymm` registers across the full `k` loop.
+//! 2. **NEON** (aarch64, always present): the same tiling at 4 × 8 with
+//!    `float32x4_t` registers.
+//! 3. **Scalar** (any target, and the fallback for narrow outputs):
+//!    4-row-blocked lockstep loops that LLVM auto-vectorizes.
+//!
+//! `t_matmul` reaches the shared kernel through a strided view of `a`
+//! (reading `a[k * ca + i]` instead of `a[i * kd + k]` — the transpose is
+//! never materialized), and `matmul_t` transposes its small right-hand
+//! operand (a weight matrix) once and then runs the same kernel, so all
+//! three variants produce bitwise-identical accumulation per machine.
+//!
+//! Which tier is active can be checked with [`kernel_tier`] (the bench
+//! harness prints it), and the dispatch tests in this module assert that
+//! every tier agrees with the scalar reference on this machine.
 
 use serde::{Deserialize, Serialize};
 
@@ -122,95 +147,87 @@ impl Tensor {
     /// # Panics
     /// Panics if `self.cols != other.rows`.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(self.rows, other.cols);
+        self.matmul_acc(other, &mut out);
+        out
+    }
+
+    /// Accumulating matrix product `out += self @ other`.
+    ///
+    /// # Panics
+    /// Panics on any shape mismatch.
+    pub fn matmul_acc(&self, other: &Tensor, out: &mut Tensor) {
         assert_eq!(
             self.cols, other.rows,
             "matmul shape mismatch: {}x{} @ {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Tensor::zeros(self.rows, other.cols);
+        assert_eq!(out.shape(), (self.rows, other.cols), "matmul output shape mismatch");
         matmul_accumulate(&self.data, self.rows, self.cols, &other.data, other.cols, &mut out.data);
-        out
     }
 
     /// Matrix product `self^T @ other` without materializing the transpose.
     pub fn t_matmul(&self, other: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(self.cols, other.cols);
+        self.t_matmul_acc(other, &mut out);
+        out
+    }
+
+    /// Accumulating transposed product `out += self^T @ other`, the
+    /// weight-gradient kernel of the backward pass. Runs the shared
+    /// microkernel over a strided view of `self` (element `(i, k)` of
+    /// `self^T` is `self[k * cols + i]`), so no transpose is materialized
+    /// and the accumulation order matches [`Tensor::matmul_acc`] exactly.
+    ///
+    /// # Panics
+    /// Panics on any shape mismatch.
+    pub fn t_matmul_acc(&self, other: &Tensor, out: &mut Tensor) {
         assert_eq!(
             self.rows, other.rows,
             "t_matmul shape mismatch: ({}x{})^T @ {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
+        assert_eq!(out.shape(), (self.cols, other.cols), "t_matmul output shape mismatch");
         let (rows, ca, cb) = (self.rows, self.cols, other.cols);
-        let mut out = Tensor::zeros(ca, cb);
-        let a = &self.data;
-        let b = &other.data;
-        // 4-row blocking over the shared `r` dimension: each pass streams
-        // four rows of `a` and `b` and accumulates them into every output
-        // row, quartering the passes over `out`.
-        let mut r = 0;
-        while r + 4 <= rows {
-            let b0 = &b[r * cb..(r + 1) * cb];
-            let b1 = &b[(r + 1) * cb..(r + 2) * cb];
-            let b2 = &b[(r + 2) * cb..(r + 3) * cb];
-            let b3 = &b[(r + 3) * cb..(r + 4) * cb];
-            for i in 0..ca {
-                let a0 = a[r * ca + i];
-                let a1 = a[(r + 1) * ca + i];
-                let a2 = a[(r + 2) * ca + i];
-                let a3 = a[(r + 3) * ca + i];
-                let orow = &mut out.data[i * cb..(i + 1) * cb];
-                let it = orow.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3);
-                for ((((o, &v0), &v1), &v2), &v3) in it {
-                    *o += a0 * v0 + a1 * v1 + a2 * v2 + a3 * v3;
-                }
-            }
-            r += 4;
-        }
-        while r < rows {
-            let brow = &b[r * cb..(r + 1) * cb];
-            for i in 0..ca {
-                let av = a[r * ca + i];
-                let orow = &mut out.data[i * cb..(i + 1) * cb];
-                for (o, &bv) in orow.iter_mut().zip(brow) {
-                    *o += av * bv;
-                }
-            }
-            r += 1;
-        }
+        matmul_accumulate_strided(&self.data, 1, ca, ca, rows, &other.data, cb, &mut out.data);
+    }
+
+    /// Matrix product `self @ other^T`.
+    pub fn matmul_t(&self, other: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(self.rows, other.rows);
+        self.matmul_t_acc(other, &mut out);
         out
     }
 
-    /// Matrix product `self @ other^T` without materializing the transpose.
-    pub fn matmul_t(&self, other: &Tensor) -> Tensor {
+    /// Accumulating product `out += self @ other^T`, the input-gradient
+    /// kernel of the backward pass. `other` is a weight matrix (small —
+    /// at most `hidden x 2*hidden`), so it is transposed once into a
+    /// thread-local scratch buffer (reused across calls, keeping tensor
+    /// allocations off the steady-state backward path) and the shared
+    /// microkernel does the heavy lifting, keeping the accumulation order
+    /// identical to [`Tensor::matmul_acc`].
+    ///
+    /// # Panics
+    /// Panics on any shape mismatch.
+    pub fn matmul_t_acc(&self, other: &Tensor, out: &mut Tensor) {
         assert_eq!(
             self.cols, other.cols,
             "matmul_t shape mismatch: {}x{} @ ({}x{})^T",
             self.rows, self.cols, other.rows, other.cols
         );
+        assert_eq!(out.shape(), (self.rows, other.rows), "matmul_t output shape mismatch");
         let (m, kd, rb) = (self.rows, self.cols, other.rows);
-        let mut out = Tensor::zeros(m, rb);
-        for i in 0..m {
-            let arow = &self.data[i * kd..(i + 1) * kd];
-            let orow = &mut out.data[i * rb..(i + 1) * rb];
-            for (j, o) in orow.iter_mut().enumerate() {
-                let brow = &other.data[j * kd..(j + 1) * kd];
-                // Four independent accumulators hide the FMA latency chain.
-                let mut acc = [0.0f32; 4];
-                let mut chunks_a = arow.chunks_exact(4);
-                let mut chunks_b = brow.chunks_exact(4);
-                for (ca4, cb4) in (&mut chunks_a).zip(&mut chunks_b) {
-                    acc[0] += ca4[0] * cb4[0];
-                    acc[1] += ca4[1] * cb4[1];
-                    acc[2] += ca4[2] * cb4[2];
-                    acc[3] += ca4[3] * cb4[3];
+        TRANSPOSE_SCRATCH.with(|cell| {
+            let mut bt = cell.borrow_mut();
+            bt.clear();
+            bt.resize(kd * rb, 0.0);
+            for (j, brow) in other.data.chunks_exact(kd).enumerate() {
+                for (k, &v) in brow.iter().enumerate() {
+                    bt[k * rb + j] = v;
                 }
-                let mut tail = 0.0f32;
-                for (&av, &bv) in chunks_a.remainder().iter().zip(chunks_b.remainder()) {
-                    tail += av * bv;
-                }
-                *o = (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail;
             }
-        }
-        out
+            matmul_accumulate(&self.data, m, kd, &bt, rb, &mut out.data);
+        });
     }
 
     /// Fused affine map `out = x @ w + bias`, optionally with ReLU, writing
@@ -437,22 +454,67 @@ impl Tensor {
     }
 }
 
+thread_local! {
+    /// Reused weight-transpose scratch for [`Tensor::matmul_t_acc`]: the
+    /// per-call buffer would otherwise be the only steady-state
+    /// allocation left on the backward hot path.
+    static TRANSPOSE_SCRATCH: std::cell::RefCell<Vec<f32>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Name of the microkernel tier runtime dispatch selects on this machine:
+/// `"avx2+fma"`, `"neon"` or `"scalar"`. Narrow outputs (`n < 8` on
+/// x86-64, `n < 4` on aarch64) always take the scalar path regardless of
+/// the reported tier; the bench harness prints this value so recorded
+/// numbers can be attributed to a tier.
+pub fn kernel_tier() -> &'static str {
+    #[cfg(target_arch = "x86_64")]
+    if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
+        return "avx2+fma";
+    }
+    #[cfg(target_arch = "aarch64")]
+    if std::arch::is_aarch64_feature_detected!("neon") {
+        return "neon";
+    }
+    "scalar"
+}
+
 /// Accumulating matmul microkernel: `out += a @ b` with `a` of shape
 /// `m x kd` and `b` of shape `kd x n`, all row-major.
+fn matmul_accumulate(a: &[f32], m: usize, kd: usize, b: &[f32], n: usize, out: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * kd);
+    matmul_accumulate_strided(a, kd, 1, m, kd, b, n, out);
+}
+
+/// The shared accumulating microkernel behind all three matmul variants:
+/// `out[i][j] += Σ_k a[i * a_rs + k * a_ks] * b[k * n + j]` for an `m x n`
+/// output and a `kd`-deep reduction. `a` is read through (row, k) strides
+/// so the same kernel serves `a @ b` (`a_rs = kd, a_ks = 1`) and
+/// `a^T @ b` (`a_rs = 1, a_ks = ca`) without materializing a transpose —
+/// only scalar broadcasts of `a` are loaded, so striding costs nothing.
 ///
 /// Dispatches to a runtime-detected AVX2+FMA register-tiled kernel on
 /// x86-64 (4x16 output tiles held in ymm registers across the full `k`
-/// loop) and falls back to a portable 4-row-blocked scalar kernel that
-/// LLVM auto-vectorizes. Unlike the original kernel there is no
-/// data-dependent `a == 0.0` branch in the inner loop — the branch
-/// mispredicted heavily on post-ReLU activations and blocked
-/// vectorization.
+/// loop), a NEON 4x8 kernel on aarch64, and a portable 4-row-blocked
+/// scalar kernel that LLVM auto-vectorizes everywhere else. There is no
+/// data-dependent `a == 0.0` branch in any inner loop — such a branch
+/// mispredicts heavily on post-ReLU activations and blocks vectorization.
 ///
-/// Per output element both kernels accumulate over `k` in order with a
-/// single accumulator, so tape and inference paths (which share this
-/// function) always agree bitwise with each other on the same machine.
-fn matmul_accumulate(a: &[f32], m: usize, kd: usize, b: &[f32], n: usize, out: &mut [f32]) {
-    debug_assert_eq!(a.len(), m * kd);
+/// Per output element every tier accumulates over `k` in order with a
+/// single accumulator, so the forward, inference and backward paths
+/// (which all share this function) agree bitwise with each other on the
+/// same machine.
+#[allow(clippy::too_many_arguments)] // flat FFI-style kernel signature
+fn matmul_accumulate_strided(
+    a: &[f32],
+    a_rs: usize,
+    a_ks: usize,
+    m: usize,
+    kd: usize,
+    b: &[f32],
+    n: usize,
+    out: &mut [f32],
+) {
+    debug_assert!(m == 0 || kd == 0 || a.len() > (m - 1) * a_rs + (kd - 1) * a_ks);
     debug_assert_eq!(b.len(), kd * n);
     debug_assert_eq!(out.len(), m * n);
     #[cfg(target_arch = "x86_64")]
@@ -460,11 +522,19 @@ fn matmul_accumulate(a: &[f32], m: usize, kd: usize, b: &[f32], n: usize, out: &
         if n >= 8 && is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
             // Safety: feature detection succeeded; slice bounds are
             // checked by the debug asserts above and the loop structure.
-            unsafe { matmul_accumulate_avx2(a, m, kd, b, n, out) };
+            unsafe { matmul_accumulate_avx2(a, a_rs, a_ks, m, kd, b, n, out) };
             return;
         }
     }
-    matmul_accumulate_scalar(a, m, kd, b, n, out);
+    #[cfg(target_arch = "aarch64")]
+    {
+        if n >= 4 && std::arch::is_aarch64_feature_detected!("neon") {
+            // Safety: NEON is mandatory on aarch64 and detection succeeded.
+            unsafe { matmul_accumulate_neon(a, a_rs, a_ks, m, kd, b, n, out) };
+            return;
+        }
+    }
+    matmul_accumulate_scalar(a, a_rs, a_ks, m, kd, b, n, out);
 }
 
 /// AVX2+FMA kernel: 4-row x 16-column output tiles kept in registers
@@ -472,7 +542,17 @@ fn matmul_accumulate(a: &[f32], m: usize, kd: usize, b: &[f32], n: usize, out: &
 /// 8-wide and scalar fringes.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2", enable = "fma")]
-unsafe fn matmul_accumulate_avx2(a: &[f32], m: usize, kd: usize, b: &[f32], n: usize, out: &mut [f32]) {
+#[allow(clippy::too_many_arguments)]
+unsafe fn matmul_accumulate_avx2(
+    a: &[f32],
+    a_rs: usize,
+    a_ks: usize,
+    m: usize,
+    kd: usize,
+    b: &[f32],
+    n: usize,
+    out: &mut [f32],
+) {
     use std::arch::x86_64::*;
     let ap = a.as_ptr();
     let bp = b.as_ptr();
@@ -490,7 +570,7 @@ unsafe fn matmul_accumulate_avx2(a: &[f32], m: usize, kd: usize, b: &[f32], n: u
                 let b0 = _mm256_loadu_ps(bp.add(k * n + j));
                 let b1 = _mm256_loadu_ps(bp.add(k * n + j + 8));
                 for (r, acc_r) in acc.iter_mut().enumerate() {
-                    let av = _mm256_set1_ps(*ap.add((i + r) * kd + k));
+                    let av = _mm256_set1_ps(*ap.add((i + r) * a_rs + k * a_ks));
                     acc_r[0] = _mm256_fmadd_ps(av, b0, acc_r[0]);
                     acc_r[1] = _mm256_fmadd_ps(av, b1, acc_r[1]);
                 }
@@ -509,7 +589,7 @@ unsafe fn matmul_accumulate_avx2(a: &[f32], m: usize, kd: usize, b: &[f32], n: u
             for k in 0..kd {
                 let b0 = _mm256_loadu_ps(bp.add(k * n + j));
                 for (r, acc_r) in acc.iter_mut().enumerate() {
-                    let av = _mm256_set1_ps(*ap.add((i + r) * kd + k));
+                    let av = _mm256_set1_ps(*ap.add((i + r) * a_rs + k * a_ks));
                     *acc_r = _mm256_fmadd_ps(av, b0, *acc_r);
                 }
             }
@@ -522,7 +602,7 @@ unsafe fn matmul_accumulate_avx2(a: &[f32], m: usize, kd: usize, b: &[f32], n: u
             for r in 0..4 {
                 let mut acc = *op.add((i + r) * n + j);
                 for k in 0..kd {
-                    acc = (*ap.add((i + r) * kd + k)).mul_add(*bp.add(k * n + j), acc);
+                    acc = (*ap.add((i + r) * a_rs + k * a_ks)).mul_add(*bp.add(k * n + j), acc);
                 }
                 *op.add((i + r) * n + j) = acc;
             }
@@ -535,7 +615,7 @@ unsafe fn matmul_accumulate_avx2(a: &[f32], m: usize, kd: usize, b: &[f32], n: u
         while j + 8 <= n {
             let mut acc = _mm256_loadu_ps(op.add(i * n + j));
             for k in 0..kd {
-                let av = _mm256_set1_ps(*ap.add(i * kd + k));
+                let av = _mm256_set1_ps(*ap.add(i * a_rs + k * a_ks));
                 acc = _mm256_fmadd_ps(av, _mm256_loadu_ps(bp.add(k * n + j)), acc);
             }
             _mm256_storeu_ps(op.add(i * n + j), acc);
@@ -544,7 +624,7 @@ unsafe fn matmul_accumulate_avx2(a: &[f32], m: usize, kd: usize, b: &[f32], n: u
         while j < n {
             let mut acc = *op.add(i * n + j);
             for k in 0..kd {
-                acc = (*ap.add(i * kd + k)).mul_add(*bp.add(k * n + j), acc);
+                acc = (*ap.add(i * a_rs + k * a_ks)).mul_add(*bp.add(k * n + j), acc);
             }
             *op.add(i * n + j) = acc;
             j += 1;
@@ -553,8 +633,114 @@ unsafe fn matmul_accumulate_avx2(a: &[f32], m: usize, kd: usize, b: &[f32], n: u
     }
 }
 
-/// Portable fallback kernel (also the non-x86-64 path).
-fn matmul_accumulate_scalar(a: &[f32], m: usize, kd: usize, b: &[f32], n: usize, out: &mut [f32]) {
+/// NEON kernel: 4-row x 8-column output tiles (8 fma accumulators of
+/// `float32x4_t`), with 4-wide and scalar fringes. NEON is baseline on
+/// aarch64, so unlike AVX2 there is no per-feature fallback concern.
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn matmul_accumulate_neon(
+    a: &[f32],
+    a_rs: usize,
+    a_ks: usize,
+    m: usize,
+    kd: usize,
+    b: &[f32],
+    n: usize,
+    out: &mut [f32],
+) {
+    use std::arch::aarch64::*;
+    let ap = a.as_ptr();
+    let bp = b.as_ptr();
+    let op = out.as_mut_ptr();
+    let mut i = 0;
+    while i + 4 <= m {
+        let mut j = 0;
+        while j + 8 <= n {
+            let mut acc = [[vdupq_n_f32(0.0); 2]; 4];
+            for (r, acc_r) in acc.iter_mut().enumerate() {
+                acc_r[0] = vld1q_f32(op.add((i + r) * n + j));
+                acc_r[1] = vld1q_f32(op.add((i + r) * n + j + 4));
+            }
+            for k in 0..kd {
+                let b0 = vld1q_f32(bp.add(k * n + j));
+                let b1 = vld1q_f32(bp.add(k * n + j + 4));
+                for (r, acc_r) in acc.iter_mut().enumerate() {
+                    let av = *ap.add((i + r) * a_rs + k * a_ks);
+                    acc_r[0] = vfmaq_n_f32(acc_r[0], b0, av);
+                    acc_r[1] = vfmaq_n_f32(acc_r[1], b1, av);
+                }
+            }
+            for (r, acc_r) in acc.iter().enumerate() {
+                vst1q_f32(op.add((i + r) * n + j), acc_r[0]);
+                vst1q_f32(op.add((i + r) * n + j + 4), acc_r[1]);
+            }
+            j += 8;
+        }
+        while j + 4 <= n {
+            let mut acc = [vdupq_n_f32(0.0); 4];
+            for (r, acc_r) in acc.iter_mut().enumerate() {
+                *acc_r = vld1q_f32(op.add((i + r) * n + j));
+            }
+            for k in 0..kd {
+                let b0 = vld1q_f32(bp.add(k * n + j));
+                for (r, acc_r) in acc.iter_mut().enumerate() {
+                    let av = *ap.add((i + r) * a_rs + k * a_ks);
+                    *acc_r = vfmaq_n_f32(*acc_r, b0, av);
+                }
+            }
+            for (r, acc_r) in acc.iter().enumerate() {
+                vst1q_f32(op.add((i + r) * n + j), *acc_r);
+            }
+            j += 4;
+        }
+        while j < n {
+            for r in 0..4 {
+                let mut acc = *op.add((i + r) * n + j);
+                for k in 0..kd {
+                    acc = (*ap.add((i + r) * a_rs + k * a_ks)).mul_add(*bp.add(k * n + j), acc);
+                }
+                *op.add((i + r) * n + j) = acc;
+            }
+            j += 1;
+        }
+        i += 4;
+    }
+    while i < m {
+        let mut j = 0;
+        while j + 4 <= n {
+            let mut acc = vld1q_f32(op.add(i * n + j));
+            for k in 0..kd {
+                let av = *ap.add(i * a_rs + k * a_ks);
+                acc = vfmaq_n_f32(acc, vld1q_f32(bp.add(k * n + j)), av);
+            }
+            vst1q_f32(op.add(i * n + j), acc);
+            j += 4;
+        }
+        while j < n {
+            let mut acc = *op.add(i * n + j);
+            for k in 0..kd {
+                acc = (*ap.add(i * a_rs + k * a_ks)).mul_add(*bp.add(k * n + j), acc);
+            }
+            *op.add(i * n + j) = acc;
+            j += 1;
+        }
+        i += 1;
+    }
+}
+
+/// Portable fallback kernel (also the non-SIMD path for narrow outputs).
+#[allow(clippy::too_many_arguments)]
+fn matmul_accumulate_scalar(
+    a: &[f32],
+    a_rs: usize,
+    a_ks: usize,
+    m: usize,
+    kd: usize,
+    b: &[f32],
+    n: usize,
+    out: &mut [f32],
+) {
     let mut i = 0;
     while i + 4 <= m {
         let mut rows = out[i * n..(i + 4) * n].chunks_exact_mut(n);
@@ -563,10 +749,10 @@ fn matmul_accumulate_scalar(a: &[f32], m: usize, kd: usize, b: &[f32], n: usize,
         let o2 = rows.next().expect("row 2");
         let o3 = rows.next().expect("row 3");
         for k in 0..kd {
-            let a0 = a[i * kd + k];
-            let a1 = a[(i + 1) * kd + k];
-            let a2 = a[(i + 2) * kd + k];
-            let a3 = a[(i + 3) * kd + k];
+            let a0 = a[i * a_rs + k * a_ks];
+            let a1 = a[(i + 1) * a_rs + k * a_ks];
+            let a2 = a[(i + 2) * a_rs + k * a_ks];
+            let a3 = a[(i + 3) * a_rs + k * a_ks];
             let brow = &b[k * n..(k + 1) * n];
             // Lockstep zips let LLVM drop every bounds check and vectorize.
             let it = o0
@@ -587,7 +773,7 @@ fn matmul_accumulate_scalar(a: &[f32], m: usize, kd: usize, b: &[f32], n: usize,
     while i < m {
         let orow = &mut out[i * n..(i + 1) * n];
         for k in 0..kd {
-            let av = a[i * kd + k];
+            let av = a[i * a_rs + k * a_ks];
             let brow = &b[k * n..(k + 1) * n];
             for (o, &bv) in orow.iter_mut().zip(brow) {
                 *o += av * bv;
@@ -762,6 +948,112 @@ mod tests {
                 assert!((x - y).abs() < 1e-3 * (1.0 + y.abs()));
             }
         }
+    }
+
+    /// `t_matmul` reaches the dispatch through a strided view of `a`; the
+    /// materialized transpose pushed through `matmul` takes the exact same
+    /// kernel with the same accumulation order, so the two must agree
+    /// **bitwise** on every machine and tier.
+    #[test]
+    fn t_matmul_bitwise_matches_shared_kernel_on_transpose() {
+        for &(r, ca, cb) in &[(1, 2, 3), (4, 4, 4), (5, 3, 7), (13, 8, 2), (64, 32, 48), (256, 64, 48)] {
+            let a = pseudo_random(r, ca, 11);
+            let b = pseudo_random(r, cb, 12);
+            let mut at = Tensor::zeros(ca, r);
+            for i in 0..r {
+                for j in 0..ca {
+                    at.set(j, i, a.get(i, j));
+                }
+            }
+            assert_eq!(
+                a.t_matmul(&b).data(),
+                at.matmul(&b).data(),
+                "{r}x{ca}^T @ {r}x{cb} diverged from the shared kernel"
+            );
+        }
+    }
+
+    /// `matmul_t` transposes its right operand once and runs the shared
+    /// kernel; pre-transposing by hand and calling `matmul` must therefore
+    /// agree **bitwise**.
+    #[test]
+    fn matmul_t_bitwise_matches_shared_kernel_on_transpose() {
+        for &(m, k, rb) in &[(1, 1, 1), (3, 5, 2), (4, 9, 4), (6, 26, 3), (64, 48, 64), (128, 32, 64)] {
+            let a = pseudo_random(m, k, 13);
+            let b = pseudo_random(rb, k, 14);
+            let mut bt = Tensor::zeros(k, rb);
+            for i in 0..rb {
+                for j in 0..k {
+                    bt.set(j, i, b.get(i, j));
+                }
+            }
+            assert_eq!(
+                a.matmul_t(&b).data(),
+                a.matmul(&bt).data(),
+                "{m}x{k} @ ({rb}x{k})^T diverged from the shared kernel"
+            );
+        }
+    }
+
+    /// Every SIMD tier must agree with the scalar reference kernel to f32
+    /// round-off (FMA contracts one rounding step, so the comparison is
+    /// tolerance-based; the dispatch itself is exact per machine).
+    #[test]
+    fn dispatched_kernels_match_scalar_reference() {
+        for &(m, k, n) in &[(4, 8, 16), (7, 26, 48), (64, 64, 48), (5, 13, 9), (64, 64, 33)] {
+            let a = pseudo_random(m, k, 15);
+            let b = pseudo_random(k, n, 16);
+            // Forward orientation.
+            let fast = a.matmul(&b);
+            let mut slow = Tensor::zeros(m, n);
+            matmul_accumulate_scalar(a.data(), k, 1, m, k, b.data(), n, slow.data_mut());
+            for (x, y) in fast.data().iter().zip(slow.data()) {
+                assert!((x - y).abs() < 1e-4 * (1.0 + y.abs()), "matmul {m}x{k}x{n}: {x} vs {y}");
+            }
+            // Transposed-A orientation (the t_matmul stride pattern):
+            // (k x n)^T @ (k x n) = n x n through both paths.
+            let tf = b.t_matmul(&b);
+            let mut ts = Tensor::zeros(n, n);
+            matmul_accumulate_scalar(b.data(), 1, n, n, k, b.data(), n, ts.data_mut());
+            for (x, y) in tf.data().iter().zip(ts.data()) {
+                assert!((x - y).abs() < 1e-4 * (1.0 + y.abs()), "t_matmul {k}x{n}^T: {x} vs {y}");
+            }
+        }
+        eprintln!("active kernel tier: {}", kernel_tier());
+    }
+
+    #[test]
+    fn acc_variants_accumulate_instead_of_overwriting() {
+        let a = pseudo_random(3, 4, 17);
+        let b = pseudo_random(4, 5, 18);
+        let mut out = a.matmul(&b);
+        a.matmul_acc(&b, &mut out); // out = 2 * (a @ b)
+        let once = a.matmul(&b);
+        for (x, y) in out.data().iter().zip(once.data()) {
+            assert!((x - 2.0 * y).abs() < 1e-5 * (1.0 + y.abs()));
+        }
+
+        let g = pseudo_random(6, 5, 19);
+        let w = pseudo_random(4, 5, 20); // g @ w^T : 6x4
+        let mut acc = g.matmul_t(&w);
+        g.matmul_t_acc(&w, &mut acc);
+        let one = g.matmul_t(&w);
+        for (x, y) in acc.data().iter().zip(one.data()) {
+            assert!((x - 2.0 * y).abs() < 1e-5 * (1.0 + y.abs()));
+        }
+
+        let x = pseudo_random(6, 4, 21);
+        let mut tacc = x.t_matmul(&g); // 4x5
+        x.t_matmul_acc(&g, &mut tacc);
+        let tone = x.t_matmul(&g);
+        for (u, v) in tacc.data().iter().zip(tone.data()) {
+            assert!((u - 2.0 * v).abs() < 1e-5 * (1.0 + v.abs()));
+        }
+    }
+
+    #[test]
+    fn kernel_tier_reports_a_known_tier() {
+        assert!(matches!(kernel_tier(), "avx2+fma" | "neon" | "scalar"));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! optimizer steps must reduce convex losses.
 
 use costream_nn::loss::mse;
-use costream_nn::{Initializer, Mlp, ParamStore, Tape, Tensor};
+use costream_nn::{Gradients, Initializer, Mlp, ParamStore, Tape, Tensor};
 use proptest::prelude::*;
 
 proptest! {
@@ -30,12 +30,14 @@ proptest! {
             mse(tape.value(out), &targets).loss
         };
 
-        let mut tape = Tape::new();
-        let x = tape.input(Tensor::from_vec(rows, in_dim, x_data.clone()));
-        let out = mlp.forward(&mut tape, &store, x);
-        let l = mse(tape.value(out), &targets);
-        store.zero_grads();
-        tape.backward(out, l.seed, &mut store);
+        let mut grads = Gradients::for_store(&store);
+        {
+            let mut tape = Tape::new();
+            let x = tape.input(Tensor::from_vec(rows, in_dim, x_data.clone()));
+            let out = mlp.forward(&mut tape, &store, x);
+            let l = mse(tape.value(out), &targets);
+            tape.backward(out, l.seed, &mut grads);
+        }
 
         let eps = 1e-2f32;
         // Spot-check a few scalars of every parameter tensor. A central
@@ -59,7 +61,7 @@ proptest! {
                 let central = (lp - lm) / (2.0 * eps);
                 let forward = (lp - l0) / eps;
                 let backward = (l0 - lm) / eps;
-                let analytic = store.grad(pid).data()[k];
+                let analytic = grads.grad(pid).data()[k];
                 let agrees = [central, forward, backward]
                     .iter()
                     .any(|n| (n - analytic).abs() < 5e-2 * (1.0 + n.abs().max(analytic.abs())));

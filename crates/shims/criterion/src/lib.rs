@@ -137,29 +137,33 @@ fn format_ns(ns: f64) -> String {
     }
 }
 
-/// Writes all registered results as a JSON array. Called automatically by
-/// the `criterion_main!` expansion.
+/// Writes all registered results as JSON: a `meta` header recording the
+/// runner (core count matters — several benched paths work-share over the
+/// rayon pool, so ns/iter is only comparable between runners of equal
+/// width) followed by the `results` array. Called automatically by the
+/// `criterion_main!` expansion.
 pub fn write_results() {
     let results = RESULTS.lock().expect("results lock");
     if results.is_empty() {
         return;
     }
     let path = std::env::var("BENCH_JSON").unwrap_or_else(|_| "BENCH_micro.json".to_string());
-    let mut out = String::from("[\n");
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut out = format!("{{\n  \"meta\": {{\"cores\": {cores}}},\n  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {
         if i > 0 {
             out.push_str(",\n");
         }
         out.push_str(&format!(
-            "  {{\"op\": \"{}\", \"ns_per_iter\": {:.1}, \"throughput_per_s\": {:.3}}}",
+            "    {{\"op\": \"{}\", \"ns_per_iter\": {:.1}, \"throughput_per_s\": {:.3}}}",
             r.name,
             r.ns_per_iter,
             1e9 / r.ns_per_iter
         ));
     }
-    out.push_str("\n]\n");
+    out.push_str("\n  ]\n}\n");
     match std::fs::write(&path, &out) {
-        Ok(()) => eprintln!("wrote {} bench results to {path}", results.len()),
+        Ok(()) => eprintln!("wrote {} bench results to {path} ({cores} cores)", results.len()),
         Err(e) => eprintln!("could not write {path}: {e}"),
     }
 }

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Bench-smoke regression gate.
+
+Compares a freshly measured BENCH_micro.json against the committed
+baseline and fails (exit 1) when a gated benchmark regressed by more than
+the allowed factor. Used by CI after `cargo bench -p costream-bench`.
+
+Usage: check_bench_regression.py BASELINE.json FRESH.json
+
+Handles both JSON layouts: the legacy bare array and the current
+{"meta": {...}, "results": [...]} object. Gated ops missing from the
+baseline pass (first run after a bench is added).
+
+Machine-class variance (different CPU generation, different core count —
+the baseline JSON may have been committed from a different runner) is
+handled by double-gating: each gated op is compared both on absolute
+ns/iter and on its ratio to CALIBRATION_OP (a pure single-threaded
+kernel bench measured in the same run, so host speed cancels out), and
+the gate fails only when BOTH exceed the allowed factor. A genuinely
+slower runner passes via the ratio; a faster matmul kernel (which
+inflates the ratio) passes via the absolute time; a real regression of
+the gated op moves both. Only single-threaded benches may be gated or
+used for calibration — work-sharing benches (ensemble training, chunked
+inference) are not comparable across runner widths.
+"""
+
+import json
+import sys
+
+# op name -> maximum allowed slowdown factor vs the committed baseline.
+# Every entry here MUST be a single-threaded bench (see module docstring).
+GATED = {
+    "train_epoch": 1.20,
+}
+
+# Pure single-threaded kernel bench used to normalize away host speed.
+CALIBRATION_OP = "matmul_256x64x48_updater_in_big"
+
+
+def load(path):
+    with open(path) as fh:
+        doc = json.load(fh)
+    if isinstance(doc, dict):
+        meta, results = doc.get("meta", {}), doc["results"]
+    else:
+        meta, results = {}, doc
+    return meta, {r["op"]: r["ns_per_iter"] for r in results}
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    base_meta, base = load(sys.argv[1])
+    fresh_meta, fresh = load(sys.argv[2])
+
+    base_cores = base_meta.get("cores")
+    fresh_cores = fresh_meta.get("cores")
+    if base_cores is not None and fresh_cores is not None and base_cores != fresh_cores:
+        print(
+            f"note: baseline measured on {base_cores} cores, this runner has "
+            f"{fresh_cores}; gated ops are single-threaded so the check still applies"
+        )
+
+    can_calibrate = CALIBRATION_OP in base and CALIBRATION_OP in fresh
+    if not can_calibrate:
+        print(f"note: calibration op {CALIBRATION_OP} missing; gating on absolute time only")
+
+    failed = False
+    for op, max_factor in GATED.items():
+        if op not in base:
+            print(f"{op}: no baseline entry, passing (first run)")
+            continue
+        if op not in fresh:
+            print(f"{op}: MISSING from fresh results")
+            failed = True
+            continue
+        abs_factor = fresh[op] / base[op]
+        factors = [("absolute", abs_factor)]
+        if can_calibrate:
+            rel_factor = (fresh[op] / fresh[CALIBRATION_OP]) / (base[op] / base[CALIBRATION_OP])
+            factors.append(("calibrated", rel_factor))
+        # Fail only when every view of the measurement says "regressed".
+        regressed = all(f > max_factor for _, f in factors)
+        detail = ", ".join(f"{name} {f:.2f}x" for name, f in factors)
+        status = "REGRESSED" if regressed else "OK"
+        print(f"{op}: {base[op]:.0f} ns -> {fresh[op]:.0f} ns ({detail}; limit {max_factor:.2f}x) {status}")
+        if regressed:
+            failed = True
+    sys.exit(1 if failed else 0)
+
+
+if __name__ == "__main__":
+    main()

@@ -207,6 +207,217 @@ fn bench_gbdt(c: &mut Criterion) {
     });
 }
 
+/// Load statistics for one serving configuration.
+struct LoadStats {
+    /// Wall-clock nanoseconds per request across all clients.
+    ns_per_request: f64,
+    /// Median request latency (ns), submission to response.
+    p50_ns: f64,
+    /// 99th-percentile request latency (ns), submission to response.
+    p99_ns: f64,
+}
+
+fn aggregate(mut latencies: Vec<u64>, measure: std::time::Duration) -> LoadStats {
+    // Zero completions would fabricate plausible-looking numbers (one
+    // "request" per window, 0 ns percentiles); fail loudly instead.
+    assert!(
+        !latencies.is_empty(),
+        "load generator completed no requests in the measurement window"
+    );
+    latencies.sort_unstable();
+    let n = latencies.len();
+    LoadStats {
+        ns_per_request: measure.as_nanos() as f64 / n as f64,
+        p50_ns: latencies.get(n / 2).copied().unwrap_or(0) as f64,
+        p99_ns: latencies.get(((n * 99) / 100).min(n - 1)).copied().unwrap_or(0) as f64,
+    }
+}
+
+/// Drives `clients` strictly synchronous client threads (one request in
+/// flight each) against `score` for `measure` (after `warmup`), each
+/// walking `pool` from its own offset.
+fn run_sync_load(
+    clients: usize,
+    pool: &[costream::graph::JointGraph],
+    warmup: std::time::Duration,
+    measure: std::time::Duration,
+    score: &(impl Fn(&costream::graph::JointGraph) -> f64 + Sync),
+) -> LoadStats {
+    use std::time::Instant;
+    let latencies: Vec<u64> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                s.spawn(move || {
+                    let mut i = c * 7;
+                    let warm_end = Instant::now() + warmup;
+                    while Instant::now() < warm_end {
+                        black_box(score(&pool[i % pool.len()]));
+                        i += 1;
+                    }
+                    let mut lats = Vec::new();
+                    let end = Instant::now() + measure;
+                    while Instant::now() < end {
+                        let t0 = Instant::now();
+                        black_box(score(&pool[i % pool.len()]));
+                        lats.push(t0.elapsed().as_nanos() as u64);
+                        i += 1;
+                    }
+                    lats
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    aggregate(latencies, measure)
+}
+
+/// Drives `clients` serving clients, each keeping up to `depth` requests
+/// in flight (`depth == 1` is the strict closed loop). Pipelining is the
+/// natural client shape for a serving layer — e.g. the placement
+/// optimizer submits every candidate of a query at once and collects the
+/// scores — and is what lets coalesced batches grow past the client
+/// count. Latency is measured per request, submission to response.
+fn run_serve_load(
+    clients: usize,
+    depth: usize,
+    pool: &[std::sync::Arc<costream::graph::JointGraph>],
+    warmup: std::time::Duration,
+    measure: std::time::Duration,
+    client_handle: &costream_serve::ScoreClient,
+) -> LoadStats {
+    use std::collections::VecDeque;
+    use std::sync::Arc;
+    use std::time::Instant;
+    let latencies: Vec<u64> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let handle = client_handle.clone();
+                s.spawn(move || {
+                    let mut i = c * 7;
+                    let submit = |i: &mut usize| {
+                        let g = Arc::clone(&pool[*i % pool.len()]);
+                        *i += 1;
+                        (Instant::now(), handle.submit(g).expect("queue within bounds"))
+                    };
+                    let mut pending: VecDeque<_> = VecDeque::with_capacity(depth);
+                    let warm_end = Instant::now() + warmup;
+                    while Instant::now() < warm_end {
+                        while pending.len() < depth {
+                            pending.push_back(submit(&mut i));
+                        }
+                        let (_, p) = pending.pop_front().expect("depth >= 1");
+                        black_box(p.wait().expect("service alive"));
+                    }
+                    let mut lats = Vec::new();
+                    let end = Instant::now() + measure;
+                    while Instant::now() < end {
+                        while pending.len() < depth {
+                            pending.push_back(submit(&mut i));
+                        }
+                        let (t0, p) = pending.pop_front().expect("depth >= 1");
+                        black_box(p.wait().expect("service alive"));
+                        lats.push(t0.elapsed().as_nanos() as u64);
+                    }
+                    // Drain the tail outside the measured window.
+                    for (_, p) in pending {
+                        let _ = p.wait();
+                    }
+                    lats
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    aggregate(latencies, measure)
+}
+
+/// The serving layer under load: requests/s and p50/p99 latency at
+/// several client counts, against the synchronous single-request path as
+/// the baseline. `serve_throughput` (8 concurrent clients, each
+/// pipelining up to 4 candidate scores like the placement optimizer
+/// does) is the number the CI regression gate watches; the acceptance
+/// target is ≥ 3x the 8-client synchronous throughput. The strict
+/// one-in-flight closed loop is recorded alongside as
+/// `serve_throughput_depth1`.
+///
+/// Workload: one *hot query shape* — a recurring graph topology whose
+/// feature values (selectivity estimates) shift per request — the
+/// serving sweet spot the topology-keyed plan cache is built for.
+fn bench_serving(c: &mut Criterion) {
+    use costream_serve::{ScoringService, ServeConfig};
+    use std::sync::Arc;
+    use std::time::Duration;
+    let _ = c; // measured with a wall-clock load generator, not Bencher
+
+    let corpus = Corpus::generate(48, 12, FeatureRanges::training(), &SimConfig::default());
+    let cfg = TrainConfig {
+        epochs: 2,
+        ..Default::default()
+    };
+    let ensemble = Ensemble::train(&corpus, CostMetric::ProcessingLatency, &cfg, 3);
+
+    // Hot-shape pool: one placed query, 64 feature variants.
+    let mut gen = WorkloadGenerator::new(11, FeatureRanges::training());
+    let (query, cluster, placement) = gen.workload_item();
+    let pool: Vec<JointGraph> = (0..64)
+        .map(|i| {
+            let sels = SelectivityEstimator::realistic(100 + i).estimate_query(&query);
+            JointGraph::build(&query, &cluster, &placement, &sels, Featurization::Full)
+        })
+        .collect();
+    let shared_pool: Vec<Arc<JointGraph>> = pool.iter().cloned().map(Arc::new).collect();
+
+    let warmup = Duration::from_millis(250);
+    let measure = Duration::from_secs(1);
+
+    // Synchronous single-request baseline: every client pays per-call
+    // plan construction and single-graph kernel launches, one request in
+    // flight each (that path has nothing to pipeline into).
+    let mut sync_8_ns = f64::NAN;
+    for &clients in &[1usize, 8] {
+        let stats = run_sync_load(clients, &pool, warmup, measure, &|g| ensemble.predict_graphs(&[g])[0]);
+        let suffix = if clients == 1 { "1client" } else { "8clients" };
+        criterion::register_result(&format!("sync_throughput_{suffix}"), stats.ns_per_request);
+        if clients == 8 {
+            sync_8_ns = stats.ns_per_request;
+        }
+    }
+
+    for &(clients, depth, suffix) in &[
+        (1usize, 1usize, "_1client"),
+        (4, 4, "_4clients"),
+        (8, 1, "_depth1"),
+        (8, 4, ""),
+    ] {
+        let service = ScoringService::start(ensemble.clone(), ServeConfig::default());
+        let client = service.client();
+        let stats = run_serve_load(clients, depth, &shared_pool, warmup, measure, &client);
+        criterion::register_result(&format!("serve_throughput{suffix}"), stats.ns_per_request);
+        criterion::register_result(&format!("serve_p50_latency{suffix}"), stats.p50_ns);
+        criterion::register_result(&format!("serve_p99_latency{suffix}"), stats.p99_ns);
+        let sstats = service.stats();
+        eprintln!(
+            "  {clients}-client (depth {depth}) serving: mean batch {:.1}, plan cache {} hits / {} misses (hit rate {:.0}%)",
+            sstats.mean_batch(),
+            sstats.plan_cache_hits,
+            sstats.plan_cache_misses,
+            100.0 * sstats.plan_cache_hit_rate(),
+        );
+        if suffix.is_empty() || suffix == "_depth1" {
+            eprintln!(
+                "  8-client depth-{depth} speedup vs synchronous single-request path: {:.2}x",
+                sync_8_ns / stats.ns_per_request
+            );
+        }
+    }
+}
+
 fn bench_enumeration(c: &mut Criterion) {
     let mut g = WorkloadGenerator::new(6, FeatureRanges::training());
     let q = g.query();
@@ -219,6 +430,6 @@ fn bench_enumeration(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_matmul_kernels, bench_graph_primitives, bench_training_path, bench_simulator, bench_featurize, bench_inference, bench_ensemble_train, bench_gbdt, bench_enumeration
+    targets = bench_matmul_kernels, bench_graph_primitives, bench_training_path, bench_simulator, bench_featurize, bench_inference, bench_ensemble_train, bench_gbdt, bench_enumeration, bench_serving
 }
 criterion_main!(benches);

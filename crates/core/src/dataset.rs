@@ -47,6 +47,12 @@ impl CorpusItem {
         )
     }
 
+    /// Featurizes a set of items into joint graphs — the shared front end
+    /// of every `predict_items` path.
+    pub fn featurize_all(items: &[&CorpusItem], featurization: Featurization) -> Vec<JointGraph> {
+        items.iter().map(|i| i.graph(featurization)).collect()
+    }
+
     /// Executes one workload on the simulator and records the trace.
     pub fn execute(
         query: Query,

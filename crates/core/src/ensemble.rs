@@ -6,13 +6,14 @@
 //! predictions are combined by majority vote.
 
 use crate::dataset::{Corpus, CorpusItem};
-use crate::graph::JointGraph;
-use crate::model::INFERENCE_CHUNK;
-use crate::plan::BatchPlan;
+use crate::graph::{Featurization, JointGraph};
+use crate::model::{ModelConfig, INFERENCE_CHUNK};
+use crate::plan::{BatchPlan, PlanCache};
 #[cfg(test)]
 use crate::train::train_metric;
 use crate::train::{prepare_training, train_prepared, TrainConfig, TrainedModel};
 use costream_dsps::CostMetric;
+use costream_nn::InferenceArena;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -65,6 +66,18 @@ impl Ensemble {
         &self.members
     }
 
+    /// Featurization the members' graphs were built with.
+    pub fn featurization(&self) -> Featurization {
+        self.members[0].featurization
+    }
+
+    /// The members' shared GNN hyper-parameters (the serving layer reads
+    /// the message-passing scheme and round count from here to key its
+    /// plan cache).
+    pub fn model_config(&self) -> &ModelConfig {
+        self.members[0].model().config()
+    }
+
     /// Combined prediction for prepared graphs: the mean for regression
     /// metrics, the majority-vote probability (fraction of members voting
     /// positive) for classification metrics.
@@ -72,12 +85,49 @@ impl Ensemble {
     /// Chunk plans are built once (in parallel) and shared by every
     /// member; members then run the tape-free fast path in parallel.
     pub fn predict_graphs(&self, graphs: &[&JointGraph]) -> Vec<f64> {
+        self.predict_graphs_with(graphs, None)
+    }
+
+    /// Like [`Ensemble::predict_graphs`], but chunk plan *topologies* are
+    /// looked up in (and inserted into) the given [`PlanCache`], so
+    /// recurring graph shapes skip plan construction entirely.
+    pub fn predict_graphs_with(&self, graphs: &[&JointGraph], cache: Option<&PlanCache>) -> Vec<f64> {
+        let cfg = self.model_config();
+        let (scheme, rounds) = (cfg.scheme, cfg.traditional_rounds);
         let plans: Vec<BatchPlan> = graphs
             .par_chunks(INFERENCE_CHUNK)
-            .map(|chunk| self.members[0].model().plan(chunk))
+            .map(|chunk| match cache {
+                Some(c) => c.get_or_build(chunk, scheme, rounds),
+                None => self.members[0].model().plan(chunk),
+            })
             .collect();
         let per_member: Vec<Vec<f64>> = self.members.par_iter().map(|m| m.predict_plans(&plans)).collect();
-        let n = graphs.len();
+        self.combine(&per_member, graphs.len())
+    }
+
+    /// Combined prediction for prebuilt chunk plans, with members run
+    /// *sequentially* on a caller-held arena — the serving-layer hot
+    /// path: one coalesced batch serves every member, the worker's buffer
+    /// pool is recycled across requests, and no nested thread fan-out
+    /// competes with other serving workers.
+    ///
+    /// The arithmetic (kernels, accumulation order, member combination)
+    /// is identical to [`Ensemble::predict_graphs`] on the same chunk
+    /// plans, so the two paths agree bitwise.
+    pub fn predict_plans_arena(&self, plans: &[BatchPlan], arena: &mut InferenceArena) -> Vec<f64> {
+        let n = plans.iter().map(BatchPlan::len).sum();
+        let per_member: Vec<Vec<f64>> = self
+            .members
+            .iter()
+            .map(|m| m.predict_plans_arena(plans, arena))
+            .collect();
+        self.combine(&per_member, n)
+    }
+
+    /// Mean (regression) or majority-vote fraction (classification) over
+    /// per-member predictions. One implementation so every prediction
+    /// entry point combines identically, down to float summation order.
+    fn combine(&self, per_member: &[Vec<f64>], n: usize) -> Vec<f64> {
         (0..n)
             .map(|i| {
                 if self.metric.is_regression() {
@@ -92,9 +142,16 @@ impl Ensemble {
 
     /// Combined prediction for corpus items.
     pub fn predict_items(&self, items: &[&CorpusItem]) -> Vec<f64> {
-        let graphs: Vec<JointGraph> = items.iter().map(|i| i.graph(self.members[0].featurization)).collect();
+        self.predict_items_with(items, None)
+    }
+
+    /// Combined prediction for corpus items, routed through the same
+    /// shared-plan chunked path as [`Ensemble::predict_graphs_with`] —
+    /// recurring item shapes reuse cached plan topologies.
+    pub fn predict_items_with(&self, items: &[&CorpusItem], cache: Option<&PlanCache>) -> Vec<f64> {
+        let graphs = CorpusItem::featurize_all(items, self.featurization());
         let refs: Vec<&JointGraph> = graphs.iter().collect();
-        self.predict_graphs(&refs)
+        self.predict_graphs_with(&refs, cache)
     }
 }
 

@@ -13,7 +13,9 @@
 //!   with a tape-recording training path and a tape-free inference fast
 //!   path;
 //! * [`plan`] — precomputed [`plan::BatchPlan`]s: per-batch gather/scatter
-//!   bookkeeping built once and reused across epochs and ensemble members;
+//!   bookkeeping built once and reused across epochs and ensemble members,
+//!   plus the topology-keyed [`plan::PlanCache`] that lets serving layers
+//!   skip plan construction for recurring graph shapes;
 //! * [`dataset`] — benchmark corpora (§VI): generation against the
 //!   simulator, 80/10/10 splits, balanced classification subsets;
 //! * [`train`] — per-metric training (MSLE regression / BCE
@@ -59,7 +61,7 @@ pub mod prelude {
     pub use crate::graph::{Featurization, JointGraph};
     pub use crate::model::{GnnModel, ModelConfig, Scheme};
     pub use crate::optimizer::{enumerate_candidates, OptimizationResult, PlacementOptimizer};
-    pub use crate::plan::BatchPlan;
+    pub use crate::plan::{plan_signature, BatchPlan, PlanCache, PlanSignature};
     pub use crate::qerror::{accuracy, q_error, QErrorSummary};
     pub use crate::train::{fine_tune, train_metric, TrainConfig, TrainedModel};
     pub use costream_dsps::{CostMetric, CostMetrics, SimConfig};

@@ -167,13 +167,13 @@ impl GnnModel {
     pub fn forward_with_plan<'m>(&'m self, plan: &'m BatchPlan) -> (Tape<'m>, NodeId) {
         self.check_plan(plan);
         let h = self.config.hidden;
-        let total = plan.total;
+        let total = plan.topo.total;
         let mut tape = Tape::new();
 
         // ---- per-type encoders ----
         let mut h0 = tape.input(costream_nn::Tensor::zeros(total, h));
-        for ep in &plan.encoders {
-            let x = tape.input_ref(&ep.features);
+        for (ep, feats) in plan.topo.encoders.iter().zip(&plan.features) {
+            let x = tape.input_ref(feats);
             let enc = self.encoders[ep.type_index].forward(&mut tape, &self.store, x);
             let scattered = tape.segment_sum(enc, &ep.globals, total);
             h0 = tape.add(h0, scattered);
@@ -181,7 +181,7 @@ impl GnnModel {
 
         // ---- message passing ----
         let mut cur = h0;
-        for wave in &plan.waves {
+        for wave in &plan.topo.waves {
             // `[Σ_children h'_u ‖ h_v]` for each target. The child sum is
             // one fused gather+segment-sum node: the `edges x hidden`
             // gathered matrix is never materialized, forward or backward.
@@ -208,7 +208,7 @@ impl GnnModel {
         }
 
         // ---- readout: sum all node states per graph, then the output MLP.
-        let pooled = tape.segment_sum(cur, &plan.graph_of, plan.n_graphs);
+        let pooled = tape.segment_sum(cur, &plan.topo.graph_of, plan.topo.n_graphs);
         let out = self.readout.forward(&mut tape, &self.store, pooled);
         (tape, out)
     }
@@ -225,19 +225,19 @@ impl GnnModel {
     pub fn forward_inference(&self, plan: &BatchPlan, arena: &mut InferenceArena) -> Vec<f32> {
         self.check_plan(plan);
         let h = self.config.hidden;
-        let total = plan.total;
+        let total = plan.topo.total;
 
         // ---- per-type encoders (scatter-add straight into h0) ----
         let mut h0 = arena.alloc_zeroed(total, h);
-        for ep in &plan.encoders {
-            let enc = self.encoders[ep.type_index].forward_inference(arena, &self.store, &ep.features);
+        for (ep, feats) in plan.topo.encoders.iter().zip(&plan.features) {
+            let enc = self.encoders[ep.type_index].forward_inference(arena, &self.store, feats);
             h0.scatter_add_rows(&enc, &ep.globals);
             arena.recycle(enc);
         }
 
         // ---- message passing ----
         let mut cur = arena.alloc_copy(&h0);
-        for wave in &plan.waves {
+        for wave in &plan.topo.waves {
             // Assemble `[Σ_children h'_u ‖ h_v]` directly into the wave
             // input buffer — neither half is materialized separately.
             let mut inp = arena.alloc_zeroed(wave.targets.len(), 2 * h);
@@ -268,8 +268,8 @@ impl GnnModel {
         }
 
         // ---- readout ----
-        let mut pooled = arena.alloc_zeroed(plan.n_graphs, h);
-        cur.segment_sum_into(&plan.graph_of, &mut pooled);
+        let mut pooled = arena.alloc_zeroed(plan.topo.n_graphs, h);
+        cur.segment_sum_into(&plan.topo.graph_of, &mut pooled);
         let out = self.readout.forward_inference(arena, &self.store, &pooled);
         let result = out.data().to_vec();
         arena.recycle(out);
@@ -306,22 +306,28 @@ impl GnnModel {
     /// Raw outputs for a set of prebuilt chunk plans (used by ensembles to
     /// share plan construction across members).
     pub fn predict_raw_plans(&self, plans: &[BatchPlan]) -> Vec<f32> {
-        let mut arena = InferenceArena::new();
+        self.predict_raw_plans_arena(plans, &mut InferenceArena::new())
+    }
+
+    /// Like [`GnnModel::predict_raw_plans`] but on a caller-held arena, so
+    /// a serving worker reuses one buffer pool across requests instead of
+    /// reallocating per call.
+    pub fn predict_raw_plans_arena(&self, plans: &[BatchPlan], arena: &mut InferenceArena) -> Vec<f32> {
         let mut out = Vec::new();
         for plan in plans {
-            out.extend(self.forward_inference(plan, &mut arena));
+            out.extend(self.forward_inference(plan, arena));
         }
         out
     }
 
     fn check_plan(&self, plan: &BatchPlan) {
         assert_eq!(
-            plan.scheme, self.config.scheme,
+            plan.topo.scheme, self.config.scheme,
             "plan built for a different message-passing scheme"
         );
         if self.config.scheme == Scheme::Traditional {
             assert_eq!(
-                plan.traditional_rounds, self.config.traditional_rounds,
+                plan.topo.traditional_rounds, self.config.traditional_rounds,
                 "plan built for different round count"
             );
         }
@@ -329,8 +335,10 @@ impl GnnModel {
 }
 
 /// Graphs per inference chunk: big enough to amortize plan construction,
-/// small enough to parallelize candidate scoring across cores.
-pub(crate) const INFERENCE_CHUNK: usize = 64;
+/// small enough to parallelize candidate scoring across cores. The
+/// serving layer chunks its coalesced batches at the same width so served
+/// results are bitwise identical to the direct prediction path.
+pub const INFERENCE_CHUNK: usize = 64;
 
 #[cfg(test)]
 mod tests {

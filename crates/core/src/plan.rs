@@ -1,4 +1,4 @@
-//! Precomputed batch execution plans.
+//! Precomputed batch execution plans and the topology-keyed plan cache.
 //!
 //! `GnnModel::forward` used to re-derive all gather/scatter bookkeeping —
 //! per-type encoder row groups, message-passing edge segments, the wave
@@ -11,21 +11,41 @@
 //! up front and reuses them for all epochs and all ensemble members, and
 //! the inference fast path drives `forward_inference` straight from a
 //! plan with zero per-call graph traversal.
+//!
+//! # Topology vs. features
+//!
+//! A plan splits into two parts with very different lifetimes:
+//!
+//! * [`PlanTopology`] — everything derived from graph *structure* (node
+//!   types, edge lists, wave schedule, readout segments). Immutable,
+//!   shared behind an `Arc`, and reusable for any batch whose graphs have
+//!   the same shapes — even when the feature *values* differ.
+//! * The stacked encoder feature matrices — one tensor per node type,
+//!   cheap to rebuild and different for every batch.
+//!
+//! The [`PlanCache`] exploits the split: it keys topologies by a
+//! structural [`PlanSignature`], so a serving layer scoring recurring
+//! graph shapes skips all topology construction and only restacks the
+//! feature rows. The cache is thread-safe (one lock around the LRU map,
+//! topologies shared by `Arc`) and exposes hit/miss counters.
 
 use crate::graph::JointGraph;
 use crate::model::Scheme;
 use costream_nn::Tensor;
 use costream_query::features::NodeType;
-use std::sync::Arc;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
-/// Per-node-type encoder input: the stacked feature rows of every node of
-/// one type, plus the global row index each encoded row scatters to.
+/// Per-node-type encoder routing: the global row index each encoded row
+/// of one type scatters to. The stacked feature rows themselves live on
+/// the [`BatchPlan`] (they change per batch; the routing does not).
 #[derive(Clone, Debug)]
 pub(crate) struct EncoderPlan {
     /// Index into `NodeType::ALL` (selects the encoder MLP).
     pub type_index: usize,
-    /// `n_nodes_of_type x feature_width` stacked features.
-    pub features: Tensor,
     /// Global node index of each feature row.
     pub globals: Vec<usize>,
 }
@@ -62,40 +82,53 @@ pub(crate) struct WavePlan {
     pub keep: Vec<usize>,
 }
 
-/// The full precomputed execution plan for one batch of joint graphs.
-#[derive(Clone, Debug)]
-pub struct BatchPlan {
-    /// Message-passing scheme the plan was built for.
-    pub(crate) scheme: Scheme,
-    /// Rounds baked into the plan for [`Scheme::Traditional`].
-    pub(crate) traditional_rounds: usize,
+/// The structural (feature-free) part of a batch plan: everything that
+/// depends only on graph *shapes*, shared behind an `Arc` so the plan
+/// cache and all ensemble members reuse one copy.
+#[derive(Debug)]
+pub(crate) struct PlanTopology {
+    /// Message-passing scheme the topology was built for.
+    pub scheme: Scheme,
+    /// Rounds baked into the topology for [`Scheme::Traditional`].
+    pub traditional_rounds: usize,
     /// Total node count across the batch.
-    pub(crate) total: usize,
+    pub total: usize,
     /// Number of graphs in the batch.
-    pub(crate) n_graphs: usize,
-    /// Encoder inputs per node type (types absent from the batch omitted).
-    pub(crate) encoders: Vec<EncoderPlan>,
+    pub n_graphs: usize,
+    /// Encoder routing per node type (types absent from the batch omitted).
+    pub encoders: Vec<EncoderPlan>,
     /// Ordered update waves. `Arc` so the repeated rounds of
     /// [`Scheme::Traditional`] share one wave instead of deep copies.
-    pub(crate) waves: Vec<Arc<WavePlan>>,
+    pub waves: Vec<Arc<WavePlan>>,
     /// Graph id of every node (readout segments).
-    pub(crate) graph_of: Vec<usize>,
+    pub graph_of: Vec<usize>,
+}
+
+/// The full precomputed execution plan for one batch of joint graphs:
+/// a shared [`PlanTopology`] plus the batch's stacked encoder features.
+#[derive(Clone, Debug)]
+pub struct BatchPlan {
+    /// Shared structural bookkeeping.
+    pub(crate) topo: Arc<PlanTopology>,
+    /// Stacked `n_nodes_of_type x feature_width` encoder inputs, parallel
+    /// to `topo.encoders`.
+    pub(crate) features: Vec<Tensor>,
 }
 
 impl BatchPlan {
     /// Number of graphs the plan covers.
     pub fn len(&self) -> usize {
-        self.n_graphs
+        self.topo.n_graphs
     }
 
     /// True for an empty plan (never produced by [`BatchPlan::build`]).
     pub fn is_empty(&self) -> bool {
-        self.n_graphs == 0
+        self.topo.n_graphs == 0
     }
 
     /// Total node count across the batch.
     pub fn total_nodes(&self) -> usize {
-        self.total
+        self.topo.total
     }
 
     /// Builds the plan for a batch of graphs under a message-passing
@@ -105,6 +138,60 @@ impl BatchPlan {
     /// # Panics
     /// Panics on an empty batch.
     pub fn build(graphs: &[&JointGraph], scheme: Scheme, traditional_rounds: usize) -> Self {
+        let topo = Arc::new(PlanTopology::build(graphs, scheme, traditional_rounds));
+        let features = stack_features(&topo, graphs);
+        BatchPlan { topo, features }
+    }
+
+    /// Assembles a plan from a cached topology by restacking only the
+    /// feature rows — the plan-cache hit path. The topology's structure
+    /// must match the graphs (guaranteed by a [`PlanSignature`] match).
+    fn with_topology(topo: Arc<PlanTopology>, graphs: &[&JointGraph]) -> Self {
+        debug_assert_eq!(topo.n_graphs, graphs.len());
+        debug_assert_eq!(topo.total, graphs.iter().map(|g| g.len()).sum::<usize>());
+        let features = stack_features(&topo, graphs);
+        BatchPlan { topo, features }
+    }
+}
+
+/// Stacks the encoder feature rows of a batch in the exact order the
+/// topology's `globals` lists were built in (`NodeType::ALL` order, then
+/// graph order, then node order) — in a single pass over the nodes:
+/// appending each node's features to its type's bucket visits every
+/// bucket in (graph, node) order, which is exactly the per-type order of
+/// the multi-pass build. This is the plan-cache hit path, so it runs
+/// once per served batch.
+fn stack_features(topo: &PlanTopology, graphs: &[&JointGraph]) -> Vec<Tensor> {
+    let mut slot_of = [usize::MAX; NodeType::ALL.len()];
+    let mut buckets: Vec<Vec<f32>> = topo
+        .encoders
+        .iter()
+        .enumerate()
+        .map(|(slot, ep)| {
+            slot_of[ep.type_index] = slot;
+            Vec::with_capacity(ep.globals.len() * NodeType::ALL[ep.type_index].feature_width())
+        })
+        .collect();
+    for g in graphs {
+        for node in &g.nodes {
+            // `NodeType::ALL` lists the variants in declaration order, so
+            // the discriminant doubles as the type index.
+            buckets[slot_of[node.node_type as usize]].extend_from_slice(&node.features);
+        }
+    }
+    topo.encoders
+        .iter()
+        .zip(buckets)
+        .map(|(ep, rows)| Tensor::from_vec(ep.globals.len(), NodeType::ALL[ep.type_index].feature_width(), rows))
+        .collect()
+}
+
+impl PlanTopology {
+    /// Builds the structural bookkeeping for a batch of graphs.
+    ///
+    /// # Panics
+    /// Panics on an empty batch.
+    fn build(graphs: &[&JointGraph], scheme: Scheme, traditional_rounds: usize) -> Self {
         assert!(!graphs.is_empty(), "empty batch");
 
         let mut offsets = Vec::with_capacity(graphs.len());
@@ -117,12 +204,10 @@ impl BatchPlan {
         // ---- encoder groups, in NodeType::ALL order ----
         let mut encoders = Vec::new();
         for (ti, t) in NodeType::ALL.iter().enumerate() {
-            let mut rows: Vec<f32> = Vec::new();
             let mut globals: Vec<usize> = Vec::new();
             for (gi, g) in graphs.iter().enumerate() {
                 for (li, node) in g.nodes.iter().enumerate() {
                     if node.node_type == *t {
-                        rows.extend_from_slice(&node.features);
                         globals.push(offsets[gi] + li);
                     }
                 }
@@ -130,10 +215,8 @@ impl BatchPlan {
             if globals.is_empty() {
                 continue;
             }
-            let features = Tensor::from_vec(globals.len(), t.feature_width(), rows);
             encoders.push(EncoderPlan {
                 type_index: ti,
-                features,
                 globals,
             });
         }
@@ -226,7 +309,7 @@ impl BatchPlan {
             graph_of.extend(std::iter::repeat_n(gi, g.len()));
         }
 
-        BatchPlan {
+        PlanTopology {
             scheme,
             traditional_rounds,
             total,
@@ -294,6 +377,187 @@ impl WavePlan {
     }
 }
 
+/// Structural signature of one batch of graphs: a collision-resistant key
+/// over everything a [`PlanTopology`] depends on — node types, edge
+/// lists, scheme and round count — and nothing the feature *values* can
+/// change. Two batches with equal signatures share a topology.
+///
+/// The `Ord` impl is an arbitrary total order; serving layers use it to
+/// group same-shaped requests into runs so coalesced batches of mixed
+/// shapes still hit the cache per shape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PlanSignature {
+    hash: u64,
+    n_graphs: u32,
+    total_nodes: u32,
+    total_edges: u32,
+}
+
+/// Computes the structural signature of a batch (see [`PlanSignature`]).
+pub fn plan_signature(graphs: &[&JointGraph], scheme: Scheme, traditional_rounds: usize) -> PlanSignature {
+    let mut h = DefaultHasher::new();
+    (scheme as u8).hash(&mut h);
+    if scheme == Scheme::Traditional {
+        traditional_rounds.hash(&mut h);
+    }
+    let mut total_nodes = 0usize;
+    let mut total_edges = 0usize;
+    for g in graphs {
+        g.nodes.len().hash(&mut h);
+        for node in &g.nodes {
+            (node.node_type as u8).hash(&mut h);
+        }
+        g.dataflow_edges.hash(&mut h);
+        g.placement_edges.hash(&mut h);
+        total_nodes += g.len();
+        total_edges += g.dataflow_edges.len() + g.placement_edges.len();
+    }
+    PlanSignature {
+        hash: h.finish(),
+        n_graphs: graphs.len() as u32,
+        total_nodes: total_nodes as u32,
+        total_edges: total_edges as u32,
+    }
+}
+
+struct CacheSlot {
+    topo: Arc<PlanTopology>,
+    last_used: u64,
+}
+
+struct CacheInner {
+    map: HashMap<PlanSignature, CacheSlot>,
+    tick: u64,
+}
+
+/// A thread-safe LRU cache of [`PlanTopology`]s keyed by structural
+/// signature.
+///
+/// [`PlanCache::get_or_build`] returns a ready-to-run [`BatchPlan`]: on a
+/// hit only the batch's feature rows are restacked (topology construction
+/// — the expensive graph traversal — is skipped entirely); on a miss the
+/// full plan is built and its topology inserted, evicting the
+/// least-recently-used entry at capacity. Hit/miss counters are exposed
+/// for serving-layer metrics.
+pub struct PlanCache {
+    capacity: usize,
+    inner: Mutex<CacheInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PlanCache {
+    /// Creates a cache holding at most `capacity` topologies.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "plan cache needs capacity >= 1");
+        PlanCache {
+            capacity,
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                tick: 0,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns a plan for the batch, reusing a cached topology when one
+    /// with the same structural signature exists.
+    ///
+    /// # Panics
+    /// Panics on an empty batch (as [`BatchPlan::build`] does).
+    pub fn get_or_build(&self, graphs: &[&JointGraph], scheme: Scheme, traditional_rounds: usize) -> BatchPlan {
+        let sig = plan_signature(graphs, scheme, traditional_rounds);
+        let cached = {
+            let mut inner = self.inner.lock().expect("plan cache lock");
+            inner.tick += 1;
+            let tick = inner.tick;
+            inner.map.get_mut(&sig).map(|slot| {
+                slot.last_used = tick;
+                Arc::clone(&slot.topo)
+            })
+        };
+        if let Some(topo) = cached {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return BatchPlan::with_topology(topo, graphs);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        // Build outside the lock: topology construction is the expensive
+        // part, and concurrent misses for different shapes shouldn't
+        // serialize. A racing duplicate build of the same shape is benign
+        // (last insert wins; both plans are valid).
+        let plan = BatchPlan::build(graphs, scheme, traditional_rounds);
+        let mut inner = self.inner.lock().expect("plan cache lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        if !inner.map.contains_key(&sig) && inner.map.len() >= self.capacity {
+            // Evict the least-recently-used slot. O(len) scan — capacity
+            // is small and misses are the rare path by design.
+            if let Some(&lru) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, slot)| slot.last_used)
+                .map(|(sig, _)| sig)
+            {
+                inner.map.remove(&lru);
+            }
+        }
+        inner.map.insert(
+            sig,
+            CacheSlot {
+                topo: Arc::clone(&plan.topo),
+                last_used: tick,
+            },
+        );
+        plan
+    }
+
+    /// Number of topology hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of topology misses (full plan builds) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Fraction of lookups served from the cache (0.0 when unused).
+    pub fn hit_rate(&self) -> f64 {
+        let (h, m) = (self.hits() as f64, self.misses() as f64);
+        if h + m == 0.0 {
+            0.0
+        } else {
+            h / (h + m)
+        }
+    }
+
+    /// Number of cached topologies.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("plan cache lock").map.len()
+    }
+
+    /// True when nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum number of cached topologies.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+impl Default for PlanCache {
+    /// A cache sized for a serving layer: 128 distinct batch shapes.
+    fn default() -> Self {
+        PlanCache::new(128)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -322,16 +586,19 @@ mod tests {
         let total: usize = gs.iter().map(|g| g.len()).sum();
         assert_eq!(plan.total_nodes(), total);
         assert_eq!(plan.len(), 4);
-        // Every node appears in exactly one encoder group.
+        // Every node appears in exactly one encoder group, and the
+        // stacked features match the routing lists row for row.
         let mut seen = vec![false; total];
-        for ep in &plan.encoders {
+        for (ep, feats) in plan.topo.encoders.iter().zip(&plan.features) {
+            assert_eq!(feats.rows(), ep.globals.len());
+            assert_eq!(feats.cols(), NodeType::ALL[ep.type_index].feature_width());
             for &g in &ep.globals {
                 assert!(!seen[g], "node {g} encoded twice");
                 seen[g] = true;
             }
         }
         assert!(seen.iter().all(|&s| s), "every node must be encoded");
-        assert_eq!(plan.graph_of.len(), total);
+        assert_eq!(plan.topo.graph_of.len(), total);
     }
 
     #[test]
@@ -339,8 +606,8 @@ mod tests {
         let gs = graphs(3, Featurization::Full);
         let refs: Vec<&JointGraph> = gs.iter().collect();
         let plan = BatchPlan::build(&refs, Scheme::Costream, 0);
-        assert!(!plan.waves.is_empty());
-        for wave in &plan.waves {
+        assert!(!plan.topo.waves.is_empty());
+        for wave in &plan.topo.waves {
             assert_eq!(wave.child_rows.len(), wave.segs.len());
             // targets ∪ keep = all nodes, disjoint.
             let mut marks = vec![0u8; plan.total_nodes()];
@@ -367,7 +634,7 @@ mod tests {
         let plan = BatchPlan::build(&refs, Scheme::Costream, 0);
         // No hosts → only the dataflow waves survive.
         let max_waves = gs.iter().map(|g| g.n_waves()).max().unwrap();
-        assert!(plan.waves.len() <= max_waves);
+        assert!(plan.topo.waves.len() <= max_waves);
     }
 
     #[test]
@@ -375,8 +642,110 @@ mod tests {
         let gs = graphs(2, Featurization::Full);
         let refs: Vec<&JointGraph> = gs.iter().collect();
         let plan = BatchPlan::build(&refs, Scheme::Traditional, 3);
-        assert_eq!(plan.waves.len(), 3);
-        assert_eq!(plan.waves[0].targets.len(), plan.total_nodes());
-        assert!(plan.waves[0].keep.is_empty());
+        assert_eq!(plan.topo.waves.len(), 3);
+        assert_eq!(plan.topo.waves[0].targets.len(), plan.total_nodes());
+        assert!(plan.topo.waves[0].keep.is_empty());
+    }
+
+    #[test]
+    fn signature_ignores_feature_values() {
+        // Full vs. HardwareNodes: identical structure (same nodes, same
+        // edges), different host feature values.
+        let mut g = WorkloadGenerator::new(42, FeatureRanges::training());
+        let (q, c, p) = g.workload_item();
+        let sels = SelectivityEstimator::realistic(43).estimate_query(&q);
+        let full = JointGraph::build(&q, &c, &p, &sels, Featurization::Full);
+        let masked = JointGraph::build(&q, &c, &p, &sels, Featurization::HardwareNodes);
+        assert_ne!(
+            full.nodes.iter().map(|n| n.features.clone()).collect::<Vec<_>>(),
+            masked.nodes.iter().map(|n| n.features.clone()).collect::<Vec<_>>(),
+            "featurizations must differ in values for this test to mean anything"
+        );
+        assert_eq!(
+            plan_signature(&[&full], Scheme::Costream, 0),
+            plan_signature(&[&masked], Scheme::Costream, 0)
+        );
+    }
+
+    #[test]
+    fn signature_separates_structure_scheme_and_order() {
+        let gs = graphs(3, Featurization::Full);
+        let refs: Vec<&JointGraph> = gs.iter().collect();
+        let sig = plan_signature(&refs, Scheme::Costream, 0);
+        // Different batch composition → different signature.
+        assert_ne!(sig, plan_signature(&refs[..2], Scheme::Costream, 0));
+        // Different scheme → different signature.
+        assert_ne!(sig, plan_signature(&refs, Scheme::Traditional, 3));
+        // Different round count → different signature (Traditional only).
+        assert_ne!(
+            plan_signature(&refs, Scheme::Traditional, 2),
+            plan_signature(&refs, Scheme::Traditional, 3)
+        );
+        // Order matters: plans are positional.
+        let swapped: Vec<&JointGraph> = vec![&gs[1], &gs[0], &gs[2]];
+        if plan_signature(&refs[..1], Scheme::Costream, 0) != plan_signature(&refs[1..2], Scheme::Costream, 0) {
+            assert_ne!(sig, plan_signature(&swapped, Scheme::Costream, 0));
+        }
+    }
+
+    #[test]
+    fn cache_hits_share_topology_and_count() {
+        let gs = graphs(2, Featurization::Full);
+        let refs: Vec<&JointGraph> = gs.iter().collect();
+        let cache = PlanCache::new(4);
+        let a = cache.get_or_build(&refs, Scheme::Costream, 0);
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        let b = cache.get_or_build(&refs, Scheme::Costream, 0);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert!(Arc::ptr_eq(&a.topo, &b.topo), "hit must share the cached topology");
+        assert_eq!(cache.len(), 1);
+        assert!((cache.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cache_evicts_least_recently_used_at_capacity() {
+        let gs = graphs(3, Featurization::Full);
+        let a: Vec<&JointGraph> = vec![&gs[0]];
+        let b: Vec<&JointGraph> = vec![&gs[1]];
+        let c: Vec<&JointGraph> = vec![&gs[2]];
+        // The three singleton batches must be structurally distinct for
+        // the eviction order to be observable.
+        let sigs: Vec<PlanSignature> = [&a, &b, &c]
+            .iter()
+            .map(|refs| plan_signature(refs, Scheme::Costream, 0))
+            .collect();
+        assert!(sigs[0] != sigs[1] && sigs[1] != sigs[2] && sigs[0] != sigs[2]);
+
+        let cache = PlanCache::new(2);
+        cache.get_or_build(&a, Scheme::Costream, 0); // miss: {a}
+        cache.get_or_build(&b, Scheme::Costream, 0); // miss: {a, b}
+        cache.get_or_build(&a, Scheme::Costream, 0); // hit, a freshened
+        cache.get_or_build(&c, Scheme::Costream, 0); // miss: evicts b (LRU)
+        assert_eq!(cache.len(), 2);
+        assert_eq!((cache.hits(), cache.misses()), (1, 3));
+        cache.get_or_build(&b, Scheme::Costream, 0); // b was evicted: miss (evicts a, now LRU)
+        assert_eq!((cache.hits(), cache.misses()), (1, 4));
+        cache.get_or_build(&c, Scheme::Costream, 0); // c survived both evictions: hit
+        assert_eq!((cache.hits(), cache.misses()), (2, 4));
+    }
+
+    #[test]
+    fn cached_plan_restacks_fresh_features() {
+        // Same structure, different feature values (Full vs. masked
+        // hardware): a cache hit must carry the *new* batch's features.
+        let mut g = WorkloadGenerator::new(44, FeatureRanges::training());
+        let (q, c, p) = g.workload_item();
+        let sels = SelectivityEstimator::realistic(45).estimate_query(&q);
+        let full = JointGraph::build(&q, &c, &p, &sels, Featurization::Full);
+        let masked = JointGraph::build(&q, &c, &p, &sels, Featurization::HardwareNodes);
+        let cache = PlanCache::new(2);
+        let pf = cache.get_or_build(&[&full], Scheme::Costream, 0);
+        let pm = cache.get_or_build(&[&masked], Scheme::Costream, 0);
+        assert_eq!(cache.hits(), 1);
+        assert!(Arc::ptr_eq(&pf.topo, &pm.topo));
+        let direct = BatchPlan::build(&[&masked], Scheme::Costream, 0);
+        for (a, b) in pm.features.iter().zip(&direct.features) {
+            assert_eq!(a.data(), b.data(), "hit path must restack the new features");
+        }
     }
 }

@@ -97,6 +97,12 @@ impl TrainedModel {
         self.denormalize(self.model.predict_raw_plans(plans))
     }
 
+    /// Like [`TrainedModel::predict_plans`] but on a caller-held arena,
+    /// so serving workers recycle one buffer pool across requests.
+    pub fn predict_plans_arena(&self, plans: &[BatchPlan], arena: &mut InferenceArena) -> Vec<f64> {
+        self.denormalize(self.model.predict_raw_plans_arena(plans, arena))
+    }
+
     fn denormalize(&self, raw: Vec<f32>) -> Vec<f64> {
         raw.into_iter()
             .map(|z| {
@@ -111,7 +117,7 @@ impl TrainedModel {
 
     /// Predicts the metric for corpus items.
     pub fn predict_items(&self, items: &[&CorpusItem]) -> Vec<f64> {
-        let graphs: Vec<JointGraph> = items.iter().map(|i| i.graph(self.featurization)).collect();
+        let graphs = CorpusItem::featurize_all(items, self.featurization);
         let refs: Vec<&JointGraph> = graphs.iter().collect();
         self.predict_graphs(&refs)
     }
@@ -351,7 +357,7 @@ fn fit(model: &mut GnnModel, batches: &[PreparedBatch], metric: CostMetric, cfg:
 /// standardized log-target space.
 pub fn mean_loss(model: &TrainedModel, corpus: &Corpus) -> f32 {
     let items = training_view(corpus, model.metric);
-    let graphs: Vec<JointGraph> = items.iter().map(|i| i.graph(model.featurization)).collect();
+    let graphs = CorpusItem::featurize_all(&items, model.featurization);
     let refs: Vec<&JointGraph> = graphs.iter().collect();
     if refs.is_empty() {
         return 0.0;

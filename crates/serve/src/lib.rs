@@ -1,0 +1,142 @@
+//! # costream-serve — a request-batching scoring service
+//!
+//! The cost models of the Costream reproduction are only useful in
+//! production if placement-scoring queries can be served at high
+//! throughput. The inference fast path (`BatchPlan` + `InferenceArena`)
+//! is synchronous and single-caller: concurrent clients calling
+//! [`Ensemble::predict_graphs`](costream::ensemble::Ensemble::predict_graphs)
+//! directly each pay per-call plan construction and tiny-batch kernel
+//! launches.
+//!
+//! This crate puts a dynamic request-coalescing front end — the standard
+//! batching architecture of learned-model servers — in front of an
+//! ensemble:
+//!
+//! * Clients submit [`ScoreRequest`]s (a prebuilt
+//!   [`JointGraph`](costream::graph::JointGraph), or a query + placement
+//!   to featurize) through a cheap, cloneable [`ScoreClient`] handle.
+//! * A batching core (bounded MPSC submission queue + worker threads
+//!   driving the tape-free fast path, oneshot-style response slots)
+//!   coalesces whatever is queued into one fused batch per tick, bounded
+//!   by [`ServeConfig::max_batch`] and [`ServeConfig::max_delay_us`] —
+//!   kernel and plan costs amortize across concurrent callers exactly
+//!   like they do across a training epoch.
+//! * A topology-keyed [`PlanCache`](costream::plan::PlanCache), shared
+//!   across workers and all ensemble members, lets recurring graph
+//!   shapes skip `BatchPlan` construction entirely.
+//! * Admission control: when the queue is full, callers get
+//!   [`ServeError::Overloaded`] immediately instead of unbounded latency.
+//! * Each worker owns a recycled
+//!   [`InferenceArena`](costream_nn::InferenceArena), and one coalesced
+//!   batch serves *all* ensemble members.
+//!
+//! Serving is **bitwise identical** to the direct prediction path: the
+//! worker chunks coalesced batches at the same width as
+//! `Ensemble::predict_graphs`, every kernel accumulates per output
+//! element in the same order regardless of batch composition, and member
+//! combination is shared code — the golden tests in `tests/golden.rs`
+//! assert exact equality under heavy concurrency for both
+//! message-passing schemes.
+//!
+//! ```no_run
+//! use costream::prelude::*;
+//! use costream_serve::{ScoringService, ServeConfig};
+//!
+//! let corpus = Corpus::generate(200, 7, FeatureRanges::training(), &SimConfig::default());
+//! let ensemble = Ensemble::train(&corpus, CostMetric::Throughput, &TrainConfig::default(), 3);
+//! let service = ScoringService::start(ensemble, ServeConfig::default());
+//! let client = service.client(); // Clone per client thread
+//! let graph = corpus.items[0].graph(client.featurization());
+//! let score = client.score(graph).expect("service alive");
+//! println!("predicted throughput: {score}");
+//! ```
+
+#![warn(missing_docs)]
+
+mod service;
+
+pub use service::{Pending, ScoreClient, ScoreRequest, ScoringService, ServeStats};
+
+use std::fmt;
+
+/// Tuning knobs of the batching core.
+///
+/// The serving model is a *tick* loop: a worker that finds the queue
+/// non-empty waits up to `max_delay_us` for the batch to fill to
+/// `max_batch`, then drains and scores one fused batch. Under heavy load
+/// batches fill instantly and the delay never applies; under light load
+/// it bounds the latency a lone request can be held hostage waiting for
+/// company.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Worker threads draining the queue. Defaults to the
+    /// `COSTREAM_SERVE_WORKERS` environment variable when set, else the
+    /// machine's available parallelism. `0` is allowed and means "never
+    /// drain" — useful only for testing admission control.
+    pub workers: usize,
+    /// Maximum requests coalesced into one scoring batch.
+    pub max_batch: usize,
+    /// Upper bound (microseconds) a worker waits for a non-full batch to
+    /// fill before scoring what it has. The wait stops early as soon as
+    /// one probe window (≤ 25 µs) passes with no new arrival, so a lone
+    /// request never pays the full delay. `0` scores whatever is queued
+    /// immediately.
+    pub max_delay_us: u64,
+    /// Bound of the submission queue; submissions beyond it are rejected
+    /// with [`ServeError::Overloaded`].
+    pub queue_cap: usize,
+    /// Capacity (distinct batch topologies) of the shared plan cache.
+    pub plan_cache_cap: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: default_workers(),
+            max_batch: 64,
+            max_delay_us: 200,
+            queue_cap: 1024,
+            plan_cache_cap: 128,
+        }
+    }
+}
+
+/// Worker-count default: `COSTREAM_SERVE_WORKERS` when set (CI uses this
+/// to exercise the multi-worker batching paths on narrow containers),
+/// else the machine's available parallelism.
+fn default_workers() -> usize {
+    if let Ok(v) = std::env::var("COSTREAM_SERVE_WORKERS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n;
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Why a scoring request was not served.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// Admission control rejected the request: the submission queue is at
+    /// capacity. Back off and retry.
+    Overloaded,
+    /// The service shut down before (or while) handling the request.
+    ShutDown,
+    /// Scoring this request panicked (most likely a malformed request
+    /// graph — out-of-range edge indices or wrong feature widths). When
+    /// a fused batch panics, its requests are rescored individually, so
+    /// this error lands only on the request that itself fails; the
+    /// worker survives and subsequent traffic is unaffected.
+    Internal,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded => write!(f, "scoring service overloaded: submission queue full"),
+            ServeError::ShutDown => write!(f, "scoring service shut down"),
+            ServeError::Internal => write!(f, "scoring failed: batch panicked (malformed request graph?)"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}

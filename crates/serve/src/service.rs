@@ -1,0 +1,469 @@
+//! The batching core: submission queue, worker tick loop, response slots.
+
+use crate::{ServeConfig, ServeError};
+use costream::ensemble::Ensemble;
+use costream::graph::{Featurization, JointGraph};
+use costream::model::INFERENCE_CHUNK;
+use costream::plan::{plan_signature, PlanCache, PlanSignature};
+use costream_nn::InferenceArena;
+use costream_query::hardware::Cluster;
+use costream_query::operators::Query;
+use costream_query::placement::Placement;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// One scoring request: a joint graph (owned or shared) or a placed
+/// query to featurize (with the ensemble's featurization) at submission
+/// time.
+#[derive(Clone, Debug)]
+pub enum ScoreRequest {
+    /// Score an already-featurized joint graph.
+    Graph(JointGraph),
+    /// Score a shared graph without copying it — the hot-path variant
+    /// for callers that score the same (or pooled) graphs repeatedly.
+    Shared(Arc<JointGraph>),
+    /// Featurize `query` under `placement` on `cluster` (with the
+    /// estimated per-operator selectivities), then score it.
+    Placement {
+        /// The streaming query.
+        query: Query,
+        /// The hardware it would run on.
+        cluster: Cluster,
+        /// The operator placement to score.
+        placement: Placement,
+        /// Estimated selectivity per operator (§IV-B: the model never
+        /// sees true selectivities).
+        est_sels: Vec<f64>,
+    },
+}
+
+impl From<JointGraph> for ScoreRequest {
+    fn from(graph: JointGraph) -> Self {
+        ScoreRequest::Graph(graph)
+    }
+}
+
+impl From<Arc<JointGraph>> for ScoreRequest {
+    fn from(graph: Arc<JointGraph>) -> Self {
+        ScoreRequest::Shared(graph)
+    }
+}
+
+/// Oneshot response slot a blocked caller parks on.
+struct Slot {
+    state: Mutex<Option<Result<f64, ServeError>>>,
+    ready: Condvar,
+}
+
+impl Slot {
+    fn new() -> Self {
+        Slot {
+            state: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn fill(&self, result: Result<f64, ServeError>) {
+        let mut state = self.state.lock().expect("slot lock");
+        *state = Some(result);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> Result<f64, ServeError> {
+        let mut state = self.state.lock().expect("slot lock");
+        loop {
+            if let Some(result) = *state {
+                return result;
+            }
+            state = self.ready.wait(state).expect("slot wait");
+        }
+    }
+}
+
+/// A queued request: the featurized graph, its structural signature
+/// (computed on the submitting thread; used to group same-shaped
+/// requests into cache-friendly runs), and its response slot.
+struct QueuedRequest {
+    graph: Arc<JointGraph>,
+    sig: PlanSignature,
+    slot: Arc<Slot>,
+}
+
+struct QueueState {
+    requests: VecDeque<QueuedRequest>,
+    shutdown: bool,
+}
+
+#[derive(Default)]
+struct StatsInner {
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    batches: AtomicU64,
+    batched_graphs: AtomicU64,
+}
+
+struct Shared {
+    ensemble: Ensemble,
+    cfg: ServeConfig,
+    queue: Mutex<QueueState>,
+    /// Signalled on submission and on shutdown.
+    ready: Condvar,
+    cache: PlanCache,
+    stats: StatsInner,
+}
+
+/// A snapshot of serving-layer counters.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeStats {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests rejected by admission control ([`ServeError::Overloaded`]).
+    pub rejected: u64,
+    /// Requests scored and answered.
+    pub completed: u64,
+    /// Coalesced batches scored.
+    pub batches: u64,
+    /// Total graphs across all scored batches.
+    pub batched_graphs: u64,
+    /// Plan-cache topology hits.
+    pub plan_cache_hits: u64,
+    /// Plan-cache topology misses (full plan builds).
+    pub plan_cache_misses: u64,
+}
+
+impl ServeStats {
+    /// Mean coalesced batch size (0.0 before the first batch).
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_graphs as f64 / self.batches as f64
+        }
+    }
+
+    /// Fraction of plan lookups served from the cache (0.0 when unused).
+    pub fn plan_cache_hit_rate(&self) -> f64 {
+        let total = self.plan_cache_hits + self.plan_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.plan_cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// The request-batching scoring service: owns the ensemble, the shared
+/// plan cache and the worker threads. Dropping the service shuts it
+/// down: workers are joined and any still-queued request fails with
+/// [`ServeError::ShutDown`].
+pub struct ScoringService {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ScoringService {
+    /// Starts the service: spawns `cfg.workers` worker threads around the
+    /// ensemble.
+    ///
+    /// # Panics
+    /// Panics when `max_batch`, `queue_cap` or `plan_cache_cap` is zero.
+    pub fn start(ensemble: Ensemble, cfg: ServeConfig) -> Self {
+        assert!(cfg.max_batch > 0, "max_batch must be >= 1");
+        assert!(cfg.queue_cap > 0, "queue_cap must be >= 1");
+        let cache = PlanCache::new(cfg.plan_cache_cap);
+        let shared = Arc::new(Shared {
+            ensemble,
+            queue: Mutex::new(QueueState {
+                requests: VecDeque::new(),
+                shutdown: false,
+            }),
+            ready: Condvar::new(),
+            cache,
+            stats: StatsInner::default(),
+            cfg,
+        });
+        let workers = (0..shared.cfg.workers)
+            .map(|i| {
+                let sh = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("costream-serve-{i}"))
+                    .spawn(move || worker_loop(&sh))
+                    .expect("spawn serving worker")
+            })
+            .collect();
+        ScoringService { shared, workers }
+    }
+
+    /// A cheap, cloneable submission handle.
+    pub fn client(&self) -> ScoreClient {
+        ScoreClient {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// The served ensemble.
+    pub fn ensemble(&self) -> &Ensemble {
+        &self.shared.ensemble
+    }
+
+    /// Snapshot of the serving counters (including plan-cache hit/miss).
+    pub fn stats(&self) -> ServeStats {
+        let s = &self.shared.stats;
+        ServeStats {
+            submitted: s.submitted.load(Ordering::Relaxed),
+            rejected: s.rejected.load(Ordering::Relaxed),
+            completed: s.completed.load(Ordering::Relaxed),
+            batches: s.batches.load(Ordering::Relaxed),
+            batched_graphs: s.batched_graphs.load(Ordering::Relaxed),
+            plan_cache_hits: self.shared.cache.hits(),
+            plan_cache_misses: self.shared.cache.misses(),
+        }
+    }
+}
+
+impl Drop for ScoringService {
+    fn drop(&mut self) {
+        {
+            let mut q = self.shared.queue.lock().expect("queue lock");
+            q.shutdown = true;
+        }
+        self.shared.ready.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        // Workers are gone; fail whatever is still queued so no caller
+        // blocks forever.
+        let mut q = self.shared.queue.lock().expect("queue lock");
+        for req in q.requests.drain(..) {
+            req.slot.fill(Err(ServeError::ShutDown));
+        }
+    }
+}
+
+/// A submission handle. Cloning is cheap (one `Arc`); clone one per
+/// client thread.
+#[derive(Clone)]
+pub struct ScoreClient {
+    shared: Arc<Shared>,
+}
+
+impl ScoreClient {
+    /// The featurization the served ensemble expects — use it when
+    /// prebuilding [`JointGraph`]s on the client side.
+    pub fn featurization(&self) -> Featurization {
+        self.shared.ensemble.featurization()
+    }
+
+    /// Submits a request without blocking on the result. Featurization
+    /// (for [`ScoreRequest::Placement`]) happens on the calling thread,
+    /// so it parallelizes across clients instead of serializing in the
+    /// workers.
+    ///
+    /// # Errors
+    /// [`ServeError::Overloaded`] when the queue is at capacity,
+    /// [`ServeError::ShutDown`] when the service stopped.
+    pub fn submit(&self, request: impl Into<ScoreRequest>) -> Result<Pending, ServeError> {
+        let graph = match request.into() {
+            ScoreRequest::Graph(g) => Arc::new(g),
+            ScoreRequest::Shared(g) => g,
+            ScoreRequest::Placement {
+                query,
+                cluster,
+                placement,
+                est_sels,
+            } => Arc::new(JointGraph::build(
+                &query,
+                &cluster,
+                &placement,
+                &est_sels,
+                self.featurization(),
+            )),
+        };
+        let slot = Arc::new(Slot::new());
+        let cfg = self.shared.ensemble.model_config();
+        let sig = plan_signature(&[graph.as_ref()], cfg.scheme, cfg.traditional_rounds);
+        {
+            let mut q = self.shared.queue.lock().expect("queue lock");
+            if q.shutdown {
+                return Err(ServeError::ShutDown);
+            }
+            if q.requests.len() >= self.shared.cfg.queue_cap {
+                self.shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::Overloaded);
+            }
+            q.requests.push_back(QueuedRequest {
+                graph,
+                sig,
+                slot: Arc::clone(&slot),
+            });
+            // Counted while the queue lock is held, so `submitted` can
+            // never be observed behind `completed`.
+            self.shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        }
+        self.shared.ready.notify_one();
+        Ok(Pending { slot })
+    }
+
+    /// Submits a request and blocks until it is scored.
+    ///
+    /// # Errors
+    /// See [`ScoreClient::submit`]; additionally fails with
+    /// [`ServeError::ShutDown`] when the service stops mid-flight.
+    pub fn score(&self, request: impl Into<ScoreRequest>) -> Result<f64, ServeError> {
+        self.submit(request)?.wait()
+    }
+
+    /// Featurizes a placed query and blocks until it is scored — the
+    /// placement-optimizer-facing convenience wrapper.
+    ///
+    /// # Errors
+    /// See [`ScoreClient::score`].
+    pub fn score_placement(
+        &self,
+        query: &Query,
+        cluster: &Cluster,
+        placement: &Placement,
+        est_sels: &[f64],
+    ) -> Result<f64, ServeError> {
+        let graph = JointGraph::build(query, cluster, placement, est_sels, self.featurization());
+        self.score(graph)
+    }
+}
+
+/// A submitted-but-unanswered request; [`Pending::wait`] parks until the
+/// batch containing it is scored.
+pub struct Pending {
+    slot: Arc<Slot>,
+}
+
+impl Pending {
+    /// Blocks until the request is scored (or the service shuts down).
+    ///
+    /// # Errors
+    /// [`ServeError::ShutDown`] when the service stopped before scoring.
+    pub fn wait(self) -> Result<f64, ServeError> {
+        self.slot.wait()
+    }
+}
+
+/// Worker thread body: collect a micro-batch per tick, score it, repeat
+/// until shutdown. The arena lives as long as the worker, so after the
+/// first few batches every scratch buffer of the forward pass is
+/// recycled.
+fn worker_loop(sh: &Shared) {
+    let mut arena = InferenceArena::new();
+    while let Some(mut batch) = collect_batch(sh) {
+        if batch.is_empty() {
+            // Another worker drained the queue during our probe wait.
+            continue;
+        }
+        sh.stats.batches.fetch_add(1, Ordering::Relaxed);
+        sh.stats.batched_graphs.fetch_add(batch.len() as u64, Ordering::Relaxed);
+        // Group same-shaped requests into runs (the stable sort keeps
+        // per-shape submission order): a mixed-shape batch then hits the
+        // plan cache once per shape instead of missing on every distinct
+        // batch composition.
+        batch.sort_by_key(|r| r.sig);
+        for run in batch.chunk_by(|a, b| a.sig == b.sig) {
+            for chunk in run.chunks(INFERENCE_CHUNK) {
+                score_chunk(sh, chunk, &mut arena);
+            }
+        }
+    }
+}
+
+/// One batching tick. Blocks until at least one request is queued; then,
+/// if the batch is not full, waits for it to fill — but only while new
+/// requests keep arriving (a short *no-growth probe* per wait, bounded
+/// overall by `max_delay_us`), so a lone request is never held for the
+/// full delay and a burst is collected whole; finally drains up to
+/// `max_batch` requests. Returns `None` on shutdown.
+fn collect_batch(sh: &Shared) -> Option<Vec<QueuedRequest>> {
+    let cfg = &sh.cfg;
+    let mut q = sh.queue.lock().expect("queue lock");
+    loop {
+        if q.shutdown {
+            return None;
+        }
+        if !q.requests.is_empty() {
+            break;
+        }
+        q = sh.ready.wait(q).expect("queue wait");
+    }
+    if cfg.max_delay_us > 0 && q.requests.len() < cfg.max_batch {
+        let deadline = Instant::now() + Duration::from_micros(cfg.max_delay_us);
+        // Probe window: long enough that co-runnable client threads get
+        // scheduled and submit, short enough to be cheap when traffic is
+        // a single closed-loop caller.
+        let probe = Duration::from_micros(cfg.max_delay_us.min(25));
+        loop {
+            if q.requests.len() >= cfg.max_batch || q.shutdown {
+                break;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let before = q.requests.len();
+            let (guard, _) = sh.ready.wait_timeout(q, probe.min(deadline - now)).expect("queue wait");
+            q = guard;
+            if q.requests.len() <= before {
+                // Nothing new arrived within a whole probe window (or
+                // another worker drained part of the queue — a shrink is
+                // not an arrival): the burst is over, score what we have.
+                break;
+            }
+        }
+        if q.shutdown {
+            // Leave the batch queued; Drop fails the slots.
+            return None;
+        }
+    }
+    let n = q.requests.len().min(cfg.max_batch);
+    Some(q.requests.drain(..n).collect())
+}
+
+/// Scores one same-shape chunk under an unwind guard and fills its
+/// response slots. A panic (most likely a malformed request graph —
+/// out-of-range edge indices or wrong feature widths; `JointGraph`
+/// fields are public) falls back to scoring the chunk's requests
+/// *individually*, so only the offending request fails with
+/// [`ServeError::Internal`] while co-batched requests still get their
+/// scores; the worker survives either way.
+fn score_chunk(sh: &Shared, chunk: &[QueuedRequest], arena: &mut InferenceArena) {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    match catch_unwind(AssertUnwindSafe(|| score_graphs(sh, chunk, arena))) {
+        Ok(scores) => {
+            // Counters land before the slots fill so a caller that just
+            // received its score observes them already updated.
+            sh.stats.completed.fetch_add(chunk.len() as u64, Ordering::Relaxed);
+            for (req, score) in chunk.iter().zip(scores) {
+                req.slot.fill(Ok(score));
+            }
+        }
+        Err(_) => {
+            for req in chunk {
+                match catch_unwind(AssertUnwindSafe(|| score_graphs(sh, std::slice::from_ref(req), arena))) {
+                    Ok(scores) => {
+                        sh.stats.completed.fetch_add(1, Ordering::Relaxed);
+                        req.slot.fill(Ok(scores[0]));
+                    }
+                    Err(_) => req.slot.fill(Err(ServeError::Internal)),
+                }
+            }
+        }
+    }
+}
+
+/// One fused forward for a chunk: plan via the shared topology cache,
+/// then all ensemble members off the shared plan on this worker's arena.
+fn score_graphs(sh: &Shared, chunk: &[QueuedRequest], arena: &mut InferenceArena) -> Vec<f64> {
+    let cfg = sh.ensemble.model_config();
+    let graphs: Vec<&JointGraph> = chunk.iter().map(|r| r.graph.as_ref()).collect();
+    let plan = sh.cache.get_or_build(&graphs, cfg.scheme, cfg.traditional_rounds);
+    sh.ensemble.predict_plans_arena(std::slice::from_ref(&plan), arena)
+}

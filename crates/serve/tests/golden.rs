@@ -1,0 +1,217 @@
+//! Golden equivalence and behaviour tests for the serving layer.
+//!
+//! The load-bearing guarantee: scores coming out of the batching service
+//! are **bitwise identical** to `Ensemble::predict_graphs` on the same
+//! graphs — regardless of how requests get coalesced, for one client or
+//! many, for both message-passing schemes. Everything else (admission
+//! control, plan-cache accounting, shutdown semantics) is behavioural.
+
+use costream::prelude::*;
+use costream_serve::{ScoreRequest, ScoringService, ServeConfig, ServeError};
+
+fn corpus(seed: u64) -> Corpus {
+    Corpus::generate(24, seed, FeatureRanges::training(), &SimConfig::default())
+}
+
+fn quick_ensemble(corpus: &Corpus, scheme: Scheme, k: usize) -> Ensemble {
+    let mut cfg = TrainConfig {
+        epochs: 2,
+        batch_size: 16,
+        ..Default::default()
+    };
+    cfg.model.scheme = scheme;
+    Ensemble::train(corpus, CostMetric::Throughput, &cfg, k)
+}
+
+/// Config used by the tests: worker count comes from the environment
+/// (the CI multi-thread job sets `COSTREAM_SERVE_WORKERS=4`), floored at
+/// one so the service always drains.
+fn test_config() -> ServeConfig {
+    let mut cfg = ServeConfig::default();
+    cfg.workers = cfg.workers.max(1);
+    cfg
+}
+
+fn scheme_graphs(corpus: &Corpus, ensemble: &Ensemble) -> Vec<JointGraph> {
+    corpus.items.iter().map(|i| i.graph(ensemble.featurization())).collect()
+}
+
+#[test]
+fn single_client_matches_direct_bitwise_both_schemes() {
+    let corpus = corpus(70);
+    for scheme in [Scheme::Costream, Scheme::Traditional] {
+        let ensemble = quick_ensemble(&corpus, scheme, 2);
+        let graphs = scheme_graphs(&corpus, &ensemble);
+        let refs: Vec<&JointGraph> = graphs.iter().collect();
+        let direct = ensemble.predict_graphs(&refs);
+
+        let service = ScoringService::start(ensemble, test_config());
+        let client = service.client();
+        for (i, g) in graphs.iter().enumerate() {
+            let served = client.score(g.clone()).expect("service alive");
+            assert!(
+                served == direct[i],
+                "{scheme:?} graph {i}: served {served} != direct {}",
+                direct[i]
+            );
+        }
+        let stats = service.stats();
+        assert_eq!(stats.completed, graphs.len() as u64);
+        assert_eq!(stats.rejected, 0);
+    }
+}
+
+#[test]
+fn many_concurrent_clients_match_direct_bitwise_both_schemes() {
+    let corpus = corpus(71);
+    for scheme in [Scheme::Costream, Scheme::Traditional] {
+        let ensemble = quick_ensemble(&corpus, scheme, 2);
+        let graphs = scheme_graphs(&corpus, &ensemble);
+        let refs: Vec<&JointGraph> = graphs.iter().collect();
+        let direct = ensemble.predict_graphs(&refs);
+
+        let service = ScoringService::start(ensemble, test_config());
+        let n_clients = 8;
+        std::thread::scope(|s| {
+            for c in 0..n_clients {
+                let client = service.client();
+                let graphs = &graphs;
+                let direct = &direct;
+                s.spawn(move || {
+                    // Each client walks the pool from a different offset,
+                    // so coalesced batches mix arbitrary graph subsets.
+                    for step in 0..graphs.len() {
+                        let i = (c * 3 + step) % graphs.len();
+                        let served = client.score(graphs[i].clone()).expect("service alive");
+                        assert!(
+                            served == direct[i],
+                            "{scheme:?} client {c} graph {i}: served {served} != direct {}",
+                            direct[i]
+                        );
+                    }
+                });
+            }
+        });
+        let stats = service.stats();
+        assert_eq!(stats.completed, (n_clients * graphs.len()) as u64);
+        assert!(stats.batches <= stats.completed);
+    }
+}
+
+#[test]
+fn placement_requests_match_prefeaturized_graphs() {
+    let corpus = corpus(72);
+    let ensemble = quick_ensemble(&corpus, Scheme::Costream, 2);
+    let service = ScoringService::start(ensemble, test_config());
+    let client = service.client();
+    for item in corpus.items.iter().take(5) {
+        let via_graph = client.score(item.graph(client.featurization())).expect("service alive");
+        let via_placement = client
+            .score_placement(&item.query, &item.cluster, &item.placement, &item.est_sels)
+            .expect("service alive");
+        let via_request = client
+            .score(ScoreRequest::Placement {
+                query: item.query.clone(),
+                cluster: item.cluster.clone(),
+                placement: item.placement.clone(),
+                est_sels: item.est_sels.clone(),
+            })
+            .expect("service alive");
+        assert!(via_graph == via_placement);
+        assert!(via_graph == via_request);
+    }
+}
+
+#[test]
+fn plan_cache_hits_on_recurring_shapes_and_is_shared() {
+    let corpus = corpus(73);
+    let ensemble = quick_ensemble(&corpus, Scheme::Costream, 2);
+    let graph = corpus.items[0].graph(ensemble.featurization());
+    let service = ScoringService::start(ensemble, test_config());
+    let client = service.client();
+
+    let first = client.score(graph.clone()).expect("service alive");
+    let stats = service.stats();
+    assert_eq!(stats.plan_cache_hits, 0, "first shape must be a miss");
+    assert_eq!(stats.plan_cache_misses, 1);
+
+    // Same shape again (sequential client → same singleton batch shape):
+    // topology construction must be skipped, and the served score must
+    // be bit-identical to the freshly-built-plan score.
+    for _ in 0..3 {
+        let again = client.score(graph.clone()).expect("service alive");
+        assert!(again == first, "cached-plan score must equal fresh-plan score");
+    }
+    let stats = service.stats();
+    assert_eq!(stats.plan_cache_hits, 3);
+    assert_eq!(stats.plan_cache_misses, 1);
+    assert!((stats.plan_cache_hit_rate() - 0.75).abs() < 1e-12);
+}
+
+#[test]
+fn overload_rejects_instead_of_queueing_unboundedly() {
+    let corpus = corpus(74);
+    let ensemble = quick_ensemble(&corpus, Scheme::Costream, 1);
+    let graph = corpus.items[0].graph(ensemble.featurization());
+    // No workers: nothing drains, so the queue bound is observable
+    // deterministically.
+    let cfg = ServeConfig {
+        workers: 0,
+        queue_cap: 2,
+        ..ServeConfig::default()
+    };
+    let service = ScoringService::start(ensemble, cfg);
+    let client = service.client();
+    let p1 = client.submit(graph.clone()).expect("first fits");
+    let p2 = client.submit(graph.clone()).expect("second fits");
+    assert_eq!(client.submit(graph.clone()).err(), Some(ServeError::Overloaded));
+    let stats = service.stats();
+    assert_eq!((stats.submitted, stats.rejected), (2, 1));
+
+    // Shutdown fails the still-queued requests instead of hanging them.
+    drop(service);
+    assert_eq!(p1.wait(), Err(ServeError::ShutDown));
+    assert_eq!(p2.wait(), Err(ServeError::ShutDown));
+}
+
+#[test]
+fn malformed_graphs_fail_individually_without_killing_the_worker() {
+    let corpus = corpus(76);
+    let ensemble = quick_ensemble(&corpus, Scheme::Costream, 1);
+    let good = corpus.items[0].graph(ensemble.featurization());
+    let direct = ensemble.predict_graphs(&[&good]);
+    let service = ScoringService::start(ensemble, test_config());
+    let client = service.client();
+
+    // JointGraph fields are public, so a client *can* hand the service a
+    // graph whose edges point past its node list. Scoring it panics
+    // inside plan construction; the unwind guard must fail the request
+    // and keep the worker alive.
+    let mut bad_edges = good.clone();
+    bad_edges.dataflow_edges.push((0, 9999));
+    assert_eq!(client.score(bad_edges).err(), Some(ServeError::Internal));
+    assert!(client.score(good.clone()).is_ok(), "worker must survive the panic");
+
+    // A wrong-width feature vector shares the good graph's *structural*
+    // signature, so the two coalesce into the same fused chunk. The
+    // panic fallback rescores individually: the valid request still gets
+    // its (bitwise-correct) score, only the malformed one fails.
+    let mut bad_features = good.clone();
+    bad_features.nodes[0].features.pop();
+    let p_good = client.submit(good.clone()).expect("fits");
+    let p_bad = client.submit(bad_features).expect("fits");
+    assert!(p_good.wait() == Ok(direct[0]));
+    assert_eq!(p_bad.wait(), Err(ServeError::Internal));
+}
+
+#[test]
+fn clients_outliving_the_service_get_shut_down_errors() {
+    let corpus = corpus(75);
+    let ensemble = quick_ensemble(&corpus, Scheme::Costream, 1);
+    let graph = corpus.items[0].graph(ensemble.featurization());
+    let service = ScoringService::start(ensemble, test_config());
+    let client = service.client();
+    assert!(client.score(graph.clone()).is_ok());
+    drop(service);
+    assert_eq!(client.score(graph).err(), Some(ServeError::ShutDown));
+}

@@ -137,6 +137,18 @@ fn format_ns(ns: f64) -> String {
     }
 }
 
+/// Registers an externally measured result alongside the
+/// `bench_function` ones, under the same JSON export. For harnesses the
+/// closed-loop `Bencher` can't express — load generators measuring
+/// wall-clock throughput and latency percentiles across client threads.
+pub fn register_result(name: &str, ns_per_iter: f64) {
+    eprintln!("{name:<40} time: [{}]", format_ns(ns_per_iter));
+    RESULTS.lock().expect("results lock").push(BenchResult {
+        name: name.to_string(),
+        ns_per_iter,
+    });
+}
+
 /// Writes all registered results as JSON: a `meta` header recording the
 /// runner (core count matters — several benched paths work-share over the
 /// rayon pool, so ns/iter is only comparable between runners of equal

@@ -19,19 +19,36 @@ kernel bench measured in the same run, so host speed cancels out), and
 the gate fails only when BOTH exceed the allowed factor. A genuinely
 slower runner passes via the ratio; a faster matmul kernel (which
 inflates the ratio) passes via the absolute time; a real regression of
-the gated op moves both. Only single-threaded benches may be gated or
-used for calibration — work-sharing benches (ensemble training, chunked
-inference) are not comparable across runner widths.
+the gated op moves both. CALIBRATION_OP itself must stay a pure
+single-threaded kernel bench.
+
+Gated ops fall in two classes:
+  * single-threaded benches (train_epoch) — directly comparable across
+    runners via the double gate;
+  * the serving-stack bench (serve_throughput: 8 pipelined clients
+    against the batching scoring service) — the product-level metric
+    this repo exists to protect. It involves threads, so its allowed
+    factor is wider to absorb scheduling noise, and it is gated ONLY
+    when baseline and fresh run share a core count (meta.cores): on a
+    width mismatch neither gate view cancels the core-count effect, so
+    the op is skipped with a note instead of failing spuriously.
 """
 
 import json
 import sys
 
 # op name -> maximum allowed slowdown factor vs the committed baseline.
-# Every entry here MUST be a single-threaded bench (see module docstring).
+# See the module docstring for what may be gated.
 GATED = {
     "train_epoch": 1.20,
+    "serve_throughput": 1.30,
 }
+
+# Gated ops that involve threads: their numbers scale with core count,
+# which neither the absolute nor the calibrated view cancels (the
+# calibration op is single-threaded by design), so they are skipped when
+# the baseline and the fresh run come from runners of different widths.
+THREADED = {"serve_throughput"}
 
 # Pure single-threaded kernel bench used to normalize away host speed.
 CALIBRATION_OP = "matmul_256x64x48_updater_in_big"
@@ -55,10 +72,12 @@ def main():
 
     base_cores = base_meta.get("cores")
     fresh_cores = fresh_meta.get("cores")
-    if base_cores is not None and fresh_cores is not None and base_cores != fresh_cores:
+    cores_differ = base_cores is not None and fresh_cores is not None and base_cores != fresh_cores
+    if cores_differ:
         print(
             f"note: baseline measured on {base_cores} cores, this runner has "
-            f"{fresh_cores}; gated ops are single-threaded so the check still applies"
+            f"{fresh_cores}; single-threaded gates still apply, threaded gates "
+            f"({', '.join(sorted(THREADED))}) are skipped"
         )
 
     can_calibrate = CALIBRATION_OP in base and CALIBRATION_OP in fresh
@@ -67,6 +86,9 @@ def main():
 
     failed = False
     for op, max_factor in GATED.items():
+        if cores_differ and op in THREADED:
+            print(f"{op}: skipped (threaded bench, {base_cores}-core baseline vs {fresh_cores}-core runner)")
+            continue
         if op not in base:
             print(f"{op}: no baseline entry, passing (first run)")
             continue

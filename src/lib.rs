@@ -9,3 +9,4 @@ pub use costream_baselines as baselines;
 pub use costream_dsps as dsps;
 pub use costream_nn as nn;
 pub use costream_query as query;
+pub use costream_serve as serve;

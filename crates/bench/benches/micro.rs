@@ -427,9 +427,79 @@ fn bench_enumeration(c: &mut Criterion) {
     });
 }
 
+/// The placement-search strategies at an *equal scoring budget*: wall
+/// time per full search (`optimizer_search_{random,beam,local}` — the
+/// LocalSearch variant is the CI-gated number) plus the quality each
+/// strategy buys for that budget, recorded as
+/// `optimizer_search_{...}_best_cost` metrics (predicted target cost of
+/// the chosen placement, lower is better — exported under the JSON
+/// `metrics` key with an explicit unit so the cost-vs-candidates-scored
+/// trajectory is tracked in BENCH_micro.json without masquerading as a
+/// timing).
+fn bench_optimizer_search(c: &mut Criterion) {
+    use costream::search::{
+        BeamSearch, EnsembleScorer, LocalSearch, PlacementSearch, RandomEnumeration, SearchProblem,
+    };
+
+    // Trained far enough that predicted costs spread over placements —
+    // the recorded best-cost trajectory is meaningless off a constant
+    // predictor (epochs 2 would do that).
+    let corpus = Corpus::generate(120, 14, FeatureRanges::training(), &SimConfig::default());
+    let cfg = TrainConfig {
+        epochs: 10,
+        ..Default::default()
+    };
+    let target = Ensemble::train(&corpus, CostMetric::ProcessingLatency, &cfg, 2);
+    let success = Ensemble::train(&corpus, CostMetric::Success, &cfg, 2);
+    let backpressure = Ensemble::train(&corpus, CostMetric::Backpressure, &cfg, 2);
+    let scorer = EnsembleScorer::new(&target, &success, &backpressure);
+
+    // A wide placement space (3-way join, 8 heterogeneous hosts) at a
+    // tight budget, so strategy quality differences are visible in the
+    // recorded best-cost numbers.
+    let mut gen = WorkloadGenerator::new(15, FeatureRanges::training());
+    let query = gen.query_of(costream_query::generator::QueryTemplate::ThreeWayJoin);
+    let cluster = gen.cluster(8);
+    let sels = SelectivityEstimator::realistic(16).estimate_query(&query);
+    let problem = SearchProblem {
+        query: &query,
+        cluster: &cluster,
+        est_sels: &sels,
+        featurization: Featurization::Full,
+    };
+
+    const BUDGET: usize = 32;
+    const SEED: u64 = 17;
+    let strategies: [&dyn PlacementSearch; 3] = [&RandomEnumeration, &BeamSearch::default(), &LocalSearch::default()];
+    let mut best_costs = Vec::new();
+    for strategy in strategies {
+        c.bench_function(&format!("optimizer_search_{}", strategy.name()), |b| {
+            b.iter(|| strategy.search(&problem, &scorer, BUDGET, SEED))
+        });
+        let r = strategy.search(&problem, &scorer, BUDGET, SEED);
+        let best = r.best_evaluation().predicted_cost;
+        criterion::register_metric(
+            &format!("optimizer_search_{}_best_cost", strategy.name()),
+            best,
+            "predicted_ms",
+        );
+        eprintln!(
+            "  {:>6}: {} candidates scored -> best predicted cost {:.2}",
+            strategy.name(),
+            r.candidates.len(),
+            best
+        );
+        best_costs.push(best);
+    }
+    eprintln!(
+        "  equal-budget check (<= random {:.2}): beam {:.2}, local {:.2}",
+        best_costs[0], best_costs[1], best_costs[2]
+    );
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_matmul_kernels, bench_graph_primitives, bench_training_path, bench_simulator, bench_featurize, bench_inference, bench_ensemble_train, bench_gbdt, bench_enumeration, bench_serving
+    targets = bench_matmul_kernels, bench_graph_primitives, bench_training_path, bench_simulator, bench_featurize, bench_inference, bench_ensemble_train, bench_gbdt, bench_enumeration, bench_optimizer_search, bench_serving
 }
 criterion_main!(benches);

@@ -7,7 +7,7 @@
 //! test (§VII) and can be balanced by binary label for the classification
 //! evaluations.
 
-use crate::graph::{Featurization, JointGraph};
+use crate::graph::{Featurization, GraphTemplate, JointGraph};
 use costream_dsps::{simulate, CostMetric, CostMetrics, SimConfig};
 use costream_query::generator::WorkloadGenerator;
 use costream_query::hardware::Cluster;
@@ -51,6 +51,15 @@ impl CorpusItem {
     /// of every `predict_items` path.
     pub fn featurize_all(items: &[&CorpusItem], featurization: Featurization) -> Vec<JointGraph> {
         items.iter().map(|i| i.graph(featurization)).collect()
+    }
+
+    /// Builds the placement-invariant featurization template for this
+    /// item's query and cluster: re-featurizing the item under many
+    /// alternative placements (what a placement search does) then only
+    /// patches the placement-dependent rows per candidate instead of
+    /// recomputing the operator features each time.
+    pub fn graph_template(&self, featurization: Featurization) -> GraphTemplate {
+        GraphTemplate::new(&self.query, &self.cluster, &self.est_sels, featurization)
     }
 
     /// Executes one workload on the simulator and records the trace.
@@ -236,6 +245,21 @@ mod tests {
         for item in &c.items {
             let g = item.graph(Featurization::Full);
             assert!(g.len() >= item.query.len());
+        }
+    }
+
+    #[test]
+    fn graph_template_matches_direct_featurization() {
+        let c = small_corpus();
+        for item in c.items.iter().take(10) {
+            let template = item.graph_template(Featurization::Full);
+            let direct = item.graph(Featurization::Full);
+            let templated = template.instantiate(&item.placement);
+            assert_eq!(templated.nodes.len(), direct.nodes.len());
+            for (a, b) in templated.nodes.iter().zip(&direct.nodes) {
+                assert_eq!(a.features, b.features);
+            }
+            assert_eq!(templated.placement_edges, direct.placement_edges);
         }
     }
 }

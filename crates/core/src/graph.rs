@@ -56,6 +56,10 @@ impl JointGraph {
     ///
     /// `est_sels` are the *estimated* selectivities per operator (the model
     /// never sees true selectivities; see §IV-B).
+    ///
+    /// One-shot convenience over [`GraphTemplate`]: callers featurizing
+    /// the same query under many placements should build the template
+    /// once and [`GraphTemplate::instantiate`] per placement instead.
     pub fn build(
         query: &Query,
         cluster: &Cluster,
@@ -63,63 +67,7 @@ impl JointGraph {
         est_sels: &[f64],
         featurization: Featurization,
     ) -> Self {
-        assert_eq!(est_sels.len(), query.len(), "one estimated selectivity per operator");
-        let schemas = query.output_schemas();
-        let mut nodes: Vec<GraphNode> = query
-            .ops()
-            .map(|(id, op)| GraphNode {
-                node_type: NodeType::of_op(op),
-                features: op_features(query, id, &schemas, est_sels[id]),
-            })
-            .collect();
-
-        let dataflow_edges: Vec<(usize, usize)> = query.edges().to_vec();
-        let mut placement_edges = Vec::new();
-
-        if featurization != Featurization::QueryOnly {
-            // One host node per *used* host, so co-location is structural:
-            // two operators on the same host share a host vertex.
-            let used = placement.hosts_used();
-            let mut host_node: Vec<Option<usize>> = vec![None; cluster.len()];
-            for &h in &used {
-                let idx = nodes.len();
-                let features = match featurization {
-                    Featurization::Full => host_features(cluster.host(h)),
-                    // Masked hardware: the node exists (placement is
-                    // visible) but carries no resource information.
-                    Featurization::HardwareNodes => vec![1.0; NodeType::Host.feature_width()],
-                    Featurization::QueryOnly => unreachable!(),
-                };
-                nodes.push(GraphNode {
-                    node_type: NodeType::Host,
-                    features,
-                });
-                host_node[h] = Some(idx);
-            }
-            for op in 0..query.len() {
-                let h = placement.host_of(op);
-                placement_edges.push((op, host_node[h].expect("used host has a node")));
-            }
-        }
-
-        // Topological waves over the dataflow for the SOURCES→OPS phase.
-        let order = query.topo_order().expect("valid query");
-        let mut waves: Vec<Option<usize>> = vec![None; nodes.len()];
-        for &op in &order {
-            let w = query
-                .upstream(op)
-                .iter()
-                .map(|&u| waves[u].expect("topo order") + 1)
-                .max()
-                .unwrap_or(0);
-            waves[op] = Some(w);
-        }
-        JointGraph {
-            nodes,
-            dataflow_edges,
-            placement_edges,
-            waves,
-        }
+        GraphTemplate::new(query, cluster, est_sels, featurization).into_instance(placement)
     }
 
     /// Number of nodes.
@@ -140,6 +88,185 @@ impl JointGraph {
     /// Highest wave index plus one (the number of dataflow waves).
     pub fn n_waves(&self) -> usize {
         self.waves.iter().flatten().max().map_or(0, |w| w + 1)
+    }
+}
+
+/// Placement-invariant featurization template for one (query, cluster,
+/// selectivities, featurization) combination.
+///
+/// Everything in a [`JointGraph`] except the host-node tail and the
+/// placement edges is independent of the placement: the operator features
+/// of Table I, the dataflow edges and the topological waves depend only on
+/// the query, and each host's feature vector depends only on the cluster.
+/// A search strategy that scores hundreds of placements of *one* query
+/// would recompute all of it per candidate through [`JointGraph::build`].
+///
+/// A `GraphTemplate` computes the invariant parts once;
+/// [`GraphTemplate::instantiate`] then produces the joint graph of any
+/// placement by appending the used-host nodes and the placement edges —
+/// and [`GraphTemplate::patch`] does the same *in place* on an existing
+/// graph, reusing its allocations and leaving the operator prefix
+/// untouched. This is the canonical featurization path:
+/// [`JointGraph::build`] is a one-shot template-and-instantiate, so the
+/// two can never diverge, and golden tests additionally pin `patch`
+/// chains bitwise-equal to fresh builds.
+#[derive(Clone, Debug)]
+pub struct GraphTemplate {
+    featurization: Featurization,
+    op_nodes: Vec<GraphNode>,
+    dataflow_edges: Vec<(usize, usize)>,
+    op_waves: Vec<Option<usize>>,
+    /// Per cluster host (used or not), the feature vector its node gets.
+    host_feats: Vec<Vec<f32>>,
+}
+
+impl GraphTemplate {
+    /// Precomputes the placement-invariant parts of the joint graph.
+    ///
+    /// # Panics
+    /// Panics when `est_sels` does not provide one estimate per operator.
+    pub fn new(query: &Query, cluster: &Cluster, est_sels: &[f64], featurization: Featurization) -> Self {
+        assert_eq!(est_sels.len(), query.len(), "one estimated selectivity per operator");
+        let schemas = query.output_schemas();
+        let op_nodes: Vec<GraphNode> = query
+            .ops()
+            .map(|(id, op)| GraphNode {
+                node_type: NodeType::of_op(op),
+                features: op_features(query, id, &schemas, est_sels[id]),
+            })
+            .collect();
+        let order = query.topo_order().expect("valid query");
+        let mut op_waves: Vec<Option<usize>> = vec![None; query.len()];
+        for &op in &order {
+            let w = query
+                .upstream(op)
+                .iter()
+                .map(|&u| op_waves[u].expect("topo order") + 1)
+                .max()
+                .unwrap_or(0);
+            op_waves[op] = Some(w);
+        }
+        let host_feats = match featurization {
+            Featurization::QueryOnly => Vec::new(),
+            Featurization::Full => cluster.hosts().iter().map(host_features).collect(),
+            Featurization::HardwareNodes => cluster
+                .hosts()
+                .iter()
+                .map(|_| vec![1.0; NodeType::Host.feature_width()])
+                .collect(),
+        };
+        GraphTemplate {
+            featurization,
+            op_nodes,
+            dataflow_edges: query.edges().to_vec(),
+            op_waves,
+            host_feats,
+        }
+    }
+
+    /// Number of operator nodes.
+    pub fn n_ops(&self) -> usize {
+        self.op_nodes.len()
+    }
+
+    /// The featurization the template encodes.
+    pub fn featurization(&self) -> Featurization {
+        self.featurization
+    }
+
+    /// Builds the joint graph of one placement from the template —
+    /// bitwise identical to [`JointGraph::build`] with the template's
+    /// inputs, without recomputing any operator or host features.
+    pub fn instantiate(&self, placement: &Placement) -> JointGraph {
+        let mut graph = JointGraph {
+            nodes: self.op_nodes.clone(),
+            dataflow_edges: self.dataflow_edges.clone(),
+            placement_edges: Vec::new(),
+            waves: self.op_waves.clone(),
+        };
+        self.patch(&mut graph, placement);
+        graph
+    }
+
+    /// Like [`GraphTemplate::instantiate`], but consumes the template so
+    /// the operator prefix moves into the graph instead of being cloned —
+    /// the one-shot path [`JointGraph::build`] uses.
+    pub fn into_instance(self, placement: &Placement) -> JointGraph {
+        let GraphTemplate {
+            featurization,
+            op_nodes,
+            dataflow_edges,
+            op_waves,
+            host_feats,
+        } = self;
+        let n_ops = op_nodes.len();
+        let mut graph = JointGraph {
+            nodes: op_nodes,
+            dataflow_edges,
+            placement_edges: Vec::new(),
+            waves: op_waves,
+        };
+        patch_placement(featurization, &host_feats, n_ops, &mut graph, placement);
+        graph
+    }
+
+    /// Delta re-featurization: rewrites only the placement-dependent
+    /// parts of `graph` — the host-node tail, the placement edges and the
+    /// host entries of the wave list — for `placement`, reusing the
+    /// operator prefix (and the buffers) of the existing graph. `graph`
+    /// must come from this template ([`GraphTemplate::instantiate`] or an
+    /// earlier `patch`).
+    ///
+    /// # Panics
+    /// Panics when `graph` has a different operator prefix length or
+    /// `placement` references a host outside the template's cluster.
+    pub fn patch(&self, graph: &mut JointGraph, placement: &Placement) {
+        patch_placement(
+            self.featurization,
+            &self.host_feats,
+            self.op_nodes.len(),
+            graph,
+            placement,
+        );
+    }
+}
+
+/// The single implementation behind [`GraphTemplate::patch`] and
+/// [`GraphTemplate::into_instance`]: rewrites the placement-dependent
+/// parts of `graph` (host-node tail, placement edges, host wave entries)
+/// for `placement`, leaving the `n_ops`-long operator prefix untouched.
+fn patch_placement(
+    featurization: Featurization,
+    host_feats: &[Vec<f32>],
+    n_ops: usize,
+    graph: &mut JointGraph,
+    placement: &Placement,
+) {
+    assert!(graph.nodes.len() >= n_ops, "graph is not an instance of this template");
+    assert_eq!(placement.assignment().len(), n_ops, "placement arity mismatch");
+    graph.nodes.truncate(n_ops);
+    graph.waves.truncate(n_ops);
+    graph.placement_edges.clear();
+    if featurization == Featurization::QueryOnly {
+        return;
+    }
+    // Host-node layout: one node per *used* host, in ascending host
+    // order, so co-location is structural.
+    let used = placement.hosts_used();
+    let mut host_node: Vec<Option<usize>> = vec![None; host_feats.len()];
+    for &h in &used {
+        host_node[h] = Some(graph.nodes.len());
+        graph.nodes.push(GraphNode {
+            node_type: NodeType::Host,
+            features: host_feats[h].clone(),
+        });
+        graph.waves.push(None);
+    }
+    for op in 0..n_ops {
+        let h = placement.host_of(op);
+        graph
+            .placement_edges
+            .push((op, host_node[h].expect("used host has a node")));
     }
 }
 
@@ -204,6 +331,50 @@ mod tests {
             assert!(g.waves[a].unwrap() < g.waves[b].unwrap());
         }
         assert!(g.n_waves() >= 2);
+    }
+
+    fn assert_bitwise_eq(a: &JointGraph, b: &JointGraph) {
+        assert_eq!(a.nodes.len(), b.nodes.len());
+        for (x, y) in a.nodes.iter().zip(&b.nodes) {
+            assert_eq!(x.node_type, y.node_type);
+            assert_eq!(x.features, y.features, "feature rows must match bitwise");
+        }
+        assert_eq!(a.dataflow_edges, b.dataflow_edges);
+        assert_eq!(a.placement_edges, b.placement_edges);
+        assert_eq!(a.waves, b.waves);
+    }
+
+    #[test]
+    fn template_instantiate_matches_build_bitwise() {
+        for seed in 0..10 {
+            let (q, c, p, sels) = item(seed);
+            for fz in [
+                Featurization::Full,
+                Featurization::HardwareNodes,
+                Featurization::QueryOnly,
+            ] {
+                let template = GraphTemplate::new(&q, &c, &sels, fz);
+                assert_bitwise_eq(&template.instantiate(&p), &JointGraph::build(&q, &c, &p, &sels, fz));
+            }
+        }
+    }
+
+    #[test]
+    fn template_patch_tracks_placement_changes_bitwise() {
+        let (q, c, p, sels) = item(6);
+        let template = GraphTemplate::new(&q, &c, &sels, Featurization::Full);
+        let mut graph = template.instantiate(&p);
+        // Walk through several placements (including ones that change the
+        // used-host count) patching the same graph in place.
+        let strongest = costream_query::placement::colocate_on_strongest(&q, &c);
+        let spread = p.clone();
+        for placement in [&strongest, &spread, &strongest, &p] {
+            template.patch(&mut graph, placement);
+            assert_bitwise_eq(
+                &graph,
+                &JointGraph::build(&q, &c, placement, &sels, Featurization::Full),
+            );
+        }
     }
 
     #[test]

@@ -24,6 +24,10 @@
 //!   combination (§IV-A);
 //! * [`optimizer`] — heuristic placement enumeration (Fig. 5) and
 //!   cost-based candidate selection (Fig. 4);
+//! * [`search`] — the pluggable placement-search subsystem: the
+//!   [`search::Scorer`] backend abstraction (direct ensembles or the
+//!   serving layer) and the [`search::PlacementSearch`] strategies
+//!   (random enumeration, beam search, hill climbing with restarts);
 //! * [`qerror`] — the q-error / accuracy evaluation metrics of §VII;
 //! * [`reorder`] — cost-based operator reordering (the extension the
 //!   paper's outlook proposes);
@@ -52,17 +56,22 @@ pub mod optimizer;
 pub mod plan;
 pub mod qerror;
 pub mod reorder;
+pub mod search;
 pub mod train;
 
 /// Convenience re-exports for typical usage.
 pub mod prelude {
     pub use crate::dataset::{Corpus, CorpusItem};
     pub use crate::ensemble::Ensemble;
-    pub use crate::graph::{Featurization, JointGraph};
+    pub use crate::graph::{Featurization, GraphTemplate, JointGraph};
     pub use crate::model::{GnnModel, ModelConfig, Scheme};
     pub use crate::optimizer::{enumerate_candidates, OptimizationResult, PlacementOptimizer};
-    pub use crate::plan::{plan_signature, BatchPlan, PlanCache, PlanSignature};
+    pub use crate::plan::{plan_signature, BatchPlan, CacheStats, PlanCache, PlanSignature};
     pub use crate::qerror::{accuracy, q_error, QErrorSummary};
+    pub use crate::search::{
+        BeamSearch, EnsembleScorer, LocalSearch, PlacementScores, PlacementSearch, RandomEnumeration, Scorer,
+        SearchProblem,
+    };
     pub use crate::train::{fine_tune, train_metric, TrainConfig, TrainedModel};
     pub use costream_dsps::{CostMetric, CostMetrics, SimConfig};
     pub use costream_query::ranges::FeatureRanges;

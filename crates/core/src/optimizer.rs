@@ -1,14 +1,16 @@
 //! Placement selection with Costream (§V, Figs. 4–5).
 //!
-//! The optimizer enumerates placement candidates with the heuristic search
-//! strategy (random valid placements under the co-location / increasing-
-//! capability / acyclicity rules), predicts the costs of every candidate,
-//! filters out candidates predicted to fail or to be backpressured, and
-//! picks the best remaining one according to the target metric.
+//! The optimizer explores placement candidates with a pluggable
+//! [`PlacementSearch`] strategy (see [`crate::search`]; the default is
+//! the paper's random enumeration under the co-location / increasing-
+//! capability / acyclicity rules of Fig. 5), predicts the costs of every
+//! candidate through a [`crate::search::Scorer`], filters out candidates
+//! predicted to fail or to be backpressured, and picks the best remaining
+//! one according to the target metric.
 
 use crate::ensemble::Ensemble;
-use crate::graph::{Featurization, JointGraph};
-use costream_dsps::CostMetric;
+use crate::graph::Featurization;
+use crate::search::{EnsembleScorer, PlacementSearch, RandomEnumeration, SearchProblem};
 use costream_query::hardware::Cluster;
 use costream_query::operators::Query;
 use costream_query::placement::{colocate_on_strongest, sample_valid, Placement};
@@ -49,7 +51,11 @@ pub fn enumerate_candidates(query: &Query, cluster: &Cluster, k: usize, seed: u6
             if out.len() >= k {
                 break;
             }
-            if seen.insert(p.assignment().to_vec()) {
+            // Membership is checked through the borrowed slice key, so a
+            // rejected duplicate allocates nothing; only genuinely new
+            // assignments are copied into the set.
+            if !seen.contains(p.assignment()) {
+                seen.insert(p.assignment().to_vec());
                 out.push(p);
             }
         }
@@ -73,6 +79,24 @@ pub struct CandidateEvaluation {
     pub predicted_backpressure: f64,
 }
 
+impl CandidateEvaluation {
+    /// The predictions as [`crate::search::PlacementScores`].
+    pub fn scores(&self) -> crate::search::PlacementScores {
+        crate::search::PlacementScores {
+            cost: self.predicted_cost,
+            success: self.predicted_success,
+            backpressure: self.predicted_backpressure,
+        }
+    }
+
+    /// Whether the candidate passes the Fig. 4 sanity filter (see
+    /// [`crate::search::PlacementScores::viable`] — the single place the
+    /// thresholds live).
+    pub fn viable(&self) -> bool {
+        self.scores().viable()
+    }
+}
+
 /// Outcome of a placement optimization.
 #[derive(Clone, Debug)]
 pub struct OptimizationResult {
@@ -88,12 +112,24 @@ pub struct OptimizationResult {
     pub all_filtered: bool,
 }
 
-/// The Costream placement optimizer of Fig. 4.
+impl OptimizationResult {
+    /// The evaluation of the chosen placement. Every search strategy
+    /// picks `best` from its scored candidates, so the lookup always
+    /// succeeds.
+    pub fn best_evaluation(&self) -> &CandidateEvaluation {
+        self.candidates
+            .iter()
+            .find(|e| e.placement == self.best)
+            .expect("best is a scored candidate")
+    }
+}
+
+/// The Costream placement optimizer of Fig. 4: a scoring budget, a
+/// direct-ensemble [`crate::search::Scorer`] and a pluggable search
+/// strategy (random enumeration by default — the paper's procedure).
 pub struct PlacementOptimizer<'a> {
-    target: &'a Ensemble,
-    success: &'a Ensemble,
-    backpressure: &'a Ensemble,
-    /// Number of candidates to enumerate.
+    scorer: EnsembleScorer<'a>,
+    /// Scoring budget: the number of candidates evaluated per query.
     pub k: usize,
 }
 
@@ -105,18 +141,19 @@ impl<'a> PlacementOptimizer<'a> {
     /// # Panics
     /// Panics if the ensembles' metrics do not match their roles.
     pub fn new(target: &'a Ensemble, success: &'a Ensemble, backpressure: &'a Ensemble, k: usize) -> Self {
-        assert!(target.metric.is_regression(), "target must be a regression metric");
-        assert_eq!(success.metric, CostMetric::Success);
-        assert_eq!(backpressure.metric, CostMetric::Backpressure);
         PlacementOptimizer {
-            target,
-            success,
-            backpressure,
+            scorer: EnsembleScorer::new(target, success, backpressure),
             k,
         }
     }
 
-    /// Runs the placement procedure of Fig. 4 for one query.
+    /// The direct-ensemble scorer backing this optimizer.
+    pub fn scorer(&self) -> &EnsembleScorer<'a> {
+        &self.scorer
+    }
+
+    /// Runs the placement procedure of Fig. 4 for one query with the
+    /// paper's baseline strategy ([`RandomEnumeration`]).
     pub fn optimize(
         &self,
         query: &Query,
@@ -125,68 +162,28 @@ impl<'a> PlacementOptimizer<'a> {
         featurization: Featurization,
         seed: u64,
     ) -> OptimizationResult {
-        let candidates = enumerate_candidates(query, cluster, self.k, seed);
-        let initial = candidates[0].clone();
-        // Candidate featurization is independent per placement; build the
-        // joint graphs in parallel. The ensembles below share chunk plans
-        // and fan out over members internally.
-        let graphs: Vec<JointGraph> = candidates
-            .par_iter()
-            .map(|p| JointGraph::build(query, cluster, p, est_sels, featurization))
-            .collect();
-        let refs: Vec<&JointGraph> = graphs.iter().collect();
-        let cost = self.target.predict_graphs(&refs);
-        let succ = self.success.predict_graphs(&refs);
-        let bp = self.backpressure.predict_graphs(&refs);
+        self.optimize_with(&RandomEnumeration, query, cluster, est_sels, featurization, seed)
+    }
 
-        let evaluations: Vec<CandidateEvaluation> = candidates
-            .into_iter()
-            .enumerate()
-            .map(|(i, placement)| CandidateEvaluation {
-                placement,
-                predicted_cost: cost[i],
-                predicted_success: succ[i],
-                predicted_backpressure: bp[i],
-            })
-            .collect();
-
-        // Sanity filter: drop candidates predicted to fail or to be
-        // backpressured (majority vote ≥ 0.5).
-        let viable: Vec<&CandidateEvaluation> = evaluations
-            .iter()
-            .filter(|e| e.predicted_success >= 0.5 && e.predicted_backpressure < 0.5)
-            .collect();
-
-        let maximize = self.target.metric == CostMetric::Throughput;
-        let pick = |set: &[&CandidateEvaluation]| -> Placement {
-            let best = set
-                .iter()
-                .min_by(|a, b| {
-                    let (x, y) = if maximize {
-                        (-a.predicted_cost, -b.predicted_cost)
-                    } else {
-                        (a.predicted_cost, b.predicted_cost)
-                    };
-                    x.partial_cmp(&y).expect("finite predictions")
-                })
-                .expect("non-empty candidate set");
-            best.placement.clone()
+    /// Runs the placement procedure with an explicit search strategy
+    /// (e.g. [`crate::search::LocalSearch`] or
+    /// [`crate::search::BeamSearch`]) at the same scoring budget `k`.
+    pub fn optimize_with(
+        &self,
+        strategy: &dyn PlacementSearch,
+        query: &Query,
+        cluster: &Cluster,
+        est_sels: &[f64],
+        featurization: Featurization,
+        seed: u64,
+    ) -> OptimizationResult {
+        let problem = SearchProblem {
+            query,
+            cluster,
+            est_sels,
+            featurization,
         };
-
-        let (best, all_filtered) = if viable.is_empty() {
-            // Everything predicted to fail: fall back to the least-bad
-            // candidate by predicted success probability.
-            let refs: Vec<&CandidateEvaluation> = evaluations.iter().collect();
-            (pick(&refs), true)
-        } else {
-            (pick(&viable), false)
-        };
-        OptimizationResult {
-            best,
-            initial,
-            candidates: evaluations,
-            all_filtered,
-        }
+        strategy.search(&problem, &self.scorer, self.k, seed)
     }
 }
 
@@ -195,7 +192,7 @@ mod tests {
     use super::*;
     use crate::dataset::Corpus;
     use crate::train::TrainConfig;
-    use costream_dsps::SimConfig;
+    use costream_dsps::{CostMetric, SimConfig};
     use costream_query::generator::WorkloadGenerator;
     use costream_query::ranges::FeatureRanges;
     use costream_query::selectivity::SelectivityEstimator;
@@ -247,18 +244,9 @@ mod tests {
         assert!(result.best.is_valid(&q, &c));
         assert!(!result.candidates.is_empty());
         if !result.all_filtered {
-            let viable: Vec<_> = result
-                .candidates
-                .iter()
-                .filter(|e| e.predicted_success >= 0.5 && e.predicted_backpressure < 0.5)
-                .collect();
+            let viable: Vec<_> = result.candidates.iter().filter(|e| e.viable()).collect();
             let best_cost = viable.iter().map(|e| e.predicted_cost).fold(f64::INFINITY, f64::min);
-            let chosen = result
-                .candidates
-                .iter()
-                .find(|e| e.placement == result.best)
-                .expect("best is a candidate");
-            assert!((chosen.predicted_cost - best_cost).abs() < 1e-9);
+            assert!((result.best_evaluation().predicted_cost - best_cost).abs() < 1e-9);
         }
     }
 

@@ -420,6 +420,38 @@ pub fn plan_signature(graphs: &[&JointGraph], scheme: Scheme, traditional_rounds
     }
 }
 
+/// A snapshot of [`PlanCache`] effectiveness counters, exposed so cache
+/// *clients* — e.g. a placement optimizer scoring candidates through the
+/// serving layer — can assert cache behavior without reaching into the
+/// serving internals.
+#[derive(Clone, Copy, Debug)]
+pub struct CacheStats {
+    /// Lookups served from a cached topology.
+    pub hits: u64,
+    /// Lookups that built the topology from scratch.
+    pub misses: u64,
+    /// Topologies currently cached.
+    pub len: usize,
+    /// Maximum number of cached topologies.
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups served from the cache (0.0 when unused).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups() as f64
+        }
+    }
+}
+
 struct CacheSlot {
     topo: Arc<PlanTopology>,
     last_used: u64,
@@ -513,6 +545,16 @@ impl PlanCache {
             },
         );
         plan
+    }
+
+    /// Snapshot of the cache's effectiveness counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits(),
+            misses: self.misses(),
+            len: self.len(),
+            capacity: self.capacity,
+        }
     }
 
     /// Number of topology hits so far.

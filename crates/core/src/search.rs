@@ -1,0 +1,633 @@
+//! Pluggable placement search (§V, Figs. 4–5).
+//!
+//! The seed-era optimizer had exactly one strategy baked in: sample `k`
+//! random valid placements, featurize each from scratch, score once, pick
+//! the best. This module splits that monolith into three swappable parts:
+//!
+//! * a [`Scorer`] — the backend that turns candidate [`JointGraph`]s into
+//!   predicted cost / success / backpressure triples. [`EnsembleScorer`]
+//!   calls the three ensembles directly; `costream-serve` provides a
+//!   `ScoreClient`-backed implementation so *concurrent* optimizer runs
+//!   coalesce their candidate batches through the serving layer;
+//! * a [`PlacementSearch`] strategy — how the placement space is explored
+//!   under a fixed scoring budget. [`RandomEnumeration`] is the paper's
+//!   baseline (and the seed behavior, bit for bit), [`BeamSearch`] and
+//!   [`LocalSearch`] walk the move/swap neighborhood of
+//!   `costream_query::placement::neighborhood` with incremental validity
+//!   checks;
+//! * shared bookkeeping (the internal evaluator) — budget accounting,
+//!   duplicate suppression, delta re-featurization through a
+//!   [`GraphTemplate`] (operator features are computed once per search,
+//!   not once per candidate), and the Fig. 4 sanity-filter selection rule.
+//!
+//! Every strategy is deterministic for fixed inputs and seed, independent
+//! of thread counts and of how the scorer batches its requests: candidate
+//! generation order is fixed, all randomness flows through seeded
+//! [`StdRng`] streams, and the prediction kernels are batch-composition
+//! invariant (a guarantee the serving layer's golden tests pin down).
+
+use crate::ensemble::Ensemble;
+use crate::graph::{Featurization, GraphTemplate, JointGraph};
+use crate::optimizer::{enumerate_candidates, CandidateEvaluation, OptimizationResult};
+use costream_dsps::CostMetric;
+use costream_query::hardware::Cluster;
+use costream_query::operators::Query;
+use costream_query::placement::neighborhood::Neighborhood;
+use costream_query::placement::Placement;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::HashSet;
+
+/// Predicted scores of one placement candidate, as produced by a
+/// [`Scorer`] backend.
+#[derive(Clone, Copy, Debug)]
+pub struct PlacementScores {
+    /// Predicted target-metric value (the quantity being optimized).
+    pub cost: f64,
+    /// Majority-vote probability that the query executes successfully.
+    pub success: f64,
+    /// Majority-vote probability that the query is backpressured.
+    pub backpressure: f64,
+}
+
+impl PlacementScores {
+    /// The Fig. 4 sanity filter: a candidate is viable when it is
+    /// predicted to succeed and not to be backpressured.
+    pub fn viable(&self) -> bool {
+        self.success >= 0.5 && self.backpressure < 0.5
+    }
+}
+
+/// A batch scoring backend for placement candidates.
+///
+/// Implementations must be deterministic per graph and independent of how
+/// candidates are grouped into batches, so search results do not depend
+/// on batch composition (the ensembles' kernels guarantee this; a remote
+/// scorer must preserve it).
+pub trait Scorer: Sync {
+    /// The regression metric the cost predictions refer to (minimized,
+    /// or maximized for [`CostMetric::Throughput`]).
+    fn target_metric(&self) -> CostMetric;
+
+    /// Scores a batch of candidate graphs, one result per graph in order.
+    fn score_batch(&self, graphs: Vec<JointGraph>) -> Vec<PlacementScores>;
+}
+
+/// The direct scoring backend: calls the three ensembles in-process.
+pub struct EnsembleScorer<'a> {
+    target: &'a Ensemble,
+    success: &'a Ensemble,
+    backpressure: &'a Ensemble,
+}
+
+impl<'a> EnsembleScorer<'a> {
+    /// Creates a scorer from the three required ensembles: target metric
+    /// plus the query-success and backpressure sanity models.
+    ///
+    /// # Panics
+    /// Panics if the ensembles' metrics do not match their roles.
+    pub fn new(target: &'a Ensemble, success: &'a Ensemble, backpressure: &'a Ensemble) -> Self {
+        assert!(target.metric.is_regression(), "target must be a regression metric");
+        assert_eq!(success.metric, CostMetric::Success);
+        assert_eq!(backpressure.metric, CostMetric::Backpressure);
+        EnsembleScorer {
+            target,
+            success,
+            backpressure,
+        }
+    }
+
+    /// The target ensemble (exposed for featurization queries).
+    pub fn target(&self) -> &Ensemble {
+        self.target
+    }
+}
+
+impl Scorer for EnsembleScorer<'_> {
+    fn target_metric(&self) -> CostMetric {
+        self.target.metric
+    }
+
+    fn score_batch(&self, graphs: Vec<JointGraph>) -> Vec<PlacementScores> {
+        let refs: Vec<&JointGraph> = graphs.iter().collect();
+        let cost = self.target.predict_graphs(&refs);
+        let succ = self.success.predict_graphs(&refs);
+        let bp = self.backpressure.predict_graphs(&refs);
+        cost.into_iter()
+            .zip(succ)
+            .zip(bp)
+            .map(|((cost, success), backpressure)| PlacementScores {
+                cost,
+                success,
+                backpressure,
+            })
+            .collect()
+    }
+}
+
+/// One placement-optimization problem instance.
+#[derive(Clone, Copy, Debug)]
+pub struct SearchProblem<'a> {
+    /// The streaming query.
+    pub query: &'a Query,
+    /// The hardware it will run on.
+    pub cluster: &'a Cluster,
+    /// Estimated selectivity per operator (§IV-B: the model never sees
+    /// true selectivities).
+    pub est_sels: &'a [f64],
+    /// Featurization of the candidate graphs (the scorer's models must
+    /// have been trained with the same one).
+    pub featurization: Featurization,
+}
+
+/// A search strategy over the placement space.
+///
+/// `budget` bounds the number of candidates *scored* (the unit the
+/// strategies are compared at — scoring dominates search cost); every
+/// strategy returns the best candidate it scored, so more budget can
+/// never make the predicted outcome worse.
+pub trait PlacementSearch: Sync {
+    /// Strategy name for logs and benchmarks.
+    fn name(&self) -> &'static str;
+
+    /// Runs the search, scoring at most `budget.max(1)` candidates
+    /// through `scorer`. Deterministic for fixed inputs and seed.
+    fn search(&self, problem: &SearchProblem<'_>, scorer: &dyn Scorer, budget: usize, seed: u64) -> OptimizationResult;
+}
+
+/// Shared strategy bookkeeping: budget accounting, duplicate suppression,
+/// template-based delta featurization and the Fig. 4 selection rule.
+struct Evaluator<'a> {
+    scorer: &'a dyn Scorer,
+    template: GraphTemplate,
+    maximize: bool,
+    budget: usize,
+    seen: HashSet<Vec<usize>>,
+    evaluated: Vec<CandidateEvaluation>,
+}
+
+impl<'a> Evaluator<'a> {
+    fn new(problem: &SearchProblem<'_>, scorer: &'a dyn Scorer, budget: usize) -> Self {
+        Evaluator {
+            scorer,
+            template: GraphTemplate::new(problem.query, problem.cluster, problem.est_sels, problem.featurization),
+            maximize: scorer.target_metric() == CostMetric::Throughput,
+            budget: budget.max(1),
+            seen: HashSet::new(),
+            evaluated: Vec::new(),
+        }
+    }
+
+    fn remaining(&self) -> usize {
+        self.budget - self.evaluated.len()
+    }
+
+    fn is_seen(&self, p: &Placement) -> bool {
+        self.seen.contains(p.assignment())
+    }
+
+    /// Scores the not-yet-seen placements of `candidates` (in order, up
+    /// to the remaining budget) in one batch. Returns the indices of the
+    /// newly evaluated candidates.
+    fn score(&mut self, candidates: Vec<Placement>) -> Vec<usize> {
+        let mut fresh: Vec<Placement> = Vec::new();
+        for p in candidates {
+            if fresh.len() >= self.remaining() {
+                break;
+            }
+            if self.seen.contains(p.assignment()) {
+                continue;
+            }
+            self.seen.insert(p.assignment().to_vec());
+            fresh.push(p);
+        }
+        if fresh.is_empty() {
+            return Vec::new();
+        }
+        let graphs: Vec<JointGraph> = fresh.iter().map(|p| self.template.instantiate(p)).collect();
+        let scores = self.scorer.score_batch(graphs);
+        assert_eq!(scores.len(), fresh.len(), "scorer must return one result per graph");
+        let start = self.evaluated.len();
+        for (placement, s) in fresh.into_iter().zip(scores) {
+            // Same contract the pre-search optimizer enforced: ranking
+            // NaNs would silently pick an arbitrary placement (and
+            // `better`/`top_of` would disagree on their order).
+            assert!(
+                s.cost.is_finite() && s.success.is_finite() && s.backpressure.is_finite(),
+                "finite predictions"
+            );
+            self.evaluated.push(CandidateEvaluation {
+                placement,
+                predicted_cost: s.cost,
+                predicted_success: s.success,
+                predicted_backpressure: s.backpressure,
+            });
+        }
+        (start..self.evaluated.len()).collect()
+    }
+
+    fn viable(e: &CandidateEvaluation) -> bool {
+        e.viable()
+    }
+
+    /// Signed cost key: lower is always better.
+    fn key(&self, i: usize) -> f64 {
+        if self.maximize {
+            -self.evaluated[i].predicted_cost
+        } else {
+            self.evaluated[i].predicted_cost
+        }
+    }
+
+    /// Strict "candidate `a` beats candidate `b`": viable candidates rank
+    /// before filtered ones, then by cost. Ties are *not* better, so a
+    /// first-encountered candidate wins them — deterministic because
+    /// candidate generation order is.
+    fn better(&self, a: usize, b: usize) -> bool {
+        let (va, vb) = (Self::viable(&self.evaluated[a]), Self::viable(&self.evaluated[b]));
+        if va != vb {
+            return va;
+        }
+        self.key(a) < self.key(b)
+    }
+
+    /// The best of `indices` (first wins ties); `None` when empty.
+    fn best_in(&self, indices: &[usize]) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for &i in indices {
+            best = match best {
+                None => Some(i),
+                Some(b) if self.better(i, b) => Some(i),
+                keep => keep,
+            };
+        }
+        best
+    }
+
+    /// The `k` best of `indices`, best first (stable: earlier-scored
+    /// candidates win ties).
+    fn top_of(&self, mut indices: Vec<usize>, k: usize) -> Vec<usize> {
+        indices.sort_by(|&a, &b| {
+            let (va, vb) = (Self::viable(&self.evaluated[a]), Self::viable(&self.evaluated[b]));
+            vb.cmp(&va).then(self.key(a).total_cmp(&self.key(b))).then(a.cmp(&b))
+        });
+        indices.truncate(k.max(1));
+        indices
+    }
+
+    /// Final Fig. 4 selection: best viable candidate, falling back to the
+    /// least-bad overall when the sanity filters removed everything.
+    fn finish(self) -> OptimizationResult {
+        assert!(!self.evaluated.is_empty(), "search must score at least one candidate");
+        let all: Vec<usize> = (0..self.evaluated.len()).collect();
+        let best = self.best_in(&all).expect("non-empty");
+        let all_filtered = !self.evaluated.iter().any(Self::viable);
+        OptimizationResult {
+            best: self.evaluated[best].placement.clone(),
+            initial: self.evaluated[0].placement.clone(),
+            candidates: self.evaluated,
+            all_filtered,
+        }
+    }
+}
+
+/// Draws up to one fresh (unseen) valid placement from a seeded stream.
+fn fresh_sample(problem: &SearchProblem<'_>, ev: &Evaluator<'_>, seed: u64, round: u64) -> Option<Placement> {
+    for attempt in 0..32u64 {
+        let s = seed
+            ^ round.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ attempt.wrapping_mul(0xD1B5_4A32_D192_ED03).wrapping_add(1);
+        let mut rng = StdRng::seed_from_u64(s);
+        if let Some(p) = costream_query::placement::sample_valid(problem.query, problem.cluster, &mut rng) {
+            if !ev.is_seen(&p) {
+                return Some(p);
+            }
+        }
+    }
+    let fallback = costream_query::placement::colocate_on_strongest(problem.query, problem.cluster);
+    if ev.is_seen(&fallback) {
+        None
+    } else {
+        Some(fallback)
+    }
+}
+
+/// The paper's baseline strategy (and the seed-era `optimize()` behavior):
+/// enumerate `budget` distinct random valid placements under the Fig. 5
+/// rules, score them all once, pick the best.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RandomEnumeration;
+
+impl PlacementSearch for RandomEnumeration {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn search(&self, problem: &SearchProblem<'_>, scorer: &dyn Scorer, budget: usize, seed: u64) -> OptimizationResult {
+        let mut ev = Evaluator::new(problem, scorer, budget);
+        let candidates = enumerate_candidates(problem.query, problem.cluster, ev.budget, seed);
+        ev.score(candidates);
+        ev.finish()
+    }
+}
+
+/// Beam search over the move/swap neighborhood: spend `seed_share` of the
+/// budget on random-valid exploration (the same stream the baseline
+/// enumerates), then keep the `width` best candidates found and expand
+/// each by up to `expand` unseen neighbors per round, re-rank, repeat
+/// until the scoring budget is spent or the frontier dries up. The
+/// explore-then-refine split is what keeps beam competitive with pure
+/// enumeration on wide landscapes while still exploiting local structure.
+#[derive(Clone, Copy, Debug)]
+pub struct BeamSearch {
+    /// Candidates kept per round.
+    pub width: usize,
+    /// Neighbors expanded per beam member per round.
+    pub expand: usize,
+    /// Fraction of the budget spent seeding the beam with random valid
+    /// placements before refinement (clamped to keep at least `width`
+    /// seeds and at least one refinement round).
+    pub seed_share: f64,
+}
+
+impl Default for BeamSearch {
+    fn default() -> Self {
+        BeamSearch {
+            width: 4,
+            expand: 8,
+            seed_share: 0.5,
+        }
+    }
+}
+
+impl PlacementSearch for BeamSearch {
+    fn name(&self) -> &'static str {
+        "beam"
+    }
+
+    fn search(&self, problem: &SearchProblem<'_>, scorer: &dyn Scorer, budget: usize, seed: u64) -> OptimizationResult {
+        let mut ev = Evaluator::new(problem, scorer, budget);
+        let nb = Neighborhood::new(problem.query, problem.cluster);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xBEA3_5EA2_C4A6_1D07);
+        let width = self.width.max(1);
+
+        let share = self.seed_share.clamp(0.0, 1.0);
+        let n_seeds = ((ev.budget as f64 * share) as usize)
+            .max(width)
+            .min(ev.budget.saturating_sub(1).max(1));
+        let seeds = enumerate_candidates(problem.query, problem.cluster, n_seeds, seed);
+        let scored = ev.score(seeds);
+        let mut beam = ev.top_of(scored, width);
+
+        while ev.remaining() > 0 {
+            let mut expansion: Vec<Placement> = Vec::new();
+            for &bi in &beam {
+                let p = ev.evaluated[bi].placement.clone();
+                let state = nb.visit_state(&p);
+                let mut moves = nb.neighbors(&p, &state);
+                moves.shuffle(&mut rng);
+                let mut taken = 0usize;
+                for mv in moves {
+                    if taken >= self.expand.max(1) {
+                        break;
+                    }
+                    let np = mv.apply(&p);
+                    if ev.is_seen(&np) || expansion.iter().any(|e| e.assignment() == np.assignment()) {
+                        continue;
+                    }
+                    expansion.push(np);
+                    taken += 1;
+                }
+            }
+            if expansion.is_empty() {
+                break;
+            }
+            let scored = ev.score(expansion);
+            if scored.is_empty() {
+                break;
+            }
+            let mut pool = beam;
+            pool.extend(scored);
+            beam = ev.top_of(pool, width);
+        }
+        ev.finish()
+    }
+}
+
+/// Hill climbing with restarts: spend `seed_share` of the budget on a
+/// random-valid exploration pool (the same stream the baseline
+/// enumerates), then greedily follow the best improving neighbor of the
+/// best pool member (scoring `sample_size` unseen neighbors per round);
+/// at a local optimum, restart from the best not-yet-expanded pool
+/// member, falling back to fresh random placements when the pool is
+/// exhausted. The best candidate *ever* scored is returned, so restarts
+/// never lose progress.
+#[derive(Clone, Copy, Debug)]
+pub struct LocalSearch {
+    /// Neighbors scored per hill-climbing round.
+    pub sample_size: usize,
+    /// Fraction of the budget spent on the exploration pool (clamped to
+    /// keep at least one seed and at least one refinement round).
+    pub seed_share: f64,
+}
+
+impl Default for LocalSearch {
+    fn default() -> Self {
+        LocalSearch {
+            sample_size: 8,
+            seed_share: 0.5,
+        }
+    }
+}
+
+impl PlacementSearch for LocalSearch {
+    fn name(&self) -> &'static str {
+        "local"
+    }
+
+    fn search(&self, problem: &SearchProblem<'_>, scorer: &dyn Scorer, budget: usize, seed: u64) -> OptimizationResult {
+        let mut ev = Evaluator::new(problem, scorer, budget);
+        let nb = Neighborhood::new(problem.query, problem.cluster);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x10CA_15EA_2C4B_AD5E);
+        let sample = self.sample_size.max(1);
+        let mut restarts: u64 = 0;
+
+        // Exploration pool, drawn from the same seeded stream the
+        // baseline enumerates (the first pool member is therefore the
+        // "initial heuristic placement" of the other strategies too).
+        let share = self.seed_share.clamp(0.0, 1.0);
+        let n_seeds = ((ev.budget as f64 * share) as usize)
+            .max(1)
+            .min(ev.budget.saturating_sub(1).max(1));
+        let pool = enumerate_candidates(problem.query, problem.cluster, n_seeds, seed);
+        let mut pool_indices = ev.score(pool);
+        let Some(mut current) = ev.best_in(&pool_indices) else {
+            return ev.finish();
+        };
+        // Restart order: best pool members first.
+        pool_indices = ev.top_of(pool_indices, usize::MAX);
+        let mut next_pool = 0usize;
+        let mut expanded: HashSet<usize> = HashSet::new();
+
+        while ev.remaining() > 0 {
+            expanded.insert(current);
+            let p = ev.evaluated[current].placement.clone();
+            let state = nb.visit_state(&p);
+            let mut moves = nb.neighbors(&p, &state);
+            moves.shuffle(&mut rng);
+            let mut candidates: Vec<Placement> = Vec::new();
+            for mv in moves {
+                if candidates.len() >= sample {
+                    break;
+                }
+                let np = mv.apply(&p);
+                if !ev.is_seen(&np) {
+                    candidates.push(np);
+                }
+            }
+
+            let mut next: Option<usize> = None;
+            if !candidates.is_empty() {
+                let scored = ev.score(candidates);
+                if let Some(best) = ev.best_in(&scored) {
+                    if ev.better(best, current) {
+                        next = Some(best);
+                    }
+                }
+            }
+            match next {
+                Some(idx) => current = idx,
+                None => {
+                    // Local optimum (or neighborhood exhausted): restart
+                    // from the best unexpanded pool member, then from
+                    // fresh random placements once the pool is spent.
+                    while next_pool < pool_indices.len() && expanded.contains(&pool_indices[next_pool]) {
+                        next_pool += 1;
+                    }
+                    if next_pool < pool_indices.len() {
+                        current = pool_indices[next_pool];
+                        next_pool += 1;
+                        continue;
+                    }
+                    restarts += 1;
+                    let Some(p) = fresh_sample(problem, &ev, seed, restarts) else {
+                        break;
+                    };
+                    let scored = ev.score(vec![p]);
+                    let Some(idx) = scored.first().copied() else {
+                        break;
+                    };
+                    current = idx;
+                }
+            }
+        }
+        ev.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Corpus;
+    use crate::train::TrainConfig;
+    use costream_dsps::SimConfig;
+    use costream_query::generator::WorkloadGenerator;
+    use costream_query::ranges::FeatureRanges;
+    use costream_query::selectivity::SelectivityEstimator;
+
+    fn trio(corpus: &Corpus, epochs: usize) -> (Ensemble, Ensemble, Ensemble) {
+        let cfg = TrainConfig {
+            epochs,
+            ..Default::default()
+        };
+        (
+            Ensemble::train(corpus, CostMetric::ProcessingLatency, &cfg, 2),
+            Ensemble::train(corpus, CostMetric::Success, &cfg, 2),
+            Ensemble::train(corpus, CostMetric::Backpressure, &cfg, 2),
+        )
+    }
+
+    #[test]
+    fn strategies_respect_budget_and_return_valid_best() {
+        let corpus = Corpus::generate(80, 51, FeatureRanges::training(), &SimConfig::default());
+        let (t, s, b) = trio(&corpus, 4);
+        let scorer = EnsembleScorer::new(&t, &s, &b);
+        let mut g = WorkloadGenerator::new(52, FeatureRanges::training());
+        let q = g.query();
+        let c = g.cluster(5);
+        let sels = SelectivityEstimator::realistic(53).estimate_query(&q);
+        let problem = SearchProblem {
+            query: &q,
+            cluster: &c,
+            est_sels: &sels,
+            featurization: Featurization::Full,
+        };
+        let budget = 24;
+        for strategy in [
+            &RandomEnumeration as &dyn PlacementSearch,
+            &BeamSearch::default(),
+            &LocalSearch::default(),
+        ] {
+            let r = strategy.search(&problem, &scorer, budget, 9);
+            assert!(r.candidates.len() <= budget, "{} overspent", strategy.name());
+            assert!(!r.candidates.is_empty());
+            assert!(r.best.is_valid(&q, &c), "{} best invalid", strategy.name());
+            assert!(r.initial.is_valid(&q, &c));
+            // No duplicate candidate may be scored twice.
+            let mut seen = std::collections::HashSet::new();
+            for e in &r.candidates {
+                assert!(
+                    seen.insert(e.placement.assignment().to_vec()),
+                    "{} rescored",
+                    strategy.name()
+                );
+            }
+            // The reported best is the best scored candidate.
+            let viable: Vec<_> = r.candidates.iter().filter(|e| e.viable()).collect();
+            let pool: Vec<_> = if viable.is_empty() {
+                r.candidates.iter().collect()
+            } else {
+                viable
+            };
+            let best_cost = pool.iter().map(|e| e.predicted_cost).fold(f64::INFINITY, f64::min);
+            assert_eq!(r.best_evaluation().predicted_cost, best_cost, "{}", strategy.name());
+        }
+    }
+
+    #[test]
+    fn searches_are_deterministic_across_runs() {
+        let corpus = Corpus::generate(60, 54, FeatureRanges::training(), &SimConfig::default());
+        let (t, s, b) = trio(&corpus, 3);
+        let scorer = EnsembleScorer::new(&t, &s, &b);
+        let mut g = WorkloadGenerator::new(55, FeatureRanges::training());
+        let q = g.query();
+        let c = g.cluster(4);
+        let sels = SelectivityEstimator::realistic(56).estimate_query(&q);
+        let problem = SearchProblem {
+            query: &q,
+            cluster: &c,
+            est_sels: &sels,
+            featurization: Featurization::Full,
+        };
+        for strategy in [
+            &RandomEnumeration as &dyn PlacementSearch,
+            &BeamSearch::default(),
+            &LocalSearch::default(),
+        ] {
+            let a = strategy.search(&problem, &scorer, 16, 3);
+            let bb = strategy.search(&problem, &scorer, 16, 3);
+            assert_eq!(a.best.assignment(), bb.best.assignment(), "{}", strategy.name());
+            assert_eq!(a.candidates.len(), bb.candidates.len());
+            for (x, y) in a.candidates.iter().zip(&bb.candidates) {
+                assert_eq!(x.placement.assignment(), y.placement.assignment());
+                assert_eq!(
+                    x.predicted_cost.to_bits(),
+                    y.predicted_cost.to_bits(),
+                    "{}",
+                    strategy.name()
+                );
+            }
+        }
+    }
+}

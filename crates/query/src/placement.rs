@@ -183,6 +183,253 @@ pub fn sample_valid(query: &Query, cluster: &Cluster, rng: &mut StdRng) -> Optio
     Some(Placement::new(assignment))
 }
 
+/// Neighborhood moves over placements: the candidate generators of the
+/// pluggable placement-search subsystem.
+///
+/// A search strategy explores the placement space by *editing* a known
+/// valid placement — relocating one operator or swapping the hosts of two
+/// operators — instead of sampling whole assignments from scratch. Both
+/// edit kinds touch at most two operators, so the Fig. 5 validity rules
+/// can be re-checked *incrementally*: rule ② (non-decreasing capability)
+/// only on the edges incident to the touched operators, and rule ③ (no
+/// host revisit) only over the touched operators' downstream cone, seeded
+/// from precomputed visited-host bitmasks — everything outside the cone
+/// kept its visited set, and every edge outside it was already valid.
+pub mod neighborhood {
+    use super::{CapabilityBin, Cluster, HostId, OpId, Placement, Query};
+
+    /// A single placement edit.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum Move {
+        /// Move one operator to another host.
+        Relocate {
+            /// The operator to move.
+            op: OpId,
+            /// Its new host.
+            to: HostId,
+        },
+        /// Exchange the hosts of two operators.
+        Swap {
+            /// First operator.
+            a: OpId,
+            /// Second operator.
+            b: OpId,
+        },
+    }
+
+    impl Move {
+        /// The placement produced by applying this edit.
+        pub fn apply(&self, placement: &Placement) -> Placement {
+            let mut assignment = placement.assignment().to_vec();
+            match *self {
+                Move::Relocate { op, to } => assignment[op] = to,
+                Move::Swap { a, b } => assignment.swap(a, b),
+            }
+            Placement::new(assignment)
+        }
+    }
+
+    /// Per-placement rule ③ state: the set of hosts the data has passed
+    /// through on any path ending at each operator, as one bitmask per
+    /// operator (bit `h` = host `h` visited). Computed once per placement
+    /// by [`Neighborhood::visit_state`] and reused for every candidate
+    /// edit of that placement.
+    #[derive(Clone, Debug)]
+    pub struct VisitState {
+        masks: Vec<u64>,
+    }
+
+    /// Rule ③ working buffers, reused across all checks of a
+    /// `Neighborhood` so a candidate check allocates nothing.
+    struct MoveScratch {
+        in_cone: Vec<bool>,
+        new_mask: Vec<u64>,
+    }
+
+    /// Precomputed query/cluster structure shared by all neighbor checks:
+    /// topological order, per-host capability bins and the dataflow
+    /// adjacency. Build once per (query, cluster), reuse across every
+    /// placement the search visits.
+    pub struct Neighborhood<'a> {
+        query: &'a Query,
+        cluster: &'a Cluster,
+        order: Vec<OpId>,
+        bins: Vec<CapabilityBin>,
+        ups: Vec<Vec<OpId>>,
+        downs: Vec<Vec<OpId>>,
+        scratch: std::cell::RefCell<MoveScratch>,
+    }
+
+    impl<'a> Neighborhood<'a> {
+        /// Precomputes the structure for one (query, cluster) pair.
+        pub fn new(query: &'a Query, cluster: &'a Cluster) -> Self {
+            let order = query.topo_order().expect("valid query");
+            let bins = cluster.hosts().iter().map(CapabilityBin::classify).collect();
+            let ups: Vec<Vec<OpId>> = (0..query.len()).map(|op| query.upstream(op)).collect();
+            let downs: Vec<Vec<OpId>> = (0..query.len()).map(|op| query.downstream(op)).collect();
+            Neighborhood {
+                query,
+                cluster,
+                order,
+                bins,
+                ups,
+                downs,
+                scratch: std::cell::RefCell::new(MoveScratch {
+                    in_cone: vec![false; query.len()],
+                    new_mask: vec![0u64; query.len()],
+                }),
+            }
+        }
+
+        /// True when the cluster is too wide for the bitmask fast path
+        /// (more than 64 hosts); checks then fall back to full
+        /// [`Placement::validate`].
+        fn needs_fallback(&self) -> bool {
+            self.cluster.len() > 64
+        }
+
+        /// Computes the visited-host bitmasks of a placement (rule ③
+        /// state). `placement` is expected to be valid; the masks of an
+        /// invalid placement are still well-defined but incremental
+        /// checks against them only certify the *edited* parts.
+        pub fn visit_state(&self, placement: &Placement) -> VisitState {
+            let mut masks = vec![0u64; self.query.len()];
+            if self.needs_fallback() {
+                return VisitState { masks };
+            }
+            for &op in &self.order {
+                let mut m = 1u64 << placement.host_of(op);
+                for &u in &self.ups[op] {
+                    m |= masks[u];
+                }
+                masks[op] = m;
+            }
+            VisitState { masks }
+        }
+
+        /// Checks whether applying `mv` to the (valid) placement `p`
+        /// yields another valid placement, re-validating only what the
+        /// edit can affect. `state` must be `self.visit_state(p)`.
+        pub fn is_valid_move(&self, p: &Placement, state: &VisitState, mv: Move) -> bool {
+            // Degenerate edits (no-ops, unknown hosts) are rejected up
+            // front so the answer does not depend on which validation
+            // path runs below.
+            let touched: [(OpId, HostId); 2] = match mv {
+                Move::Relocate { op, to } => {
+                    if to >= self.cluster.len() || to == p.host_of(op) {
+                        return false;
+                    }
+                    [(op, to), (op, to)]
+                }
+                Move::Swap { a, b } => {
+                    if a == b || p.host_of(a) == p.host_of(b) {
+                        return false;
+                    }
+                    [(a, p.host_of(b)), (b, p.host_of(a))]
+                }
+            };
+            if self.needs_fallback() {
+                return mv.apply(p).is_valid(self.query, self.cluster);
+            }
+            let host = |op: OpId| -> HostId {
+                if op == touched[0].0 {
+                    touched[0].1
+                } else if op == touched[1].0 {
+                    touched[1].1
+                } else {
+                    p.host_of(op)
+                }
+            };
+
+            // Rule ②: non-decreasing capability on every edge incident to
+            // a touched operator (all other edges kept both endpoints).
+            for &(op, _) in &touched {
+                let b_op = self.bins[host(op)];
+                for &u in &self.ups[op] {
+                    if b_op < self.bins[host(u)] {
+                        return false;
+                    }
+                }
+                for &d in &self.downs[op] {
+                    if self.bins[host(d)] < b_op {
+                        return false;
+                    }
+                }
+            }
+
+            // Rule ③: recompute visited masks over the touched operators'
+            // downstream cone only. Operators outside the cone keep their
+            // masks, and every edge outside the cone was already valid.
+            // `new_mask` needs no reset: entries are written before any
+            // read (cone members are visited in topo order).
+            let mut scratch = self.scratch.borrow_mut();
+            let MoveScratch { in_cone, new_mask } = &mut *scratch;
+            in_cone.fill(false);
+            for &v in &self.order {
+                let mut hit = v == touched[0].0 || v == touched[1].0;
+                if !hit {
+                    hit = self.ups[v].iter().any(|&u| in_cone[u]);
+                }
+                if !hit {
+                    continue;
+                }
+                in_cone[v] = true;
+                let hv = host(v);
+                let mut m = 1u64 << hv;
+                for &u in &self.ups[v] {
+                    let mu = if in_cone[u] { new_mask[u] } else { state.masks[u] };
+                    if hv != host(u) && (mu >> hv) & 1 == 1 {
+                        return false;
+                    }
+                    m |= mu;
+                }
+                new_mask[v] = m;
+            }
+            true
+        }
+
+        /// All valid single-operator relocations of `p`, in ascending
+        /// (operator, host) order. `state` must be `self.visit_state(p)`.
+        pub fn moves(&self, p: &Placement, state: &VisitState) -> Vec<Move> {
+            let mut out = Vec::new();
+            for op in 0..self.query.len() {
+                for to in 0..self.cluster.len() {
+                    let mv = Move::Relocate { op, to };
+                    if to != p.host_of(op) && self.is_valid_move(p, state, mv) {
+                        out.push(mv);
+                    }
+                }
+            }
+            out
+        }
+
+        /// All valid host swaps of operator pairs of `p` (pairs on the
+        /// same host are no-ops and skipped), in ascending (a, b) order.
+        /// `state` must be `self.visit_state(p)`.
+        pub fn swaps(&self, p: &Placement, state: &VisitState) -> Vec<Move> {
+            let n = self.query.len();
+            let mut out = Vec::new();
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    let mv = Move::Swap { a, b };
+                    if p.host_of(a) != p.host_of(b) && self.is_valid_move(p, state, mv) {
+                        out.push(mv);
+                    }
+                }
+            }
+            out
+        }
+
+        /// The full neighborhood: all valid relocations, then all valid
+        /// swaps — a deterministic candidate order for search strategies.
+        pub fn neighbors(&self, p: &Placement, state: &VisitState) -> Vec<Move> {
+            let mut out = self.moves(p, state);
+            out.extend(self.swaps(p, state));
+            out
+        }
+    }
+}
+
 /// The always-valid fallback placement: co-locate the whole query on the
 /// most capable host.
 pub fn colocate_on_strongest(query: &Query, cluster: &Cluster) -> Placement {
@@ -306,6 +553,119 @@ mod tests {
         let c = edge_fog_cloud();
         let p = Placement::new(vec![0, 1]);
         assert!(matches!(p.validate(&q, &c), Err(PlacementViolation::WrongArity { .. })));
+    }
+
+    #[test]
+    fn neighborhood_incremental_matches_full_validation() {
+        use super::neighborhood::{Move, Neighborhood};
+        let q = chain_query(3);
+        let c = edge_fog_cloud();
+        let p = Placement::new(vec![0, 1, 1, 2, 2]);
+        assert!(p.is_valid(&q, &c));
+        let nb = Neighborhood::new(&q, &c);
+        let st = nb.visit_state(&p);
+        for op in 0..q.len() {
+            for to in 0..c.len() {
+                if to == p.host_of(op) {
+                    continue;
+                }
+                let mv = Move::Relocate { op, to };
+                assert_eq!(
+                    nb.is_valid_move(&p, &st, mv),
+                    mv.apply(&p).is_valid(&q, &c),
+                    "relocate {op} -> {to}"
+                );
+            }
+        }
+        for a in 0..q.len() {
+            for b in (a + 1)..q.len() {
+                if p.host_of(a) == p.host_of(b) {
+                    continue;
+                }
+                let mv = Move::Swap { a, b };
+                assert_eq!(
+                    nb.is_valid_move(&p, &st, mv),
+                    mv.apply(&p).is_valid(&q, &c),
+                    "swap {a} <-> {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn neighborhood_wide_cluster_fallback_matches_full_validation() {
+        use super::neighborhood::{Move, Neighborhood};
+        // 70 hosts (> 64): the bitmask fast path cannot represent the
+        // visited sets, so every check must take the full-revalidation
+        // fallback — and agree with it, including no-op rejection.
+        let mut hosts = Vec::new();
+        for i in 0..70 {
+            // Mix of edge/fog/cloud-class hosts so both valid and
+            // invalid relocations exist.
+            let tier = i % 3;
+            hosts.push(Host {
+                cpu: [50.0, 300.0, 800.0][tier],
+                ram_mb: [1000.0, 8000.0, 32000.0][tier],
+                bandwidth_mbits: [25.0, 400.0, 10000.0][tier],
+                latency_ms: [160.0, 10.0, 1.0][tier],
+            });
+        }
+        let c = Cluster::new(hosts);
+        let q = chain_query(2);
+        let p = Placement::new(vec![0, 1, 2, 2]);
+        assert!(p.is_valid(&q, &c));
+        let nb = Neighborhood::new(&q, &c);
+        let st = nb.visit_state(&p);
+        for op in 0..q.len() {
+            // No-op relocation is rejected on the fallback path too.
+            let noop = Move::Relocate {
+                op,
+                to: p.host_of(op),
+            };
+            assert!(!nb.is_valid_move(&p, &st, noop));
+            for to in 0..c.len() {
+                if to == p.host_of(op) {
+                    continue;
+                }
+                let mv = Move::Relocate { op, to };
+                assert_eq!(
+                    nb.is_valid_move(&p, &st, mv),
+                    mv.apply(&p).is_valid(&q, &c),
+                    "wide cluster: relocate {op} -> {to}"
+                );
+            }
+        }
+        for a in 0..q.len() {
+            assert!(!nb.is_valid_move(&p, &st, Move::Swap { a, b: a }), "self-swap");
+            for b in (a + 1)..q.len() {
+                let mv = Move::Swap { a, b };
+                let want = p.host_of(a) != p.host_of(b) && mv.apply(&p).is_valid(&q, &c);
+                assert_eq!(nb.is_valid_move(&p, &st, mv), want, "wide cluster: swap {a} <-> {b}");
+            }
+        }
+        // Generators work on the fallback path and emit valid neighbors.
+        let neighbors = nb.neighbors(&p, &st);
+        assert!(!neighbors.is_empty());
+        for mv in neighbors {
+            assert!(mv.apply(&p).is_valid(&q, &c));
+        }
+    }
+
+    #[test]
+    fn neighborhood_generators_emit_only_valid_placements() {
+        use super::neighborhood::Neighborhood;
+        let q = chain_query(2);
+        let c = edge_fog_cloud();
+        let p = Placement::new(vec![0, 1, 2, 2]);
+        let nb = Neighborhood::new(&q, &c);
+        let st = nb.visit_state(&p);
+        let neighbors = nb.neighbors(&p, &st);
+        assert!(!neighbors.is_empty());
+        for mv in neighbors {
+            let np = mv.apply(&p);
+            assert!(np.is_valid(&q, &c), "{mv:?} produced invalid {:?}", np.assignment());
+            assert_ne!(np.assignment(), p.assignment(), "{mv:?} is a no-op");
+        }
     }
 
     #[test]

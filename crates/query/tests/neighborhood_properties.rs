@@ -1,0 +1,82 @@
+//! Property-based tests of the placement neighborhood generators: the
+//! incremental Fig. 5 validity checks must agree with full revalidation
+//! on every candidate edit, and every emitted neighbor must satisfy the
+//! same rules `sample_valid` enforces.
+
+use costream_query::generator::WorkloadGenerator;
+use costream_query::placement::neighborhood::{Move, Neighborhood};
+use costream_query::placement::{colocate_on_strongest, sample_valid};
+use costream_query::ranges::FeatureRanges;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The incremental move check is exactly full revalidation: for every
+    /// possible relocation and swap of a valid placement, both judges
+    /// must agree.
+    #[test]
+    fn incremental_check_equals_full_validation(seed in 0u64..100_000) {
+        let mut g = WorkloadGenerator::new(seed, FeatureRanges::training());
+        let (q, c, _) = g.workload_item();
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(1));
+        let p = sample_valid(&q, &c, &mut rng).unwrap_or_else(|| colocate_on_strongest(&q, &c));
+        prop_assert!(p.is_valid(&q, &c));
+        let nb = Neighborhood::new(&q, &c);
+        let st = nb.visit_state(&p);
+        for op in 0..q.len() {
+            for to in 0..c.len() {
+                if to == p.host_of(op) {
+                    continue;
+                }
+                let mv = Move::Relocate { op, to };
+                prop_assert_eq!(
+                    nb.is_valid_move(&p, &st, mv),
+                    mv.apply(&p).is_valid(&q, &c),
+                    "relocate {} -> {} disagrees", op, to
+                );
+            }
+        }
+        for a in 0..q.len() {
+            for b in (a + 1)..q.len() {
+                if p.host_of(a) == p.host_of(b) {
+                    continue;
+                }
+                let mv = Move::Swap { a, b };
+                prop_assert_eq!(
+                    nb.is_valid_move(&p, &st, mv),
+                    mv.apply(&p).is_valid(&q, &c),
+                    "swap {} <-> {} disagrees", a, b
+                );
+            }
+        }
+    }
+
+    /// Every neighbor the generators emit satisfies the same validity
+    /// rules as `sample_valid`'s output — including after chaining edits
+    /// (each neighbor is itself a valid base for the next round).
+    #[test]
+    fn generated_neighbors_always_valid(seed in 0u64..100_000) {
+        let mut g = WorkloadGenerator::new(seed, FeatureRanges::training());
+        let (q, c, _) = g.workload_item();
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(2));
+        let mut p = sample_valid(&q, &c, &mut rng).unwrap_or_else(|| colocate_on_strongest(&q, &c));
+        for round in 0..3 {
+            let nb = Neighborhood::new(&q, &c);
+            let st = nb.visit_state(&p);
+            let neighbors = nb.neighbors(&p, &st);
+            for mv in &neighbors {
+                let np = mv.apply(&p);
+                prop_assert!(np.is_valid(&q, &c), "round {}: {:?} produced invalid placement", round, mv);
+                prop_assert_ne!(np.assignment(), p.assignment());
+            }
+            // Chain: continue the walk from the first neighbor (if any).
+            match neighbors.first() {
+                Some(mv) => p = mv.apply(&p),
+                None => break,
+            }
+        }
+    }
+}

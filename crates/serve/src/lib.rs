@@ -29,6 +29,12 @@
 //! * Each worker owns a recycled
 //!   [`InferenceArena`](costream_nn::InferenceArena), and one coalesced
 //!   batch serves *all* ensemble members.
+//! * [`ServeScorer`] plugs three services (target metric + the
+//!   success/backpressure sanity models) into the placement-search
+//!   subsystem of [`costream::search`]: concurrent optimizer runs
+//!   submit their candidate batches as pipelined requests and coalesce
+//!   inside the services — the serving layer is the optimizer's
+//!   backend, not just a demo.
 //!
 //! Serving is **bitwise identical** to the direct prediction path: the
 //! worker chunks coalesced batches at the same width as
@@ -53,8 +59,11 @@
 
 #![warn(missing_docs)]
 
+mod scorer;
 mod service;
 
+pub use costream::plan::CacheStats;
+pub use scorer::ServeScorer;
 pub use service::{Pending, ScoreClient, ScoreRequest, ScoringService, ServeStats};
 
 use std::fmt;

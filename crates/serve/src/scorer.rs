@@ -1,0 +1,114 @@
+//! The serve-backed candidate scorer: plugs the batching service into the
+//! placement-search subsystem of `costream::search`.
+//!
+//! A [`ServeScorer`] holds one [`ScoreClient`] per required model — the
+//! target metric plus the query-success and backpressure sanity models —
+//! and submits every candidate of a batch to all three services as
+//! *pipelined* requests before waiting on any of them. That shape is what
+//! makes the serving layer the optimizer's backend rather than a demo:
+//! when many optimizer runs execute concurrently (the multi-tenant
+//! scenario), their in-flight candidate batches coalesce into fused
+//! batches inside the services, and structurally congruent candidates
+//! (same used-host layout) share plan topologies through the services'
+//! [`PlanCache`](costream::plan::PlanCache).
+//!
+//! Served scores are bitwise identical to the direct
+//! [`EnsembleScorer`](costream::search::EnsembleScorer) path (the serving
+//! golden tests pin this), so a search driven through a `ServeScorer`
+//! returns exactly the placement the direct path would — regardless of
+//! worker counts or how requests interleave.
+
+use crate::{Pending, ScoreClient, ScoringService, ServeError};
+use costream::graph::JointGraph;
+use costream::search::{PlacementScores, Scorer};
+use costream::CostMetric;
+use std::sync::Arc;
+
+/// A [`Scorer`] that scores candidates through three scoring services.
+/// Cloning is cheap (three `Arc` handles); clone one per optimizer
+/// thread.
+#[derive(Clone)]
+pub struct ServeScorer {
+    target: ScoreClient,
+    success: ScoreClient,
+    backpressure: ScoreClient,
+    metric: CostMetric,
+}
+
+impl ServeScorer {
+    /// Creates a scorer from the three services the placement procedure
+    /// of Fig. 4 needs.
+    ///
+    /// # Panics
+    /// Panics if the served ensembles' metrics do not match their roles.
+    pub fn new(target: &ScoringService, success: &ScoringService, backpressure: &ScoringService) -> Self {
+        Self::from_clients(target.client(), success.client(), backpressure.client())
+    }
+
+    /// Creates a scorer from pre-cloned client handles (e.g. handed to a
+    /// tenant thread that never sees the services themselves).
+    ///
+    /// # Panics
+    /// Panics if the served ensembles' metrics do not match their roles.
+    pub fn from_clients(target: ScoreClient, success: ScoreClient, backpressure: ScoreClient) -> Self {
+        let metric = target.metric();
+        assert!(metric.is_regression(), "target must be a regression metric");
+        assert_eq!(success.metric(), CostMetric::Success);
+        assert_eq!(backpressure.metric(), CostMetric::Backpressure);
+        ServeScorer {
+            target,
+            success,
+            backpressure,
+            metric,
+        }
+    }
+}
+
+/// Submits one shared graph, retrying while the service sheds load.
+/// Workers drain the queue independently of this thread, so backing off
+/// with `yield_now` always makes progress.
+///
+/// # Panics
+/// Panics when the service shut down: a search cannot continue without
+/// its scoring backend.
+fn submit_pinned(client: &ScoreClient, graph: &Arc<JointGraph>) -> Pending {
+    loop {
+        match client.submit(Arc::clone(graph)) {
+            Ok(pending) => return pending,
+            Err(ServeError::Overloaded) => std::thread::yield_now(),
+            Err(e) => panic!("placement search lost its scoring backend: {e}"),
+        }
+    }
+}
+
+impl Scorer for ServeScorer {
+    fn target_metric(&self) -> CostMetric {
+        self.metric
+    }
+
+    fn score_batch(&self, graphs: Vec<JointGraph>) -> Vec<PlacementScores> {
+        let shared: Vec<Arc<JointGraph>> = graphs.into_iter().map(Arc::new).collect();
+        // Submit the whole batch to all three services before waiting on
+        // anything: 3 x N requests in flight is what lets the batching
+        // tick coalesce this search round (and concurrent tenants) into
+        // few fused batches.
+        let submit_all =
+            |client: &ScoreClient| -> Vec<Pending> { shared.iter().map(|g| submit_pinned(client, g)).collect() };
+        let cost = submit_all(&self.target);
+        let success = submit_all(&self.success);
+        let backpressure = submit_all(&self.backpressure);
+        let wait = |p: Pending| -> f64 {
+            p.wait()
+                .unwrap_or_else(|e| panic!("placement search lost its scoring backend: {e}"))
+        };
+        cost.into_iter()
+            .zip(success)
+            .zip(backpressure)
+            .map(|((c, s), b)| PlacementScores {
+                cost: wait(c),
+                success: wait(s),
+                backpressure: wait(b),
+            })
+            .collect()
+    }
+}

@@ -4,7 +4,7 @@ use crate::{ServeConfig, ServeError};
 use costream::ensemble::Ensemble;
 use costream::graph::{Featurization, JointGraph};
 use costream::model::INFERENCE_CHUNK;
-use costream::plan::{plan_signature, PlanCache, PlanSignature};
+use costream::plan::{plan_signature, CacheStats, PlanCache, PlanSignature};
 use costream_nn::InferenceArena;
 use costream_query::hardware::Cluster;
 use costream_query::operators::Query;
@@ -223,6 +223,12 @@ impl ScoringService {
             plan_cache_misses: self.shared.cache.misses(),
         }
     }
+
+    /// Snapshot of the shared plan cache's effectiveness counters —
+    /// lets optimizer-as-client callers assert cache behavior directly.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.shared.cache.stats()
+    }
 }
 
 impl Drop for ScoringService {
@@ -331,6 +337,17 @@ impl ScoreClient {
     ) -> Result<f64, ServeError> {
         let graph = JointGraph::build(query, cluster, placement, est_sels, self.featurization());
         self.score(graph)
+    }
+
+    /// The metric the served ensemble predicts.
+    pub fn metric(&self) -> costream::CostMetric {
+        self.shared.ensemble.metric
+    }
+
+    /// Snapshot of the service's plan-cache counters (see
+    /// [`ScoringService::cache_stats`]).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.shared.cache.stats()
     }
 }
 

@@ -1,0 +1,207 @@
+//! The serving layer as the optimizer's scoring backend: a placement
+//! search driven through [`ServeScorer`] must return *bitwise* the same
+//! result as the direct [`EnsembleScorer`] path — for any worker count
+//! and with many tenants searching concurrently — and the optimizer-as-
+//! client path must be able to observe plan-cache effectiveness through
+//! the public [`CacheStats`].
+
+use costream::prelude::*;
+use costream::search::SearchProblem;
+use costream_query::generator::WorkloadGenerator;
+use costream_query::selectivity::SelectivityEstimator;
+use costream_serve::{ScoringService, ServeConfig, ServeScorer};
+
+fn trio() -> (Ensemble, Ensemble, Ensemble) {
+    let corpus = Corpus::generate(100, 21, FeatureRanges::training(), &SimConfig::default());
+    let cfg = TrainConfig {
+        epochs: 5,
+        ..Default::default()
+    };
+    (
+        Ensemble::train(&corpus, CostMetric::ProcessingLatency, &cfg, 2),
+        Ensemble::train(&corpus, CostMetric::Success, &cfg, 2),
+        Ensemble::train(&corpus, CostMetric::Backpressure, &cfg, 2),
+    )
+}
+
+fn services(t: &Ensemble, s: &Ensemble, b: &Ensemble, workers: usize) -> [ScoringService; 3] {
+    let cfg = ServeConfig {
+        workers,
+        ..Default::default()
+    };
+    [
+        ScoringService::start(t.clone(), cfg.clone()),
+        ScoringService::start(s.clone(), cfg.clone()),
+        ScoringService::start(b.clone(), cfg),
+    ]
+}
+
+fn assert_same_result(a: &OptimizationResult, b: &OptimizationResult, ctx: &str) {
+    assert_eq!(a.best.assignment(), b.best.assignment(), "{ctx}: best placement");
+    assert_eq!(a.initial.assignment(), b.initial.assignment(), "{ctx}: initial");
+    assert_eq!(a.all_filtered, b.all_filtered, "{ctx}: filter outcome");
+    assert_eq!(a.candidates.len(), b.candidates.len(), "{ctx}: candidate count");
+    for (i, (x, y)) in a.candidates.iter().zip(&b.candidates).enumerate() {
+        assert_eq!(
+            x.placement.assignment(),
+            y.placement.assignment(),
+            "{ctx}: candidate {i}"
+        );
+        assert_eq!(
+            x.predicted_cost.to_bits(),
+            y.predicted_cost.to_bits(),
+            "{ctx}: candidate {i} cost must be bitwise identical"
+        );
+        assert_eq!(x.predicted_success.to_bits(), y.predicted_success.to_bits(), "{ctx}");
+        assert_eq!(
+            x.predicted_backpressure.to_bits(),
+            y.predicted_backpressure.to_bits(),
+            "{ctx}"
+        );
+    }
+}
+
+/// Search through the service is bitwise identical to the direct path,
+/// independent of the worker count. Coverage comes from the explicit
+/// 1-vs-4 `workers` loop below — `ServeConfig.workers` is set directly,
+/// so the CI job's `COSTREAM_SERVE_WORKERS=4` (which only changes the
+/// *default*) does not alter these services.
+#[test]
+fn serve_backed_search_matches_direct_search_bitwise() {
+    let (t, s, b) = trio();
+    let direct = EnsembleScorer::new(&t, &s, &b);
+
+    let mut g = WorkloadGenerator::new(22, FeatureRanges::training());
+    let q = g.query();
+    let c = g.cluster(5);
+    let sels = SelectivityEstimator::realistic(23).estimate_query(&q);
+    let problem = SearchProblem {
+        query: &q,
+        cluster: &c,
+        est_sels: &sels,
+        featurization: Featurization::Full,
+    };
+
+    for strategy in [
+        &RandomEnumeration as &dyn PlacementSearch,
+        &BeamSearch::default(),
+        &LocalSearch::default(),
+    ] {
+        let want = strategy.search(&problem, &direct, 20, 4);
+        for workers in [1usize, 4] {
+            let [st, ss, sb] = services(&t, &s, &b, workers);
+            let scorer = ServeScorer::new(&st, &ss, &sb);
+            let got = strategy.search(&problem, &scorer, 20, 4);
+            assert_same_result(&want, &got, &format!("{} workers={workers}", strategy.name()));
+        }
+    }
+}
+
+/// Concurrent tenants (the multi-tenant "millions of users" shape):
+/// several threads search different queries through the same three
+/// services at once; each must get exactly the single-tenant answer, and
+/// the coalescing must show up in the service counters.
+#[test]
+fn concurrent_tenant_searches_are_isolated_and_coalesce() {
+    let (t, s, b) = trio();
+    let direct = EnsembleScorer::new(&t, &s, &b);
+    let [st, ss, sb] = services(&t, &s, &b, 2);
+
+    let tenants: Vec<_> = (0..4u64)
+        .map(|i| {
+            let mut g = WorkloadGenerator::new(30 + i, FeatureRanges::training());
+            let q = g.query();
+            let c = g.cluster(4);
+            let sels = SelectivityEstimator::realistic(40 + i).estimate_query(&q);
+            (q, c, sels, 50 + i)
+        })
+        .collect();
+
+    // Single-tenant ground truth through the direct scorer.
+    let expected: Vec<OptimizationResult> = tenants
+        .iter()
+        .map(|(q, c, sels, seed)| {
+            let problem = SearchProblem {
+                query: q,
+                cluster: c,
+                est_sels: sels,
+                featurization: Featurization::Full,
+            };
+            LocalSearch::default().search(&problem, &direct, 16, *seed)
+        })
+        .collect();
+
+    let scorer = ServeScorer::new(&st, &ss, &sb);
+    let results: Vec<OptimizationResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = tenants
+            .iter()
+            .map(|(q, c, sels, seed)| {
+                let scorer = scorer.clone();
+                scope.spawn(move || {
+                    let problem = SearchProblem {
+                        query: q,
+                        cluster: c,
+                        est_sels: sels,
+                        featurization: Featurization::Full,
+                    };
+                    LocalSearch::default().search(&problem, &scorer, 16, *seed)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("tenant thread")).collect()
+    });
+
+    for (i, (want, got)) in expected.iter().zip(&results).enumerate() {
+        assert_same_result(want, got, &format!("tenant {i}"));
+    }
+    let stats = st.stats();
+    assert!(stats.completed >= 4 * 16, "all tenant candidates served");
+    assert!(
+        stats.mean_batch() > 1.0,
+        "concurrent tenant batches should coalesce (mean batch {})",
+        stats.mean_batch()
+    );
+}
+
+/// The public cache-stats surface: recurring candidate topologies from an
+/// optimizer client must show up as plan-cache hits, visible through both
+/// the service and its clients.
+#[test]
+fn optimizer_client_observes_plan_cache_effectiveness() {
+    let (t, s, b) = trio();
+    let [st, ss, sb] = services(&t, &s, &b, 1);
+    let scorer = ServeScorer::new(&st, &ss, &sb);
+
+    let mut g = WorkloadGenerator::new(24, FeatureRanges::training());
+    let q = g.query();
+    let c = g.cluster(4);
+    let sels = SelectivityEstimator::realistic(25).estimate_query(&q);
+    let problem = SearchProblem {
+        query: &q,
+        cluster: &c,
+        est_sels: &sels,
+        featurization: Featurization::Full,
+    };
+
+    let first = LocalSearch::default().search(&problem, &scorer, 16, 8);
+    let after_first = st.cache_stats();
+    assert!(after_first.lookups() > 0, "search must go through the plan cache");
+
+    // Second identical search: every candidate topology was seen before,
+    // so the target service answers from cached topologies only.
+    let second = LocalSearch::default().search(&problem, &scorer, 16, 8);
+    let after_second = st.client().cache_stats();
+    assert_eq!(first.best.assignment(), second.best.assignment());
+    assert_eq!(
+        after_second.misses, after_first.misses,
+        "a repeated search must not build any new plan topology"
+    );
+    assert!(
+        after_second.hits >= after_first.hits + 16,
+        "repeated candidates must hit the cache ({} -> {})",
+        after_first.hits,
+        after_second.hits
+    );
+    assert!(after_second.hit_rate() > 0.0);
+    assert!(after_second.len <= after_second.capacity);
+}

@@ -20,6 +20,7 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+static METRICS: Mutex<Vec<MetricResult>> = Mutex::new(Vec::new());
 
 /// One finished benchmark measurement.
 #[derive(Clone, Debug)]
@@ -28,6 +29,20 @@ pub struct BenchResult {
     pub name: String,
     /// Median nanoseconds per iteration.
     pub ns_per_iter: f64,
+}
+
+/// One non-timing quality metric recorded alongside the benchmarks
+/// (e.g. the predicted cost a search strategy found for its budget).
+/// Exported under a separate `metrics` key so timing consumers never
+/// misread a value as nanoseconds.
+#[derive(Clone, Debug)]
+pub struct MetricResult {
+    /// Metric id.
+    pub name: String,
+    /// Measured value, in `unit`.
+    pub value: f64,
+    /// Unit label (e.g. `"predicted_ms"`).
+    pub unit: String,
 }
 
 /// Benchmark driver (builder + runner).
@@ -149,6 +164,18 @@ pub fn register_result(name: &str, ns_per_iter: f64) {
     });
 }
 
+/// Registers a non-timing quality metric (exported under the JSON
+/// `metrics` key, with an explicit unit, so it is never confused with a
+/// ns/iter timing and gets no derived throughput).
+pub fn register_metric(name: &str, value: f64, unit: &str) {
+    eprintln!("{name:<40} {value:.2} {unit}");
+    METRICS.lock().expect("metrics lock").push(MetricResult {
+        name: name.to_string(),
+        value,
+        unit: unit.to_string(),
+    });
+}
+
 /// Writes all registered results as JSON: a `meta` header recording the
 /// runner (core count matters — several benched paths work-share over the
 /// rayon pool, so ns/iter is only comparable between runners of equal
@@ -156,7 +183,8 @@ pub fn register_result(name: &str, ns_per_iter: f64) {
 /// `criterion_main!` expansion.
 pub fn write_results() {
     let results = RESULTS.lock().expect("results lock");
-    if results.is_empty() {
+    let metrics = METRICS.lock().expect("metrics lock");
+    if results.is_empty() && metrics.is_empty() {
         return;
     }
     let path = std::env::var("BENCH_JSON").unwrap_or_else(|_| "BENCH_micro.json".to_string());
@@ -173,9 +201,27 @@ pub fn write_results() {
             1e9 / r.ns_per_iter
         ));
     }
-    out.push_str("\n  ]\n}\n");
+    out.push_str("\n  ]");
+    if !metrics.is_empty() {
+        out.push_str(",\n  \"metrics\": [\n");
+        for (i, m) in metrics.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str(&format!(
+                "    {{\"op\": \"{}\", \"value\": {:.3}, \"unit\": \"{}\"}}",
+                m.name, m.value, m.unit
+            ));
+        }
+        out.push_str("\n  ]");
+    }
+    out.push_str("\n}\n");
     match std::fs::write(&path, &out) {
-        Ok(()) => eprintln!("wrote {} bench results to {path} ({cores} cores)", results.len()),
+        Ok(()) => eprintln!(
+            "wrote {} bench results + {} metrics to {path} ({cores} cores)",
+            results.len(),
+            metrics.len()
+        ),
         Err(e) => eprintln!("could not write {path}: {e}"),
     }
 }

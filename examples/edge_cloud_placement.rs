@@ -1,19 +1,28 @@
-//! Edge-cloud operator placement: the paper's headline use case (§V).
+//! Edge-cloud operator placement: the paper's headline use case (§V),
+//! served the way a multi-tenant deployment would run it.
 //!
 //! Trains the three ensembles the optimizer needs (processing latency +
-//! the query-success/backpressure sanity models), then optimizes the
-//! initial placement of an IoT-style query over an edge-fog-cloud cluster
-//! and verifies the chosen placement on the simulator.
+//! the query-success/backpressure sanity models), stands up one scoring
+//! service per model, and drives placement *search* through the serving
+//! layer: several tenants optimize their queries concurrently through
+//! cloned [`ServeScorer`] handles, so their candidate batches coalesce
+//! into fused batches and recurring candidate topologies hit the shared
+//! plan cache. The headline IoT query is optimized with both the random-
+//! enumeration baseline and hill-climbing local search at an equal
+//! scoring budget, and the chosen placements are verified on the
+//! simulator.
 //!
 //! Run with: `cargo run --release --example edge_cloud_placement`
 
-use costream::optimizer::PlacementOptimizer;
 use costream::prelude::*;
+use costream::search::SearchProblem;
 use costream_dsps::simulate;
 use costream_query::datatypes::{DataType, TupleSchema};
+use costream_query::generator::WorkloadGenerator;
 use costream_query::hardware::{Cluster, Host};
 use costream_query::operators::*;
 use costream_query::selectivity::SelectivityEstimator;
+use costream_serve::{ScoringService, ServeConfig, ServeScorer};
 
 fn main() {
     // 1. Train the cost models (small scale for the example).
@@ -28,7 +37,15 @@ fn main() {
     let success = Ensemble::train(&train, CostMetric::Success, &cfg, 3);
     let backpressure = Ensemble::train(&train, CostMetric::Backpressure, &cfg, 3);
 
-    // 2. An IoT query: two sensor streams, filtered, joined, aggregated.
+    // 2. Serve the three models: the optimizer scores its candidates as a
+    // client of the batching layer instead of calling the ensembles
+    // directly — concurrent optimizer runs coalesce server-side.
+    let lp_service = ScoringService::start(lp, ServeConfig::default());
+    let success_service = ScoringService::start(success, ServeConfig::default());
+    let bp_service = ScoringService::start(backpressure, ServeConfig::default());
+    let scorer = ServeScorer::new(&lp_service, &success_service, &bp_service);
+
+    // 3. An IoT query: two sensor streams, filtered, joined, aggregated.
     let window = WindowSpec {
         window_type: WindowType::Sliding,
         policy: WindowPolicy::TimeBased,
@@ -68,7 +85,7 @@ fn main() {
         vec![(0, 3), (1, 2), (2, 3), (3, 4), (4, 5)],
     );
 
-    // 3. An edge-fog-cloud cluster with very different capabilities.
+    // 4. An edge-fog-cloud cluster with very different capabilities.
     let cluster = Cluster::new(vec![
         Host {
             cpu: 50.0,
@@ -96,19 +113,77 @@ fn main() {
         }, // cloud server
     ]);
 
-    // 4. Optimize the initial placement.
+    // 5. Multi-tenant load: other tenants optimize generated queries
+    // through the same services while we place the headline query. Every
+    // in-flight candidate batch coalesces in the serving layer.
+    let budget = 32;
     let est_sels = SelectivityEstimator::realistic(1).estimate_query(&query);
-    let optimizer = PlacementOptimizer::new(&lp, &success, &backpressure, 16);
-    let result = optimizer.optimize(&query, &cluster, &est_sels, Featurization::Full, 2);
+    let (result_random, result_local) = std::thread::scope(|scope| {
+        for tenant in 0..3u64 {
+            let tenant_scorer = scorer.clone();
+            scope.spawn(move || {
+                let mut wg = WorkloadGenerator::new(60 + tenant, FeatureRanges::training());
+                let q = wg.query();
+                let c = wg.cluster(4);
+                let sels = SelectivityEstimator::realistic(70 + tenant).estimate_query(&q);
+                let problem = SearchProblem {
+                    query: &q,
+                    cluster: &c,
+                    est_sels: &sels,
+                    featurization: Featurization::Full,
+                };
+                let r = LocalSearch::default().search(&problem, &tenant_scorer, budget, 80 + tenant);
+                println!(
+                    "tenant {tenant}: scored {} candidates, best predicted Lp {:.0} ms",
+                    r.candidates.len(),
+                    r.best_evaluation().predicted_cost
+                );
+            });
+        }
 
-    println!("\nevaluated {} placement candidates", result.candidates.len());
-    println!("initial heuristic placement: {:?}", result.initial.assignment());
-    println!("optimized placement:         {:?}", result.best.assignment());
+        let problem = SearchProblem {
+            query: &query,
+            cluster: &cluster,
+            est_sels: &est_sels,
+            featurization: Featurization::Full,
+        };
+        // Equal scoring budget, two strategies: the paper's baseline vs
+        // hill climbing over the move/swap neighborhood.
+        let random = RandomEnumeration.search(&problem, &scorer, budget, 2);
+        let local = LocalSearch::default().search(&problem, &scorer, budget, 2);
+        (random, local)
+    });
 
-    // 5. Verify both on the simulator (ground truth).
+    let predicted = |r: &OptimizationResult| r.best_evaluation().predicted_cost;
+    println!("\nheadline query, budget {budget} candidates per strategy:");
+    println!(
+        "  random enumeration: best predicted Lp {:.0} ms, placement {:?}",
+        predicted(&result_random),
+        result_random.best.assignment()
+    );
+    println!(
+        "  local search:       best predicted Lp {:.0} ms, placement {:?}",
+        predicted(&result_local),
+        result_local.best.assignment()
+    );
+
+    // 6. Serving-layer effectiveness while the tenants ran.
+    let stats = lp_service.stats();
+    let cache = lp_service.cache_stats();
+    println!(
+        "\nlatency service: {} requests in {} fused batches (mean {:.1}), plan cache {} hits / {} misses ({:.0}% hit rate)",
+        stats.completed,
+        stats.batches,
+        stats.mean_batch(),
+        cache.hits,
+        cache.misses,
+        100.0 * cache.hit_rate(),
+    );
+
+    // 7. Verify initial vs optimized on the simulator (ground truth).
     let sim = SimConfig::default();
-    let before = simulate(&query, &cluster, &result.initial, &sim);
-    let after = simulate(&query, &cluster, &result.best, &sim);
+    let before = simulate(&query, &cluster, &result_local.initial, &sim);
+    let after = simulate(&query, &cluster, &result_local.best, &sim);
     println!(
         "\nheuristic placement: Lp {:.0} ms, success {}, backpressure {}",
         before.metrics.processing_latency_ms, before.metrics.success, before.metrics.backpressure

@@ -497,9 +497,79 @@ fn bench_optimizer_search(c: &mut Criterion) {
     );
 }
 
+/// Multi-query co-placement at an *equal scoring budget*: wall time of
+/// one joint LocalSearch over 3 queries on an 8-host cluster
+/// (`joint_placement`), plus the quality comparison the subsystem exists
+/// for — the best contention-aware **total** predicted cost found by the
+/// joint search versus the combination of independent per-query searches
+/// (each side spends `budget × n_queries` graph predictions). Both
+/// totals are recorded as `metrics` entries
+/// (`joint_placement_{joint,independent}_total_cost`); the joint one is
+/// CI-gated so co-placement quality can only regress visibly.
+fn bench_joint_placement(c: &mut Criterion) {
+    use costream::joint::{JointPlacementSearch, JointQuery, JointSearchProblem};
+    use costream::search::{LocalSearch, PlacementSearch, SearchProblem};
+    use costream_query::joint::JointPlacement;
+
+    let corpus = costream::test_fixtures::corpus(120, 14);
+    let trio = costream::test_fixtures::trio(&corpus, 10, 2);
+    let scorer = trio.scorer();
+
+    // Three queries contending for one 8-host cluster.
+    let (queries, cluster, sels) = costream::test_fixtures::multi_query_workload(18, 3, 8);
+    let jqs = JointQuery::zip(&queries, &sels);
+    let problem = JointSearchProblem {
+        queries: &jqs,
+        cluster: &cluster,
+        featurization: Featurization::Full,
+    };
+
+    const BUDGET: usize = 16;
+    const SEED: u64 = 20;
+    // Independent: each query searched alone, then deployed together.
+    let combined = JointPlacement::new(
+        cluster.len(),
+        queries
+            .iter()
+            .zip(&sels)
+            .map(|(q, s)| {
+                let sp = SearchProblem {
+                    query: q,
+                    cluster: &cluster,
+                    est_sels: s,
+                    featurization: Featurization::Full,
+                };
+                LocalSearch::default().search(&sp, &scorer, BUDGET, SEED).best
+            })
+            .collect(),
+    );
+
+    let strategy = LocalSearch::default();
+    c.bench_function("joint_placement", |b| {
+        b.iter(|| strategy.search_joint_seeded(&problem, &scorer, std::slice::from_ref(&combined), BUDGET, SEED))
+    });
+    let r = strategy.search_joint_seeded(&problem, &scorer, std::slice::from_ref(&combined), BUDGET, SEED);
+    let independent_total = r.candidates[0].total_cost();
+    let joint_total = r.best_evaluation().total_cost();
+    criterion::register_metric("joint_placement_joint_total_cost", joint_total, "predicted_ms_total");
+    criterion::register_metric(
+        "joint_placement_independent_total_cost",
+        independent_total,
+        "predicted_ms_total",
+    );
+    eprintln!(
+        "  joint co-placement: {} joint candidates ({} graph predictions) -> total {:.2} vs independent {:.2} ({:.1}% better)",
+        r.candidates.len(),
+        r.candidates.len() * queries.len(),
+        joint_total,
+        independent_total,
+        100.0 * (1.0 - joint_total / independent_total)
+    );
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_matmul_kernels, bench_graph_primitives, bench_training_path, bench_simulator, bench_featurize, bench_inference, bench_ensemble_train, bench_gbdt, bench_enumeration, bench_optimizer_search, bench_serving
+    targets = bench_matmul_kernels, bench_graph_primitives, bench_training_path, bench_simulator, bench_featurize, bench_inference, bench_ensemble_train, bench_gbdt, bench_enumeration, bench_optimizer_search, bench_joint_placement, bench_serving
 }
 criterion_main!(benches);

@@ -229,6 +229,51 @@ impl GraphTemplate {
             placement,
         );
     }
+
+    /// The per-host feature rows the template instantiates host nodes
+    /// from (empty under [`Featurization::QueryOnly`]). A contention-aware
+    /// scorer reads the uncontended row here and substitutes degraded
+    /// rows through [`GraphTemplate::patch_with_host_features`].
+    pub fn host_feature_rows(&self) -> &[Vec<f32>] {
+        &self.host_feats
+    }
+
+    /// Like [`GraphTemplate::patch`], but instantiates the host-node tail
+    /// from `host_feats` instead of the template's own rows — the hook
+    /// multi-query co-placement uses to price host contention: only the
+    /// occupancy-dependent host rows change per candidate, the operator
+    /// prefix is reused untouched. Passing the template's own rows is
+    /// bitwise identical to [`GraphTemplate::patch`].
+    ///
+    /// # Panics
+    /// Panics when `host_feats` does not provide one row per cluster
+    /// host, or on the conditions of [`GraphTemplate::patch`].
+    pub fn patch_with_host_features(&self, graph: &mut JointGraph, placement: &Placement, host_feats: &[Vec<f32>]) {
+        assert_eq!(
+            host_feats.len(),
+            self.host_feats.len(),
+            "one feature row per cluster host"
+        );
+        patch_placement(self.featurization, host_feats, self.op_nodes.len(), graph, placement);
+    }
+
+    /// One-shot [`GraphTemplate::patch_with_host_features`]: builds the
+    /// joint graph of `placement` with the host-node tail taken from
+    /// `host_feats`.
+    ///
+    /// # Panics
+    /// Panics on the conditions of
+    /// [`GraphTemplate::patch_with_host_features`].
+    pub fn instantiate_with_host_features(&self, placement: &Placement, host_feats: &[Vec<f32>]) -> JointGraph {
+        let mut graph = JointGraph {
+            nodes: self.op_nodes.clone(),
+            dataflow_edges: self.dataflow_edges.clone(),
+            placement_edges: Vec::new(),
+            waves: self.op_waves.clone(),
+        };
+        self.patch_with_host_features(&mut graph, placement, host_feats);
+        graph
+    }
 }
 
 /// The single implementation behind [`GraphTemplate::patch`] and

@@ -1,0 +1,928 @@
+//! Multi-query co-placement with contention-aware scoring.
+//!
+//! The per-query optimizer of [`crate::search`] prices each query as if
+//! it had the cluster to itself; real clusters run *many* queries at
+//! once, and co-resident operators shift each other's costs. This module
+//! optimizes a **set** of queries jointly:
+//!
+//! * a [`JointSearchProblem`] bundles N queries (with their estimated
+//!   selectivities) on one shared cluster;
+//! * a [`JointScorer`] prices **host contention**: each query's joint
+//!   graph is featurized with the host rows *degraded* by co-resident
+//!   load — a host shared with other queries contributes only the
+//!   query's proportional share of its CPU/RAM/bandwidth — and scored
+//!   through any [`Scorer`] backend (the direct [`EnsembleScorer`]
+//!   (crate::search::EnsembleScorer), or `costream-serve`'s
+//!   `ServeScorer` so N tenants' candidate batches coalesce server-side;
+//!   the occupancy snapshot travels inside each request's featurized
+//!   host rows). Only the occupancy-dependent host rows differ from the
+//!   single-query featurization: the operator prefix comes from the same
+//!   per-query [`GraphTemplate`]s, via
+//!   [`GraphTemplate::instantiate_with_host_features`], and a host with
+//!   no external load gets the *identical* (bitwise) row — so an
+//!   uncontended joint placement scores exactly like N independent
+//!   queries, and recurring topologies keep hitting the serving layer's
+//!   plan cache;
+//! * the existing search strategies ([`RandomEnumeration`],
+//!   [`BeamSearch`], [`LocalSearch`], [`SimulatedAnnealing`]) are
+//!   adapted to the joint move space through the
+//!   [`JointPlacementSearch`] trait, walking the cross-query
+//!   relocate/swap neighborhood of
+//!   [`costream_query::joint::JointNeighborhood`] with incremental
+//!   validity checks per touched query and incrementally maintained
+//!   occupancy.
+//!
+//! Budget is counted in **joint candidates scored** (each costs N graph
+//! predictions), so a joint search at budget `B` spends the same scoring
+//! work as N independent searches at budget `B` each. Warm-starting via
+//! [`JointPlacementSearch::search_joint_seeded`] (e.g. with the
+//! combination of independent per-query results) guarantees the joint
+//! result is never worse than its seeds on the viability-then-cost
+//! ranking: every seed is scored, and the best candidate ever scored is
+//! returned.
+
+use crate::graph::{Featurization, GraphTemplate, JointGraph};
+use crate::search::ranking;
+use crate::search::{BeamSearch, LocalSearch, PlacementScores, RandomEnumeration, Scorer, SimulatedAnnealing};
+use costream_dsps::CostMetric;
+use costream_query::features::host_features;
+use costream_query::hardware::{Cluster, Host, HostId};
+use costream_query::joint::{JointNeighborhood, JointPlacement};
+use costream_query::operators::Query;
+use costream_query::placement::{colocate_on_strongest, sample_valid, Placement};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::HashSet;
+
+/// One query of a joint co-placement problem.
+#[derive(Clone, Copy, Debug)]
+pub struct JointQuery<'a> {
+    /// The streaming query.
+    pub query: &'a Query,
+    /// Estimated selectivity per operator (§IV-B).
+    pub est_sels: &'a [f64],
+}
+
+impl<'a> JointQuery<'a> {
+    /// Pairs each query with its estimated selectivities — the standard
+    /// way to assemble a [`JointSearchProblem`]'s query list.
+    ///
+    /// # Panics
+    /// Panics when the two slices differ in length.
+    pub fn zip(queries: &'a [Query], est_sels: &'a [Vec<f64>]) -> Vec<JointQuery<'a>> {
+        assert_eq!(queries.len(), est_sels.len(), "one selectivity vector per query");
+        queries
+            .iter()
+            .zip(est_sels)
+            .map(|(query, sels)| JointQuery { query, est_sels: sels })
+            .collect()
+    }
+}
+
+/// A multi-query co-placement problem: N queries sharing one cluster.
+#[derive(Clone, Copy, Debug)]
+pub struct JointSearchProblem<'a> {
+    /// The queries to place jointly.
+    pub queries: &'a [JointQuery<'a>],
+    /// The shared hardware.
+    pub cluster: &'a Cluster,
+    /// Featurization of the candidate graphs. Contention degradation
+    /// only applies under [`Featurization::Full`] (the other ablations
+    /// mask or drop the host features it would act on).
+    pub featurization: Featurization,
+}
+
+impl<'a> JointSearchProblem<'a> {
+    /// The bare query references, in problem order.
+    pub fn query_refs(&self) -> Vec<&'a Query> {
+        self.queries.iter().map(|jq| jq.query).collect()
+    }
+}
+
+/// Contention-aware scoring of joint placements: featurizes each query
+/// under occupancy-degraded host features and batches all graphs of all
+/// candidates through one [`Scorer`] call.
+pub struct JointScorer<'a> {
+    scorer: &'a dyn Scorer,
+    cluster: &'a Cluster,
+    featurization: Featurization,
+    templates: Vec<GraphTemplate>,
+    maximize: bool,
+}
+
+impl<'a> JointScorer<'a> {
+    /// Builds the per-query [`GraphTemplate`]s once for the whole search.
+    pub fn new(problem: &JointSearchProblem<'a>, scorer: &'a dyn Scorer) -> Self {
+        let templates = problem
+            .queries
+            .iter()
+            .map(|jq| GraphTemplate::new(jq.query, problem.cluster, jq.est_sels, problem.featurization))
+            .collect();
+        JointScorer {
+            scorer,
+            cluster: problem.cluster,
+            featurization: problem.featurization,
+            templates,
+            maximize: scorer.target_metric() == CostMetric::Throughput,
+        }
+    }
+
+    /// Number of queries per joint candidate.
+    pub fn n_queries(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// The regression metric the per-query cost predictions refer to.
+    pub fn target_metric(&self) -> CostMetric {
+        self.scorer.target_metric()
+    }
+
+    /// True when the target metric is maximized (throughput).
+    pub fn maximize(&self) -> bool {
+        self.maximize
+    }
+
+    /// The host feature rows query `q` sees under joint placement `jp`:
+    /// the template's uncontended row for hosts without external load,
+    /// and a degraded row — CPU, RAM and bandwidth scaled to the query's
+    /// proportional share `own / (own + external)` of the host's resident
+    /// operators — where co-residents contend. Returns `None` when no
+    /// used host is contended (the plain template rows apply, bitwise).
+    fn contended_rows(&self, jp: &JointPlacement, q: usize) -> Option<Vec<Vec<f32>>> {
+        if self.featurization != Featurization::Full {
+            return None;
+        }
+        let occupancy = jp.occupancy();
+        let mut rows: Option<Vec<Vec<f32>>> = None;
+        for h in jp.query(q).hosts_used() {
+            let own = jp.own_load(q, h);
+            let external = occupancy[h] - own;
+            if external == 0 {
+                continue;
+            }
+            let rows = rows.get_or_insert_with(|| self.templates[q].host_feature_rows().to_vec());
+            rows[h] = host_features(&contended_host(self.cluster.host(h), own, external));
+        }
+        rows
+    }
+
+    /// Scores a batch of joint candidates: all `candidates.len() * N`
+    /// graphs go through the backend as **one** batch (what lets a
+    /// serve-backed joint search coalesce across queries, rounds and
+    /// tenants), split back into per-query scores per candidate.
+    ///
+    /// # Panics
+    /// Panics when a candidate's query count does not match the problem,
+    /// or the backend returns non-finite or miscounted predictions.
+    pub fn evaluate(&self, candidates: &[JointPlacement]) -> Vec<JointCandidateEvaluation> {
+        let n_q = self.templates.len();
+        let mut graphs: Vec<JointGraph> = Vec::with_capacity(candidates.len() * n_q);
+        for jp in candidates {
+            assert_eq!(jp.len(), n_q, "candidate places {} of {} queries", jp.len(), n_q);
+            for q in 0..n_q {
+                graphs.push(match self.contended_rows(jp, q) {
+                    Some(rows) => self.templates[q].instantiate_with_host_features(jp.query(q), &rows),
+                    None => self.templates[q].instantiate(jp.query(q)),
+                });
+            }
+        }
+        let scores = self.scorer.score_batch(graphs);
+        assert_eq!(
+            scores.len(),
+            candidates.len() * n_q,
+            "scorer must return one result per graph"
+        );
+        candidates
+            .iter()
+            .zip(scores.chunks(n_q.max(1)))
+            .map(|(jp, per_query)| {
+                for s in per_query {
+                    assert!(
+                        s.cost.is_finite() && s.success.is_finite() && s.backpressure.is_finite(),
+                        "finite predictions"
+                    );
+                }
+                JointCandidateEvaluation {
+                    placement: jp.clone(),
+                    per_query: per_query.to_vec(),
+                }
+            })
+            .collect()
+    }
+}
+
+/// The host a contended query effectively runs on: its proportional
+/// share `own / (own + external)` of CPU, RAM and bandwidth (egress
+/// latency is a link property, not a shared resource, and is kept).
+fn contended_host(host: &Host, own: usize, external: usize) -> Host {
+    let share = own as f64 / (own + external) as f64;
+    Host {
+        cpu: host.cpu * share,
+        ram_mb: host.ram_mb * share,
+        bandwidth_mbits: host.bandwidth_mbits * share,
+        latency_ms: host.latency_ms,
+    }
+}
+
+/// Contention-aware predictions of one joint candidate.
+#[derive(Clone, Debug)]
+pub struct JointCandidateEvaluation {
+    /// The candidate joint placement.
+    pub placement: JointPlacement,
+    /// Per-query scores under the candidate's occupancy (problem order).
+    pub per_query: Vec<PlacementScores>,
+}
+
+impl JointCandidateEvaluation {
+    /// Total predicted cost: the sum of the per-query target-metric
+    /// predictions (the quantity a joint search optimizes).
+    pub fn total_cost(&self) -> f64 {
+        self.per_query.iter().map(|s| s.cost).sum()
+    }
+
+    /// The Fig. 4 sanity filter, jointly: every query must be predicted
+    /// to succeed without backpressure.
+    pub fn all_viable(&self) -> bool {
+        self.per_query.iter().all(PlacementScores::viable)
+    }
+}
+
+/// Outcome of a joint placement optimization.
+#[derive(Clone, Debug)]
+pub struct JointOptimizationResult {
+    /// The chosen joint placement.
+    pub best: JointPlacement,
+    /// The first candidate scored (seed or initial heuristic) — the
+    /// baseline a joint search is measured against.
+    pub initial: JointPlacement,
+    /// All evaluated candidates, in scoring order.
+    pub candidates: Vec<JointCandidateEvaluation>,
+    /// True when the sanity filters removed every candidate.
+    pub all_filtered: bool,
+}
+
+impl JointOptimizationResult {
+    /// The evaluation of the chosen joint placement.
+    pub fn best_evaluation(&self) -> &JointCandidateEvaluation {
+        self.candidates
+            .iter()
+            .find(|e| e.placement == self.best)
+            .expect("best is a scored candidate")
+    }
+}
+
+/// A search strategy over the joint placement space. Budget is counted
+/// in joint candidates scored (each costs one graph prediction per
+/// query). Deterministic for fixed inputs and seed, independent of the
+/// scorer's batching — exactly like [`crate::search::PlacementSearch`].
+pub trait JointPlacementSearch: Sync {
+    /// Strategy name for logs and benchmarks.
+    fn name(&self) -> &'static str;
+
+    /// Runs the search, scoring at most `budget.max(1)` joint candidates.
+    /// (Named `search_joint` so strategy structs can implement both this
+    /// trait and [`crate::search::PlacementSearch`] without ambiguous
+    /// method calls.)
+    fn search_joint(
+        &self,
+        problem: &JointSearchProblem<'_>,
+        scorer: &dyn Scorer,
+        budget: usize,
+        seed: u64,
+    ) -> JointOptimizationResult {
+        self.search_joint_seeded(problem, scorer, &[], budget, seed)
+    }
+
+    /// Like [`JointPlacementSearch::search_joint`], but scores `seeds` first
+    /// (against the same budget). Because every strategy returns the
+    /// best candidate it ever scored, the result can never be worse than
+    /// the best seed — the warm-start contract the joint-vs-independent
+    /// comparison relies on.
+    fn search_joint_seeded(
+        &self,
+        problem: &JointSearchProblem<'_>,
+        scorer: &dyn Scorer,
+        seeds: &[JointPlacement],
+        budget: usize,
+        seed: u64,
+    ) -> JointOptimizationResult;
+}
+
+/// Shared joint-strategy bookkeeping, mirroring the single-query
+/// evaluator: budget accounting, duplicate suppression over flattened
+/// assignments, contention-aware scoring and the Fig. 4 selection rule.
+struct JointEvaluator<'a> {
+    scorer: JointScorer<'a>,
+    budget: usize,
+    seen: HashSet<Vec<HostId>>,
+    evaluated: Vec<JointCandidateEvaluation>,
+}
+
+impl<'a> JointEvaluator<'a> {
+    fn new(problem: &JointSearchProblem<'a>, scorer: &'a dyn Scorer, budget: usize) -> Self {
+        JointEvaluator {
+            scorer: JointScorer::new(problem, scorer),
+            budget: budget.max(1),
+            seen: HashSet::new(),
+            evaluated: Vec::new(),
+        }
+    }
+
+    fn remaining(&self) -> usize {
+        self.budget - self.evaluated.len()
+    }
+
+    fn is_seen(&self, jp: &JointPlacement) -> bool {
+        self.seen.contains(&jp.flattened())
+    }
+
+    /// Scores the not-yet-seen candidates (in order, up to the remaining
+    /// budget) in one backend batch; returns their indices.
+    fn score(&mut self, candidates: Vec<JointPlacement>) -> Vec<usize> {
+        let mut fresh: Vec<JointPlacement> = Vec::new();
+        for jp in candidates {
+            if fresh.len() >= self.remaining() {
+                break;
+            }
+            let key = jp.flattened();
+            if self.seen.contains(&key) {
+                continue;
+            }
+            self.seen.insert(key);
+            fresh.push(jp);
+        }
+        if fresh.is_empty() {
+            return Vec::new();
+        }
+        let start = self.evaluated.len();
+        self.evaluated.extend(self.scorer.evaluate(&fresh));
+        (start..self.evaluated.len()).collect()
+    }
+
+    /// Signed total-cost key: lower is always better.
+    fn key(&self, i: usize) -> f64 {
+        let total = self.evaluated[i].total_cost();
+        if self.scorer.maximize {
+            -total
+        } else {
+            total
+        }
+    }
+
+    /// Strict "candidate `a` beats candidate `b`" on the joint
+    /// (all-viable, total signed cost) ranking (see [`ranking::better`]).
+    fn better(&self, a: usize, b: usize) -> bool {
+        ranking::better(
+            self.evaluated[a].all_viable(),
+            self.key(a),
+            self.evaluated[b].all_viable(),
+            self.key(b),
+        )
+    }
+
+    fn best_in(&self, indices: &[usize]) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for &i in indices {
+            best = match best {
+                None => Some(i),
+                Some(b) if self.better(i, b) => Some(i),
+                keep => keep,
+            };
+        }
+        best
+    }
+
+    /// The `k` best of `indices`, best first (earlier-scored wins ties).
+    fn top_of(&self, indices: Vec<usize>, k: usize) -> Vec<usize> {
+        ranking::top_of(indices, k, |i| self.evaluated[i].all_viable(), |i| self.key(i))
+    }
+
+    fn finish(self) -> JointOptimizationResult {
+        assert!(!self.evaluated.is_empty(), "search must score at least one candidate");
+        let all: Vec<usize> = (0..self.evaluated.len()).collect();
+        let best = self.best_in(&all).expect("non-empty");
+        let all_filtered = !self.evaluated.iter().any(JointCandidateEvaluation::all_viable);
+        JointOptimizationResult {
+            best: self.evaluated[best].placement.clone(),
+            initial: self.evaluated[0].placement.clone(),
+            candidates: self.evaluated,
+            all_filtered,
+        }
+    }
+}
+
+/// Draws one random joint placement: every query sampled independently
+/// under its own Fig. 5 rules from one rng stream.
+fn sample_joint(problem: &JointSearchProblem<'_>, rng: &mut StdRng) -> Option<JointPlacement> {
+    let placements: Option<Vec<Placement>> = problem
+        .queries
+        .iter()
+        .map(|jq| sample_valid(jq.query, problem.cluster, rng))
+        .collect();
+    Some(JointPlacement::new(problem.cluster.len(), placements?))
+}
+
+/// The always-valid joint fallback: every query co-located on the
+/// strongest host (maximum contention, but satisfies every rule).
+fn fallback_joint(problem: &JointSearchProblem<'_>) -> JointPlacement {
+    JointPlacement::new(
+        problem.cluster.len(),
+        problem
+            .queries
+            .iter()
+            .map(|jq| colocate_on_strongest(jq.query, problem.cluster))
+            .collect(),
+    )
+}
+
+/// Enumerates up to `k` distinct random joint placements from a seeded
+/// stream (deterministic; attempt-indexed seeds like the single-query
+/// enumeration). Falls back to the co-located placement when sampling
+/// yields nothing.
+fn enumerate_joint(problem: &JointSearchProblem<'_>, k: usize, seed: u64) -> Vec<JointPlacement> {
+    let mut out: Vec<JointPlacement> = Vec::new();
+    if k == 0 {
+        return out;
+    }
+    let mut seen: HashSet<Vec<HostId>> = HashSet::new();
+    for a in 0..(k * 20) as u64 {
+        if out.len() >= k {
+            break;
+        }
+        let mut rng = StdRng::seed_from_u64(seed ^ a.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1));
+        if let Some(jp) = sample_joint(problem, &mut rng) {
+            if seen.insert(jp.flattened()) {
+                out.push(jp);
+            }
+        }
+    }
+    if out.is_empty() {
+        out.push(fallback_joint(problem));
+    }
+    out
+}
+
+/// Draws up to one fresh (unseen) joint placement for restarts.
+fn fresh_joint_sample(
+    problem: &JointSearchProblem<'_>,
+    ev: &JointEvaluator<'_>,
+    seed: u64,
+    round: u64,
+) -> Option<JointPlacement> {
+    for attempt in 0..32u64 {
+        let s = seed
+            ^ round.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ attempt.wrapping_mul(0xD1B5_4A32_D192_ED03).wrapping_add(1);
+        let mut rng = StdRng::seed_from_u64(s);
+        if let Some(jp) = sample_joint(problem, &mut rng) {
+            if !ev.is_seen(&jp) {
+                return Some(jp);
+            }
+        }
+    }
+    let fallback = fallback_joint(problem);
+    if ev.is_seen(&fallback) {
+        None
+    } else {
+        Some(fallback)
+    }
+}
+
+/// Seeds the evaluator: explicit warm-start seeds first, then random
+/// joint placements up to `n_random`, then the fallback if still empty.
+fn seed_pool(
+    ev: &mut JointEvaluator<'_>,
+    problem: &JointSearchProblem<'_>,
+    seeds: &[JointPlacement],
+    n_random: usize,
+    seed: u64,
+) -> Vec<usize> {
+    let mut indices = ev.score(seeds.to_vec());
+    let fill = n_random.min(ev.remaining());
+    if fill > 0 {
+        indices.extend(ev.score(enumerate_joint(problem, fill, seed)));
+    }
+    if ev.evaluated.is_empty() {
+        indices.extend(ev.score(vec![fallback_joint(problem)]));
+    }
+    indices
+}
+
+impl JointPlacementSearch for RandomEnumeration {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    /// The baseline, jointly: score the seeds, then distinct random
+    /// joint placements until the budget is spent.
+    fn search_joint_seeded(
+        &self,
+        problem: &JointSearchProblem<'_>,
+        scorer: &dyn Scorer,
+        seeds: &[JointPlacement],
+        budget: usize,
+        seed: u64,
+    ) -> JointOptimizationResult {
+        let mut ev = JointEvaluator::new(problem, scorer, budget);
+        let n = ev.budget;
+        seed_pool(&mut ev, problem, seeds, n, seed);
+        ev.finish()
+    }
+}
+
+impl JointPlacementSearch for LocalSearch {
+    fn name(&self) -> &'static str {
+        "local"
+    }
+
+    /// Hill climbing with restarts over the cross-query move space:
+    /// exactly the single-query procedure, with [`JointNeighborhood`]
+    /// generating relocations and (cross-query) swaps and occupancy
+    /// maintained incrementally by [`JointPlacement::apply`].
+    fn search_joint_seeded(
+        &self,
+        problem: &JointSearchProblem<'_>,
+        scorer: &dyn Scorer,
+        seeds: &[JointPlacement],
+        budget: usize,
+        seed: u64,
+    ) -> JointOptimizationResult {
+        let mut ev = JointEvaluator::new(problem, scorer, budget);
+        let refs = problem.query_refs();
+        let jnb = JointNeighborhood::new(&refs, problem.cluster);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x10CA_15EA_2C4B_AD5E);
+        let sample = self.sample_size.max(1);
+        let mut restarts: u64 = 0;
+
+        let n_random = ranking::seed_count(ev.budget, self.seed_share, 1).saturating_sub(seeds.len());
+        let mut pool_indices = seed_pool(&mut ev, problem, seeds, n_random, seed);
+        let Some(mut current) = ev.best_in(&pool_indices) else {
+            return ev.finish();
+        };
+        pool_indices = ev.top_of(pool_indices, usize::MAX);
+        let mut next_pool = 0usize;
+        let mut expanded: HashSet<usize> = HashSet::new();
+
+        while ev.remaining() > 0 {
+            expanded.insert(current);
+            let jp = ev.evaluated[current].placement.clone();
+            let states = jnb.visit_states(&jp);
+            let mut moves = jnb.neighbors(&jp, &states);
+            moves.shuffle(&mut rng);
+            let mut candidates: Vec<JointPlacement> = Vec::new();
+            for mv in moves {
+                if candidates.len() >= sample {
+                    break;
+                }
+                let np = jp.apply(mv);
+                if !ev.is_seen(&np) {
+                    candidates.push(np);
+                }
+            }
+
+            let mut next: Option<usize> = None;
+            if !candidates.is_empty() {
+                let scored = ev.score(candidates);
+                if let Some(best) = ev.best_in(&scored) {
+                    if ev.better(best, current) {
+                        next = Some(best);
+                    }
+                }
+            }
+            match next {
+                Some(idx) => current = idx,
+                None => {
+                    while next_pool < pool_indices.len() && expanded.contains(&pool_indices[next_pool]) {
+                        next_pool += 1;
+                    }
+                    if next_pool < pool_indices.len() {
+                        current = pool_indices[next_pool];
+                        next_pool += 1;
+                        continue;
+                    }
+                    restarts += 1;
+                    let Some(jp) = fresh_joint_sample(problem, &ev, seed, restarts) else {
+                        break;
+                    };
+                    let scored = ev.score(vec![jp]);
+                    let Some(idx) = scored.first().copied() else {
+                        break;
+                    };
+                    current = idx;
+                }
+            }
+        }
+        ev.finish()
+    }
+}
+
+impl JointPlacementSearch for BeamSearch {
+    fn name(&self) -> &'static str {
+        "beam"
+    }
+
+    /// Beam search over the cross-query move space: keep the `width`
+    /// best joint candidates, expand each by up to `expand` unseen
+    /// neighbors per round, re-rank, repeat.
+    fn search_joint_seeded(
+        &self,
+        problem: &JointSearchProblem<'_>,
+        scorer: &dyn Scorer,
+        seeds: &[JointPlacement],
+        budget: usize,
+        seed: u64,
+    ) -> JointOptimizationResult {
+        let mut ev = JointEvaluator::new(problem, scorer, budget);
+        let refs = problem.query_refs();
+        let jnb = JointNeighborhood::new(&refs, problem.cluster);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xBEA3_5EA2_C4A6_1D07);
+        let width = self.width.max(1);
+
+        let n_random = ranking::seed_count(ev.budget, self.seed_share, width).saturating_sub(seeds.len());
+        let scored = seed_pool(&mut ev, problem, seeds, n_random, seed);
+        let mut beam = ev.top_of(scored, width);
+
+        while ev.remaining() > 0 {
+            let mut expansion: Vec<JointPlacement> = Vec::new();
+            // Round-local dedup over flattened assignments (computed once
+            // per candidate, not per pairwise comparison).
+            let mut in_round: HashSet<Vec<HostId>> = HashSet::new();
+            for &bi in &beam {
+                let jp = ev.evaluated[bi].placement.clone();
+                let states = jnb.visit_states(&jp);
+                let mut moves = jnb.neighbors(&jp, &states);
+                moves.shuffle(&mut rng);
+                let mut taken = 0usize;
+                for mv in moves {
+                    if taken >= self.expand.max(1) {
+                        break;
+                    }
+                    let np = jp.apply(mv);
+                    if ev.is_seen(&np) || !in_round.insert(np.flattened()) {
+                        continue;
+                    }
+                    expansion.push(np);
+                    taken += 1;
+                }
+            }
+            if expansion.is_empty() {
+                break;
+            }
+            let scored = ev.score(expansion);
+            if scored.is_empty() {
+                break;
+            }
+            let mut pool = beam;
+            pool.extend(scored);
+            beam = ev.top_of(pool, width);
+        }
+        ev.finish()
+    }
+}
+
+impl JointPlacementSearch for SimulatedAnnealing {
+    fn name(&self) -> &'static str {
+        "anneal"
+    }
+
+    /// Simulated annealing over the cross-query move space: one chain,
+    /// Metropolis acceptance on the relative total-cost delta (with the
+    /// same viability-class shift as the single-query strategy), restart
+    /// on exhaustion. Best-ever-scored is returned.
+    fn search_joint_seeded(
+        &self,
+        problem: &JointSearchProblem<'_>,
+        scorer: &dyn Scorer,
+        seeds: &[JointPlacement],
+        budget: usize,
+        seed: u64,
+    ) -> JointOptimizationResult {
+        let mut ev = JointEvaluator::new(problem, scorer, budget);
+        let refs = problem.query_refs();
+        let jnb = JointNeighborhood::new(&refs, problem.cluster);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xA44E_A1E4_0C0A_57A7);
+
+        let n_random = ranking::seed_count(ev.budget, self.seed_share, 1).saturating_sub(seeds.len());
+        let scored = seed_pool(&mut ev, problem, seeds, n_random, seed);
+        let Some(mut current) = ev.best_in(&scored) else {
+            return ev.finish();
+        };
+
+        let mut temp = self.initial_temp.max(1e-6);
+        let mut restarts: u64 = 0;
+        while ev.remaining() > 0 {
+            let jp = ev.evaluated[current].placement.clone();
+            let states = jnb.visit_states(&jp);
+            let mut moves = jnb.neighbors(&jp, &states);
+            moves.shuffle(&mut rng);
+            let next = moves.into_iter().map(|mv| jp.apply(mv)).find(|np| !ev.is_seen(np));
+            match next {
+                Some(np) => {
+                    let scored = ev.score(vec![np]);
+                    let Some(cand) = scored.first().copied() else {
+                        break;
+                    };
+                    let accept = ranking::anneal_accepts(
+                        (ev.evaluated[current].all_viable(), ev.key(current)),
+                        (ev.evaluated[cand].all_viable(), ev.key(cand)),
+                        temp,
+                        &mut rng,
+                    );
+                    if accept {
+                        current = cand;
+                    }
+                }
+                None => {
+                    restarts += 1;
+                    let Some(np) = fresh_joint_sample(problem, &ev, seed, restarts) else {
+                        break;
+                    };
+                    let scored = ev.score(vec![np]);
+                    let Some(idx) = scored.first().copied() else {
+                        break;
+                    };
+                    current = idx;
+                }
+            }
+            temp = (temp * self.cooling.clamp(0.0, 1.0)).max(1e-4);
+        }
+        ev.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::EnsembleScorer;
+    use crate::test_fixtures;
+
+    fn problem_fixture(seed: u64) -> (Vec<Query>, Cluster, Vec<Vec<f64>>) {
+        test_fixtures::multi_query_workload(seed, 2, 4)
+    }
+
+    #[test]
+    fn contended_host_degrades_monotonically() {
+        let h = Host {
+            cpu: 800.0,
+            ram_mb: 32000.0,
+            bandwidth_mbits: 10000.0,
+            latency_ms: 1.0,
+        };
+        let alone = contended_host(&h, 3, 0);
+        assert_eq!(alone.cpu, h.cpu);
+        let shared = contended_host(&h, 1, 1);
+        assert_eq!(shared.cpu, 400.0);
+        assert_eq!(shared.latency_ms, h.latency_ms);
+        let crowded = contended_host(&h, 1, 3);
+        assert!(crowded.cpu < shared.cpu);
+    }
+
+    #[test]
+    fn uncontended_joint_scores_match_single_query_bitwise() {
+        let corpus = test_fixtures::corpus(60, 90);
+        let fx = test_fixtures::trio(&corpus, 3, 2);
+        let scorer = fx.scorer();
+        let (queries, cluster, sels) = problem_fixture(91);
+        let jqs = JointQuery::zip(&queries, &sels);
+        let problem = JointSearchProblem {
+            queries: &jqs,
+            cluster: &cluster,
+            featurization: Featurization::Full,
+        };
+        // Disjoint placements: query 0 on host 0, query 1 on host 1 — no
+        // shared host, so no contention.
+        let jp = JointPlacement::new(
+            cluster.len(),
+            vec![
+                Placement::new(vec![0; queries[0].len()]),
+                Placement::new(vec![1; queries[1].len()]),
+            ],
+        );
+        let js = JointScorer::new(&problem, &scorer);
+        let joint = js.evaluate(std::slice::from_ref(&jp));
+        let direct = EnsembleScorer::new(&fx.target, &fx.success, &fx.backpressure);
+        for (q, jq) in jqs.iter().enumerate() {
+            let graph =
+                crate::graph::JointGraph::build(jq.query, &cluster, jp.query(q), jq.est_sels, Featurization::Full);
+            let single = direct.score_batch(vec![graph]);
+            assert_eq!(joint[0].per_query[q].cost.to_bits(), single[0].cost.to_bits());
+            assert_eq!(joint[0].per_query[q].success.to_bits(), single[0].success.to_bits());
+        }
+    }
+
+    #[test]
+    fn contention_changes_scores_when_hosts_are_shared() {
+        let corpus = test_fixtures::corpus(60, 92);
+        let fx = test_fixtures::trio(&corpus, 4, 2);
+        let scorer = fx.scorer();
+        let (queries, cluster, sels) = problem_fixture(93);
+        let jqs = JointQuery::zip(&queries, &sels);
+        let problem = JointSearchProblem {
+            queries: &jqs,
+            cluster: &cluster,
+            featurization: Featurization::Full,
+        };
+        let js = JointScorer::new(&problem, &scorer);
+        // Both queries stacked on one host vs. split across two.
+        let stacked = JointPlacement::new(
+            cluster.len(),
+            vec![
+                Placement::new(vec![1; queries[0].len()]),
+                Placement::new(vec![1; queries[1].len()]),
+            ],
+        );
+        let split = JointPlacement::new(
+            cluster.len(),
+            vec![
+                Placement::new(vec![1; queries[0].len()]),
+                Placement::new(vec![2; queries[1].len()]),
+            ],
+        );
+        let evals = js.evaluate(&[stacked.clone(), split]);
+        // The stacked query-0 sees a degraded host, the split one the
+        // pristine host: the featurizations must differ, hence (almost
+        // surely) the predictions.
+        assert_ne!(
+            evals[0].per_query[0].cost.to_bits(),
+            evals[1].per_query[0].cost.to_bits(),
+            "contention must be visible in the predictions"
+        );
+        // And an isolated single-query featurization matches the
+        // *uncontended* joint one, not the contended one.
+        assert_eq!(stacked.occupancy()[1], queries[0].len() + queries[1].len());
+    }
+
+    #[test]
+    fn joint_strategies_respect_budget_and_are_deterministic() {
+        let corpus = test_fixtures::corpus(60, 94);
+        let fx = test_fixtures::trio(&corpus, 3, 2);
+        let scorer = fx.scorer();
+        let (queries, cluster, sels) = problem_fixture(95);
+        let jqs = JointQuery::zip(&queries, &sels);
+        let problem = JointSearchProblem {
+            queries: &jqs,
+            cluster: &cluster,
+            featurization: Featurization::Full,
+        };
+        let refs = problem.query_refs();
+        for strategy in [
+            &RandomEnumeration as &dyn JointPlacementSearch,
+            &BeamSearch::default(),
+            &LocalSearch::default(),
+            &SimulatedAnnealing::default(),
+        ] {
+            let budget = 12;
+            let a = strategy.search_joint(&problem, &scorer, budget, 7);
+            assert!(a.candidates.len() <= budget, "{} overspent", strategy.name());
+            assert!(!a.candidates.is_empty());
+            assert!(a.best.is_valid(&refs, &cluster), "{} best invalid", strategy.name());
+            for e in &a.candidates {
+                assert_eq!(
+                    e.placement.occupancy(),
+                    costream_query::joint::count_occupancy(cluster.len(), e.placement.placements()).as_slice(),
+                    "{}: occupancy bookkeeping",
+                    strategy.name()
+                );
+            }
+            let b = strategy.search_joint(&problem, &scorer, budget, 7);
+            assert_eq!(a.candidates.len(), b.candidates.len(), "{}", strategy.name());
+            for (x, y) in a.candidates.iter().zip(&b.candidates) {
+                assert_eq!(x.placement, y.placement, "{}", strategy.name());
+                assert_eq!(
+                    x.total_cost().to_bits(),
+                    y.total_cost().to_bits(),
+                    "{}",
+                    strategy.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_search_never_loses_to_its_seed() {
+        let corpus = test_fixtures::corpus(60, 96);
+        let fx = test_fixtures::trio(&corpus, 3, 2);
+        let scorer = fx.scorer();
+        let (queries, cluster, sels) = problem_fixture(97);
+        let jqs = JointQuery::zip(&queries, &sels);
+        let problem = JointSearchProblem {
+            queries: &jqs,
+            cluster: &cluster,
+            featurization: Featurization::Full,
+        };
+        let seed_jp = fallback_joint(&problem);
+        let js = JointScorer::new(&problem, &scorer);
+        let seed_eval = js.evaluate(std::slice::from_ref(&seed_jp));
+        let r = LocalSearch::default().search_joint_seeded(&problem, &scorer, std::slice::from_ref(&seed_jp), 10, 3);
+        assert_eq!(r.initial, seed_jp, "first scored candidate is the seed");
+        let best = r.best_evaluation();
+        // The seed was scored, so the best can only match or beat it
+        // (on the viability-then-cost ranking).
+        if best.all_viable() == seed_eval[0].all_viable() {
+            assert!(best.total_cost() <= seed_eval[0].total_cost());
+        } else {
+            assert!(best.all_viable());
+        }
+    }
+}

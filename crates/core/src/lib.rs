@@ -27,7 +27,12 @@
 //! * [`search`] — the pluggable placement-search subsystem: the
 //!   [`search::Scorer`] backend abstraction (direct ensembles or the
 //!   serving layer) and the [`search::PlacementSearch`] strategies
-//!   (random enumeration, beam search, hill climbing with restarts);
+//!   (random enumeration, beam search, hill climbing with restarts,
+//!   simulated annealing);
+//! * [`joint`] — multi-query co-placement: contention-aware joint
+//!   scoring of several queries on one shared cluster and the
+//!   [`joint::JointPlacementSearch`] strategies over the cross-query
+//!   move space;
 //! * [`qerror`] — the q-error / accuracy evaluation metrics of §VII;
 //! * [`reorder`] — cost-based operator reordering (the extension the
 //!   paper's outlook proposes);
@@ -50,6 +55,7 @@
 pub mod dataset;
 pub mod ensemble;
 pub mod graph;
+pub mod joint;
 pub mod model;
 pub mod money;
 pub mod optimizer;
@@ -57,6 +63,8 @@ pub mod plan;
 pub mod qerror;
 pub mod reorder;
 pub mod search;
+#[doc(hidden)]
+pub mod test_fixtures;
 pub mod train;
 
 /// Convenience re-exports for typical usage.
@@ -64,13 +72,17 @@ pub mod prelude {
     pub use crate::dataset::{Corpus, CorpusItem};
     pub use crate::ensemble::Ensemble;
     pub use crate::graph::{Featurization, GraphTemplate, JointGraph};
+    pub use crate::joint::{
+        JointCandidateEvaluation, JointOptimizationResult, JointPlacementSearch, JointQuery, JointScorer,
+        JointSearchProblem,
+    };
     pub use crate::model::{GnnModel, ModelConfig, Scheme};
     pub use crate::optimizer::{enumerate_candidates, OptimizationResult, PlacementOptimizer};
     pub use crate::plan::{plan_signature, BatchPlan, CacheStats, PlanCache, PlanSignature};
     pub use crate::qerror::{accuracy, q_error, QErrorSummary};
     pub use crate::search::{
         BeamSearch, EnsembleScorer, LocalSearch, PlacementScores, PlacementSearch, RandomEnumeration, Scorer,
-        SearchProblem,
+        SearchProblem, SimulatedAnnealing,
     };
     pub use crate::train::{fine_tune, train_metric, TrainConfig, TrainedModel};
     pub use costream_dsps::{CostMetric, CostMetrics, SimConfig};

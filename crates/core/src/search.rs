@@ -240,16 +240,14 @@ impl<'a> Evaluator<'a> {
         }
     }
 
-    /// Strict "candidate `a` beats candidate `b`": viable candidates rank
-    /// before filtered ones, then by cost. Ties are *not* better, so a
-    /// first-encountered candidate wins them — deterministic because
-    /// candidate generation order is.
+    /// Strict "candidate `a` beats candidate `b`" (see [`ranking::better`]).
     fn better(&self, a: usize, b: usize) -> bool {
-        let (va, vb) = (Self::viable(&self.evaluated[a]), Self::viable(&self.evaluated[b]));
-        if va != vb {
-            return va;
-        }
-        self.key(a) < self.key(b)
+        ranking::better(
+            Self::viable(&self.evaluated[a]),
+            self.key(a),
+            Self::viable(&self.evaluated[b]),
+            self.key(b),
+        )
     }
 
     /// The best of `indices` (first wins ties); `None` when empty.
@@ -267,13 +265,8 @@ impl<'a> Evaluator<'a> {
 
     /// The `k` best of `indices`, best first (stable: earlier-scored
     /// candidates win ties).
-    fn top_of(&self, mut indices: Vec<usize>, k: usize) -> Vec<usize> {
-        indices.sort_by(|&a, &b| {
-            let (va, vb) = (Self::viable(&self.evaluated[a]), Self::viable(&self.evaluated[b]));
-            vb.cmp(&va).then(self.key(a).total_cmp(&self.key(b))).then(a.cmp(&b))
-        });
-        indices.truncate(k.max(1));
-        indices
+    fn top_of(&self, indices: Vec<usize>, k: usize) -> Vec<usize> {
+        ranking::top_of(indices, k, |i| Self::viable(&self.evaluated[i]), |i| self.key(i))
     }
 
     /// Final Fig. 4 selection: best viable candidate, falling back to the
@@ -289,6 +282,73 @@ impl<'a> Evaluator<'a> {
             candidates: self.evaluated,
             all_filtered,
         }
+    }
+}
+
+/// Ranking and acceptance primitives shared by the single-query
+/// evaluator and the joint evaluator of [`crate::joint`], so the Fig. 4
+/// selection semantics and the annealing acceptance rule live in exactly
+/// one place and the two search spaces cannot silently diverge.
+pub(crate) mod ranking {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strict "candidate `a` beats candidate `b`": viable candidates
+    /// rank before filtered ones, then by signed cost key (lower is
+    /// better). Ties are *not* better, so a first-encountered candidate
+    /// wins them — deterministic because candidate generation order is.
+    pub(crate) fn better(va: bool, ka: f64, vb: bool, kb: f64) -> bool {
+        if va != vb {
+            return va;
+        }
+        ka < kb
+    }
+
+    /// Sorts candidate indices best-first (viable before filtered, then
+    /// signed key, then earlier-scored wins ties) and keeps the best
+    /// `k.max(1)`.
+    pub(crate) fn top_of(
+        mut indices: Vec<usize>,
+        k: usize,
+        viable: impl Fn(usize) -> bool,
+        key: impl Fn(usize) -> f64,
+    ) -> Vec<usize> {
+        indices.sort_by(|&a, &b| {
+            viable(b)
+                .cmp(&viable(a))
+                .then(key(a).total_cmp(&key(b)))
+                .then(a.cmp(&b))
+        });
+        indices.truncate(k.max(1));
+        indices
+    }
+
+    /// Number of exploration seeds an explore-then-refine strategy
+    /// spends: `share` of `budget`, floored at `floor` (strategy-specific
+    /// minimum, e.g. the beam width) and capped so at least one
+    /// refinement candidate remains.
+    pub(crate) fn seed_count(budget: usize, share: f64, floor: usize) -> usize {
+        ((budget as f64 * share.clamp(0.0, 1.0)) as usize)
+            .max(floor)
+            .min(budget.saturating_sub(1).max(1))
+    }
+
+    /// The annealing move rule (single-query and joint): improvements
+    /// under [`better`] always move; worsenings move with the Metropolis
+    /// probability on the relative cost delta, shifted by a fixed
+    /// penalty when the move leaves the Fig. 4-viable region. (A move
+    /// *into* the viable region is always an improvement under
+    /// [`better`], so no symmetric bonus exists.) `cur` and `cand` are
+    /// `(viable, signed cost key)` pairs.
+    pub(crate) fn anneal_accepts(cur: (bool, f64), cand: (bool, f64), temp: f64, rng: &mut StdRng) -> bool {
+        if better(cand.0, cand.1, cur.0, cur.1) {
+            return true;
+        }
+        let dk = cand.1 - cur.1;
+        let scale = cur.1.abs().max(1e-9);
+        let class = if cur.0 && !cand.0 { 1.0 } else { 0.0 };
+        let delta = (dk / scale + class).max(0.0);
+        rng.gen::<f64>() < (-delta / temp.max(1e-6)).exp()
     }
 }
 
@@ -372,10 +432,7 @@ impl PlacementSearch for BeamSearch {
         let mut rng = StdRng::seed_from_u64(seed ^ 0xBEA3_5EA2_C4A6_1D07);
         let width = self.width.max(1);
 
-        let share = self.seed_share.clamp(0.0, 1.0);
-        let n_seeds = ((ev.budget as f64 * share) as usize)
-            .max(width)
-            .min(ev.budget.saturating_sub(1).max(1));
+        let n_seeds = ranking::seed_count(ev.budget, self.seed_share, width);
         let seeds = enumerate_candidates(problem.query, problem.cluster, n_seeds, seed);
         let scored = ev.score(seeds);
         let mut beam = ev.top_of(scored, width);
@@ -456,10 +513,7 @@ impl PlacementSearch for LocalSearch {
         // Exploration pool, drawn from the same seeded stream the
         // baseline enumerates (the first pool member is therefore the
         // "initial heuristic placement" of the other strategies too).
-        let share = self.seed_share.clamp(0.0, 1.0);
-        let n_seeds = ((ev.budget as f64 * share) as usize)
-            .max(1)
-            .min(ev.budget.saturating_sub(1).max(1));
+        let n_seeds = ranking::seed_count(ev.budget, self.seed_share, 1);
         let pool = enumerate_candidates(problem.query, problem.cluster, n_seeds, seed);
         let mut pool_indices = ev.score(pool);
         let Some(mut current) = ev.best_in(&pool_indices) else {
@@ -526,37 +580,119 @@ impl PlacementSearch for LocalSearch {
     }
 }
 
+/// Simulated annealing: a single chain that always accepts improving
+/// neighbors and accepts *worsening* ones with probability
+/// `exp(-delta / T)` under a geometrically cooling temperature `T` —
+/// early on the walk crosses cost barriers hill climbing cannot, late it
+/// behaves greedily. `delta` is the relative cost worsening (scale-free:
+/// normalized by the current candidate's cost magnitude), shifted by a
+/// fixed penalty when the move leaves the Fig. 4-viable region (moves
+/// *into* it always count as improvements). The best candidate *ever*
+/// scored is returned (via the shared evaluator), so accepting bad moves
+/// never loses progress. Worth trying over [`LocalSearch`] on wide
+/// clusters whose plateaus stall greedy climbing.
+#[derive(Clone, Copy, Debug)]
+pub struct SimulatedAnnealing {
+    /// Starting temperature, in units of relative cost worsening (0.4
+    /// means an initial ~37% chance of accepting a 40% cost increase).
+    pub initial_temp: f64,
+    /// Geometric cooling factor applied per scored neighbor.
+    pub cooling: f64,
+    /// Fraction of the budget spent seeding the chain with random valid
+    /// placements from the baseline's exact stream (clamped to keep at
+    /// least one seed and at least one annealing step).
+    pub seed_share: f64,
+}
+
+impl Default for SimulatedAnnealing {
+    fn default() -> Self {
+        SimulatedAnnealing {
+            initial_temp: 0.4,
+            cooling: 0.9,
+            seed_share: 0.25,
+        }
+    }
+}
+
+impl SimulatedAnnealing {
+    /// Whether the chain moves from candidate `current` to freshly scored
+    /// `cand` at temperature `temp` (see [`ranking::anneal_accepts`]).
+    fn accepts(ev: &Evaluator<'_>, current: usize, cand: usize, temp: f64, rng: &mut StdRng) -> bool {
+        ranking::anneal_accepts(
+            (Evaluator::viable(&ev.evaluated[current]), ev.key(current)),
+            (Evaluator::viable(&ev.evaluated[cand]), ev.key(cand)),
+            temp,
+            rng,
+        )
+    }
+}
+
+impl PlacementSearch for SimulatedAnnealing {
+    fn name(&self) -> &'static str {
+        "anneal"
+    }
+
+    fn search(&self, problem: &SearchProblem<'_>, scorer: &dyn Scorer, budget: usize, seed: u64) -> OptimizationResult {
+        let mut ev = Evaluator::new(problem, scorer, budget);
+        let nb = Neighborhood::new(problem.query, problem.cluster);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xA44E_A1E4_0C0A_57A7);
+
+        let n_seeds = ranking::seed_count(ev.budget, self.seed_share, 1);
+        let pool = enumerate_candidates(problem.query, problem.cluster, n_seeds, seed);
+        let scored = ev.score(pool);
+        let Some(mut current) = ev.best_in(&scored) else {
+            return ev.finish();
+        };
+
+        let mut temp = self.initial_temp.max(1e-6);
+        let mut restarts: u64 = 0;
+        while ev.remaining() > 0 {
+            let p = ev.evaluated[current].placement.clone();
+            let state = nb.visit_state(&p);
+            let mut moves = nb.neighbors(&p, &state);
+            moves.shuffle(&mut rng);
+            let next = moves.into_iter().map(|mv| mv.apply(&p)).find(|np| !ev.is_seen(np));
+            match next {
+                Some(np) => {
+                    let scored = ev.score(vec![np]);
+                    let Some(cand) = scored.first().copied() else {
+                        break;
+                    };
+                    if Self::accepts(&ev, current, cand, temp, &mut rng) {
+                        current = cand;
+                    }
+                }
+                None => {
+                    // Every neighbor already scored: restart the chain
+                    // from a fresh random placement.
+                    restarts += 1;
+                    let Some(p) = fresh_sample(problem, &ev, seed, restarts) else {
+                        break;
+                    };
+                    let scored = ev.score(vec![p]);
+                    let Some(idx) = scored.first().copied() else {
+                        break;
+                    };
+                    current = idx;
+                }
+            }
+            temp = (temp * self.cooling.clamp(0.0, 1.0)).max(1e-4);
+        }
+        ev.finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::dataset::Corpus;
-    use crate::train::TrainConfig;
-    use costream_dsps::SimConfig;
-    use costream_query::generator::WorkloadGenerator;
-    use costream_query::ranges::FeatureRanges;
-    use costream_query::selectivity::SelectivityEstimator;
-
-    fn trio(corpus: &Corpus, epochs: usize) -> (Ensemble, Ensemble, Ensemble) {
-        let cfg = TrainConfig {
-            epochs,
-            ..Default::default()
-        };
-        (
-            Ensemble::train(corpus, CostMetric::ProcessingLatency, &cfg, 2),
-            Ensemble::train(corpus, CostMetric::Success, &cfg, 2),
-            Ensemble::train(corpus, CostMetric::Backpressure, &cfg, 2),
-        )
-    }
+    use crate::test_fixtures;
 
     #[test]
     fn strategies_respect_budget_and_return_valid_best() {
-        let corpus = Corpus::generate(80, 51, FeatureRanges::training(), &SimConfig::default());
-        let (t, s, b) = trio(&corpus, 4);
-        let scorer = EnsembleScorer::new(&t, &s, &b);
-        let mut g = WorkloadGenerator::new(52, FeatureRanges::training());
-        let q = g.query();
-        let c = g.cluster(5);
-        let sels = SelectivityEstimator::realistic(53).estimate_query(&q);
+        let corpus = test_fixtures::corpus(80, 51);
+        let fx = test_fixtures::trio(&corpus, 4, 2);
+        let scorer = fx.scorer();
+        let (q, c, sels) = test_fixtures::workload(52, 5);
         let problem = SearchProblem {
             query: &q,
             cluster: &c,
@@ -568,6 +704,7 @@ mod tests {
             &RandomEnumeration as &dyn PlacementSearch,
             &BeamSearch::default(),
             &LocalSearch::default(),
+            &SimulatedAnnealing::default(),
         ] {
             let r = strategy.search(&problem, &scorer, budget, 9);
             assert!(r.candidates.len() <= budget, "{} overspent", strategy.name());
@@ -597,13 +734,10 @@ mod tests {
 
     #[test]
     fn searches_are_deterministic_across_runs() {
-        let corpus = Corpus::generate(60, 54, FeatureRanges::training(), &SimConfig::default());
-        let (t, s, b) = trio(&corpus, 3);
-        let scorer = EnsembleScorer::new(&t, &s, &b);
-        let mut g = WorkloadGenerator::new(55, FeatureRanges::training());
-        let q = g.query();
-        let c = g.cluster(4);
-        let sels = SelectivityEstimator::realistic(56).estimate_query(&q);
+        let corpus = test_fixtures::corpus(60, 54);
+        let fx = test_fixtures::trio(&corpus, 3, 2);
+        let scorer = fx.scorer();
+        let (q, c, sels) = test_fixtures::workload(55, 4);
         let problem = SearchProblem {
             query: &q,
             cluster: &c,
@@ -614,6 +748,7 @@ mod tests {
             &RandomEnumeration as &dyn PlacementSearch,
             &BeamSearch::default(),
             &LocalSearch::default(),
+            &SimulatedAnnealing::default(),
         ] {
             let a = strategy.search(&problem, &scorer, 16, 3);
             let bb = strategy.search(&problem, &scorer, 16, 3);

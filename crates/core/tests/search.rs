@@ -5,6 +5,7 @@
 
 use costream::prelude::*;
 use costream::search::SearchProblem;
+use costream::test_fixtures;
 use costream_query::generator::WorkloadGenerator;
 use costream_query::placement::neighborhood::Neighborhood;
 use costream_query::placement::{colocate_on_strongest, sample_valid};
@@ -73,15 +74,9 @@ fn delta_refeaturization_is_bitwise_equal_along_search_walks() {
 /// this pins actual behavior, not luck).
 #[test]
 fn neighborhood_strategies_match_or_beat_random_at_equal_budget() {
-    let corpus = Corpus::generate(150, 61, FeatureRanges::training(), &SimConfig::default());
-    let cfg = TrainConfig {
-        epochs: 8,
-        ..Default::default()
-    };
-    let target = Ensemble::train(&corpus, CostMetric::ProcessingLatency, &cfg, 2);
-    let success = Ensemble::train(&corpus, CostMetric::Success, &cfg, 2);
-    let bp = Ensemble::train(&corpus, CostMetric::Backpressure, &cfg, 2);
-    let scorer = EnsembleScorer::new(&target, &success, &bp);
+    let corpus = test_fixtures::corpus(150, 61);
+    let trio = test_fixtures::trio(&corpus, 8, 2);
+    let scorer = trio.scorer();
 
     let budget = 48;
     let mut wins = 0usize;
@@ -120,4 +115,51 @@ fn neighborhood_strategies_match_or_beat_random_at_equal_budget() {
         wins > 0,
         "neighborhood search should strictly improve on random enumeration for at least one query"
     );
+}
+
+/// The simulated-annealing satellite: on a *wide* cluster (many
+/// near-equivalent hosts per capability tier — the plateau landscape
+/// hill climbing stalls on), annealing at the same scoring budget must
+/// match or beat both the random baseline and greedy LocalSearch, and be
+/// bitwise deterministic run to run.
+#[test]
+fn annealing_matches_or_beats_local_search_on_wide_cluster_at_equal_budget() {
+    let corpus = test_fixtures::corpus(150, 61);
+    let trio = test_fixtures::trio(&corpus, 8, 2);
+    let scorer = trio.scorer();
+
+    let (q, _small, sels) = test_fixtures::workload(86, 5);
+    let wide = test_fixtures::wide_cluster(15);
+    let problem = SearchProblem {
+        query: &q,
+        cluster: &wide,
+        est_sels: &sels,
+        featurization: Featurization::Full,
+    };
+
+    let budget = 48;
+    let best = |r: &OptimizationResult| r.best_evaluation().predicted_cost;
+    for seed in [3u64, 7, 11] {
+        let random = RandomEnumeration.search(&problem, &scorer, budget, seed);
+        let local = LocalSearch::default().search(&problem, &scorer, budget, seed);
+        let anneal = SimulatedAnnealing::default().search(&problem, &scorer, budget, seed);
+        assert!(anneal.candidates.len() <= budget);
+
+        let (rc, lc, ac) = (best(&random), best(&local), best(&anneal));
+        assert!(ac <= rc, "seed {seed}: anneal {ac} worse than random baseline {rc}");
+        assert!(
+            ac <= lc,
+            "seed {seed}: anneal {ac} worse than greedy local search {lc} on the plateau fixture"
+        );
+
+        // Determinism: the annealing chain (including its Metropolis
+        // coin flips) is a pure function of (inputs, seed).
+        let again = SimulatedAnnealing::default().search(&problem, &scorer, budget, seed);
+        assert_eq!(anneal.best.assignment(), again.best.assignment());
+        assert_eq!(anneal.candidates.len(), again.candidates.len());
+        for (x, y) in anneal.candidates.iter().zip(&again.candidates) {
+            assert_eq!(x.placement.assignment(), y.placement.assignment());
+            assert_eq!(x.predicted_cost.to_bits(), y.predicted_cost.to_bits());
+        }
+    }
 }

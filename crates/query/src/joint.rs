@@ -1,0 +1,359 @@
+//! Multi-query co-placement: joint placements of a *set* of queries on
+//! one shared cluster, and the cross-query edit neighborhood a joint
+//! optimizer searches.
+//!
+//! A single-query [`Placement`](crate::placement::Placement) maps one
+//! query's operators to hosts; real clusters run many queries at once,
+//! and co-resident operators shift each other's costs. A
+//! [`JointPlacement`] bundles one placement per query together with the
+//! per-host **occupancy** (how many operators, across all queries, are
+//! resident on each host) — the quantity a contention-aware scorer
+//! prices. Occupancy is maintained *incrementally* across edits, and
+//! validity is still the per-query Fig. 5 rules: queries are logically
+//! independent, so an edit touching one query only re-checks that query
+//! (the cross-query coupling is soft, through contention, and is the
+//! scorer's business, not the validity rules').
+//!
+//! [`JointNeighborhood`] generates the joint move space: relocating any
+//! operator of any query, swapping hosts within a query, and swapping
+//! hosts *across* queries. Every check reuses the single-query
+//! incremental machinery of [`neighborhood`](crate::placement::neighborhood)
+//! (capability rule on touched-incident edges, host-revisit masks over
+//! the touched downstream cone), so a joint candidate check costs the
+//! same as a single-query one per touched query.
+
+use crate::hardware::{Cluster, HostId};
+use crate::operators::{OpId, Query};
+use crate::placement::neighborhood::{Move, Neighborhood, VisitState};
+use crate::placement::Placement;
+use serde::{Deserialize, Serialize};
+
+/// A placement of several queries on one shared cluster: one
+/// [`Placement`] per query plus the per-host operator occupancy.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JointPlacement {
+    per_query: Vec<Placement>,
+    occupancy: Vec<usize>,
+}
+
+impl JointPlacement {
+    /// Bundles per-query placements into a joint placement on a cluster
+    /// of `n_hosts` hosts, counting the initial occupancy.
+    ///
+    /// # Panics
+    /// Panics when a placement references a host `>= n_hosts`.
+    pub fn new(n_hosts: usize, per_query: Vec<Placement>) -> Self {
+        let occupancy = count_occupancy(n_hosts, &per_query);
+        JointPlacement { per_query, occupancy }
+    }
+
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.per_query.len()
+    }
+
+    /// True when no queries are placed.
+    pub fn is_empty(&self) -> bool {
+        self.per_query.is_empty()
+    }
+
+    /// The placement of query `q`.
+    pub fn query(&self, q: usize) -> &Placement {
+        &self.per_query[q]
+    }
+
+    /// All per-query placements.
+    pub fn placements(&self) -> &[Placement] {
+        &self.per_query
+    }
+
+    /// Per-host operator occupancy across all queries (index = host id).
+    pub fn occupancy(&self) -> &[usize] {
+        &self.occupancy
+    }
+
+    /// Number of operators of query `q` resident on `host`.
+    pub fn own_load(&self, q: usize, host: HostId) -> usize {
+        self.per_query[q].assignment().iter().filter(|&&h| h == host).count()
+    }
+
+    /// The flattened assignment of all queries, in query order — the
+    /// canonical duplicate-suppression key of a joint search (query
+    /// arities are fixed per problem, so the concatenation is
+    /// unambiguous).
+    pub fn flattened(&self) -> Vec<HostId> {
+        self.per_query
+            .iter()
+            .flat_map(|p| p.assignment().iter().copied())
+            .collect()
+    }
+
+    /// True when every query's placement satisfies its Fig. 5 rules.
+    pub fn is_valid(&self, queries: &[&Query], cluster: &Cluster) -> bool {
+        self.per_query.len() == queries.len() && self.per_query.iter().zip(queries).all(|(p, q)| p.is_valid(q, cluster))
+    }
+
+    /// The joint placement produced by applying `mv`, with occupancy
+    /// maintained incrementally (a relocation shifts one unit of load;
+    /// swaps exchange residents, leaving every host's total unchanged).
+    pub fn apply(&self, mv: JointMove) -> JointPlacement {
+        let mut next = self.clone();
+        match mv {
+            JointMove::Relocate { query, op, to } => {
+                let from = next.per_query[query].host_of(op);
+                let mut a = next.per_query[query].assignment().to_vec();
+                a[op] = to;
+                next.per_query[query] = Placement::new(a);
+                next.occupancy[from] -= 1;
+                next.occupancy[to] += 1;
+            }
+            JointMove::Swap { qa, a, qb, b } => {
+                let ha = next.per_query[qa].host_of(a);
+                let hb = next.per_query[qb].host_of(b);
+                if qa == qb {
+                    let mut v = next.per_query[qa].assignment().to_vec();
+                    v.swap(a, b);
+                    next.per_query[qa] = Placement::new(v);
+                } else {
+                    let mut va = next.per_query[qa].assignment().to_vec();
+                    let mut vb = next.per_query[qb].assignment().to_vec();
+                    va[a] = hb;
+                    vb[b] = ha;
+                    next.per_query[qa] = Placement::new(va);
+                    next.per_query[qb] = Placement::new(vb);
+                }
+                // Hosts exchange residents: totals are unchanged.
+            }
+        }
+        next
+    }
+}
+
+/// Counts per-host occupancy from scratch — the reference the
+/// incremental bookkeeping is tested against.
+///
+/// # Panics
+/// Panics when a placement references a host `>= n_hosts`.
+pub fn count_occupancy(n_hosts: usize, placements: &[Placement]) -> Vec<usize> {
+    let mut occ = vec![0usize; n_hosts];
+    for p in placements {
+        for &h in p.assignment() {
+            assert!(h < n_hosts, "placement references host {h} outside the cluster");
+            occ[h] += 1;
+        }
+    }
+    occ
+}
+
+/// A single edit of a joint placement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JointMove {
+    /// Move one operator of one query to another host.
+    Relocate {
+        /// The query whose operator moves.
+        query: usize,
+        /// The operator to move.
+        op: OpId,
+        /// Its new host.
+        to: HostId,
+    },
+    /// Exchange the hosts of two operators — of the same query or of two
+    /// different queries (`(qa, a)` is kept lexicographically before
+    /// `(qb, b)` by the generators so each exchange appears once).
+    Swap {
+        /// Query of the first operator.
+        qa: usize,
+        /// First operator.
+        a: OpId,
+        /// Query of the second operator.
+        qb: usize,
+        /// Second operator.
+        b: OpId,
+    },
+}
+
+/// Precomputed structure for the joint move space: one single-query
+/// [`Neighborhood`] per query (shared cluster), reused across every
+/// joint placement a search visits.
+pub struct JointNeighborhood<'a> {
+    queries: Vec<&'a Query>,
+    cluster: &'a Cluster,
+    nbs: Vec<Neighborhood<'a>>,
+}
+
+impl<'a> JointNeighborhood<'a> {
+    /// Precomputes the per-query structure for one (queries, cluster)
+    /// problem.
+    pub fn new(queries: &[&'a Query], cluster: &'a Cluster) -> Self {
+        JointNeighborhood {
+            queries: queries.to_vec(),
+            cluster,
+            nbs: queries.iter().map(|q| Neighborhood::new(q, cluster)).collect(),
+        }
+    }
+
+    /// Number of queries in the move space.
+    pub fn n_queries(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// The rule ③ visit state of every query's placement, computed once
+    /// per joint placement and reused for every candidate edit.
+    pub fn visit_states(&self, jp: &JointPlacement) -> Vec<VisitState> {
+        self.nbs
+            .iter()
+            .zip(jp.placements())
+            .map(|(nb, p)| nb.visit_state(p))
+            .collect()
+    }
+
+    /// Checks whether applying `mv` to the (valid) joint placement `jp`
+    /// yields another valid joint placement, re-validating only the
+    /// touched queries incrementally. `states` must be
+    /// `self.visit_states(jp)`.
+    pub fn is_valid_move(&self, jp: &JointPlacement, states: &[VisitState], mv: JointMove) -> bool {
+        match mv {
+            JointMove::Relocate { query, op, to } => {
+                self.nbs[query].is_valid_move(jp.query(query), &states[query], Move::Relocate { op, to })
+            }
+            JointMove::Swap { qa, a, qb, b } => {
+                if qa == qb {
+                    return self.nbs[qa].is_valid_move(jp.query(qa), &states[qa], Move::Swap { a, b });
+                }
+                let (ha, hb) = (jp.query(qa).host_of(a), jp.query(qb).host_of(b));
+                if ha == hb {
+                    return false; // no-op exchange
+                }
+                // Across queries the exchange decomposes into two
+                // independent relocations (the queries share no edges),
+                // each checked incrementally within its own query.
+                self.nbs[qa].is_valid_move(jp.query(qa), &states[qa], Move::Relocate { op: a, to: hb })
+                    && self.nbs[qb].is_valid_move(jp.query(qb), &states[qb], Move::Relocate { op: b, to: ha })
+            }
+        }
+    }
+
+    /// The full joint neighborhood of `jp`, in deterministic order: all
+    /// valid relocations by (query, op, host), then all valid intra-query
+    /// swaps by (query, a, b), then all valid cross-query swaps by
+    /// (qa, qb, a, b). `states` must be `self.visit_states(jp)`.
+    pub fn neighbors(&self, jp: &JointPlacement, states: &[VisitState]) -> Vec<JointMove> {
+        let mut out = Vec::new();
+        for (q, query) in self.queries.iter().enumerate() {
+            for op in 0..query.len() {
+                for to in 0..self.cluster.len() {
+                    if to == jp.query(q).host_of(op) {
+                        continue;
+                    }
+                    let mv = JointMove::Relocate { query: q, op, to };
+                    if self.is_valid_move(jp, states, mv) {
+                        out.push(mv);
+                    }
+                }
+            }
+        }
+        for (q, query) in self.queries.iter().enumerate() {
+            for a in 0..query.len() {
+                for b in (a + 1)..query.len() {
+                    let mv = JointMove::Swap { qa: q, a, qb: q, b };
+                    if jp.query(q).host_of(a) != jp.query(q).host_of(b) && self.is_valid_move(jp, states, mv) {
+                        out.push(mv);
+                    }
+                }
+            }
+        }
+        for qa in 0..self.queries.len() {
+            for qb in (qa + 1)..self.queries.len() {
+                for a in 0..self.queries[qa].len() {
+                    for b in 0..self.queries[qb].len() {
+                        let mv = JointMove::Swap { qa, a, qb, b };
+                        if self.is_valid_move(jp, states, mv) {
+                            out.push(mv);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::WorkloadGenerator;
+    use crate::placement::{colocate_on_strongest, sample_valid};
+    use crate::ranges::FeatureRanges;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fixture(seed: u64, n_queries: usize) -> (Vec<Query>, Cluster) {
+        let mut g = WorkloadGenerator::new(seed, FeatureRanges::training());
+        let queries: Vec<Query> = (0..n_queries).map(|_| g.query()).collect();
+        let cluster = g.cluster(4);
+        (queries, cluster)
+    }
+
+    fn sample_joint(queries: &[&Query], cluster: &Cluster, seed: u64) -> JointPlacement {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let placements = queries
+            .iter()
+            .map(|q| sample_valid(q, cluster, &mut rng).unwrap_or_else(|| colocate_on_strongest(q, cluster)))
+            .collect();
+        JointPlacement::new(cluster.len(), placements)
+    }
+
+    #[test]
+    fn occupancy_counts_all_queries() {
+        let (queries, cluster) = fixture(1, 3);
+        let refs: Vec<&Query> = queries.iter().collect();
+        let jp = sample_joint(&refs, &cluster, 2);
+        let total_ops: usize = queries.iter().map(|q| q.len()).sum();
+        assert_eq!(jp.occupancy().iter().sum::<usize>(), total_ops);
+        assert_eq!(
+            jp.occupancy(),
+            count_occupancy(cluster.len(), jp.placements()).as_slice()
+        );
+    }
+
+    #[test]
+    fn apply_maintains_occupancy_incrementally() {
+        let (queries, cluster) = fixture(3, 2);
+        let refs: Vec<&Query> = queries.iter().collect();
+        let mut jp = sample_joint(&refs, &cluster, 4);
+        let jnb = JointNeighborhood::new(&refs, &cluster);
+        for round in 0..4 {
+            let states = jnb.visit_states(&jp);
+            let neighbors = jnb.neighbors(&jp, &states);
+            let Some(&mv) = neighbors.get(round % neighbors.len().max(1)) else {
+                break;
+            };
+            jp = jp.apply(mv);
+            assert!(jp.is_valid(&refs, &cluster), "{mv:?} broke validity");
+            assert_eq!(
+                jp.occupancy(),
+                count_occupancy(cluster.len(), jp.placements()).as_slice(),
+                "{mv:?} broke occupancy bookkeeping"
+            );
+        }
+    }
+
+    #[test]
+    fn cross_query_swap_exchanges_hosts() {
+        let (queries, cluster) = fixture(5, 2);
+        let refs: Vec<&Query> = queries.iter().collect();
+        let jp = sample_joint(&refs, &cluster, 6);
+        let jnb = JointNeighborhood::new(&refs, &cluster);
+        let states = jnb.visit_states(&jp);
+        let cross = jnb
+            .neighbors(&jp, &states)
+            .into_iter()
+            .find(|mv| matches!(mv, JointMove::Swap { qa, qb, .. } if qa != qb));
+        if let Some(JointMove::Swap { qa, a, qb, b }) = cross {
+            let next = jp.apply(JointMove::Swap { qa, a, qb, b });
+            assert_eq!(next.query(qa).host_of(a), jp.query(qb).host_of(b));
+            assert_eq!(next.query(qb).host_of(b), jp.query(qa).host_of(a));
+            assert_eq!(next.occupancy(), jp.occupancy(), "swap must not change totals");
+        }
+    }
+}

@@ -8,6 +8,8 @@
 //! * [`hardware`] — heterogeneous hosts, clusters, capability bins;
 //! * [`placement`] — operator→host mappings and the validity rules of the
 //!   heuristic enumeration strategy (Fig. 5);
+//! * [`joint`] — multi-query co-placement: joint placements with per-host
+//!   occupancy and the cross-query edit neighborhood;
 //! * [`features`] — the transferable features of Table I;
 //! * [`ranges`] — the training/evaluation feature ranges of Tables II/IV/V;
 //! * [`generator`] — the synthetic benchmark generator of §VI (Fig. 6
@@ -24,6 +26,7 @@ pub mod dot;
 pub mod features;
 pub mod generator;
 pub mod hardware;
+pub mod joint;
 pub mod operators;
 pub mod placement;
 pub mod ranges;
@@ -32,6 +35,7 @@ pub mod selectivity;
 pub use datatypes::{DataType, TupleSchema};
 pub use generator::{QueryTemplate, WorkloadGenerator};
 pub use hardware::{CapabilityBin, Cluster, Host, HostId};
+pub use joint::{JointMove, JointNeighborhood, JointPlacement};
 pub use operators::{OpId, OpKind, Query, WindowPolicy, WindowSpec, WindowType};
 pub use placement::{Placement, PlacementViolation};
 pub use ranges::FeatureRanges;

@@ -618,10 +618,7 @@ mod tests {
         let st = nb.visit_state(&p);
         for op in 0..q.len() {
             // No-op relocation is rejected on the fallback path too.
-            let noop = Move::Relocate {
-                op,
-                to: p.host_of(op),
-            };
+            let noop = Move::Relocate { op, to: p.host_of(op) };
             assert!(!nb.is_valid_move(&p, &st, noop));
             for to in 0..c.len() {
                 if to == p.host_of(op) {

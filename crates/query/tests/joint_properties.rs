@@ -1,0 +1,131 @@
+//! Property-based tests of the cross-query joint neighborhood: the
+//! incremental validity checks must agree with full per-query
+//! revalidation for every candidate edit, and the incrementally
+//! maintained occupancy must equal a full recount after every edit
+//! sequence (mirrors `neighborhood_properties.rs` for the single-query
+//! machinery).
+
+use costream_query::generator::WorkloadGenerator;
+use costream_query::joint::{count_occupancy, JointMove, JointNeighborhood, JointPlacement};
+use costream_query::placement::{colocate_on_strongest, sample_valid};
+use costream_query::ranges::FeatureRanges;
+use costream_query::{Cluster, Query};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn fixture(seed: u64) -> (Vec<Query>, Cluster, JointPlacement) {
+    let mut g = WorkloadGenerator::new(seed, FeatureRanges::training());
+    let n_queries = 2 + (seed % 2) as usize;
+    let queries: Vec<Query> = (0..n_queries).map(|_| g.query()).collect();
+    let cluster = g.cluster(3 + (seed % 3) as usize);
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(1));
+    let placements = queries
+        .iter()
+        .map(|q| sample_valid(q, &cluster, &mut rng).unwrap_or_else(|| colocate_on_strongest(q, &cluster)))
+        .collect();
+    let jp = JointPlacement::new(cluster.len(), placements);
+    (queries, cluster, jp)
+}
+
+/// Full revalidation of a joint move: apply it, then check every touched
+/// query against the complete Fig. 5 rules and the occupancy against a
+/// recount.
+fn full_check(queries: &[&Query], cluster: &Cluster, jp: &JointPlacement, mv: JointMove) -> bool {
+    // Degenerate edits the generators never emit are invalid by
+    // definition (no-ops must be rejected so search never rescoring the
+    // same assignment).
+    match mv {
+        JointMove::Relocate { query, op, to } => {
+            if to >= cluster.len() || to == jp.query(query).host_of(op) {
+                return false;
+            }
+        }
+        JointMove::Swap { qa, a, qb, b } => {
+            if (qa, a) == (qb, b) || jp.query(qa).host_of(a) == jp.query(qb).host_of(b) {
+                return false;
+            }
+        }
+    }
+    jp.apply(mv).is_valid(queries, cluster)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The incremental joint move check is exactly full revalidation:
+    /// for every possible relocation, intra-query swap and cross-query
+    /// swap, both judges agree.
+    #[test]
+    fn joint_incremental_check_equals_full_validation(seed in 0u64..100_000) {
+        let (queries, cluster, jp) = fixture(seed);
+        let refs: Vec<&Query> = queries.iter().collect();
+        let jnb = JointNeighborhood::new(&refs, &cluster);
+        let states = jnb.visit_states(&jp);
+        for (q, query) in refs.iter().enumerate() {
+            for op in 0..query.len() {
+                for to in 0..cluster.len() {
+                    if to == jp.query(q).host_of(op) {
+                        continue;
+                    }
+                    let mv = JointMove::Relocate { query: q, op, to };
+                    prop_assert_eq!(
+                        jnb.is_valid_move(&jp, &states, mv),
+                        full_check(&refs, &cluster, &jp, mv),
+                        "relocate q{} op{} -> {} disagrees", q, op, to
+                    );
+                }
+            }
+        }
+        for qa in 0..refs.len() {
+            for qb in qa..refs.len() {
+                for a in 0..refs[qa].len() {
+                    let b0 = if qa == qb { a + 1 } else { 0 };
+                    for b in b0..refs[qb].len() {
+                        let mv = JointMove::Swap { qa, a, qb, b };
+                        if jp.query(qa).host_of(a) == jp.query(qb).host_of(b) {
+                            continue; // no-op exchange, rejected by both
+                        }
+                        prop_assert_eq!(
+                            jnb.is_valid_move(&jp, &states, mv),
+                            full_check(&refs, &cluster, &jp, mv),
+                            "swap q{}.{} <-> q{}.{} disagrees", qa, a, qb, b
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Along every edit sequence the generators produce, incremental
+    /// occupancy bookkeeping equals a full recount, every emitted
+    /// neighbor is valid, and chained edits remain valid bases.
+    #[test]
+    fn joint_edit_sequences_keep_occupancy_and_validity(seed in 0u64..100_000) {
+        let (queries, cluster, mut jp) = fixture(seed);
+        let refs: Vec<&Query> = queries.iter().collect();
+        prop_assert!(jp.is_valid(&refs, &cluster));
+        let jnb = JointNeighborhood::new(&refs, &cluster);
+        for round in 0..4usize {
+            let states = jnb.visit_states(&jp);
+            let neighbors = jnb.neighbors(&jp, &states);
+            for mv in &neighbors {
+                let np = jp.apply(*mv);
+                prop_assert!(np.is_valid(&refs, &cluster),
+                    "round {}: {:?} produced invalid joint placement", round, mv);
+                let recount = count_occupancy(cluster.len(), np.placements());
+                prop_assert_eq!(
+                    np.occupancy(),
+                    recount.as_slice(),
+                    "round {}: {:?} broke occupancy bookkeeping", round, mv
+                );
+                prop_assert_ne!(np.flattened(), jp.flattened(), "{:?} is a no-op", mv);
+            }
+            // Chain: continue the walk from a mid-list neighbor.
+            match neighbors.get(round % neighbors.len().max(1)) {
+                Some(mv) => jp = jp.apply(*mv),
+                None => break,
+            }
+        }
+    }
+}

@@ -17,6 +17,17 @@
 //! golden tests pin this), so a search driven through a `ServeScorer`
 //! returns exactly the placement the direct path would — regardless of
 //! worker counts or how requests interleave.
+//!
+//! Multi-query co-placement routes through here unchanged: a
+//! [`JointScorer`](costream::joint::JointScorer) built over a
+//! `ServeScorer` submits all `candidates × queries` graphs of a joint
+//! batch as one pipelined burst, so N tenants' *joint* searches coalesce
+//! exactly like single-query ones. Each request's occupancy snapshot
+//! travels inside its featurized host rows (contention-degraded only
+//! where hosts are shared), which keeps uncontended topologies
+//! cache-identical to their single-query shapes. The joint golden tests
+//! pin serve-backed joint search bitwise-equal to the direct path across
+//! worker counts and concurrent tenants.
 
 use crate::{Pending, ScoreClient, ScoringService, ServeError};
 use costream::graph::JointGraph;

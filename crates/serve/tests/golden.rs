@@ -7,10 +7,11 @@
 //! control, plan-cache accounting, shutdown semantics) is behavioural.
 
 use costream::prelude::*;
+use costream::test_fixtures;
 use costream_serve::{ScoreRequest, ScoringService, ServeConfig, ServeError};
 
 fn corpus(seed: u64) -> Corpus {
-    Corpus::generate(24, seed, FeatureRanges::training(), &SimConfig::default())
+    test_fixtures::corpus(24, seed)
 }
 
 fn quick_ensemble(corpus: &Corpus, scheme: Scheme, k: usize) -> Ensemble {

@@ -7,21 +7,13 @@
 
 use costream::prelude::*;
 use costream::search::SearchProblem;
-use costream_query::generator::WorkloadGenerator;
-use costream_query::selectivity::SelectivityEstimator;
+use costream::test_fixtures;
 use costream_serve::{ScoringService, ServeConfig, ServeScorer};
 
 fn trio() -> (Ensemble, Ensemble, Ensemble) {
-    let corpus = Corpus::generate(100, 21, FeatureRanges::training(), &SimConfig::default());
-    let cfg = TrainConfig {
-        epochs: 5,
-        ..Default::default()
-    };
-    (
-        Ensemble::train(&corpus, CostMetric::ProcessingLatency, &cfg, 2),
-        Ensemble::train(&corpus, CostMetric::Success, &cfg, 2),
-        Ensemble::train(&corpus, CostMetric::Backpressure, &cfg, 2),
-    )
+    let corpus = test_fixtures::corpus(100, 21);
+    let fx = test_fixtures::trio(&corpus, 5, 2);
+    (fx.target, fx.success, fx.backpressure)
 }
 
 fn services(t: &Ensemble, s: &Ensemble, b: &Ensemble, workers: usize) -> [ScoringService; 3] {
@@ -71,10 +63,7 @@ fn serve_backed_search_matches_direct_search_bitwise() {
     let (t, s, b) = trio();
     let direct = EnsembleScorer::new(&t, &s, &b);
 
-    let mut g = WorkloadGenerator::new(22, FeatureRanges::training());
-    let q = g.query();
-    let c = g.cluster(5);
-    let sels = SelectivityEstimator::realistic(23).estimate_query(&q);
+    let (q, c, sels) = test_fixtures::workload(22, 5);
     let problem = SearchProblem {
         query: &q,
         cluster: &c,
@@ -109,10 +98,7 @@ fn concurrent_tenant_searches_are_isolated_and_coalesce() {
 
     let tenants: Vec<_> = (0..4u64)
         .map(|i| {
-            let mut g = WorkloadGenerator::new(30 + i, FeatureRanges::training());
-            let q = g.query();
-            let c = g.cluster(4);
-            let sels = SelectivityEstimator::realistic(40 + i).estimate_query(&q);
+            let (q, c, sels) = test_fixtures::workload(30 + i, 4);
             (q, c, sels, 50 + i)
         })
         .collect();
@@ -172,10 +158,7 @@ fn optimizer_client_observes_plan_cache_effectiveness() {
     let [st, ss, sb] = services(&t, &s, &b, 1);
     let scorer = ServeScorer::new(&st, &ss, &sb);
 
-    let mut g = WorkloadGenerator::new(24, FeatureRanges::training());
-    let q = g.query();
-    let c = g.cluster(4);
-    let sels = SelectivityEstimator::realistic(25).estimate_query(&q);
+    let (q, c, sels) = test_fixtures::workload(24, 4);
     let problem = SearchProblem {
         query: &q,
         cluster: &c,

@@ -159,6 +159,10 @@ macro_rules! prop_assert_ne {
         let (__a, __b) = (&$a, &$b);
         $crate::prop_assert!(*__a != *__b, "assertion failed: {:?} == {:?}", __a, __b);
     }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(*__a != *__b, $($fmt)*);
+    }};
 }
 
 /// Declares property tests. Each function body runs once per generated

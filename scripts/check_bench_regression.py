@@ -59,22 +59,34 @@ THREADED = {"serve_throughput", "optimizer_search_local"}
 # Pure single-threaded kernel bench used to normalize away host speed.
 CALIBRATION_OP = "matmul_256x64x48_updater_in_big"
 
+# Quality metrics (JSON "metrics" key, not timings) -> maximum allowed
+# worsening factor vs the committed baseline. These are deterministic
+# search-quality numbers (best contention-aware total predicted cost of
+# the joint co-placement search), but the searches producing them are
+# threaded product paths, so they sit behind the same core-count guard
+# as the threaded timing gates: on a width mismatch they are skipped
+# with a note instead of failing spuriously.
+GATED_METRICS = {
+    "joint_placement_joint_total_cost": 1.10,
+}
+
 
 def load(path):
     with open(path) as fh:
         doc = json.load(fh)
     if isinstance(doc, dict):
         meta, results = doc.get("meta", {}), doc["results"]
+        metrics = doc.get("metrics", [])
     else:
-        meta, results = {}, doc
-    return meta, {r["op"]: r["ns_per_iter"] for r in results}
+        meta, results, metrics = {}, doc, []
+    return meta, {r["op"]: r["ns_per_iter"] for r in results}, {m["op"]: m["value"] for m in metrics}
 
 
 def main():
     if len(sys.argv) != 3:
         sys.exit(__doc__)
-    base_meta, base = load(sys.argv[1])
-    fresh_meta, fresh = load(sys.argv[2])
+    base_meta, base, base_metrics = load(sys.argv[1])
+    fresh_meta, fresh, fresh_metrics = load(sys.argv[2])
 
     base_cores = base_meta.get("cores")
     fresh_cores = fresh_meta.get("cores")
@@ -112,6 +124,24 @@ def main():
         detail = ", ".join(f"{name} {f:.2f}x" for name, f in factors)
         status = "REGRESSED" if regressed else "OK"
         print(f"{op}: {base[op]:.0f} ns -> {fresh[op]:.0f} ns ({detail}; limit {max_factor:.2f}x) {status}")
+        if regressed:
+            failed = True
+
+    for op, max_factor in GATED_METRICS.items():
+        if cores_differ:
+            print(f"{op}: skipped (threaded search quality, {base_cores}-core baseline vs {fresh_cores}-core runner)")
+            continue
+        if op not in base_metrics:
+            print(f"{op}: no baseline metric, passing (first run)")
+            continue
+        if op not in fresh_metrics:
+            print(f"{op}: MISSING from fresh metrics")
+            failed = True
+            continue
+        factor = fresh_metrics[op] / base_metrics[op]
+        regressed = factor > max_factor
+        status = "REGRESSED" if regressed else "OK"
+        print(f"{op}: {base_metrics[op]:.3f} -> {fresh_metrics[op]:.3f} ({factor:.2f}x; limit {max_factor:.2f}x) {status}")
         if regressed:
             failed = True
     sys.exit(1 if failed else 0)

@@ -4,12 +4,13 @@
 
 use costream::optimizer::PlacementOptimizer;
 use costream::prelude::*;
+use costream::test_fixtures;
 use costream_dsps::simulate;
 use costream_query::generator::WorkloadGenerator;
 use costream_query::selectivity::SelectivityEstimator;
 
 fn small_corpus(seed: u64, n: usize) -> Corpus {
-    Corpus::generate(n, seed, FeatureRanges::training(), &SimConfig::default())
+    test_fixtures::corpus(n, seed)
 }
 
 #[test]
@@ -17,13 +18,8 @@ fn full_pipeline_trains_and_optimizes() {
     let corpus = small_corpus(1, 250);
     let (train, _val, test) = corpus.split(0);
 
-    let cfg = TrainConfig {
-        epochs: 30,
-        ..Default::default()
-    };
-    let lp = Ensemble::train(&train, CostMetric::ProcessingLatency, &cfg, 2);
-    let success = Ensemble::train(&train, CostMetric::Success, &cfg, 2);
-    let bp = Ensemble::train(&train, CostMetric::Backpressure, &cfg, 2);
+    let fx = test_fixtures::trio(&train, 30, 2);
+    let (lp, success, bp) = (fx.target, fx.success, fx.backpressure);
 
     // Prediction quality is sane on the held-out split.
     let items = test.successful();
@@ -68,18 +64,13 @@ fn optimizer_beats_or_matches_heuristic_on_average() {
     // placement (predicted milliseconds, simulated seconds) dominates the
     // geometric mean.
     let corpus = small_corpus(3, 900);
-    let cfg = TrainConfig {
-        epochs: 50,
-        ..Default::default()
-    };
     // Three members, not two: with k=2 a single over-optimistic member
     // ties the success vote at the 0.5 filter threshold and one unlucky
     // candidate pick (a placement that fails in simulation) can dominate
     // the geometric mean. The zero-clone training path made members ~2x
     // cheaper, so the third member fits the seed's wall-clock budget.
-    let lp = Ensemble::train(&corpus, CostMetric::ProcessingLatency, &cfg, 3);
-    let success = Ensemble::train(&corpus, CostMetric::Success, &cfg, 3);
-    let bp = Ensemble::train(&corpus, CostMetric::Backpressure, &cfg, 3);
+    let fx = test_fixtures::trio(&corpus, 50, 3);
+    let (lp, success, bp) = (fx.target, fx.success, fx.backpressure);
     let optimizer = PlacementOptimizer::new(&lp, &success, &bp, 10);
 
     let mut wg = WorkloadGenerator::new(11, FeatureRanges::training());

@@ -9,7 +9,7 @@
 //! move), which is the "monitoring overhead" the paper reports against
 //! Costream's immediate, model-chosen initial placement.
 
-use costream_dsps::{simulate, ExecutionProfile, SimConfig};
+use costream_dsps::{simulate_with_drift, DriftScenario, ExecutionProfile, SimConfig};
 use costream_query::hardware::Cluster;
 use costream_query::operators::Query;
 use costream_query::placement::{sample_valid, Placement};
@@ -89,6 +89,24 @@ pub fn run_monitoring(
     cfg: &MonitoringConfig,
     seed: u64,
 ) -> MonitoringRun {
+    run_monitoring_under_drift(query, cluster, sim, cfg, seed, &DriftScenario::none())
+}
+
+/// Runs the online monitoring scheduler while a [`DriftScenario`]
+/// perturbs the world: each observation round simulates the scenario's
+/// window starting at the round's wall-clock offset (observation and
+/// migration time included), so the reactive baseline experiences the
+/// same drifting world as the model-driven adaptive controller it is
+/// compared against. With the empty scenario this is exactly
+/// [`run_monitoring`] — bitwise, trajectory for trajectory.
+pub fn run_monitoring_under_drift(
+    query: &Query,
+    cluster: &Cluster,
+    sim: &SimConfig,
+    cfg: &MonitoringConfig,
+    seed: u64,
+    scenario: &DriftScenario,
+) -> MonitoringRun {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut placement = sample_valid(query, cluster, &mut rng)
         .unwrap_or_else(|| costream_query::placement::colocate_on_strongest(query, cluster));
@@ -99,11 +117,12 @@ pub fn run_monitoring(
     let mut last_latency = f64::INFINITY;
 
     for round in 0..=cfg.max_rounds {
-        let result = simulate(
+        let result = simulate_with_drift(
             query,
             cluster,
             &placement,
             &sim.with_seed(seed.wrapping_add(round as u64)),
+            &scenario.shifted(elapsed),
         );
         let latency = if result.metrics.success {
             result.metrics.processing_latency_ms
@@ -229,6 +248,59 @@ mod tests {
             let run = run_monitoring(&q, &c, &SimConfig::deterministic(), &MonitoringConfig::default(), seed);
             assert!(run.best_latency_ms() <= run.trajectory[0].processing_latency_ms + 1e-9);
         }
+    }
+
+    #[test]
+    fn empty_scenario_is_bitwise_plain_monitoring() {
+        let mut g = WorkloadGenerator::new(7, FeatureRanges::training());
+        let q = g.query();
+        let c = g.cluster(4);
+        let plain = run_monitoring(&q, &c, &SimConfig::deterministic(), &MonitoringConfig::default(), 5);
+        let drifted = run_monitoring_under_drift(
+            &q,
+            &c,
+            &SimConfig::deterministic(),
+            &MonitoringConfig::default(),
+            5,
+            &costream_dsps::DriftScenario::none(),
+        );
+        assert_eq!(plain.trajectory.len(), drifted.trajectory.len());
+        for (a, b) in plain.trajectory.iter().zip(&drifted.trajectory) {
+            assert_eq!(a.elapsed_s.to_bits(), b.elapsed_s.to_bits());
+            assert_eq!(a.processing_latency_ms.to_bits(), b.processing_latency_ms.to_bits());
+        }
+        assert_eq!(plain.final_placement, drifted.final_placement);
+    }
+
+    #[test]
+    fn drift_changes_the_observed_trajectory() {
+        use costream_dsps::DriftEvent;
+        let mut g = WorkloadGenerator::new(9, FeatureRanges::training());
+        let q = g.query();
+        let c = g.cluster(4);
+        let plain = run_monitoring(&q, &c, &SimConfig::deterministic(), &MonitoringConfig::default(), 3);
+        // Slow every host to 10% from t=0: whatever the scheduler does,
+        // its observations cannot match the undrifted run.
+        let events = (0..c.len())
+            .map(|host| DriftEvent::HostSlowdown {
+                host,
+                at_s: 0.0,
+                factor: 0.1,
+            })
+            .collect();
+        let drifted = run_monitoring_under_drift(
+            &q,
+            &c,
+            &SimConfig::deterministic(),
+            &MonitoringConfig::default(),
+            3,
+            &costream_dsps::DriftScenario::new(events),
+        );
+        assert_ne!(
+            plain.trajectory[0].processing_latency_ms.to_bits(),
+            drifted.trajectory[0].processing_latency_ms.to_bits(),
+            "a 10x slowdown must be visible to the monitoring loop"
+        );
     }
 
     #[test]

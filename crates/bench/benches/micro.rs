@@ -567,9 +567,88 @@ fn bench_joint_placement(c: &mut Criterion) {
     );
 }
 
+/// Replays a drift scenario through the runtime elasticity loop: the
+/// adaptive controller (detect → re-plan → migrate) against the
+/// deploy-once static baseline, on the same drifting world. The gated
+/// metric is the adaptive run's total cost (observed + migration, ms) —
+/// a regression means the loop stopped recovering from drift.
+fn bench_replay_drift(c: &mut Criterion) {
+    use costream::adaptive::{run_adaptive, run_static, AdaptiveConfig, AdaptiveProblem};
+    use costream::joint::MigrationCostModel;
+    use costream::test_fixtures;
+    use costream_dsps::{DriftEvent, DriftScenario};
+    use costream_query::joint::JointPlacement;
+    use costream_query::placement::Placement;
+
+    let corpus = test_fixtures::corpus(48, 21);
+    let fx = test_fixtures::trio(&corpus, 2, 2);
+    let scorer = fx.scorer();
+    let (queries, cluster, sels) = test_fixtures::multi_query_workload(205, 2, 5);
+    // Deploy each query co-located on its own mid-tier host (healthy at
+    // deploy time), then lose query 0's host seventy seconds in.
+    let mut ranked: Vec<usize> = (0..cluster.len()).collect();
+    ranked.sort_by(|&a, &b| {
+        cluster
+            .host(b)
+            .capability_score()
+            .total_cmp(&cluster.host(a).capability_score())
+            .then(a.cmp(&b))
+    });
+    let initial = JointPlacement::new(
+        cluster.len(),
+        vec![
+            Placement::new(vec![ranked[1]; queries[0].len()]),
+            Placement::new(vec![ranked[2]; queries[1].len()]),
+        ],
+    );
+    let scenario = DriftScenario::new(vec![DriftEvent::HostLoss {
+        host: ranked[1],
+        at_s: 70.0,
+    }]);
+    let problem = AdaptiveProblem {
+        queries: &queries,
+        est_sels: &sels,
+        cluster: &cluster,
+        featurization: Featurization::Full,
+    };
+    let mut cfg = AdaptiveConfig::default();
+    cfg.replan.budget = 16;
+    cfg.replan.sample_size = 6;
+    cfg.replan.migration = MigrationCostModel {
+        pause_ms_per_op: 50.0,
+        per_op_overhead_bytes: 256.0 * 1024.0,
+    };
+
+    c.bench_function("replay_drift", |b| {
+        b.iter(|| run_adaptive(&problem, &scorer, initial.clone(), &scenario, &cfg, 11))
+    });
+
+    let adaptive = run_adaptive(&problem, &scorer, initial.clone(), &scenario, &cfg, 11);
+    let fixed = run_static(&problem, &scorer, initial.clone(), &scenario, &cfg, 11);
+    criterion::register_metric(
+        "replay_drift_adaptive_total_cost",
+        adaptive.total_cost_ms(),
+        "observed_ms_total",
+    );
+    criterion::register_metric(
+        "replay_drift_static_total_cost",
+        fixed.total_cost_ms(),
+        "observed_ms_total",
+    );
+    eprintln!(
+        "  drift replay (host loss): adaptive {:.0} ms total ({} firing(s), {} migration(s), {:.0} ms migration cost) vs static {:.0} ms ({:.1}% better)",
+        adaptive.total_cost_ms(),
+        adaptive.n_firings,
+        adaptive.n_migrations,
+        adaptive.total_migration_ms(),
+        fixed.total_cost_ms(),
+        100.0 * (1.0 - adaptive.total_cost_ms() / fixed.total_cost_ms())
+    );
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_matmul_kernels, bench_graph_primitives, bench_training_path, bench_simulator, bench_featurize, bench_inference, bench_ensemble_train, bench_gbdt, bench_enumeration, bench_optimizer_search, bench_joint_placement, bench_serving
+    targets = bench_matmul_kernels, bench_graph_primitives, bench_training_path, bench_simulator, bench_featurize, bench_inference, bench_ensemble_train, bench_gbdt, bench_enumeration, bench_optimizer_search, bench_joint_placement, bench_serving, bench_replay_drift
 }
 criterion_main!(benches);

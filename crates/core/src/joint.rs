@@ -44,10 +44,10 @@
 use crate::graph::{Featurization, GraphTemplate, JointGraph};
 use crate::search::ranking;
 use crate::search::{BeamSearch, LocalSearch, PlacementScores, RandomEnumeration, Scorer, SimulatedAnnealing};
-use costream_dsps::CostMetric;
+use costream_dsps::{CostMetric, ExecutionProfile};
 use costream_query::features::host_features;
 use costream_query::hardware::{Cluster, Host, HostId};
-use costream_query::joint::{JointNeighborhood, JointPlacement};
+use costream_query::joint::{JointMove, JointNeighborhood, JointPlacement};
 use costream_query::operators::Query;
 use costream_query::placement::{colocate_on_strongest, sample_valid, Placement};
 use rand::rngs::StdRng;
@@ -751,6 +751,407 @@ impl JointPlacementSearch for SimulatedAnnealing {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Migration-aware re-placement (the runtime elasticity loop's search step)
+// ---------------------------------------------------------------------------
+
+/// The cluster query `q` *effectively* runs on under joint placement
+/// `jp`: hosts shared with co-resident queries are degraded to the
+/// query's proportional share of CPU, RAM and bandwidth — the same
+/// contention model [`JointScorer`] prices candidates with. The adaptive
+/// controller simulates each query of a joint placement on this view, so
+/// simulated truth and model predictions disagree only where the model
+/// mispredicts, not because they assumed different hardware.
+pub fn effective_cluster(cluster: &Cluster, jp: &JointPlacement, q: usize) -> Cluster {
+    let occupancy = jp.occupancy();
+    let mut hosts: Vec<Host> = cluster.hosts().to_vec();
+    for h in jp.query(q).hosts_used() {
+        let own = jp.own_load(q, h);
+        let external = occupancy[h] - own;
+        if external > 0 {
+            hosts[h] = contended_host(cluster.host(h), own, external);
+        }
+    }
+    Cluster::new(hosts)
+}
+
+/// Models what moving operators between hosts costs at runtime: each
+/// moved operator pauses its subgraph for a fixed window plus the time
+/// to ship its state (windowed tuples, from the simulator's
+/// [`ExecutionProfile`], plus a fixed runtime-image overhead) over the
+/// bottleneck link between old and new host. Units are milliseconds so
+/// the cost composes with the latency-shaped steady-state objective.
+#[derive(Clone, Copy, Debug)]
+pub struct MigrationCostModel {
+    /// Fixed pause per moved operator (checkpoint + redeploy + catch-up
+    /// stall), in milliseconds.
+    pub pause_ms_per_op: f64,
+    /// State shipped per moved operator beyond window state: serialized
+    /// operator image, connection re-establishment, in-flight buffers.
+    pub per_op_overhead_bytes: f64,
+}
+
+impl Default for MigrationCostModel {
+    fn default() -> Self {
+        MigrationCostModel {
+            pause_ms_per_op: 250.0,
+            per_op_overhead_bytes: 2.0 * 1024.0 * 1024.0,
+        }
+    }
+}
+
+impl MigrationCostModel {
+    /// Total modeled migration cost (ms) of switching the running system
+    /// from joint placement `from` to `to`. Unmoved operators are free;
+    /// a moved operator pays the fixed pause plus its state over the
+    /// `from`→`to` host link. Link bandwidth of a *dead* source host is
+    /// still used — state is recovered from the checkpoint store over
+    /// the same links, which this model prices identically.
+    pub fn cost_ms(&self, queries: &[&Query], cluster: &Cluster, from: &JointPlacement, to: &JointPlacement) -> f64 {
+        assert_eq!(from.len(), queries.len());
+        assert_eq!(to.len(), queries.len());
+        let mut total = 0.0;
+        for (q, query) in queries.iter().enumerate() {
+            let profile = ExecutionProfile::of(query);
+            let (fp, tp) = (from.query(q), to.query(q));
+            for op in 0..query.len() {
+                let (a, b) = (fp.host_of(op), tp.host_of(op));
+                if a == b {
+                    continue;
+                }
+                let bytes = profile.state_bytes(op) + self.per_op_overhead_bytes;
+                let bytes_per_s = (cluster.link_bandwidth_mbits(a, b) * 1e6 / 8.0).max(1.0);
+                total += self.pause_ms_per_op + 1000.0 * bytes / bytes_per_s;
+            }
+        }
+        total
+    }
+}
+
+/// Knobs of the migration-aware re-placement search.
+#[derive(Clone, Copy, Debug)]
+pub struct ReplanConfig {
+    /// Prices candidate migrations against steady-state gains.
+    pub migration: MigrationCostModel,
+    /// Joint candidates scored per replan call.
+    pub budget: usize,
+    /// Neighbors scored per hill-climbing round.
+    pub sample_size: usize,
+}
+
+impl Default for ReplanConfig {
+    fn default() -> Self {
+        ReplanConfig {
+            migration: MigrationCostModel::default(),
+            budget: 24,
+            sample_size: 8,
+        }
+    }
+}
+
+/// What a replan decided, and the evidence behind it.
+#[derive(Clone, Debug)]
+pub struct ReplanOutcome {
+    /// The chosen joint placement (the incumbent itself when staying put
+    /// wins).
+    pub plan: JointPlacement,
+    /// Whether the chosen plan moves any operator off the incumbent.
+    pub migrated: bool,
+    /// Whether the incumbent had operators on dead hosts and had to be
+    /// repaired before scoring.
+    pub repaired: bool,
+    /// Predicted steady-state cost of the chosen plan (sum of per-query
+    /// target-metric predictions; sign as-is, not the internal key).
+    pub steady_cost: f64,
+    /// Every chosen query predicted viable (Fig. 4) under the plan.
+    pub viable: bool,
+    /// Modeled one-time cost of moving from the incumbent to the plan.
+    pub migration_cost_ms: f64,
+    /// Predicted steady-state cost of the (repaired) incumbent — the
+    /// do-nothing baseline the plan had to beat.
+    pub incumbent_steady_cost: f64,
+    /// Whether that baseline was itself predicted viable.
+    pub incumbent_viable: bool,
+}
+
+/// Migration-aware joint re-placement: searches for a new joint
+/// placement whose objective is the predicted steady-state cost **plus**
+/// the modeled one-time migration cost from the running `incumbent`,
+/// with `dead_hosts` hard-excluded from the candidate space.
+///
+/// The search is warm-started from the incumbent: the (dead-host-
+/// repaired) incumbent is the first candidate scored, then a
+/// hill-climb walks the incremental [`JointNeighborhood`] from the best
+/// known candidate, with seeded random restarts when no sampled
+/// neighbor improves. Because the incumbent pays zero migration cost
+/// and the best candidate *ever scored* is returned, the outcome is
+/// never worse than staying put on the (viability, steady + migration)
+/// ranking — the never-worse contract the adaptive controller relies
+/// on. With dead hosts, "staying put" is impossible; the repaired
+/// incumbent (dead-hosted operators bumped to the strongest live host)
+/// plays the baseline role instead.
+///
+/// Deterministic for a given `(problem, incumbent, dead_hosts, seed)`.
+///
+/// # Panics
+/// Panics when every host is dead, or the incumbent's query count does
+/// not match the problem.
+pub fn replan(
+    problem: &JointSearchProblem<'_>,
+    scorer: &dyn Scorer,
+    incumbent: &JointPlacement,
+    dead_hosts: &[HostId],
+    cfg: &ReplanConfig,
+    seed: u64,
+) -> ReplanOutcome {
+    assert_eq!(
+        incumbent.len(),
+        problem.queries.len(),
+        "incumbent/problem query count mismatch"
+    );
+    let dead: HashSet<HostId> = dead_hosts.iter().copied().collect();
+    assert!(
+        dead.len() < problem.cluster.len(),
+        "replan needs at least one live host"
+    );
+    let refs = problem.query_refs();
+    let jnb = JointNeighborhood::new(&refs, problem.cluster);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x8E9A_11D7_5C3B_F021);
+
+    let (start, repaired) = repair_joint(problem, incumbent, &dead);
+
+    let mut ev = ReplanEvaluator {
+        scorer: JointScorer::new(problem, scorer),
+        migration: cfg.migration,
+        refs: refs.clone(),
+        incumbent,
+        budget: cfg.budget.max(1),
+        seen: HashSet::new(),
+        evaluated: Vec::new(),
+        migration_ms: Vec::new(),
+    };
+
+    // The do-nothing (or forced-repair) baseline is always scored first;
+    // best-ever-scored selection below makes it the floor.
+    let mut current = ev.score(vec![start])[0];
+    let mut best = current;
+    let mut restarts = 0u64;
+    while ev.remaining() > 0 {
+        let jp = ev.evaluated[current].placement.clone();
+        let states = jnb.visit_states(&jp);
+        let mut moves: Vec<JointMove> = jnb
+            .neighbors(&jp, &states)
+            .into_iter()
+            .filter(|mv| match *mv {
+                // The base placement never occupies a dead host (the
+                // start is repaired and relocations below never target
+                // one), so swaps only exchange live hosts.
+                JointMove::Relocate { to, .. } => !dead.contains(&to),
+                JointMove::Swap { .. } => true,
+            })
+            .collect();
+        moves.shuffle(&mut rng);
+        let candidates: Vec<JointPlacement> = moves
+            .into_iter()
+            .take(cfg.sample_size.max(1))
+            .map(|mv| jp.apply(mv))
+            .collect();
+        let scored = ev.score(candidates);
+        match ev.best_in(&scored) {
+            Some(i) if ev.better(i, current) => {
+                current = i;
+                if ev.better(current, best) {
+                    best = current;
+                }
+            }
+            _ => {
+                // Local optimum (or neighborhood exhausted): restart
+                // from a fresh live-host sample.
+                restarts += 1;
+                let Some(np) = fresh_live_sample(problem, &ev, &dead, seed, restarts) else {
+                    break;
+                };
+                let scored = ev.score(vec![np]);
+                let Some(idx) = scored.first().copied() else {
+                    break;
+                };
+                current = idx;
+                if ev.better(current, best) {
+                    best = current;
+                }
+            }
+        }
+    }
+
+    let chosen = &ev.evaluated[best];
+    ReplanOutcome {
+        plan: chosen.placement.clone(),
+        migrated: chosen.placement.flattened() != incumbent.flattened(),
+        repaired,
+        steady_cost: chosen.total_cost(),
+        viable: chosen.all_viable(),
+        migration_cost_ms: ev.migration_ms[best],
+        incumbent_steady_cost: ev.evaluated[0].total_cost(),
+        incumbent_viable: ev.evaluated[0].all_viable(),
+    }
+}
+
+/// Replan bookkeeping: like [`JointEvaluator`], but the ranking key adds
+/// each candidate's modeled migration cost from the *original* incumbent
+/// (not the repaired baseline — the system migrates from what is
+/// actually running).
+struct ReplanEvaluator<'a> {
+    scorer: JointScorer<'a>,
+    migration: MigrationCostModel,
+    refs: Vec<&'a Query>,
+    incumbent: &'a JointPlacement,
+    budget: usize,
+    seen: HashSet<Vec<HostId>>,
+    evaluated: Vec<JointCandidateEvaluation>,
+    migration_ms: Vec<f64>,
+}
+
+impl ReplanEvaluator<'_> {
+    fn remaining(&self) -> usize {
+        self.budget - self.evaluated.len()
+    }
+
+    fn is_seen(&self, jp: &JointPlacement) -> bool {
+        self.seen.contains(&jp.flattened())
+    }
+
+    fn score(&mut self, candidates: Vec<JointPlacement>) -> Vec<usize> {
+        let mut fresh: Vec<JointPlacement> = Vec::new();
+        for jp in candidates {
+            if fresh.len() >= self.remaining() {
+                break;
+            }
+            let key = jp.flattened();
+            if self.seen.contains(&key) {
+                continue;
+            }
+            self.seen.insert(key);
+            fresh.push(jp);
+        }
+        if fresh.is_empty() {
+            return Vec::new();
+        }
+        let start = self.evaluated.len();
+        for jp in &fresh {
+            self.migration_ms.push(
+                self.migration
+                    .cost_ms(&self.refs, self.scorer.cluster, self.incumbent, jp),
+            );
+        }
+        self.evaluated.extend(self.scorer.evaluate(&fresh));
+        (start..self.evaluated.len()).collect()
+    }
+
+    /// The replan objective: signed steady-state cost plus migration
+    /// cost. Both are latency-shaped milliseconds for the default
+    /// metric; for a maximized metric (throughput) the migration term
+    /// acts as a switching penalty in the same signed space.
+    fn key(&self, i: usize) -> f64 {
+        let total = self.evaluated[i].total_cost();
+        let signed = if self.scorer.maximize { -total } else { total };
+        signed + self.migration_ms[i]
+    }
+
+    fn better(&self, a: usize, b: usize) -> bool {
+        ranking::better(
+            self.evaluated[a].all_viable(),
+            self.key(a),
+            self.evaluated[b].all_viable(),
+            self.key(b),
+        )
+    }
+
+    fn best_in(&self, indices: &[usize]) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for &i in indices {
+            best = match best {
+                None => Some(i),
+                Some(b) if self.better(i, b) => Some(i),
+                keep => keep,
+            };
+        }
+        best
+    }
+}
+
+/// Moves the incumbent off dead hosts with as little churn as possible:
+/// dead-hosted operators go to the strongest live host; when that edit
+/// breaks a Fig. 5 rule, the whole query falls back to co-location on
+/// the strongest live host (always valid). Queries untouched by the
+/// failures keep their placement bit-for-bit.
+fn repair_joint(
+    problem: &JointSearchProblem<'_>,
+    incumbent: &JointPlacement,
+    dead: &HashSet<HostId>,
+) -> (JointPlacement, bool) {
+    if dead.is_empty() {
+        return (incumbent.clone(), false);
+    }
+    let strongest_live = (0..problem.cluster.len())
+        .filter(|h| !dead.contains(h))
+        .max_by(|&a, &b| {
+            let (sa, sb) = (
+                problem.cluster.host(a).capability_score(),
+                problem.cluster.host(b).capability_score(),
+            );
+            sa.total_cmp(&sb).then(b.cmp(&a))
+        })
+        .expect("at least one live host");
+    let mut touched = false;
+    let placements: Vec<Placement> = problem
+        .queries
+        .iter()
+        .enumerate()
+        .map(|(q, jq)| {
+            let p = incumbent.query(q);
+            if !p.assignment().iter().any(|h| dead.contains(h)) {
+                return p.clone();
+            }
+            touched = true;
+            let minimal = Placement::new(
+                p.assignment()
+                    .iter()
+                    .map(|&h| if dead.contains(&h) { strongest_live } else { h })
+                    .collect(),
+            );
+            if minimal.is_valid(jq.query, problem.cluster) {
+                minimal
+            } else {
+                Placement::new(vec![strongest_live; jq.query.len()])
+            }
+        })
+        .collect();
+    (JointPlacement::new(problem.cluster.len(), placements), touched)
+}
+
+/// Draws up to one fresh (unseen) joint placement that touches no dead
+/// host, for replan restarts.
+fn fresh_live_sample(
+    problem: &JointSearchProblem<'_>,
+    ev: &ReplanEvaluator<'_>,
+    dead: &HashSet<HostId>,
+    seed: u64,
+    round: u64,
+) -> Option<JointPlacement> {
+    for attempt in 0..32u64 {
+        let s = seed
+            ^ round.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ attempt.wrapping_mul(0xD1B5_4A32_D192_ED03).wrapping_add(1);
+        let mut rng = StdRng::seed_from_u64(s);
+        if let Some(jp) = sample_joint(problem, &mut rng) {
+            if jp.flattened().iter().all(|h| !dead.contains(h)) && !ev.is_seen(&jp) {
+                return Some(jp);
+            }
+        }
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -924,5 +1325,140 @@ mod tests {
         } else {
             assert!(best.all_viable());
         }
+    }
+
+    #[test]
+    fn migration_cost_is_zero_iff_nothing_moves() {
+        let (queries, cluster, _) = problem_fixture(101);
+        let refs: Vec<&Query> = queries.iter().collect();
+        let a = JointPlacement::new(
+            cluster.len(),
+            vec![
+                Placement::new(vec![0; queries[0].len()]),
+                Placement::new(vec![1; queries[1].len()]),
+            ],
+        );
+        let model = MigrationCostModel::default();
+        assert_eq!(model.cost_ms(&refs, &cluster, &a, &a), 0.0);
+
+        // Move one operator of query 0: exactly one pause plus one
+        // transfer is charged.
+        let mut moved_one = a.placements().to_vec();
+        let mut asg = moved_one[0].assignment().to_vec();
+        asg[0] = 2;
+        moved_one[0] = Placement::new(asg);
+        let b = JointPlacement::new(cluster.len(), moved_one);
+        let one = model.cost_ms(&refs, &cluster, &a, &b);
+        assert!(one > model.pause_ms_per_op, "pause plus transfer, got {one}");
+
+        // Moving a second operator strictly adds cost.
+        let mut moved_two = b.placements().to_vec();
+        let mut asg = moved_two[1].assignment().to_vec();
+        asg[0] = 2;
+        moved_two[1] = Placement::new(asg);
+        let c = JointPlacement::new(cluster.len(), moved_two);
+        assert!(model.cost_ms(&refs, &cluster, &a, &c) > one);
+    }
+
+    #[test]
+    fn replan_is_never_worse_than_staying_put() {
+        let corpus = test_fixtures::corpus(60, 98);
+        let fx = test_fixtures::trio(&corpus, 3, 2);
+        let scorer = fx.scorer();
+        for seed in [11u64, 12, 13] {
+            let (queries, cluster, sels) = problem_fixture(seed);
+            let jqs = JointQuery::zip(&queries, &sels);
+            let problem = JointSearchProblem {
+                queries: &jqs,
+                cluster: &cluster,
+                featurization: Featurization::Full,
+            };
+            let incumbent = LocalSearch::default().search_joint(&problem, &scorer, 10, seed).best;
+            let outcome = replan(&problem, &scorer, &incumbent, &[], &ReplanConfig::default(), seed);
+            assert!(!outcome.repaired, "no dead hosts, nothing to repair");
+            if outcome.migrated {
+                // A migration must pay for itself on the ranking: either
+                // it restores viability, or it wins on steady cost even
+                // after the one-time migration charge.
+                if outcome.incumbent_viable {
+                    assert!(outcome.viable);
+                    assert!(
+                        outcome.steady_cost + outcome.migration_cost_ms <= outcome.incumbent_steady_cost,
+                        "migrated into a worse plan: {} + {} vs {}",
+                        outcome.steady_cost,
+                        outcome.migration_cost_ms,
+                        outcome.incumbent_steady_cost
+                    );
+                }
+            } else {
+                assert_eq!(outcome.migration_cost_ms, 0.0);
+                assert_eq!(outcome.plan.flattened(), incumbent.flattened());
+                assert_eq!(outcome.steady_cost, outcome.incumbent_steady_cost);
+            }
+        }
+    }
+
+    #[test]
+    fn replan_hard_excludes_dead_hosts_and_is_deterministic() {
+        let corpus = test_fixtures::corpus(60, 99);
+        let fx = test_fixtures::trio(&corpus, 3, 2);
+        let scorer = fx.scorer();
+        let (queries, cluster, sels) = problem_fixture(103);
+        let jqs = JointQuery::zip(&queries, &sels);
+        let problem = JointSearchProblem {
+            queries: &jqs,
+            cluster: &cluster,
+            featurization: Featurization::Full,
+        };
+        let incumbent = LocalSearch::default().search_joint(&problem, &scorer, 10, 5).best;
+        // Kill the incumbent's most-loaded host: the repair path and the
+        // exclusion filter both have to act.
+        let dead = (0..cluster.len())
+            .max_by_key(|&h| incumbent.occupancy()[h])
+            .expect("non-empty cluster");
+        assert!(incumbent.occupancy()[dead] > 0, "fixture must actually occupy the host");
+        let outcome = replan(&problem, &scorer, &incumbent, &[dead], &ReplanConfig::default(), 5);
+        assert!(outcome.repaired);
+        assert!(outcome.migrated, "operators on a dead host must move");
+        assert!(
+            outcome.plan.flattened().iter().all(|&h| h != dead),
+            "replan placed an operator on the dead host"
+        );
+        assert!(outcome.migration_cost_ms > 0.0);
+        let again = replan(&problem, &scorer, &incumbent, &[dead], &ReplanConfig::default(), 5);
+        assert_eq!(outcome.plan.flattened(), again.plan.flattened());
+        assert_eq!(outcome.steady_cost.to_bits(), again.steady_cost.to_bits());
+        assert_eq!(outcome.migration_cost_ms.to_bits(), again.migration_cost_ms.to_bits());
+    }
+
+    #[test]
+    fn repair_keeps_untouched_queries_bit_for_bit() {
+        let (queries, cluster, sels) = problem_fixture(105);
+        let jqs = JointQuery::zip(&queries, &sels);
+        let problem = JointSearchProblem {
+            queries: &jqs,
+            cluster: &cluster,
+            featurization: Featurization::Full,
+        };
+        // Query 0 entirely on host 0, query 1 entirely on host 1; host 1
+        // dies — query 0's placement must survive unchanged.
+        let incumbent = JointPlacement::new(
+            cluster.len(),
+            vec![
+                Placement::new(vec![0; queries[0].len()]),
+                Placement::new(vec![1; queries[1].len()]),
+            ],
+        );
+        let dead: HashSet<HostId> = [1usize].into_iter().collect();
+        let (repaired, touched) = repair_joint(&problem, &incumbent, &dead);
+        assert!(touched);
+        assert_eq!(repaired.query(0).assignment(), incumbent.query(0).assignment());
+        assert!(repaired.query(1).assignment().iter().all(|&h| h != 1));
+        let refs = problem.query_refs();
+        assert!(repaired.is_valid(&refs, &cluster));
+        // No dead hosts: the repair is the identity.
+        let (same, untouched) = repair_joint(&problem, &incumbent, &HashSet::new());
+        assert!(!untouched);
+        assert_eq!(same.flattened(), incumbent.flattened());
     }
 }

@@ -52,6 +52,7 @@
 
 #![warn(missing_docs)]
 
+pub mod adaptive;
 pub mod dataset;
 pub mod ensemble;
 pub mod graph;
@@ -69,12 +70,15 @@ pub mod train;
 
 /// Convenience re-exports for typical usage.
 pub mod prelude {
+    pub use crate::adaptive::{
+        run_adaptive, run_static, AdaptiveConfig, AdaptiveProblem, AdaptiveRun, EpochRecord, MispredictionDetector,
+    };
     pub use crate::dataset::{Corpus, CorpusItem};
     pub use crate::ensemble::Ensemble;
     pub use crate::graph::{Featurization, GraphTemplate, JointGraph};
     pub use crate::joint::{
-        JointCandidateEvaluation, JointOptimizationResult, JointPlacementSearch, JointQuery, JointScorer,
-        JointSearchProblem,
+        effective_cluster, replan, JointCandidateEvaluation, JointOptimizationResult, JointPlacementSearch, JointQuery,
+        JointScorer, JointSearchProblem, MigrationCostModel, ReplanConfig, ReplanOutcome,
     };
     pub use crate::model::{GnnModel, ModelConfig, Scheme};
     pub use crate::optimizer::{enumerate_candidates, OptimizationResult, PlacementOptimizer};

@@ -1,0 +1,201 @@
+//! Acceptance suite for the runtime elasticity loop: under injected
+//! drift the adaptive controller (detect → re-plan → migrate) must beat
+//! the deploy-once static baseline on total cost *including* its
+//! migration charges, and under no drift it must do exactly nothing.
+
+use costream::adaptive::{run_adaptive, run_static, AdaptiveConfig, AdaptiveProblem};
+use costream::graph::Featurization;
+use costream::joint::MigrationCostModel;
+use costream::test_fixtures;
+use costream_dsps::{DriftEvent, DriftScenario};
+use costream_query::joint::JointPlacement;
+use costream_query::placement::Placement;
+
+/// Controller knobs shared by every scenario: one-minute epochs over an
+/// eight-minute run; detection needs two consecutive bad epochs; light
+/// window state so the modeled migration cost does not drown the
+/// per-epoch gains the short fixture horizon can accumulate.
+fn controller_config() -> AdaptiveConfig {
+    let mut cfg = AdaptiveConfig::default();
+    cfg.replan.budget = 16;
+    cfg.replan.sample_size = 6;
+    cfg.replan.migration = MigrationCostModel {
+        pause_ms_per_op: 50.0,
+        per_op_overhead_bytes: 256.0 * 1024.0,
+    };
+    cfg
+}
+
+struct Scenario {
+    fx: test_fixtures::Trio,
+    queries: Vec<costream_query::operators::Query>,
+    cluster: costream_query::hardware::Cluster,
+    sels: Vec<Vec<f64>>,
+    initial: JointPlacement,
+    /// The host query 0 deployed on — the scenarios' victim.
+    deploy_host: usize,
+}
+
+/// Trains a small trio and pins a deterministic initial placement that
+/// is healthy under the *deploy-time* telemetry — each query co-located
+/// on its own mid-tier host, leaving the strongest host free. Drift
+/// then breaks exactly this arrangement, and the controller has
+/// somewhere better to go.
+fn scenario_fixture(corpus_seed: u64, workload_seed: u64) -> Scenario {
+    let corpus = test_fixtures::corpus(60, corpus_seed);
+    let fx = test_fixtures::trio(&corpus, 3, 2);
+    let (queries, cluster, sels) = test_fixtures::multi_query_workload(workload_seed, 2, 5);
+    // Hosts ranked strongest-first; queries deploy on ranks 1 and 2.
+    let mut ranked: Vec<usize> = (0..cluster.len()).collect();
+    ranked.sort_by(|&a, &b| {
+        cluster
+            .host(b)
+            .capability_score()
+            .total_cmp(&cluster.host(a).capability_score())
+            .then(a.cmp(&b))
+    });
+    let initial = JointPlacement::new(
+        cluster.len(),
+        vec![
+            Placement::new(vec![ranked[1]; queries[0].len()]),
+            Placement::new(vec![ranked[2]; queries[1].len()]),
+        ],
+    );
+    Scenario {
+        fx,
+        queries,
+        cluster,
+        sels,
+        initial,
+        deploy_host: ranked[1],
+    }
+}
+
+/// Runs both controllers on one scenario and returns (adaptive, static).
+fn run_pair(
+    s: &Scenario,
+    scenario: &DriftScenario,
+    seed: u64,
+) -> (costream::adaptive::AdaptiveRun, costream::adaptive::AdaptiveRun) {
+    let problem = AdaptiveProblem {
+        queries: &s.queries,
+        est_sels: &s.sels,
+        cluster: &s.cluster,
+        featurization: Featurization::Full,
+    };
+    let cfg = controller_config();
+    let scorer = s.fx.scorer();
+    let adaptive = run_adaptive(&problem, &scorer, s.initial.clone(), scenario, &cfg, seed);
+    let fixed = run_static(&problem, &scorer, s.initial.clone(), scenario, &cfg, seed);
+    (adaptive, fixed)
+}
+
+#[test]
+fn adaptive_beats_static_under_rate_ramp() {
+    let s = scenario_fixture(200, 201);
+    // Ingest ramps to 8x nominal on every source over epochs 1-2 (the
+    // generated queries' sources are low-indexed operators; factors on
+    // non-source indices are inert).
+    let events = (0..3)
+        .map(|src| DriftEvent::RateRamp {
+            source: src,
+            at_s: 90.0,
+            over_s: 60.0,
+            factor: 8.0,
+        })
+        .collect();
+    let (adaptive, fixed) = run_pair(&s, &DriftScenario::new(events), 7);
+    assert!(adaptive.n_firings >= 1, "the ramp must be detected");
+    assert!(adaptive.n_migrations >= 1, "detection must lead to a migration");
+    assert!(
+        adaptive.total_cost_ms() < fixed.total_cost_ms(),
+        "adaptive {} ms (incl. {} ms migration) vs static {} ms",
+        adaptive.total_cost_ms(),
+        adaptive.total_migration_ms(),
+        fixed.total_cost_ms()
+    );
+}
+
+#[test]
+fn adaptive_beats_static_under_host_slowdown() {
+    let s = scenario_fixture(202, 210);
+    let victim = s.deploy_host;
+    // The plan's main host throttles to 5% CPU early in epoch 1.
+    let scenario = DriftScenario::new(vec![DriftEvent::HostSlowdown {
+        host: victim,
+        at_s: 70.0,
+        factor: 0.05,
+    }]);
+    let (adaptive, fixed) = run_pair(&s, &scenario, 9);
+    assert!(adaptive.n_firings >= 1, "the slowdown must be detected");
+    assert!(adaptive.n_migrations >= 1, "detection must lead to a migration");
+    assert!(
+        adaptive.final_plan.occupancy()[victim] < s.initial.occupancy()[victim],
+        "the adaptive plan should shed load off the throttled host"
+    );
+    assert!(
+        adaptive.total_cost_ms() < fixed.total_cost_ms(),
+        "adaptive {} ms (incl. {} ms migration) vs static {} ms",
+        adaptive.total_cost_ms(),
+        adaptive.total_migration_ms(),
+        fixed.total_cost_ms()
+    );
+}
+
+#[test]
+fn adaptive_beats_static_under_host_loss() {
+    let s = scenario_fixture(204, 205);
+    let victim = s.deploy_host;
+    let scenario = DriftScenario::new(vec![DriftEvent::HostLoss {
+        host: victim,
+        at_s: 70.0,
+    }]);
+    let (adaptive, fixed) = run_pair(&s, &scenario, 11);
+    assert!(adaptive.n_firings >= 1, "the loss must be detected");
+    assert!(adaptive.n_migrations >= 1, "the dead host forces a migration");
+    assert_eq!(
+        adaptive.final_plan.occupancy()[victim],
+        0,
+        "nothing may remain on the lost host"
+    );
+    assert!(
+        adaptive.total_cost_ms() < fixed.total_cost_ms(),
+        "adaptive {} ms (incl. {} ms migration) vs static {} ms",
+        adaptive.total_cost_ms(),
+        adaptive.total_migration_ms(),
+        fixed.total_cost_ms()
+    );
+}
+
+#[test]
+fn no_drift_control_never_fires_or_migrates() {
+    let s = scenario_fixture(206, 207);
+    for seed in [1u64, 2, 3] {
+        let (adaptive, fixed) = run_pair(&s, &DriftScenario::none(), seed);
+        assert_eq!(adaptive.n_firings, 0, "seed {seed}: drift-free run fired the detector");
+        assert_eq!(adaptive.n_migrations, 0, "seed {seed}: drift-free run migrated");
+        assert_eq!(
+            adaptive.final_plan.flattened(),
+            s.initial.flattened(),
+            "seed {seed}: the plan must not change without drift"
+        );
+        // Without drift the controllers are the same loop observing the
+        // same world: their trajectories agree epoch for epoch.
+        assert_eq!(adaptive.epochs.len(), fixed.epochs.len());
+        for (a, f) in adaptive.epochs.iter().zip(&fixed.epochs) {
+            assert_eq!(
+                a.observed_cost_ms.to_bits(),
+                f.observed_cost_ms.to_bits(),
+                "seed {seed}"
+            );
+        }
+        // And every epoch observes the identical world: constant q-error.
+        for w in adaptive.epochs.windows(2) {
+            assert_eq!(
+                w[0].q.to_bits(),
+                w[1].q.to_bits(),
+                "seed {seed}: epochs must be identical"
+            );
+        }
+    }
+}

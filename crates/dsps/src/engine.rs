@@ -27,6 +27,7 @@
 
 use crate::config::SimConfig;
 use crate::cost::ExecutionProfile;
+use crate::drift::DriftScenario;
 use crate::memory;
 use crate::metrics::CostMetrics;
 use crate::trace::RunTrace;
@@ -99,6 +100,28 @@ fn water_fill(demands: &[f64], capacity: f64) -> Vec<f64> {
 /// violations of Fig. 5 are *not* rejected here — the simulator can execute
 /// any placement; the rules belong to the enumeration strategy.)
 pub fn simulate(query: &Query, cluster: &Cluster, placement: &Placement, config: &SimConfig) -> SimResult {
+    simulate_with_drift(query, cluster, placement, config, &DriftScenario::none())
+}
+
+/// Executes a placed query while a [`DriftScenario`] perturbs the world
+/// mid-run: source rates ramp, selectivities shift, hosts slow down or are
+/// lost outright. A lost host's operators stall (they process nothing from
+/// the loss onward) but the simulation keeps running and measuring —
+/// degraded, not panicking — so callers can observe the damage.
+///
+/// Under the empty scenario every drift factor is exactly `1.0` and every
+/// host stays alive, making this bitwise identical to [`simulate`]: the
+/// drift layer cannot move the golden training labels.
+///
+/// # Panics
+/// Panics if the placement does not match the query/cluster arity.
+pub fn simulate_with_drift(
+    query: &Query,
+    cluster: &Cluster,
+    placement: &Placement,
+    config: &SimConfig,
+    drift: &DriftScenario,
+) -> SimResult {
     assert_eq!(placement.assignment().len(), query.len(), "placement arity mismatch");
     let n = query.len();
     let profile = ExecutionProfile::of(query);
@@ -169,23 +192,40 @@ pub fn simulate(query: &Query, cluster: &Cluster, placement: &Placement, config:
     let mut le_sum = 0.0f64;
     let mut lat_samples = 0usize;
     let mut bp_rate_sum = 0.0f64;
+    let mut desired_dyn_sum = 0.0f64; // time-averaged offered rate under rate drift
     let mut measured_ticks = 0usize;
     let mut trace = RunTrace::new(n, cluster.len(), edges.len());
 
     let mut processed = vec![0.0f64; n];
     let mut arrivals = vec![0.0f64; n];
     let mut out_rate = vec![0.0f64; n];
+    let mut src_offered = vec![0.0f64; n]; // per-tick broker offer (sources)
 
     for tick in 0..ticks {
         let measuring = tick >= warmup_ticks;
+        let t = tick as f64 * dt;
+        let host_alive: Vec<bool> = (0..cluster.len()).map(|h| drift.host_alive(h, t)).collect();
 
-        // Service rate bound per operator for this tick.
+        // Service rate bound per operator for this tick. Operators on a
+        // lost host stall: they serve nothing, accept nothing.
         let mu: Vec<f64> = (0..n)
-            .map(|i| alloc[i].max(1e-9) * 1000.0 / (cost_ms[i] * gc[host_of[i]]).max(1e-9))
+            .map(|i| {
+                if !host_alive[host_of[i]] {
+                    0.0
+                } else {
+                    alloc[i].max(1e-9) * 1000.0 / (cost_ms[i] * gc[host_of[i]]).max(1e-9)
+                }
+            })
             .collect();
         // Credits: how many tuples/s each operator can accept this tick.
         let mut credit: Vec<f64> = (0..n)
-            .map(|i| mu[i] + (config.queue_capacity - queue[i]).max(0.0) / dt)
+            .map(|i| {
+                if !host_alive[host_of[i]] {
+                    0.0
+                } else {
+                    mu[i] + (config.queue_capacity - queue[i]).max(0.0) / dt
+                }
+            })
             .collect();
         // Per-host egress byte budget for this tick (bytes/s).
         let mut egress_budget: Vec<f64> = cluster.hosts().iter().map(|h| h.bandwidth_mbits * 1e6 / 8.0).collect();
@@ -200,8 +240,11 @@ pub fn simulate(query: &Query, cluster: &Cluster, placement: &Placement, config:
             let offered = match query.op(i) {
                 OpKind::Source(s) => {
                     let jitter = 1.0 + 0.05 * (tick as f64 * 0.7 + i as f64).sin();
-                    let desired = s.event_rate * if config.cost_noise_sigma > 0.0 { jitter } else { 1.0 };
-                    desired + broker_backlog[i] / dt
+                    let desired = s.event_rate
+                        * drift.rate_factor(i, t)
+                        * if config.cost_noise_sigma > 0.0 { jitter } else { 1.0 };
+                    src_offered[i] = desired + broker_backlog[i] / dt;
+                    src_offered[i]
                 }
                 _ => a + queue[i] / dt,
             };
@@ -213,10 +256,12 @@ pub fn simulate(query: &Query, cluster: &Cluster, placement: &Placement, config:
                 None => true,
                 Some((_, size)) => window_fill[i] >= size,
             };
+            // Selectivity drift scales the operator's output factor.
+            let ofac = profile.output_factor[i] * drift.selectivity_factor(i, t);
             // Downstream credit limits how much output we may emit.
             let mut p = offered.min(mu[i]);
             if let Some(&d) = downs[i].first() {
-                let factor = profile.output_factor[i].max(1e-9);
+                let factor = ofac.max(1e-9);
                 let allowed_out = credit[d].max(0.0);
                 p = p.min(allowed_out / factor);
                 // Cross-host edges spend the egress host's byte budget.
@@ -228,7 +273,7 @@ pub fn simulate(query: &Query, cluster: &Cluster, placement: &Placement, config:
             }
             p = p.max(0.0);
             processed[i] = p;
-            out_rate[i] = if gate_open { p * profile.output_factor[i] } else { 0.0 };
+            out_rate[i] = if gate_open { p * ofac } else { 0.0 };
             if let Some(&d) = downs[i].first() {
                 arrivals[d] += out_rate[i];
                 credit[d] -= out_rate[i];
@@ -247,9 +292,19 @@ pub fn simulate(query: &Query, cluster: &Cluster, placement: &Placement, config:
         for i in 0..n {
             match query.op(i) {
                 OpKind::Source(s) => {
-                    let shortfall = (s.event_rate - processed[i]).max(0.0) + (broker_backlog[i] / dt).min(0.0);
-                    broker_backlog[i] = (broker_backlog[i] + (s.event_rate - processed[i]) * dt).max(0.0);
+                    let rate = s.event_rate * drift.rate_factor(i, t);
+                    // The backpressure rate R of Definition 4 counts what
+                    // the broker offered this tick — fresh (jittered)
+                    // demand *plus* the standing backlog, which is itself
+                    // unserved demand — minus what the query absorbed. A
+                    // source keeping up reports exactly 0; one eating into
+                    // a standing backlog still reports the unserved rest.
+                    let shortfall = (src_offered[i] - processed[i]).max(0.0);
+                    broker_backlog[i] = (broker_backlog[i] + (rate - processed[i]) * dt).max(0.0);
                     bp_rate += shortfall;
+                    if measuring {
+                        desired_dyn_sum += rate;
+                    }
                 }
                 _ => {
                     queue[i] = (queue[i] + (arrivals[i] - processed[i]) * dt).clamp(0.0, config.queue_capacity);
@@ -291,6 +346,11 @@ pub fn simulate(query: &Query, cluster: &Cluster, placement: &Placement, config:
         let mut mem_ratio = vec![0.0f64; cluster.len()];
         for h in 0..cluster.len() {
             if host_ops[h] == 0 {
+                continue;
+            }
+            // A lost host cannot crash the run: its operators are already
+            // stalled and its memory no longer belongs to the query.
+            if !host_alive[h] {
                 continue;
             }
             let demand = memory::host_demand_bytes(host_ops[h], host_state[h], host_queue_bytes[h]);
@@ -368,7 +428,7 @@ pub fn simulate(query: &Query, cluster: &Cluster, placement: &Placement, config:
             let want = (arrivals[i]
                 + queue[i] / dt
                 + match query.op(i) {
-                    OpKind::Source(s) => s.event_rate + broker_backlog[i] / dt,
+                    OpKind::Source(s) => s.event_rate * drift.rate_factor(i, t) + broker_backlog[i] / dt,
                     _ => 0.0,
                 })
                 * svc;
@@ -379,7 +439,8 @@ pub fn simulate(query: &Query, cluster: &Cluster, placement: &Placement, config:
                 continue;
             }
             let demands: Vec<f64> = host_demands[h].iter().map(|&(_, d)| d).collect();
-            let allocs = water_fill(&demands, capacity[h]);
+            // Host slowdown drift shrinks the capacity being shared.
+            let allocs = water_fill(&demands, capacity[h] * drift.cpu_factor(h, t));
             for (k, &(i, _)) in host_demands[h].iter().enumerate() {
                 alloc[i] = allocs[k];
             }
@@ -430,7 +491,16 @@ pub fn simulate(query: &Query, cluster: &Cluster, placement: &Placement, config:
     } else {
         0.0
     };
-    let backpressure = r > config.backpressure_threshold * desired_total.max(1e-9);
+    // Under rate drift the nominal ingest is not the right backpressure
+    // basis; use the time-averaged offered rate instead. Without rate
+    // events the static sum is kept so drift-free runs stay bitwise
+    // identical (a mean of identical float sums need not round-trip).
+    let desired_basis = if drift.has_rate_events() && measured_ticks > 0 {
+        desired_dyn_sum / measured_ticks as f64
+    } else {
+        desired_total
+    };
+    let backpressure = r > config.backpressure_threshold * desired_basis.max(1e-9);
     let success = sink_total >= 1.0;
 
     let label_noise = |rng: &mut StdRng| lognormal(rng, config.label_noise_sigma);
@@ -706,5 +776,148 @@ mod tests {
         let r = simulate(&q, &c, &Placement::new(vec![0, 1, 1]), &SimConfig::deterministic());
         assert!(r.metrics.throughput < 12800.0 * 0.6, "T = {}", r.metrics.throughput);
         assert!(r.metrics.backpressure);
+    }
+
+    use crate::drift::{DriftEvent, DriftScenario};
+
+    #[test]
+    fn future_drift_events_leave_run_bitwise_identical() {
+        // Drift factors are exactly 1.0 before onset, so a scenario whose
+        // events all fire after the run ends must not move a single bit.
+        let q = filter_query(1000.0, 0.5);
+        let c = Cluster::new(vec![strong_host()]);
+        let p = Placement::new(vec![0, 0, 0]);
+        let cfg = SimConfig::default().with_seed(11);
+        let scenario = DriftScenario::new(vec![
+            DriftEvent::RateRamp {
+                source: 0,
+                at_s: 1e6,
+                over_s: 10.0,
+                factor: 4.0,
+            },
+            DriftEvent::HostSlowdown {
+                host: 0,
+                at_s: 1e6,
+                factor: 0.1,
+            },
+            DriftEvent::HostLoss { host: 0, at_s: 1e6 },
+        ]);
+        let plain = simulate(&q, &c, &p, &cfg);
+        let drifted = simulate_with_drift(&q, &c, &p, &cfg, &scenario);
+        assert_eq!(plain.metrics, drifted.metrics);
+    }
+
+    #[test]
+    fn standing_backlog_reports_nonzero_backpressure() {
+        // Regression for the dead `(broker_backlog / dt).min(0.0)` term:
+        // a rate spike builds broker backlog, the spike ends before the
+        // measurement window opens, and the host then serves *above* the
+        // nominal rate while draining. Fresh arrivals are fully absorbed,
+        // so the old shortfall — (rate - processed).max(0) — was exactly
+        // zero; the standing backlog is unserved demand and must count.
+        let q = filter_query(1000.0, 0.5);
+        let host = Host {
+            cpu: 60.0,
+            ram_mb: 32000.0,
+            bandwidth_mbits: 10000.0,
+            latency_ms: 1.0,
+        };
+        let c = Cluster::new(vec![host]);
+        let p = Placement::new(vec![0, 0, 0]);
+        let cfg = SimConfig {
+            warmup_s: 170.0,
+            ..SimConfig::deterministic()
+        };
+        let control = simulate(&q, &c, &p, &cfg);
+        assert!(control.metrics.success);
+        assert_eq!(
+            control.metrics.backpressure_rate, 0.0,
+            "control must be healthy for the regression to be meaningful"
+        );
+        let spike = DriftScenario::new(vec![
+            DriftEvent::RateRamp {
+                source: 0,
+                at_s: 40.0,
+                over_s: 0.0,
+                factor: 5.0,
+            },
+            // Composes to 5.0 * 0.2 = nominal again after the spike.
+            DriftEvent::RateRamp {
+                source: 0,
+                at_s: 160.0,
+                over_s: 0.0,
+                factor: 0.2,
+            },
+        ]);
+        let r = simulate_with_drift(&q, &c, &p, &cfg, &spike);
+        assert!(
+            r.metrics.backpressure_rate > 0.0,
+            "standing backlog must surface as backpressure, R = {}",
+            r.metrics.backpressure_rate
+        );
+        assert!(r.metrics.backpressure);
+        // The broker wait also shows up in the end-to-end latency.
+        assert!(r.metrics.e2e_latency_ms > control.metrics.e2e_latency_ms);
+    }
+
+    #[test]
+    fn host_loss_at_start_fails_query_deterministically() {
+        let q = filter_query(1000.0, 0.5);
+        let c = Cluster::new(vec![strong_host()]);
+        let p = Placement::new(vec![0, 0, 0]);
+        let cfg = SimConfig::deterministic();
+        let loss = DriftScenario::new(vec![DriftEvent::HostLoss { host: 0, at_s: 0.0 }]);
+        let a = simulate_with_drift(&q, &c, &p, &cfg, &loss);
+        let b = simulate_with_drift(&q, &c, &p, &cfg, &loss);
+        assert!(!a.metrics.success, "no tuple can ever reach the sink");
+        assert_eq!(a.metrics, b.metrics, "degradation must be deterministic");
+    }
+
+    #[test]
+    fn host_loss_mid_run_stalls_without_panicking() {
+        let q = filter_query(1000.0, 0.5);
+        let c = Cluster::new(vec![strong_host(), strong_host()]);
+        let p = Placement::new(vec![0, 1, 1]);
+        let cfg = SimConfig::deterministic();
+        let control = simulate(&q, &c, &p, &cfg);
+        let loss = DriftScenario::new(vec![DriftEvent::HostLoss { host: 1, at_s: 120.0 }]);
+        let a = simulate_with_drift(&q, &c, &p, &cfg, &loss);
+        let b = simulate_with_drift(&q, &c, &p, &cfg, &loss);
+        assert_eq!(a.metrics, b.metrics);
+        assert!(
+            a.metrics.throughput < 0.6 * control.metrics.throughput,
+            "sink stalls halfway through: {} vs control {}",
+            a.metrics.throughput,
+            control.metrics.throughput
+        );
+        assert!(a.metrics.backpressure, "stalled operators propagate pressure upstream");
+    }
+
+    #[test]
+    fn host_slowdown_degrades_performance() {
+        let q = filter_query(6400.0, 0.5);
+        let host = Host {
+            cpu: 200.0,
+            ram_mb: 32000.0,
+            bandwidth_mbits: 10000.0,
+            latency_ms: 1.0,
+        };
+        let c = Cluster::new(vec![host]);
+        let p = Placement::new(vec![0, 0, 0]);
+        let cfg = SimConfig::deterministic();
+        let control = simulate(&q, &c, &p, &cfg);
+        assert!(
+            !control.metrics.backpressure,
+            "control healthy, R = {}",
+            control.metrics.backpressure_rate
+        );
+        let slow = DriftScenario::new(vec![DriftEvent::HostSlowdown {
+            host: 0,
+            at_s: 60.0,
+            factor: 0.1,
+        }]);
+        let r = simulate_with_drift(&q, &c, &p, &cfg, &slow);
+        assert!(r.metrics.backpressure, "a 10x slower host cannot keep up");
+        assert!(r.metrics.throughput < control.metrics.throughput);
     }
 }

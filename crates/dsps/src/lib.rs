@@ -15,13 +15,17 @@
 //! * [`memory`] — host memory demand and GC behaviour;
 //! * [`metrics`] — the cost metrics `C = (T, Lp, Le, RO, S)` of §IV-A;
 //! * [`trace`] — runtime statistics for monitoring-based baselines;
-//! * [`config`] — execution-protocol configuration.
+//! * [`config`] — execution-protocol configuration;
+//! * [`drift`] — deterministic fault/drift injection ([`DriftScenario`]):
+//!   rate ramps, selectivity shifts, host slowdowns and host loss applied
+//!   mid-simulation by [`engine::simulate_with_drift`].
 
 #![warn(missing_docs)]
 
 pub mod config;
 pub mod cost;
 pub mod des;
+pub mod drift;
 pub mod engine;
 pub mod memory;
 pub mod metrics;
@@ -29,6 +33,7 @@ pub mod trace;
 
 pub use config::SimConfig;
 pub use cost::ExecutionProfile;
-pub use engine::{simulate, SimResult};
+pub use drift::{DriftEvent, DriftScenario};
+pub use engine::{simulate, simulate_with_drift, SimResult};
 pub use metrics::{CostMetric, CostMetrics};
 pub use trace::RunTrace;

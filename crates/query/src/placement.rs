@@ -230,12 +230,16 @@ pub mod neighborhood {
     }
 
     /// Per-placement rule ③ state: the set of hosts the data has passed
-    /// through on any path ending at each operator, as one bitmask per
-    /// operator (bit `h` = host `h` visited). Computed once per placement
-    /// by [`Neighborhood::visit_state`] and reused for every candidate
-    /// edit of that placement.
+    /// through on any path ending at each operator, as one multi-word
+    /// bitmask per operator (bit `h` = host `h` visited). The mask of
+    /// operator `op` occupies `masks[op * words .. (op + 1) * words]`,
+    /// with `words = ceil(cluster.len() / 64)` — so clusters of any width
+    /// take the incremental validity path. Computed once per placement by
+    /// [`Neighborhood::visit_state`] and reused for every candidate edit
+    /// of that placement.
     #[derive(Clone, Debug)]
     pub struct VisitState {
+        words: usize,
         masks: Vec<u64>,
     }
 
@@ -257,6 +261,7 @@ pub mod neighborhood {
         bins: Vec<CapabilityBin>,
         ups: Vec<Vec<OpId>>,
         downs: Vec<Vec<OpId>>,
+        words: usize,
         scratch: std::cell::RefCell<MoveScratch>,
     }
 
@@ -267,6 +272,7 @@ pub mod neighborhood {
             let bins = cluster.hosts().iter().map(CapabilityBin::classify).collect();
             let ups: Vec<Vec<OpId>> = (0..query.len()).map(|op| query.upstream(op)).collect();
             let downs: Vec<Vec<OpId>> = (0..query.len()).map(|op| query.downstream(op)).collect();
+            let words = cluster.len().div_ceil(64).max(1);
             Neighborhood {
                 query,
                 cluster,
@@ -274,18 +280,12 @@ pub mod neighborhood {
                 bins,
                 ups,
                 downs,
+                words,
                 scratch: std::cell::RefCell::new(MoveScratch {
                     in_cone: vec![false; query.len()],
-                    new_mask: vec![0u64; query.len()],
+                    new_mask: vec![0u64; query.len() * words],
                 }),
             }
-        }
-
-        /// True when the cluster is too wide for the bitmask fast path
-        /// (more than 64 hosts); checks then fall back to full
-        /// [`Placement::validate`].
-        fn needs_fallback(&self) -> bool {
-            self.cluster.len() > 64
         }
 
         /// Computes the visited-host bitmasks of a placement (rule ③
@@ -293,18 +293,20 @@ pub mod neighborhood {
         /// invalid placement are still well-defined but incremental
         /// checks against them only certify the *edited* parts.
         pub fn visit_state(&self, placement: &Placement) -> VisitState {
-            let mut masks = vec![0u64; self.query.len()];
-            if self.needs_fallback() {
-                return VisitState { masks };
-            }
+            let words = self.words;
+            let mut masks = vec![0u64; self.query.len() * words];
             for &op in &self.order {
-                let mut m = 1u64 << placement.host_of(op);
+                let base = op * words;
                 for &u in &self.ups[op] {
-                    m |= masks[u];
+                    let ub = u * words;
+                    for w in 0..words {
+                        masks[base + w] |= masks[ub + w];
+                    }
                 }
-                masks[op] = m;
+                let h = placement.host_of(op);
+                masks[base + h / 64] |= 1u64 << (h % 64);
             }
-            VisitState { masks }
+            VisitState { words, masks }
         }
 
         /// Checks whether applying `mv` to the (valid) placement `p`
@@ -328,9 +330,7 @@ pub mod neighborhood {
                     [(a, p.host_of(b)), (b, p.host_of(a))]
                 }
             };
-            if self.needs_fallback() {
-                return mv.apply(p).is_valid(self.query, self.cluster);
-            }
+            debug_assert_eq!(state.words, self.words, "visit state from another cluster width");
             let host = |op: OpId| -> HostId {
                 if op == touched[0].0 {
                     touched[0].1
@@ -360,8 +360,10 @@ pub mod neighborhood {
             // Rule ③: recompute visited masks over the touched operators'
             // downstream cone only. Operators outside the cone keep their
             // masks, and every edge outside the cone was already valid.
-            // `new_mask` needs no reset: entries are written before any
-            // read (cone members are visited in topo order).
+            // A cone member's mask words are zeroed before any read (cone
+            // members are visited in topo order), so no global reset is
+            // needed.
+            let words = self.words;
             let mut scratch = self.scratch.borrow_mut();
             let MoveScratch { in_cone, new_mask } = &mut *scratch;
             in_cone.fill(false);
@@ -375,15 +377,33 @@ pub mod neighborhood {
                 }
                 in_cone[v] = true;
                 let hv = host(v);
-                let mut m = 1u64 << hv;
+                let (hw, hb) = (hv / 64, hv % 64);
+                let vb = v * words;
+                for w in 0..words {
+                    new_mask[vb + w] = 0;
+                }
+                new_mask[vb + hw] = 1u64 << hb;
                 for &u in &self.ups[v] {
-                    let mu = if in_cone[u] { new_mask[u] } else { state.masks[u] };
-                    if hv != host(u) && (mu >> hv) & 1 == 1 {
+                    let ub = u * words;
+                    // An upstream inside the cone contributes its freshly
+                    // recomputed mask; one outside keeps its cached mask.
+                    let visited = if in_cone[u] {
+                        (new_mask[ub + hw] >> hb) & 1 == 1
+                    } else {
+                        (state.masks[ub + hw] >> hb) & 1 == 1
+                    };
+                    if hv != host(u) && visited {
                         return false;
                     }
-                    m |= mu;
+                    for w in 0..words {
+                        let mu = if in_cone[u] {
+                            new_mask[ub + w]
+                        } else {
+                            state.masks[ub + w]
+                        };
+                        new_mask[vb + w] |= mu;
+                    }
                 }
-                new_mask[v] = m;
             }
             true
         }
@@ -593,11 +613,11 @@ mod tests {
     }
 
     #[test]
-    fn neighborhood_wide_cluster_fallback_matches_full_validation() {
+    fn neighborhood_wide_cluster_matches_full_validation() {
         use super::neighborhood::{Move, Neighborhood};
-        // 70 hosts (> 64): the bitmask fast path cannot represent the
-        // visited sets, so every check must take the full-revalidation
-        // fallback — and agree with it, including no-op rejection.
+        // 70 hosts (> 64): the visited sets span two bitmask words, so
+        // this exercises the multi-word incremental path — which must
+        // agree with full revalidation, including no-op rejection.
         let mut hosts = Vec::new();
         for i in 0..70 {
             // Mix of edge/fog/cloud-class hosts so both valid and
@@ -617,7 +637,7 @@ mod tests {
         let nb = Neighborhood::new(&q, &c);
         let st = nb.visit_state(&p);
         for op in 0..q.len() {
-            // No-op relocation is rejected on the fallback path too.
+            // No-op relocation is rejected on wide clusters too.
             let noop = Move::Relocate { op, to: p.host_of(op) };
             assert!(!nb.is_valid_move(&p, &st, noop));
             for to in 0..c.len() {
@@ -640,7 +660,7 @@ mod tests {
                 assert_eq!(nb.is_valid_move(&p, &st, mv), want, "wide cluster: swap {a} <-> {b}");
             }
         }
-        // Generators work on the fallback path and emit valid neighbors.
+        // Generators work on wide clusters and emit valid neighbors.
         let neighbors = nb.neighbors(&p, &st);
         assert!(!neighbors.is_empty());
         for mv in neighbors {

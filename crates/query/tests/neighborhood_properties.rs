@@ -4,12 +4,32 @@
 //! same rules `sample_valid` enforces.
 
 use costream_query::generator::WorkloadGenerator;
+use costream_query::hardware::{Cluster, Host};
 use costream_query::placement::neighborhood::{Move, Neighborhood};
 use costream_query::placement::{colocate_on_strongest, sample_valid};
 use costream_query::ranges::FeatureRanges;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// A ~100-host heterogeneous cluster: edge/fog/cloud tiers cycling, with
+/// a small monotone per-host perturbation so hosts are distinct but stay
+/// within their capability bin. Wide enough that the rule-③ visited-host
+/// bitmasks span two `u64` words.
+fn wide_cluster(n: usize) -> Cluster {
+    let mut hosts = Vec::with_capacity(n);
+    for i in 0..n {
+        let tier = i % 3;
+        let bump = 1.0 + 0.01 * (i / 3) as f64;
+        hosts.push(Host {
+            cpu: [50.0, 300.0, 800.0][tier] * bump,
+            ram_mb: [1000.0, 8000.0, 32000.0][tier] * bump,
+            bandwidth_mbits: [25.0, 400.0, 10000.0][tier] * bump,
+            latency_ms: [160.0, 10.0, 1.0][tier],
+        });
+    }
+    Cluster::new(hosts)
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -49,6 +69,48 @@ proptest! {
                     nb.is_valid_move(&p, &st, mv),
                     mv.apply(&p).is_valid(&q, &c),
                     "swap {} <-> {} disagrees", a, b
+                );
+            }
+        }
+    }
+
+    /// The same agreement on a ~100-host cluster, where the visited-host
+    /// bitmasks span multiple words: the incremental path (not a
+    /// full-revalidation fallback) must still equal full revalidation for
+    /// every candidate edit.
+    #[test]
+    fn incremental_check_equals_full_validation_on_wide_cluster(seed in 0u64..20_000) {
+        let mut g = WorkloadGenerator::new(seed, FeatureRanges::training());
+        let (q, _, _) = g.workload_item();
+        let c = wide_cluster(100);
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(3));
+        let p = sample_valid(&q, &c, &mut rng).unwrap_or_else(|| colocate_on_strongest(&q, &c));
+        prop_assert!(p.is_valid(&q, &c));
+        let nb = Neighborhood::new(&q, &c);
+        let st = nb.visit_state(&p);
+        for op in 0..q.len() {
+            for to in 0..c.len() {
+                if to == p.host_of(op) {
+                    continue;
+                }
+                let mv = Move::Relocate { op, to };
+                prop_assert_eq!(
+                    nb.is_valid_move(&p, &st, mv),
+                    mv.apply(&p).is_valid(&q, &c),
+                    "wide cluster: relocate {} -> {} disagrees", op, to
+                );
+            }
+        }
+        for a in 0..q.len() {
+            for b in (a + 1)..q.len() {
+                if p.host_of(a) == p.host_of(b) {
+                    continue;
+                }
+                let mv = Move::Swap { a, b };
+                prop_assert_eq!(
+                    nb.is_valid_move(&p, &st, mv),
+                    mv.apply(&p).is_valid(&q, &c),
+                    "wide cluster: swap {} <-> {} disagrees", a, b
                 );
             }
         }

@@ -34,6 +34,14 @@ use costream::graph::JointGraph;
 use costream::search::{PlacementScores, Scorer};
 use costream::CostMetric;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// First sleep after an [`ServeError::Overloaded`] rejection.
+const INITIAL_BACKOFF: Duration = Duration::from_micros(50);
+/// Cap on the exponential backoff between retries.
+const MAX_BACKOFF: Duration = Duration::from_millis(5);
+/// Default bound on how long one batch may spend retrying admission.
+const DEFAULT_SUBMIT_DEADLINE: Duration = Duration::from_secs(10);
 
 /// A [`Scorer`] that scores candidates through three scoring services.
 /// Cloning is cheap (three `Arc` handles); clone one per optimizer
@@ -44,6 +52,7 @@ pub struct ServeScorer {
     success: ScoreClient,
     backpressure: ScoreClient,
     metric: CostMetric,
+    submit_deadline: Duration,
 }
 
 impl ServeScorer {
@@ -71,23 +80,74 @@ impl ServeScorer {
             success,
             backpressure,
             metric,
+            submit_deadline: DEFAULT_SUBMIT_DEADLINE,
         }
+    }
+
+    /// Bounds how long one candidate batch may spend retrying admission
+    /// (exponential backoff) before [`try_score_batch`](Self::try_score_batch)
+    /// gives up with [`ServeError::Overloaded`]. The default is 10 s —
+    /// generous for a healthy service, but finite, so a saturated or
+    /// wedged service sheds the caller instead of live-locking it.
+    pub fn with_submit_deadline(mut self, deadline: Duration) -> Self {
+        self.submit_deadline = deadline;
+        self
+    }
+
+    /// Scores a candidate batch, returning a typed error instead of
+    /// panicking when the backend is unavailable: `Overloaded` when the
+    /// submit deadline expired while the service was shedding load,
+    /// `ShutDown` when the service went away (including mid-retry), and
+    /// `Internal` when a request itself failed to score.
+    pub fn try_score_batch(&self, graphs: Vec<JointGraph>) -> Result<Vec<PlacementScores>, ServeError> {
+        let shared: Vec<Arc<JointGraph>> = graphs.into_iter().map(Arc::new).collect();
+        // One deadline bounds the whole batch: retry time is a property
+        // of the service's health, not of the batch size.
+        let deadline = Instant::now() + self.submit_deadline;
+        // Submit the whole batch to all three services before waiting on
+        // anything: 3 x N requests in flight is what lets the batching
+        // tick coalesce this search round (and concurrent tenants) into
+        // few fused batches.
+        let submit_all = |client: &ScoreClient| -> Result<Vec<Pending>, ServeError> {
+            shared.iter().map(|g| submit_backoff(client, g, deadline)).collect()
+        };
+        let cost = submit_all(&self.target)?;
+        let success = submit_all(&self.success)?;
+        let backpressure = submit_all(&self.backpressure)?;
+        cost.into_iter()
+            .zip(success)
+            .zip(backpressure)
+            .map(|((c, s), b)| {
+                Ok(PlacementScores {
+                    cost: c.wait()?,
+                    success: s.wait()?,
+                    backpressure: b.wait()?,
+                })
+            })
+            .collect()
     }
 }
 
-/// Submits one shared graph, retrying while the service sheds load.
-/// Workers drain the queue independently of this thread, so backing off
-/// with `yield_now` always makes progress.
-///
-/// # Panics
-/// Panics when the service shut down: a search cannot continue without
-/// its scoring backend.
-fn submit_pinned(client: &ScoreClient, graph: &Arc<JointGraph>) -> Pending {
+/// Submits one shared graph, retrying with bounded exponential backoff
+/// while the service sheds load. Workers drain the queue independently of
+/// this thread, so a short sleep usually suffices; if the queue is still
+/// full at `deadline` the overload is returned to the caller instead of
+/// live-locking it. A shutdown observed mid-retry surfaces immediately as
+/// [`ServeError::ShutDown`].
+fn submit_backoff(client: &ScoreClient, graph: &Arc<JointGraph>, deadline: Instant) -> Result<Pending, ServeError> {
+    let mut backoff = INITIAL_BACKOFF;
     loop {
         match client.submit(Arc::clone(graph)) {
-            Ok(pending) => return pending,
-            Err(ServeError::Overloaded) => std::thread::yield_now(),
-            Err(e) => panic!("placement search lost its scoring backend: {e}"),
+            Ok(pending) => return Ok(pending),
+            Err(ServeError::Overloaded) => {
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(ServeError::Overloaded);
+                }
+                std::thread::sleep(backoff.min(deadline - now));
+                backoff = (backoff * 2).min(MAX_BACKOFF);
+            }
+            Err(e) => return Err(e),
         }
     }
 }
@@ -97,29 +157,13 @@ impl Scorer for ServeScorer {
         self.metric
     }
 
+    /// # Panics
+    /// Panics when the backend is unavailable (shut down, or still
+    /// overloaded at the submit deadline): a search cannot continue
+    /// without its scoring backend. Callers that prefer a typed error use
+    /// [`ServeScorer::try_score_batch`].
     fn score_batch(&self, graphs: Vec<JointGraph>) -> Vec<PlacementScores> {
-        let shared: Vec<Arc<JointGraph>> = graphs.into_iter().map(Arc::new).collect();
-        // Submit the whole batch to all three services before waiting on
-        // anything: 3 x N requests in flight is what lets the batching
-        // tick coalesce this search round (and concurrent tenants) into
-        // few fused batches.
-        let submit_all =
-            |client: &ScoreClient| -> Vec<Pending> { shared.iter().map(|g| submit_pinned(client, g)).collect() };
-        let cost = submit_all(&self.target);
-        let success = submit_all(&self.success);
-        let backpressure = submit_all(&self.backpressure);
-        let wait = |p: Pending| -> f64 {
-            p.wait()
-                .unwrap_or_else(|e| panic!("placement search lost its scoring backend: {e}"))
-        };
-        cost.into_iter()
-            .zip(success)
-            .zip(backpressure)
-            .map(|((c, s), b)| PlacementScores {
-                cost: wait(c),
-                success: wait(s),
-                backpressure: wait(b),
-            })
-            .collect()
+        self.try_score_batch(graphs)
+            .unwrap_or_else(|e| panic!("placement search lost its scoring backend: {e}"))
     }
 }

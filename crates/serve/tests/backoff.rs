@@ -1,0 +1,69 @@
+//! Admission-retry behaviour of [`ServeScorer`]: a saturated service
+//! sheds the caller after a bounded backoff (typed error, no live-lock),
+//! and a shutdown observed mid-retry surfaces as `ShutDown`, not a hang.
+
+use costream::graph::JointGraph;
+use costream::test_fixtures;
+use costream_serve::{ScoringService, ServeConfig, ServeError, ServeScorer};
+use std::time::{Duration, Instant};
+
+/// Three tiny trained services plus a batch of corpus graphs. `workers:
+/// 0` means nothing ever drains the queue, so overload is deterministic.
+fn saturated_setup(seed: u64) -> ([ScoringService; 3], Vec<JointGraph>) {
+    let corpus = test_fixtures::corpus(24, seed);
+    let fx = test_fixtures::trio(&corpus, 2, 1);
+    let cfg = ServeConfig {
+        workers: 0,
+        queue_cap: 1,
+        ..ServeConfig::default()
+    };
+    let graphs: Vec<JointGraph> = corpus
+        .items
+        .iter()
+        .take(3)
+        .map(|i| i.graph(fx.target.featurization()))
+        .collect();
+    let services = [
+        ScoringService::start(fx.target, cfg.clone()),
+        ScoringService::start(fx.success, cfg.clone()),
+        ScoringService::start(fx.backpressure, cfg),
+    ];
+    (services, graphs)
+}
+
+#[test]
+fn saturated_service_sheds_load_without_livelock() {
+    let ([t, s, b], graphs) = saturated_setup(81);
+    let scorer = ServeScorer::new(&t, &s, &b).with_submit_deadline(Duration::from_millis(100));
+    let start = Instant::now();
+    let result = scorer.try_score_batch(graphs);
+    let elapsed = start.elapsed();
+    assert_eq!(result.err(), Some(ServeError::Overloaded));
+    // Bounded: the deadline expired and the caller got its thread back
+    // promptly — the old yield-retry spin would never have returned.
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "retry loop must respect the deadline, took {elapsed:?}"
+    );
+    assert!(
+        elapsed >= Duration::from_millis(100),
+        "the scorer should retry until the deadline, gave up after {elapsed:?}"
+    );
+}
+
+#[test]
+fn shutdown_mid_retry_surfaces_shutdown_not_a_hang() {
+    let ([t, s, b], graphs) = saturated_setup(83);
+    // A deadline far beyond the test budget: only the shutdown can end
+    // the retry loop in time.
+    let scorer = ServeScorer::new(&t, &s, &b).with_submit_deadline(Duration::from_secs(60));
+    let worker = std::thread::spawn(move || scorer.try_score_batch(graphs));
+    // Let the scorer fill the one-slot queue and enter its retry loop,
+    // then take the backend away.
+    std::thread::sleep(Duration::from_millis(150));
+    drop(t);
+    drop(s);
+    drop(b);
+    let result = worker.join().expect("scorer thread must not panic");
+    assert_eq!(result.err(), Some(ServeError::ShutDown));
+}

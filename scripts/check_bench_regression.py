@@ -68,6 +68,12 @@ CALIBRATION_OP = "matmul_256x64x48_updater_in_big"
 # with a note instead of failing spuriously.
 GATED_METRICS = {
     "joint_placement_joint_total_cost": 1.10,
+    # Total cost (observed + migration, ms) of the adaptive controller
+    # replaying the host-loss drift scenario — the runtime elasticity
+    # loop's product metric. Deterministic for a fixed core count, but
+    # the replan search underneath is the same threaded scoring path as
+    # the joint search, hence the shared core-count guard.
+    "replay_drift_adaptive_total_cost": 1.10,
 }
 
 

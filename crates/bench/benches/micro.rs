@@ -176,6 +176,38 @@ fn bench_inference(c: &mut Criterion) {
     c.bench_function("batch_plan_build_64", |b| b.iter(|| model.model().plan(&refs)));
 }
 
+/// Member-fused vs sequential ensemble inference (k = 3) over one cached
+/// 64-graph chunk plan — the serving worker's steady-state scoring cost.
+/// `ensemble_fused_batch64` is the CI-gated number; the acceptance
+/// criterion measures it against `ensemble_sequential_batch64` (the
+/// per-member loop the workers ran before fusion — expect ≥ 1.5x on one
+/// core). The opt-in int8 view is recorded alongside; it trades some
+/// time for weight footprint (weights dequantize on the fly into the
+/// f32 FMA kernel), so do not expect it to beat the exact fused path.
+fn bench_ensemble_fused(c: &mut Criterion) {
+    let corpus = Corpus::generate(64, 13, FeatureRanges::training(), &SimConfig::default());
+    let cfg = TrainConfig {
+        epochs: 2,
+        ..Default::default()
+    };
+    let ensemble = Ensemble::train(&corpus, CostMetric::ProcessingLatency, &cfg, 3);
+    let graphs: Vec<JointGraph> = corpus.items.iter().map(|i| i.graph(ensemble.featurization())).collect();
+    let refs: Vec<&JointGraph> = graphs.iter().collect();
+    let plans = vec![ensemble.members()[0].model().plan(&refs)];
+    let fused = ensemble.fused();
+    let int8 = ensemble.fused_calibrated(&plans);
+    let mut arena = InferenceArena::new();
+    c.bench_function("ensemble_sequential_batch64", |b| {
+        b.iter(|| ensemble.predict_plans_arena(black_box(&plans), &mut arena))
+    });
+    c.bench_function("ensemble_fused_batch64", |b| {
+        b.iter(|| fused.predict_plans_arena(black_box(&plans), &mut arena))
+    });
+    c.bench_function("ensemble_fused_int8_batch64", |b| {
+        b.iter(|| int8.predict_plans_arena(black_box(&plans), &mut arena))
+    });
+}
+
 /// Seed-varied ensemble training (members train in parallel from shared
 /// batch plans).
 fn bench_ensemble_train(c: &mut Criterion) {
@@ -649,6 +681,6 @@ fn bench_replay_drift(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_matmul_kernels, bench_graph_primitives, bench_training_path, bench_simulator, bench_featurize, bench_inference, bench_ensemble_train, bench_gbdt, bench_enumeration, bench_optimizer_search, bench_joint_placement, bench_serving, bench_replay_drift
+    targets = bench_matmul_kernels, bench_graph_primitives, bench_training_path, bench_simulator, bench_featurize, bench_inference, bench_ensemble_fused, bench_ensemble_train, bench_gbdt, bench_enumeration, bench_optimizer_search, bench_joint_placement, bench_serving, bench_replay_drift
 }
 criterion_main!(benches);

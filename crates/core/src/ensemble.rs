@@ -6,8 +6,9 @@
 //! predictions are combined by majority vote.
 
 use crate::dataset::{Corpus, CorpusItem};
+use crate::fused::{FusedEnsemble, Precision};
 use crate::graph::{Featurization, JointGraph};
-use crate::model::{ModelConfig, INFERENCE_CHUNK};
+use crate::model::{inference_chunk, ModelConfig};
 use crate::plan::{BatchPlan, PlanCache};
 #[cfg(test)]
 use crate::train::train_metric;
@@ -95,7 +96,7 @@ impl Ensemble {
         let cfg = self.model_config();
         let (scheme, rounds) = (cfg.scheme, cfg.traditional_rounds);
         let plans: Vec<BatchPlan> = graphs
-            .par_chunks(INFERENCE_CHUNK)
+            .par_chunks(inference_chunk())
             .map(|chunk| match cache {
                 Some(c) => c.get_or_build(chunk, scheme, rounds),
                 None => self.members[0].model().plan(chunk),
@@ -125,19 +126,58 @@ impl Ensemble {
     }
 
     /// Mean (regression) or majority-vote fraction (classification) over
-    /// per-member predictions. One implementation so every prediction
-    /// entry point combines identically, down to float summation order.
+    /// per-member predictions. One pass per member vector instead of the
+    /// previous column-major walk (which chased `k` separate allocations
+    /// per output element); the per-element summation order is unchanged
+    /// (member-ascending, f64 accumulator — storing and reloading an f64
+    /// between member passes does not round), so results stay bitwise
+    /// identical.
     fn combine(&self, per_member: &[Vec<f64>], n: usize) -> Vec<f64> {
-        (0..n)
-            .map(|i| {
-                if self.metric.is_regression() {
-                    per_member.iter().map(|p| p[i]).sum::<f64>() / self.members.len() as f64
-                } else {
-                    let votes = per_member.iter().filter(|p| p[i] > 0.5).count();
-                    votes as f64 / self.members.len() as f64
+        let k = self.members.len();
+        if self.metric.is_regression() {
+            let mut acc = vec![0.0f64; n];
+            for p in per_member {
+                for (a, &v) in acc.iter_mut().zip(p) {
+                    *a += v;
                 }
-            })
-            .collect()
+            }
+            for a in &mut acc {
+                *a /= k as f64;
+            }
+            acc
+        } else {
+            let mut votes = vec![0usize; n];
+            for p in per_member {
+                for (a, &v) in votes.iter_mut().zip(p) {
+                    *a += usize::from(v > 0.5);
+                }
+            }
+            votes.into_iter().map(|v| v as f64 / k as f64).collect()
+        }
+    }
+
+    /// Builds the member-fused inference view of this ensemble (exact
+    /// f32 weights — bitwise identical to [`Ensemble::predict_plans_arena`],
+    /// see [`crate::fused`]).
+    pub fn fused(&self) -> FusedEnsemble {
+        FusedEnsemble::build(self, Precision::Exact)
+    }
+
+    /// Builds the member-fused view at an explicit serving precision.
+    /// [`Precision::Int8`] trades bitwise identity for quantized weights;
+    /// it is opt-in and callers must gate it with a q-error check.
+    /// Prefer [`Ensemble::fused_calibrated`] when representative plans
+    /// are available — data-free rounding drifts much further.
+    pub fn fused_with_precision(&self, precision: Precision) -> FusedEnsemble {
+        FusedEnsemble::build(self, precision)
+    }
+
+    /// Builds an int8 fused view whose quantization is *calibrated*
+    /// against the activations the model produces on `plans` (greedy
+    /// data-aware rounding; see [`crate::fused`]). Still approximate —
+    /// gate behind a q-error bound like any int8 view.
+    pub fn fused_calibrated(&self, plans: &[crate::plan::BatchPlan]) -> FusedEnsemble {
+        FusedEnsemble::build_calibrated(self, plans)
     }
 
     /// Combined prediction for corpus items.
@@ -152,6 +192,25 @@ impl Ensemble {
         let graphs = CorpusItem::featurize_all(items, self.featurization());
         let refs: Vec<&JointGraph> = graphs.iter().collect();
         self.predict_graphs_with(&refs, cache)
+    }
+}
+
+/// [`Ensemble::combine`] over *member-major* flat predictions: `flat` is
+/// `[n, k]` row-major with member `m` in column `m` — exactly what the
+/// fused inference path produces — combined in one cache-friendly row
+/// pass. The per-element operation and member-ascending summation order
+/// match [`Ensemble::combine`] exactly, so both layouts combine bitwise
+/// identically.
+pub(crate) fn combine_member_major(metric: CostMetric, k: usize, flat: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(flat.len() % k, 0);
+    if metric.is_regression() {
+        flat.chunks_exact(k)
+            .map(|row| row.iter().sum::<f64>() / k as f64)
+            .collect()
+    } else {
+        flat.chunks_exact(k)
+            .map(|row| row.iter().filter(|&&p| p > 0.5).count() as f64 / k as f64)
+            .collect()
     }
 }
 

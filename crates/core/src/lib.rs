@@ -55,6 +55,7 @@
 pub mod adaptive;
 pub mod dataset;
 pub mod ensemble;
+pub mod fused;
 pub mod graph;
 pub mod joint;
 pub mod model;
@@ -75,6 +76,7 @@ pub mod prelude {
     };
     pub use crate::dataset::{Corpus, CorpusItem};
     pub use crate::ensemble::Ensemble;
+    pub use crate::fused::{int8_self_test, FusedEnsemble, Int8SelfTest, Precision};
     pub use crate::graph::{Featurization, GraphTemplate, JointGraph};
     pub use crate::joint::{
         effective_cluster, replan, JointCandidateEvaluation, JointOptimizationResult, JointPlacementSearch, JointQuery,

@@ -146,6 +146,22 @@ impl GnnModel {
         self.store.scalar_count()
     }
 
+    /// Per-type encoder MLPs, indexed like [`NodeType::ALL`] (exposed for
+    /// stacked-weight views in [`crate::fused`]).
+    pub(crate) fn encoders(&self) -> &[Mlp] {
+        &self.encoders
+    }
+
+    /// Per-type update MLPs, indexed like [`NodeType::ALL`].
+    pub(crate) fn updaters(&self) -> &[Mlp] {
+        &self.updaters
+    }
+
+    /// The readout MLP.
+    pub(crate) fn readout(&self) -> &Mlp {
+        &self.readout
+    }
+
     /// Builds the execution plan for a batch of graphs under this model's
     /// scheme. Plans depend only on graph structure, so one plan serves
     /// every epoch and every seed-varied ensemble member.
@@ -285,13 +301,14 @@ impl GnnModel {
     /// Runs on the tape-free fast path; large batches are split into
     /// chunks evaluated in parallel.
     pub fn predict_raw(&self, graphs: &[&JointGraph]) -> Vec<f32> {
-        if graphs.len() <= INFERENCE_CHUNK {
+        let chunk = inference_chunk();
+        if graphs.len() <= chunk {
             let plan = self.plan(graphs);
             let mut arena = InferenceArena::new();
             return self.forward_inference(&plan, &mut arena);
         }
         graphs
-            .par_chunks(INFERENCE_CHUNK)
+            .par_chunks(chunk)
             .map(|chunk| {
                 let plan = self.plan(chunk);
                 let mut arena = InferenceArena::new();
@@ -338,7 +355,60 @@ impl GnnModel {
 /// small enough to parallelize candidate scoring across cores. The
 /// serving layer chunks its coalesced batches at the same width so served
 /// results are bitwise identical to the direct prediction path.
+///
+/// This is the *default*; [`inference_chunk`] lets wider runners override
+/// it per process via `COSTREAM_INFERENCE_CHUNK`. Per-graph predictions
+/// are bitwise independent of how graphs are chunked into batches (graphs
+/// only interact through per-graph segment sums), so sweeping the chunk
+/// size changes throughput, never results.
 pub const INFERENCE_CHUNK: usize = 64;
+
+/// An invalid `COSTREAM_INFERENCE_CHUNK` setting.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ChunkConfigError {
+    /// A chunk size of zero would make chunked iteration diverge.
+    Zero,
+    /// The value did not parse as an unsigned integer.
+    Invalid(String),
+}
+
+impl std::fmt::Display for ChunkConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChunkConfigError::Zero => write!(f, "chunk size must be at least 1"),
+            ChunkConfigError::Invalid(v) => write!(f, "not an unsigned integer: {v:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ChunkConfigError {}
+
+/// Parses an inference chunk-size override. `None` (variable unset) means
+/// the [`INFERENCE_CHUNK`] default; `Some` must be a positive integer.
+pub fn parse_inference_chunk(raw: Option<&str>) -> Result<usize, ChunkConfigError> {
+    match raw {
+        None => Ok(INFERENCE_CHUNK),
+        Some(v) => match v.trim().parse::<usize>() {
+            Ok(0) => Err(ChunkConfigError::Zero),
+            Ok(n) => Ok(n),
+            Err(_) => Err(ChunkConfigError::Invalid(v.to_string())),
+        },
+    }
+}
+
+/// The effective graphs-per-chunk width: `COSTREAM_INFERENCE_CHUNK` when
+/// set and valid, [`INFERENCE_CHUNK`] otherwise (invalid settings warn on
+/// stderr rather than aborting a serving process).
+pub fn inference_chunk() -> usize {
+    let raw = std::env::var("COSTREAM_INFERENCE_CHUNK").ok();
+    match parse_inference_chunk(raw.as_deref()) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("warning: ignoring COSTREAM_INFERENCE_CHUNK: {e}");
+            INFERENCE_CHUNK
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -103,6 +103,14 @@ impl TrainedModel {
         self.denormalize(self.model.predict_raw_plans_arena(plans, arena))
     }
 
+    /// `(target_mean, target_std)` of the training-set `log1p` targets —
+    /// what [`TrainedModel::predict_plans_arena`] applies before
+    /// `msle_inverse`. Exposed so [`crate::fused`] can replicate the
+    /// denormalization bit for bit.
+    pub(crate) fn denorm_params(&self) -> (f32, f32) {
+        (self.target_mean, self.target_std)
+    }
+
     fn denormalize(&self, raw: Vec<f32>) -> Vec<f64> {
         raw.into_iter()
             .map(|z| {

@@ -66,6 +66,20 @@ impl InferenceArena {
         Tensor::from_vec(rows, cols, buf)
     }
 
+    /// Allocates a `rows x cols` tensor **without zero-filling** recycled
+    /// contents — only capacity growth is (necessarily) zero-initialized.
+    /// For buffers whose every cell is overwritten before being read
+    /// (assign-semantics kernel outputs, fully-assembled wave inputs):
+    /// skipping the fill removes a full pass over the buffer from the
+    /// serving hot path. Reading a cell before writing it yields stale
+    /// values from an unrelated earlier tensor — never do that.
+    pub fn alloc_scratch(&mut self, rows: usize, cols: usize) -> Tensor {
+        let len = rows * cols;
+        let mut buf = self.free.pop().unwrap_or_default();
+        buf.resize(len, 0.0);
+        Tensor::from_vec(rows, cols, buf)
+    }
+
     /// Allocates a tensor holding a copy of `src`.
     pub fn alloc_copy(&mut self, src: &Tensor) -> Tensor {
         let mut t = self.alloc_zeroed(src.rows(), src.cols());
@@ -116,6 +130,22 @@ mod tests {
         let a = arena.alloc_zeroed(4, 8);
         arena.recycle(a);
         assert!(arena.pooled_floats() >= 32);
+    }
+
+    #[test]
+    fn alloc_scratch_reuses_without_zeroing() {
+        let mut arena = InferenceArena::new();
+        let mut a = arena.alloc_zeroed(2, 4);
+        a.data_mut().fill(7.0);
+        arena.recycle(a);
+        // Shrinking reuse: stale contents may (and here do) survive.
+        let b = arena.alloc_scratch(1, 4);
+        assert_eq!(b.shape(), (1, 4));
+        assert!(b.data().iter().all(|&v| v == 7.0));
+        arena.recycle(b);
+        // Growth beyond the recycled length zero-fills only the tail.
+        let c = arena.alloc_scratch(2, 4);
+        assert_eq!(&c.data()[4..], &[0.0; 4]);
     }
 
     #[test]

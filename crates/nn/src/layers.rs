@@ -38,6 +38,17 @@ impl Linear {
         self.out_dim
     }
 
+    /// Parameter id of the weight matrix (`in_dim x out_dim`), exposed so
+    /// stacked-weight views ([`crate::fused`]) can read the tensor.
+    pub fn weight_id(&self) -> ParamId {
+        self.w
+    }
+
+    /// Parameter id of the bias row vector (`1 x out_dim`).
+    pub fn bias_id(&self) -> ParamId {
+        self.b
+    }
+
     /// Records the affine map on the tape (no activation).
     pub fn forward<'p>(&self, tape: &mut Tape<'p>, store: &'p ParamStore, x: NodeId) -> NodeId {
         self.forward_fused(tape, store, x, false)
@@ -96,6 +107,11 @@ impl Mlp {
     /// Output width.
     pub fn out_dim(&self) -> usize {
         self.layers.last().expect("non-empty").out_dim()
+    }
+
+    /// The individual layers, in order (exposed for stacked-weight views).
+    pub fn layers(&self) -> &[Linear] {
+        &self.layers
     }
 
     /// Records the full forward pass on the tape. Hidden layers record the

@@ -51,6 +51,7 @@
 
 #![warn(missing_docs)]
 
+pub mod fused;
 pub mod inference;
 pub mod init;
 pub mod layers;
@@ -59,6 +60,7 @@ pub mod optim;
 pub mod tape;
 pub mod tensor;
 
+pub use fused::{StackedLinear, StackedMlp, WeightPrecision};
 pub use inference::InferenceArena;
 pub use init::Initializer;
 pub use layers::{Linear, Mlp};

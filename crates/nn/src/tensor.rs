@@ -189,7 +189,7 @@ impl Tensor {
         );
         assert_eq!(out.shape(), (self.cols, other.cols), "t_matmul output shape mismatch");
         let (rows, ca, cb) = (self.rows, self.cols, other.cols);
-        matmul_accumulate_strided(&self.data, 1, ca, ca, rows, &other.data, cb, &mut out.data);
+        matmul_accumulate_strided(&self.data, 1, ca, ca, rows, &other.data, cb, cb, &mut out.data, cb);
     }
 
     /// Matrix product `self @ other^T`.
@@ -329,6 +329,69 @@ impl Tensor {
         for (r, &i) in idx.iter().enumerate() {
             let base = r * out.cols + col_off;
             out.data[base..base + self.cols].copy_from_slice(self.row_slice(i));
+        }
+    }
+
+    /// Member-major fused gather + segmented sum into per-member *block
+    /// windows*: `self` is `[rows, k*h]` member-major and `out` is
+    /// `[targets, k*block_w]`; member `m`'s sum lands at columns
+    /// `m*block_w + col_off .. + h`, i.e.
+    /// `out[segs[e]][m*block_w + col_off ..] += self[rows[e]][m*h ..]`.
+    ///
+    /// The target windows are **zeroed first** (the wave-input buffer is
+    /// handed out unzeroed scratch), then accumulated in edge order — the
+    /// identical per-element addition chain as a zeroed buffer plus
+    /// [`Tensor::gather_segment_sum_into_cols`] per member.
+    pub fn gather_segment_sum_into_blocks(
+        &self,
+        rows: &[usize],
+        segs: &[usize],
+        k: usize,
+        out: &mut Tensor,
+        col_off: usize,
+    ) {
+        assert_eq!(rows.len(), segs.len(), "one segment per gathered row");
+        assert_eq!(self.cols % k, 0, "member count must divide source width");
+        assert_eq!(out.cols % k, 0, "member count must divide output width");
+        let h = self.cols / k;
+        let bw = out.cols / k;
+        assert!(col_off + h <= bw, "block window out of range");
+        for r in 0..out.rows {
+            let row = &mut out.data[r * out.cols..(r + 1) * out.cols];
+            for m in 0..k {
+                row[m * bw + col_off..m * bw + col_off + h].fill(0.0);
+            }
+        }
+        for (&src_row, &dst_row) in rows.iter().zip(segs) {
+            let src = &self.data[src_row * self.cols..(src_row + 1) * self.cols];
+            let dst = &mut out.data[dst_row * out.cols..(dst_row + 1) * out.cols];
+            for m in 0..k {
+                let s = &src[m * h..(m + 1) * h];
+                let d = &mut dst[m * bw + col_off..m * bw + col_off + h];
+                for (dv, sv) in d.iter_mut().zip(s) {
+                    *dv += *sv;
+                }
+            }
+        }
+    }
+
+    /// Member-major gather into per-member *block windows*:
+    /// `out[r][m*block_w + col_off .. + h] = self[idx[r]][m*h ..]` with
+    /// `self` `[rows, k*h]` member-major and `out` `[idx.len(), k*block_w]`.
+    /// Pure copies — exact, like [`Tensor::gather_rows_into_cols`].
+    pub fn gather_rows_into_blocks(&self, idx: &[usize], k: usize, out: &mut Tensor, col_off: usize) {
+        assert_eq!(out.rows, idx.len(), "one output row per index");
+        assert_eq!(self.cols % k, 0, "member count must divide source width");
+        assert_eq!(out.cols % k, 0, "member count must divide output width");
+        let h = self.cols / k;
+        let bw = out.cols / k;
+        assert!(col_off + h <= bw, "block window out of range");
+        for (r, &i) in idx.iter().enumerate() {
+            let src = &self.data[i * self.cols..(i + 1) * self.cols];
+            let dst = &mut out.data[r * out.cols..(r + 1) * out.cols];
+            for m in 0..k {
+                dst[m * bw + col_off..m * bw + col_off + h].copy_from_slice(&src[m * h..(m + 1) * h]);
+            }
         }
     }
 
@@ -478,19 +541,41 @@ pub fn kernel_tier() -> &'static str {
     "scalar"
 }
 
+/// Smallest per-call output width `n` at which the dispatcher leaves the
+/// scalar tier on this machine. The fused-ensemble path uses this to keep
+/// a *wide* (`k * out_w`-column) shared-input matmul on the exact tier a
+/// sequential per-member (`out_w`-column) call would have taken, so the
+/// two stay bitwise identical even when `out_w` sits below the SIMD
+/// threshold but `k * out_w` does not.
+pub(crate) fn simd_min_width() -> usize {
+    #[cfg(target_arch = "x86_64")]
+    if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
+        return 8;
+    }
+    #[cfg(target_arch = "aarch64")]
+    if std::arch::is_aarch64_feature_detected!("neon") {
+        return 4;
+    }
+    usize::MAX
+}
+
 /// Accumulating matmul microkernel: `out += a @ b` with `a` of shape
 /// `m x kd` and `b` of shape `kd x n`, all row-major.
 fn matmul_accumulate(a: &[f32], m: usize, kd: usize, b: &[f32], n: usize, out: &mut [f32]) {
     debug_assert_eq!(a.len(), m * kd);
-    matmul_accumulate_strided(a, kd, 1, m, kd, b, n, out);
+    matmul_accumulate_strided(a, kd, 1, m, kd, b, n, n, out, n);
 }
 
 /// The shared accumulating microkernel behind all three matmul variants:
-/// `out[i][j] += Σ_k a[i * a_rs + k * a_ks] * b[k * n + j]` for an `m x n`
-/// output and a `kd`-deep reduction. `a` is read through (row, k) strides
-/// so the same kernel serves `a @ b` (`a_rs = kd, a_ks = 1`) and
-/// `a^T @ b` (`a_rs = 1, a_ks = ca`) without materializing a transpose —
-/// only scalar broadcasts of `a` are loaded, so striding costs nothing.
+/// `out[i * out_rs + j] += Σ_k a[i * a_rs + k * a_ks] * b[k * b_rs + j]`
+/// for an `m x n` output and a `kd`-deep reduction. `a` is read through
+/// (row, k) strides so the same kernel serves `a @ b` (`a_rs = kd,
+/// a_ks = 1`) and `a^T @ b` (`a_rs = 1, a_ks = ca`) without materializing
+/// a transpose — only scalar broadcasts of `a` are loaded, so striding
+/// costs nothing. `b` and `out` carry their own row strides (`b_rs`,
+/// `out_rs`, both `>= n`) so one call can read and write an `n`-column
+/// *window* of wider matrices — the fused-ensemble path runs one call per
+/// stacked member into that member's column block.
 ///
 /// Dispatches to a runtime-detected AVX2+FMA register-tiled kernel on
 /// x86-64 (4x16 output tiles held in ymm registers across the full `k`
@@ -502,27 +587,32 @@ fn matmul_accumulate(a: &[f32], m: usize, kd: usize, b: &[f32], n: usize, out: &
 /// Per output element every tier accumulates over `k` in order with a
 /// single accumulator, so the forward, inference and backward paths
 /// (which all share this function) agree bitwise with each other on the
-/// same machine.
+/// same machine; a given element's value is also independent of its
+/// column position within a tile, which is what makes member-blocked
+/// windowed calls bitwise-equal to dense per-member calls.
 #[allow(clippy::too_many_arguments)] // flat FFI-style kernel signature
-fn matmul_accumulate_strided(
+pub(crate) fn matmul_accumulate_strided(
     a: &[f32],
     a_rs: usize,
     a_ks: usize,
     m: usize,
     kd: usize,
     b: &[f32],
+    b_rs: usize,
     n: usize,
     out: &mut [f32],
+    out_rs: usize,
 ) {
+    debug_assert!(b_rs >= n && out_rs >= n);
     debug_assert!(m == 0 || kd == 0 || a.len() > (m - 1) * a_rs + (kd - 1) * a_ks);
-    debug_assert_eq!(b.len(), kd * n);
-    debug_assert_eq!(out.len(), m * n);
+    debug_assert!(kd == 0 || n == 0 || b.len() >= (kd - 1) * b_rs + n);
+    debug_assert!(m == 0 || n == 0 || out.len() >= (m - 1) * out_rs + n);
     #[cfg(target_arch = "x86_64")]
     {
         if n >= 8 && is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
             // Safety: feature detection succeeded; slice bounds are
             // checked by the debug asserts above and the loop structure.
-            unsafe { matmul_accumulate_avx2(a, a_rs, a_ks, m, kd, b, n, out) };
+            unsafe { matmul_accumulate_avx2(a, a_rs, a_ks, m, kd, b, b_rs, n, out, out_rs) };
             return;
         }
     }
@@ -530,11 +620,11 @@ fn matmul_accumulate_strided(
     {
         if n >= 4 && std::arch::is_aarch64_feature_detected!("neon") {
             // Safety: NEON is mandatory on aarch64 and detection succeeded.
-            unsafe { matmul_accumulate_neon(a, a_rs, a_ks, m, kd, b, n, out) };
+            unsafe { matmul_accumulate_neon(a, a_rs, a_ks, m, kd, b, b_rs, n, out, out_rs) };
             return;
         }
     }
-    matmul_accumulate_scalar(a, a_rs, a_ks, m, kd, b, n, out);
+    matmul_accumulate_scalar(a, a_rs, a_ks, m, kd, b, b_rs, n, out, out_rs);
 }
 
 /// AVX2+FMA kernel: 4-row x 16-column output tiles kept in registers
@@ -550,8 +640,10 @@ unsafe fn matmul_accumulate_avx2(
     m: usize,
     kd: usize,
     b: &[f32],
+    b_rs: usize,
     n: usize,
     out: &mut [f32],
+    out_rs: usize,
 ) {
     use std::arch::x86_64::*;
     let ap = a.as_ptr();
@@ -563,12 +655,12 @@ unsafe fn matmul_accumulate_avx2(
         while j + 16 <= n {
             let mut acc = [[_mm256_setzero_ps(); 2]; 4];
             for (r, acc_r) in acc.iter_mut().enumerate() {
-                acc_r[0] = _mm256_loadu_ps(op.add((i + r) * n + j));
-                acc_r[1] = _mm256_loadu_ps(op.add((i + r) * n + j + 8));
+                acc_r[0] = _mm256_loadu_ps(op.add((i + r) * out_rs + j));
+                acc_r[1] = _mm256_loadu_ps(op.add((i + r) * out_rs + j + 8));
             }
             for k in 0..kd {
-                let b0 = _mm256_loadu_ps(bp.add(k * n + j));
-                let b1 = _mm256_loadu_ps(bp.add(k * n + j + 8));
+                let b0 = _mm256_loadu_ps(bp.add(k * b_rs + j));
+                let b1 = _mm256_loadu_ps(bp.add(k * b_rs + j + 8));
                 for (r, acc_r) in acc.iter_mut().enumerate() {
                     let av = _mm256_set1_ps(*ap.add((i + r) * a_rs + k * a_ks));
                     acc_r[0] = _mm256_fmadd_ps(av, b0, acc_r[0]);
@@ -576,35 +668,35 @@ unsafe fn matmul_accumulate_avx2(
                 }
             }
             for (r, acc_r) in acc.iter().enumerate() {
-                _mm256_storeu_ps(op.add((i + r) * n + j), acc_r[0]);
-                _mm256_storeu_ps(op.add((i + r) * n + j + 8), acc_r[1]);
+                _mm256_storeu_ps(op.add((i + r) * out_rs + j), acc_r[0]);
+                _mm256_storeu_ps(op.add((i + r) * out_rs + j + 8), acc_r[1]);
             }
             j += 16;
         }
         while j + 8 <= n {
             let mut acc = [_mm256_setzero_ps(); 4];
             for (r, acc_r) in acc.iter_mut().enumerate() {
-                *acc_r = _mm256_loadu_ps(op.add((i + r) * n + j));
+                *acc_r = _mm256_loadu_ps(op.add((i + r) * out_rs + j));
             }
             for k in 0..kd {
-                let b0 = _mm256_loadu_ps(bp.add(k * n + j));
+                let b0 = _mm256_loadu_ps(bp.add(k * b_rs + j));
                 for (r, acc_r) in acc.iter_mut().enumerate() {
                     let av = _mm256_set1_ps(*ap.add((i + r) * a_rs + k * a_ks));
                     *acc_r = _mm256_fmadd_ps(av, b0, *acc_r);
                 }
             }
             for (r, acc_r) in acc.iter().enumerate() {
-                _mm256_storeu_ps(op.add((i + r) * n + j), *acc_r);
+                _mm256_storeu_ps(op.add((i + r) * out_rs + j), *acc_r);
             }
             j += 8;
         }
         while j < n {
             for r in 0..4 {
-                let mut acc = *op.add((i + r) * n + j);
+                let mut acc = *op.add((i + r) * out_rs + j);
                 for k in 0..kd {
-                    acc = (*ap.add((i + r) * a_rs + k * a_ks)).mul_add(*bp.add(k * n + j), acc);
+                    acc = (*ap.add((i + r) * a_rs + k * a_ks)).mul_add(*bp.add(k * b_rs + j), acc);
                 }
-                *op.add((i + r) * n + j) = acc;
+                *op.add((i + r) * out_rs + j) = acc;
             }
             j += 1;
         }
@@ -613,20 +705,20 @@ unsafe fn matmul_accumulate_avx2(
     while i < m {
         let mut j = 0;
         while j + 8 <= n {
-            let mut acc = _mm256_loadu_ps(op.add(i * n + j));
+            let mut acc = _mm256_loadu_ps(op.add(i * out_rs + j));
             for k in 0..kd {
                 let av = _mm256_set1_ps(*ap.add(i * a_rs + k * a_ks));
-                acc = _mm256_fmadd_ps(av, _mm256_loadu_ps(bp.add(k * n + j)), acc);
+                acc = _mm256_fmadd_ps(av, _mm256_loadu_ps(bp.add(k * b_rs + j)), acc);
             }
-            _mm256_storeu_ps(op.add(i * n + j), acc);
+            _mm256_storeu_ps(op.add(i * out_rs + j), acc);
             j += 8;
         }
         while j < n {
-            let mut acc = *op.add(i * n + j);
+            let mut acc = *op.add(i * out_rs + j);
             for k in 0..kd {
-                acc = (*ap.add(i * a_rs + k * a_ks)).mul_add(*bp.add(k * n + j), acc);
+                acc = (*ap.add(i * a_rs + k * a_ks)).mul_add(*bp.add(k * b_rs + j), acc);
             }
-            *op.add(i * n + j) = acc;
+            *op.add(i * out_rs + j) = acc;
             j += 1;
         }
         i += 1;
@@ -646,8 +738,10 @@ unsafe fn matmul_accumulate_neon(
     m: usize,
     kd: usize,
     b: &[f32],
+    b_rs: usize,
     n: usize,
     out: &mut [f32],
+    out_rs: usize,
 ) {
     use std::arch::aarch64::*;
     let ap = a.as_ptr();
@@ -659,12 +753,12 @@ unsafe fn matmul_accumulate_neon(
         while j + 8 <= n {
             let mut acc = [[vdupq_n_f32(0.0); 2]; 4];
             for (r, acc_r) in acc.iter_mut().enumerate() {
-                acc_r[0] = vld1q_f32(op.add((i + r) * n + j));
-                acc_r[1] = vld1q_f32(op.add((i + r) * n + j + 4));
+                acc_r[0] = vld1q_f32(op.add((i + r) * out_rs + j));
+                acc_r[1] = vld1q_f32(op.add((i + r) * out_rs + j + 4));
             }
             for k in 0..kd {
-                let b0 = vld1q_f32(bp.add(k * n + j));
-                let b1 = vld1q_f32(bp.add(k * n + j + 4));
+                let b0 = vld1q_f32(bp.add(k * b_rs + j));
+                let b1 = vld1q_f32(bp.add(k * b_rs + j + 4));
                 for (r, acc_r) in acc.iter_mut().enumerate() {
                     let av = *ap.add((i + r) * a_rs + k * a_ks);
                     acc_r[0] = vfmaq_n_f32(acc_r[0], b0, av);
@@ -672,35 +766,35 @@ unsafe fn matmul_accumulate_neon(
                 }
             }
             for (r, acc_r) in acc.iter().enumerate() {
-                vst1q_f32(op.add((i + r) * n + j), acc_r[0]);
-                vst1q_f32(op.add((i + r) * n + j + 4), acc_r[1]);
+                vst1q_f32(op.add((i + r) * out_rs + j), acc_r[0]);
+                vst1q_f32(op.add((i + r) * out_rs + j + 4), acc_r[1]);
             }
             j += 8;
         }
         while j + 4 <= n {
             let mut acc = [vdupq_n_f32(0.0); 4];
             for (r, acc_r) in acc.iter_mut().enumerate() {
-                *acc_r = vld1q_f32(op.add((i + r) * n + j));
+                *acc_r = vld1q_f32(op.add((i + r) * out_rs + j));
             }
             for k in 0..kd {
-                let b0 = vld1q_f32(bp.add(k * n + j));
+                let b0 = vld1q_f32(bp.add(k * b_rs + j));
                 for (r, acc_r) in acc.iter_mut().enumerate() {
                     let av = *ap.add((i + r) * a_rs + k * a_ks);
                     *acc_r = vfmaq_n_f32(*acc_r, b0, av);
                 }
             }
             for (r, acc_r) in acc.iter().enumerate() {
-                vst1q_f32(op.add((i + r) * n + j), *acc_r);
+                vst1q_f32(op.add((i + r) * out_rs + j), *acc_r);
             }
             j += 4;
         }
         while j < n {
             for r in 0..4 {
-                let mut acc = *op.add((i + r) * n + j);
+                let mut acc = *op.add((i + r) * out_rs + j);
                 for k in 0..kd {
-                    acc = (*ap.add((i + r) * a_rs + k * a_ks)).mul_add(*bp.add(k * n + j), acc);
+                    acc = (*ap.add((i + r) * a_rs + k * a_ks)).mul_add(*bp.add(k * b_rs + j), acc);
                 }
-                *op.add((i + r) * n + j) = acc;
+                *op.add((i + r) * out_rs + j) = acc;
             }
             j += 1;
         }
@@ -709,20 +803,20 @@ unsafe fn matmul_accumulate_neon(
     while i < m {
         let mut j = 0;
         while j + 4 <= n {
-            let mut acc = vld1q_f32(op.add(i * n + j));
+            let mut acc = vld1q_f32(op.add(i * out_rs + j));
             for k in 0..kd {
                 let av = *ap.add(i * a_rs + k * a_ks);
-                acc = vfmaq_n_f32(acc, vld1q_f32(bp.add(k * n + j)), av);
+                acc = vfmaq_n_f32(acc, vld1q_f32(bp.add(k * b_rs + j)), av);
             }
-            vst1q_f32(op.add(i * n + j), acc);
+            vst1q_f32(op.add(i * out_rs + j), acc);
             j += 4;
         }
         while j < n {
-            let mut acc = *op.add(i * n + j);
+            let mut acc = *op.add(i * out_rs + j);
             for k in 0..kd {
-                acc = (*ap.add(i * a_rs + k * a_ks)).mul_add(*bp.add(k * n + j), acc);
+                acc = (*ap.add(i * a_rs + k * a_ks)).mul_add(*bp.add(k * b_rs + j), acc);
             }
-            *op.add(i * n + j) = acc;
+            *op.add(i * out_rs + j) = acc;
             j += 1;
         }
         i += 1;
@@ -731,29 +825,32 @@ unsafe fn matmul_accumulate_neon(
 
 /// Portable fallback kernel (also the non-SIMD path for narrow outputs).
 #[allow(clippy::too_many_arguments)]
-fn matmul_accumulate_scalar(
+pub(crate) fn matmul_accumulate_scalar(
     a: &[f32],
     a_rs: usize,
     a_ks: usize,
     m: usize,
     kd: usize,
     b: &[f32],
+    b_rs: usize,
     n: usize,
     out: &mut [f32],
+    out_rs: usize,
 ) {
     let mut i = 0;
     while i + 4 <= m {
-        let mut rows = out[i * n..(i + 4) * n].chunks_exact_mut(n);
-        let o0 = rows.next().expect("row 0");
-        let o1 = rows.next().expect("row 1");
-        let o2 = rows.next().expect("row 2");
-        let o3 = rows.next().expect("row 3");
+        // Four disjoint strided row windows (split_at_mut keeps the
+        // borrow checker happy; the last window only needs `n` columns).
+        let (o0, rest) = out[i * out_rs..].split_at_mut(out_rs);
+        let (o1, rest) = rest.split_at_mut(out_rs);
+        let (o2, rest) = rest.split_at_mut(out_rs);
+        let (o0, o1, o2, o3) = (&mut o0[..n], &mut o1[..n], &mut o2[..n], &mut rest[..n]);
         for k in 0..kd {
             let a0 = a[i * a_rs + k * a_ks];
             let a1 = a[(i + 1) * a_rs + k * a_ks];
             let a2 = a[(i + 2) * a_rs + k * a_ks];
             let a3 = a[(i + 3) * a_rs + k * a_ks];
-            let brow = &b[k * n..(k + 1) * n];
+            let brow = &b[k * b_rs..k * b_rs + n];
             // Lockstep zips let LLVM drop every bounds check and vectorize.
             let it = o0
                 .iter_mut()
@@ -771,13 +868,407 @@ fn matmul_accumulate_scalar(
         i += 4;
     }
     while i < m {
-        let orow = &mut out[i * n..(i + 1) * n];
+        let orow = &mut out[i * out_rs..i * out_rs + n];
         for k in 0..kd {
             let av = a[i * a_rs + k * a_ks];
-            let brow = &b[k * n..(k + 1) * n];
+            let brow = &b[k * b_rs..k * b_rs + n];
             for (o, &bv) in orow.iter_mut().zip(brow) {
                 *o += av * bv;
             }
+        }
+        i += 1;
+    }
+}
+
+/// Descriptor for one serving-only fused layer call:
+/// `out[out_row(i)][j] = epilogue(Σ_k a[a_row(i)][k] * b[k][j])`, where the
+/// epilogue is bias add (after an optional per-channel dequantization
+/// scale) and optional ReLU, folded into the register store.
+///
+/// Unlike [`matmul_accumulate_strided`] this kernel has *assign*
+/// semantics — the accumulators start at `+0.0` instead of loading `out`
+/// — so the destination never needs a zero-fill pass, and the optional
+/// row maps let it read gathered input rows and scatter output rows
+/// without materializing either permutation.
+///
+/// # Bitwise identity
+///
+/// For [`FusedLayer::scale`]` == None` the result is bitwise identical to
+/// zero-fill + [`matmul_accumulate_strided`] (AVX2 tier) + the
+/// [`Tensor::affine_into`] bias/ReLU tail, for every reachable input:
+///
+/// * `fma(a, b, +0.0)` equals `fma(a, b, load(out))` when `out` was
+///   zero-filled, so seeding the accumulators from `_mm256_setzero_ps`
+///   instead of loading the zeroed destination changes nothing; the
+///   per-element in-order single-accumulator chain over `k` is the same.
+/// * An accumulator chain seeded from `+0.0` can never become `-0.0`
+///   under round-to-nearest: a sum is `-0.0` only when *both* addends
+///   are `-0.0` (exact cancellation yields `+0.0`), and the seed is
+///   `+0.0` — so by induction the accumulator, and therefore
+///   `acc + bias`, is never `-0.0`, and writing the row through a
+///   scatter map is bit-equal to scatter-*add* onto zeroed rows.
+/// * The scalar column fringe chains `mul_add` from `0.0f32` exactly as
+///   the AVX2 tier's scalar fringe chains it from the zeroed
+///   destination. (This kernel only ever runs where the sequential
+///   dispatch would pick AVX2, see [`fused_layer_fast`] — the scalar
+///   *tier*'s two-rounding `+=` is not replicated here.)
+///
+/// The int8 epilogue (`scale == Some`) is `acc * scale + bias` with two
+/// roundings (mul then add, matching the portable epilogue) — that path
+/// is approximate by design and carries no bitwise claim.
+#[derive(Clone, Copy)]
+pub(crate) struct FusedLayer<'a> {
+    /// Input base (possibly a member column window of a wider matrix),
+    /// row stride `a_rs`; logical row `i` reads physical row
+    /// `a_rows[i]` when a map is given.
+    pub a: &'a [f32],
+    pub a_rs: usize,
+    pub a_rows: Option<&'a [usize]>,
+    /// Logical row count and reduction depth.
+    pub m: usize,
+    pub kd: usize,
+    /// Weight window, row stride `b_rs >= n`.
+    pub b: &'a [f32],
+    pub b_rs: usize,
+    pub n: usize,
+    /// Bias window (`n` entries) and optional per-channel dequantization
+    /// scales (`n` entries, int8 views only).
+    pub bias: &'a [f32],
+    pub scale: Option<&'a [f32]>,
+    pub relu: bool,
+    /// Output window, row stride `out_rs`; logical row `i` writes
+    /// physical row `out_rows[i]` when a map is given.
+    pub out_rs: usize,
+    pub out_rows: Option<&'a [usize]>,
+}
+
+/// True when [`fused_layer_fast`] has a kernel for an `n`-column call on
+/// this machine — i.e. exactly when [`matmul_accumulate_strided`] would
+/// dispatch the AVX2 tier, so using the fused kernel never changes which
+/// tier's rounding a call sees.
+pub(crate) fn fused_layer_available(n: usize) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        n >= 8 && is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = n;
+        false
+    }
+}
+
+/// Runs the serving-only fused layer kernel (see [`FusedLayer`]); returns
+/// `false` without touching `out` when no fast kernel applies here
+/// (caller composes the portable fallback from the standard primitives).
+pub(crate) fn fused_layer_fast(l: &FusedLayer<'_>, out: &mut [f32]) -> bool {
+    if !fused_layer_available(l.n) {
+        return false;
+    }
+    assert!(l.bias.len() >= l.n, "bias window too short");
+    if let Some(s) = l.scale {
+        assert!(s.len() >= l.n, "scale window too short");
+    }
+    if let Some(r) = l.a_rows {
+        assert!(r.len() >= l.m, "input row map too short");
+    }
+    if let Some(r) = l.out_rows {
+        assert!(r.len() >= l.m, "output row map too short");
+    }
+    debug_assert!(l.b_rs >= l.n && l.b.len() >= l.kd.saturating_sub(1) * l.b_rs + l.n);
+    debug_assert!((0..l.m).all(|i| {
+        let ar = l.a_rows.map_or(i, |r| r[i]);
+        let or = l.out_rows.map_or(i, |r| r[i]);
+        (l.kd == 0 || l.a.len() >= ar * l.a_rs + l.kd) && out.len() >= or * l.out_rs + l.n
+    }));
+    #[cfg(target_arch = "x86_64")]
+    // Safety: feature detection succeeded in `fused_layer_available` /
+    // the avx512f check; bounds are guarded by the asserts above.
+    unsafe {
+        if is_x86_feature_detected!("avx512f") {
+            fused_layer_avx512(l, out);
+        } else {
+            fused_layer_avx2(l, out);
+        }
+    };
+    true
+}
+
+/// AVX-512 fused layer kernel: 6-row x 48-column assign tiles (18 fma
+/// accumulators + 3 `b` vectors in zmm), a 16-wide column block, and a
+/// *masked* column tail, with row fringes of 1..=5 rows sharing the same
+/// column structure. Bias / scale / ReLU are applied in registers before
+/// the store, exactly like the AVX2 tier.
+///
+/// # Bitwise identity
+///
+/// Identical to [`fused_layer_avx2`] (and therefore to the sequential
+/// AVX2 dispatch tier): vector *width* only groups more independent
+/// output elements per instruction — each element still accumulates
+/// through one in-order single-accumulator FMA chain over `k`, each FMA
+/// rounds once, and the masked tail writes FMA-chained elements just as
+/// the AVX2 tier's `mul_add` scalar fringe does. Lane grouping changes
+/// which elements travel together, never what any element accumulates.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn fused_layer_avx512(l: &FusedLayer<'_>, out: &mut [f32]) {
+    use std::arch::x86_64::*;
+    let ap = l.a.as_ptr();
+    let bp = l.b.as_ptr();
+    let biasp = l.bias.as_ptr();
+    let op = out.as_mut_ptr();
+    let zero = _mm512_setzero_ps();
+    macro_rules! a_base {
+        ($i:expr) => {
+            (match l.a_rows {
+                Some(r) => *r.get_unchecked($i),
+                None => $i,
+            }) * l.a_rs
+        };
+    }
+    macro_rules! o_base {
+        ($i:expr) => {
+            (match l.out_rows {
+                Some(r) => *r.get_unchecked($i),
+                None => $i,
+            }) * l.out_rs
+        };
+    }
+    // Folded epilogue on one 16-lane accumulator at column `j`.
+    macro_rules! fin {
+        ($acc:expr, $j:expr) => {{
+            let bv = _mm512_loadu_ps(biasp.add($j));
+            let mut v = match l.scale {
+                Some(s) => _mm512_add_ps(_mm512_mul_ps($acc, _mm512_loadu_ps(s.as_ptr().add($j))), bv),
+                None => _mm512_add_ps($acc, bv),
+            };
+            if l.relu {
+                v = _mm512_max_ps(v, zero);
+            }
+            v
+        }};
+    }
+    // Masked variant for the <16-column tail.
+    macro_rules! fin_m {
+        ($acc:expr, $j:expr, $mask:expr) => {{
+            let bv = _mm512_maskz_loadu_ps($mask, biasp.add($j));
+            let mut v = match l.scale {
+                Some(s) => _mm512_add_ps(
+                    _mm512_mul_ps($acc, _mm512_maskz_loadu_ps($mask, s.as_ptr().add($j))),
+                    bv,
+                ),
+                None => _mm512_add_ps($acc, bv),
+            };
+            if l.relu {
+                v = _mm512_max_ps(v, zero);
+            }
+            v
+        }};
+    }
+    // One row block of `R <= 6` rows (const-generic so each variant
+    // compiles to a fixed register tile).
+    macro_rules! row_block {
+        ($rows:expr, $i:expr) => {{
+            let r_n: usize = $rows;
+            let mut ab = [0usize; 6];
+            let mut ob = [0usize; 6];
+            for r in 0..r_n {
+                ab[r] = a_base!($i + r);
+                ob[r] = o_base!($i + r);
+            }
+            let mut j = 0;
+            while j + 48 <= l.n {
+                let mut acc = [[zero; 3]; 6];
+                for k in 0..l.kd {
+                    let bk = bp.add(k * l.b_rs + j);
+                    let b0 = _mm512_loadu_ps(bk);
+                    let b1 = _mm512_loadu_ps(bk.add(16));
+                    let b2 = _mm512_loadu_ps(bk.add(32));
+                    for r in 0..r_n {
+                        let av = _mm512_set1_ps(*ap.add(ab[r] + k));
+                        acc[r][0] = _mm512_fmadd_ps(av, b0, acc[r][0]);
+                        acc[r][1] = _mm512_fmadd_ps(av, b1, acc[r][1]);
+                        acc[r][2] = _mm512_fmadd_ps(av, b2, acc[r][2]);
+                    }
+                }
+                for r in 0..r_n {
+                    _mm512_storeu_ps(op.add(ob[r] + j), fin!(acc[r][0], j));
+                    _mm512_storeu_ps(op.add(ob[r] + j + 16), fin!(acc[r][1], j + 16));
+                    _mm512_storeu_ps(op.add(ob[r] + j + 32), fin!(acc[r][2], j + 32));
+                }
+                j += 48;
+            }
+            while j + 16 <= l.n {
+                let mut acc = [zero; 6];
+                for k in 0..l.kd {
+                    let b0 = _mm512_loadu_ps(bp.add(k * l.b_rs + j));
+                    for r in 0..r_n {
+                        let av = _mm512_set1_ps(*ap.add(ab[r] + k));
+                        acc[r] = _mm512_fmadd_ps(av, b0, acc[r]);
+                    }
+                }
+                for r in 0..r_n {
+                    _mm512_storeu_ps(op.add(ob[r] + j), fin!(acc[r], j));
+                }
+                j += 16;
+            }
+            if j < l.n {
+                let mask: __mmask16 = (1u16 << (l.n - j)) - 1;
+                let mut acc = [zero; 6];
+                for k in 0..l.kd {
+                    let b0 = _mm512_maskz_loadu_ps(mask, bp.add(k * l.b_rs + j));
+                    for r in 0..r_n {
+                        let av = _mm512_set1_ps(*ap.add(ab[r] + k));
+                        acc[r] = _mm512_fmadd_ps(av, b0, acc[r]);
+                    }
+                }
+                for r in 0..r_n {
+                    _mm512_mask_storeu_ps(op.add(ob[r] + j), mask, fin_m!(acc[r], j, mask));
+                }
+            }
+        }};
+    }
+    let mut i = 0;
+    while i + 6 <= l.m {
+        row_block!(6, i);
+        i += 6;
+    }
+    let rem = l.m - i;
+    if rem > 0 {
+        row_block!(rem, i);
+    }
+}
+
+/// AVX2+FMA fused layer kernel: 4-row x 24-column assign tiles (12 fma
+/// accumulators + 3 `b` vectors — the widest tile that still fits ymm),
+/// with 8-wide and scalar column fringes and a 1-row fringe. Bias /
+/// scale / ReLU are applied in registers before the store.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn fused_layer_avx2(l: &FusedLayer<'_>, out: &mut [f32]) {
+    use std::arch::x86_64::*;
+    let ap = l.a.as_ptr();
+    let bp = l.b.as_ptr();
+    let biasp = l.bias.as_ptr();
+    let op = out.as_mut_ptr();
+    let zero = _mm256_setzero_ps();
+    // Row base offsets through the optional maps (macros, not closures,
+    // so everything stays inside this target_feature body).
+    macro_rules! a_base {
+        ($i:expr) => {
+            (match l.a_rows {
+                Some(r) => *r.get_unchecked($i),
+                None => $i,
+            }) * l.a_rs
+        };
+    }
+    macro_rules! o_base {
+        ($i:expr) => {
+            (match l.out_rows {
+                Some(r) => *r.get_unchecked($i),
+                None => $i,
+            }) * l.out_rs
+        };
+    }
+    // Folded epilogue on one 8-lane accumulator at column `j`.
+    macro_rules! fin {
+        ($acc:expr, $j:expr) => {{
+            let bv = _mm256_loadu_ps(biasp.add($j));
+            let mut v = match l.scale {
+                Some(s) => _mm256_add_ps(_mm256_mul_ps($acc, _mm256_loadu_ps(s.as_ptr().add($j))), bv),
+                None => _mm256_add_ps($acc, bv),
+            };
+            if l.relu {
+                v = _mm256_max_ps(v, zero);
+            }
+            v
+        }};
+    }
+    macro_rules! fin1 {
+        ($acc:expr, $j:expr) => {{
+            let v = match l.scale {
+                Some(s) => $acc * s[$j] + l.bias[$j],
+                None => $acc + l.bias[$j],
+            };
+            if l.relu {
+                v.max(0.0)
+            } else {
+                v
+            }
+        }};
+    }
+    let mut i = 0;
+    while i + 4 <= l.m {
+        let ab = [a_base!(i), a_base!(i + 1), a_base!(i + 2), a_base!(i + 3)];
+        let ob = [o_base!(i), o_base!(i + 1), o_base!(i + 2), o_base!(i + 3)];
+        let mut j = 0;
+        while j + 24 <= l.n {
+            let mut acc = [[zero; 3]; 4];
+            for k in 0..l.kd {
+                let bk = bp.add(k * l.b_rs + j);
+                let b0 = _mm256_loadu_ps(bk);
+                let b1 = _mm256_loadu_ps(bk.add(8));
+                let b2 = _mm256_loadu_ps(bk.add(16));
+                for (r, acc_r) in acc.iter_mut().enumerate() {
+                    let av = _mm256_set1_ps(*ap.add(ab[r] + k));
+                    acc_r[0] = _mm256_fmadd_ps(av, b0, acc_r[0]);
+                    acc_r[1] = _mm256_fmadd_ps(av, b1, acc_r[1]);
+                    acc_r[2] = _mm256_fmadd_ps(av, b2, acc_r[2]);
+                }
+            }
+            for (r, acc_r) in acc.iter().enumerate() {
+                _mm256_storeu_ps(op.add(ob[r] + j), fin!(acc_r[0], j));
+                _mm256_storeu_ps(op.add(ob[r] + j + 8), fin!(acc_r[1], j + 8));
+                _mm256_storeu_ps(op.add(ob[r] + j + 16), fin!(acc_r[2], j + 16));
+            }
+            j += 24;
+        }
+        while j + 8 <= l.n {
+            let mut acc = [zero; 4];
+            for k in 0..l.kd {
+                let b0 = _mm256_loadu_ps(bp.add(k * l.b_rs + j));
+                for (r, acc_r) in acc.iter_mut().enumerate() {
+                    let av = _mm256_set1_ps(*ap.add(ab[r] + k));
+                    *acc_r = _mm256_fmadd_ps(av, b0, *acc_r);
+                }
+            }
+            for (r, acc_r) in acc.iter().enumerate() {
+                _mm256_storeu_ps(op.add(ob[r] + j), fin!(*acc_r, j));
+            }
+            j += 8;
+        }
+        while j < l.n {
+            for r in 0..4 {
+                let mut acc = 0.0f32;
+                for k in 0..l.kd {
+                    acc = (*ap.add(ab[r] + k)).mul_add(*bp.add(k * l.b_rs + j), acc);
+                }
+                *op.add(ob[r] + j) = fin1!(acc, j);
+            }
+            j += 1;
+        }
+        i += 4;
+    }
+    while i < l.m {
+        let ab = a_base!(i);
+        let ob = o_base!(i);
+        let mut j = 0;
+        while j + 8 <= l.n {
+            let mut acc = zero;
+            for k in 0..l.kd {
+                let av = _mm256_set1_ps(*ap.add(ab + k));
+                acc = _mm256_fmadd_ps(av, _mm256_loadu_ps(bp.add(k * l.b_rs + j)), acc);
+            }
+            _mm256_storeu_ps(op.add(ob + j), fin!(acc, j));
+            j += 8;
+        }
+        while j < l.n {
+            let mut acc = 0.0f32;
+            for k in 0..l.kd {
+                acc = (*ap.add(ab + k)).mul_add(*bp.add(k * l.b_rs + j), acc);
+            }
+            *op.add(ob + j) = fin1!(acc, j);
+            j += 1;
         }
         i += 1;
     }
@@ -1006,7 +1497,7 @@ mod tests {
             // Forward orientation.
             let fast = a.matmul(&b);
             let mut slow = Tensor::zeros(m, n);
-            matmul_accumulate_scalar(a.data(), k, 1, m, k, b.data(), n, slow.data_mut());
+            matmul_accumulate_scalar(a.data(), k, 1, m, k, b.data(), n, n, slow.data_mut(), n);
             for (x, y) in fast.data().iter().zip(slow.data()) {
                 assert!((x - y).abs() < 1e-4 * (1.0 + y.abs()), "matmul {m}x{k}x{n}: {x} vs {y}");
             }
@@ -1014,7 +1505,7 @@ mod tests {
             // (k x n)^T @ (k x n) = n x n through both paths.
             let tf = b.t_matmul(&b);
             let mut ts = Tensor::zeros(n, n);
-            matmul_accumulate_scalar(b.data(), 1, n, n, k, b.data(), n, ts.data_mut());
+            matmul_accumulate_scalar(b.data(), 1, n, n, k, b.data(), n, n, ts.data_mut(), n);
             for (x, y) in tf.data().iter().zip(ts.data()) {
                 assert!((x - y).abs() < 1e-4 * (1.0 + y.abs()), "t_matmul {k}x{n}^T: {x} vs {y}");
             }

@@ -28,7 +28,17 @@
 //!   [`ServeError::Overloaded`] immediately instead of unbounded latency.
 //! * Each worker owns a recycled
 //!   [`InferenceArena`](costream_nn::InferenceArena), and one coalesced
-//!   batch serves *all* ensemble members.
+//!   batch serves *all* ensemble members through the **member-fused**
+//!   view ([`FusedEnsemble`](costream::fused::FusedEnsemble)): the
+//!   members' weights are stacked once at startup, so every wave runs
+//!   one wider matmul per layer and the plan bookkeeping executes once
+//!   per batch instead of once per member.
+//! * Opt-in **int8 serving** (`COSTREAM_SERVE_PRECISION=int8`): weights
+//!   of the GNN body are quantized per output channel with f32
+//!   accumulation, gated by a startup self-test — the service measures
+//!   the quantized view's q-error against the exact path on a probe
+//!   workload and falls back to exact f32 when it exceeds
+//!   [`ServeConfig::int8_q_bound`]. Never the default.
 //! * [`ServeScorer`] plugs three services (target metric + the
 //!   success/backpressure sanity models) into the placement-search
 //!   subsystem of [`costream::search`]: concurrent optimizer runs
@@ -36,13 +46,14 @@
 //!   inside the services — the serving layer is the optimizer's
 //!   backend, not just a demo.
 //!
-//! Serving is **bitwise identical** to the direct prediction path: the
-//! worker chunks coalesced batches at the same width as
-//! `Ensemble::predict_graphs`, every kernel accumulates per output
-//! element in the same order regardless of batch composition, and member
-//! combination is shared code — the golden tests in `tests/golden.rs`
-//! assert exact equality under heavy concurrency for both
-//! message-passing schemes.
+//! At the default exact precision, serving is **bitwise identical** to
+//! the direct prediction path: the worker chunks coalesced batches at
+//! the same width as `Ensemble::predict_graphs`, the fused view
+//! preserves every kernel's per-element accumulation order (see
+//! [`costream::fused`] for the identity argument), and member
+//! combination is order-identical shared code — the golden tests in
+//! `tests/golden.rs` assert exact equality under heavy concurrency for
+//! both message-passing schemes.
 //!
 //! ```no_run
 //! use costream::prelude::*;
@@ -62,6 +73,7 @@
 mod scorer;
 mod service;
 
+pub use costream::fused::Precision;
 pub use costream::plan::CacheStats;
 pub use scorer::ServeScorer;
 pub use service::{Pending, ScoreClient, ScoreRequest, ScoringService, ServeStats};
@@ -96,6 +108,24 @@ pub struct ServeConfig {
     pub queue_cap: usize,
     /// Capacity (distinct batch topologies) of the shared plan cache.
     pub plan_cache_cap: usize,
+    /// *Requested* serving precision. Defaults to the
+    /// `COSTREAM_SERVE_PRECISION` environment variable (`"exact"` or
+    /// `"int8"`) when set, else [`Precision::Exact`] — int8 is strictly
+    /// opt-in and never the default. Requesting [`Precision::Int8`]
+    /// triggers a startup self-test
+    /// ([`costream::fused::int8_self_test`]); the service only serves
+    /// int8 when the measured q-error stays within [`int8_q_bound`],
+    /// and otherwise falls back to exact f32 (the *effective* precision
+    /// is [`ScoringService::precision`]). An unparsable variable warns
+    /// on stderr and serves exact rather than aborting the process.
+    ///
+    /// [`int8_q_bound`]: ServeConfig::int8_q_bound
+    pub precision: Precision,
+    /// Worst-case q-error the int8 startup self-test may measure before
+    /// the service refuses int8 and falls back to exact f32. Defaults to
+    /// the `COSTREAM_SERVE_INT8_QBOUND` environment variable when set
+    /// (and parsable), else `1.05`. Ignored at [`Precision::Exact`].
+    pub int8_q_bound: f64,
 }
 
 impl Default for ServeConfig {
@@ -106,8 +136,33 @@ impl Default for ServeConfig {
             max_delay_us: 200,
             queue_cap: 1024,
             plan_cache_cap: 128,
+            precision: default_precision(),
+            int8_q_bound: default_int8_q_bound(),
         }
     }
+}
+
+/// Requested-precision default: `COSTREAM_SERVE_PRECISION` when set and
+/// valid (CI uses this to run the golden suites under the int8 gate),
+/// else exact f32. Invalid values warn and serve exact — a serving
+/// process must not abort over a malformed tuning knob.
+fn default_precision() -> Precision {
+    match std::env::var("COSTREAM_SERVE_PRECISION") {
+        Ok(v) => v.parse().unwrap_or_else(|e| {
+            eprintln!("warning: ignoring COSTREAM_SERVE_PRECISION: {e}");
+            Precision::Exact
+        }),
+        Err(_) => Precision::Exact,
+    }
+}
+
+/// Int8 self-test bound default: `COSTREAM_SERVE_INT8_QBOUND` when set
+/// and parsable, else 1.05.
+fn default_int8_q_bound() -> f64 {
+    std::env::var("COSTREAM_SERVE_INT8_QBOUND")
+        .ok()
+        .and_then(|v| v.trim().parse::<f64>().ok())
+        .unwrap_or(1.05)
 }
 
 /// Worker-count default: `COSTREAM_SERVE_WORKERS` when set (CI uses this

@@ -2,8 +2,9 @@
 
 use crate::{ServeConfig, ServeError};
 use costream::ensemble::Ensemble;
+use costream::fused::{int8_self_test, FusedEnsemble, Precision};
 use costream::graph::{Featurization, JointGraph};
-use costream::model::INFERENCE_CHUNK;
+use costream::model::inference_chunk;
 use costream::plan::{plan_signature, CacheStats, PlanCache, PlanSignature};
 use costream_nn::InferenceArena;
 use costream_query::hardware::Cluster;
@@ -108,6 +109,13 @@ struct StatsInner {
 
 struct Shared {
     ensemble: Ensemble,
+    /// The member-fused view the workers actually score with — stacked
+    /// once at startup at the *effective* precision (exact, or int8 when
+    /// requested and the startup self-test passed).
+    fused: FusedEnsemble,
+    /// `Some(measured_q)` when int8 was requested but its self-test
+    /// exceeded the configured bound and the service fell back to exact.
+    int8_fallback_q: Option<f64>,
     cfg: ServeConfig,
     queue: Mutex<QueueState>,
     /// Signalled on submission and on shutdown.
@@ -175,8 +183,32 @@ impl ScoringService {
         assert!(cfg.max_batch > 0, "max_batch must be >= 1");
         assert!(cfg.queue_cap > 0, "queue_cap must be >= 1");
         let cache = PlanCache::new(cfg.plan_cache_cap);
+        // Stack the member-fused serving view once, up front. Exact
+        // stacking is unconditional (bitwise identical to the sequential
+        // ensemble); int8 must first survive the startup self-test
+        // against the configured q-error bound, else the service warns
+        // and serves exact f32 — a precision knob must degrade
+        // gracefully, not degrade predictions silently.
+        let (fused, int8_fallback_q) = match cfg.precision {
+            Precision::Exact => (ensemble.fused(), None),
+            Precision::Int8 => {
+                let probe = int8_self_test(&ensemble);
+                if probe.max_q <= cfg.int8_q_bound {
+                    (probe.view, None)
+                } else {
+                    eprintln!(
+                        "warning: int8 serving self-test failed (q-error {:.4} > bound {:.4}); \
+                         falling back to exact f32",
+                        probe.max_q, cfg.int8_q_bound
+                    );
+                    (ensemble.fused(), Some(probe.max_q))
+                }
+            }
+        };
         let shared = Arc::new(Shared {
             ensemble,
+            fused,
+            int8_fallback_q,
             queue: Mutex::new(QueueState {
                 requests: VecDeque::new(),
                 shutdown: false,
@@ -208,6 +240,21 @@ impl ScoringService {
     /// The served ensemble.
     pub fn ensemble(&self) -> &Ensemble {
         &self.shared.ensemble
+    }
+
+    /// The *effective* serving precision: [`Precision::Int8`] only when
+    /// it was requested **and** the startup self-test stayed within
+    /// [`ServeConfig::int8_q_bound`](crate::ServeConfig::int8_q_bound);
+    /// [`Precision::Exact`] otherwise.
+    pub fn precision(&self) -> Precision {
+        self.shared.fused.precision()
+    }
+
+    /// The q-error the int8 startup self-test measured when it *failed*
+    /// and the service fell back to exact f32 — `None` when int8 was
+    /// never requested or is actively serving.
+    pub fn int8_fallback_q(&self) -> Option<f64> {
+        self.shared.int8_fallback_q
     }
 
     /// Snapshot of the serving counters (including plan-cache hit/miss).
@@ -344,6 +391,12 @@ impl ScoreClient {
         self.shared.ensemble.metric
     }
 
+    /// The effective serving precision (see
+    /// [`ScoringService::precision`]).
+    pub fn precision(&self) -> Precision {
+        self.shared.fused.precision()
+    }
+
     /// Snapshot of the service's plan-cache counters (see
     /// [`ScoringService::cache_stats`]).
     pub fn cache_stats(&self) -> CacheStats {
@@ -373,6 +426,10 @@ impl Pending {
 /// recycled.
 fn worker_loop(sh: &Shared) {
     let mut arena = InferenceArena::new();
+    // Resolved once per worker: the chunk width is a process-wide
+    // environment knob (`COSTREAM_INFERENCE_CHUNK`), constant for the
+    // worker's lifetime.
+    let chunk_w = inference_chunk();
     while let Some(mut batch) = collect_batch(sh) {
         if batch.is_empty() {
             // Another worker drained the queue during our probe wait.
@@ -386,7 +443,7 @@ fn worker_loop(sh: &Shared) {
         // batch composition.
         batch.sort_by_key(|r| r.sig);
         for run in batch.chunk_by(|a, b| a.sig == b.sig) {
-            for chunk in run.chunks(INFERENCE_CHUNK) {
+            for chunk in run.chunks(chunk_w) {
                 score_chunk(sh, chunk, &mut arena);
             }
         }
@@ -477,10 +534,13 @@ fn score_chunk(sh: &Shared, chunk: &[QueuedRequest], arena: &mut InferenceArena)
 }
 
 /// One fused forward for a chunk: plan via the shared topology cache,
-/// then all ensemble members off the shared plan on this worker's arena.
+/// then all ensemble members at once through the member-fused view on
+/// this worker's arena (bitwise identical to the sequential
+/// `Ensemble::predict_plans_arena` at exact precision — see
+/// [`costream::fused`]).
 fn score_graphs(sh: &Shared, chunk: &[QueuedRequest], arena: &mut InferenceArena) -> Vec<f64> {
     let cfg = sh.ensemble.model_config();
     let graphs: Vec<&JointGraph> = chunk.iter().map(|r| r.graph.as_ref()).collect();
     let plan = sh.cache.get_or_build(&graphs, cfg.scheme, cfg.traditional_rounds);
-    sh.ensemble.predict_plans_arena(std::slice::from_ref(&plan), arena)
+    sh.fused.predict_plans_arena(std::slice::from_ref(&plan), arena)
 }

@@ -450,6 +450,108 @@ fn bench_serving(c: &mut Criterion) {
     }
 }
 
+/// The network front-end under sustained mixed-lane wire load: a
+/// million pipelined requests (`COSTREAM_FRONT_REQUESTS` to resize)
+/// split over interactive and bulk connections against a 2-shard
+/// front-end, with the loadgen's chaos thread injecting connection
+/// faults (malformed frames, oversized headers, mid-frame disconnects)
+/// the whole time. Records per-lane p50/p99 plus the per-window latency
+/// trajectories (`front_{lane}_p{50,99}_w{i}`); `front_interactive_p99`
+/// is the CI-gated QoS number (behind the core-count guard — a
+/// multi-connection threaded server's tail is runner-class-dependent).
+fn bench_front_load(c: &mut Criterion) {
+    use costream_front::loadgen::{self, LoadgenConfig};
+    use costream_front::{FrontConfig, Frontend};
+    use costream_serve::ServeConfig;
+    use std::time::Duration;
+    let _ = c; // measured with a wall-clock load generator, not Bencher
+
+    let corpus = Corpus::generate(48, 12, FeatureRanges::training(), &SimConfig::default());
+    let cfg = TrainConfig {
+        epochs: 2,
+        ..Default::default()
+    };
+    let ensemble = Ensemble::train(&corpus, CostMetric::ProcessingLatency, &cfg, 3);
+
+    // Mixed-shape pool: several query topologies × feature variants, so
+    // the signature routing actually spreads shapes over the shards
+    // while each shard's plan cache stays hot on its own subset.
+    let mut gen = WorkloadGenerator::new(23, FeatureRanges::training());
+    let mut pool: Vec<JointGraph> = Vec::new();
+    for _ in 0..4 {
+        let (query, cluster, placement) = gen.workload_item();
+        for i in 0..16 {
+            let sels = SelectivityEstimator::realistic(200 + i).estimate_query(&query);
+            pool.push(JointGraph::build(
+                &query,
+                &cluster,
+                &placement,
+                &sels,
+                Featurization::Full,
+            ));
+        }
+    }
+
+    let requests: u64 = std::env::var("COSTREAM_FRONT_REQUESTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_000_000);
+    let mut serve = ServeConfig::default();
+    serve.workers = serve.workers.max(1);
+    let front = Frontend::start(
+        ensemble,
+        FrontConfig {
+            shards: 2,
+            serve,
+            ..FrontConfig::default()
+        },
+    )
+    .expect("bind front-end");
+
+    let report = loadgen::run(
+        front.addr(),
+        &pool,
+        &LoadgenConfig {
+            requests,
+            faults: true,
+            ..LoadgenConfig::default()
+        },
+    );
+
+    for (lane, r) in [("interactive", &report.interactive), ("bulk", &report.bulk)] {
+        criterion::register_result(&format!("front_{lane}_p50"), r.p50_ns as f64);
+        criterion::register_result(&format!("front_{lane}_p99"), r.p99_ns as f64);
+        for (w, (&p50, &p99)) in r.window_p50_ns.iter().zip(&r.window_p99_ns).enumerate() {
+            criterion::register_result(&format!("front_{lane}_p50_w{w}"), p50 as f64);
+            criterion::register_result(&format!("front_{lane}_p99_w{w}"), p99 as f64);
+        }
+        eprintln!(
+            "  front {lane}: {} sent, {} ok, {} overloaded, {} shed, {} other; p50 {:.0} µs, p99 {:.0} µs",
+            r.sent,
+            r.ok,
+            r.overloaded,
+            r.shed,
+            r.other_errors,
+            r.p50_ns as f64 / 1e3,
+            r.p99_ns as f64 / 1e3,
+        );
+    }
+    let stats = front.stats();
+    eprintln!(
+        "  front: {} requests in {:.2?} ({:.0} req/s), {} chaos rounds absorbed ({} bad frames, {} oversized, {} disconnects), {} worker respawns",
+        report.interactive.sent + report.bulk.sent,
+        report.elapsed,
+        (report.interactive.sent + report.bulk.sent) as f64 / report.elapsed.as_secs_f64(),
+        report.chaos_rounds,
+        stats.bad_requests,
+        stats.oversized,
+        stats.disconnects,
+        stats.worker_respawns(),
+    );
+    let drain = front.shutdown(Duration::from_secs(30));
+    assert!(drain.drained, "bench front-end must drain cleanly");
+}
+
 fn bench_enumeration(c: &mut Criterion) {
     let mut g = WorkloadGenerator::new(6, FeatureRanges::training());
     let q = g.query();
@@ -681,6 +783,6 @@ fn bench_replay_drift(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_matmul_kernels, bench_graph_primitives, bench_training_path, bench_simulator, bench_featurize, bench_inference, bench_ensemble_fused, bench_ensemble_train, bench_gbdt, bench_enumeration, bench_optimizer_search, bench_joint_placement, bench_serving, bench_replay_drift
+    targets = bench_matmul_kernels, bench_graph_primitives, bench_training_path, bench_simulator, bench_featurize, bench_inference, bench_ensemble_fused, bench_ensemble_train, bench_gbdt, bench_enumeration, bench_optimizer_search, bench_joint_placement, bench_serving, bench_front_load, bench_replay_drift
 }
 criterion_main!(benches);

@@ -341,12 +341,19 @@ fn run_loop(
                 cluster: &drifted_cluster,
                 featurization: problem.featurization,
             };
+            // Amortize the one-time migration charge over the epochs the
+            // new plan is expected to keep running: late-run firings face
+            // a stricter bar than early ones. The configured horizon acts
+            // as a floor so a caller can force longer-sighted replans.
+            let mut replan_cfg = cfg.replan;
+            let remaining = cfg.n_epochs.saturating_sub(epoch + 1) as f64;
+            replan_cfg.horizon_epochs = remaining.max(cfg.replan.horizon_epochs);
             let outcome = replan(
                 &jsp,
                 scorer,
                 &incumbent,
                 &dead,
-                &cfg.replan,
+                &replan_cfg,
                 seed ^ (epoch as u64).wrapping_mul(0xA076_1D64_78BD_642F).wrapping_add(1),
             );
             if outcome.migrated {

@@ -28,7 +28,7 @@ pub enum Featurization {
 }
 
 /// One node of the joint graph.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct GraphNode {
     /// Node type, selecting the encoder and update MLPs.
     pub node_type: NodeType,
@@ -37,7 +37,7 @@ pub struct GraphNode {
 }
 
 /// The joint operator-resource graph of one placed query.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct JointGraph {
     /// All nodes; operator nodes first (index = `OpId`), then host nodes.
     pub nodes: Vec<GraphNode>,

@@ -837,6 +837,16 @@ pub struct ReplanConfig {
     pub budget: usize,
     /// Neighbors scored per hill-climbing round.
     pub sample_size: usize,
+    /// Expected epochs the chosen plan will keep running. The one-time
+    /// migration charge is amortized over this horizon on the ranking
+    /// (`steady + migration / horizon`): a move that cannot pay for
+    /// itself within one epoch may still win when its steady-state gain
+    /// repeats for many. `1.0` (the default) reproduces the
+    /// un-amortized objective; values below 1 are clamped to 1, so the
+    /// migration charge is never inflated. Staying put costs zero
+    /// migration at any horizon — the never-worse-than-staying-put
+    /// contract is horizon-independent.
+    pub horizon_epochs: f64,
 }
 
 impl Default for ReplanConfig {
@@ -845,6 +855,7 @@ impl Default for ReplanConfig {
             migration: MigrationCostModel::default(),
             budget: 24,
             sample_size: 8,
+            horizon_epochs: 1.0,
         }
     }
 }
@@ -876,8 +887,10 @@ pub struct ReplanOutcome {
 
 /// Migration-aware joint re-placement: searches for a new joint
 /// placement whose objective is the predicted steady-state cost **plus**
-/// the modeled one-time migration cost from the running `incumbent`,
-/// with `dead_hosts` hard-excluded from the candidate space.
+/// the modeled one-time migration cost from the running `incumbent`
+/// amortized over [`ReplanConfig::horizon_epochs`] (a per-epoch charge:
+/// the steady cost recurs, the migration is paid once), with
+/// `dead_hosts` hard-excluded from the candidate space.
 ///
 /// The search is warm-started from the incumbent: the (dead-host-
 /// repaired) incumbent is the first candidate scored, then a
@@ -923,6 +936,8 @@ pub fn replan(
     let mut ev = ReplanEvaluator {
         scorer: JointScorer::new(problem, scorer),
         migration: cfg.migration,
+        // NaN-safe clamp: f64::max returns the non-NaN operand.
+        horizon: cfg.horizon_epochs.max(1.0),
         refs: refs.clone(),
         incumbent,
         budget: cfg.budget.max(1),
@@ -1003,6 +1018,8 @@ pub fn replan(
 struct ReplanEvaluator<'a> {
     scorer: JointScorer<'a>,
     migration: MigrationCostModel,
+    /// Amortization horizon, epochs (clamped ≥ 1).
+    horizon: f64,
     refs: Vec<&'a Query>,
     incumbent: &'a JointPlacement,
     budget: usize,
@@ -1047,14 +1064,18 @@ impl ReplanEvaluator<'_> {
         (start..self.evaluated.len()).collect()
     }
 
-    /// The replan objective: signed steady-state cost plus migration
-    /// cost. Both are latency-shaped milliseconds for the default
-    /// metric; for a maximized metric (throughput) the migration term
-    /// acts as a switching penalty in the same signed space.
+    /// The replan objective: signed steady-state cost plus the
+    /// horizon-amortized migration cost. Both are latency-shaped
+    /// milliseconds for the default metric; for a maximized metric
+    /// (throughput) the migration term acts as a switching penalty in
+    /// the same signed space. The steady cost recurs every epoch while
+    /// the migration is paid once, so a plan expected to run for
+    /// `horizon` epochs is charged `migration / horizon` per epoch —
+    /// zero stays zero, so the incumbent's key is horizon-invariant.
     fn key(&self, i: usize) -> f64 {
         let total = self.evaluated[i].total_cost();
         let signed = if self.scorer.maximize { -total } else { total };
-        signed + self.migration_ms[i]
+        signed + self.migration_ms[i] / self.horizon
     }
 
     fn better(&self, a: usize, b: usize) -> bool {
@@ -1396,6 +1417,87 @@ mod tests {
                 assert_eq!(outcome.steady_cost, outcome.incumbent_steady_cost);
             }
         }
+    }
+
+    #[test]
+    fn migration_amortizes_over_the_remaining_horizon() {
+        let corpus = test_fixtures::corpus(60, 98);
+        let fx = test_fixtures::trio(&corpus, 3, 2);
+        let scorer = fx.scorer();
+        // A migration price no single epoch can justify (the fixture's
+        // steady costs sit far below it): at horizon 1 replan must stay
+        // put, at a long horizon the per-epoch charge vanishes and a
+        // steady-state gain can pay for the move.
+        let prohibitive = MigrationCostModel {
+            pause_ms_per_op: 1.0e18,
+            ..MigrationCostModel::default()
+        };
+        let mut migrated_somewhere = false;
+        for seed in [11u64, 12, 13] {
+            let (queries, cluster, sels) = problem_fixture(seed);
+            let jqs = JointQuery::zip(&queries, &sels);
+            let problem = JointSearchProblem {
+                queries: &jqs,
+                cluster: &cluster,
+                featurization: Featurization::Full,
+            };
+            let incumbent = LocalSearch::default().search_joint(&problem, &scorer, 10, seed).best;
+            let myopic = ReplanConfig {
+                migration: prohibitive,
+                horizon_epochs: 1.0,
+                ..ReplanConfig::default()
+            };
+            let outcome = replan(&problem, &scorer, &incumbent, &[], &myopic, seed);
+            if outcome.incumbent_viable {
+                assert!(!outcome.migrated, "seed {seed}: no epoch pays a 1e18 ms pause");
+                assert_eq!(outcome.plan.flattened(), incumbent.flattened());
+            }
+
+            // Sub-1 horizons clamp to 1: bitwise the myopic outcome.
+            let clamped = replan(
+                &problem,
+                &scorer,
+                &incumbent,
+                &[],
+                &ReplanConfig {
+                    horizon_epochs: 0.001,
+                    ..myopic
+                },
+                seed,
+            );
+            assert_eq!(clamped.plan.flattened(), outcome.plan.flattened());
+            assert_eq!(clamped.steady_cost.to_bits(), outcome.steady_cost.to_bits());
+
+            let horizon = 1.0e12;
+            let long = replan(
+                &problem,
+                &scorer,
+                &incumbent,
+                &[],
+                &ReplanConfig {
+                    migration: prohibitive,
+                    horizon_epochs: horizon,
+                    ..ReplanConfig::default()
+                },
+                seed,
+            );
+            if long.migrated {
+                migrated_somewhere = true;
+                // Never-worse holds on the *amortized* ranking: the move
+                // either restores viability or wins per epoch.
+                if long.incumbent_viable {
+                    assert!(long.viable);
+                    assert!(
+                        long.steady_cost + long.migration_cost_ms / horizon <= long.incumbent_steady_cost,
+                        "seed {seed}: amortized key must beat staying put"
+                    );
+                }
+            }
+        }
+        assert!(
+            migrated_somewhere,
+            "a vanishing per-epoch charge must unlock at least one steady-state win across the fixture seeds"
+        );
     }
 
     #[test]

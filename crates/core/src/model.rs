@@ -70,6 +70,24 @@ impl ModelConfig {
         self.scheme = scheme;
         self
     }
+
+    /// Whether two configurations produce interchangeable *serving*
+    /// artifacts: identical layer shapes and identical
+    /// [`BatchPlan`](crate::plan::BatchPlan) topologies (plan signatures
+    /// hash the message-passing scheme and round count). The seed is
+    /// deliberately ignored — it only varies the weight init, which is
+    /// exactly what a hot model swap replaces. The serving layer refuses
+    /// to swap in an ensemble whose config is not plan-congruent, because
+    /// queued requests' precomputed signatures (and every cached plan)
+    /// would silently stop matching.
+    pub fn plan_congruent(&self, other: &ModelConfig) -> bool {
+        self.hidden == other.hidden
+            && self.encoder_hidden == other.encoder_hidden
+            && self.update_hidden == other.update_hidden
+            && self.readout_hidden == other.readout_hidden
+            && self.scheme == other.scheme
+            && self.traditional_rounds == other.traditional_rounds
+    }
 }
 
 /// The GNN over joint operator-resource graphs. Output semantics depend on

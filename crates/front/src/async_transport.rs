@@ -1,0 +1,47 @@
+//! Feature-gated stub of the async (tokio/axum) transport.
+//!
+//! The offline build environment has no tokio or axum, so the async
+//! transport cannot be implemented yet. This module pins the intended
+//! surface — the same [`wire`](crate::wire) protocol served from an
+//! async accept loop, one task per connection instead of two threads —
+//! so the migration is a transport swap, not a redesign:
+//!
+//! * `serve(addr, ensemble, cfg)` → an axum-less `tokio::net::TcpListener`
+//!   accept loop; each connection runs a read task and a write task
+//!   joined by an `mpsc` channel with capacity
+//!   [`FrontConfig::max_pipeline`](crate::FrontConfig::max_pipeline).
+//! * The blocking `ScoringService` stays the scoring backend via
+//!   `spawn_blocking` (its workers already own the CPU-bound path).
+//! * Framing, sharding, QoS, swap, and drain semantics are identical —
+//!   they live in [`wire`](crate::wire) and
+//!   [`server`](crate::server)-level policy, not in the transport.
+//!
+//! Enabling the `async-transport` feature compiles only this
+//! documentation module; calling [`serve`] returns
+//! [`AsyncUnavailable`].
+
+use std::fmt;
+
+/// Error returned by the stub: the async transport is not available in
+/// this build.
+#[derive(Debug, Clone, Copy)]
+pub struct AsyncUnavailable;
+
+impl fmt::Display for AsyncUnavailable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "async transport is a stub: this build has no tokio/axum; use server::Frontend (std::net)"
+        )
+    }
+}
+
+impl std::error::Error for AsyncUnavailable {}
+
+/// Placeholder entry point of the future async transport.
+///
+/// # Errors
+/// Always [`AsyncUnavailable`] in this build.
+pub fn serve() -> Result<(), AsyncUnavailable> {
+    Err(AsyncUnavailable)
+}

@@ -1,0 +1,306 @@
+//! The wire protocol: framing and message types.
+//!
+//! A frame is a 4-byte **big-endian** payload length followed by that
+//! many bytes of JSON. The decoder is total: any byte stream yields a
+//! sequence of frames ending in clean EOF, [`FrameError::Truncated`],
+//! [`FrameError::Oversized`], or an I/O error — never a panic (pinned
+//! by the proptest suite).
+//!
+//! Messages are externally-tagged JSON enums ([`Request`] /
+//! [`Response`]). Scores are `f64` and the vendored `serde_json` prints
+//! floats shortest-roundtrip, so a score crosses the wire **bitwise**
+//! intact. Deadlines are *relative* microseconds from server receipt —
+//! a deliberate protocol choice: absolute deadlines would require
+//! client/server clock agreement, and QoS budgets ("answer within
+//! 2 ms") are what callers actually mean.
+//!
+//! Request ids are client-chosen and echoed verbatim; the server
+//! answers every decodable request exactly once, in submission order
+//! per connection.
+
+use costream::graph::JointGraph;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Frame header width: a `u32` big-endian payload length.
+pub const HEADER_BYTES: usize = 4;
+
+/// Priority lane of a wire request (mirrors
+/// [`costream_serve::Lane`] — redeclared here so the wire format is
+/// self-contained).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WireLane {
+    /// Latency-sensitive traffic: drained strictly first.
+    Interactive,
+    /// Throughput traffic: absorbs queueing and shedding.
+    Bulk,
+}
+
+impl From<WireLane> for costream_serve::Lane {
+    fn from(lane: WireLane) -> Self {
+        match lane {
+            WireLane::Interactive => costream_serve::Lane::Interactive,
+            WireLane::Bulk => costream_serve::Lane::Bulk,
+        }
+    }
+}
+
+/// One client request.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: u64,
+    /// Priority lane.
+    pub lane: WireLane,
+    /// Optional deadline, microseconds *from server receipt*. A request
+    /// still queued past it is shed with a typed
+    /// [`ErrorKind::DeadlineExceeded`] instead of being scored.
+    pub deadline_us: Option<u64>,
+    /// What to do.
+    pub body: RequestBody,
+}
+
+/// The operation a [`Request`] asks for.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum RequestBody {
+    /// Score one inline joint graph.
+    Score {
+        /// The featurized joint graph to score.
+        graph: JointGraph,
+    },
+    /// Upload graphs into this connection's slot pool (slots
+    /// `base_slot..base_slot + graphs.len()`), so subsequent
+    /// [`RequestBody::ScorePooled`] requests are a few dozen bytes
+    /// instead of re-shipping the graph — the high-throughput path the
+    /// load generator uses. Pools are per-connection and dropped on
+    /// disconnect.
+    LoadPool {
+        /// First slot to fill.
+        base_slot: u32,
+        /// Graphs stored at consecutive slots.
+        graphs: Vec<JointGraph>,
+    },
+    /// Score a previously uploaded pool slot.
+    ScorePooled {
+        /// Slot filled by an earlier [`RequestBody::LoadPool`].
+        slot: u32,
+    },
+    /// Liveness/metadata probe.
+    Ping,
+}
+
+/// One server response.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// A scored request.
+    Scored {
+        /// Echoed request id.
+        id: u64,
+        /// The ensemble prediction, bitwise as the model produced it.
+        score: f64,
+        /// Model version that scored this request.
+        version: u64,
+    },
+    /// Pool slots stored.
+    Loaded {
+        /// Echoed request id.
+        id: u64,
+        /// Number of slots filled.
+        count: u32,
+    },
+    /// Answer to [`RequestBody::Ping`].
+    Pong {
+        /// Echoed request id.
+        id: u64,
+        /// Current model version.
+        version: u64,
+        /// Number of scoring shards.
+        shards: u32,
+    },
+    /// A typed failure.
+    Error {
+        /// Echoed request id; `None` when the payload was undecodable
+        /// (there is no id to echo).
+        id: Option<u64>,
+        /// What went wrong.
+        kind: ErrorKind,
+        /// Human-readable context.
+        detail: String,
+    },
+}
+
+impl Response {
+    /// The echoed request id, when the response carries one.
+    pub fn id(&self) -> Option<u64> {
+        match self {
+            Response::Scored { id, .. } | Response::Loaded { id, .. } | Response::Pong { id, .. } => Some(*id),
+            Response::Error { id, .. } => *id,
+        }
+    }
+}
+
+/// Typed failure kinds of [`Response::Error`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrorKind {
+    /// The lane's admission queue is full; back off and retry.
+    Overloaded,
+    /// The request's deadline passed while it was queued; it was shed
+    /// without being scored.
+    DeadlineExceeded,
+    /// The front-end is draining or stopped.
+    ShuttingDown,
+    /// The frame payload was not a decodable [`Request`]. The framing
+    /// itself was intact, so the connection keeps serving.
+    BadRequest,
+    /// The frame header declared a payload larger than the server
+    /// accepts. The connection is closed after this response (the
+    /// stream cannot be resynchronized without consuming the payload).
+    Oversized,
+    /// The request referenced something that does not exist (e.g. a
+    /// pool slot never loaded on this connection).
+    BadSlot,
+    /// Scoring failed server-side (e.g. a malformed graph panicking the
+    /// kernel); only this request is affected.
+    Internal,
+}
+
+impl From<costream_serve::ServeError> for ErrorKind {
+    fn from(e: costream_serve::ServeError) -> Self {
+        match e {
+            costream_serve::ServeError::Overloaded => ErrorKind::Overloaded,
+            costream_serve::ServeError::DeadlineExceeded => ErrorKind::DeadlineExceeded,
+            costream_serve::ServeError::ShutDown => ErrorKind::ShuttingDown,
+            costream_serve::ServeError::Internal => ErrorKind::Internal,
+        }
+    }
+}
+
+/// Why a frame could not be read or decoded.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The stream ended mid-header or mid-payload (mid-frame
+    /// disconnect).
+    Truncated,
+    /// The header declared a payload longer than the configured maximum.
+    Oversized {
+        /// Length the header declared.
+        declared: u32,
+        /// Maximum the reader accepts.
+        max: usize,
+    },
+    /// The payload was not valid UTF-8 JSON of the expected type.
+    Malformed(String),
+    /// The underlying transport failed.
+    Io(io::Error),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Truncated => write!(f, "stream ended mid-frame"),
+            FrameError::Oversized { declared, max } => {
+                write!(f, "frame declares {declared} bytes, max is {max}")
+            }
+            FrameError::Malformed(e) => write!(f, "undecodable payload: {e}"),
+            FrameError::Io(e) => write!(f, "transport error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Reads one frame. `Ok(None)` is clean EOF at a frame boundary;
+/// EOF anywhere inside a frame is [`FrameError::Truncated`]. A header
+/// declaring more than `max_payload` bytes fails [`FrameError::Oversized`]
+/// *without* consuming the payload.
+///
+/// # Errors
+/// See [`FrameError`].
+pub fn read_frame(r: &mut impl Read, max_payload: usize) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut header = [0u8; HEADER_BYTES];
+    let mut got = 0;
+    while got < HEADER_BYTES {
+        match r.read(&mut header[got..]) {
+            Ok(0) => return if got == 0 { Ok(None) } else { Err(FrameError::Truncated) },
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let declared = u32::from_be_bytes(header);
+    if declared as usize > max_payload {
+        return Err(FrameError::Oversized {
+            declared,
+            max: max_payload,
+        });
+    }
+    let mut payload = vec![0u8; declared as usize];
+    let mut got = 0;
+    while got < payload.len() {
+        match r.read(&mut payload[got..]) {
+            Ok(0) => return Err(FrameError::Truncated),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(Some(payload))
+}
+
+/// Writes one frame (header + payload) as a single buffer.
+///
+/// # Errors
+/// I/O errors from the transport; [`io::ErrorKind::InvalidInput`] when
+/// the payload exceeds `u32::MAX` bytes.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame payload exceeds u32::MAX"))?;
+    // One buffer, one write: a frame must never be interleaved with
+    // another thread's frame at the syscall boundary.
+    let mut buf = Vec::with_capacity(HEADER_BYTES + payload.len());
+    buf.extend_from_slice(&len.to_be_bytes());
+    buf.extend_from_slice(payload);
+    w.write_all(&buf)
+}
+
+/// Encodes a request payload (JSON, unframed).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    serde_json::to_string(req)
+        .expect("wire types always serialize")
+        .into_bytes()
+}
+
+/// Encodes a response payload (JSON, unframed).
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    serde_json::to_string(resp)
+        .expect("wire types always serialize")
+        .into_bytes()
+}
+
+/// Decodes a request payload.
+///
+/// # Errors
+/// [`FrameError::Malformed`] when the bytes are not a [`Request`].
+pub fn decode_request(payload: &[u8]) -> Result<Request, FrameError> {
+    decode(payload)
+}
+
+/// Decodes a response payload.
+///
+/// # Errors
+/// [`FrameError::Malformed`] when the bytes are not a [`Response`].
+pub fn decode_response(payload: &[u8]) -> Result<Response, FrameError> {
+    decode(payload)
+}
+
+fn decode<T: serde::Deserialize>(payload: &[u8]) -> Result<T, FrameError> {
+    let text = std::str::from_utf8(payload).map_err(|e| FrameError::Malformed(e.to_string()))?;
+    serde_json::from_str(text).map_err(|e| FrameError::Malformed(e.to_string()))
+}

@@ -1,0 +1,137 @@
+//! Property tests for the wire protocol.
+//!
+//! * The frame decoder is total: arbitrary byte streams never panic it.
+//! * Encode → frame → decode round-trips every request/response type,
+//!   bitwise for `f64` scores.
+//! * Truncated and oversized frames yield the typed errors the protocol
+//!   promises.
+
+use costream::graph::{GraphNode, JointGraph};
+use costream_front::wire::{
+    self, decode_request, decode_response, encode_request, encode_response, ErrorKind, FrameError, Request,
+    RequestBody, Response, WireLane,
+};
+use costream_query::features::NodeType;
+use proptest::prelude::*;
+use std::io::Cursor;
+
+const MAX: usize = 1 << 20;
+
+/// Drains a byte stream through the frame reader until EOF or the first
+/// error. Returning at all (instead of panicking) is the property.
+fn drain_frames(bytes: &[u8]) -> Result<usize, FrameError> {
+    let mut cursor = Cursor::new(bytes);
+    let mut frames = 0;
+    loop {
+        match wire::read_frame(&mut cursor, MAX)? {
+            Some(payload) => {
+                // Decoding arbitrary payloads must not panic either.
+                let _ = decode_request(&payload);
+                let _ = decode_response(&payload);
+                frames += 1;
+            }
+            None => return Ok(frames),
+        }
+    }
+}
+
+/// A deterministic small graph parameterized by the drawn values, so
+/// round-trips cover variable node counts, features, and edges.
+fn graph(nodes: usize, feat: f64) -> JointGraph {
+    let nodes = nodes.max(2);
+    JointGraph {
+        nodes: (0..nodes)
+            .map(|i| GraphNode {
+                node_type: if i % 2 == 0 { NodeType::Filter } else { NodeType::Host },
+                features: vec![feat as f32, i as f32, 0.5],
+            })
+            .collect(),
+        dataflow_edges: (1..nodes).map(|i| (i - 1, i)).collect(),
+        placement_edges: vec![(0, nodes - 1)],
+        waves: (0..nodes)
+            .map(|i| if i % 2 == 0 { Some(i / 2) } else { None })
+            .collect(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn arbitrary_bytes_never_panic_the_decoder(bytes in proptest::collection::vec(0u8..=255, 0..256)) {
+        // Raw noise...
+        let _ = drain_frames(&bytes);
+        // ...and noise that starts with a plausible small header, so the
+        // payload path is exercised too.
+        let mut framed = (bytes.len() as u32).to_be_bytes().to_vec();
+        framed.extend_from_slice(&bytes);
+        let _ = drain_frames(&framed);
+        prop_assert!(true);
+    }
+
+    #[test]
+    fn requests_roundtrip_bitwise(id in 0u64..u64::MAX, slot in 0u32..1000, deadline in 0u64..10_000_000, nodes in 2usize..12, feat in -1.0e12f64..1.0e12) {
+        let lane = if id % 2 == 0 { WireLane::Interactive } else { WireLane::Bulk };
+        let deadline_us = if deadline % 3 == 0 { None } else { Some(deadline) };
+        let requests = [
+            Request { id, lane, deadline_us, body: RequestBody::Ping },
+            Request { id, lane, deadline_us, body: RequestBody::ScorePooled { slot } },
+            Request { id, lane, deadline_us, body: RequestBody::Score { graph: graph(nodes, feat) } },
+            Request { id, lane, deadline_us, body: RequestBody::LoadPool { base_slot: slot, graphs: vec![graph(nodes, feat), graph(nodes + 1, -feat)] } },
+        ];
+        for req in &requests {
+            let mut framed = Vec::new();
+            wire::write_frame(&mut framed, &encode_request(req)).expect("in-memory write");
+            let payload = wire::read_frame(&mut Cursor::new(&framed), MAX)
+                .expect("valid frame")
+                .expect("one frame");
+            let back = decode_request(&payload).expect("roundtrip decodes");
+            prop_assert_eq!(&back, req);
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip_bitwise(id in 0u64..u64::MAX, score in -1.0e300f64..1.0e300, version in 1u64..1000) {
+        let responses = [
+            Response::Scored { id, score, version },
+            Response::Loaded { id, count: (version % 97) as u32 },
+            Response::Pong { id, version, shards: 4 },
+            Response::Error { id: Some(id), kind: ErrorKind::Overloaded, detail: "queue full".into() },
+            Response::Error { id: None, kind: ErrorKind::BadRequest, detail: String::new() },
+        ];
+        for resp in &responses {
+            let back = decode_response(&encode_response(resp)).expect("roundtrip decodes");
+            prop_assert_eq!(&back, resp);
+            if let (Response::Scored { score: a, .. }, Response::Scored { score: b, .. }) = (resp, &back) {
+                // Bitwise, not approximately: the serving goldens compare
+                // wire scores with `==` against in-process prediction.
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_frames_yield_typed_errors(cut in 0usize..64, id in 0u64..1000) {
+        let req = Request { id, lane: WireLane::Bulk, deadline_us: Some(5), body: RequestBody::Ping };
+        let mut framed = Vec::new();
+        wire::write_frame(&mut framed, &encode_request(&req)).expect("in-memory write");
+        let cut = cut % framed.len();
+        let result = drain_frames(&framed[..cut]);
+        if cut == 0 {
+            prop_assert_eq!(result.expect("empty stream is clean EOF"), 0);
+        } else {
+            prop_assert!(matches!(result, Err(FrameError::Truncated)), "cut at {} gave {:?}", cut, result);
+        }
+    }
+
+    #[test]
+    fn oversized_headers_yield_typed_errors(extra in 1u64..u32::MAX as u64) {
+        let declared = (MAX as u64 + extra).min(u32::MAX as u64) as u32;
+        let framed = declared.to_be_bytes();
+        let result = drain_frames(&framed);
+        prop_assert!(
+            matches!(result, Err(FrameError::Oversized { declared: d, .. }) if d == declared),
+            "declared {} gave {:?}", declared, result
+        );
+    }
+}

@@ -76,7 +76,10 @@ mod service;
 pub use costream::fused::Precision;
 pub use costream::plan::CacheStats;
 pub use scorer::ServeScorer;
-pub use service::{Pending, ScoreClient, ScoreRequest, ScoringService, ServeStats};
+pub use service::{
+    DrainOutcome, Lane, LaneStats, ModelState, Pending, ScoreClient, ScoreRequest, Scored, ScoringService, ServeStats,
+    SubmitOptions,
+};
 
 use std::fmt;
 
@@ -103,9 +106,15 @@ pub struct ServeConfig {
     /// request never pays the full delay. `0` scores whatever is queued
     /// immediately.
     pub max_delay_us: u64,
-    /// Bound of the submission queue; submissions beyond it are rejected
-    /// with [`ServeError::Overloaded`].
+    /// Bound of the **interactive-lane** submission queue
+    /// ([`Lane::Interactive`], the default lane); submissions beyond it
+    /// are rejected with [`ServeError::Overloaded`].
     pub queue_cap: usize,
+    /// Bound of the **bulk-lane** submission queue ([`Lane::Bulk`]).
+    /// A separate budget, so a bulk re-scoring flood fills its own queue
+    /// and gets rejected without consuming interactive admission
+    /// capacity — and vice versa.
+    pub bulk_queue_cap: usize,
     /// Capacity (distinct batch topologies) of the shared plan cache.
     pub plan_cache_cap: usize,
     /// *Requested* serving precision. Defaults to the
@@ -135,6 +144,7 @@ impl Default for ServeConfig {
             max_batch: 64,
             max_delay_us: 200,
             queue_cap: 1024,
+            bulk_queue_cap: 1024,
             plan_cache_cap: 128,
             precision: default_precision(),
             int8_q_bound: default_int8_q_bound(),
@@ -183,8 +193,13 @@ pub enum ServeError {
     /// Admission control rejected the request: the submission queue is at
     /// capacity. Back off and retry.
     Overloaded,
-    /// The service shut down before (or while) handling the request.
+    /// The service shut down before (or while) handling the request, or
+    /// is draining and no longer admits work.
     ShutDown,
+    /// The request's deadline ([`SubmitOptions::deadline`]) passed while
+    /// it was still queued; it was shed without being scored — an answer
+    /// nobody is waiting for anymore must not occupy a worker slot.
+    DeadlineExceeded,
     /// Scoring this request panicked (most likely a malformed request
     /// graph — out-of-range edge indices or wrong feature widths). When
     /// a fused batch panics, its requests are rescored individually, so
@@ -198,9 +213,54 @@ impl fmt::Display for ServeError {
         match self {
             ServeError::Overloaded => write!(f, "scoring service overloaded: submission queue full"),
             ServeError::ShutDown => write!(f, "scoring service shut down"),
+            ServeError::DeadlineExceeded => {
+                write!(f, "request shed: deadline passed before a worker picked it up")
+            }
             ServeError::Internal => write!(f, "scoring failed: batch panicked (malformed request graph?)"),
         }
     }
 }
 
 impl std::error::Error for ServeError {}
+
+/// Why [`ScoringService::swap_model`] refused a replacement ensemble.
+///
+/// A swap must be invisible to everything already in flight: queued
+/// requests carry plan signatures precomputed under the current model's
+/// config, the shared plan cache holds topologies keyed the same way,
+/// and clients compare scores across versions — so the replacement must
+/// predict the same metric, featurize identically, and be plan-congruent
+/// (see [`costream::model::ModelConfig::plan_congruent`]). Different
+/// *weights* (retraining, more members) are exactly what a swap is for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SwapError {
+    /// The replacement predicts a different [`costream::CostMetric`].
+    MetricMismatch,
+    /// The replacement expects a different
+    /// [`Featurization`](costream::graph::Featurization) — clients'
+    /// prebuilt graphs would silently mis-featurize.
+    FeaturizationMismatch,
+    /// The replacement's [`ModelConfig`](costream::model::ModelConfig)
+    /// is not plan-congruent with the served one (different layer widths,
+    /// message-passing scheme, or round count).
+    ConfigMismatch,
+}
+
+impl fmt::Display for SwapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SwapError::MetricMismatch => write!(f, "model swap refused: replacement predicts a different metric"),
+            SwapError::FeaturizationMismatch => {
+                write!(f, "model swap refused: replacement uses a different featurization")
+            }
+            SwapError::ConfigMismatch => {
+                write!(
+                    f,
+                    "model swap refused: replacement config is not plan-congruent with the served model"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SwapError {}

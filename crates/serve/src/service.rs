@@ -1,6 +1,33 @@
 //! The batching core: submission queue, worker tick loop, response slots.
+//!
+//! Production-robustness additions on top of the original micro-batcher:
+//!
+//! * **Priority lanes** — two submission queues ([`Lane::Interactive`],
+//!   [`Lane::Bulk`]) with independent admission budgets; workers always
+//!   drain interactive work first, so bulk re-scoring can never starve a
+//!   latency-sensitive placement query, and a full bulk queue rejects
+//!   bulk traffic without consuming interactive budget.
+//! * **Deadlines** — a request may carry a deadline
+//!   ([`SubmitOptions::deadline`]); a request found expired when a worker
+//!   picks it up is shed with [`ServeError::DeadlineExceeded`] *before*
+//!   occupying a batch slot.
+//! * **Versioned hot swap** — workers score through an
+//!   `Arc<`[`ModelState`]`>` snapshot taken once per batch;
+//!   [`ScoringService::swap_model`] atomically replaces the model, so a
+//!   retrained ensemble goes live with zero downtime and every request is
+//!   scored against exactly one version (reported in [`Scored::version`]).
+//! * **Worker respawn** — a worker that panics outside the per-chunk
+//!   catch (the batching tick itself) is caught at the top of the worker
+//!   thread and the loop restarts, so capacity never silently shrinks;
+//!   queue locks recover from poisoning. Requests lost mid-tick are
+//!   answered [`ServeError::Internal`] by a drop guard instead of
+//!   hanging their callers.
+//! * **Graceful drain** — [`ScoringService::shutdown_drain`] stops
+//!   admission, lets workers finish everything already queued (bounded
+//!   by a deadline), and only then stops the workers; `Drop` remains the
+//!   immediate path that fails queued work with [`ServeError::ShutDown`].
 
-use crate::{ServeConfig, ServeError};
+use crate::{ServeConfig, ServeError, SwapError};
 use costream::ensemble::Ensemble;
 use costream::fused::{int8_self_test, FusedEnsemble, Precision};
 use costream::graph::{Featurization, JointGraph};
@@ -11,8 +38,8 @@ use costream_query::hardware::Cluster;
 use costream_query::operators::Query;
 use costream_query::placement::Placement;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -53,9 +80,115 @@ impl From<Arc<JointGraph>> for ScoreRequest {
     }
 }
 
+/// Quality-of-service lane of a request. Workers drain interactive work
+/// strictly before bulk work, and each lane has its own admission budget
+/// ([`ServeConfig::queue_cap`] vs [`ServeConfig::bulk_queue_cap`]), so
+/// bulk floods neither starve nor crowd out interactive traffic.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Lane {
+    /// Latency-sensitive traffic (a tenant's placement search waiting on
+    /// the answer). The default.
+    #[default]
+    Interactive,
+    /// Throughput traffic that tolerates delay and shedding (periodic
+    /// re-scoring of deployed placements, corpus sweeps).
+    Bulk,
+}
+
+impl Lane {
+    pub(crate) const COUNT: usize = 2;
+
+    /// Queue index of the lane.
+    #[inline]
+    pub(crate) fn idx(self) -> usize {
+        match self {
+            Lane::Interactive => 0,
+            Lane::Bulk => 1,
+        }
+    }
+
+    /// Both lanes, in drain-priority order.
+    pub const ALL: [Lane; 2] = [Lane::Interactive, Lane::Bulk];
+}
+
+/// Per-request submission options.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SubmitOptions {
+    /// Priority lane (default [`Lane::Interactive`]).
+    pub lane: Lane,
+    /// Optional deadline: a request still queued past this instant is
+    /// shed with [`ServeError::DeadlineExceeded`] instead of being
+    /// scored (load-shedding — an answer nobody is waiting for anymore
+    /// must not occupy a batch slot).
+    pub deadline: Option<Instant>,
+}
+
+/// A served score, tagged with the model version that produced it — the
+/// hot-swap observability contract: every request is scored by exactly
+/// one [`ModelState`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Scored {
+    /// The combined ensemble prediction.
+    pub score: f64,
+    /// Version of the model snapshot that scored this request (1 for the
+    /// ensemble the service started with, +1 per successful
+    /// [`ScoringService::swap_model`]).
+    pub version: u64,
+}
+
+/// One immutable served-model snapshot: the ensemble, its member-fused
+/// serving view, and the version number. Workers take an
+/// `Arc<ModelState>` per batch, so a swap never tears a batch and every
+/// response is attributable to exactly one version.
+pub struct ModelState {
+    /// The served ensemble.
+    pub ensemble: Ensemble,
+    /// The member-fused view the workers actually score with — stacked
+    /// at the *effective* precision (exact, or int8 when requested and
+    /// the startup self-test passed).
+    pub fused: FusedEnsemble,
+    /// Monotonic model version (starts at 1).
+    pub version: u64,
+    /// `Some(measured_q)` when int8 was requested but its self-test
+    /// exceeded the configured bound and this snapshot fell back to
+    /// exact.
+    pub int8_fallback_q: Option<f64>,
+}
+
+/// Builds the serving view of an ensemble at the configured precision.
+/// Exact stacking is unconditional (bitwise identical to the sequential
+/// ensemble); int8 must first survive the self-test against the
+/// configured q-error bound, else the snapshot warns and serves exact
+/// f32 — a precision knob must degrade gracefully, not degrade
+/// predictions silently.
+fn build_model(ensemble: Ensemble, cfg: &ServeConfig, version: u64) -> ModelState {
+    let (fused, int8_fallback_q) = match cfg.precision {
+        Precision::Exact => (ensemble.fused(), None),
+        Precision::Int8 => {
+            let probe = int8_self_test(&ensemble);
+            if probe.max_q <= cfg.int8_q_bound {
+                (probe.view, None)
+            } else {
+                eprintln!(
+                    "warning: int8 serving self-test failed (q-error {:.4} > bound {:.4}); \
+                     falling back to exact f32",
+                    probe.max_q, cfg.int8_q_bound
+                );
+                (ensemble.fused(), Some(probe.max_q))
+            }
+        }
+    };
+    ModelState {
+        ensemble,
+        fused,
+        version,
+        int8_fallback_q,
+    }
+}
+
 /// Oneshot response slot a blocked caller parks on.
 struct Slot {
-    state: Mutex<Option<Result<f64, ServeError>>>,
+    state: Mutex<Option<Result<Scored, ServeError>>>,
     ready: Condvar,
 }
 
@@ -67,80 +200,182 @@ impl Slot {
         }
     }
 
-    fn fill(&self, result: Result<f64, ServeError>) {
-        let mut state = self.state.lock().expect("slot lock");
-        *state = Some(result);
-        self.ready.notify_all();
-    }
-
-    fn wait(&self) -> Result<f64, ServeError> {
-        let mut state = self.state.lock().expect("slot lock");
+    fn wait(&self) -> Result<Scored, ServeError> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         loop {
             if let Some(result) = *state {
                 return result;
             }
-            state = self.ready.wait(state).expect("slot wait");
+            state = self.ready.wait(state).unwrap_or_else(|e| e.into_inner());
         }
     }
 }
 
 /// A queued request: the featurized graph, its structural signature
 /// (computed on the submitting thread; used to group same-shaped
-/// requests into cache-friendly runs), and its response slot.
+/// requests into cache-friendly runs), its lane/deadline, and its
+/// response slot.
+///
+/// The `Drop` guard answers [`ServeError::Internal`] if the request is
+/// dropped unanswered — the safety net that keeps callers from hanging
+/// when a worker panics mid-tick with requests in its local batch.
 struct QueuedRequest {
     graph: Arc<JointGraph>,
     sig: PlanSignature,
+    lane: Lane,
+    deadline: Option<Instant>,
     slot: Arc<Slot>,
+    stats: Arc<StatsInner>,
+}
+
+impl QueuedRequest {
+    /// Answers the request exactly once (first answer wins) and keeps
+    /// the counters consistent: they are bumped under the slot lock
+    /// *before* the waiting caller is woken, so a client that has its
+    /// score already observes itself counted (`answered` is also what
+    /// the drain path waits on).
+    fn answer(&self, result: Result<Scored, ServeError>) {
+        let counter = match &result {
+            Ok(_) => &self.stats.completed[self.lane.idx()],
+            Err(ServeError::DeadlineExceeded) => &self.stats.shed[self.lane.idx()],
+            Err(_) => &self.stats.failed,
+        };
+        let mut state = self.slot.state.lock().unwrap_or_else(|e| e.into_inner());
+        if state.is_some() {
+            return;
+        }
+        counter.fetch_add(1, Ordering::Relaxed);
+        self.stats.answered.fetch_add(1, Ordering::Relaxed);
+        *state = Some(result);
+        self.slot.ready.notify_all();
+    }
+
+    /// Whether the deadline (if any) has passed at `now`.
+    fn expired(&self, now: Instant) -> bool {
+        self.deadline.is_some_and(|d| now >= d)
+    }
+}
+
+impl Drop for QueuedRequest {
+    fn drop(&mut self) {
+        // No-op when already answered (the common path).
+        self.answer(Err(ServeError::Internal));
+    }
 }
 
 struct QueueState {
-    requests: VecDeque<QueuedRequest>,
+    /// One queue per lane, indexed by [`Lane::idx`]; drained in
+    /// [`Lane::ALL`] order (interactive strictly first).
+    lanes: [VecDeque<QueuedRequest>; Lane::COUNT],
+    /// Draining: admission closed, queued work still being finished.
+    draining: bool,
+    /// Shut down: workers exit as soon as they observe it.
     shutdown: bool,
+}
+
+impl QueueState {
+    fn queued(&self) -> usize {
+        self.lanes.iter().map(VecDeque::len).sum()
+    }
 }
 
 #[derive(Default)]
 struct StatsInner {
-    submitted: AtomicU64,
-    rejected: AtomicU64,
-    completed: AtomicU64,
+    submitted: [AtomicU64; Lane::COUNT],
+    rejected: [AtomicU64; Lane::COUNT],
+    completed: [AtomicU64; Lane::COUNT],
+    shed: [AtomicU64; Lane::COUNT],
+    failed: AtomicU64,
+    answered: AtomicU64,
     batches: AtomicU64,
     batched_graphs: AtomicU64,
+    worker_respawns: AtomicU64,
+    swaps: AtomicU64,
 }
 
 struct Shared {
-    ensemble: Ensemble,
-    /// The member-fused view the workers actually score with — stacked
-    /// once at startup at the *effective* precision (exact, or int8 when
-    /// requested and the startup self-test passed).
-    fused: FusedEnsemble,
-    /// `Some(measured_q)` when int8 was requested but its self-test
-    /// exceeded the configured bound and the service fell back to exact.
-    int8_fallback_q: Option<f64>,
+    /// The current served-model snapshot; replaced whole by
+    /// [`ScoringService::swap_model`]. Workers take a read lock once per
+    /// batch and hold only the `Arc`.
+    model: RwLock<Arc<ModelState>>,
     cfg: ServeConfig,
     queue: Mutex<QueueState>,
-    /// Signalled on submission and on shutdown.
+    /// Signalled on submission, on shutdown/drain, and on panic
+    /// injection.
     ready: Condvar,
     cache: PlanCache,
-    stats: StatsInner,
+    stats: Arc<StatsInner>,
+    /// Test hook: pending injected worker panics (see
+    /// [`ScoringService::inject_worker_panic`]).
+    panic_requests: AtomicUsize,
+}
+
+impl Shared {
+    /// Queue lock that recovers from poisoning: a worker panicking while
+    /// holding the lock must not take the whole service down with it.
+    fn lock_queue(&self) -> MutexGuard<'_, QueueState> {
+        self.queue.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The current model snapshot.
+    fn model(&self) -> Arc<ModelState> {
+        Arc::clone(&self.model.read().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Claims one injected panic, if any is pending.
+    fn claim_injected_panic(&self) -> bool {
+        self.panic_requests
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| n.checked_sub(1))
+            .is_ok()
+    }
+}
+
+/// Per-lane counter snapshot.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LaneStats {
+    /// Requests accepted into this lane's queue.
+    pub submitted: u64,
+    /// Requests rejected by this lane's admission budget
+    /// ([`ServeError::Overloaded`]).
+    pub rejected: u64,
+    /// Requests scored and answered.
+    pub completed: u64,
+    /// Requests shed past their deadline
+    /// ([`ServeError::DeadlineExceeded`]).
+    pub shed: u64,
 }
 
 /// A snapshot of serving-layer counters.
 #[derive(Clone, Copy, Debug)]
 pub struct ServeStats {
-    /// Requests accepted into the queue.
+    /// Requests accepted into the queue (all lanes).
     pub submitted: u64,
-    /// Requests rejected by admission control ([`ServeError::Overloaded`]).
+    /// Requests rejected by admission control ([`ServeError::Overloaded`],
+    /// all lanes).
     pub rejected: u64,
-    /// Requests scored and answered.
+    /// Requests scored and answered (all lanes).
     pub completed: u64,
+    /// Requests shed past their deadline (all lanes).
+    pub shed: u64,
+    /// Requests answered [`ServeError::Internal`] (scoring panic or a
+    /// request lost to a worker panic).
+    pub failed: u64,
     /// Coalesced batches scored.
     pub batches: u64,
     /// Total graphs across all scored batches.
     pub batched_graphs: u64,
+    /// Worker loops restarted after a panic outside the per-chunk catch.
+    pub worker_respawns: u64,
+    /// Successful model hot swaps.
+    pub swaps: u64,
     /// Plan-cache topology hits.
     pub plan_cache_hits: u64,
     /// Plan-cache topology misses (full plan builds).
     pub plan_cache_misses: u64,
+    /// Per-lane breakdown, indexed like [`Lane::ALL`].
+    pub interactive: LaneStats,
+    /// Per-lane breakdown of the bulk lane.
+    pub bulk: LaneStats,
 }
 
 impl ServeStats {
@@ -164,10 +399,21 @@ impl ServeStats {
     }
 }
 
-/// The request-batching scoring service: owns the ensemble, the shared
-/// plan cache and the worker threads. Dropping the service shuts it
-/// down: workers are joined and any still-queued request fails with
-/// [`ServeError::ShutDown`].
+/// What [`ScoringService::shutdown_drain`] achieved.
+#[derive(Clone, Copy, Debug)]
+pub struct DrainOutcome {
+    /// Every request accepted before the drain was answered.
+    pub drained: bool,
+    /// Requests still unanswered at the drain deadline, failed with
+    /// [`ServeError::ShutDown`].
+    pub abandoned: u64,
+}
+
+/// The request-batching scoring service: owns the model snapshot, the
+/// shared plan cache and the worker threads. Dropping the service shuts
+/// it down immediately: workers are joined and any still-queued request
+/// fails with [`ServeError::ShutDown`]; use
+/// [`ScoringService::shutdown_drain`] to finish queued work first.
 pub struct ScoringService {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
@@ -175,47 +421,27 @@ pub struct ScoringService {
 
 impl ScoringService {
     /// Starts the service: spawns `cfg.workers` worker threads around the
-    /// ensemble.
+    /// ensemble (served as model version 1).
     ///
     /// # Panics
     /// Panics when `max_batch`, `queue_cap` or `plan_cache_cap` is zero.
     pub fn start(ensemble: Ensemble, cfg: ServeConfig) -> Self {
         assert!(cfg.max_batch > 0, "max_batch must be >= 1");
         assert!(cfg.queue_cap > 0, "queue_cap must be >= 1");
+        assert!(cfg.bulk_queue_cap > 0, "bulk_queue_cap must be >= 1");
         let cache = PlanCache::new(cfg.plan_cache_cap);
-        // Stack the member-fused serving view once, up front. Exact
-        // stacking is unconditional (bitwise identical to the sequential
-        // ensemble); int8 must first survive the startup self-test
-        // against the configured q-error bound, else the service warns
-        // and serves exact f32 — a precision knob must degrade
-        // gracefully, not degrade predictions silently.
-        let (fused, int8_fallback_q) = match cfg.precision {
-            Precision::Exact => (ensemble.fused(), None),
-            Precision::Int8 => {
-                let probe = int8_self_test(&ensemble);
-                if probe.max_q <= cfg.int8_q_bound {
-                    (probe.view, None)
-                } else {
-                    eprintln!(
-                        "warning: int8 serving self-test failed (q-error {:.4} > bound {:.4}); \
-                         falling back to exact f32",
-                        probe.max_q, cfg.int8_q_bound
-                    );
-                    (ensemble.fused(), Some(probe.max_q))
-                }
-            }
-        };
+        let model = build_model(ensemble, &cfg, 1);
         let shared = Arc::new(Shared {
-            ensemble,
-            fused,
-            int8_fallback_q,
+            model: RwLock::new(Arc::new(model)),
             queue: Mutex::new(QueueState {
-                requests: VecDeque::new(),
+                lanes: Default::default(),
+                draining: false,
                 shutdown: false,
             }),
             ready: Condvar::new(),
             cache,
-            stats: StatsInner::default(),
+            stats: Arc::new(StatsInner::default()),
+            panic_requests: AtomicUsize::new(0),
             cfg,
         });
         let workers = (0..shared.cfg.workers)
@@ -223,7 +449,7 @@ impl ScoringService {
                 let sh = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("costream-serve-{i}"))
-                    .spawn(move || worker_loop(&sh))
+                    .spawn(move || worker_thread(&sh))
                     .expect("spawn serving worker")
             })
             .collect();
@@ -237,37 +463,97 @@ impl ScoringService {
         }
     }
 
-    /// The served ensemble.
-    pub fn ensemble(&self) -> &Ensemble {
-        &self.shared.ensemble
+    /// The current served-model snapshot (ensemble + fused view +
+    /// version). The snapshot is immutable; a concurrent
+    /// [`swap_model`](Self::swap_model) replaces the service's snapshot
+    /// but never mutates one already handed out.
+    pub fn model(&self) -> Arc<ModelState> {
+        self.shared.model()
     }
 
-    /// The *effective* serving precision: [`Precision::Int8`] only when
-    /// it was requested **and** the startup self-test stayed within
+    /// The current model version (1 until the first successful swap).
+    pub fn model_version(&self) -> u64 {
+        self.shared.model().version
+    }
+
+    /// Hot-swaps the served model: subsequent batches score against
+    /// `ensemble` while in-flight batches finish on the snapshot they
+    /// already hold — zero downtime, and every response carries the
+    /// version that produced it ([`Scored::version`]).
+    ///
+    /// The replacement must be *serving-compatible* with the current
+    /// model: same metric, same featurization, and a
+    /// plan-congruent config (see
+    /// [`ModelConfig::plan_congruent`](costream::model::ModelConfig::plan_congruent))
+    /// — queued requests carry precomputed plan signatures and the plan
+    /// cache holds topologies keyed under the current scheme/round
+    /// count, both of which must stay valid across the swap.
+    ///
+    /// Returns the new version on success.
+    pub fn swap_model(&self, ensemble: Ensemble) -> Result<u64, SwapError> {
+        let current = self.shared.model();
+        if ensemble.metric != current.ensemble.metric {
+            return Err(SwapError::MetricMismatch);
+        }
+        if ensemble.featurization() != current.ensemble.featurization() {
+            return Err(SwapError::FeaturizationMismatch);
+        }
+        if !ensemble.model_config().plan_congruent(current.ensemble.model_config()) {
+            return Err(SwapError::ConfigMismatch);
+        }
+        // Build the serving view outside the write lock (stacking — and
+        // the int8 self-test, when requested — are the expensive part);
+        // the version is assigned under the lock so concurrent swaps
+        // serialize cleanly.
+        let staged = build_model(ensemble, &self.shared.cfg, 0);
+        let mut guard = self.shared.model.write().unwrap_or_else(|e| e.into_inner());
+        let version = guard.version + 1;
+        *guard = Arc::new(ModelState { version, ..staged });
+        self.shared.stats.swaps.fetch_add(1, Ordering::Relaxed);
+        Ok(version)
+    }
+
+    /// The *effective* serving precision of the current model snapshot:
+    /// [`Precision::Int8`] only when it was requested **and** the
+    /// self-test stayed within
     /// [`ServeConfig::int8_q_bound`](crate::ServeConfig::int8_q_bound);
     /// [`Precision::Exact`] otherwise.
     pub fn precision(&self) -> Precision {
-        self.shared.fused.precision()
+        self.shared.model().fused.precision()
     }
 
-    /// The q-error the int8 startup self-test measured when it *failed*
-    /// and the service fell back to exact f32 — `None` when int8 was
+    /// The q-error the int8 self-test measured when it *failed* and the
+    /// current snapshot fell back to exact f32 — `None` when int8 was
     /// never requested or is actively serving.
     pub fn int8_fallback_q(&self) -> Option<f64> {
-        self.shared.int8_fallback_q
+        self.shared.model().int8_fallback_q
     }
 
-    /// Snapshot of the serving counters (including plan-cache hit/miss).
+    /// Snapshot of the serving counters (including plan-cache hit/miss
+    /// and the per-lane breakdown).
     pub fn stats(&self) -> ServeStats {
         let s = &self.shared.stats;
+        let lane = |l: Lane| LaneStats {
+            submitted: s.submitted[l.idx()].load(Ordering::Relaxed),
+            rejected: s.rejected[l.idx()].load(Ordering::Relaxed),
+            completed: s.completed[l.idx()].load(Ordering::Relaxed),
+            shed: s.shed[l.idx()].load(Ordering::Relaxed),
+        };
+        let (interactive, bulk) = (lane(Lane::Interactive), lane(Lane::Bulk));
         ServeStats {
-            submitted: s.submitted.load(Ordering::Relaxed),
-            rejected: s.rejected.load(Ordering::Relaxed),
-            completed: s.completed.load(Ordering::Relaxed),
+            submitted: interactive.submitted + bulk.submitted,
+            rejected: interactive.rejected + bulk.rejected,
+            completed: interactive.completed + bulk.completed,
+            shed: interactive.shed + bulk.shed,
+            failed: s.failed.load(Ordering::Relaxed),
             batches: s.batches.load(Ordering::Relaxed),
             batched_graphs: s.batched_graphs.load(Ordering::Relaxed),
+            worker_respawns: s.worker_respawns.load(Ordering::Relaxed),
+            swaps: s.swaps.load(Ordering::Relaxed),
             plan_cache_hits: self.shared.cache.hits(),
             plan_cache_misses: self.shared.cache.misses(),
+            interactive,
+            bulk,
         }
     }
 
@@ -276,12 +562,47 @@ impl ScoringService {
     pub fn cache_stats(&self) -> CacheStats {
         self.shared.cache.stats()
     }
-}
 
-impl Drop for ScoringService {
-    fn drop(&mut self) {
+    /// Gracefully drains the service: admission closes immediately
+    /// (subsequent submissions fail with [`ServeError::ShutDown`]),
+    /// workers finish everything already queued, then stop. Waits at
+    /// most `deadline`; whatever is still unanswered then is failed with
+    /// [`ServeError::ShutDown`] and counted in
+    /// [`DrainOutcome::abandoned`].
+    ///
+    /// The final join waits for batches already being scored, so the
+    /// call can overrun `deadline` by roughly one batch's scoring time.
+    pub fn shutdown_drain(&mut self, deadline: Duration) -> DrainOutcome {
         {
-            let mut q = self.shared.queue.lock().expect("queue lock");
+            let mut q = self.shared.lock_queue();
+            q.draining = true;
+        }
+        self.shared.ready.notify_all();
+        let end = Instant::now() + deadline;
+        loop {
+            let outstanding = {
+                let s = &self.shared.stats;
+                let submitted: u64 = s.submitted.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+                submitted - s.answered.load(Ordering::Relaxed)
+            };
+            if outstanding == 0 || Instant::now() >= end {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let abandoned = self.stop_and_fail_queued();
+        DrainOutcome {
+            drained: abandoned == 0,
+            abandoned,
+        }
+    }
+
+    /// Immediate shutdown: stop workers, fail everything still queued.
+    /// Returns how many queued requests were failed with
+    /// [`ServeError::ShutDown`].
+    fn stop_and_fail_queued(&mut self) -> u64 {
+        {
+            let mut q = self.shared.lock_queue();
             q.shutdown = true;
         }
         self.shared.ready.notify_all();
@@ -290,10 +611,31 @@ impl Drop for ScoringService {
         }
         // Workers are gone; fail whatever is still queued so no caller
         // blocks forever.
-        let mut q = self.shared.queue.lock().expect("queue lock");
-        for req in q.requests.drain(..) {
-            req.slot.fill(Err(ServeError::ShutDown));
+        let mut q = self.shared.lock_queue();
+        let mut failed = 0;
+        for lane in &mut q.lanes {
+            for req in lane.drain(..) {
+                req.answer(Err(ServeError::ShutDown));
+                failed += 1;
+            }
         }
+        failed
+    }
+
+    /// Test/fault-injection hook: makes one worker panic at the top of
+    /// its next batching tick — *outside* the per-chunk unwind guard —
+    /// exercising the respawn path. Hidden from docs; not part of the
+    /// serving API.
+    #[doc(hidden)]
+    pub fn inject_worker_panic(&self) {
+        self.shared.panic_requests.fetch_add(1, Ordering::AcqRel);
+        self.shared.ready.notify_all();
+    }
+}
+
+impl Drop for ScoringService {
+    fn drop(&mut self) {
+        self.stop_and_fail_queued();
     }
 }
 
@@ -306,20 +648,31 @@ pub struct ScoreClient {
 
 impl ScoreClient {
     /// The featurization the served ensemble expects — use it when
-    /// prebuilding [`JointGraph`]s on the client side.
+    /// prebuilding [`JointGraph`]s on the client side. Swap-stable:
+    /// [`ScoringService::swap_model`] only accepts replacements with the
+    /// same featurization.
     pub fn featurization(&self) -> Featurization {
-        self.shared.ensemble.featurization()
+        self.shared.model().ensemble.featurization()
     }
 
     /// Submits a request without blocking on the result. Featurization
     /// (for [`ScoreRequest::Placement`]) happens on the calling thread,
     /// so it parallelizes across clients instead of serializing in the
-    /// workers.
+    /// workers. Defaults: [`Lane::Interactive`], no deadline — see
+    /// [`ScoreClient::submit_with`].
     ///
     /// # Errors
-    /// [`ServeError::Overloaded`] when the queue is at capacity,
-    /// [`ServeError::ShutDown`] when the service stopped.
+    /// [`ServeError::Overloaded`] when the lane's queue is at capacity,
+    /// [`ServeError::ShutDown`] when the service stopped or is draining.
     pub fn submit(&self, request: impl Into<ScoreRequest>) -> Result<Pending, ServeError> {
+        self.submit_with(request, SubmitOptions::default())
+    }
+
+    /// Submits a request on an explicit lane and/or with a deadline.
+    ///
+    /// # Errors
+    /// See [`ScoreClient::submit`].
+    pub fn submit_with(&self, request: impl Into<ScoreRequest>, opts: SubmitOptions) -> Result<Pending, ServeError> {
         let graph = match request.into() {
             ScoreRequest::Graph(g) => Arc::new(g),
             ScoreRequest::Shared(g) => g,
@@ -337,25 +690,34 @@ impl ScoreClient {
             )),
         };
         let slot = Arc::new(Slot::new());
-        let cfg = self.shared.ensemble.model_config();
+        let model = self.shared.model();
+        let cfg = model.ensemble.model_config();
         let sig = plan_signature(&[graph.as_ref()], cfg.scheme, cfg.traditional_rounds);
+        let lane = opts.lane;
+        let cap = match lane {
+            Lane::Interactive => self.shared.cfg.queue_cap,
+            Lane::Bulk => self.shared.cfg.bulk_queue_cap,
+        };
         {
-            let mut q = self.shared.queue.lock().expect("queue lock");
-            if q.shutdown {
+            let mut q = self.shared.lock_queue();
+            if q.shutdown || q.draining {
                 return Err(ServeError::ShutDown);
             }
-            if q.requests.len() >= self.shared.cfg.queue_cap {
-                self.shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            if q.lanes[lane.idx()].len() >= cap {
+                self.shared.stats.rejected[lane.idx()].fetch_add(1, Ordering::Relaxed);
                 return Err(ServeError::Overloaded);
             }
-            q.requests.push_back(QueuedRequest {
+            q.lanes[lane.idx()].push_back(QueuedRequest {
                 graph,
                 sig,
+                lane,
+                deadline: opts.deadline,
                 slot: Arc::clone(&slot),
+                stats: Arc::clone(&self.shared.stats),
             });
             // Counted while the queue lock is held, so `submitted` can
             // never be observed behind `completed`.
-            self.shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+            self.shared.stats.submitted[lane.idx()].fetch_add(1, Ordering::Relaxed);
         }
         self.shared.ready.notify_one();
         Ok(Pending { slot })
@@ -368,6 +730,16 @@ impl ScoreClient {
     /// [`ServeError::ShutDown`] when the service stops mid-flight.
     pub fn score(&self, request: impl Into<ScoreRequest>) -> Result<f64, ServeError> {
         self.submit(request)?.wait()
+    }
+
+    /// Submits with explicit options and blocks until scored, returning
+    /// the version-tagged result.
+    ///
+    /// # Errors
+    /// See [`ScoreClient::submit`]; additionally
+    /// [`ServeError::DeadlineExceeded`] when the request was shed.
+    pub fn score_with(&self, request: impl Into<ScoreRequest>, opts: SubmitOptions) -> Result<Scored, ServeError> {
+        self.submit_with(request, opts)?.wait_scored()
     }
 
     /// Featurizes a placed query and blocks until it is scored — the
@@ -386,15 +758,20 @@ impl ScoreClient {
         self.score(graph)
     }
 
-    /// The metric the served ensemble predicts.
+    /// The metric the served ensemble predicts (swap-stable).
     pub fn metric(&self) -> costream::CostMetric {
-        self.shared.ensemble.metric
+        self.shared.model().ensemble.metric
+    }
+
+    /// The current model version (see [`ScoringService::model_version`]).
+    pub fn model_version(&self) -> u64 {
+        self.shared.model().version
     }
 
     /// The effective serving precision (see
     /// [`ScoringService::precision`]).
     pub fn precision(&self) -> Precision {
-        self.shared.fused.precision()
+        self.shared.model().fused.precision()
     }
 
     /// Snapshot of the service's plan-cache counters (see
@@ -411,17 +788,49 @@ pub struct Pending {
 }
 
 impl Pending {
-    /// Blocks until the request is scored (or the service shuts down).
+    /// Blocks until the request is scored (or the service sheds it /
+    /// shuts down).
     ///
     /// # Errors
-    /// [`ServeError::ShutDown`] when the service stopped before scoring.
+    /// [`ServeError::ShutDown`] when the service stopped before scoring,
+    /// [`ServeError::DeadlineExceeded`] when the request was shed.
     pub fn wait(self) -> Result<f64, ServeError> {
+        self.slot.wait().map(|s| s.score)
+    }
+
+    /// Like [`Pending::wait`], but returns the score together with the
+    /// model version that produced it.
+    ///
+    /// # Errors
+    /// See [`Pending::wait`].
+    pub fn wait_scored(self) -> Result<Scored, ServeError> {
         self.slot.wait()
     }
 }
 
-/// Worker thread body: collect a micro-batch per tick, score it, repeat
-/// until shutdown. The arena lives as long as the worker, so after the
+/// Worker thread body: run the batching loop, and when it panics outside
+/// the per-chunk catch (a bug in the tick itself, or an injected test
+/// panic), restart it instead of silently shrinking serving capacity.
+/// Requests a panicking tick had already drained are answered
+/// [`ServeError::Internal`] by the [`QueuedRequest`] drop guard during
+/// unwind, so their callers never hang.
+fn worker_thread(sh: &Shared) {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    loop {
+        match catch_unwind(AssertUnwindSafe(|| worker_loop(sh))) {
+            Ok(()) => return, // Clean shutdown/drain exit.
+            Err(_) => {
+                if sh.lock_queue().shutdown {
+                    return;
+                }
+                sh.stats.worker_respawns.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// The batching loop: collect a micro-batch per tick, score it, repeat
+/// until shutdown. The arena lives as long as the loop, so after the
 /// first few batches every scratch buffer of the forward pass is
 /// recycled.
 fn worker_loop(sh: &Shared) {
@@ -432,9 +841,14 @@ fn worker_loop(sh: &Shared) {
     let chunk_w = inference_chunk();
     while let Some(mut batch) = collect_batch(sh) {
         if batch.is_empty() {
-            // Another worker drained the queue during our probe wait.
+            // Another worker drained the queue during our probe wait, or
+            // everything we drained was past its deadline.
             continue;
         }
+        // One model snapshot per batch: every request in this batch —
+        // and therefore every response — is produced by exactly this
+        // version, even if a swap lands mid-batch.
+        let model = sh.model();
         sh.stats.batches.fetch_add(1, Ordering::Relaxed);
         sh.stats.batched_graphs.fetch_add(batch.len() as u64, Ordering::Relaxed);
         // Group same-shaped requests into runs (the stable sort keeps
@@ -444,7 +858,7 @@ fn worker_loop(sh: &Shared) {
         batch.sort_by_key(|r| r.sig);
         for run in batch.chunk_by(|a, b| a.sig == b.sig) {
             for chunk in run.chunks(chunk_w) {
-                score_chunk(sh, chunk, &mut arena);
+                score_chunk(sh, &model, chunk, &mut arena);
             }
         }
     }
@@ -455,37 +869,46 @@ fn worker_loop(sh: &Shared) {
 /// requests keep arriving (a short *no-growth probe* per wait, bounded
 /// overall by `max_delay_us`), so a lone request is never held for the
 /// full delay and a burst is collected whole; finally drains up to
-/// `max_batch` requests. Returns `None` on shutdown.
+/// `max_batch` requests, interactive lane strictly first, shedding
+/// expired requests as it goes. Returns `None` on shutdown, or when
+/// draining and the queue is empty.
 fn collect_batch(sh: &Shared) -> Option<Vec<QueuedRequest>> {
     let cfg = &sh.cfg;
-    let mut q = sh.queue.lock().expect("queue lock");
+    let mut q = sh.lock_queue();
     loop {
-        if q.shutdown {
+        if q.shutdown || (q.draining && q.queued() == 0) {
             return None;
         }
-        if !q.requests.is_empty() {
+        if sh.claim_injected_panic() {
+            drop(q);
+            panic!("injected worker panic (test hook)");
+        }
+        if q.queued() > 0 {
             break;
         }
-        q = sh.ready.wait(q).expect("queue wait");
+        q = sh.ready.wait(q).unwrap_or_else(|e| e.into_inner());
     }
-    if cfg.max_delay_us > 0 && q.requests.len() < cfg.max_batch {
+    if cfg.max_delay_us > 0 && q.queued() < cfg.max_batch {
         let deadline = Instant::now() + Duration::from_micros(cfg.max_delay_us);
         // Probe window: long enough that co-runnable client threads get
         // scheduled and submit, short enough to be cheap when traffic is
         // a single closed-loop caller.
         let probe = Duration::from_micros(cfg.max_delay_us.min(25));
         loop {
-            if q.requests.len() >= cfg.max_batch || q.shutdown {
+            if q.queued() >= cfg.max_batch || q.shutdown {
                 break;
             }
             let now = Instant::now();
             if now >= deadline {
                 break;
             }
-            let before = q.requests.len();
-            let (guard, _) = sh.ready.wait_timeout(q, probe.min(deadline - now)).expect("queue wait");
+            let before = q.queued();
+            let (guard, _) = sh
+                .ready
+                .wait_timeout(q, probe.min(deadline - now))
+                .unwrap_or_else(|e| e.into_inner());
             q = guard;
-            if q.requests.len() <= before {
+            if q.queued() <= before {
                 // Nothing new arrived within a whole probe window (or
                 // another worker drained part of the queue — a shrink is
                 // not an arrival): the burst is over, score what we have.
@@ -493,12 +916,28 @@ fn collect_batch(sh: &Shared) -> Option<Vec<QueuedRequest>> {
             }
         }
         if q.shutdown {
-            // Leave the batch queued; Drop fails the slots.
+            // Leave the batch queued; shutdown fails the slots.
             return None;
         }
     }
-    let n = q.requests.len().min(cfg.max_batch);
-    Some(q.requests.drain(..n).collect())
+    // Drain up to `max_batch` live requests: interactive strictly before
+    // bulk, and anything already past its deadline is shed here — before
+    // it can occupy a batch slot.
+    let now = Instant::now();
+    let mut batch = Vec::with_capacity(q.queued().min(cfg.max_batch));
+    for lane in Lane::ALL {
+        while batch.len() < cfg.max_batch {
+            let Some(req) = q.lanes[lane.idx()].pop_front() else {
+                break;
+            };
+            if req.expired(now) {
+                req.answer(Err(ServeError::DeadlineExceeded));
+                continue;
+            }
+            batch.push(req);
+        }
+    }
+    Some(batch)
 }
 
 /// Scores one same-shape chunk under an unwind guard and fills its
@@ -508,25 +947,30 @@ fn collect_batch(sh: &Shared) -> Option<Vec<QueuedRequest>> {
 /// *individually*, so only the offending request fails with
 /// [`ServeError::Internal`] while co-batched requests still get their
 /// scores; the worker survives either way.
-fn score_chunk(sh: &Shared, chunk: &[QueuedRequest], arena: &mut InferenceArena) {
+fn score_chunk(sh: &Shared, model: &ModelState, chunk: &[QueuedRequest], arena: &mut InferenceArena) {
     use std::panic::{catch_unwind, AssertUnwindSafe};
-    match catch_unwind(AssertUnwindSafe(|| score_graphs(sh, chunk, arena))) {
+    match catch_unwind(AssertUnwindSafe(|| score_graphs(sh, model, chunk, arena))) {
         Ok(scores) => {
-            // Counters land before the slots fill so a caller that just
-            // received its score observes them already updated.
-            sh.stats.completed.fetch_add(chunk.len() as u64, Ordering::Relaxed);
+            // Counters land before the slots fill (inside `answer`) so a
+            // caller that just received its score observes them already
+            // updated.
             for (req, score) in chunk.iter().zip(scores) {
-                req.slot.fill(Ok(score));
+                req.answer(Ok(Scored {
+                    score,
+                    version: model.version,
+                }));
             }
         }
         Err(_) => {
             for req in chunk {
-                match catch_unwind(AssertUnwindSafe(|| score_graphs(sh, std::slice::from_ref(req), arena))) {
-                    Ok(scores) => {
-                        sh.stats.completed.fetch_add(1, Ordering::Relaxed);
-                        req.slot.fill(Ok(scores[0]));
-                    }
-                    Err(_) => req.slot.fill(Err(ServeError::Internal)),
+                match catch_unwind(AssertUnwindSafe(|| {
+                    score_graphs(sh, model, std::slice::from_ref(req), arena)
+                })) {
+                    Ok(scores) => req.answer(Ok(Scored {
+                        score: scores[0],
+                        version: model.version,
+                    })),
+                    Err(_) => req.answer(Err(ServeError::Internal)),
                 }
             }
         }
@@ -538,9 +982,9 @@ fn score_chunk(sh: &Shared, chunk: &[QueuedRequest], arena: &mut InferenceArena)
 /// this worker's arena (bitwise identical to the sequential
 /// `Ensemble::predict_plans_arena` at exact precision — see
 /// [`costream::fused`]).
-fn score_graphs(sh: &Shared, chunk: &[QueuedRequest], arena: &mut InferenceArena) -> Vec<f64> {
-    let cfg = sh.ensemble.model_config();
+fn score_graphs(sh: &Shared, model: &ModelState, chunk: &[QueuedRequest], arena: &mut InferenceArena) -> Vec<f64> {
+    let cfg = model.ensemble.model_config();
     let graphs: Vec<&JointGraph> = chunk.iter().map(|r| r.graph.as_ref()).collect();
     let plan = sh.cache.get_or_build(&graphs, cfg.scheme, cfg.traditional_rounds);
-    sh.fused.predict_plans_arena(std::slice::from_ref(&plan), arena)
+    model.fused.predict_plans_arena(std::slice::from_ref(&plan), arena)
 }

@@ -54,6 +54,13 @@ GATED = {
     # plan — the serving worker's steady-state scoring cost and the
     # number the fused-inference acceptance criterion protects.
     "ensemble_fused_batch64": 1.30,
+    # Interactive-lane p99 of the network front-end's sustained
+    # mixed-lane load run (pipelined wire clients against sharded
+    # scoring services, with the chaos thread injecting connection
+    # faults throughout) — the QoS number the priority lanes exist to
+    # protect. Tail latency of a multi-connection threaded server is
+    # the noisiest gated number, hence the widest factor.
+    "front_interactive_p99": 1.50,
 }
 
 # Gated ops whose numbers depend on the runner class beyond what the
@@ -63,7 +70,7 @@ GATED = {
 # calibration op exercises only the baseline matmul kernels. These are
 # skipped when the baseline and the fresh run come from runners of
 # different widths.
-THREADED = {"serve_throughput", "optimizer_search_local", "ensemble_fused_batch64"}
+THREADED = {"serve_throughput", "optimizer_search_local", "ensemble_fused_batch64", "front_interactive_p99"}
 
 # Pure single-threaded kernel bench used to normalize away host speed.
 CALIBRATION_OP = "matmul_256x64x48_updater_in_big"

@@ -780,9 +780,144 @@ fn bench_replay_drift(c: &mut Criterion) {
     );
 }
 
+/// Wide-cluster placement search at 256 hosts, single-query and 3-query
+/// joint at an equal scoring budget. Besides the wall-time entries
+/// (`search_wide_256_local`, `search_wide_256_joint`), records:
+///
+/// * `search_wide_256_candidates_per_s` — incremental validity checks
+///   per second of the full parallel search (higher is better; the
+///   CI-gated search-throughput number);
+/// * `search_wide_256_speedup` — sequential wall time over parallel
+///   wall time for the bitwise-identical search (absolute-gated ≥ 3x on
+///   runners with enough cores; ~1x on single-core machines, where the
+///   rayon shim degenerates to the serial walk).
+///
+/// The parallel results are asserted bitwise equal to the sequential
+/// walk before anything is recorded — the speedup may never come from
+/// changed search behavior.
+fn bench_search_wide(c: &mut Criterion) {
+    use costream::joint::{JointPlacementSearch, JointQuery, JointSearchProblem};
+    use costream::search::{LocalSearch, PlacementSearch, SearchProblem};
+    use costream::test_fixtures;
+    use std::time::Instant;
+
+    let corpus = test_fixtures::corpus(48, 31);
+    let trio = test_fixtures::trio(&corpus, 2, 2);
+    let scorer = trio.scorer();
+    let wide = test_fixtures::wide_cluster(256);
+
+    const BUDGET: usize = 16;
+    const SEED: u64 = 35;
+    const REPS: usize = 3;
+    let serial = LocalSearch {
+        threads: Some(1),
+        ..Default::default()
+    };
+    // `None` resolves through COSTREAM_SEARCH_THREADS / the width
+    // heuristic: all cores at 256 hosts.
+    let auto = LocalSearch::default();
+
+    // --- single query on 256 hosts ---
+    let (q, _small, sels) = test_fixtures::workload(33, 4);
+    let problem = SearchProblem {
+        query: &q,
+        cluster: &wide,
+        est_sels: &sels,
+        featurization: Featurization::Full,
+    };
+    c.bench_function("search_wide_256_local", |b| {
+        b.iter(|| auto.search(&problem, &scorer, BUDGET, SEED))
+    });
+
+    let timed = |s: &LocalSearch| {
+        let mut best = f64::INFINITY;
+        let mut r = s.search(&problem, &scorer, BUDGET, SEED); // warm-up
+        for _ in 0..REPS {
+            let t0 = Instant::now();
+            r = s.search(&problem, &scorer, BUDGET, SEED);
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        (best, r)
+    };
+    let (seq_s, seq_r) = timed(&serial);
+    let (par_s, par_r) = timed(&auto);
+    assert_eq!(
+        seq_r.best.assignment(),
+        par_r.best.assignment(),
+        "parallel changed the result"
+    );
+    assert_eq!(seq_r.candidates.len(), par_r.candidates.len());
+    for (x, y) in seq_r.candidates.iter().zip(&par_r.candidates) {
+        assert_eq!(x.placement.assignment(), y.placement.assignment());
+        assert_eq!(x.predicted_cost.to_bits(), y.predicted_cost.to_bits());
+    }
+    assert_eq!(seq_r.stats.validity_checks(), par_r.stats.validity_checks());
+    let cand_per_s = par_r.stats.validity_checks() as f64 / par_s;
+    criterion::register_metric("search_wide_256_candidates_per_s", cand_per_s, "candidates_per_s");
+    criterion::register_metric("search_wide_256_speedup", seq_s / par_s, "x");
+    eprintln!(
+        "  search_wide 256 hosts: {} checks, {} scored; serial {:.1} ms vs parallel {:.1} ms ({} workers) -> {:.2}x, {:.0} candidates/s",
+        par_r.stats.validity_checks(),
+        par_r.stats.candidates_scored,
+        seq_s * 1e3,
+        par_s * 1e3,
+        par_r.stats.threads,
+        seq_s / par_s,
+        cand_per_s
+    );
+
+    // --- 3-query joint on the same 256 hosts, equal budget ---
+    let (queries, _small, jsels) = test_fixtures::multi_query_workload(36, 3, 4);
+    let jqs = JointQuery::zip(&queries, &jsels);
+    let jproblem = JointSearchProblem {
+        queries: &jqs,
+        cluster: &wide,
+        featurization: Featurization::Full,
+    };
+    c.bench_function("search_wide_256_joint", |b| {
+        b.iter(|| auto.search_joint(&jproblem, &scorer, BUDGET, SEED))
+    });
+    let jtimed = |s: &LocalSearch| {
+        let mut best = f64::INFINITY;
+        let mut r = s.search_joint(&jproblem, &scorer, BUDGET, SEED); // warm-up
+        for _ in 0..REPS {
+            let t0 = Instant::now();
+            r = s.search_joint(&jproblem, &scorer, BUDGET, SEED);
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        (best, r)
+    };
+    let (jseq_s, jseq_r) = jtimed(&serial);
+    let (jpar_s, jpar_r) = jtimed(&auto);
+    assert_eq!(
+        jseq_r.best.flattened(),
+        jpar_r.best.flattened(),
+        "parallel changed the joint result"
+    );
+    assert_eq!(jseq_r.candidates.len(), jpar_r.candidates.len());
+    for (x, y) in jseq_r.candidates.iter().zip(&jpar_r.candidates) {
+        assert_eq!(x.placement.flattened(), y.placement.flattened());
+        for (sx, sy) in x.per_query.iter().zip(&y.per_query) {
+            assert_eq!(sx.cost.to_bits(), sy.cost.to_bits());
+        }
+    }
+    criterion::register_metric(
+        "search_wide_256_joint_candidates_per_s",
+        jpar_r.stats.validity_checks() as f64 / jpar_s,
+        "candidates_per_s",
+    );
+    eprintln!(
+        "  search_wide 256 hosts joint (3 queries): {} checks; serial {:.1} ms vs parallel {:.1} ms -> {:.2}x",
+        jpar_r.stats.validity_checks(),
+        jseq_s * 1e3,
+        jpar_s * 1e3,
+        jseq_s / jpar_s
+    );
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_matmul_kernels, bench_graph_primitives, bench_training_path, bench_simulator, bench_featurize, bench_inference, bench_ensemble_fused, bench_ensemble_train, bench_gbdt, bench_enumeration, bench_optimizer_search, bench_joint_placement, bench_serving, bench_front_load, bench_replay_drift
+    targets = bench_matmul_kernels, bench_graph_primitives, bench_training_path, bench_simulator, bench_featurize, bench_inference, bench_ensemble_fused, bench_ensemble_train, bench_gbdt, bench_enumeration, bench_optimizer_search, bench_joint_placement, bench_serving, bench_front_load, bench_replay_drift, bench_search_wide
 }
 criterion_main!(benches);

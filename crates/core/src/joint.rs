@@ -43,17 +43,23 @@
 
 use crate::graph::{Featurization, GraphTemplate, JointGraph};
 use crate::search::ranking;
-use crate::search::{BeamSearch, LocalSearch, PlacementScores, RandomEnumeration, Scorer, SimulatedAnnealing};
+use crate::search::{
+    resolve_threads, BeamSearch, LocalSearch, PlacementScores, RandomEnumeration, Scorer, SearchStats,
+    SimulatedAnnealing,
+};
 use costream_dsps::{CostMetric, ExecutionProfile};
 use costream_query::features::host_features;
 use costream_query::hardware::{Cluster, Host, HostId};
 use costream_query::joint::{JointMove, JointNeighborhood, JointPlacement};
 use costream_query::operators::Query;
+use costream_query::placement::neighborhood::VisitState;
 use costream_query::placement::{colocate_on_strongest, sample_valid, Placement};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use rayon::prelude::*;
 use std::collections::HashSet;
+use std::time::Instant;
 
 /// One query of a joint co-placement problem.
 #[derive(Clone, Copy, Debug)]
@@ -176,18 +182,53 @@ impl<'a> JointScorer<'a> {
     /// Panics when a candidate's query count does not match the problem,
     /// or the backend returns non-finite or miscounted predictions.
     pub fn evaluate(&self, candidates: &[JointPlacement]) -> Vec<JointCandidateEvaluation> {
+        self.evaluate_with(candidates, 1, &mut SearchStats::default())
+    }
+
+    /// Featurizes one joint candidate: its N per-query graphs, in query
+    /// order, under the candidate's occupancy.
+    fn featurize(&self, jp: &JointPlacement) -> Vec<JointGraph> {
         let n_q = self.templates.len();
-        let mut graphs: Vec<JointGraph> = Vec::with_capacity(candidates.len() * n_q);
-        for jp in candidates {
-            assert_eq!(jp.len(), n_q, "candidate places {} of {} queries", jp.len(), n_q);
-            for q in 0..n_q {
-                graphs.push(match self.contended_rows(jp, q) {
-                    Some(rows) => self.templates[q].instantiate_with_host_features(jp.query(q), &rows),
-                    None => self.templates[q].instantiate(jp.query(q)),
-                });
-            }
-        }
+        assert_eq!(jp.len(), n_q, "candidate places {} of {} queries", jp.len(), n_q);
+        (0..n_q)
+            .map(|q| match self.contended_rows(jp, q) {
+                Some(rows) => self.templates[q].instantiate_with_host_features(jp.query(q), &rows),
+                None => self.templates[q].instantiate(jp.query(q)),
+            })
+            .collect()
+    }
+
+    /// [`JointScorer::evaluate`] with an explicit worker fan-out and
+    /// profiling sink: `threads > 1` featurizes candidates across rayon
+    /// workers (per-candidate graph lists are concatenated in candidate
+    /// order, so the batch is bitwise identical to the serial build), and
+    /// wall time is split into `stats.featurize_ns` / `stats.score_ns`.
+    pub fn evaluate_with(
+        &self,
+        candidates: &[JointPlacement],
+        threads: usize,
+        stats: &mut SearchStats,
+    ) -> Vec<JointCandidateEvaluation> {
+        let n_q = self.templates.len();
+        let t0 = Instant::now();
+        let graphs: Vec<JointGraph> = if threads > 1 && candidates.len() > 1 {
+            candidates
+                .par_iter()
+                .map(|jp| self.featurize(jp))
+                .collect::<Vec<Vec<JointGraph>>>()
+                .into_iter()
+                .flatten()
+                .collect()
+        } else {
+            candidates.iter().flat_map(|jp| self.featurize(jp)).collect()
+        };
+        stats.featurize_ns += t0.elapsed().as_nanos() as u64;
+        stats.candidates_scored += candidates.len() as u64;
+        stats.score_batches += 1;
+        stats.max_batch = stats.max_batch.max(candidates.len() as u64);
+        let t1 = Instant::now();
         let scores = self.scorer.score_batch(graphs);
+        stats.score_ns += t1.elapsed().as_nanos() as u64;
         assert_eq!(
             scores.len(),
             candidates.len() * n_q,
@@ -260,6 +301,10 @@ pub struct JointOptimizationResult {
     pub candidates: Vec<JointCandidateEvaluation>,
     /// True when the sanity filters removed every candidate.
     pub all_filtered: bool,
+    /// Profiling counters of the joint search run (moves generated and
+    /// rejected across all queries, time split across validity checks /
+    /// featurization / scoring).
+    pub stats: SearchStats,
 }
 
 impl JointOptimizationResult {
@@ -317,15 +362,23 @@ struct JointEvaluator<'a> {
     budget: usize,
     seen: HashSet<Vec<HostId>>,
     evaluated: Vec<JointCandidateEvaluation>,
+    threads: usize,
+    stats: SearchStats,
 }
 
 impl<'a> JointEvaluator<'a> {
-    fn new(problem: &JointSearchProblem<'a>, scorer: &'a dyn Scorer, budget: usize) -> Self {
+    fn new(problem: &JointSearchProblem<'a>, scorer: &'a dyn Scorer, budget: usize, threads: usize) -> Self {
+        let stats = SearchStats {
+            threads: threads.max(1) as u64,
+            ..Default::default()
+        };
         JointEvaluator {
             scorer: JointScorer::new(problem, scorer),
             budget: budget.max(1),
             seen: HashSet::new(),
             evaluated: Vec::new(),
+            threads: threads.max(1),
+            stats,
         }
     }
 
@@ -335,6 +388,13 @@ impl<'a> JointEvaluator<'a> {
 
     fn is_seen(&self, jp: &JointPlacement) -> bool {
         self.seen.contains(&jp.flattened())
+    }
+
+    /// Duplicate check over an already-flattened assignment — lets
+    /// strategies test a move via [`JointPlacement::flattened_after`]
+    /// into a reused buffer without materializing the placement.
+    fn is_seen_flat(&self, flat: &[HostId]) -> bool {
+        self.seen.contains(flat)
     }
 
     /// Scores the not-yet-seen candidates (in order, up to the remaining
@@ -356,7 +416,8 @@ impl<'a> JointEvaluator<'a> {
             return Vec::new();
         }
         let start = self.evaluated.len();
-        self.evaluated.extend(self.scorer.evaluate(&fresh));
+        let scored = self.scorer.evaluate_with(&fresh, self.threads, &mut self.stats);
+        self.evaluated.extend(scored);
         (start..self.evaluated.len()).collect()
     }
 
@@ -408,8 +469,33 @@ impl<'a> JointEvaluator<'a> {
             initial: self.evaluated[0].placement.clone(),
             candidates: self.evaluated,
             all_filtered,
+            stats: self.stats,
         }
     }
+}
+
+/// One joint-strategy round's neighborhood enumeration: recompute every
+/// query's rule ③ state and fill `buf` with the full cross-query move
+/// list, serial or chunked across workers by `threads` (same bits either
+/// way), folding counters and wall time into `stats`.
+fn enumerate_joint_neighbors(
+    jnb: &JointNeighborhood<'_>,
+    jp: &JointPlacement,
+    states: &mut Vec<VisitState>,
+    buf: &mut Vec<JointMove>,
+    threads: usize,
+    stats: &mut SearchStats,
+) {
+    let t0 = Instant::now();
+    jnb.visit_states_into(jp, states);
+    let counts = if threads > 1 {
+        jnb.neighbors_into_par(jp, states, buf)
+    } else {
+        jnb.neighbors_into(jp, states, buf)
+    };
+    stats.validity_ns += t0.elapsed().as_nanos() as u64;
+    stats.moves_generated += counts.generated;
+    stats.moves_rejected += counts.rejected;
 }
 
 /// Draws one random joint placement: every query sampled independently
@@ -524,7 +610,8 @@ impl JointPlacementSearch for RandomEnumeration {
         budget: usize,
         seed: u64,
     ) -> JointOptimizationResult {
-        let mut ev = JointEvaluator::new(problem, scorer, budget);
+        let threads = resolve_threads(None, problem.cluster.len());
+        let mut ev = JointEvaluator::new(problem, scorer, budget, threads);
         let n = ev.budget;
         seed_pool(&mut ev, problem, seeds, n, seed);
         ev.finish()
@@ -548,7 +635,8 @@ impl JointPlacementSearch for LocalSearch {
         budget: usize,
         seed: u64,
     ) -> JointOptimizationResult {
-        let mut ev = JointEvaluator::new(problem, scorer, budget);
+        let threads = resolve_threads(self.threads, problem.cluster.len());
+        let mut ev = JointEvaluator::new(problem, scorer, budget, threads);
         let refs = problem.query_refs();
         let jnb = JointNeighborhood::new(&refs, problem.cluster);
         let mut rng = StdRng::seed_from_u64(seed ^ 0x10CA_15EA_2C4B_AD5E);
@@ -563,21 +651,23 @@ impl JointPlacementSearch for LocalSearch {
         pool_indices = ev.top_of(pool_indices, usize::MAX);
         let mut next_pool = 0usize;
         let mut expanded: HashSet<usize> = HashSet::new();
+        let mut states: Vec<VisitState> = Vec::new();
+        let mut moves_buf: Vec<JointMove> = Vec::new();
+        let mut flat_buf: Vec<HostId> = Vec::new();
 
         while ev.remaining() > 0 {
             expanded.insert(current);
             let jp = ev.evaluated[current].placement.clone();
-            let states = jnb.visit_states(&jp);
-            let mut moves = jnb.neighbors(&jp, &states);
-            moves.shuffle(&mut rng);
+            enumerate_joint_neighbors(&jnb, &jp, &mut states, &mut moves_buf, threads, &mut ev.stats);
+            moves_buf.shuffle(&mut rng);
             let mut candidates: Vec<JointPlacement> = Vec::new();
-            for mv in moves {
+            for &mv in &moves_buf {
                 if candidates.len() >= sample {
                     break;
                 }
-                let np = jp.apply(mv);
-                if !ev.is_seen(&np) {
-                    candidates.push(np);
+                jp.flattened_after(mv, &mut flat_buf);
+                if !ev.is_seen_flat(&flat_buf) {
+                    candidates.push(jp.apply(mv));
                 }
             }
 
@@ -633,7 +723,8 @@ impl JointPlacementSearch for BeamSearch {
         budget: usize,
         seed: u64,
     ) -> JointOptimizationResult {
-        let mut ev = JointEvaluator::new(problem, scorer, budget);
+        let threads = resolve_threads(self.threads, problem.cluster.len());
+        let mut ev = JointEvaluator::new(problem, scorer, budget, threads);
         let refs = problem.query_refs();
         let jnb = JointNeighborhood::new(&refs, problem.cluster);
         let mut rng = StdRng::seed_from_u64(seed ^ 0xBEA3_5EA2_C4A6_1D07);
@@ -642,27 +733,31 @@ impl JointPlacementSearch for BeamSearch {
         let n_random = ranking::seed_count(ev.budget, self.seed_share, width).saturating_sub(seeds.len());
         let scored = seed_pool(&mut ev, problem, seeds, n_random, seed);
         let mut beam = ev.top_of(scored, width);
+        let mut states: Vec<VisitState> = Vec::new();
+        let mut moves_buf: Vec<JointMove> = Vec::new();
+        let mut flat_buf: Vec<HostId> = Vec::new();
 
         while ev.remaining() > 0 {
             let mut expansion: Vec<JointPlacement> = Vec::new();
             // Round-local dedup over flattened assignments (computed once
-            // per candidate, not per pairwise comparison).
+            // per candidate, into a reused buffer, not per pairwise
+            // comparison).
             let mut in_round: HashSet<Vec<HostId>> = HashSet::new();
             for &bi in &beam {
                 let jp = ev.evaluated[bi].placement.clone();
-                let states = jnb.visit_states(&jp);
-                let mut moves = jnb.neighbors(&jp, &states);
-                moves.shuffle(&mut rng);
+                enumerate_joint_neighbors(&jnb, &jp, &mut states, &mut moves_buf, threads, &mut ev.stats);
+                moves_buf.shuffle(&mut rng);
                 let mut taken = 0usize;
-                for mv in moves {
+                for &mv in &moves_buf {
                     if taken >= self.expand.max(1) {
                         break;
                     }
-                    let np = jp.apply(mv);
-                    if ev.is_seen(&np) || !in_round.insert(np.flattened()) {
+                    jp.flattened_after(mv, &mut flat_buf);
+                    if ev.is_seen_flat(&flat_buf) || in_round.contains(flat_buf.as_slice()) {
                         continue;
                     }
-                    expansion.push(np);
+                    in_round.insert(flat_buf.clone());
+                    expansion.push(jp.apply(mv));
                     taken += 1;
                 }
             }
@@ -698,7 +793,8 @@ impl JointPlacementSearch for SimulatedAnnealing {
         budget: usize,
         seed: u64,
     ) -> JointOptimizationResult {
-        let mut ev = JointEvaluator::new(problem, scorer, budget);
+        let threads = resolve_threads(self.threads, problem.cluster.len());
+        let mut ev = JointEvaluator::new(problem, scorer, budget, threads);
         let refs = problem.query_refs();
         let jnb = JointNeighborhood::new(&refs, problem.cluster);
         let mut rng = StdRng::seed_from_u64(seed ^ 0xA44E_A1E4_0C0A_57A7);
@@ -711,12 +807,21 @@ impl JointPlacementSearch for SimulatedAnnealing {
 
         let mut temp = self.initial_temp.max(1e-6);
         let mut restarts: u64 = 0;
+        let mut states: Vec<VisitState> = Vec::new();
+        let mut moves_buf: Vec<JointMove> = Vec::new();
+        let mut flat_buf: Vec<HostId> = Vec::new();
         while ev.remaining() > 0 {
             let jp = ev.evaluated[current].placement.clone();
-            let states = jnb.visit_states(&jp);
-            let mut moves = jnb.neighbors(&jp, &states);
-            moves.shuffle(&mut rng);
-            let next = moves.into_iter().map(|mv| jp.apply(mv)).find(|np| !ev.is_seen(np));
+            enumerate_joint_neighbors(&jnb, &jp, &mut states, &mut moves_buf, threads, &mut ev.stats);
+            moves_buf.shuffle(&mut rng);
+            let mut next: Option<JointPlacement> = None;
+            for &mv in &moves_buf {
+                jp.flattened_after(mv, &mut flat_buf);
+                if !ev.is_seen_flat(&flat_buf) {
+                    next = Some(jp.apply(mv));
+                    break;
+                }
+            }
             match next {
                 Some(np) => {
                     let scored = ev.score(vec![np]);

@@ -88,7 +88,7 @@ pub mod prelude {
     pub use crate::qerror::{accuracy, q_error, QErrorSummary};
     pub use crate::search::{
         BeamSearch, EnsembleScorer, LocalSearch, PlacementScores, PlacementSearch, RandomEnumeration, Scorer,
-        SearchProblem, SimulatedAnnealing,
+        SearchProblem, SearchStats, SimulatedAnnealing,
     };
     pub use crate::train::{fine_tune, train_metric, TrainConfig, TrainedModel};
     pub use costream_dsps::{CostMetric, CostMetrics, SimConfig};

@@ -110,6 +110,9 @@ pub struct OptimizationResult {
     pub candidates: Vec<CandidateEvaluation>,
     /// True when the sanity filters removed every candidate.
     pub all_filtered: bool,
+    /// Profiling counters of the search run (moves generated/rejected,
+    /// time split across validity checks / featurization / scoring).
+    pub stats: crate::search::SearchStats,
 }
 
 impl OptimizationResult {

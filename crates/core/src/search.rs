@@ -32,12 +32,99 @@ use crate::optimizer::{enumerate_candidates, CandidateEvaluation, OptimizationRe
 use costream_dsps::CostMetric;
 use costream_query::hardware::Cluster;
 use costream_query::operators::Query;
-use costream_query::placement::neighborhood::Neighborhood;
+use costream_query::placement::neighborhood::{Move, Neighborhood, VisitState};
 use costream_query::placement::Placement;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::collections::HashSet;
+use std::time::Instant;
+
+/// Environment knob overriding the worker fan-out of parallel candidate
+/// evaluation (see [`resolve_threads`]). `1` forces the serial walk;
+/// larger values take the chunked parallel path (workers are still
+/// bounded by the machine's cores). Strategy structs' `threads` field
+/// wins over the environment.
+pub const SEARCH_THREADS_ENV: &str = "COSTREAM_SEARCH_THREADS";
+
+/// Cluster width at which search defaults to parallel neighborhood
+/// enumeration and featurization. Below it the serial walk wins: per-call
+/// worker spawn costs more than an 8-host neighborhood, and the existing
+/// narrow-cluster bench gates must not regress.
+const WIDE_CLUSTER_THRESHOLD: usize = 64;
+
+/// Resolves the worker fan-out for parallel candidate evaluation: an
+/// explicit strategy override wins, then [`SEARCH_THREADS_ENV`], then a
+/// width heuristic (all cores at [`WIDE_CLUSTER_THRESHOLD`]+ hosts,
+/// serial below). Search results are bitwise identical for every
+/// resolution — the fan-out only changes wall time.
+pub(crate) fn resolve_threads(explicit: Option<usize>, cluster_hosts: usize) -> usize {
+    if let Some(n) = explicit {
+        return n.max(1);
+    }
+    if let Ok(v) = std::env::var(SEARCH_THREADS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    if cluster_hosts >= WIDE_CLUSTER_THRESHOLD {
+        rayon::current_num_threads().max(1)
+    } else {
+        1
+    }
+}
+
+/// Profiling counters of one search run, threaded through every strategy
+/// (single-query and joint) and exposed on
+/// [`OptimizationResult::stats`](crate::optimizer::OptimizationResult) /
+/// [`JointOptimizationResult`](crate::joint::JointOptimizationResult).
+/// Where search wall time goes at wide cluster widths: move generation
+/// (`validity_ns`), delta featurization (`featurize_ns`) or model
+/// inference (`score_ns`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Valid neighborhood moves generated across all rounds.
+    pub moves_generated: u64,
+    /// Candidate moves rejected by the incremental validity checks.
+    pub moves_rejected: u64,
+    /// Candidates actually scored (= budget spent).
+    pub candidates_scored: u64,
+    /// Scoring batches issued to the scorer backend.
+    pub score_batches: u64,
+    /// Largest scoring batch.
+    pub max_batch: u64,
+    /// Nanoseconds spent generating + validity-checking moves.
+    pub validity_ns: u64,
+    /// Nanoseconds spent featurizing candidates (template instantiation).
+    pub featurize_ns: u64,
+    /// Nanoseconds spent in the scorer backend.
+    pub score_ns: u64,
+    /// Resolved worker fan-out the run used (1 = serial walk).
+    pub threads: u64,
+}
+
+impl SearchStats {
+    /// Total incremental validity checks performed — the throughput unit
+    /// of the wide-cluster search benches (candidates/s = checks over
+    /// wall time).
+    pub fn validity_checks(&self) -> u64 {
+        self.moves_generated + self.moves_rejected
+    }
+
+    /// Folds another run's counters into this one (used by the joint
+    /// evaluator to combine per-query enumeration stats).
+    pub fn absorb(&mut self, other: &SearchStats) {
+        self.moves_generated += other.moves_generated;
+        self.moves_rejected += other.moves_rejected;
+        self.candidates_scored += other.candidates_scored;
+        self.score_batches += other.score_batches;
+        self.max_batch = self.max_batch.max(other.max_batch);
+        self.validity_ns += other.validity_ns;
+        self.featurize_ns += other.featurize_ns;
+        self.score_ns += other.score_ns;
+        self.threads = self.threads.max(other.threads);
+    }
+}
 
 /// Predicted scores of one placement candidate, as produced by a
 /// [`Scorer`] backend.
@@ -163,17 +250,24 @@ struct Evaluator<'a> {
     template: GraphTemplate,
     maximize: bool,
     budget: usize,
+    threads: usize,
+    stats: SearchStats,
     seen: HashSet<Vec<usize>>,
     evaluated: Vec<CandidateEvaluation>,
 }
 
 impl<'a> Evaluator<'a> {
-    fn new(problem: &SearchProblem<'_>, scorer: &'a dyn Scorer, budget: usize) -> Self {
+    fn new(problem: &SearchProblem<'_>, scorer: &'a dyn Scorer, budget: usize, threads: usize) -> Self {
         Evaluator {
             scorer,
             template: GraphTemplate::new(problem.query, problem.cluster, problem.est_sels, problem.featurization),
             maximize: scorer.target_metric() == CostMetric::Throughput,
             budget: budget.max(1),
+            threads: threads.max(1),
+            stats: SearchStats {
+                threads: threads.max(1) as u64,
+                ..SearchStats::default()
+            },
             seen: HashSet::new(),
             evaluated: Vec::new(),
         }
@@ -185,6 +279,12 @@ impl<'a> Evaluator<'a> {
 
     fn is_seen(&self, p: &Placement) -> bool {
         self.seen.contains(p.assignment())
+    }
+
+    /// Duplicate probe against a raw assignment, so strategies can test a
+    /// candidate edit without materializing the placement.
+    fn is_seen_slice(&self, assignment: &[usize]) -> bool {
+        self.seen.contains(assignment)
     }
 
     /// Scores the not-yet-seen placements of `candidates` (in order, up
@@ -205,8 +305,22 @@ impl<'a> Evaluator<'a> {
         if fresh.is_empty() {
             return Vec::new();
         }
-        let graphs: Vec<JointGraph> = fresh.iter().map(|p| self.template.instantiate(p)).collect();
+        let t_feat = Instant::now();
+        // Featurization is a pure per-candidate function of the template,
+        // so chunking it across workers preserves results bitwise.
+        let graphs: Vec<JointGraph> = if self.threads > 1 && fresh.len() > 1 {
+            use rayon::prelude::*;
+            fresh.par_iter().map(|p| self.template.instantiate(p)).collect()
+        } else {
+            fresh.iter().map(|p| self.template.instantiate(p)).collect()
+        };
+        self.stats.featurize_ns += t_feat.elapsed().as_nanos() as u64;
+        let t_score = Instant::now();
         let scores = self.scorer.score_batch(graphs);
+        self.stats.score_ns += t_score.elapsed().as_nanos() as u64;
+        self.stats.score_batches += 1;
+        self.stats.max_batch = self.stats.max_batch.max(fresh.len() as u64);
+        self.stats.candidates_scored += fresh.len() as u64;
         assert_eq!(scores.len(), fresh.len(), "scorer must return one result per graph");
         let start = self.evaluated.len();
         for (placement, s) in fresh.into_iter().zip(scores) {
@@ -281,8 +395,33 @@ impl<'a> Evaluator<'a> {
             initial: self.evaluated[0].placement.clone(),
             candidates: self.evaluated,
             all_filtered,
+            stats: self.stats,
         }
     }
+}
+
+/// One strategy round's neighborhood enumeration: recompute the rule ③
+/// state and fill `buf` with the full move list, serial or chunked across
+/// workers by `threads` (same bits either way), folding counters and wall
+/// time into `stats`.
+fn enumerate_neighbors(
+    nb: &Neighborhood<'_>,
+    p: &Placement,
+    state: &mut VisitState,
+    buf: &mut Vec<Move>,
+    threads: usize,
+    stats: &mut SearchStats,
+) {
+    let t0 = Instant::now();
+    nb.visit_state_into(p, state);
+    let counts = if threads > 1 {
+        nb.neighbors_into_par(p, state, buf)
+    } else {
+        nb.neighbors_into(p, state, buf)
+    };
+    stats.validity_ns += t0.elapsed().as_nanos() as u64;
+    stats.moves_generated += counts.generated;
+    stats.moves_rejected += counts.rejected;
 }
 
 /// Ranking and acceptance primitives shared by the single-query
@@ -385,7 +524,8 @@ impl PlacementSearch for RandomEnumeration {
     }
 
     fn search(&self, problem: &SearchProblem<'_>, scorer: &dyn Scorer, budget: usize, seed: u64) -> OptimizationResult {
-        let mut ev = Evaluator::new(problem, scorer, budget);
+        let threads = resolve_threads(None, problem.cluster.len());
+        let mut ev = Evaluator::new(problem, scorer, budget, threads);
         let candidates = enumerate_candidates(problem.query, problem.cluster, ev.budget, seed);
         ev.score(candidates);
         ev.finish()
@@ -409,6 +549,11 @@ pub struct BeamSearch {
     /// placements before refinement (clamped to keep at least `width`
     /// seeds and at least one refinement round).
     pub seed_share: f64,
+    /// Worker fan-out for neighborhood enumeration and featurization:
+    /// `None` defers to [`SEARCH_THREADS_ENV`] / the cluster-width
+    /// heuristic, `Some(1)` pins the serial walk. Results are bitwise
+    /// identical for every setting.
+    pub threads: Option<usize>,
 }
 
 impl Default for BeamSearch {
@@ -417,6 +562,7 @@ impl Default for BeamSearch {
             width: 4,
             expand: 8,
             seed_share: 0.5,
+            threads: None,
         }
     }
 }
@@ -427,7 +573,8 @@ impl PlacementSearch for BeamSearch {
     }
 
     fn search(&self, problem: &SearchProblem<'_>, scorer: &dyn Scorer, budget: usize, seed: u64) -> OptimizationResult {
-        let mut ev = Evaluator::new(problem, scorer, budget);
+        let threads = resolve_threads(self.threads, problem.cluster.len());
+        let mut ev = Evaluator::new(problem, scorer, budget, threads);
         let nb = Neighborhood::new(problem.query, problem.cluster);
         let mut rng = StdRng::seed_from_u64(seed ^ 0xBEA3_5EA2_C4A6_1D07);
         let width = self.width.max(1);
@@ -437,23 +584,25 @@ impl PlacementSearch for BeamSearch {
         let scored = ev.score(seeds);
         let mut beam = ev.top_of(scored, width);
 
+        let mut state = VisitState::empty();
+        let mut moves_buf: Vec<Move> = Vec::new();
+        let mut edit_buf: Vec<usize> = Vec::new();
         while ev.remaining() > 0 {
             let mut expansion: Vec<Placement> = Vec::new();
             for &bi in &beam {
                 let p = ev.evaluated[bi].placement.clone();
-                let state = nb.visit_state(&p);
-                let mut moves = nb.neighbors(&p, &state);
-                moves.shuffle(&mut rng);
+                enumerate_neighbors(&nb, &p, &mut state, &mut moves_buf, threads, &mut ev.stats);
+                moves_buf.shuffle(&mut rng);
                 let mut taken = 0usize;
-                for mv in moves {
+                for &mv in moves_buf.iter() {
                     if taken >= self.expand.max(1) {
                         break;
                     }
-                    let np = mv.apply(&p);
-                    if ev.is_seen(&np) || expansion.iter().any(|e| e.assignment() == np.assignment()) {
+                    mv.apply_into(&p, &mut edit_buf);
+                    if ev.is_seen_slice(&edit_buf) || expansion.iter().any(|e| e.assignment() == edit_buf.as_slice()) {
                         continue;
                     }
-                    expansion.push(np);
+                    expansion.push(Placement::new(edit_buf.clone()));
                     taken += 1;
                 }
             }
@@ -487,6 +636,11 @@ pub struct LocalSearch {
     /// Fraction of the budget spent on the exploration pool (clamped to
     /// keep at least one seed and at least one refinement round).
     pub seed_share: f64,
+    /// Worker fan-out for neighborhood enumeration and featurization:
+    /// `None` defers to [`SEARCH_THREADS_ENV`] / the cluster-width
+    /// heuristic, `Some(1)` pins the serial walk. Results are bitwise
+    /// identical for every setting.
+    pub threads: Option<usize>,
 }
 
 impl Default for LocalSearch {
@@ -494,6 +648,7 @@ impl Default for LocalSearch {
         LocalSearch {
             sample_size: 8,
             seed_share: 0.5,
+            threads: None,
         }
     }
 }
@@ -504,7 +659,8 @@ impl PlacementSearch for LocalSearch {
     }
 
     fn search(&self, problem: &SearchProblem<'_>, scorer: &dyn Scorer, budget: usize, seed: u64) -> OptimizationResult {
-        let mut ev = Evaluator::new(problem, scorer, budget);
+        let threads = resolve_threads(self.threads, problem.cluster.len());
+        let mut ev = Evaluator::new(problem, scorer, budget, threads);
         let nb = Neighborhood::new(problem.query, problem.cluster);
         let mut rng = StdRng::seed_from_u64(seed ^ 0x10CA_15EA_2C4B_AD5E);
         let sample = self.sample_size.max(1);
@@ -524,20 +680,22 @@ impl PlacementSearch for LocalSearch {
         let mut next_pool = 0usize;
         let mut expanded: HashSet<usize> = HashSet::new();
 
+        let mut state = VisitState::empty();
+        let mut moves_buf: Vec<Move> = Vec::new();
+        let mut edit_buf: Vec<usize> = Vec::new();
         while ev.remaining() > 0 {
             expanded.insert(current);
             let p = ev.evaluated[current].placement.clone();
-            let state = nb.visit_state(&p);
-            let mut moves = nb.neighbors(&p, &state);
-            moves.shuffle(&mut rng);
+            enumerate_neighbors(&nb, &p, &mut state, &mut moves_buf, threads, &mut ev.stats);
+            moves_buf.shuffle(&mut rng);
             let mut candidates: Vec<Placement> = Vec::new();
-            for mv in moves {
+            for &mv in moves_buf.iter() {
                 if candidates.len() >= sample {
                     break;
                 }
-                let np = mv.apply(&p);
-                if !ev.is_seen(&np) {
-                    candidates.push(np);
+                mv.apply_into(&p, &mut edit_buf);
+                if !ev.is_seen_slice(&edit_buf) {
+                    candidates.push(Placement::new(edit_buf.clone()));
                 }
             }
 
@@ -602,6 +760,11 @@ pub struct SimulatedAnnealing {
     /// placements from the baseline's exact stream (clamped to keep at
     /// least one seed and at least one annealing step).
     pub seed_share: f64,
+    /// Worker fan-out for neighborhood enumeration and featurization:
+    /// `None` defers to [`SEARCH_THREADS_ENV`] / the cluster-width
+    /// heuristic, `Some(1)` pins the serial walk. Results are bitwise
+    /// identical for every setting.
+    pub threads: Option<usize>,
 }
 
 impl Default for SimulatedAnnealing {
@@ -610,6 +773,7 @@ impl Default for SimulatedAnnealing {
             initial_temp: 0.4,
             cooling: 0.9,
             seed_share: 0.25,
+            threads: None,
         }
     }
 }
@@ -633,7 +797,8 @@ impl PlacementSearch for SimulatedAnnealing {
     }
 
     fn search(&self, problem: &SearchProblem<'_>, scorer: &dyn Scorer, budget: usize, seed: u64) -> OptimizationResult {
-        let mut ev = Evaluator::new(problem, scorer, budget);
+        let threads = resolve_threads(self.threads, problem.cluster.len());
+        let mut ev = Evaluator::new(problem, scorer, budget, threads);
         let nb = Neighborhood::new(problem.query, problem.cluster);
         let mut rng = StdRng::seed_from_u64(seed ^ 0xA44E_A1E4_0C0A_57A7);
 
@@ -646,12 +811,21 @@ impl PlacementSearch for SimulatedAnnealing {
 
         let mut temp = self.initial_temp.max(1e-6);
         let mut restarts: u64 = 0;
+        let mut state = VisitState::empty();
+        let mut moves_buf: Vec<Move> = Vec::new();
+        let mut edit_buf: Vec<usize> = Vec::new();
         while ev.remaining() > 0 {
             let p = ev.evaluated[current].placement.clone();
-            let state = nb.visit_state(&p);
-            let mut moves = nb.neighbors(&p, &state);
-            moves.shuffle(&mut rng);
-            let next = moves.into_iter().map(|mv| mv.apply(&p)).find(|np| !ev.is_seen(np));
+            enumerate_neighbors(&nb, &p, &mut state, &mut moves_buf, threads, &mut ev.stats);
+            moves_buf.shuffle(&mut rng);
+            let mut next: Option<Placement> = None;
+            for &mv in moves_buf.iter() {
+                mv.apply_into(&p, &mut edit_buf);
+                if !ev.is_seen_slice(&edit_buf) {
+                    next = Some(Placement::new(edit_buf.clone()));
+                    break;
+                }
+            }
             match next {
                 Some(np) => {
                     let scored = ev.score(vec![np]);

@@ -336,6 +336,99 @@ impl WorkloadGenerator {
         let placement = self.placement(&query, &cluster);
         (query, cluster, placement)
     }
+
+    /// Samples a wide cluster with the default scenario shape
+    /// ([`WideClusterSpec::wide`]) and returns just the hosts.
+    pub fn wide_cluster(&mut self, hosts: usize) -> Cluster {
+        self.wide_scenario(&WideClusterSpec::wide(hosts)).cluster
+    }
+
+    /// Samples a wide-cluster scenario: `spec.hosts` hosts drawn from the
+    /// training hardware ranges, stretched by per-host geo-latency tiers,
+    /// optionally with asymmetric uplinks and a spot-host subset. This is
+    /// the scale the paper's testbed could not reach — hundreds of hosts
+    /// across sites — generated from the same transferable feature space
+    /// the models were trained on.
+    pub fn wide_scenario(&mut self, spec: &WideClusterSpec) -> WideScenario {
+        assert!(spec.hosts > 0, "a scenario needs at least one host");
+        assert!(spec.geo_tiers > 0, "at least one geo tier");
+        let mut hosts = Vec::with_capacity(spec.hosts);
+        let mut geo_tier = Vec::with_capacity(spec.hosts);
+        let mut uplinks = Vec::with_capacity(spec.hosts);
+        let mut spot_hosts = Vec::new();
+        for id in 0..spec.hosts {
+            let mut h = self.host();
+            // Geo tier t multiplies egress latency: same-metro hosts keep
+            // their sampled latency, farther tiers pay the WAN round trip.
+            let tier = self.rng.gen_range(0..spec.geo_tiers);
+            h.latency_ms *= WideScenario::GEO_LATENCY_FACTORS[tier.min(WideScenario::GEO_LATENCY_FACTORS.len() - 1)];
+            geo_tier.push(tier);
+            // Last-mile asymmetry: egress is a fraction of link speed.
+            uplinks.push(if spec.asymmetric_uplinks {
+                h.bandwidth_mbits * self.rng.gen_range(0.1..1.0)
+            } else {
+                h.bandwidth_mbits
+            });
+            if self.rng.gen_bool(spec.spot_fraction.clamp(0.0, 1.0)) {
+                spot_hosts.push(id);
+            }
+            hosts.push(h);
+        }
+        let mut cluster = Cluster::new(hosts);
+        if spec.asymmetric_uplinks {
+            cluster = cluster.with_uplinks(uplinks);
+        }
+        WideScenario {
+            cluster,
+            geo_tier,
+            spot_hosts,
+        }
+    }
+}
+
+/// Shape of a generated wide-cluster scenario.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WideClusterSpec {
+    /// Number of hosts (128 / 256 / 512 in the wide benches).
+    pub hosts: usize,
+    /// Number of geo-latency tiers hosts are spread across.
+    pub geo_tiers: usize,
+    /// Fraction of hosts flagged spot/preemptible.
+    pub spot_fraction: f64,
+    /// Whether egress bandwidth is an asymmetric fraction of link speed.
+    pub asymmetric_uplinks: bool,
+}
+
+impl WideClusterSpec {
+    /// The default wide scenario: 3 geo tiers, 15% spot hosts, asymmetric
+    /// last-mile uplinks.
+    pub fn wide(hosts: usize) -> Self {
+        WideClusterSpec {
+            hosts,
+            geo_tiers: 3,
+            spot_fraction: 0.15,
+            asymmetric_uplinks: true,
+        }
+    }
+}
+
+/// A generated wide cluster plus its scenario annotations.
+#[derive(Clone, Debug)]
+pub struct WideScenario {
+    /// The cluster (uplink overrides installed when the spec asks).
+    pub cluster: Cluster,
+    /// Geo-latency tier of each host (0 = same metro).
+    pub geo_tier: Vec<usize>,
+    /// Hosts flagged spot/preemptible. The DES drift engine already
+    /// expresses preemption as `HostLoss` events; these flags name the
+    /// hosts such events should target.
+    pub spot_hosts: Vec<usize>,
+}
+
+impl WideScenario {
+    /// Egress-latency multiplier per geo tier: metro, cross-region,
+    /// cross-continent.
+    pub const GEO_LATENCY_FACTORS: [f64; 3] = [1.0, 3.0, 8.0];
 }
 
 #[cfg(test)]
@@ -431,6 +524,72 @@ mod tests {
         let a = WorkloadGenerator::new(8, FeatureRanges::training()).query();
         let b = WorkloadGenerator::new(8, FeatureRanges::training()).query();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn wide_scenario_has_requested_shape() {
+        let mut g = WorkloadGenerator::new(10, FeatureRanges::training());
+        for n in [128usize, 256, 512] {
+            let sc = g.wide_scenario(&WideClusterSpec::wide(n));
+            assert_eq!(sc.cluster.len(), n);
+            assert_eq!(sc.geo_tier.len(), n);
+            assert!(sc.geo_tier.iter().all(|&t| t < 3));
+            // All three tiers appear at these sizes.
+            for tier in 0..3 {
+                assert!(sc.geo_tier.contains(&tier), "{n} hosts missing tier {tier}");
+            }
+            // Spot fraction lands near the requested 15%.
+            let frac = sc.spot_hosts.len() as f64 / n as f64;
+            assert!((frac - 0.15).abs() < 0.1, "spot fraction {frac}");
+            assert!(sc.spot_hosts.iter().all(|&h| h < n));
+            // Uplinks are installed and never exceed link speed.
+            for a in 0..n.min(8) {
+                for b in 0..n.min(8) {
+                    if a != b {
+                        let bw = sc.cluster.link_bandwidth_mbits(a, b);
+                        assert!(bw <= sc.cluster.host(a).bandwidth_mbits);
+                        assert!(bw > 0.0);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wide_scenario_is_deterministic_and_tiers_stretch_latency() {
+        let spec = WideClusterSpec::wide(128);
+        let a = WorkloadGenerator::new(11, FeatureRanges::training()).wide_scenario(&spec);
+        let b = WorkloadGenerator::new(11, FeatureRanges::training()).wide_scenario(&spec);
+        assert_eq!(a.cluster, b.cluster);
+        assert_eq!(a.geo_tier, b.geo_tier);
+        assert_eq!(a.spot_hosts, b.spot_hosts);
+        // Tier-2 hosts have higher mean latency than tier-0 hosts.
+        let mean_lat = |tier: usize| {
+            let hs: Vec<f64> = a
+                .geo_tier
+                .iter()
+                .enumerate()
+                .filter(|&(_, &t)| t == tier)
+                .map(|(i, _)| a.cluster.host(i).latency_ms)
+                .collect();
+            hs.iter().sum::<f64>() / hs.len() as f64
+        };
+        assert!(mean_lat(2) > mean_lat(0));
+    }
+
+    #[test]
+    fn symmetric_wide_cluster_skips_uplinks() {
+        let mut g = WorkloadGenerator::new(12, FeatureRanges::training());
+        let sc = g.wide_scenario(&WideClusterSpec {
+            hosts: 64,
+            geo_tiers: 3,
+            spot_fraction: 0.0,
+            asymmetric_uplinks: false,
+        });
+        assert!(sc.spot_hosts.is_empty());
+        for h in 0..8 {
+            assert_eq!(sc.cluster.uplink_mbits(h), sc.cluster.host(h).bandwidth_mbits);
+        }
     }
 
     #[test]

@@ -76,6 +76,13 @@ impl CapabilityBin {
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Cluster {
     hosts: Vec<Host>,
+    // Per-host egress overrides for asymmetric-uplink scenarios (consumer
+    // links, LTE backhaul). `None` keeps the symmetric model where a
+    // host's `bandwidth_mbits` bounds both directions. Skipped on the
+    // wire: an in-memory scenario knob, not part of a host's transferable
+    // feature description.
+    #[serde(skip)]
+    uplink_mbits: Option<Vec<f64>>,
 }
 
 impl Cluster {
@@ -85,7 +92,32 @@ impl Cluster {
     /// Panics if `hosts` is empty.
     pub fn new(hosts: Vec<Host>) -> Self {
         assert!(!hosts.is_empty(), "a cluster needs at least one host");
-        Cluster { hosts }
+        Cluster {
+            hosts,
+            uplink_mbits: None,
+        }
+    }
+
+    /// Overrides per-host egress bandwidth: host `i` *sends* at
+    /// `uplink_mbits[i]` Mbit/s while still *receiving* at its
+    /// `bandwidth_mbits`. Models the asymmetric last-mile links of wide
+    /// edge fleets.
+    ///
+    /// # Panics
+    /// Panics when the override length does not match the host count.
+    pub fn with_uplinks(mut self, uplink_mbits: Vec<f64>) -> Self {
+        assert_eq!(uplink_mbits.len(), self.hosts.len(), "one uplink override per host");
+        self.uplink_mbits = Some(uplink_mbits);
+        self
+    }
+
+    /// Egress bandwidth of a host in Mbit/s: the asymmetric override when
+    /// set, the symmetric `bandwidth_mbits` otherwise.
+    pub fn uplink_mbits(&self, id: HostId) -> f64 {
+        match &self.uplink_mbits {
+            Some(u) => u[id],
+            None => self.hosts[id].bandwidth_mbits,
+        }
     }
 
     /// Number of hosts.
@@ -120,12 +152,14 @@ impl Cluster {
         }
     }
 
-    /// Achievable bandwidth between two hosts in Mbit/s (bottleneck link).
+    /// Achievable bandwidth between two hosts in Mbit/s: the bottleneck
+    /// of the sender's egress (uplink when asymmetric) and the receiver's
+    /// link speed.
     pub fn link_bandwidth_mbits(&self, a: HostId, b: HostId) -> f64 {
         if a == b {
             f64::INFINITY
         } else {
-            self.hosts[a].bandwidth_mbits.min(self.hosts[b].bandwidth_mbits)
+            self.uplink_mbits(a).min(self.hosts[b].bandwidth_mbits)
         }
     }
 
@@ -214,5 +248,25 @@ mod tests {
     #[should_panic(expected = "at least one host")]
     fn empty_cluster_panics() {
         let _ = Cluster::new(vec![]);
+    }
+
+    #[test]
+    fn asymmetric_uplinks_bound_egress_only() {
+        let symmetric = Cluster::new(vec![edge(), cloud()]);
+        let c = Cluster::new(vec![edge(), cloud()]).with_uplinks(vec![5.0, 10000.0]);
+        // Sender 0's uplink, not its 25 Mbit/s link speed, bottlenecks.
+        assert_eq!(c.link_bandwidth_mbits(0, 1), 5.0);
+        // The reverse direction still bottlenecks on 0's receive side.
+        assert_eq!(c.link_bandwidth_mbits(1, 0), 25.0);
+        assert_eq!(c.link_bandwidth_mbits(0, 0), f64::INFINITY);
+        // Without overrides the symmetric model is untouched.
+        assert_eq!(symmetric.link_bandwidth_mbits(0, 1), 25.0);
+        assert_eq!(symmetric.uplink_mbits(0), 25.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one uplink override per host")]
+    fn uplink_arity_mismatch_panics() {
+        let _ = Cluster::new(vec![edge(), cloud()]).with_uplinks(vec![5.0]);
     }
 }

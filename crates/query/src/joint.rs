@@ -24,7 +24,7 @@
 
 use crate::hardware::{Cluster, HostId};
 use crate::operators::{OpId, Query};
-use crate::placement::neighborhood::{Move, Neighborhood, VisitState};
+use crate::placement::neighborhood::{Move, MoveCounts, MoveScratch, Neighborhood, VisitState};
 use crate::placement::Placement;
 use serde::{Deserialize, Serialize};
 
@@ -82,10 +82,30 @@ impl JointPlacement {
     /// arities are fixed per problem, so the concatenation is
     /// unambiguous).
     pub fn flattened(&self) -> Vec<HostId> {
-        self.per_query
-            .iter()
-            .flat_map(|p| p.assignment().iter().copied())
-            .collect()
+        let mut out = Vec::new();
+        self.flatten_into(&mut out);
+        out
+    }
+
+    /// [`JointPlacement::flattened`] into a caller-owned buffer (cleared
+    /// first) — no allocation once the buffer has grown.
+    pub fn flatten_into(&self, out: &mut Vec<HostId>) {
+        out.clear();
+        for p in &self.per_query {
+            out.extend_from_slice(p.assignment());
+        }
+    }
+
+    /// Writes the flattened assignment of `self.apply(mv)` into `out`
+    /// without constructing the edited joint placement — the
+    /// allocation-free duplicate-suppression probe of a joint search.
+    pub fn flattened_after(&self, mv: JointMove, out: &mut Vec<HostId>) {
+        self.flatten_into(out);
+        let offset = |q: usize| -> usize { self.per_query[..q].iter().map(|p| p.assignment().len()).sum() };
+        match mv {
+            JointMove::Relocate { query, op, to } => out[offset(query) + op] = to,
+            JointMove::Swap { qa, a, qb, b } => out.swap(offset(qa) + a, offset(qb) + b),
+        }
     }
 
     /// True when every query's placement satisfies its Fig. 5 rules.
@@ -179,16 +199,22 @@ pub struct JointNeighborhood<'a> {
     queries: Vec<&'a Query>,
     cluster: &'a Cluster,
     nbs: Vec<Neighborhood<'a>>,
+    // One max-query-sized scratch shared by the serial enumeration entry
+    // points (locked once per enumeration); parallel units bring their own.
+    scratch: std::sync::Mutex<MoveScratch>,
 }
 
 impl<'a> JointNeighborhood<'a> {
     /// Precomputes the per-query structure for one (queries, cluster)
     /// problem.
     pub fn new(queries: &[&'a Query], cluster: &'a Cluster) -> Self {
+        let max_ops = queries.iter().map(|q| q.len()).max().unwrap_or(0);
+        let words = cluster.len().div_ceil(64).max(1);
         JointNeighborhood {
             queries: queries.to_vec(),
             cluster,
             nbs: queries.iter().map(|q| Neighborhood::new(q, cluster)).collect(),
+            scratch: std::sync::Mutex::new(MoveScratch::new(max_ops, words)),
         }
     }
 
@@ -197,14 +223,27 @@ impl<'a> JointNeighborhood<'a> {
         self.queries.len()
     }
 
+    /// A fresh scratch sized for the widest query in this move space.
+    pub fn make_scratch(&self) -> MoveScratch {
+        let max_ops = self.queries.iter().map(|q| q.len()).max().unwrap_or(0);
+        MoveScratch::new(max_ops, self.cluster.len().div_ceil(64).max(1))
+    }
+
     /// The rule ③ visit state of every query's placement, computed once
     /// per joint placement and reused for every candidate edit.
     pub fn visit_states(&self, jp: &JointPlacement) -> Vec<VisitState> {
-        self.nbs
-            .iter()
-            .zip(jp.placements())
-            .map(|(nb, p)| nb.visit_state(p))
-            .collect()
+        let mut states = Vec::new();
+        self.visit_states_into(jp, &mut states);
+        states
+    }
+
+    /// [`JointNeighborhood::visit_states`] into caller-owned states,
+    /// reusing every per-query mask buffer across recomputations.
+    pub fn visit_states_into(&self, jp: &JointPlacement, states: &mut Vec<VisitState>) {
+        states.resize_with(self.nbs.len(), VisitState::empty);
+        for ((nb, p), state) in self.nbs.iter().zip(jp.placements()).zip(states.iter_mut()) {
+            nb.visit_state_into(p, state);
+        }
     }
 
     /// Checks whether applying `mv` to the (valid) joint placement `jp`
@@ -212,13 +251,27 @@ impl<'a> JointNeighborhood<'a> {
     /// touched queries incrementally. `states` must be
     /// `self.visit_states(jp)`.
     pub fn is_valid_move(&self, jp: &JointPlacement, states: &[VisitState], mv: JointMove) -> bool {
+        let mut scratch = self.scratch.lock().expect("joint neighborhood scratch lock");
+        self.is_valid_move_with(jp, states, mv, &mut scratch)
+    }
+
+    /// [`JointNeighborhood::is_valid_move`] with caller-provided working
+    /// buffers — the re-entrant form parallel enumeration uses, one
+    /// scratch per worker, without touching the shared lock.
+    pub fn is_valid_move_with(
+        &self,
+        jp: &JointPlacement,
+        states: &[VisitState],
+        mv: JointMove,
+        scratch: &mut MoveScratch,
+    ) -> bool {
         match mv {
             JointMove::Relocate { query, op, to } => {
-                self.nbs[query].is_valid_move(jp.query(query), &states[query], Move::Relocate { op, to })
+                self.nbs[query].is_valid_move_with(jp.query(query), &states[query], Move::Relocate { op, to }, scratch)
             }
             JointMove::Swap { qa, a, qb, b } => {
                 if qa == qb {
-                    return self.nbs[qa].is_valid_move(jp.query(qa), &states[qa], Move::Swap { a, b });
+                    return self.nbs[qa].is_valid_move_with(jp.query(qa), &states[qa], Move::Swap { a, b }, scratch);
                 }
                 let (ha, hb) = (jp.query(qa).host_of(a), jp.query(qb).host_of(b));
                 if ha == hb {
@@ -227,10 +280,204 @@ impl<'a> JointNeighborhood<'a> {
                 // Across queries the exchange decomposes into two
                 // independent relocations (the queries share no edges),
                 // each checked incrementally within its own query.
-                self.nbs[qa].is_valid_move(jp.query(qa), &states[qa], Move::Relocate { op: a, to: hb })
-                    && self.nbs[qb].is_valid_move(jp.query(qb), &states[qb], Move::Relocate { op: b, to: ha })
+                self.nbs[qa].is_valid_move_with(jp.query(qa), &states[qa], Move::Relocate { op: a, to: hb }, scratch)
+                    && self.nbs[qb].is_valid_move_with(
+                        jp.query(qb),
+                        &states[qb],
+                        Move::Relocate { op: b, to: ha },
+                        scratch,
+                    )
             }
         }
+    }
+
+    /// One relocation unit: every candidate host for operator `op` of
+    /// query `q`, in ascending host order.
+    fn relocations_of(
+        &self,
+        q: usize,
+        op: OpId,
+        jp: &JointPlacement,
+        states: &[VisitState],
+        scratch: &mut MoveScratch,
+        f: &mut impl FnMut(JointMove),
+    ) -> MoveCounts {
+        let mut counts = MoveCounts::default();
+        let cur = jp.query(q).host_of(op);
+        for to in 0..self.cluster.len() {
+            if to == cur {
+                continue;
+            }
+            let mv = JointMove::Relocate { query: q, op, to };
+            if self.is_valid_move_with(jp, states, mv, scratch) {
+                counts.generated += 1;
+                f(mv);
+            } else {
+                counts.rejected += 1;
+            }
+        }
+        counts
+    }
+
+    /// One intra-query swap unit: every swap within query `q` whose first
+    /// operand is `a`, in ascending second-operand order.
+    fn intra_swaps_of(
+        &self,
+        q: usize,
+        a: OpId,
+        jp: &JointPlacement,
+        states: &[VisitState],
+        scratch: &mut MoveScratch,
+        f: &mut impl FnMut(JointMove),
+    ) -> MoveCounts {
+        let mut counts = MoveCounts::default();
+        for b in (a + 1)..self.queries[q].len() {
+            if jp.query(q).host_of(a) == jp.query(q).host_of(b) {
+                continue;
+            }
+            let mv = JointMove::Swap { qa: q, a, qb: q, b };
+            if self.is_valid_move_with(jp, states, mv, scratch) {
+                counts.generated += 1;
+                f(mv);
+            } else {
+                counts.rejected += 1;
+            }
+        }
+        counts
+    }
+
+    /// One cross-query swap unit: every exchange between queries `qa` and
+    /// `qb` (`qa < qb`), in ascending (a, b) order. Same-host exchanges
+    /// are no-ops and skipped without a check.
+    fn cross_swaps_of(
+        &self,
+        qa: usize,
+        qb: usize,
+        jp: &JointPlacement,
+        states: &[VisitState],
+        scratch: &mut MoveScratch,
+        f: &mut impl FnMut(JointMove),
+    ) -> MoveCounts {
+        let mut counts = MoveCounts::default();
+        for a in 0..self.queries[qa].len() {
+            for b in 0..self.queries[qb].len() {
+                if jp.query(qa).host_of(a) == jp.query(qb).host_of(b) {
+                    continue;
+                }
+                let mv = JointMove::Swap { qa, a, qb, b };
+                if self.is_valid_move_with(jp, states, mv, scratch) {
+                    counts.generated += 1;
+                    f(mv);
+                } else {
+                    counts.rejected += 1;
+                }
+            }
+        }
+        counts
+    }
+
+    /// The enumeration units of the joint move space, in the exact order
+    /// the serial walk visits them — the chunking grain of
+    /// [`JointNeighborhood::neighbors_into_par`].
+    fn units(&self) -> Vec<JointUnit> {
+        let mut units = Vec::new();
+        for (q, query) in self.queries.iter().enumerate() {
+            for op in 0..query.len() {
+                units.push(JointUnit::Reloc { q, op });
+            }
+        }
+        for (q, query) in self.queries.iter().enumerate() {
+            for a in 0..query.len() {
+                units.push(JointUnit::Intra { q, a });
+            }
+        }
+        for qa in 0..self.queries.len() {
+            for qb in (qa + 1)..self.queries.len() {
+                units.push(JointUnit::Cross { qa, qb });
+            }
+        }
+        units
+    }
+
+    fn run_unit(
+        &self,
+        unit: JointUnit,
+        jp: &JointPlacement,
+        states: &[VisitState],
+        scratch: &mut MoveScratch,
+        f: &mut impl FnMut(JointMove),
+    ) -> MoveCounts {
+        match unit {
+            JointUnit::Reloc { q, op } => self.relocations_of(q, op, jp, states, scratch, f),
+            JointUnit::Intra { q, a } => self.intra_swaps_of(q, a, jp, states, scratch, f),
+            JointUnit::Cross { qa, qb } => self.cross_swaps_of(qa, qb, jp, states, scratch, f),
+        }
+    }
+
+    /// Streams the full joint neighborhood through `f` in the same
+    /// deterministic order as [`JointNeighborhood::neighbors`], without
+    /// materializing a move list.
+    pub fn for_each_neighbor(
+        &self,
+        jp: &JointPlacement,
+        states: &[VisitState],
+        mut f: impl FnMut(JointMove),
+    ) -> MoveCounts {
+        let mut scratch = self.scratch.lock().expect("joint neighborhood scratch lock");
+        let mut counts = MoveCounts::default();
+        for (q, query) in self.queries.iter().enumerate() {
+            for op in 0..query.len() {
+                counts.absorb(self.relocations_of(q, op, jp, states, &mut scratch, &mut f));
+            }
+        }
+        for (q, query) in self.queries.iter().enumerate() {
+            for a in 0..query.len() {
+                counts.absorb(self.intra_swaps_of(q, a, jp, states, &mut scratch, &mut f));
+            }
+        }
+        for qa in 0..self.queries.len() {
+            for qb in (qa + 1)..self.queries.len() {
+                counts.absorb(self.cross_swaps_of(qa, qb, jp, states, &mut scratch, &mut f));
+            }
+        }
+        counts
+    }
+
+    /// Fills `out` (cleared first) with the full joint neighborhood; no
+    /// allocation once `out` has grown to the steady-state size.
+    pub fn neighbors_into(&self, jp: &JointPlacement, states: &[VisitState], out: &mut Vec<JointMove>) -> MoveCounts {
+        out.clear();
+        self.for_each_neighbor(jp, states, |mv| out.push(mv))
+    }
+
+    /// The full joint neighborhood computed by chunking the enumeration
+    /// units across rayon workers, each with its own scratch, and
+    /// concatenating unit results in unit order — bitwise identical to
+    /// [`JointNeighborhood::neighbors_into`] for any worker count.
+    pub fn neighbors_into_par(
+        &self,
+        jp: &JointPlacement,
+        states: &[VisitState],
+        out: &mut Vec<JointMove>,
+    ) -> MoveCounts {
+        use rayon::prelude::*;
+        let units = self.units();
+        let unit_results: Vec<(Vec<JointMove>, MoveCounts)> = units
+            .into_par_iter()
+            .map(|unit| {
+                let mut scratch = self.make_scratch();
+                let mut unit_out = Vec::new();
+                let counts = self.run_unit(unit, jp, states, &mut scratch, &mut |mv| unit_out.push(mv));
+                (unit_out, counts)
+            })
+            .collect();
+        out.clear();
+        let mut counts = MoveCounts::default();
+        for (unit_out, unit_counts) in unit_results {
+            out.extend_from_slice(&unit_out);
+            counts.absorb(unit_counts);
+        }
+        counts
     }
 
     /// The full joint neighborhood of `jp`, in deterministic order: all
@@ -239,43 +486,19 @@ impl<'a> JointNeighborhood<'a> {
     /// (qa, qb, a, b). `states` must be `self.visit_states(jp)`.
     pub fn neighbors(&self, jp: &JointPlacement, states: &[VisitState]) -> Vec<JointMove> {
         let mut out = Vec::new();
-        for (q, query) in self.queries.iter().enumerate() {
-            for op in 0..query.len() {
-                for to in 0..self.cluster.len() {
-                    if to == jp.query(q).host_of(op) {
-                        continue;
-                    }
-                    let mv = JointMove::Relocate { query: q, op, to };
-                    if self.is_valid_move(jp, states, mv) {
-                        out.push(mv);
-                    }
-                }
-            }
-        }
-        for (q, query) in self.queries.iter().enumerate() {
-            for a in 0..query.len() {
-                for b in (a + 1)..query.len() {
-                    let mv = JointMove::Swap { qa: q, a, qb: q, b };
-                    if jp.query(q).host_of(a) != jp.query(q).host_of(b) && self.is_valid_move(jp, states, mv) {
-                        out.push(mv);
-                    }
-                }
-            }
-        }
-        for qa in 0..self.queries.len() {
-            for qb in (qa + 1)..self.queries.len() {
-                for a in 0..self.queries[qa].len() {
-                    for b in 0..self.queries[qb].len() {
-                        let mv = JointMove::Swap { qa, a, qb, b };
-                        if self.is_valid_move(jp, states, mv) {
-                            out.push(mv);
-                        }
-                    }
-                }
-            }
-        }
+        self.neighbors_into(jp, states, &mut out);
         out
     }
+}
+
+/// One chunk of the joint enumeration: a unit's candidates are generated
+/// serially by one worker, so concatenating units in order reproduces the
+/// serial walk exactly.
+#[derive(Clone, Copy)]
+enum JointUnit {
+    Reloc { q: usize, op: OpId },
+    Intra { q: usize, a: OpId },
+    Cross { qa: usize, qb: usize },
 }
 
 #[cfg(test)]

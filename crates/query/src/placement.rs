@@ -221,11 +221,59 @@ pub mod neighborhood {
         /// The placement produced by applying this edit.
         pub fn apply(&self, placement: &Placement) -> Placement {
             let mut assignment = placement.assignment().to_vec();
+            self.edit(&mut assignment);
+            Placement::new(assignment)
+        }
+
+        /// Writes the edited assignment into `out` (cleared first) without
+        /// constructing a `Placement` — the allocation-free form search
+        /// strategies use to test a candidate against their dedup set
+        /// before deciding to materialize it.
+        pub fn apply_into(&self, placement: &Placement, out: &mut Vec<HostId>) {
+            out.clear();
+            out.extend_from_slice(placement.assignment());
+            self.edit(out);
+        }
+
+        fn edit(&self, assignment: &mut [HostId]) {
             match *self {
                 Move::Relocate { op, to } => assignment[op] = to,
                 Move::Swap { a, b } => assignment.swap(a, b),
             }
-            Placement::new(assignment)
+        }
+    }
+
+    /// Counters of one neighborhood enumeration: `generated` candidate
+    /// edits passed the incremental Fig. 5 checks and were emitted,
+    /// `rejected` failed them. Degenerate edits that are skipped without a
+    /// check (relocating to the current host, swapping co-located
+    /// operators) count toward neither.
+    #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+    pub struct MoveCounts {
+        /// Valid edits emitted.
+        pub generated: u64,
+        /// Edits rejected by the incremental validity check.
+        pub rejected: u64,
+    }
+
+    impl MoveCounts {
+        /// Total incremental validity checks performed.
+        pub fn checked(&self) -> u64 {
+            self.generated + self.rejected
+        }
+
+        /// Accumulates another enumeration's counters into this one.
+        pub fn absorb(&mut self, other: MoveCounts) {
+            self.generated += other.generated;
+            self.rejected += other.rejected;
+        }
+
+        fn note(&mut self, valid: bool) {
+            if valid {
+                self.generated += 1;
+            } else {
+                self.rejected += 1;
+            }
         }
     }
 
@@ -243,11 +291,53 @@ pub mod neighborhood {
         masks: Vec<u64>,
     }
 
-    /// Rule ③ working buffers, reused across all checks of a
-    /// `Neighborhood` so a candidate check allocates nothing.
-    struct MoveScratch {
+    impl VisitState {
+        /// An empty state to be filled by [`Neighborhood::visit_state_into`].
+        /// Search strategies hold one of these across rounds so mask
+        /// recomputation reuses the same buffer instead of allocating.
+        pub fn empty() -> VisitState {
+            VisitState {
+                words: 0,
+                masks: Vec::new(),
+            }
+        }
+    }
+
+    impl Default for VisitState {
+        fn default() -> Self {
+            VisitState::empty()
+        }
+    }
+
+    /// Rule ③ working buffers. A `Neighborhood` keeps one behind a lock
+    /// for the convenience APIs; parallel enumeration hands each worker
+    /// its own so cone recomputation never allocates in steady state and
+    /// never contends.
+    pub struct MoveScratch {
         in_cone: Vec<bool>,
         new_mask: Vec<u64>,
+    }
+
+    impl MoveScratch {
+        /// Scratch sized for a query of `n_ops` operators on a cluster
+        /// whose visit masks span `words` words per operator. A scratch
+        /// sized for larger bounds is accepted by every check, so one
+        /// max-sized scratch can serve several queries.
+        pub fn new(n_ops: usize, words: usize) -> MoveScratch {
+            MoveScratch {
+                in_cone: vec![false; n_ops],
+                new_mask: vec![0u64; n_ops * words],
+            }
+        }
+
+        fn ensure(&mut self, n_ops: usize, words: usize) {
+            if self.in_cone.len() < n_ops {
+                self.in_cone.resize(n_ops, false);
+            }
+            if self.new_mask.len() < n_ops * words {
+                self.new_mask.resize(n_ops * words, 0);
+            }
+        }
     }
 
     /// Precomputed query/cluster structure shared by all neighbor checks:
@@ -262,7 +352,10 @@ pub mod neighborhood {
         ups: Vec<Vec<OpId>>,
         downs: Vec<Vec<OpId>>,
         words: usize,
-        scratch: std::cell::RefCell<MoveScratch>,
+        // A `Mutex`, not a `RefCell`, so the neighborhood is `Sync` and can
+        // be shared across enumeration workers. Serial entry points lock it
+        // once per enumeration, never per check.
+        scratch: std::sync::Mutex<MoveScratch>,
     }
 
     impl<'a> Neighborhood<'a> {
@@ -281,11 +374,18 @@ pub mod neighborhood {
                 ups,
                 downs,
                 words,
-                scratch: std::cell::RefCell::new(MoveScratch {
-                    in_cone: vec![false; query.len()],
-                    new_mask: vec![0u64; query.len() * words],
-                }),
+                scratch: std::sync::Mutex::new(MoveScratch::new(query.len(), words)),
             }
+        }
+
+        /// Bitmask words per operator: `ceil(cluster.len() / 64)`.
+        pub fn mask_words(&self) -> usize {
+            self.words
+        }
+
+        /// A fresh scratch correctly sized for this neighborhood's checks.
+        pub fn make_scratch(&self) -> MoveScratch {
+            MoveScratch::new(self.query.len(), self.words)
         }
 
         /// Computes the visited-host bitmasks of a placement (rule ③
@@ -293,8 +393,20 @@ pub mod neighborhood {
         /// invalid placement are still well-defined but incremental
         /// checks against them only certify the *edited* parts.
         pub fn visit_state(&self, placement: &Placement) -> VisitState {
+            let mut state = VisitState::empty();
+            self.visit_state_into(placement, &mut state);
+            state
+        }
+
+        /// Recomputes the visited-host bitmasks into an existing state,
+        /// reusing its mask buffer: once the buffer has grown to this
+        /// neighborhood's size, recomputation allocates nothing.
+        pub fn visit_state_into(&self, placement: &Placement, state: &mut VisitState) {
             let words = self.words;
-            let mut masks = vec![0u64; self.query.len() * words];
+            state.words = words;
+            let masks = &mut state.masks;
+            masks.clear();
+            masks.resize(self.query.len() * words, 0);
             for &op in &self.order {
                 let base = op * words;
                 for &u in &self.ups[op] {
@@ -306,13 +418,26 @@ pub mod neighborhood {
                 let h = placement.host_of(op);
                 masks[base + h / 64] |= 1u64 << (h % 64);
             }
-            VisitState { words, masks }
         }
 
         /// Checks whether applying `mv` to the (valid) placement `p`
         /// yields another valid placement, re-validating only what the
         /// edit can affect. `state` must be `self.visit_state(p)`.
         pub fn is_valid_move(&self, p: &Placement, state: &VisitState, mv: Move) -> bool {
+            let mut scratch = self.scratch.lock().expect("neighborhood scratch lock");
+            self.is_valid_move_with(p, state, mv, &mut scratch)
+        }
+
+        /// [`Neighborhood::is_valid_move`] with caller-provided working
+        /// buffers — the re-entrant form parallel enumeration uses, one
+        /// scratch per worker, without touching the shared lock.
+        pub fn is_valid_move_with(
+            &self,
+            p: &Placement,
+            state: &VisitState,
+            mv: Move,
+            scratch: &mut MoveScratch,
+        ) -> bool {
             // Degenerate edits (no-ops, unknown hosts) are rejected up
             // front so the answer does not depend on which validation
             // path runs below.
@@ -364,9 +489,9 @@ pub mod neighborhood {
             // members are visited in topo order), so no global reset is
             // needed.
             let words = self.words;
-            let mut scratch = self.scratch.borrow_mut();
-            let MoveScratch { in_cone, new_mask } = &mut *scratch;
-            in_cone.fill(false);
+            scratch.ensure(self.query.len(), words);
+            let MoveScratch { in_cone, new_mask } = scratch;
+            in_cone[..self.query.len()].fill(false);
             for &v in &self.order {
                 let mut hit = v == touched[0].0 || v == touched[1].0;
                 if !hit {
@@ -408,18 +533,143 @@ pub mod neighborhood {
             true
         }
 
+        /// One relocation unit: every candidate host for operator `op`,
+        /// in ascending host order, streamed through `f`.
+        fn relocations_of(
+            &self,
+            op: OpId,
+            p: &Placement,
+            state: &VisitState,
+            scratch: &mut MoveScratch,
+            f: &mut impl FnMut(Move),
+        ) -> MoveCounts {
+            let mut counts = MoveCounts::default();
+            let cur = p.host_of(op);
+            for to in 0..self.cluster.len() {
+                if to == cur {
+                    continue;
+                }
+                let mv = Move::Relocate { op, to };
+                let ok = self.is_valid_move_with(p, state, mv, scratch);
+                counts.note(ok);
+                if ok {
+                    f(mv);
+                }
+            }
+            counts
+        }
+
+        /// One swap unit: every swap with first operand `a`, in ascending
+        /// second-operand order, streamed through `f`.
+        fn swaps_of(
+            &self,
+            a: OpId,
+            p: &Placement,
+            state: &VisitState,
+            scratch: &mut MoveScratch,
+            f: &mut impl FnMut(Move),
+        ) -> MoveCounts {
+            let mut counts = MoveCounts::default();
+            for b in (a + 1)..self.query.len() {
+                if p.host_of(a) == p.host_of(b) {
+                    continue;
+                }
+                let mv = Move::Swap { a, b };
+                let ok = self.is_valid_move_with(p, state, mv, scratch);
+                counts.note(ok);
+                if ok {
+                    f(mv);
+                }
+            }
+            counts
+        }
+
+        /// Streams all valid single-operator relocations of `p` through
+        /// `f`, in ascending (operator, host) order, without materializing
+        /// a move list. `state` must be `self.visit_state(p)`.
+        pub fn for_each_move(&self, p: &Placement, state: &VisitState, mut f: impl FnMut(Move)) -> MoveCounts {
+            let mut scratch = self.scratch.lock().expect("neighborhood scratch lock");
+            let mut counts = MoveCounts::default();
+            for op in 0..self.query.len() {
+                counts.absorb(self.relocations_of(op, p, state, &mut scratch, &mut f));
+            }
+            counts
+        }
+
+        /// Streams all valid host swaps of `p` through `f` (pairs on the
+        /// same host are no-ops and skipped), in ascending (a, b) order.
+        /// `state` must be `self.visit_state(p)`.
+        pub fn for_each_swap(&self, p: &Placement, state: &VisitState, mut f: impl FnMut(Move)) -> MoveCounts {
+            let mut scratch = self.scratch.lock().expect("neighborhood scratch lock");
+            let mut counts = MoveCounts::default();
+            for a in 0..self.query.len() {
+                counts.absorb(self.swaps_of(a, p, state, &mut scratch, &mut f));
+            }
+            counts
+        }
+
+        /// Streams the full neighborhood — all valid relocations, then
+        /// all valid swaps — through `f` in the same deterministic order
+        /// as [`Neighborhood::neighbors`].
+        pub fn for_each_neighbor(&self, p: &Placement, state: &VisitState, mut f: impl FnMut(Move)) -> MoveCounts {
+            let mut scratch = self.scratch.lock().expect("neighborhood scratch lock");
+            let mut counts = MoveCounts::default();
+            for op in 0..self.query.len() {
+                counts.absorb(self.relocations_of(op, p, state, &mut scratch, &mut f));
+            }
+            for a in 0..self.query.len() {
+                counts.absorb(self.swaps_of(a, p, state, &mut scratch, &mut f));
+            }
+            counts
+        }
+
+        /// Fills `out` (cleared first) with the full neighborhood. Once
+        /// `out` has grown to the neighborhood's steady-state size, an
+        /// enumeration allocates nothing.
+        pub fn neighbors_into(&self, p: &Placement, state: &VisitState, out: &mut Vec<Move>) -> MoveCounts {
+            out.clear();
+            self.for_each_neighbor(p, state, |mv| out.push(mv))
+        }
+
+        /// The full neighborhood computed by chunking the candidate space
+        /// across rayon workers: one unit per operator for relocations,
+        /// one per first operand for swaps, each worker with its own
+        /// [`MoveScratch`]. Unit results are concatenated in unit order,
+        /// so the output is bitwise identical to
+        /// [`Neighborhood::neighbors_into`] for any worker count.
+        pub fn neighbors_into_par(&self, p: &Placement, state: &VisitState, out: &mut Vec<Move>) -> MoveCounts {
+            use rayon::prelude::*;
+            let n = self.query.len();
+            // Unit u < n: relocations of operator u; unit n + a: swaps
+            // whose first operand is a (the last one is empty — kept so
+            // unit indices stay trivially in serial order).
+            let unit_results: Vec<(Vec<Move>, MoveCounts)> = (0..2 * n)
+                .into_par_iter()
+                .map(|u| {
+                    let mut scratch = self.make_scratch();
+                    let mut unit_out = Vec::new();
+                    let counts = if u < n {
+                        self.relocations_of(u, p, state, &mut scratch, &mut |mv| unit_out.push(mv))
+                    } else {
+                        self.swaps_of(u - n, p, state, &mut scratch, &mut |mv| unit_out.push(mv))
+                    };
+                    (unit_out, counts)
+                })
+                .collect();
+            out.clear();
+            let mut counts = MoveCounts::default();
+            for (unit_out, unit_counts) in unit_results {
+                out.extend_from_slice(&unit_out);
+                counts.absorb(unit_counts);
+            }
+            counts
+        }
+
         /// All valid single-operator relocations of `p`, in ascending
         /// (operator, host) order. `state` must be `self.visit_state(p)`.
         pub fn moves(&self, p: &Placement, state: &VisitState) -> Vec<Move> {
             let mut out = Vec::new();
-            for op in 0..self.query.len() {
-                for to in 0..self.cluster.len() {
-                    let mv = Move::Relocate { op, to };
-                    if to != p.host_of(op) && self.is_valid_move(p, state, mv) {
-                        out.push(mv);
-                    }
-                }
-            }
+            self.for_each_move(p, state, |mv| out.push(mv));
             out
         }
 
@@ -427,24 +677,16 @@ pub mod neighborhood {
         /// same host are no-ops and skipped), in ascending (a, b) order.
         /// `state` must be `self.visit_state(p)`.
         pub fn swaps(&self, p: &Placement, state: &VisitState) -> Vec<Move> {
-            let n = self.query.len();
             let mut out = Vec::new();
-            for a in 0..n {
-                for b in (a + 1)..n {
-                    let mv = Move::Swap { a, b };
-                    if p.host_of(a) != p.host_of(b) && self.is_valid_move(p, state, mv) {
-                        out.push(mv);
-                    }
-                }
-            }
+            self.for_each_swap(p, state, |mv| out.push(mv));
             out
         }
 
         /// The full neighborhood: all valid relocations, then all valid
         /// swaps — a deterministic candidate order for search strategies.
         pub fn neighbors(&self, p: &Placement, state: &VisitState) -> Vec<Move> {
-            let mut out = self.moves(p, state);
-            out.extend(self.swaps(p, state));
+            let mut out = Vec::new();
+            self.neighbors_into(p, state, &mut out);
             out
         }
     }

@@ -1,0 +1,104 @@
+//! Allocation audit of the hot search loop: once buffers have reached
+//! their steady-state size, one full round of neighborhood work at 256
+//! hosts — rule ③ state recomputation, full move enumeration and
+//! candidate assignment materialization — must not allocate at all.
+//! This pins the zero-alloc contract the wide-cluster strategies rely
+//! on: per-candidate cost is a few comparisons and mask words, never a
+//! malloc.
+//!
+//! Single test in this file on purpose: the counting allocator is
+//! process-global, and a lone test keeps the measured window free of
+//! harness noise from sibling tests on other threads (the counter is
+//! thread-local anyway, but one test makes the audit unambiguous).
+
+use costream_query::generator::WorkloadGenerator;
+use costream_query::hardware::{Cluster, Host};
+use costream_query::placement::neighborhood::Neighborhood;
+use costream_query::placement::{colocate_on_strongest, sample_valid};
+use costream_query::ranges::FeatureRanges;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Counts allocations (and growing reallocations) on the current thread;
+/// frees are not counted — the audit is about acquiring memory in the
+/// steady state, not returning it.
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn allocs_now() -> u64 {
+    ALLOCS.with(|c| c.get())
+}
+
+/// The 256-host edge/fog/cloud cluster of the wide-search benches.
+fn wide_cluster(n: usize) -> Cluster {
+    let mut hosts = Vec::with_capacity(n);
+    for i in 0..n {
+        let tier = i % 3;
+        let bump = 1.0 + 0.01 * (i / 3) as f64;
+        hosts.push(Host {
+            cpu: [50.0, 300.0, 800.0][tier] * bump,
+            ram_mb: [1000.0, 8000.0, 32000.0][tier] * bump,
+            bandwidth_mbits: [25.0, 400.0, 10000.0][tier] * bump,
+            latency_ms: [160.0, 10.0, 1.0][tier],
+        });
+    }
+    Cluster::new(hosts)
+}
+
+#[test]
+fn steady_state_neighborhood_round_never_allocates() {
+    let mut g = WorkloadGenerator::new(9_201, FeatureRanges::training());
+    let q = g.query();
+    let c = wide_cluster(256);
+    let mut rng = StdRng::seed_from_u64(9_202);
+    let p = sample_valid(&q, &c, &mut rng).unwrap_or_else(|| colocate_on_strongest(&q, &c));
+    let nb = Neighborhood::new(&q, &c);
+
+    // Warm-up: let the visit state, the move buffer and the edit buffer
+    // grow to their steady-state capacity (the move list of a 256-host
+    // neighborhood is the largest of the three).
+    let mut state = nb.visit_state(&p);
+    let mut moves = Vec::new();
+    nb.neighbors_into(&p, &state, &mut moves);
+    assert!(!moves.is_empty(), "a 256-host neighborhood cannot be empty");
+    let mut edit = Vec::new();
+    moves[0].apply_into(&p, &mut edit);
+
+    let before = allocs_now();
+    for _ in 0..16 {
+        nb.visit_state_into(&p, &mut state);
+        nb.neighbors_into(&p, &state, &mut moves);
+        for mv in &moves {
+            mv.apply_into(&p, &mut edit);
+        }
+    }
+    let delta = allocs_now() - before;
+    assert_eq!(
+        delta, 0,
+        "steady-state search round allocated {delta} times (expected zero)"
+    );
+}

@@ -97,6 +97,35 @@ proptest! {
         }
     }
 
+    /// The streaming and parallel joint enumerators are the same
+    /// function as the allocating one: `neighbors_into` and
+    /// `neighbors_into_par` reproduce `neighbors` element for element,
+    /// order included, and `flattened_after` equals apply-then-flatten
+    /// for every emitted move.
+    #[test]
+    fn joint_streaming_and_parallel_enumeration_match_serial(seed in 0u64..50_000) {
+        let (queries, cluster, jp) = fixture(seed);
+        let refs: Vec<&Query> = queries.iter().collect();
+        let jnb = JointNeighborhood::new(&refs, &cluster);
+        let mut states = jnb.visit_states(&jp);
+        let expected = jnb.neighbors(&jp, &states);
+        // Reuse state and buffers across calls, as the strategies do.
+        jnb.visit_states_into(&jp, &mut states);
+        let mut streamed = Vec::new();
+        let counts = jnb.neighbors_into(&jp, &states, &mut streamed);
+        prop_assert_eq!(&streamed, &expected);
+        prop_assert_eq!(counts.generated as usize, expected.len());
+        let mut chunked = Vec::new();
+        let par_counts = jnb.neighbors_into_par(&jp, &states, &mut chunked);
+        prop_assert_eq!(&chunked, &expected);
+        prop_assert_eq!(par_counts, counts);
+        let mut flat = Vec::new();
+        for mv in expected {
+            jp.flattened_after(mv, &mut flat);
+            prop_assert_eq!(&flat, &jp.apply(mv).flattened(), "{:?}", mv);
+        }
+    }
+
     /// Along every edit sequence the generators produce, incremental
     /// occupancy bookkeeping equals a full recount, every emitted
     /// neighbor is valid, and chained edits remain valid bases.

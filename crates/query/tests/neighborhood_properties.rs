@@ -116,6 +116,77 @@ proptest! {
         }
     }
 
+    /// Incremental == full revalidation at the bitmask word boundaries:
+    /// 63/64/65 and 127/128/129 hosts exercise the last bit of a word,
+    /// an exact word fill and the first bit of the next word, for every
+    /// relocation and swap of a valid placement.
+    #[test]
+    fn incremental_check_agrees_at_word_boundaries(seed in 0u64..8_000) {
+        let mut g = WorkloadGenerator::new(seed, FeatureRanges::training());
+        let (q, _, _) = g.workload_item();
+        for &n in &[63usize, 64, 65, 127, 128, 129] {
+            let c = wide_cluster(n);
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(5));
+            let p = sample_valid(&q, &c, &mut rng).unwrap_or_else(|| colocate_on_strongest(&q, &c));
+            prop_assert!(p.is_valid(&q, &c));
+            let nb = Neighborhood::new(&q, &c);
+            let st = nb.visit_state(&p);
+            for op in 0..q.len() {
+                for to in 0..c.len() {
+                    if to == p.host_of(op) {
+                        continue;
+                    }
+                    let mv = Move::Relocate { op, to };
+                    prop_assert_eq!(
+                        nb.is_valid_move(&p, &st, mv),
+                        mv.apply(&p).is_valid(&q, &c),
+                        "{} hosts: relocate {} -> {} disagrees", n, op, to
+                    );
+                }
+            }
+            for a in 0..q.len() {
+                for b in (a + 1)..q.len() {
+                    if p.host_of(a) == p.host_of(b) {
+                        continue;
+                    }
+                    let mv = Move::Swap { a, b };
+                    prop_assert_eq!(
+                        nb.is_valid_move(&p, &st, mv),
+                        mv.apply(&p).is_valid(&q, &c),
+                        "{} hosts: swap {} <-> {} disagrees", n, a, b
+                    );
+                }
+            }
+        }
+    }
+
+    /// The streaming and parallel enumerators are the same function as
+    /// the allocating one: `neighbors_into` and `neighbors_into_par`
+    /// reproduce `neighbors` element for element (order included) on
+    /// narrow and multi-word-wide clusters alike.
+    #[test]
+    fn streaming_and_parallel_enumeration_match_serial(seed in 0u64..20_000) {
+        let mut g = WorkloadGenerator::new(seed, FeatureRanges::training());
+        let (q, narrow, _) = g.workload_item();
+        for c in [narrow, wide_cluster(130)] {
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(7));
+            let p = sample_valid(&q, &c, &mut rng).unwrap_or_else(|| colocate_on_strongest(&q, &c));
+            let nb = Neighborhood::new(&q, &c);
+            let mut st = nb.visit_state(&p);
+            let expected = nb.neighbors(&p, &st);
+            // Reuse state and buffers across calls, as the strategies do.
+            nb.visit_state_into(&p, &mut st);
+            let mut streamed = Vec::new();
+            let counts = nb.neighbors_into(&p, &st, &mut streamed);
+            prop_assert_eq!(&streamed, &expected);
+            prop_assert_eq!(counts.generated as usize, expected.len());
+            let mut chunked = Vec::new();
+            let par_counts = nb.neighbors_into_par(&p, &st, &mut chunked);
+            prop_assert_eq!(&chunked, &expected);
+            prop_assert_eq!(par_counts, counts);
+        }
+    }
+
     /// Every neighbor the generators emit satisfies the same validity
     /// rules as `sample_valid`'s output — including after chaining edits
     /// (each neighbor is itself a valid base for the next round).

@@ -75,21 +75,38 @@ THREADED = {"serve_throughput", "optimizer_search_local", "ensemble_fused_batch6
 # Pure single-threaded kernel bench used to normalize away host speed.
 CALIBRATION_OP = "matmul_256x64x48_updater_in_big"
 
-# Quality metrics (JSON "metrics" key, not timings) -> maximum allowed
-# worsening factor vs the committed baseline. These are deterministic
-# search-quality numbers (best contention-aware total predicted cost of
-# the joint co-placement search), but the searches producing them are
-# threaded product paths, so they sit behind the same core-count guard
-# as the threaded timing gates: on a width mismatch they are skipped
-# with a note instead of failing spuriously.
+# Quality/throughput metrics (JSON "metrics" key, not timings) ->
+# (maximum allowed worsening factor vs the committed baseline,
+# direction). Direction is "lower" for cost-like metrics (worsening =
+# fresh/base grows) and "higher" for throughput-like metrics (worsening
+# = base/fresh grows), so one gate loop covers both without anyone
+# inverting a number by hand. All metric gates sit behind the core-count
+# guard: the searches producing them are threaded product paths, so on a
+# width mismatch they are skipped with a note instead of failing
+# spuriously.
 GATED_METRICS = {
-    "joint_placement_joint_total_cost": 1.10,
+    "joint_placement_joint_total_cost": (1.10, "lower"),
     # Total cost (observed + migration, ms) of the adaptive controller
     # replaying the host-loss drift scenario — the runtime elasticity
     # loop's product metric. Deterministic for a fixed core count, but
     # the replan search underneath is the same threaded scoring path as
     # the joint search, hence the shared core-count guard.
-    "replay_drift_adaptive_total_cost": 1.10,
+    "replay_drift_adaptive_total_cost": (1.10, "lower"),
+    # Incremental validity checks per second of the full 256-host
+    # parallel placement search — the wide-cluster search-throughput
+    # number the parallel evaluation path exists for. Higher is better.
+    "search_wide_256_candidates_per_s": (1.30, "higher"),
+}
+
+# Absolute metric floors: op -> (minimum value, minimum runner cores).
+# Unlike GATED_METRICS these do not compare against the baseline file —
+# they assert a property of the fresh run alone, and only on runners
+# wide enough for the property to be meaningful.
+ABS_METRICS = {
+    # Parallel-over-sequential wall-time ratio of the bitwise-identical
+    # 256-host search. On a single-core runner the rayon shim degenerates
+    # to the serial walk (~1x), so the floor only applies at 4+ cores.
+    "search_wide_256_speedup": (3.0, 4),
 }
 
 
@@ -149,9 +166,9 @@ def main():
         if regressed:
             failed = True
 
-    for op, max_factor in GATED_METRICS.items():
+    for op, (max_factor, direction) in GATED_METRICS.items():
         if cores_differ:
-            print(f"{op}: skipped (threaded search quality, {base_cores}-core baseline vs {fresh_cores}-core runner)")
+            print(f"{op}: skipped (threaded search metric, {base_cores}-core baseline vs {fresh_cores}-core runner)")
             continue
         if op not in base_metrics:
             print(f"{op}: no baseline metric, passing (first run)")
@@ -160,11 +177,32 @@ def main():
             print(f"{op}: MISSING from fresh metrics")
             failed = True
             continue
-        factor = fresh_metrics[op] / base_metrics[op]
+        # Worsening factor > 1 means "got worse" in either direction.
+        if direction == "higher":
+            factor = base_metrics[op] / fresh_metrics[op]
+        else:
+            factor = fresh_metrics[op] / base_metrics[op]
         regressed = factor > max_factor
         status = "REGRESSED" if regressed else "OK"
-        print(f"{op}: {base_metrics[op]:.3f} -> {fresh_metrics[op]:.3f} ({factor:.2f}x; limit {max_factor:.2f}x) {status}")
+        print(
+            f"{op}: {base_metrics[op]:.3f} -> {fresh_metrics[op]:.3f} "
+            f"({direction} is better; worsening {factor:.2f}x, limit {max_factor:.2f}x) {status}"
+        )
         if regressed:
+            failed = True
+
+    for op, (floor, min_cores) in ABS_METRICS.items():
+        if fresh_cores is None or fresh_cores < min_cores:
+            print(f"{op}: skipped (needs a {min_cores}+ core runner, this one has {fresh_cores})")
+            continue
+        if op not in fresh_metrics:
+            print(f"{op}: MISSING from fresh metrics")
+            failed = True
+            continue
+        ok = fresh_metrics[op] >= floor
+        status = "OK" if ok else "BELOW FLOOR"
+        print(f"{op}: {fresh_metrics[op]:.2f} (floor {floor:.2f} at {min_cores}+ cores) {status}")
+        if not ok:
             failed = True
     sys.exit(1 if failed else 0)
 

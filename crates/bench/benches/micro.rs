@@ -631,6 +631,47 @@ fn bench_optimizer_search(c: &mut Criterion) {
     );
 }
 
+/// The learned co-run interference model's measure → fit loop: wall
+/// time of one ridge fit over the default corpus (`interference_fit`),
+/// plus its predictive quality on a **held-out** corpus generated from
+/// a disjoint seed. The gated metric is `interference_fit_qerror` —
+/// the learned median q-error on held-out co-run inflation — and the
+/// proportional-share heuristic's q-error on the same set is recorded
+/// ungated as the reference the learned model must stay below.
+fn bench_interference(c: &mut Criterion) {
+    use costream::interference::{proportional_inflation, InterferenceModel};
+    use costream::qerror::QErrorSummary;
+    use costream_dsps::corun::{generate_corpus, CorunConfig};
+
+    let train = generate_corpus(&CorunConfig::default());
+    let held_out = generate_corpus(&CorunConfig {
+        seed: 1007,
+        ..CorunConfig::default()
+    });
+    c.bench_function("interference_fit", |b| {
+        b.iter(|| black_box(InterferenceModel::fit(black_box(&train), 1.0)))
+    });
+
+    let model = InterferenceModel::fit(&train, 1.0);
+    let learned: Vec<(f64, f64)> = held_out
+        .iter()
+        .map(|s| (s.inflation, model.predict_inflation_raw(&s.own, &s.ext, &s.host)))
+        .collect();
+    let proportional: Vec<(f64, f64)> = held_out
+        .iter()
+        .map(|s| (s.inflation, proportional_inflation(&s.own, &s.ext)))
+        .collect();
+    let lq = QErrorSummary::of(&learned);
+    let pq = QErrorSummary::of(&proportional);
+    criterion::register_metric("interference_fit_qerror", lq.q50, "q50");
+    criterion::register_metric("interference_proportional_qerror", pq.q50, "q50");
+    eprintln!(
+        "  interference pricing on {} held-out co-run samples ({} train): learned {lq} vs proportional {pq}",
+        held_out.len(),
+        train.len()
+    );
+}
+
 /// Multi-query co-placement at an *equal scoring budget*: wall time of
 /// one joint LocalSearch over 3 queries on an 8-host cluster
 /// (`joint_placement`), plus the quality comparison the subsystem exists
@@ -639,16 +680,24 @@ fn bench_optimizer_search(c: &mut Criterion) {
 /// (each side spends `budget × n_queries` graph predictions). Both
 /// totals are recorded as `metrics` entries
 /// (`joint_placement_{joint,independent}_total_cost`); the joint one is
-/// CI-gated so co-placement quality can only regress visibly.
+/// CI-gated so co-placement quality can only regress visibly. Contended
+/// hosts are priced by the **learned interference model** (fitted on
+/// the deterministic default co-run corpus), so the gated number tracks
+/// the shipping configuration, not the proportional-share fallback.
 fn bench_joint_placement(c: &mut Criterion) {
+    use costream::interference::InterferenceModel;
     use costream::joint::{JointPlacementSearch, JointQuery, JointSearchProblem};
     use costream::search::{LocalSearch, PlacementSearch, SearchProblem};
+    use costream_dsps::corun::{generate_corpus, CorunConfig};
     use costream_query::joint::JointPlacement;
 
     let corpus = costream::test_fixtures::corpus(120, 14);
     let trio = costream::test_fixtures::trio(&corpus, 10, 2);
     let scorer = trio.scorer();
 
+    // Contention priced by the learned interference model (the shipping
+    // configuration), fitted on a deterministic co-run corpus.
+    let model = InterferenceModel::fit(&generate_corpus(&CorunConfig::default()), 1.0);
     // Three queries contending for one 8-host cluster.
     let (queries, cluster, sels) = costream::test_fixtures::multi_query_workload(18, 3, 8);
     let jqs = JointQuery::zip(&queries, &sels);
@@ -656,6 +705,7 @@ fn bench_joint_placement(c: &mut Criterion) {
         queries: &jqs,
         cluster: &cluster,
         featurization: Featurization::Full,
+        interference: Some(&model),
     };
 
     const BUDGET: usize = 16;
@@ -873,6 +923,7 @@ fn bench_search_wide(c: &mut Criterion) {
         queries: &jqs,
         cluster: &wide,
         featurization: Featurization::Full,
+        interference: None,
     };
     c.bench_function("search_wide_256_joint", |b| {
         b.iter(|| auto.search_joint(&jproblem, &scorer, BUDGET, SEED))
@@ -918,6 +969,6 @@ fn bench_search_wide(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_matmul_kernels, bench_graph_primitives, bench_training_path, bench_simulator, bench_featurize, bench_inference, bench_ensemble_fused, bench_ensemble_train, bench_gbdt, bench_enumeration, bench_optimizer_search, bench_joint_placement, bench_serving, bench_front_load, bench_replay_drift, bench_search_wide
+    targets = bench_matmul_kernels, bench_graph_primitives, bench_training_path, bench_simulator, bench_featurize, bench_inference, bench_ensemble_fused, bench_ensemble_train, bench_gbdt, bench_enumeration, bench_optimizer_search, bench_interference, bench_joint_placement, bench_serving, bench_front_load, bench_replay_drift, bench_search_wide
 }
 criterion_main!(benches);

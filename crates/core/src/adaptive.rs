@@ -6,11 +6,16 @@
 //! selectivities shift, hosts slow down or disappear. This module closes
 //! the loop at runtime:
 //!
-//! 1. each **epoch**, every query of the running [`JointPlacement`] is
-//!    simulated (via [`simulate_with_drift`]) on its
-//!    [`effective_cluster`] — the contention-degraded view the
-//!    [`JointScorer`](crate::joint::JointScorer) priced it on — under
-//!    the epoch's window of the [`DriftScenario`];
+//! 1. each **epoch**, the running [`JointPlacement`] is simulated as a
+//!    **co-run** (via [`simulate_corun_with_drift`]) on the real
+//!    cluster — shared CPU water-fill, shared egress budgets, shared
+//!    heap — under the epoch's window of the [`DriftScenario`]. (Before
+//!    the co-run engine existed this was approximated per query on the
+//!    heuristic [`effective_cluster`](crate::joint::effective_cluster)
+//!    view; the simulator now measures multi-tenant physics directly.)
+//!    A deploy-time calibration run of the same co-run in a drift-free
+//!    world flags **born-bad** plans — unhealthy before any drift, which
+//!    first-observation calibration would otherwise silently absorb;
 //! 2. a [`MispredictionDetector`] compares the observed cost against
 //!    the cost the model predicted when the incumbent plan was chosen,
 //!    as a q-error. The detector self-calibrates: the first observation
@@ -39,13 +44,14 @@
 //! placement — world drift, not per-query drift.
 
 use crate::graph::Featurization;
-use crate::joint::{effective_cluster, replan, JointQuery, JointScorer, JointSearchProblem, ReplanConfig};
+use crate::joint::{replan, JointQuery, JointScorer, JointSearchProblem, ReplanConfig, ReplanError};
 use crate::qerror::q_error;
 use crate::search::Scorer;
-use costream_dsps::{simulate_with_drift, DriftScenario, SimConfig};
+use costream_dsps::{simulate_corun_with_drift, DriftScenario, SimConfig};
 use costream_query::hardware::Cluster;
 use costream_query::joint::JointPlacement;
 use costream_query::operators::Query;
+use costream_query::placement::Placement;
 
 /// Minimum selectivity estimate fed back into re-planning telemetry.
 const MIN_EST_SEL: f64 = 1e-4;
@@ -179,6 +185,10 @@ pub struct EpochRecord {
     pub migrated: bool,
     /// Modeled one-time cost of that migration (ms; 0 when none).
     pub migration_cost_ms: f64,
+    /// Whether a firing's re-planning failed (e.g. every host dead).
+    /// The incumbent is kept and the detector re-armed; the controller
+    /// keeps running instead of crashing.
+    pub replan_failed: bool,
 }
 
 /// Trajectory and totals of one controller run.
@@ -192,6 +202,15 @@ pub struct AdaptiveRun {
     pub n_firings: usize,
     /// Adopted migrations over the run.
     pub n_migrations: usize,
+    /// Firings whose re-planning returned an error (no live hosts).
+    pub n_replan_failures: usize,
+    /// Deploy-time health check: true when at least one query of the
+    /// *initial* plan fails its calibration-epoch simulation in a
+    /// drift-free world. A born-bad plan anchors the detector's
+    /// reference at deploy time and can never fire on its own badness —
+    /// this flag is how the controller distinguishes "born bad" (bad
+    /// plan, no drift needed) from "drifted bad" (detector firings).
+    pub born_bad: bool,
 }
 
 impl AdaptiveRun {
@@ -276,6 +295,7 @@ fn run_loop(
             queries: &jqs,
             cluster: problem.cluster,
             featurization: problem.featurization,
+            interference: None,
         };
         JointScorer::new(&jsp, scorer).evaluate(std::slice::from_ref(&incumbent))[0].total_cost()
     };
@@ -290,30 +310,68 @@ fn run_loop(
         ..SimConfig::deterministic()
     };
 
+    // One epoch's ground truth: the whole joint placement simulated as a
+    // **co-run** on the real (drifting) cluster — shared CPU water-fill,
+    // shared egress budgets, shared heap. Before the co-run engine the
+    // loop approximated this per query on the heuristic
+    // [`effective_cluster`] view; the simulator now measures the
+    // multi-tenant physics directly, so observed truth no longer inherits
+    // the pricing heuristic's guesses. The observation is the summed
+    // per-query end-to-end latency (Definition 3: includes broker wait,
+    // so drift absorbed as backlog growth stays visible), with a failed
+    // query charged the whole epoch.
+    let observe_epoch = |jp: &JointPlacement, window: &DriftScenario| -> f64 {
+        let members: Vec<(&Query, &Placement)> = problem
+            .queries
+            .iter()
+            .enumerate()
+            .map(|(q, query)| (query, jp.query(q)))
+            .collect();
+        simulate_corun_with_drift(&members, problem.cluster, &sim, window)
+            .iter()
+            .map(|r| {
+                if r.metrics.success {
+                    r.metrics.e2e_latency_ms
+                } else {
+                    cfg.epoch_s * 1000.0
+                }
+            })
+            .sum()
+    };
+
+    // Deploy-time calibration-epoch health check: simulate the initial
+    // plan in a *drift-free* world. A plan with a failing member here is
+    // born bad — the detector calibrates its reference on the first
+    // (already awful) epoch and can therefore never fire on badness that
+    // was there from the start. This check does not trigger migration
+    // (no drift has happened; the no-drift-never-migrates contract
+    // stands) — it flags.
+    let born_bad = {
+        let calm = DriftScenario::none();
+        let members: Vec<(&Query, &Placement)> = problem
+            .queries
+            .iter()
+            .enumerate()
+            .map(|(q, query)| (query, incumbent.query(q)))
+            .collect();
+        simulate_corun_with_drift(&members, problem.cluster, &sim, &calm)
+            .iter()
+            .any(|r| !r.metrics.success)
+    };
+
     let mut epochs = Vec::with_capacity(cfg.n_epochs);
     let mut n_firings = 0;
     let mut n_migrations = 0;
+    let mut n_replan_failures = 0;
     for epoch in 0..cfg.n_epochs {
         let t0 = epoch as f64 * cfg.epoch_s;
         let window = scenario.shifted(t0);
-        let mut observed = 0.0;
-        for (q, query) in problem.queries.iter().enumerate() {
-            let eff = effective_cluster(problem.cluster, &incumbent, q);
-            let r = simulate_with_drift(query, &eff, incumbent.query(q), &sim, &window);
-            // End-to-end latency (Definition 3) is the observation:
-            // unlike processing latency it includes broker wait, so
-            // drift the engine absorbs by throttling ingest (backlog
-            // growth) is still visible to the detector.
-            observed += if r.metrics.success {
-                r.metrics.e2e_latency_ms
-            } else {
-                cfg.epoch_s * 1000.0
-            };
-        }
+        let observed = observe_epoch(&incumbent, &window);
         let q = q_error(observed, predicted);
         let fired = adapt && detector.observe(q);
         let mut migrated = false;
         let mut migration_cost_ms = 0.0;
+        let mut replan_failed = false;
         if fired {
             n_firings += 1;
             // Refresh telemetry at the epoch boundary and re-plan.
@@ -340,6 +398,7 @@ fn run_loop(
                 queries: &jqs,
                 cluster: &drifted_cluster,
                 featurization: problem.featurization,
+                interference: None,
             };
             // Amortize the one-time migration charge over the epochs the
             // new plan is expected to keep running: late-run firings face
@@ -348,24 +407,36 @@ fn run_loop(
             let mut replan_cfg = cfg.replan;
             let remaining = cfg.n_epochs.saturating_sub(epoch + 1) as f64;
             replan_cfg.horizon_epochs = remaining.max(cfg.replan.horizon_epochs);
-            let outcome = replan(
+            match replan(
                 &jsp,
                 scorer,
                 &incumbent,
                 &dead,
                 &replan_cfg,
                 seed ^ (epoch as u64).wrapping_mul(0xA076_1D64_78BD_642F).wrapping_add(1),
-            );
-            if outcome.migrated {
-                migrated = true;
-                migration_cost_ms = outcome.migration_cost_ms;
-                n_migrations += 1;
-                incumbent = outcome.plan.clone();
+            ) {
+                Ok(outcome) => {
+                    if outcome.migrated {
+                        migrated = true;
+                        migration_cost_ms = outcome.migration_cost_ms;
+                        n_migrations += 1;
+                        incumbent = outcome.plan.clone();
+                    }
+                    // The incumbent (new or confirmed) is now held against
+                    // its prediction under *current* telemetry.
+                    predicted = outcome.steady_cost;
+                    detector.rearm();
+                }
+                Err(ReplanError::NoLiveHosts) => {
+                    // Nowhere to place anything: keep the (unservable)
+                    // incumbent, record the failure, and re-arm so the
+                    // cool-down spaces out retries while the cluster is
+                    // gone. The controller survives total cluster loss.
+                    replan_failed = true;
+                    n_replan_failures += 1;
+                    detector.rearm();
+                }
             }
-            // The incumbent (new or confirmed) is now held against its
-            // prediction under *current* telemetry.
-            predicted = outcome.steady_cost;
-            detector.rearm();
         }
         epochs.push(EpochRecord {
             t0_s: t0,
@@ -375,6 +446,7 @@ fn run_loop(
             fired,
             migrated,
             migration_cost_ms,
+            replan_failed,
         });
     }
 
@@ -383,6 +455,8 @@ fn run_loop(
         final_plan: incumbent,
         n_firings,
         n_migrations,
+        n_replan_failures,
+        born_bad,
     }
 }
 

@@ -42,11 +42,13 @@
 //! returned.
 
 use crate::graph::{Featurization, GraphTemplate, JointGraph};
+use crate::interference::{rate_weighted_share, InterferenceModel};
 use crate::search::ranking;
 use crate::search::{
     resolve_threads, BeamSearch, LocalSearch, PlacementScores, RandomEnumeration, Scorer, SearchStats,
     SimulatedAnnealing,
 };
+use costream_dsps::corun::{profile_loads, OpLoad};
 use costream_dsps::{CostMetric, ExecutionProfile};
 use costream_query::features::host_features;
 use costream_query::hardware::{Cluster, Host, HostId};
@@ -97,6 +99,11 @@ pub struct JointSearchProblem<'a> {
     /// only applies under [`Featurization::Full`] (the other ablations
     /// mask or drop the host features it would act on).
     pub featurization: Featurization,
+    /// Learned co-run interference model pricing contended hosts. `None`
+    /// falls back to the rate-weighted proportional-share heuristic.
+    /// Either way, hosts without external load keep their template rows
+    /// bitwise untouched (the plan-cache-congruence invariant).
+    pub interference: Option<&'a InterferenceModel>,
 }
 
 impl<'a> JointSearchProblem<'a> {
@@ -114,6 +121,10 @@ pub struct JointScorer<'a> {
     cluster: &'a Cluster,
     featurization: Featurization,
     templates: Vec<GraphTemplate>,
+    /// Per-query, per-operator nominal resource loads, for contention
+    /// pricing (rate-weighted share or learned interference).
+    loads: Vec<Vec<OpLoad>>,
+    interference: Option<&'a InterferenceModel>,
     maximize: bool,
 }
 
@@ -130,6 +141,8 @@ impl<'a> JointScorer<'a> {
             cluster: problem.cluster,
             featurization: problem.featurization,
             templates,
+            loads: problem.queries.iter().map(|jq| profile_loads(jq.query)).collect(),
+            interference: problem.interference,
             maximize: scorer.target_metric() == CostMetric::Throughput,
         }
     }
@@ -151,10 +164,11 @@ impl<'a> JointScorer<'a> {
 
     /// The host feature rows query `q` sees under joint placement `jp`:
     /// the template's uncontended row for hosts without external load,
-    /// and a degraded row — CPU, RAM and bandwidth scaled to the query's
-    /// proportional share `own / (own + external)` of the host's resident
-    /// operators — where co-residents contend. Returns `None` when no
-    /// used host is contended (the plain template rows apply, bitwise).
+    /// and a degraded row — CPU, RAM and bandwidth scaled to the capacity
+    /// share the query effectively keeps (see
+    /// [`JointScorer::contended_share`]) — where co-residents contend.
+    /// Returns `None` when no used host is contended (the plain template
+    /// rows apply, bitwise).
     fn contended_rows(&self, jp: &JointPlacement, q: usize) -> Option<Vec<Vec<f32>>> {
         if self.featurization != Featurization::Full {
             return None;
@@ -167,10 +181,36 @@ impl<'a> JointScorer<'a> {
             if external == 0 {
                 continue;
             }
+            let share = self.contended_share(jp, q, h);
             let rows = rows.get_or_insert_with(|| self.templates[q].host_feature_rows().to_vec());
-            rows[h] = host_features(&contended_host(self.cluster.host(h), own, external));
+            rows[h] = host_features(&shrunk_host(self.cluster.host(h), share));
         }
         rows
+    }
+
+    /// The capacity share query `q` effectively keeps of contended host
+    /// `h`. With a learned [`InterferenceModel`] configured, the share is
+    /// the reciprocal of the predicted co-run cost inflation (a query
+    /// predicted to run 2x slower effectively sees half a machine);
+    /// otherwise the rate-weighted proportional-share fallback applies.
+    /// Only called for hosts with external load.
+    fn contended_share(&self, jp: &JointPlacement, q: usize, h: usize) -> f64 {
+        let (own, ext) = resident_loads(&self.loads, jp, q, h);
+        match self.interference {
+            Some(model) => 1.0 / model.predict_inflation(&own, &ext, self.cluster.host(h)),
+            None => rate_weighted_share(&own, &ext),
+        }
+    }
+
+    /// The full host-feature row set query `q` sees under `jp` —
+    /// contended rows where co-residents share hosts, the plain template
+    /// rows everywhere else. Public so tests can pin the
+    /// uncontended-rows-bitwise-identical invariant directly.
+    pub fn host_rows(&self, jp: &JointPlacement, q: usize) -> Vec<Vec<f32>> {
+        match self.contended_rows(jp, q) {
+            Some(rows) => rows,
+            None => self.templates[q].host_feature_rows().to_vec(),
+        }
     }
 
     /// Scores a batch of joint candidates: all `candidates.len() * N`
@@ -253,17 +293,37 @@ impl<'a> JointScorer<'a> {
     }
 }
 
-/// The host a contended query effectively runs on: its proportional
-/// share `own / (own + external)` of CPU, RAM and bandwidth (egress
-/// latency is a link property, not a shared resource, and is kept).
-fn contended_host(host: &Host, own: usize, external: usize) -> Host {
-    let share = own as f64 / (own + external) as f64;
+/// The host a contended query effectively runs on: `share` of its CPU,
+/// RAM and bandwidth (egress latency is a link property, not a shared
+/// resource, and is kept).
+fn shrunk_host(host: &Host, share: f64) -> Host {
     Host {
         cpu: host.cpu * share,
         ram_mb: host.ram_mb * share,
         bandwidth_mbits: host.bandwidth_mbits * share,
         latency_ms: host.latency_ms,
     }
+}
+
+/// Splits the resident operator loads of host `h` under `jp` into query
+/// `q`'s own loads and everyone else's. `loads` is indexed
+/// `[query][operator]` in problem order.
+fn resident_loads(loads: &[Vec<OpLoad>], jp: &JointPlacement, q: usize, h: usize) -> (Vec<OpLoad>, Vec<OpLoad>) {
+    let mut own = Vec::new();
+    let mut ext = Vec::new();
+    for (qq, per_op) in loads.iter().enumerate() {
+        let placement = jp.query(qq);
+        for (i, &l) in per_op.iter().enumerate() {
+            if placement.host_of(i) == h {
+                if qq == q {
+                    own.push(l);
+                } else {
+                    ext.push(l);
+                }
+            }
+        }
+    }
+    (own, ext)
 }
 
 /// Contention-aware predictions of one joint candidate.
@@ -862,19 +922,24 @@ impl JointPlacementSearch for SimulatedAnnealing {
 
 /// The cluster query `q` *effectively* runs on under joint placement
 /// `jp`: hosts shared with co-resident queries are degraded to the
-/// query's proportional share of CPU, RAM and bandwidth — the same
-/// contention model [`JointScorer`] prices candidates with. The adaptive
-/// controller simulates each query of a joint placement on this view, so
-/// simulated truth and model predictions disagree only where the model
-/// mispredicts, not because they assumed different hardware.
-pub fn effective_cluster(cluster: &Cluster, jp: &JointPlacement, q: usize) -> Cluster {
+/// query's rate-weighted proportional share of CPU, RAM and bandwidth —
+/// the same fallback contention model [`JointScorer`] prices candidates
+/// with. The adaptive controller simulates each query of a joint
+/// placement on this view, so simulated truth and model predictions
+/// disagree only where the model mispredicts, not because they assumed
+/// different hardware. Deliberately *not* the learned model: this is the
+/// truth proxy the learned model is judged against.
+pub fn effective_cluster(cluster: &Cluster, queries: &[&Query], jp: &JointPlacement, q: usize) -> Cluster {
+    assert_eq!(queries.len(), jp.len(), "one query per placement");
+    let loads: Vec<Vec<OpLoad>> = queries.iter().map(|query| profile_loads(query)).collect();
     let occupancy = jp.occupancy();
     let mut hosts: Vec<Host> = cluster.hosts().to_vec();
     for h in jp.query(q).hosts_used() {
         let own = jp.own_load(q, h);
         let external = occupancy[h] - own;
         if external > 0 {
-            hosts[h] = contended_host(cluster.host(h), own, external);
+            let (own_loads, ext_loads) = resident_loads(&loads, jp, q, h);
+            hosts[h] = shrunk_host(cluster.host(h), rate_weighted_share(&own_loads, &ext_loads));
         }
     }
     Cluster::new(hosts)
@@ -1011,9 +1076,14 @@ pub struct ReplanOutcome {
 ///
 /// Deterministic for a given `(problem, incumbent, dead_hosts, seed)`.
 ///
+/// # Errors
+/// Returns [`ReplanError::NoLiveHosts`] when `dead_hosts` covers the
+/// whole cluster — there is nowhere to place anything, and crashing the
+/// controller loop over it would turn a dead cluster into a dead
+/// controller.
+///
 /// # Panics
-/// Panics when every host is dead, or the incumbent's query count does
-/// not match the problem.
+/// Panics when the incumbent's query count does not match the problem.
 pub fn replan(
     problem: &JointSearchProblem<'_>,
     scorer: &dyn Scorer,
@@ -1021,17 +1091,16 @@ pub fn replan(
     dead_hosts: &[HostId],
     cfg: &ReplanConfig,
     seed: u64,
-) -> ReplanOutcome {
+) -> Result<ReplanOutcome, ReplanError> {
     assert_eq!(
         incumbent.len(),
         problem.queries.len(),
         "incumbent/problem query count mismatch"
     );
     let dead: HashSet<HostId> = dead_hosts.iter().copied().collect();
-    assert!(
-        dead.len() < problem.cluster.len(),
-        "replan needs at least one live host"
-    );
+    if dead.len() >= problem.cluster.len() {
+        return Err(ReplanError::NoLiveHosts);
+    }
     let refs = problem.query_refs();
     let jnb = JointNeighborhood::new(&refs, problem.cluster);
     let mut rng = StdRng::seed_from_u64(seed ^ 0x8E9A_11D7_5C3B_F021);
@@ -1104,7 +1173,7 @@ pub fn replan(
     }
 
     let chosen = &ev.evaluated[best];
-    ReplanOutcome {
+    Ok(ReplanOutcome {
         plan: chosen.placement.clone(),
         migrated: chosen.placement.flattened() != incumbent.flattened(),
         repaired,
@@ -1113,8 +1182,27 @@ pub fn replan(
         migration_cost_ms: ev.migration_ms[best],
         incumbent_steady_cost: ev.evaluated[0].total_cost(),
         incumbent_viable: ev.evaluated[0].all_viable(),
+    })
+}
+
+/// Why a [`replan`] call could not produce a plan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplanError {
+    /// Every host in the cluster is dead: no placement exists. The
+    /// caller keeps the (unservable) incumbent and should surface the
+    /// outage instead of crashing.
+    NoLiveHosts,
+}
+
+impl std::fmt::Display for ReplanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplanError::NoLiveHosts => write!(f, "replan impossible: no live hosts in the cluster"),
+        }
     }
 }
+
+impl std::error::Error for ReplanError {}
 
 /// Replan bookkeeping: like [`JointEvaluator`], but the ranking key adds
 /// each candidate's modeled migration cost from the *original* incumbent
@@ -1289,20 +1377,55 @@ mod tests {
     }
 
     #[test]
-    fn contended_host_degrades_monotonically() {
+    fn shrunk_host_scales_shared_resources_only() {
         let h = Host {
             cpu: 800.0,
             ram_mb: 32000.0,
             bandwidth_mbits: 10000.0,
             latency_ms: 1.0,
         };
-        let alone = contended_host(&h, 3, 0);
+        let alone = shrunk_host(&h, 1.0);
         assert_eq!(alone.cpu, h.cpu);
-        let shared = contended_host(&h, 1, 1);
+        let shared = shrunk_host(&h, 0.5);
         assert_eq!(shared.cpu, 400.0);
+        assert_eq!(shared.ram_mb, 16000.0);
+        assert_eq!(shared.bandwidth_mbits, 5000.0);
         assert_eq!(shared.latency_ms, h.latency_ms);
-        let crowded = contended_host(&h, 1, 3);
+        let crowded = shrunk_host(&h, 0.25);
         assert!(crowded.cpu < shared.cpu);
+    }
+
+    /// Regression for the count-proportional pricing bug: a windowed
+    /// join carrying nearly all of the host's tuple rate, co-resident
+    /// with N cheap filters, must keep nearly the whole machine — not
+    /// `1 / (N + 1)` of it as the old operator-count share gave.
+    #[test]
+    fn proportional_fallback_weights_by_rate_not_count() {
+        use costream_query::generator::WorkloadGenerator;
+        use costream_query::ranges::FeatureRanges;
+        let mut g = WorkloadGenerator::new(404, FeatureRanges::training());
+        // A join query (heavy, high-rate sources) sharing a host with a
+        // long chain of filters downstream of one low-rate source.
+        let join_q = g.query_with(costream_query::generator::QueryTemplate::TwoWayJoin, 0, false);
+        let filters_q = g.filter_chain_query(8);
+        let loads_join = profile_loads(&join_q);
+        let loads_filters = profile_loads(&filters_q);
+        let join_rate: f64 = loads_join.iter().map(|l| l.in_rate).sum();
+        let filter_rate: f64 = loads_filters.iter().map(|l| l.in_rate).sum();
+        let share = rate_weighted_share(&loads_join, &loads_filters);
+        let expected = join_rate / (join_rate + filter_rate);
+        assert!((share - expected).abs() < 1e-9, "share {share} vs expected {expected}");
+        // The old count share: join ops vs (join + 10 filter-chain ops).
+        let count_share = loads_join.len() as f64 / (loads_join.len() + loads_filters.len()) as f64;
+        if join_rate > 4.0 * filter_rate {
+            assert!(
+                share > 1.5 * count_share,
+                "rate weighting must dominate counts: {share} vs {count_share}"
+            );
+        }
+        // Symmetry: the shares of the two tenants partition the host.
+        let other = rate_weighted_share(&loads_filters, &loads_join);
+        assert!((share + other - 1.0).abs() < 1e-9);
     }
 
     #[test]
@@ -1316,6 +1439,7 @@ mod tests {
             queries: &jqs,
             cluster: &cluster,
             featurization: Featurization::Full,
+            interference: None,
         };
         // Disjoint placements: query 0 on host 0, query 1 on host 1 — no
         // shared host, so no contention.
@@ -1349,6 +1473,7 @@ mod tests {
             queries: &jqs,
             cluster: &cluster,
             featurization: Featurization::Full,
+            interference: None,
         };
         let js = JointScorer::new(&problem, &scorer);
         // Both queries stacked on one host vs. split across two.
@@ -1391,6 +1516,7 @@ mod tests {
             queries: &jqs,
             cluster: &cluster,
             featurization: Featurization::Full,
+            interference: None,
         };
         let refs = problem.query_refs();
         for strategy in [
@@ -1437,6 +1563,7 @@ mod tests {
             queries: &jqs,
             cluster: &cluster,
             featurization: Featurization::Full,
+            interference: None,
         };
         let seed_jp = fallback_joint(&problem);
         let js = JointScorer::new(&problem, &scorer);
@@ -1498,9 +1625,11 @@ mod tests {
                 queries: &jqs,
                 cluster: &cluster,
                 featurization: Featurization::Full,
+                interference: None,
             };
             let incumbent = LocalSearch::default().search_joint(&problem, &scorer, 10, seed).best;
-            let outcome = replan(&problem, &scorer, &incumbent, &[], &ReplanConfig::default(), seed);
+            let outcome =
+                replan(&problem, &scorer, &incumbent, &[], &ReplanConfig::default(), seed).expect("live hosts");
             assert!(!outcome.repaired, "no dead hosts, nothing to repair");
             if outcome.migrated {
                 // A migration must pay for itself on the ranking: either
@@ -1545,6 +1674,7 @@ mod tests {
                 queries: &jqs,
                 cluster: &cluster,
                 featurization: Featurization::Full,
+                interference: None,
             };
             let incumbent = LocalSearch::default().search_joint(&problem, &scorer, 10, seed).best;
             let myopic = ReplanConfig {
@@ -1552,7 +1682,7 @@ mod tests {
                 horizon_epochs: 1.0,
                 ..ReplanConfig::default()
             };
-            let outcome = replan(&problem, &scorer, &incumbent, &[], &myopic, seed);
+            let outcome = replan(&problem, &scorer, &incumbent, &[], &myopic, seed).expect("live hosts");
             if outcome.incumbent_viable {
                 assert!(!outcome.migrated, "seed {seed}: no epoch pays a 1e18 ms pause");
                 assert_eq!(outcome.plan.flattened(), incumbent.flattened());
@@ -1569,7 +1699,8 @@ mod tests {
                     ..myopic
                 },
                 seed,
-            );
+            )
+            .expect("live hosts");
             assert_eq!(clamped.plan.flattened(), outcome.plan.flattened());
             assert_eq!(clamped.steady_cost.to_bits(), outcome.steady_cost.to_bits());
 
@@ -1585,7 +1716,8 @@ mod tests {
                     ..ReplanConfig::default()
                 },
                 seed,
-            );
+            )
+            .expect("live hosts");
             if long.migrated {
                 migrated_somewhere = true;
                 // Never-worse holds on the *amortized* ranking: the move
@@ -1616,6 +1748,7 @@ mod tests {
             queries: &jqs,
             cluster: &cluster,
             featurization: Featurization::Full,
+            interference: None,
         };
         let incumbent = LocalSearch::default().search_joint(&problem, &scorer, 10, 5).best;
         // Kill the incumbent's most-loaded host: the repair path and the
@@ -1624,7 +1757,7 @@ mod tests {
             .max_by_key(|&h| incumbent.occupancy()[h])
             .expect("non-empty cluster");
         assert!(incumbent.occupancy()[dead] > 0, "fixture must actually occupy the host");
-        let outcome = replan(&problem, &scorer, &incumbent, &[dead], &ReplanConfig::default(), 5);
+        let outcome = replan(&problem, &scorer, &incumbent, &[dead], &ReplanConfig::default(), 5).expect("live hosts");
         assert!(outcome.repaired);
         assert!(outcome.migrated, "operators on a dead host must move");
         assert!(
@@ -1632,7 +1765,7 @@ mod tests {
             "replan placed an operator on the dead host"
         );
         assert!(outcome.migration_cost_ms > 0.0);
-        let again = replan(&problem, &scorer, &incumbent, &[dead], &ReplanConfig::default(), 5);
+        let again = replan(&problem, &scorer, &incumbent, &[dead], &ReplanConfig::default(), 5).expect("live hosts");
         assert_eq!(outcome.plan.flattened(), again.plan.flattened());
         assert_eq!(outcome.steady_cost.to_bits(), again.steady_cost.to_bits());
         assert_eq!(outcome.migration_cost_ms.to_bits(), again.migration_cost_ms.to_bits());
@@ -1646,6 +1779,7 @@ mod tests {
             queries: &jqs,
             cluster: &cluster,
             featurization: Featurization::Full,
+            interference: None,
         };
         // Query 0 entirely on host 0, query 1 entirely on host 1; host 1
         // dies — query 0's placement must survive unchanged.

@@ -57,6 +57,7 @@ pub mod dataset;
 pub mod ensemble;
 pub mod fused;
 pub mod graph;
+pub mod interference;
 pub mod joint;
 pub mod model;
 pub mod money;
@@ -78,9 +79,10 @@ pub mod prelude {
     pub use crate::ensemble::Ensemble;
     pub use crate::fused::{int8_self_test, FusedEnsemble, Int8SelfTest, Precision};
     pub use crate::graph::{Featurization, GraphTemplate, JointGraph};
+    pub use crate::interference::{proportional_inflation, rate_weighted_share, InterferenceModel, INTERFERENCE_DIM};
     pub use crate::joint::{
         effective_cluster, replan, JointCandidateEvaluation, JointOptimizationResult, JointPlacementSearch, JointQuery,
-        JointScorer, JointSearchProblem, MigrationCostModel, ReplanConfig, ReplanOutcome,
+        JointScorer, JointSearchProblem, MigrationCostModel, ReplanConfig, ReplanError, ReplanOutcome,
     };
     pub use crate::model::{GnnModel, ModelConfig, Scheme};
     pub use crate::optimizer::{enumerate_candidates, OptimizationResult, PlacementOptimizer};
@@ -91,7 +93,9 @@ pub mod prelude {
         SearchProblem, SearchStats, SimulatedAnnealing,
     };
     pub use crate::train::{fine_tune, train_metric, TrainConfig, TrainedModel};
-    pub use costream_dsps::{CostMetric, CostMetrics, SimConfig};
+    pub use costream_dsps::{
+        generate_corpus, profile_loads, CorunConfig, CorunSample, CostMetric, CostMetrics, OpClass, OpLoad, SimConfig,
+    };
     pub use costream_query::ranges::FeatureRanges;
 }
 

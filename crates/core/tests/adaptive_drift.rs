@@ -167,6 +167,121 @@ fn adaptive_beats_static_under_host_loss() {
     );
 }
 
+/// Regression: a drift scenario that kills the *whole* cluster used to
+/// panic the controller inside replan's dead-host repair
+/// (`expect("at least one live host")`). The replan now returns
+/// `ReplanError::NoLiveHosts` and the loop records the failure, keeps
+/// the incumbent, and survives to the end of the run.
+#[test]
+fn total_cluster_loss_is_survived_without_panicking() {
+    // Same fixture as the single-host-loss scenario — known healthy at
+    // deploy time — but every host dies, not just the victim.
+    let s = scenario_fixture(204, 205);
+    let events = (0..s.cluster.len())
+        .map(|host| DriftEvent::HostLoss { host, at_s: 70.0 })
+        .collect();
+    let scenario = DriftScenario::new(events);
+    // Must not panic, first and foremost.
+    let (adaptive, _) = run_pair(&s, &scenario, 13);
+    assert!(adaptive.n_firings >= 1, "a fully dead cluster must be detected");
+    assert!(
+        adaptive.n_replan_failures >= 1,
+        "replanning with zero live hosts must surface as a failure"
+    );
+    assert_eq!(adaptive.n_migrations, 0, "there is nowhere to migrate to");
+    assert!(
+        adaptive.epochs.iter().any(|e| e.replan_failed),
+        "the failing epoch must be recorded"
+    );
+    assert_eq!(
+        adaptive.final_plan.flattened(),
+        s.initial.flattened(),
+        "the incumbent is kept when no plan exists"
+    );
+}
+
+/// Regression: a plan that is sim-unhealthy at deploy time — before any
+/// drift — anchors the detector's calibration reference with its own
+/// badness and can never fire. The deploy-time calibration-epoch health
+/// check must flag it as *born bad*, distinctly from "drifted bad"
+/// (firings), while the no-drift-never-migrates contract stays intact.
+#[test]
+fn born_bad_plan_is_flagged_without_firing_or_migrating() {
+    use costream_query::datatypes::{DataType, TupleSchema};
+    use costream_query::hardware::{Cluster, Host};
+    use costream_query::operators::*;
+
+    let corpus = test_fixtures::corpus(60, 212);
+    let fx = test_fixtures::trio(&corpus, 3, 2);
+    // The engine's OOM recipe: a 16 s sliding window at 25.6k ev/s needs
+    // gigabytes of window state; a 1 GB host crashes, a 32 GB host is
+    // fine.
+    let window = WindowSpec {
+        window_type: WindowType::Sliding,
+        policy: WindowPolicy::TimeBased,
+        size: 16.0,
+        slide: 5.0,
+    };
+    let heavy = Query::new(
+        vec![
+            OpKind::Source(SourceSpec {
+                event_rate: 25600.0,
+                schema: TupleSchema::new(vec![DataType::Int, DataType::Int, DataType::Int]),
+            }),
+            OpKind::WindowAggregate(AggSpec {
+                function: AggFunction::Mean,
+                agg_type: DataType::Int,
+                group_by: Some(DataType::Int),
+                window,
+                selectivity: 0.5,
+            }),
+            OpKind::Sink,
+        ],
+        vec![(0, 1), (1, 2)],
+    );
+    let queries = vec![heavy];
+    let sels = vec![vec![1.0, 0.5, 1.0]];
+    let small_ram = Host {
+        cpu: 800.0,
+        ram_mb: 1000.0,
+        bandwidth_mbits: 10000.0,
+        latency_ms: 1.0,
+    };
+    let strong = Host {
+        cpu: 800.0,
+        ram_mb: 32000.0,
+        bandwidth_mbits: 10000.0,
+        latency_ms: 1.0,
+    };
+    let cluster = Cluster::new(vec![small_ram, strong]);
+    let problem = AdaptiveProblem {
+        queries: &queries,
+        est_sels: &sels,
+        cluster: &cluster,
+        featurization: Featurization::Full,
+    };
+    let scorer = fx.scorer();
+    let cfg = controller_config();
+
+    // Deployed on the small-RAM host: born bad, silent detector.
+    let bad_plan = JointPlacement::new(cluster.len(), vec![Placement::new(vec![0; 3])]);
+    let run = run_adaptive(&problem, &scorer, bad_plan.clone(), &DriftScenario::none(), &cfg, 17);
+    assert!(run.born_bad, "a deploy-time-failing plan must be flagged born bad");
+    assert_eq!(
+        run.n_firings, 0,
+        "first-observation calibration absorbs the badness — exactly the blind spot the flag covers"
+    );
+    assert_eq!(run.n_migrations, 0, "no drift, no migration (contract)");
+    assert_eq!(run.final_plan.flattened(), bad_plan.flattened());
+
+    // The same query on the strong host: healthy, not born bad.
+    let good_plan = JointPlacement::new(cluster.len(), vec![Placement::new(vec![1; 3])]);
+    let run = run_adaptive(&problem, &scorer, good_plan, &DriftScenario::none(), &cfg, 17);
+    assert!(!run.born_bad, "a healthy deploy must not be flagged");
+    assert_eq!(run.n_firings, 0);
+    assert_eq!(run.n_migrations, 0);
+}
+
 #[test]
 fn no_drift_control_never_fires_or_migrates() {
     let s = scenario_fixture(206, 207);

@@ -34,6 +34,7 @@ fn joint_problem<'a>(fx: &'a Fixture, jqs: &'a [JointQuery<'a>]) -> JointSearchP
         queries: jqs,
         cluster: &fx.cluster,
         featurization: Featurization::Full,
+        interference: None,
     }
 }
 

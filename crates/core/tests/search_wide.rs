@@ -129,6 +129,7 @@ proptest! {
             queries: &jqs,
             cluster: &wide,
             featurization: Featurization::Full,
+            interference: None,
         };
         let budget = 8usize;
         let run = |threads: Option<usize>| -> Vec<(&'static str, JointOptimizationResult)> {

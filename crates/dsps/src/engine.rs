@@ -122,32 +122,145 @@ pub fn simulate_with_drift(
     config: &SimConfig,
     drift: &DriftScenario,
 ) -> SimResult {
-    assert_eq!(placement.assignment().len(), query.len(), "placement arity mismatch");
-    let n = query.len();
-    let profile = ExecutionProfile::of(query);
-    let order = query.topo_order().expect("valid query");
-    let ups: Vec<Vec<usize>> = (0..n).map(|i| query.upstream(i)).collect();
-    let downs: Vec<Vec<usize>> = (0..n).map(|i| query.downstream(i)).collect();
-    let host_of: Vec<usize> = (0..n).map(|i| placement.host_of(i)).collect();
-    let capacity: Vec<f64> = cluster.hosts().iter().map(|h| h.cpu / 100.0).collect();
-    let edges: Vec<(usize, usize)> = query.edges().to_vec();
-    let sink = query.sink();
+    simulate_corun_with_drift(&[(query, placement)], cluster, config, drift)
+        .pop()
+        .expect("one member in, one result out")
+}
 
+/// Executes several placed queries **co-resident on one cluster** and
+/// measures each query's cost metrics under the shared-resource physics:
+/// CPU is water-filled across *all* co-located operators, egress byte
+/// budgets and memory (GC slowdown, crash) are per-host across members,
+/// and a host OOM fails every member with operators anywhere (the shared
+/// JVM worker dies). This is the measurement side of the interference
+/// model: co-run cost vs [`simulate`]d solo cost is the inflation label.
+///
+/// With a single member this is **bitwise identical** to [`simulate`] /
+/// [`simulate_with_drift`]: the member loop preserves the exact float-op
+/// and RNG-draw order of the single-query engine, so the golden training
+/// labels cannot move.
+///
+/// Drift event indices address each member's *local* operator indices
+/// (world drift applies to every query, matching the adaptive loop's
+/// reading); source jitter phases use the global operator index so
+/// co-resident sources don't jitter in lockstep.
+///
+/// # Panics
+/// Panics when `members` is empty or any placement does not match its
+/// query/cluster arity.
+pub fn simulate_corun(members: &[(&Query, &Placement)], cluster: &Cluster, config: &SimConfig) -> Vec<SimResult> {
+    simulate_corun_with_drift(members, cluster, config, &DriftScenario::none())
+}
+
+/// Per-member bookkeeping of a co-run simulation: global-index ranges and
+/// per-member accumulators.
+struct Member<'a> {
+    query: &'a Query,
+    /// First global operator index of this member.
+    base: usize,
+    n_ops: usize,
+    /// Topological order, in global indices.
+    order: Vec<usize>,
+    /// Sink, global index.
+    sink: usize,
+    /// First edge index of this member in the global edge list.
+    edge_base: usize,
+    n_edges: usize,
+    /// Static desired ingest (sum of nominal source rates).
+    desired_total: f64,
+    // accumulators
+    sink_total: f64,
+    sink_measured: f64,
+    lp_sum: f64,
+    le_sum: f64,
+    bp_rate_sum: f64,
+    desired_dyn_sum: f64,
+    trace: RunTrace,
+}
+
+/// [`simulate_corun`] under a [`DriftScenario`] (see
+/// [`simulate_with_drift`] for drift semantics).
+///
+/// # Panics
+/// Panics when `members` is empty or any placement does not match its
+/// query/cluster arity.
+pub fn simulate_corun_with_drift(
+    members: &[(&Query, &Placement)],
+    cluster: &Cluster,
+    config: &SimConfig,
+    drift: &DriftScenario,
+) -> Vec<SimResult> {
+    assert!(!members.is_empty(), "co-run set must have at least one query");
+    let mut ms: Vec<Member<'_>> = Vec::with_capacity(members.len());
+    // Global (concatenated, member-major) per-operator arrays.
+    let mut host_of: Vec<usize> = Vec::new();
+    let mut ups: Vec<Vec<usize>> = Vec::new();
+    let mut downs: Vec<Vec<usize>> = Vec::new();
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    let mut profile_cost_ms: Vec<f64> = Vec::new();
+    let mut output_factor: Vec<f64> = Vec::new();
+    let mut out_tuple_bytes: Vec<f64> = Vec::new();
+    let mut state_bytes: Vec<f64> = Vec::new();
+    for &(query, placement) in members {
+        assert_eq!(placement.assignment().len(), query.len(), "placement arity mismatch");
+        let base = host_of.len();
+        let nq = query.len();
+        let profile = ExecutionProfile::of(query);
+        let edge_base = edges.len();
+        ms.push(Member {
+            query,
+            base,
+            n_ops: nq,
+            order: query
+                .topo_order()
+                .expect("valid query")
+                .iter()
+                .map(|&i| base + i)
+                .collect(),
+            sink: base + query.sink(),
+            edge_base,
+            n_edges: query.edges().len(),
+            desired_total: query
+                .ops()
+                .filter_map(|(_, op)| match op {
+                    OpKind::Source(s) => Some(s.event_rate),
+                    _ => None,
+                })
+                .sum(),
+            sink_total: 0.0,
+            sink_measured: 0.0,
+            lp_sum: 0.0,
+            le_sum: 0.0,
+            bp_rate_sum: 0.0,
+            desired_dyn_sum: 0.0,
+            trace: RunTrace::new(nq, cluster.len(), query.edges().len()),
+        });
+        for i in 0..nq {
+            host_of.push(placement.host_of(i));
+            ups.push(query.upstream(i).iter().map(|&u| base + u).collect());
+            downs.push(query.downstream(i).iter().map(|&d| base + d).collect());
+        }
+        edges.extend(query.edges().iter().map(|&(a, b)| (base + a, base + b)));
+        profile_cost_ms.extend_from_slice(&profile.service_cost_ms);
+        output_factor.extend_from_slice(&profile.output_factor);
+        out_tuple_bytes.extend_from_slice(&profile.out_tuple_bytes);
+        state_bytes.extend((0..nq).map(|i| profile.state_bytes(i)));
+    }
+    let n = host_of.len();
+    let capacity: Vec<f64> = cluster.hosts().iter().map(|h| h.cpu / 100.0).collect();
+    // Global operator index -> (member, local operator index).
+    let member_of: Vec<usize> = ms
+        .iter()
+        .enumerate()
+        .flat_map(|(m, mb)| std::iter::repeat_n(m, mb.n_ops))
+        .collect();
     let mut rng = StdRng::seed_from_u64(config.seed);
     // Per-run cost perturbation: a real cluster never reproduces costs
-    // exactly across runs.
+    // exactly across runs. Drawn per member in member order, so the
+    // single-member RNG stream matches the historical single-query one.
     let cost_ms: Vec<f64> = (0..n)
-        .map(|i| profile.service_cost_ms[i] * lognormal(&mut rng, config.cost_noise_sigma))
+        .map(|i| profile_cost_ms[i] * lognormal(&mut rng, config.cost_noise_sigma))
         .collect();
-
-    // Mean desired ingest over all sources (for the backpressure check).
-    let desired_total: f64 = query
-        .ops()
-        .filter_map(|(_, op)| match op {
-            OpKind::Source(s) => Some(s.event_rate),
-            _ => None,
-        })
-        .sum();
 
     let dt = config.dt_s;
     let ticks = config.ticks();
@@ -158,7 +271,8 @@ pub fn simulate_with_drift(
     let mut broker_backlog = vec![0.0f64; n]; // per source op
     let mut gc = vec![1.0f64; cluster.len()];
     let mut alloc: Vec<f64> = {
-        // Initial allocation: equal split per host.
+        // Initial allocation: equal split per host, over *all* members'
+        // co-located operators.
         let mut per_host_ops = vec![0usize; cluster.len()];
         for &h in &host_of {
             per_host_ops[h] += 1;
@@ -172,7 +286,7 @@ pub fn simulate_with_drift(
     // Windowed operators emit nothing until their first window completes.
     let mut window_fill = vec![0.0f64; n]; // tuples (count) or seconds (time)
     let window_gate: Vec<Option<(bool, f64)>> = (0..n)
-        .map(|i| match query.op(i) {
+        .map(|i| match ms[member_of[i]].query.op(i - ms[member_of[i]].base) {
             OpKind::WindowAggregate(a) => Some((
                 matches!(a.window.policy, costream_query::operators::WindowPolicy::CountBased),
                 a.window.size,
@@ -185,21 +299,14 @@ pub fn simulate_with_drift(
         })
         .collect();
 
-    // --- accumulators ---
-    let mut sink_total = 0.0f64; // all ticks (success check)
-    let mut sink_measured = 0.0f64; // post-warmup (throughput)
-    let mut lp_sum = 0.0f64;
-    let mut le_sum = 0.0f64;
     let mut lat_samples = 0usize;
-    let mut bp_rate_sum = 0.0f64;
-    let mut desired_dyn_sum = 0.0f64; // time-averaged offered rate under rate drift
     let mut measured_ticks = 0usize;
-    let mut trace = RunTrace::new(n, cluster.len(), edges.len());
 
     let mut processed = vec![0.0f64; n];
     let mut arrivals = vec![0.0f64; n];
     let mut out_rate = vec![0.0f64; n];
     let mut src_offered = vec![0.0f64; n]; // per-tick broker offer (sources)
+    let mut path_lat = vec![0.0f64; n];
 
     for tick in 0..ticks {
         let measuring = tick >= warmup_ticks;
@@ -227,72 +334,85 @@ pub fn simulate_with_drift(
                 }
             })
             .collect();
-        // Per-host egress byte budget for this tick (bytes/s).
+        // Per-host egress byte budget for this tick (bytes/s) — shared
+        // across members: co-resident streams drain one NIC.
         let mut egress_budget: Vec<f64> = cluster.hosts().iter().map(|h| h.bandwidth_mbits * 1e6 / 8.0).collect();
 
-        // Forward pass along the data flow.
-        for &i in &order {
-            let a: f64 = if matches!(query.op(i), OpKind::Source(_)) {
-                0.0
-            } else {
-                arrivals[i]
-            };
-            let offered = match query.op(i) {
-                OpKind::Source(s) => {
-                    let jitter = 1.0 + 0.05 * (tick as f64 * 0.7 + i as f64).sin();
-                    let desired = s.event_rate
-                        * drift.rate_factor(i, t)
-                        * if config.cost_noise_sigma > 0.0 { jitter } else { 1.0 };
-                    src_offered[i] = desired + broker_backlog[i] / dt;
-                    src_offered[i]
+        // Forward pass along each member's data flow, members in order.
+        // (Within a tick earlier members claim shared credit/egress
+        // first; the dt-granular fluid steps make the bias negligible,
+        // and determinism matters more than fairness here.)
+        for mb in &ms {
+            for &i in &mb.order {
+                let li = i - mb.base;
+                let a: f64 = if matches!(mb.query.op(li), OpKind::Source(_)) {
+                    0.0
+                } else {
+                    arrivals[i]
+                };
+                let offered = match mb.query.op(li) {
+                    OpKind::Source(s) => {
+                        let jitter = 1.0 + 0.05 * (tick as f64 * 0.7 + i as f64).sin();
+                        let desired = s.event_rate
+                            * drift.rate_factor(li, t)
+                            * if config.cost_noise_sigma > 0.0 { jitter } else { 1.0 };
+                        src_offered[i] = desired + broker_backlog[i] / dt;
+                        src_offered[i]
+                    }
+                    _ => a + queue[i] / dt,
+                };
+                // A windowed operator buffers input but emits nothing until its
+                // first window is complete.
+                // `window_fill` counts processed tuples (count-based) or
+                // elapsed seconds (time-based) toward the first full window.
+                let gate_open = match window_gate[i] {
+                    None => true,
+                    Some((_, size)) => window_fill[i] >= size,
+                };
+                // Selectivity drift scales the operator's output factor.
+                let ofac = output_factor[i] * drift.selectivity_factor(li, t);
+                // Downstream credit limits how much output we may emit.
+                let mut p = offered.min(mu[i]);
+                if let Some(&d) = downs[i].first() {
+                    let factor = ofac.max(1e-9);
+                    let allowed_out = credit[d].max(0.0);
+                    p = p.min(allowed_out / factor);
+                    // Cross-host edges spend the egress host's byte budget.
+                    if host_of[d] != host_of[i] {
+                        let bytes = out_tuple_bytes[i].max(1.0);
+                        let allowed_by_net = egress_budget[host_of[i]].max(0.0) / bytes;
+                        p = p.min(allowed_by_net / factor);
+                    }
                 }
-                _ => a + queue[i] / dt,
-            };
-            // A windowed operator buffers input but emits nothing until its
-            // first window is complete.
-            // `window_fill` counts processed tuples (count-based) or
-            // elapsed seconds (time-based) toward the first full window.
-            let gate_open = match window_gate[i] {
-                None => true,
-                Some((_, size)) => window_fill[i] >= size,
-            };
-            // Selectivity drift scales the operator's output factor.
-            let ofac = profile.output_factor[i] * drift.selectivity_factor(i, t);
-            // Downstream credit limits how much output we may emit.
-            let mut p = offered.min(mu[i]);
-            if let Some(&d) = downs[i].first() {
-                let factor = ofac.max(1e-9);
-                let allowed_out = credit[d].max(0.0);
-                p = p.min(allowed_out / factor);
-                // Cross-host edges spend the egress host's byte budget.
-                if host_of[d] != host_of[i] {
-                    let bytes = profile.out_tuple_bytes[i].max(1.0);
-                    let allowed_by_net = egress_budget[host_of[i]].max(0.0) / bytes;
-                    p = p.min(allowed_by_net / factor);
+                p = p.max(0.0);
+                processed[i] = p;
+                out_rate[i] = if gate_open { p * ofac } else { 0.0 };
+                if let Some(&d) = downs[i].first() {
+                    arrivals[d] += out_rate[i];
+                    credit[d] -= out_rate[i];
+                    if host_of[d] != host_of[i] {
+                        egress_budget[host_of[i]] -= out_rate[i] * out_tuple_bytes[i];
+                    }
                 }
-            }
-            p = p.max(0.0);
-            processed[i] = p;
-            out_rate[i] = if gate_open { p * ofac } else { 0.0 };
-            if let Some(&d) = downs[i].first() {
-                arrivals[d] += out_rate[i];
-                credit[d] -= out_rate[i];
-                if host_of[d] != host_of[i] {
-                    egress_budget[host_of[i]] -= out_rate[i] * profile.out_tuple_bytes[i];
+                if window_gate[i].is_some() {
+                    let count_based = window_gate[i].expect("windowed").0;
+                    window_fill[i] += if count_based { p * dt } else { dt };
                 }
-            }
-            if window_gate[i].is_some() {
-                let count_based = window_gate[i].expect("windowed").0;
-                window_fill[i] += if count_based { p * dt } else { dt };
             }
         }
 
         // Queue and broker updates + backpressure measurement.
-        let mut bp_rate = 0.0;
+        let mut bp_rate = vec![0.0f64; ms.len()];
         for i in 0..n {
-            match query.op(i) {
-                OpKind::Source(s) => {
-                    let rate = s.event_rate * drift.rate_factor(i, t);
+            let m = member_of[i];
+            let li = i - ms[m].base;
+            let source_rate = match ms[m].query.op(li) {
+                OpKind::Source(s) => Some(s.event_rate),
+                _ => None,
+            };
+            match source_rate {
+                Some(event_rate) => {
+                    let rate = event_rate * drift.rate_factor(li, t);
                     // The backpressure rate R of Definition 4 counts what
                     // the broker offered this tick — fresh (jittered)
                     // demand *plus* the standing backlog, which is itself
@@ -301,12 +421,12 @@ pub fn simulate_with_drift(
                     // a standing backlog still reports the unserved rest.
                     let shortfall = (src_offered[i] - processed[i]).max(0.0);
                     broker_backlog[i] = (broker_backlog[i] + (rate - processed[i]) * dt).max(0.0);
-                    bp_rate += shortfall;
+                    bp_rate[m] += shortfall;
                     if measuring {
-                        desired_dyn_sum += rate;
+                        ms[m].desired_dyn_sum += rate;
                     }
                 }
-                _ => {
+                None => {
                     queue[i] = (queue[i] + (arrivals[i] - processed[i]) * dt).clamp(0.0, config.queue_capacity);
                 }
             }
@@ -316,7 +436,7 @@ pub fn simulate_with_drift(
         let mut egress_bytes = vec![0.0f64; cluster.len()];
         for &(a, b) in &edges {
             if host_of[a] != host_of[b] {
-                egress_bytes[host_of[a]] += out_rate[a] * profile.out_tuple_bytes[a];
+                egress_bytes[host_of[a]] += out_rate[a] * out_tuple_bytes[a];
             }
         }
         for h in 0..cluster.len() {
@@ -328,18 +448,19 @@ pub fn simulate_with_drift(
             };
         }
 
-        // Memory model: window state + queue backlog per host.
+        // Memory model: window state + queue backlog per host, summed
+        // over all members — co-residents share the worker heap.
         let mut host_state = vec![0.0f64; cluster.len()];
         let mut host_queue_bytes = vec![0.0f64; cluster.len()];
         let mut host_ops = vec![0usize; cluster.len()];
         for i in 0..n {
             let h = host_of[i];
             host_ops[h] += 1;
-            host_state[h] += profile.state_bytes(i);
+            host_state[h] += state_bytes[i];
             let in_bytes = if ups[i].is_empty() {
-                profile.out_tuple_bytes[i]
+                out_tuple_bytes[i]
             } else {
-                ups[i].iter().map(|&u| profile.out_tuple_bytes[u]).sum::<f64>() / ups[i].len() as f64
+                ups[i].iter().map(|&u| out_tuple_bytes[u]).sum::<f64>() / ups[i].len() as f64
             };
             host_queue_bytes[h] += queue[i] * in_bytes * 16.0; // JVM expansion
         }
@@ -349,7 +470,7 @@ pub fn simulate_with_drift(
                 continue;
             }
             // A lost host cannot crash the run: its operators are already
-            // stalled and its memory no longer belongs to the query.
+            // stalled and its memory no longer belongs to the queries.
             if !host_alive[h] {
                 continue;
             }
@@ -357,78 +478,96 @@ pub fn simulate_with_drift(
             mem_ratio[h] = demand / (cluster.host(h).ram_mb * 1024.0 * 1024.0);
             gc[h] = memory::gc_slowdown(mem_ratio[h]);
             if memory::crashes(mem_ratio[h]) {
+                // The worker host OOMs: every member fails, not just the
+                // one whose state tipped the heap — that is precisely the
+                // blast-radius coupling a co-run corpus must label.
                 crashed = true;
             }
-            if trace.host_mem_ratio[h] < mem_ratio[h] {
-                trace.host_mem_ratio[h] = mem_ratio[h];
+            for mb in ms.iter_mut() {
+                if mb.trace.host_mem_ratio[h] < mem_ratio[h] {
+                    mb.trace.host_mem_ratio[h] = mem_ratio[h];
+                }
             }
         }
         if crashed {
             break;
         }
 
-        // Latency sample: critical path from sources to sink.
-        let mut path_lat = vec![0.0f64; n];
-        for &i in &order {
-            let svc = (cost_ms[i] * gc[host_of[i]]) / 1000.0;
-            let demand_cores = processed[i] * svc;
-            let rho = (demand_cores / alloc[i].max(1e-9)).min(0.98);
-            let congestion = svc * rho / (1.0 - rho);
-            let drain = queue[i] / mu[i].max(1e-6);
-            let window_wait = match query.op(i) {
-                OpKind::WindowAggregate(a) => 0.5 * a.window.emission_period(arrivals[i].max(1e-3)),
-                OpKind::WindowJoin(j) => 0.5 * j.window.emission_period(arrivals[i].max(1e-3) / 2.0),
-                _ => 0.0,
-            };
-            let residence = svc + congestion + drain + window_wait.min(config.duration_s);
-            let mut upstream_lat = 0.0f64;
-            for &u in &ups[i] {
-                let mut l = path_lat[u];
-                if host_of[u] != host_of[i] {
-                    l += cluster.link_latency_ms(host_of[u], host_of[i]) / 1000.0;
-                    let bw = cluster.link_bandwidth_mbits(host_of[u], host_of[i]) * net_scale[host_of[u]];
-                    l += profile.out_tuple_bytes[u] * 8.0 / (bw * 1e6).max(1.0);
+        // Latency sample: critical path from sources to sink, per member.
+        for mb in &ms {
+            for &i in &mb.order {
+                let li = i - mb.base;
+                let svc = (cost_ms[i] * gc[host_of[i]]) / 1000.0;
+                let demand_cores = processed[i] * svc;
+                let rho = (demand_cores / alloc[i].max(1e-9)).min(0.98);
+                let congestion = svc * rho / (1.0 - rho);
+                let drain = queue[i] / mu[i].max(1e-6);
+                let window_wait = match mb.query.op(li) {
+                    OpKind::WindowAggregate(a) => 0.5 * a.window.emission_period(arrivals[i].max(1e-3)),
+                    OpKind::WindowJoin(j) => 0.5 * j.window.emission_period(arrivals[i].max(1e-3) / 2.0),
+                    _ => 0.0,
+                };
+                let residence = svc + congestion + drain + window_wait.min(config.duration_s);
+                let mut upstream_lat = 0.0f64;
+                for &u in &ups[i] {
+                    let mut l = path_lat[u];
+                    if host_of[u] != host_of[i] {
+                        l += cluster.link_latency_ms(host_of[u], host_of[i]) / 1000.0;
+                        let bw = cluster.link_bandwidth_mbits(host_of[u], host_of[i]) * net_scale[host_of[u]];
+                        l += out_tuple_bytes[u] * 8.0 / (bw * 1e6).max(1.0);
+                    }
+                    upstream_lat = upstream_lat.max(l);
                 }
-                upstream_lat = upstream_lat.max(l);
+                path_lat[i] = upstream_lat + residence;
             }
-            path_lat[i] = upstream_lat + residence;
         }
 
-        sink_total += processed[sink] * dt;
+        for (m, mb) in ms.iter_mut().enumerate() {
+            mb.sink_total += processed[mb.sink] * dt;
+            if measuring {
+                mb.sink_measured += processed[mb.sink] * dt;
+                mb.lp_sum += path_lat[mb.sink].min(config.duration_s);
+                let broker_wait = mb
+                    .query
+                    .ops()
+                    .filter_map(|(i, op)| match op {
+                        OpKind::Source(s) => Some(broker_backlog[mb.base + i] / s.event_rate.max(1e-9)),
+                        _ => None,
+                    })
+                    .fold(0.0f64, f64::max);
+                mb.le_sum += (path_lat[mb.sink] + broker_wait).min(2.0 * config.duration_s);
+                mb.bp_rate_sum += bp_rate[m];
+                for li in 0..mb.n_ops {
+                    let i = mb.base + li;
+                    mb.trace.op_rate[li] += processed[i];
+                    mb.trace.op_cpu_cores[li] += processed[i] * cost_ms[i] * gc[host_of[i]] / 1000.0;
+                    mb.trace.op_queue_len[li] += queue[i];
+                }
+                for e in 0..mb.n_edges {
+                    let (a, b) = edges[mb.edge_base + e];
+                    if host_of[a] != host_of[b] {
+                        mb.trace.edge_bytes_per_s[e] += out_rate[a] * out_tuple_bytes[a];
+                    }
+                }
+            }
+        }
         if measuring {
-            sink_measured += processed[sink] * dt;
-            lp_sum += path_lat[sink].min(config.duration_s);
-            let broker_wait = query
-                .ops()
-                .filter_map(|(i, op)| match op {
-                    OpKind::Source(s) => Some(broker_backlog[i] / s.event_rate.max(1e-9)),
-                    _ => None,
-                })
-                .fold(0.0f64, f64::max);
-            le_sum += (path_lat[sink] + broker_wait).min(2.0 * config.duration_s);
             lat_samples += 1;
-            bp_rate_sum += bp_rate;
             measured_ticks += 1;
-            for i in 0..n {
-                trace.op_rate[i] += processed[i];
-                trace.op_cpu_cores[i] += processed[i] * cost_ms[i] * gc[host_of[i]] / 1000.0;
-                trace.op_queue_len[i] += queue[i];
-            }
-            for (e, &(a, b)) in edges.iter().enumerate() {
-                if host_of[a] != host_of[b] {
-                    trace.edge_bytes_per_s[e] += out_rate[a] * profile.out_tuple_bytes[a];
-                }
-            }
         }
 
-        // Allocation for the next tick: water-fill over this tick's demand.
+        // Allocation for the next tick: water-fill over this tick's
+        // demand. Co-located members' operators sit in one demand list —
+        // this *is* the CPU interference the corpus measures.
         let mut host_demands: Vec<Vec<(usize, f64)>> = vec![Vec::new(); cluster.len()];
         for i in 0..n {
+            let m = member_of[i];
+            let li = i - ms[m].base;
             let svc = cost_ms[i] * gc[host_of[i]] / 1000.0;
             let want = (arrivals[i]
                 + queue[i] / dt
-                + match query.op(i) {
-                    OpKind::Source(s) => s.event_rate * drift.rate_factor(i, t) + broker_backlog[i] / dt,
+                + match ms[m].query.op(li) {
+                    OpKind::Source(s) => s.event_rate * drift.rate_factor(li, t) + broker_backlog[i] / dt,
                     _ => 0.0,
                 })
                 * svc;
@@ -449,73 +588,89 @@ pub fn simulate_with_drift(
         arrivals.iter_mut().for_each(|a| *a = 0.0);
     }
 
-    // Host utilization means for the trace.
+    // Host utilization means for the traces.
     if measured_ticks > 0 {
         let mt = measured_ticks as f64;
-        for v in trace
-            .op_rate
-            .iter_mut()
-            .chain(trace.op_cpu_cores.iter_mut())
-            .chain(trace.op_queue_len.iter_mut())
-            .chain(trace.edge_bytes_per_s.iter_mut())
-        {
-            *v /= mt;
+        for mb in ms.iter_mut() {
+            for v in mb
+                .trace
+                .op_rate
+                .iter_mut()
+                .chain(mb.trace.op_cpu_cores.iter_mut())
+                .chain(mb.trace.op_queue_len.iter_mut())
+                .chain(mb.trace.edge_bytes_per_s.iter_mut())
+            {
+                *v /= mt;
+            }
+            for (h, cap) in capacity.iter().enumerate() {
+                let demand: f64 = (0..mb.n_ops)
+                    .filter(|&li| host_of[mb.base + li] == h)
+                    .map(|li| mb.trace.op_cpu_cores[li])
+                    .sum();
+                mb.trace.host_utilization[h] = demand / cap.max(1e-9);
+            }
         }
-        for (h, cap) in capacity.iter().enumerate() {
-            let demand: f64 = (0..n).filter(|&i| host_of[i] == h).map(|i| trace.op_cpu_cores[i]).sum();
-            trace.host_utilization[h] = demand / cap.max(1e-9);
-        }
-    }
-
-    if crashed {
-        return SimResult {
-            metrics: CostMetrics::failed(),
-            trace,
-        };
     }
 
     let measured_s = (measured_ticks as f64 * dt).max(1e-9);
-    let throughput = sink_measured / measured_s;
-    let lp_s = if lat_samples > 0 {
-        lp_sum / lat_samples as f64
-    } else {
-        config.duration_s
-    };
-    let le_s = if lat_samples > 0 {
-        le_sum / lat_samples as f64
-    } else {
-        config.duration_s
-    };
-    let r = if measured_ticks > 0 {
-        bp_rate_sum / measured_ticks as f64
-    } else {
-        0.0
-    };
-    // Under rate drift the nominal ingest is not the right backpressure
-    // basis; use the time-averaged offered rate instead. Without rate
-    // events the static sum is kept so drift-free runs stay bitwise
-    // identical (a mean of identical float sums need not round-trip).
-    let desired_basis = if drift.has_rate_events() && measured_ticks > 0 {
-        desired_dyn_sum / measured_ticks as f64
-    } else {
-        desired_total
-    };
-    let backpressure = r > config.backpressure_threshold * desired_basis.max(1e-9);
-    let success = sink_total >= 1.0;
+    let has_rate_events = drift.has_rate_events();
+    ms.into_iter()
+        .map(|mb| {
+            if crashed {
+                return SimResult {
+                    metrics: CostMetrics::failed(),
+                    trace: mb.trace,
+                };
+            }
+            let throughput = mb.sink_measured / measured_s;
+            let lp_s = if lat_samples > 0 {
+                mb.lp_sum / lat_samples as f64
+            } else {
+                config.duration_s
+            };
+            let le_s = if lat_samples > 0 {
+                mb.le_sum / lat_samples as f64
+            } else {
+                config.duration_s
+            };
+            let r = if measured_ticks > 0 {
+                mb.bp_rate_sum / measured_ticks as f64
+            } else {
+                0.0
+            };
+            // Under rate drift the nominal ingest is not the right
+            // backpressure basis; use the time-averaged offered rate
+            // instead. Without rate events the static sum is kept so
+            // drift-free runs stay bitwise identical (a mean of identical
+            // float sums need not round-trip).
+            let desired_basis = if has_rate_events && measured_ticks > 0 {
+                mb.desired_dyn_sum / measured_ticks as f64
+            } else {
+                mb.desired_total
+            };
+            let backpressure = r > config.backpressure_threshold * desired_basis.max(1e-9);
+            let success = mb.sink_total >= 1.0;
 
-    let label_noise = |rng: &mut StdRng| lognormal(rng, config.label_noise_sigma);
-    let noisy_lp = lp_s * 1000.0 * label_noise(&mut rng);
-    let metrics = CostMetrics {
-        throughput: throughput * label_noise(&mut rng),
-        processing_latency_ms: noisy_lp,
-        // The end-to-end latency includes the broker wait and can never be
-        // below the processing latency (Definitions 2/3).
-        e2e_latency_ms: (le_s * 1000.0 * label_noise(&mut rng)).max(noisy_lp),
-        backpressure,
-        backpressure_rate: r,
-        success,
-    };
-    SimResult { metrics, trace }
+            // Label noise: per member, in member order, after all cost
+            // draws — the single-member stream matches the historical one.
+            let label_noise = |rng: &mut StdRng| lognormal(rng, config.label_noise_sigma);
+            let noisy_lp = lp_s * 1000.0 * label_noise(&mut rng);
+            let metrics = CostMetrics {
+                throughput: throughput * label_noise(&mut rng),
+                processing_latency_ms: noisy_lp,
+                // The end-to-end latency includes the broker wait and can
+                // never be below the processing latency (Definitions 2/3).
+                e2e_latency_ms: (le_s * 1000.0 * label_noise(&mut rng)).max(noisy_lp),
+                backpressure,
+                backpressure_rate: r,
+                success,
+            };
+            SimResult {
+                metrics,
+                trace: mb.trace,
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -919,5 +1074,133 @@ mod tests {
         let r = simulate_with_drift(&q, &c, &p, &cfg, &slow);
         assert!(r.metrics.backpressure, "a 10x slower host cannot keep up");
         assert!(r.metrics.throughput < control.metrics.throughput);
+    }
+
+    /// The single-member co-run path IS the historical single-query
+    /// engine: identical metrics and trace, bit for bit, with and
+    /// without noise. This is the invariant that keeps every golden
+    /// training label in the repo fixed.
+    #[test]
+    fn single_member_corun_is_bitwise_identical_to_solo() {
+        use costream_query::generator::WorkloadGenerator;
+        use costream_query::ranges::FeatureRanges;
+        let mut g = WorkloadGenerator::new(11, FeatureRanges::training());
+        for k in 0..10 {
+            let (q, c, p) = g.workload_item();
+            for cfg in [
+                SimConfig::deterministic().with_seed(k),
+                SimConfig::default().with_seed(k),
+            ] {
+                let solo = simulate(&q, &c, &p, &cfg);
+                let corun = simulate_corun(&[(&q, &p)], &c, &cfg).pop().expect("one result");
+                assert_eq!(solo.metrics, corun.metrics, "metrics drifted (item {k})");
+                assert_eq!(solo.trace.op_rate, corun.trace.op_rate, "op_rate drifted (item {k})");
+                assert_eq!(
+                    solo.trace.op_cpu_cores, corun.trace.op_cpu_cores,
+                    "cpu drifted (item {k})"
+                );
+                assert_eq!(
+                    solo.trace.op_queue_len, corun.trace.op_queue_len,
+                    "queue drifted (item {k})"
+                );
+                assert_eq!(
+                    solo.trace.edge_bytes_per_s, corun.trace.edge_bytes_per_s,
+                    "edges drifted (item {k})"
+                );
+                assert_eq!(
+                    solo.trace.host_utilization, corun.trace.host_utilization,
+                    "util drifted (item {k})"
+                );
+                assert_eq!(
+                    solo.trace.host_mem_ratio, corun.trace.host_mem_ratio,
+                    "mem drifted (item {k})"
+                );
+            }
+        }
+    }
+
+    /// Two copies of a query that is healthy solo, stacked on the same
+    /// host, must each run worse than alone: the water-filled CPU is
+    /// split, so contention shows up as backpressure and latency
+    /// inflation. Deterministically.
+    #[test]
+    fn corun_contention_inflates_cost_versus_solo() {
+        let q1 = filter_query(6400.0, 0.5);
+        let q2 = filter_query(6400.0, 0.5);
+        let host = Host {
+            cpu: 100.0,
+            ram_mb: 32000.0,
+            bandwidth_mbits: 10000.0,
+            latency_ms: 1.0,
+        };
+        let c = Cluster::new(vec![host]);
+        let p = Placement::new(vec![0, 0, 0]);
+        let cfg = SimConfig::deterministic();
+        let solo = simulate(&q1, &c, &p, &cfg);
+        assert!(
+            !solo.metrics.backpressure,
+            "solo must be healthy, R = {}",
+            solo.metrics.backpressure_rate
+        );
+        let results = simulate_corun(&[(&q1, &p), (&q2, &p)], &c, &cfg);
+        let again = simulate_corun(&[(&q1, &p), (&q2, &p)], &c, &cfg);
+        assert_eq!(results.len(), 2);
+        for (r, r2) in results.iter().zip(&again) {
+            assert_eq!(r.metrics, r2.metrics, "co-run must be deterministic");
+            assert!(
+                r.metrics.e2e_latency_ms > 1.2 * solo.metrics.e2e_latency_ms,
+                "co-run {} vs solo {}",
+                r.metrics.e2e_latency_ms,
+                solo.metrics.e2e_latency_ms
+            );
+            assert!(r.metrics.backpressure, "halved CPU cannot absorb full rate");
+        }
+    }
+
+    /// A host OOM kills the shared worker: a member that would be
+    /// perfectly healthy alone fails too when its co-resident blows the
+    /// heap — the blast-radius coupling the interference corpus labels.
+    #[test]
+    fn corun_oom_fails_every_member_on_the_host() {
+        let w = WindowSpec {
+            window_type: WindowType::Sliding,
+            policy: WindowPolicy::TimeBased,
+            size: 16.0,
+            slide: 5.0,
+        };
+        let heavy = Query::new(
+            vec![
+                OpKind::Source(SourceSpec {
+                    event_rate: 25600.0,
+                    schema: int_schema(),
+                }),
+                OpKind::WindowAggregate(AggSpec {
+                    function: AggFunction::Mean,
+                    agg_type: DataType::Int,
+                    group_by: Some(DataType::Int),
+                    window: w,
+                    selectivity: 0.5,
+                }),
+                OpKind::Sink,
+            ],
+            vec![(0, 1), (1, 2)],
+        );
+        let light = filter_query(100.0, 0.5);
+        let small_ram = Host {
+            cpu: 800.0,
+            ram_mb: 1000.0,
+            bandwidth_mbits: 10000.0,
+            latency_ms: 1.0,
+        };
+        let c = Cluster::new(vec![small_ram]);
+        let p = Placement::new(vec![0, 0, 0]);
+        let cfg = SimConfig::deterministic();
+        assert!(
+            simulate(&light, &c, &p, &cfg).metrics.success,
+            "light query healthy alone"
+        );
+        let results = simulate_corun(&[(&heavy, &p), (&light, &p)], &c, &cfg);
+        assert!(!results[0].metrics.success, "heavy member OOMs");
+        assert!(!results[1].metrics.success, "co-resident member dies with the worker");
     }
 }

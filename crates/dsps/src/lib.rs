@@ -15,6 +15,9 @@
 //! * [`memory`] — host memory demand and GC behaviour;
 //! * [`metrics`] — the cost metrics `C = (T, Lp, Le, RO, S)` of §IV-A;
 //! * [`trace`] — runtime statistics for monitoring-based baselines;
+//! * [`corun`] — co-run interference measurement: multi-tenant
+//!   simulations vs solo runs, emitting the labeled inflation corpus the
+//!   learned interference model is fitted from;
 //! * [`config`] — execution-protocol configuration;
 //! * [`drift`] — deterministic fault/drift injection ([`DriftScenario`]):
 //!   rate ramps, selectivity shifts, host slowdowns and host loss applied
@@ -23,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod corun;
 pub mod cost;
 pub mod des;
 pub mod drift;
@@ -32,8 +36,9 @@ pub mod metrics;
 pub mod trace;
 
 pub use config::SimConfig;
+pub use corun::{generate_corpus, profile_loads, CorunConfig, CorunSample, OpClass, OpLoad, N_OP_CLASSES};
 pub use cost::ExecutionProfile;
 pub use drift::{DriftEvent, DriftScenario};
-pub use engine::{simulate, simulate_with_drift, SimResult};
+pub use engine::{simulate, simulate_corun, simulate_corun_with_drift, simulate_with_drift, SimResult};
 pub use metrics::{CostMetric, CostMetrics};
 pub use trace::RunTrace;

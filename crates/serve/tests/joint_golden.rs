@@ -65,6 +65,7 @@ fn serve_backed_joint_search_matches_direct_bitwise() {
         queries: &jqs,
         cluster: &cluster,
         featurization: Featurization::Full,
+        interference: None,
     };
 
     for strategy in [
@@ -79,6 +80,43 @@ fn serve_backed_joint_search_matches_direct_bitwise() {
             let scorer = ServeScorer::new(&st, &ss, &sb);
             let got = strategy.search_joint(&problem, &scorer, 10, 4);
             assert_same_joint_result(&want, &got, &format!("{} workers={workers}", strategy.name()));
+        }
+    }
+}
+
+/// The same serve-vs-direct bitwise guarantee with the **learned
+/// interference model** pricing contended hosts: the model only changes
+/// host feature rows (never the scoring path), so a serve-backed joint
+/// search under pinned learned coefficients must still match the
+/// direct path bitwise at every worker count.
+#[test]
+fn serve_backed_joint_search_matches_direct_under_learned_model() {
+    let corpus = test_fixtures::corpus(100, 121);
+    let trio = test_fixtures::trio(&corpus, 5, 2);
+    let direct = trio.scorer();
+
+    // Pinned non-zero coefficients: deterministic, and every contended
+    // row is guaranteed to be re-priced by the learned path.
+    let model = InterferenceModel::from_weights(vec![0.05; INTERFERENCE_DIM]);
+    let (queries, cluster, sels) = test_fixtures::multi_query_workload(122, 2, 4);
+    let jqs = JointQuery::zip(&queries, &sels);
+    let problem = JointSearchProblem {
+        queries: &jqs,
+        cluster: &cluster,
+        featurization: Featurization::Full,
+        interference: Some(&model),
+    };
+
+    for strategy in [
+        &RandomEnumeration as &dyn JointPlacementSearch,
+        &LocalSearch::default() as &dyn JointPlacementSearch,
+    ] {
+        let want = strategy.search_joint(&problem, &direct, 10, 4);
+        for workers in [1usize, 4] {
+            let [st, ss, sb] = services(&trio.target, &trio.success, &trio.backpressure, workers);
+            let scorer = ServeScorer::new(&st, &ss, &sb);
+            let got = strategy.search_joint(&problem, &scorer, 10, 4);
+            assert_same_joint_result(&want, &got, &format!("learned {} workers={workers}", strategy.name()));
         }
     }
 }
@@ -111,6 +149,7 @@ fn concurrent_joint_tenants_are_isolated_and_coalesce() {
             queries: &jqs,
             cluster,
             featurization: Featurization::Full,
+            interference: None,
         };
         LocalSearch::default().search_joint(&problem, scorer, 12, seed)
     };
@@ -163,6 +202,7 @@ fn uncontended_joint_requests_match_single_query_serving() {
         queries: &jqs,
         cluster: &cluster,
         featurization: Featurization::Full,
+        interference: None,
     };
     let js = JointScorer::new(&problem, &scorer);
     let disjoint = JointPlacement::new(

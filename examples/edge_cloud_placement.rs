@@ -201,6 +201,7 @@ fn main() {
             queries: &jqs,
             cluster: &cluster,
             featurization: Featurization::Full,
+            interference: None,
         };
         let per_query_budget = 16;
         let combined = JointPlacement::new(

@@ -85,7 +85,14 @@ CALIBRATION_OP = "matmul_256x64x48_updater_in_big"
 # width mismatch they are skipped with a note instead of failing
 # spuriously.
 GATED_METRICS = {
+    # Best joint total found at the fixed budget with contended hosts
+    # priced by the learned interference model (the shipping
+    # configuration of the joint search).
     "joint_placement_joint_total_cost": (1.10, "lower"),
+    # Median held-out q-error of the learned co-run interference model
+    # against simulated co-run inflation. Lower is better; a regression
+    # means the measure -> fit loop stopped tracking the simulator.
+    "interference_fit_qerror": (1.10, "lower"),
     # Total cost (observed + migration, ms) of the adaptive controller
     # replaying the host-loss drift scenario — the runtime elasticity
     # loop's product metric. Deterministic for a fixed core count, but
